@@ -1,0 +1,14 @@
+//! Figures 10–11: system energy.
+//!
+//! Figure 10 (paper): RL cuts system energy ~6% and memory energy ~15%
+//! (memory power −1.9%); DL cuts system energy ~13%. Figure 11: energy
+//! savings grow with bandwidth utilization.
+
+use sim_harness::experiments::fig10_11_energy;
+
+fn main() {
+    cwf_bench::header("Figures 10/11: energy");
+    let (t10, t11) = fig10_11_energy(&cwf_bench::benches(), cwf_bench::reads());
+    println!("{t10}");
+    println!("{t11}");
+}

@@ -1,0 +1,15 @@
+//! Figure 1: sensitivity of applications to different DRAM flavors.
+//!
+//! Reproduces Figure 1a (throughput of homogeneous RLDRAM3 / LPDDR2
+//! systems normalized to the DDR3 baseline; paper: +31% / −13%) and
+//! Figure 1b (read latency split into queue and core components; paper:
+//! RLDRAM3 total ≈ −43% vs DDR3, mostly queueing).
+
+use sim_harness::experiments::fig1_homogeneous;
+
+fn main() {
+    cwf_bench::header("Figure 1: homogeneous DRAM sensitivity");
+    let (t1a, t1b) = fig1_homogeneous(&cwf_bench::benches(), cwf_bench::reads());
+    println!("{t1a}");
+    println!("{t1b}");
+}

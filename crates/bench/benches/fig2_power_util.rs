@@ -1,0 +1,12 @@
+//! Figure 2: chip power vs bus utilization for the three DRAM parts.
+//!
+//! Analytic open-loop sweep through the Micron-calculator power model;
+//! paper shape: RLDRAM3 ≫ DDR3 > LPDDR2 at low utilization (background
+//! power), with the gap narrowing as activity rises.
+
+use sim_harness::experiments::fig2_power_utilization;
+
+fn main() {
+    cwf_bench::header("Figure 2: power vs bus utilization");
+    println!("{}", fig2_power_utilization());
+}

@@ -1,0 +1,12 @@
+//! Figure 3: critical-word distribution inside highly accessed lines.
+//!
+//! For leslie3d (paper Fig. 3a: word 0 dominates) and mcf (paper
+//! Fig. 3b: words 0 and 3 dominate), shows the dominant word and its
+//! share for the most-missed cache lines.
+
+use sim_harness::experiments::fig3_line_profiles;
+
+fn main() {
+    cwf_bench::header("Figure 3: per-line critical-word bias");
+    println!("{}", fig3_line_profiles((40 * cwf_bench::reads()).max(200_000)));
+}

@@ -1,0 +1,15 @@
+//! Figure 4: distribution of critical words across the suite.
+//!
+//! Paper: for 21 of 27 programs, word 0 is the critical word in more than
+//! 50% of all cache-line fetches; astar, lbm, mcf, milc, omnetpp and
+//! xalancbmk show no bias.
+
+use sim_harness::experiments::fig4_critical_word_distribution;
+
+fn main() {
+    cwf_bench::header("Figure 4: critical word distribution");
+    println!(
+        "{}",
+        fig4_critical_word_distribution(&cwf_bench::benches(), 4 * cwf_bench::reads())
+    );
+}

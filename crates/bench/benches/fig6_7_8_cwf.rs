@@ -1,0 +1,16 @@
+//! Figures 6–8: the critical-word-first heterogeneous organizations.
+//!
+//! One sweep over RD / RL / DL feeds three figures: normalized throughput
+//! (paper: RD +21%, RL +12.9%, DL −9%), mean critical-word latency
+//! (paper: RD −30%, RL −22%), and the fraction of critical words served
+//! by the RLDRAM3 DIMM under RL (paper average: 67%, ≈ the word-0 rate).
+
+use sim_harness::experiments::fig6_7_8_cwf;
+
+fn main() {
+    cwf_bench::header("Figures 6/7/8: CWF heterogeneous memory");
+    let (t6, t7, t8) = fig6_7_8_cwf(&cwf_bench::benches(), cwf_bench::reads());
+    println!("{t6}");
+    println!("{t7}");
+    println!("{t8}");
+}

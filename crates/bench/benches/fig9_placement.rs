@@ -1,0 +1,11 @@
+//! Figure 9: static vs adaptive vs oracular critical-word placement.
+//!
+//! Paper ordering: RL (+12.9%) < RL AD (+15.7%) < RL OR (+28%) <
+//! all-RLDRAM3 (+31%).
+
+use sim_harness::experiments::fig9_placement;
+
+fn main() {
+    cwf_bench::header("Figure 9: placement schemes");
+    println!("{}", fig9_placement(&cwf_bench::benches(), cwf_bench::reads()));
+}

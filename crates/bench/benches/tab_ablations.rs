@@ -1,0 +1,13 @@
+//! §6.1.1 / §4.2.4 ablations.
+//!
+//! Random word mapping (paper: +2.1% — the intelligence matters, not the
+//! extra channel), no-prefetcher RL (paper: +17.3%), and the design
+//! choices of §4.2.4: sub-ranked x9 chips vs a striped 4-chip fast store,
+//! shared vs private fast command buses, and LPDDR2 page policy.
+
+use sim_harness::experiments::ablations;
+
+fn main() {
+    cwf_bench::header("Ablations (§6.1.1, §4.2.4)");
+    println!("{}", ablations(&cwf_bench::benches(), cwf_bench::reads()));
+}

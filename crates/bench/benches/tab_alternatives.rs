@@ -1,0 +1,15 @@
+//! §7 alternative heterogeneous designs.
+//!
+//! §7.1: page-granularity placement of profiled-hot pages in RLDRAM3
+//! (paper: −9.3%..+11.2%, avg ≈ +8%, limited because the top pages carry
+//! at most ~30% of accesses). §7.2: Malladi-style unterminated LPDDR
+//! (paper: energy savings grow to 26.1%).
+
+use sim_harness::experiments::alternatives;
+
+fn main() {
+    cwf_bench::header("Alternatives (§7.1, §7.2)");
+    let (t71, t72) = alternatives(&cwf_bench::benches(), cwf_bench::reads());
+    println!("{t71}");
+    println!("{t72}");
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! Shared plumbing for the per-figure benchmark harnesses.
+//!
+//! Every `cargo bench` target in this crate regenerates one figure or
+//! table of the paper (see DESIGN.md §5 for the index). Two environment
+//! variables scale the work:
+//!
+//! * `CWF_READS` — demand DRAM reads per measured run (default 8000; the
+//!   paper uses 2 000 000 — larger values reduce noise at linear cost);
+//! * `CWF_BENCHES` — comma-separated benchmark names, or `all` for the
+//!   full 27-program suite (default: a representative 10-program subset).
+
+use sim_harness::experiments::{all_benches, default_benches};
+
+/// Demand DRAM reads per run, from `CWF_READS`.
+#[must_use]
+pub fn reads() -> u64 {
+    std::env::var("CWF_READS").ok().and_then(|v| v.parse().ok()).unwrap_or(8_000)
+}
+
+/// Benchmark list, from `CWF_BENCHES`.
+#[must_use]
+pub fn benches() -> Vec<&'static str> {
+    match std::env::var("CWF_BENCHES") {
+        Ok(v) if v == "all" => all_benches(),
+        Ok(v) => {
+            let names: Vec<&'static str> = all_benches()
+                .into_iter()
+                .filter(|b| v.split(',').any(|x| x.trim() == *b))
+                .collect();
+            if names.is_empty() {
+                default_benches()
+            } else {
+                names
+            }
+        }
+        Err(_) => default_benches(),
+    }
+}
+
+/// Print the standard header for a harness run.
+pub fn header(what: &str) {
+    println!(
+        "cwfmem reproduction harness — {what}\n\
+         workload: {} benchmarks × {} DRAM reads (set CWF_BENCHES / CWF_READS to change)\n",
+        benches().len(),
+        reads()
+    );
+}

@@ -1,0 +1,269 @@
+//! A set-associative cache with true-LRU replacement.
+//!
+//! The same structure serves as a private L1 (sharer bits unused) and as
+//! the shared, inclusive L2, whose per-line metadata doubles as the MESI
+//! sharer directory.
+
+/// Size/shape of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheCfg {
+    /// Number of sets.
+    pub sets: u32,
+    /// Associativity.
+    pub ways: u32,
+}
+
+impl CacheCfg {
+    /// The paper's L1D: 32 KB, 2-way, 64 B lines ⇒ 256 sets.
+    #[must_use]
+    pub fn l1_32k_2way() -> Self {
+        CacheCfg { sets: 256, ways: 2 }
+    }
+
+    /// The paper's shared L2: 4 MB, 8-way, 64 B lines ⇒ 8192 sets.
+    #[must_use]
+    pub fn l2_4m_8way() -> Self {
+        CacheCfg { sets: 8192, ways: 8 }
+    }
+
+    /// Capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        u64::from(self.sets) * u64::from(self.ways) * 64
+    }
+}
+
+/// Metadata carried by every resident line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineMeta {
+    /// Dirty with respect to the level below.
+    pub dirty: bool,
+    /// Bitmask of cores holding this line in their L1 (L2/directory use).
+    pub sharers: u8,
+    /// Critical word observed at the line's last fetch (CWF adaptive
+    /// placement, §4.2.5).
+    pub crit_word: u8,
+    /// Brought in by the prefetcher and not yet demanded.
+    pub prefetched: bool,
+}
+
+impl Default for LineMeta {
+    fn default() -> Self {
+        LineMeta { dirty: false, sharers: 0, crit_word: 0, prefetched: false }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    meta: LineMeta,
+    stamp: u64,
+}
+
+/// A set-associative cache storing only metadata (timing simulation).
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheCfg,
+    ways: Vec<Option<Way>>,
+    clock: u64,
+}
+
+impl Cache {
+    /// Create an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    #[must_use]
+    pub fn new(cfg: CacheCfg) -> Self {
+        assert!(cfg.sets > 0 && cfg.ways > 0, "cache must have sets and ways");
+        Cache { cfg, ways: vec![None; (cfg.sets * cfg.ways) as usize], clock: 0 }
+    }
+
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = (line % u64::from(self.cfg.sets)) as usize;
+        let w = self.cfg.ways as usize;
+        set * w..(set + 1) * w
+    }
+
+    fn tag(&self, line: u64) -> u64 {
+        line / u64::from(self.cfg.sets)
+    }
+
+    /// Look up `line` (a line index, i.e. `addr >> 6`), updating LRU.
+    pub fn lookup(&mut self, line: u64) -> Option<&mut LineMeta> {
+        self.clock += 1;
+        let tag = self.tag(line);
+        let clock = self.clock;
+        let range = self.set_range(line);
+        for slot in &mut self.ways[range] {
+            if let Some(w) = slot {
+                if w.tag == tag {
+                    w.stamp = clock;
+                    return Some(&mut w.meta);
+                }
+            }
+        }
+        None
+    }
+
+    /// Look up without touching LRU.
+    #[must_use]
+    pub fn peek(&self, line: u64) -> Option<&LineMeta> {
+        let tag = self.tag(line);
+        let range = self.set_range(line);
+        self.ways[range]
+            .iter()
+            .flatten()
+            .find(|w| w.tag == tag)
+            .map(|w| &w.meta)
+    }
+
+    /// Insert `line` with `meta`, evicting the LRU way if the set is full.
+    ///
+    /// Returns the evicted `(line, meta)` if one was displaced. Inserting a
+    /// line that is already resident replaces its metadata in place and
+    /// returns `None`.
+    pub fn insert(&mut self, line: u64, meta: LineMeta) -> Option<(u64, LineMeta)> {
+        self.clock += 1;
+        let tag = self.tag(line);
+        let set = (line % u64::from(self.cfg.sets)) as u64;
+        let clock = self.clock;
+        let range = self.set_range(line);
+
+        // Already resident?
+        for slot in &mut self.ways[range.clone()] {
+            if let Some(w) = slot {
+                if w.tag == tag {
+                    w.meta = meta;
+                    w.stamp = clock;
+                    return None;
+                }
+            }
+        }
+        // Empty way?
+        for slot in &mut self.ways[range.clone()] {
+            if slot.is_none() {
+                *slot = Some(Way { tag, meta, stamp: clock });
+                return None;
+            }
+        }
+        // Evict LRU.
+        let victim_idx = {
+            let slice = &self.ways[range.clone()];
+            let (i, _) = slice
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.as_ref().map_or(0, |w| w.stamp))
+                .expect("non-empty set");
+            range.start + i
+        };
+        let old = self.ways[victim_idx].replace(Way { tag, meta, stamp: clock });
+        old.map(|w| {
+            let sets = u64::from(self.cfg.sets);
+            (w.tag * sets + set, w.meta)
+        })
+    }
+
+    /// Remove `line`, returning its metadata if it was resident.
+    pub fn invalidate(&mut self, line: u64) -> Option<LineMeta> {
+        let tag = self.tag(line);
+        let range = self.set_range(line);
+        for slot in &mut self.ways[range] {
+            if let Some(w) = slot {
+                if w.tag == tag {
+                    let meta = w.meta;
+                    *slot = None;
+                    return Some(meta);
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of resident lines (testing/diagnostics).
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        self.ways.iter().flatten().count()
+    }
+
+    /// Configuration.
+    #[must_use]
+    pub fn cfg(&self) -> CacheCfg {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        Cache::new(CacheCfg { sets: 2, ways: 2 })
+    }
+
+    #[test]
+    fn insert_then_lookup() {
+        let mut c = tiny();
+        assert!(c.lookup(10).is_none());
+        assert!(c.insert(10, LineMeta::default()).is_none());
+        assert!(c.lookup(10).is_some());
+        assert_eq!(c.resident(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_returns_correct_victim_address() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 all map to set 0 (even line indices).
+        c.insert(0, LineMeta::default());
+        c.insert(2, LineMeta::default());
+        c.lookup(0); // make line 2 the LRU
+        let victim = c.insert(4, LineMeta { dirty: true, ..Default::default() });
+        let (vline, _) = victim.expect("eviction");
+        assert_eq!(vline, 2);
+        assert!(c.peek(0).is_some());
+        assert!(c.peek(4).is_some());
+        assert!(c.peek(2).is_none());
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut c = tiny();
+        c.insert(10, LineMeta::default());
+        let evicted = c.insert(10, LineMeta { dirty: true, ..Default::default() });
+        assert!(evicted.is_none());
+        assert!(c.peek(10).unwrap().dirty);
+        assert_eq!(c.resident(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny();
+        c.insert(10, LineMeta { dirty: true, ..Default::default() });
+        let meta = c.invalidate(10).expect("was resident");
+        assert!(meta.dirty);
+        assert!(c.peek(10).is_none());
+        assert!(c.invalidate(10).is_none());
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        // Odd lines map to set 1.
+        c.insert(0, LineMeta::default());
+        c.insert(1, LineMeta::default());
+        c.insert(2, LineMeta::default());
+        c.insert(3, LineMeta::default());
+        assert_eq!(c.resident(), 4);
+        // Filling set 0 further does not disturb set 1.
+        c.insert(4, LineMeta::default());
+        assert!(c.peek(1).is_some());
+        assert!(c.peek(3).is_some());
+    }
+
+    #[test]
+    fn paper_geometry() {
+        assert_eq!(CacheCfg::l1_32k_2way().capacity_bytes(), 32 * 1024);
+        assert_eq!(CacheCfg::l2_4m_8way().capacity_bytes(), 4 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,231 @@
+//! Miss-status holding registers with per-word arrival tracking.
+//!
+//! The CWF design returns a cache line in two parts over independent
+//! channels, so an MSHR entry records *which words* have arrived
+//! (§4.2.2: "the added complexity is the support for buffering two parts
+//! of the cache line in the MSHR"). Loads waiting on an entry are woken as
+//! soon as their word is home; the entry is freed when the full line and
+//! its ECC arrive.
+
+use mem_ctrl::Token;
+
+/// A load waiting on an in-flight line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Waiter {
+    /// Opaque handle the core uses to match the wake-up.
+    pub load_id: u64,
+    /// Word (0–7) this load needs.
+    pub word: u8,
+    /// Core that issued the load.
+    pub core: u8,
+}
+
+/// One outstanding line fill.
+#[derive(Debug, Clone)]
+pub struct MshrEntry {
+    /// Line index (byte address >> 6).
+    pub line: u64,
+    /// Memory transaction handle.
+    pub token: Token,
+    /// The first demand requester's word — the line's critical word.
+    pub critical_word: u8,
+    /// Bitmask of words that have arrived.
+    pub words_ready: u8,
+    /// True once any demand access has touched this entry.
+    pub demand: bool,
+    /// A store is waiting to mark the line dirty on fill.
+    pub store_pending: bool,
+    /// Cores whose L1 should be filled on completion (bitmask).
+    pub fill_cores: u8,
+    /// Loads not yet woken.
+    pub waiters: Vec<Waiter>,
+    /// CPU cycle the entry was allocated (for latency stats).
+    pub allocated_at: u64,
+    /// CPU cycle the first (critical) word arrived, once known.
+    pub critical_word_at: Option<u64>,
+    /// Whether the critical word was served by the fast DIMM.
+    pub critical_served_fast: bool,
+}
+
+/// Fixed-capacity MSHR file.
+#[derive(Debug)]
+pub struct MshrFile {
+    entries: Vec<MshrEntry>,
+    capacity: usize,
+}
+
+impl MshrFile {
+    /// Create a file with room for `capacity` outstanding lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be positive");
+        MshrFile { entries: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Is there room for another entry?
+    #[must_use]
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Current occupancy.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no fills are outstanding.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Find the entry for `line`.
+    pub fn by_line(&mut self, line: u64) -> Option<&mut MshrEntry> {
+        self.entries.iter_mut().find(|e| e.line == line)
+    }
+
+    /// Find the entry for a memory transaction.
+    pub fn by_token(&mut self, token: Token) -> Option<&mut MshrEntry> {
+        self.entries.iter_mut().find(|e| e.token == token)
+    }
+
+    /// Allocate a new entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file is full (check [`MshrFile::has_space`] first) or
+    /// if `line` already has an entry.
+    pub fn allocate(&mut self, entry: MshrEntry) -> &mut MshrEntry {
+        assert!(self.has_space(), "MSHR file full");
+        assert!(
+            self.entries.iter().all(|e| e.line != entry.line),
+            "duplicate MSHR entry for line {:#x}",
+            entry.line
+        );
+        self.entries.push(entry);
+        self.entries.last_mut().expect("just pushed")
+    }
+
+    /// Remove and return the entry for `token`.
+    pub fn release(&mut self, token: Token) -> Option<MshrEntry> {
+        let i = self.entries.iter().position(|e| e.token == token)?;
+        Some(self.entries.swap_remove(i))
+    }
+}
+
+impl MshrEntry {
+    /// Build an entry for a fresh miss.
+    #[must_use]
+    pub fn new(line: u64, token: Token, critical_word: u8, demand: bool, now: u64) -> Self {
+        MshrEntry {
+            line,
+            token,
+            critical_word,
+            words_ready: 0,
+            demand,
+            store_pending: false,
+            fill_cores: 0,
+            waiters: Vec::new(),
+            allocated_at: now,
+            critical_word_at: None,
+            critical_served_fast: false,
+        }
+    }
+
+    /// Record newly arrived words; returns the waiters that can now wake.
+    pub fn words_arrived(&mut self, words: u8) -> Vec<Waiter> {
+        self.words_ready |= words;
+        let ready = self.words_ready;
+        let mut woken = Vec::new();
+        self.waiters.retain(|w| {
+            if ready & (1 << w.word) != 0 {
+                woken.push(*w);
+                false
+            } else {
+                true
+            }
+        });
+        woken
+    }
+
+    /// Drain every remaining waiter (line fill completes the entry).
+    pub fn drain_waiters(&mut self) -> Vec<Waiter> {
+        std::mem::take(&mut self.waiters)
+    }
+
+    /// Is `word` already buffered in this entry?
+    #[must_use]
+    pub fn word_ready(&self, word: u8) -> bool {
+        self.words_ready & (1 << word) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(line: u64) -> MshrEntry {
+        MshrEntry::new(line, Token(line), 0, true, 0)
+    }
+
+    #[test]
+    fn allocate_find_release() {
+        let mut m = MshrFile::new(2);
+        m.allocate(entry(1));
+        m.allocate(entry(2));
+        assert!(!m.has_space());
+        assert!(m.by_line(1).is_some());
+        assert!(m.by_token(Token(2)).is_some());
+        assert!(m.by_line(3).is_none());
+        let e = m.release(Token(1)).unwrap();
+        assert_eq!(e.line, 1);
+        assert!(m.has_space());
+        assert!(m.release(Token(1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate MSHR entry")]
+    fn duplicate_line_panics() {
+        let mut m = MshrFile::new(4);
+        m.allocate(entry(7));
+        m.allocate(entry(7));
+    }
+
+    #[test]
+    fn partial_word_arrival_wakes_only_matching_waiters() {
+        let mut e = entry(1);
+        e.waiters.push(Waiter { load_id: 10, word: 0, core: 0 });
+        e.waiters.push(Waiter { load_id: 11, word: 3, core: 1 });
+        // The fast DIMM delivers word 0 first.
+        let woken = e.words_arrived(0b0000_0001);
+        assert_eq!(woken, vec![Waiter { load_id: 10, word: 0, core: 0 }]);
+        assert_eq!(e.waiters.len(), 1);
+        // The slow DIMM delivers words 1–7.
+        let woken = e.words_arrived(0b1111_1110);
+        assert_eq!(woken, vec![Waiter { load_id: 11, word: 3, core: 1 }]);
+        assert!(e.waiters.is_empty());
+        assert_eq!(e.words_ready, 0xFF);
+    }
+
+    #[test]
+    fn late_waiter_on_ready_word_wakes_immediately_via_word_ready() {
+        let mut e = entry(1);
+        e.words_arrived(0b1);
+        assert!(e.word_ready(0));
+        assert!(!e.word_ready(1));
+    }
+
+    #[test]
+    fn drain_returns_everything() {
+        let mut e = entry(1);
+        e.waiters.push(Waiter { load_id: 1, word: 5, core: 0 });
+        e.waiters.push(Waiter { load_id: 2, word: 6, core: 0 });
+        assert_eq!(e.drain_waiters().len(), 2);
+        assert!(e.waiters.is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests of hierarchy invariants under random access streams:
+//! L2 inclusivity, sharer-directory consistency, and MSHR conservation.
+
+use cache_hier::{AccessOutcome, Cache, CacheCfg, HierParams, Hierarchy, LineMeta};
+use mem_ctrl::HomogeneousMemory;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    core: u8,
+    line: u64,
+    word: u8,
+    store: bool,
+    gap: u8,
+}
+
+fn access(cores: u8, lines: u64) -> impl Strategy<Value = Access> {
+    (0..cores, 0..lines, 0u8..8, prop::bool::ANY, 0u8..40).prop_map(
+        |(core, line, word, store, gap)| Access { core, line, word, store, gap },
+    )
+}
+
+/// A small hierarchy so invariant-threatening evictions happen often.
+fn small_hierarchy() -> Hierarchy<HomogeneousMemory> {
+    Hierarchy::new(
+        HierParams {
+            l1: CacheCfg { sets: 4, ways: 2 },
+            l2: CacheCfg { sets: 8, ways: 2 },
+            mshr_capacity: 8,
+            prefetch: false,
+            ..HierParams::paper_default(4)
+        },
+        HomogeneousMemory::baseline_ddr3(),
+    )
+}
+
+fn drive(h: &mut Hierarchy<HomogeneousMemory>, accs: &[Access]) {
+    let mut now = 0u64;
+    let mut woken = Vec::new();
+    for a in accs {
+        for _ in 0..a.gap {
+            h.tick(now, &mut woken);
+            now += 1;
+        }
+        let addr = a.line * 64 + u64::from(a.word) * 8;
+        if a.store {
+            let _ = h.store(a.core, 0x10, addr, now);
+        } else {
+            let _ = h.load(a.core, 0x10, addr, now);
+        }
+    }
+    for _ in 0..30_000 {
+        h.tick(now, &mut woken);
+        now += 1;
+    }
+}
+
+/// Inclusivity: every line resident in some L1 must be resident in L2 with
+/// the matching sharer bit set.
+fn check_inclusive(h: &Hierarchy<HomogeneousMemory>, cores: u8, lines: u64) {
+    for line in 0..lines {
+        let l2_sharers = h.l2_peek(line).map(|m| m.sharers);
+        for core in 0..cores {
+            if h.l1_peek(core, line).is_some() {
+                let sharers = l2_sharers
+                    .unwrap_or_else(|| panic!("line {line} in L1[{core}] but not in L2"));
+                assert!(
+                    sharers & (1 << core) != 0,
+                    "line {line}: L1[{core}] resident but sharer bit clear ({sharers:#b})"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn l2_is_inclusive_and_directory_is_consistent(
+        accs in prop::collection::vec(access(4, 64), 1..150)
+    ) {
+        let mut h = small_hierarchy();
+        drive(&mut h, &accs);
+        check_inclusive(&h, 4, 64);
+        // All in-flight state drained: MSHR conservation.
+        prop_assert_eq!(h.mshr_len(), 0, "all fills completed");
+        prop_assert_eq!(h.pending_writebacks(), 0, "all writebacks drained");
+    }
+
+    #[test]
+    fn every_missing_load_eventually_wakes(
+        accs in prop::collection::vec(access(2, 32), 1..100)
+    ) {
+        let mut h = small_hierarchy();
+        let mut now = 0u64;
+        let mut woken = Vec::new();
+        let mut pending: Vec<u64> = Vec::new();
+        for a in &accs {
+            for _ in 0..a.gap {
+                h.tick(now, &mut woken);
+                now += 1;
+            }
+            let addr = a.line * 64 + u64::from(a.word) * 8;
+            if !a.store {
+                if let AccessOutcome::Miss { load_id } = h.load(a.core, 0x10, addr, now) {
+                    pending.push(load_id);
+                }
+            }
+        }
+        for _ in 0..60_000 {
+            h.tick(now, &mut woken);
+            now += 1;
+        }
+        let mut woken_ids: Vec<u64> = woken.iter().map(|w| w.load_id).collect();
+        woken_ids.sort_unstable();
+        woken_ids.dedup();
+        pending.sort_unstable();
+        prop_assert_eq!(woken_ids, pending, "every pending load woke exactly once");
+    }
+}
+
+/// LRU stress: a pure cache property test (no memory behind it).
+mod cache_props {
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn resident_count_never_exceeds_capacity(
+            lines in prop::collection::vec(0u64..256, 1..300)
+        ) {
+            let mut c = Cache::new(CacheCfg { sets: 4, ways: 2 });
+            for l in &lines {
+                c.insert(*l, LineMeta::default());
+                prop_assert!(c.resident() <= 8);
+            }
+        }
+
+        #[test]
+        fn most_recent_insert_is_always_resident(
+            lines in prop::collection::vec(0u64..256, 1..300)
+        ) {
+            let mut c = Cache::new(CacheCfg { sets: 4, ways: 2 });
+            for l in &lines {
+                c.insert(*l, LineMeta::default());
+                prop_assert!(c.peek(*l).is_some(), "line {} evicted on insert", l);
+            }
+        }
+
+        #[test]
+        fn eviction_returns_a_line_from_the_same_set(
+            lines in prop::collection::vec(0u64..256, 1..300)
+        ) {
+            let mut c = Cache::new(CacheCfg { sets: 8, ways: 2 });
+            for l in &lines {
+                if let Some((victim, _)) = c.insert(*l, LineMeta::default()) {
+                    prop_assert_eq!(victim % 8, l % 8, "victim from a different set");
+                    prop_assert_ne!(victim, *l);
+                }
+            }
+        }
+    }
+}

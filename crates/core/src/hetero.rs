@@ -1,0 +1,596 @@
+//! The split-transaction CWF heterogeneous memory backend.
+
+use std::collections::HashMap;
+
+use dram_timing::{DeviceConfig, PagePolicy};
+use mem_ctrl::{
+    AddressMapper, AggregatedController, Controller, CtrlParams, LineRequest, MainMemory,
+    MappingScheme, MemBusy, MemEvent, MemSystemStats, Token,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::placement::{Placement, PlacementPolicy};
+
+/// Configuration of a heterogeneous CWF memory system.
+#[derive(Debug, Clone)]
+pub struct CwfConfig {
+    /// Device behind the critical-word (fast) sub-channels.
+    pub fast: DeviceConfig,
+    /// Device behind the rest-of-line (slow) channels.
+    pub slow: DeviceConfig,
+    /// Word-placement policy.
+    pub policy: PlacementPolicy,
+    /// Number of slow channels (paper: 4).
+    pub slow_channels: u32,
+    /// Number of fast sub-channels behind the one aggregated controller
+    /// and shared address/command bus (paper: 4, §4.2.4).
+    pub fast_subchannels: u32,
+    /// Devices activated per slow access (8: words 1–7 + ECC).
+    pub slow_chips: u32,
+    /// Devices activated per fast access (1: a single x9 chip).
+    pub fast_chips: u32,
+    /// Probability a critical word arrives with a parity error and must
+    /// wait for the full line + SECDED (§4.2.3). 0 for clean runs.
+    pub parity_error_rate: f64,
+    /// Share one address/command bus across the fast sub-channels
+    /// (§4.2.4 optimization). `false` models four private buses.
+    pub shared_fast_bus: bool,
+    /// RNG seed (parity-error injection).
+    pub seed: u64,
+}
+
+impl CwfConfig {
+    /// RL: 1 GB RLDRAM3 critical store + 7 GB LPDDR2 — the flagship (§6).
+    #[must_use]
+    pub fn rl() -> Self {
+        CwfConfig {
+            fast: DeviceConfig::rldram3(),
+            slow: DeviceConfig::lpddr2_800(),
+            policy: PlacementPolicy::Static0,
+            slow_channels: 4,
+            fast_subchannels: 4,
+            slow_chips: 8,
+            fast_chips: 1,
+            parity_error_rate: 0.0,
+            seed: 0x0C1F_BEEF,
+            shared_fast_bus: true,
+        }
+    }
+
+    /// RD: RLDRAM3 critical store + DDR3 bulk.
+    #[must_use]
+    pub fn rd() -> Self {
+        CwfConfig { slow: DeviceConfig::ddr3_1600(), ..Self::rl() }
+    }
+
+    /// DL: DDR3 critical store + LPDDR2 bulk (the power-optimized point).
+    #[must_use]
+    pub fn dl() -> Self {
+        CwfConfig { fast: DeviceConfig::ddr3_1600(), ..Self::rl() }
+    }
+
+    /// Same configuration under a different placement policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PlacementPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Same configuration with parity-error injection.
+    #[must_use]
+    pub fn with_parity_errors(mut self, rate: f64, seed: u64) -> Self {
+        self.parity_error_rate = rate;
+        self.seed = seed;
+        self
+    }
+
+    /// Ablation: four private fast address/command buses (§4.2.2's
+    /// pre-optimization organization).
+    #[must_use]
+    pub fn with_private_fast_buses(mut self) -> Self {
+        self.shared_fast_bus = false;
+        self
+    }
+}
+
+/// CWF-specific statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CwfStats {
+    /// Demand reads issued.
+    pub demand_reads: u64,
+    /// Demand reads whose critical word was served by the fast DIMM
+    /// (and passed parity).
+    pub cw_served_fast: u64,
+    /// Critical words deferred to the SECDED check by a parity error.
+    pub parity_errors: u64,
+    /// Reads where the fast part arrived strictly before the slow part.
+    pub fast_first: u64,
+    /// Sum of (slow − fast) arrival gaps in CPU cycles over `fast_first`
+    /// reads — the paper's "tens of cycles" head start.
+    pub gap_cpu_cycles: u64,
+}
+
+impl CwfStats {
+    /// Fraction of demand critical words served by the fast DIMM (Fig. 8).
+    #[must_use]
+    pub fn served_fast_fraction(&self) -> f64 {
+        if self.demand_reads == 0 {
+            0.0
+        } else {
+            self.cw_served_fast as f64 / self.demand_reads as f64
+        }
+    }
+
+    /// Mean head start of the fast part, CPU cycles.
+    #[must_use]
+    pub fn avg_head_start(&self) -> f64 {
+        if self.fast_first == 0 {
+            0.0
+        } else {
+            self.gap_cpu_cycles as f64 / self.fast_first as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    fast_done: Option<u64>,
+    slow_done: Option<u64>,
+    fast_word: u8,
+    critical: u8,
+    parity_defer: bool,
+    demand: bool,
+}
+
+/// The heterogeneous CWF main memory (implements [`MainMemory`]).
+#[derive(Debug)]
+pub struct HeteroCwfMemory {
+    fast: AggregatedController,
+    slow: Vec<Controller>,
+    fast_mapper: AddressMapper,
+    slow_mapper: AddressMapper,
+    placement: Placement,
+    rng: StdRng,
+    parity_error_rate: f64,
+    fast_ratio: u64,
+    slow_ratio: u64,
+    pending: HashMap<u64, Pending>,
+    scheduled: Vec<(u64, MemEvent)>,
+    next_id: u64,
+    stats: CwfStats,
+}
+
+impl HeteroCwfMemory {
+    /// Build the system described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if channel counts are zero.
+    #[must_use]
+    pub fn new(cfg: CwfConfig) -> Self {
+        assert!(cfg.slow_channels > 0 && cfg.fast_subchannels > 0, "need channels");
+        let fast_scheme = match cfg.fast.page_policy {
+            PagePolicy::Open => MappingScheme::OpenPageRowLocality,
+            PagePolicy::Closed => MappingScheme::ClosePageBankInterleave,
+        };
+        let fast_mapper = AddressMapper::new(
+            fast_scheme,
+            cfg.fast_subchannels,
+            1,
+            cfg.fast.geometry.banks,
+            cfg.fast.geometry.lines_per_row,
+            cfg.fast.geometry.rows,
+        );
+        let slow_mapper = AddressMapper::new(
+            MappingScheme::OpenPageRowLocality,
+            cfg.slow_channels,
+            1,
+            cfg.slow.geometry.banks,
+            cfg.slow.geometry.lines_per_row,
+            cfg.slow.geometry.rows,
+        );
+        let fast_kind = format!("{}", cfg.fast.kind).to_lowercase();
+        let slow_kind = format!("{}", cfg.slow.kind).to_lowercase();
+        let mut fast = AggregatedController::new(
+            &cfg.fast,
+            cfg.fast_subchannels,
+            1,
+            cfg.fast_chips,
+            &format!("fast-{fast_kind}"),
+            CtrlParams::default(),
+        );
+        if !cfg.shared_fast_bus {
+            fast = fast.with_private_buses();
+        }
+        let slow = (0..cfg.slow_channels)
+            .map(|i| {
+                Controller::new(
+                    cfg.slow.clone(),
+                    1,
+                    cfg.slow_chips,
+                    &format!("slow-{slow_kind}-ch{i}"),
+                )
+            })
+            .collect();
+        HeteroCwfMemory {
+            fast,
+            slow,
+            fast_mapper,
+            slow_mapper,
+            placement: Placement::new(cfg.policy),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            parity_error_rate: cfg.parity_error_rate,
+            fast_ratio: u64::from(cfg.fast.cpu_cycles_per_mem_cycle),
+            slow_ratio: u64::from(cfg.slow.cpu_cycles_per_mem_cycle),
+            pending: HashMap::new(),
+            scheduled: Vec::new(),
+            next_id: 0,
+            stats: CwfStats::default(),
+        }
+    }
+
+    /// CWF-specific statistics.
+    #[must_use]
+    pub fn cwf_stats(&self) -> &CwfStats {
+        &self.stats
+    }
+
+    /// Cycles in which the shared fast address/command bus was contended
+    /// (the aggregation bottleneck of §6.1.2).
+    #[must_use]
+    pub fn cmd_bus_conflicts(&self) -> u64 {
+        self.fast.cmd_bus_conflicts
+    }
+
+    /// The placement state (tag-store inspection in tests/examples).
+    #[must_use]
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Install an adaptive-placement tag directly (cache-warming replay of
+    /// a dirty eviction). No-op for non-adaptive policies.
+    pub fn seed_adaptive_tag(&mut self, line: u64, predicted_critical: u8) {
+        self.placement.on_writeback(line, predicted_critical);
+    }
+
+    /// Install the adaptive scheme's converged (steady-state) layout: a
+    /// function mapping a line's byte address to the word its last
+    /// writeback installed in the fast DIMM, for lines re-organised before
+    /// the simulated window. Ignored by non-adaptive policies.
+    pub fn set_steady_state_placement(&mut self, f: Box<dyn Fn(u64) -> Option<u8> + Send>) {
+        if self.placement.policy() == PlacementPolicy::Adaptive {
+            self.placement.set_steady_state(f);
+        }
+    }
+
+    fn handle_fast_done(&mut self, id: u64, at: u64) {
+        let Some(p) = self.pending.get_mut(&id) else { return };
+        p.fast_done = Some(at);
+        let parity_error =
+            self.parity_error_rate > 0.0 && self.rng.random::<f64>() < self.parity_error_rate;
+        if parity_error {
+            p.parity_defer = true;
+            self.stats.parity_errors += 1;
+        } else {
+            self.scheduled.push((
+                at,
+                MemEvent::WordsAvailable {
+                    token: Token(id),
+                    at,
+                    words: 1 << p.fast_word,
+                    served_fast: true,
+                },
+            ));
+        }
+        self.maybe_fill(id);
+    }
+
+    fn handle_slow_done(&mut self, id: u64, at: u64) {
+        let Some(p) = self.pending.get_mut(&id) else { return };
+        p.slow_done = Some(at);
+        let words = !(1u8 << p.fast_word);
+        self.scheduled.push((
+            at,
+            MemEvent::WordsAvailable { token: Token(id), at, words, served_fast: false },
+        ));
+        self.maybe_fill(id);
+    }
+
+    fn maybe_fill(&mut self, id: u64) {
+        let Some(p) = self.pending.get(&id) else { return };
+        let (Some(f), Some(s)) = (p.fast_done, p.slow_done) else { return };
+        let at = f.max(s);
+        if p.demand {
+            if p.critical == p.fast_word && !p.parity_defer {
+                self.stats.cw_served_fast += 1;
+            }
+            if f < s {
+                self.stats.fast_first += 1;
+                self.stats.gap_cpu_cycles += s - f;
+            }
+        }
+        if p.parity_defer {
+            // The parity-suppressed word becomes usable only now, after
+            // SECDED over the full line corrected it (§4.2.3).
+            self.scheduled.push((
+                at,
+                MemEvent::WordsAvailable {
+                    token: Token(id),
+                    at,
+                    words: 1 << p.fast_word,
+                    served_fast: false,
+                },
+            ));
+        }
+        self.scheduled.push((at, MemEvent::LineFilled { token: Token(id), at }));
+        self.pending.remove(&id);
+    }
+}
+
+impl MainMemory for HeteroCwfMemory {
+    fn try_submit(&mut self, req: &LineRequest, now: u64) -> Result<Option<Token>, MemBusy> {
+        let line = req.line_addr >> 6;
+        let (sub, floc) = self.fast_mapper.decode(req.line_addr);
+        let (chan, sloc) = self.slow_mapper.decode(req.line_addr);
+        let sub = usize::from(sub);
+        let chan = usize::from(chan);
+        match req.kind {
+            mem_ctrl::AccessKind::Write { predicted_critical } => {
+                // Both halves must be written atomically (the MSHR frees
+                // the line only once), so require space in both queues.
+                if !self.fast.write_space(sub) || !self.slow[chan].write_space() {
+                    return Err(MemBusy);
+                }
+                // Re-organise the layout before choosing the destination
+                // word (§4.2.5: the dirty writeback installs the predicted
+                // critical word in the low-latency DIMM).
+                self.placement.on_writeback(line, predicted_critical);
+                let ok_f = self.fast.enqueue_write(sub, floc, now / self.fast_ratio);
+                let ok_s = self.slow[chan].enqueue_write(sloc, now / self.slow_ratio);
+                debug_assert!(ok_f && ok_s, "space was checked");
+                Ok(None)
+            }
+            mem_ctrl::AccessKind::DemandRead | mem_ctrl::AccessKind::PrefetchRead => {
+                if !self.fast.read_space(sub) || !self.slow[chan].read_space() {
+                    return Err(MemBusy);
+                }
+                let demand = req.kind == mem_ctrl::AccessKind::DemandRead;
+                let prefetch = !demand;
+                let fast_word = self.placement.fast_word(line, req.critical_word);
+                let id = self.next_id;
+                self.next_id += 1;
+                let ok_f =
+                    self.fast.enqueue_read(sub, Token(id), floc, prefetch, now / self.fast_ratio);
+                let ok_s =
+                    self.slow[chan].enqueue_read(Token(id), sloc, prefetch, now / self.slow_ratio);
+                debug_assert!(ok_f && ok_s, "space was checked");
+                self.pending.insert(
+                    id,
+                    Pending {
+                        fast_done: None,
+                        slow_done: None,
+                        fast_word,
+                        critical: req.critical_word,
+                        parity_defer: false,
+                        demand,
+                    },
+                );
+                if demand {
+                    self.stats.demand_reads += 1;
+                }
+                Ok(Some(Token(id)))
+            }
+        }
+    }
+
+    fn tick(&mut self, now: u64) {
+        if now % self.fast_ratio == 0 {
+            let mem_now = now / self.fast_ratio;
+            self.fast.tick_mem(mem_now);
+            for (_sub, c) in self.fast.take_completions() {
+                self.handle_fast_done(c.token.0, c.data_end_mem * self.fast_ratio);
+            }
+        }
+        if now % self.slow_ratio == 0 {
+            let mem_now = now / self.slow_ratio;
+            let mut done = Vec::new();
+            for ctrl in &mut self.slow {
+                ctrl.tick_mem(mem_now, true);
+                done.extend(ctrl.take_completions());
+            }
+            for c in done {
+                self.handle_slow_done(c.token.0, c.data_end_mem * self.slow_ratio);
+            }
+        }
+    }
+
+    fn drain_events(&mut self, now: u64, out: &mut Vec<MemEvent>) {
+        let mut i = 0;
+        while i < self.scheduled.len() {
+            if self.scheduled[i].0 <= now {
+                out.push(self.scheduled.swap_remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn stats(&mut self, now: u64) -> MemSystemStats {
+        let mut controllers = self.fast.stats(now / self.fast_ratio);
+        for ctrl in &mut self.slow {
+            controllers.push(ctrl.stats(now / self.slow_ratio));
+        }
+        MemSystemStats { controllers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_timing::DeviceKind;
+
+    fn run_one_read(
+        mut mem: HeteroCwfMemory,
+        critical: u8,
+    ) -> (HeteroCwfMemory, Vec<MemEvent>, Token) {
+        let tok = mem
+            .try_submit(&LineRequest::demand_read(0x10_000, critical, 0), 0)
+            .unwrap()
+            .unwrap();
+        let mut ev = Vec::new();
+        for now in 0..5_000 {
+            mem.tick(now);
+            mem.drain_events(now, &mut ev);
+        }
+        (mem, ev, tok)
+    }
+
+    fn fill_at(ev: &[MemEvent]) -> u64 {
+        ev.iter()
+            .find_map(|e| match e {
+                MemEvent::LineFilled { at, .. } => Some(*at),
+                MemEvent::WordsAvailable { .. } => None,
+            })
+            .expect("line filled")
+    }
+
+    fn critical_at(ev: &[MemEvent], word: u8) -> (u64, bool) {
+        ev.iter()
+            .find_map(|e| match e {
+                MemEvent::WordsAvailable { at, words, served_fast, .. }
+                    if words & (1 << word) != 0 =>
+                {
+                    Some((*at, *served_fast))
+                }
+                _ => None,
+            })
+            .expect("critical word event")
+    }
+
+    #[test]
+    fn word0_read_gets_tens_of_cycles_head_start() {
+        let (mem, ev, _) = run_one_read(HeteroCwfMemory::new(CwfConfig::rl()), 0);
+        let (cw_at, fast) = critical_at(&ev, 0);
+        let fill = fill_at(&ev);
+        assert!(fast, "word 0 must come from RLDRAM");
+        let head_start = fill - cw_at;
+        assert!(
+            (20..=400).contains(&head_start),
+            "head start {head_start} CPU cycles should be tens of cycles"
+        );
+        assert_eq!(mem.cwf_stats().cw_served_fast, 1);
+        assert_eq!(mem.cwf_stats().fast_first, 1);
+    }
+
+    #[test]
+    fn non_word0_critical_waits_for_slow_part() {
+        let (mem, ev, _) = run_one_read(HeteroCwfMemory::new(CwfConfig::rl()), 3);
+        let (cw_at, fast) = critical_at(&ev, 3);
+        assert!(!fast, "word 3 lives on the LPDDR2 side under Static0");
+        assert_eq!(cw_at, fill_at(&ev), "no early wake possible");
+        assert_eq!(mem.cwf_stats().cw_served_fast, 0);
+    }
+
+    #[test]
+    fn oracle_always_serves_fast() {
+        let cfg = CwfConfig::rl().with_policy(PlacementPolicy::Oracle);
+        let (mem, ev, _) = run_one_read(HeteroCwfMemory::new(cfg), 5);
+        let (_, fast) = critical_at(&ev, 5);
+        assert!(fast);
+        assert_eq!(mem.cwf_stats().served_fast_fraction(), 1.0);
+    }
+
+    #[test]
+    fn adaptive_reorganises_on_writeback() {
+        let mut mem = HeteroCwfMemory::new(CwfConfig::rl().with_policy(PlacementPolicy::Adaptive));
+        // Writeback predicting word 3 re-organises the line's layout...
+        mem.try_submit(&LineRequest::writeback(0x10_000, 3, 0), 0).unwrap();
+        let mut ev = Vec::new();
+        for now in 0..3_000 {
+            mem.tick(now);
+            mem.drain_events(now, &mut ev);
+        }
+        // ...so a later word-3 fetch is served fast.
+        let tok = mem.try_submit(&LineRequest::demand_read(0x10_000, 3, 0), 3_000).unwrap();
+        for now in 3_000..8_000 {
+            mem.tick(now);
+            mem.drain_events(now, &mut ev);
+        }
+        assert!(tok.is_some());
+        assert_eq!(mem.cwf_stats().cw_served_fast, 1);
+    }
+
+    #[test]
+    fn parity_error_defers_wake_to_line_fill() {
+        let cfg = CwfConfig::rl().with_parity_errors(1.0, 42);
+        let (mem, ev, _) = run_one_read(HeteroCwfMemory::new(cfg), 0);
+        // No early fast event was emitted: word 0 only becomes visible at
+        // the line fill (the slow event covers words 1–7 only).
+        assert!(ev
+            .iter()
+            .all(|e| !matches!(e, MemEvent::WordsAvailable { served_fast: true, .. })));
+        assert_eq!(mem.cwf_stats().parity_errors, 1);
+        assert_eq!(mem.cwf_stats().cw_served_fast, 0);
+    }
+
+    #[test]
+    fn rd_uses_ddr3_slow_and_is_faster_than_rl() {
+        let (_, ev_rl, _) = run_one_read(HeteroCwfMemory::new(CwfConfig::rl()), 0);
+        let (_, ev_rd, _) = run_one_read(HeteroCwfMemory::new(CwfConfig::rd()), 0);
+        assert!(fill_at(&ev_rd) < fill_at(&ev_rl), "DDR3 bulk beats LPDDR2 bulk");
+        // The critical word path is identical (same RLDRAM).
+        assert_eq!(critical_at(&ev_rd, 0).0, critical_at(&ev_rl, 0).0);
+    }
+
+    #[test]
+    fn dl_critical_path_is_slower_than_rl() {
+        let (_, ev_rl, _) = run_one_read(HeteroCwfMemory::new(CwfConfig::rl()), 0);
+        let (_, ev_dl, _) = run_one_read(HeteroCwfMemory::new(CwfConfig::dl()), 0);
+        assert!(critical_at(&ev_dl, 0).0 > critical_at(&ev_rl, 0).0);
+    }
+
+    #[test]
+    fn split_write_consumes_both_queues() {
+        let mut mem = HeteroCwfMemory::new(CwfConfig::rl());
+        assert!(mem.try_submit(&LineRequest::writeback(0x40, 0, 0), 0).unwrap().is_none());
+        let mut ev = Vec::new();
+        for now in 0..4_000 {
+            mem.tick(now);
+            mem.drain_events(now, &mut ev);
+        }
+        assert!(ev.is_empty());
+        let s = mem.stats(4_000);
+        assert_eq!(s.total_writes(), 2, "one write per half");
+    }
+
+    #[test]
+    fn stats_cover_fast_and_slow_controllers() {
+        let mut mem = HeteroCwfMemory::new(CwfConfig::rl());
+        let s = mem.stats(0);
+        // 4 fast sub-channels + 4 slow channels.
+        assert_eq!(s.controllers.len(), 8);
+        assert!(s.controllers.iter().any(|c| c.kind == DeviceKind::Rldram3));
+        assert!(s.controllers.iter().any(|c| c.kind == DeviceKind::Lpddr2));
+    }
+
+    #[test]
+    fn random_placement_hits_about_one_eighth() {
+        let mut mem = HeteroCwfMemory::new(CwfConfig::rl().with_policy(PlacementPolicy::Random));
+        let mut ev = Vec::new();
+        let mut now = 0u64;
+        for i in 0..400u64 {
+            // Critical word 0 on distinct lines: random placement matches
+            // with probability 1/8.
+            mem.try_submit(&LineRequest::demand_read(i * 64 * 16, 0, 0), now).unwrap();
+            for _ in 0..400 {
+                mem.tick(now);
+                mem.drain_events(now, &mut ev);
+                now += 1;
+            }
+        }
+        let frac = mem.cwf_stats().served_fast_fraction();
+        assert!((0.05..0.25).contains(&frac), "random hit rate {frac:.3} ≈ 1/8");
+    }
+}

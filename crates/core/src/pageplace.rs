@@ -1,0 +1,301 @@
+//! Page-granularity heterogeneous placement — the §7.1 comparator.
+//!
+//! Prior heterogeneous-memory proposals (Phadke & Narayanasamy, Ramos et
+//! al.) place whole OS pages in one DRAM variant. §7.1 evaluates that
+//! strategy on an iso-pin-count, iso-chip-count system: three 72-bit
+//! LPDDR2 channels plus one 0.5 GB RLDRAM3 channel, with the top ~7.6% of
+//! profiled pages (by access count) pinned in RLDRAM3.
+//!
+//! [`ProfilingMemory`] wraps any backend and records per-page access
+//! counts during a profiling pass; [`hot_pages`] selects the top fraction;
+//! [`PagePlacedMemory`] is the placed system.
+
+use std::collections::{HashMap, HashSet};
+
+use dram_timing::DeviceConfig;
+use mem_ctrl::{
+    AddressMapper, Controller, LineRequest, MainMemory, MappingScheme, MemBusy, MemEvent,
+    MemSystemStats, Token,
+};
+
+/// Page size used for placement decisions (4 KiB).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// A transparent wrapper that counts page accesses for offline profiling.
+#[derive(Debug)]
+pub struct ProfilingMemory<M> {
+    inner: M,
+    counts: HashMap<u64, u64>,
+}
+
+impl<M> ProfilingMemory<M> {
+    /// Wrap `inner`.
+    #[must_use]
+    pub fn new(inner: M) -> Self {
+        ProfilingMemory { inner, counts: HashMap::new() }
+    }
+
+    /// Per-page access counts collected so far.
+    #[must_use]
+    pub fn page_counts(&self) -> &HashMap<u64, u64> {
+        &self.counts
+    }
+
+    /// Unwrap, returning the counts.
+    pub fn into_counts(self) -> HashMap<u64, u64> {
+        self.counts
+    }
+}
+
+impl<M: MainMemory> MainMemory for ProfilingMemory<M> {
+    fn try_submit(&mut self, req: &LineRequest, now: u64) -> Result<Option<Token>, MemBusy> {
+        let res = self.inner.try_submit(req, now);
+        if res.is_ok() {
+            *self.counts.entry(req.line_addr / PAGE_BYTES).or_insert(0) += 1;
+        }
+        res
+    }
+
+    fn tick(&mut self, now: u64) {
+        self.inner.tick(now);
+    }
+
+    fn drain_events(&mut self, now: u64, out: &mut Vec<MemEvent>) {
+        self.inner.drain_events(now, out);
+    }
+
+    fn stats(&mut self, now: u64) -> MemSystemStats {
+        self.inner.stats(now)
+    }
+}
+
+/// Select the hottest `fraction` of touched pages (by DRAM access count).
+///
+/// The paper pins the top 7.6% (0.5 GB / 6.5 GB) of pages in RLDRAM3.
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `(0, 1]`.
+#[must_use]
+pub fn hot_pages(counts: &HashMap<u64, u64>, fraction: f64) -> HashSet<u64> {
+    assert!(fraction > 0.0 && fraction <= 1.0, "fraction in (0,1]");
+    let mut pages: Vec<(u64, u64)> = counts.iter().map(|(p, c)| (*p, *c)).collect();
+    pages.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let keep = ((pages.len() as f64 * fraction).ceil() as usize).min(pages.len());
+    pages.into_iter().take(keep).map(|(p, _)| p).collect()
+}
+
+/// Page-placed heterogeneous memory: hot pages on one RLDRAM3 channel,
+/// the rest striped over three LPDDR2 channels. Whole lines; no CWF split.
+#[derive(Debug)]
+pub struct PagePlacedMemory {
+    rld: Controller,
+    lp: Vec<Controller>,
+    rld_mapper: AddressMapper,
+    lp_mapper: AddressMapper,
+    hot: HashSet<u64>,
+    rld_ratio: u64,
+    lp_ratio: u64,
+    next_token: u64,
+    pending: Vec<(u64, Token)>,
+    /// Reads served by the RLDRAM3 channel (for reporting).
+    pub rld_reads: u64,
+    /// Reads served by the LPDDR2 channels.
+    pub lp_reads: u64,
+}
+
+impl PagePlacedMemory {
+    /// Build the §7.1 system with the given hot-page set.
+    #[must_use]
+    pub fn new(hot: HashSet<u64>) -> Self {
+        let rld_cfg = DeviceConfig::rldram3();
+        let lp_cfg = DeviceConfig::lpddr2_800();
+        let rld_mapper = AddressMapper::new(
+            MappingScheme::ClosePageBankInterleave,
+            1,
+            1,
+            rld_cfg.geometry.banks,
+            rld_cfg.geometry.lines_per_row,
+            rld_cfg.geometry.rows,
+        );
+        let lp_mapper = AddressMapper::new(
+            MappingScheme::OpenPageRowLocality,
+            3,
+            1,
+            lp_cfg.geometry.banks,
+            lp_cfg.geometry.lines_per_row,
+            lp_cfg.geometry.rows,
+        );
+        PagePlacedMemory {
+            rld_ratio: u64::from(rld_cfg.cpu_cycles_per_mem_cycle),
+            lp_ratio: u64::from(lp_cfg.cpu_cycles_per_mem_cycle),
+            // 72-bit RLDRAM3 channel of x18 parts: 4 chips per access.
+            rld: Controller::new(rld_cfg, 1, 4, "pp-rldram"),
+            lp: (0..3)
+                .map(|i| Controller::new(lp_cfg.clone(), 1, 9, &format!("pp-lpddr-ch{i}")))
+                .collect(),
+            rld_mapper,
+            lp_mapper,
+            hot,
+            next_token: 0,
+            pending: Vec::new(),
+            rld_reads: 0,
+            lp_reads: 0,
+        }
+    }
+
+    fn is_hot(&self, line_addr: u64) -> bool {
+        self.hot.contains(&(line_addr / PAGE_BYTES))
+    }
+}
+
+impl MainMemory for PagePlacedMemory {
+    fn try_submit(&mut self, req: &LineRequest, now: u64) -> Result<Option<Token>, MemBusy> {
+        let hot = self.is_hot(req.line_addr);
+        let is_read = req.is_read();
+        let prefetch = req.kind == mem_ctrl::AccessKind::PrefetchRead;
+        let token = Token(self.next_token);
+        let accepted = if hot {
+            let (_, loc) = self.rld_mapper.decode(req.line_addr);
+            if is_read {
+                self.rld.enqueue_read(token, loc, prefetch, now / self.rld_ratio)
+            } else {
+                self.rld.enqueue_write(loc, now / self.rld_ratio)
+            }
+        } else {
+            let (chan, loc) = self.lp_mapper.decode(req.line_addr);
+            let ctrl = &mut self.lp[usize::from(chan)];
+            if is_read {
+                ctrl.enqueue_read(token, loc, prefetch, now / self.lp_ratio)
+            } else {
+                ctrl.enqueue_write(loc, now / self.lp_ratio)
+            }
+        };
+        if !accepted {
+            return Err(MemBusy);
+        }
+        if is_read {
+            self.next_token += 1;
+            if hot {
+                self.rld_reads += 1;
+            } else {
+                self.lp_reads += 1;
+            }
+            Ok(Some(token))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn tick(&mut self, now: u64) {
+        if now % self.rld_ratio == 0 {
+            self.rld.tick_mem(now / self.rld_ratio, true);
+            for c in self.rld.take_completions() {
+                self.pending.push((c.data_end_mem * self.rld_ratio, c.token));
+            }
+        }
+        if now % self.lp_ratio == 0 {
+            for ctrl in &mut self.lp {
+                ctrl.tick_mem(now / self.lp_ratio, true);
+                for c in ctrl.take_completions() {
+                    self.pending.push((c.data_end_mem * self.lp_ratio, c.token));
+                }
+            }
+        }
+    }
+
+    fn drain_events(&mut self, now: u64, out: &mut Vec<MemEvent>) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].0 <= now {
+                let (at, token) = self.pending.swap_remove(i);
+                out.push(MemEvent::WordsAvailable { token, at, words: 0xFF, served_fast: false });
+                out.push(MemEvent::LineFilled { token, at });
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn stats(&mut self, now: u64) -> MemSystemStats {
+        let mut controllers = vec![self.rld.stats(now / self.rld_ratio)];
+        for ctrl in &mut self.lp {
+            controllers.push(ctrl.stats(now / self.lp_ratio));
+        }
+        MemSystemStats { controllers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem_ctrl::HomogeneousMemory;
+
+    #[test]
+    fn profiler_counts_pages() {
+        let mut mem = ProfilingMemory::new(HomogeneousMemory::baseline_ddr3());
+        mem.try_submit(&LineRequest::demand_read(0, 0, 0), 0).unwrap();
+        mem.try_submit(&LineRequest::demand_read(64, 0, 0), 0).unwrap();
+        mem.try_submit(&LineRequest::demand_read(PAGE_BYTES * 5, 0, 0), 0).unwrap();
+        assert_eq!(mem.page_counts()[&0], 2);
+        assert_eq!(mem.page_counts()[&5], 1);
+    }
+
+    #[test]
+    fn hot_pages_selects_top_fraction_deterministically() {
+        let mut counts = HashMap::new();
+        for p in 0..100u64 {
+            counts.insert(p, p); // page 99 hottest
+        }
+        let hot = hot_pages(&counts, 0.10);
+        assert_eq!(hot.len(), 10);
+        for p in 90..100 {
+            assert!(hot.contains(&p));
+        }
+    }
+
+    #[test]
+    fn hot_reads_hit_rldram_cold_reads_hit_lpddr() {
+        let mut hot = HashSet::new();
+        hot.insert(0u64); // page 0 is hot
+        let mut mem = PagePlacedMemory::new(hot);
+        mem.try_submit(&LineRequest::demand_read(0x40, 0, 0), 0).unwrap();
+        mem.try_submit(&LineRequest::demand_read(PAGE_BYTES * 9, 0, 0), 0).unwrap();
+        assert_eq!(mem.rld_reads, 1);
+        assert_eq!(mem.lp_reads, 1);
+        let mut ev = Vec::new();
+        for now in 0..4_000 {
+            mem.tick(now);
+            mem.drain_events(now, &mut ev);
+        }
+        let fills: Vec<u64> = ev
+            .iter()
+            .filter_map(|e| match e {
+                MemEvent::LineFilled { at, .. } => Some(*at),
+                MemEvent::WordsAvailable { .. } => None,
+            })
+            .collect();
+        assert_eq!(fills.len(), 2);
+        // The hot (RLDRAM) read completes much earlier.
+        assert!(fills[0] < fills[1] / 2, "rld {} vs lp {}", fills[0], fills[1]);
+    }
+
+    #[test]
+    fn whole_line_single_event_semantics() {
+        let mut mem = PagePlacedMemory::new(HashSet::new());
+        mem.try_submit(&LineRequest::demand_read(0x80, 3, 0), 0).unwrap();
+        let mut ev = Vec::new();
+        for now in 0..4_000 {
+            mem.tick(now);
+            mem.drain_events(now, &mut ev);
+        }
+        // All words arrive together — no CWF advantage at page granularity.
+        assert!(matches!(ev[0], MemEvent::WordsAvailable { words: 0xFF, .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction in (0,1]")]
+    fn hot_pages_rejects_bad_fraction() {
+        let _ = hot_pages(&HashMap::new(), 0.0);
+    }
+}

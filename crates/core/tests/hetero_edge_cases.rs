@@ -1,0 +1,130 @@
+//! Edge-case tests of the CWF heterogeneous backend: queue-full
+//! atomicity, prefetch splitting, clock-domain conversions and statistics
+//! accounting.
+
+use cwf_core::{CwfConfig, HeteroCwfMemory, PlacementPolicy};
+use mem_ctrl::{LineRequest, MainMemory, MemBusy, MemEvent};
+
+fn run(mem: &mut HeteroCwfMemory, from: u64, to: u64, ev: &mut Vec<MemEvent>) {
+    for now in from..to {
+        mem.tick(now);
+        mem.drain_events(now, ev);
+    }
+}
+
+#[test]
+fn submit_is_atomic_across_both_queues() {
+    // Fill one fast sub-channel's read queue; a read whose slow channel
+    // still has room must be rejected whole (no half-submitted lines).
+    let mut mem = HeteroCwfMemory::new(CwfConfig::rl());
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    // Same fast sub-channel (stride 4 lines × 64 B), alternating slow rows.
+    for i in 0..600u64 {
+        match mem.try_submit(&LineRequest::demand_read(i * 4 * 64, 0, 0), 0) {
+            Ok(_) => accepted += 1,
+            Err(MemBusy) => rejected += 1,
+        }
+    }
+    assert!(rejected > 0, "eventually a queue fills");
+    // Every accepted read completes with exactly one fill.
+    let mut ev = Vec::new();
+    run(&mut mem, 0, 400_000, &mut ev);
+    let fills = ev.iter().filter(|e| matches!(e, MemEvent::LineFilled { .. })).count();
+    assert_eq!(fills as u64, accepted);
+}
+
+#[test]
+fn prefetch_reads_are_split_like_demand_reads() {
+    let mut mem = HeteroCwfMemory::new(CwfConfig::rl());
+    mem.try_submit(&LineRequest::prefetch_read(0x4000, 0), 0).unwrap().unwrap();
+    let mut ev = Vec::new();
+    run(&mut mem, 0, 5_000, &mut ev);
+    // Two word events (fast + slow) and one fill.
+    let words: Vec<u8> = ev
+        .iter()
+        .filter_map(|e| match e {
+            MemEvent::WordsAvailable { words, .. } => Some(*words),
+            MemEvent::LineFilled { .. } => None,
+        })
+        .collect();
+    assert_eq!(words.len(), 2);
+    assert_eq!(words[0] | words[1], 0xFF);
+    assert_eq!(words[0] & words[1], 0, "fast/slow parts are disjoint");
+    // Prefetches are not demand reads for Figure 8 accounting.
+    assert_eq!(mem.cwf_stats().demand_reads, 0);
+}
+
+#[test]
+fn slow_part_timestamps_respect_the_lpddr2_clock_domain() {
+    // LPDDR2 runs at CPU/8: the slow event time must be a multiple of 8.
+    let mut mem = HeteroCwfMemory::new(CwfConfig::rl());
+    mem.try_submit(&LineRequest::demand_read(0x8000, 0, 0), 0).unwrap();
+    let mut ev = Vec::new();
+    run(&mut mem, 0, 5_000, &mut ev);
+    let slow_at = ev
+        .iter()
+        .find_map(|e| match e {
+            MemEvent::WordsAvailable { at, served_fast: false, .. } => Some(*at),
+            _ => None,
+        })
+        .expect("slow part");
+    assert_eq!(slow_at % 8, 0, "slow arrival aligned to the 400 MHz domain");
+    let fast_at = ev
+        .iter()
+        .find_map(|e| match e {
+            MemEvent::WordsAvailable { at, served_fast: true, .. } => Some(*at),
+            _ => None,
+        })
+        .expect("fast part");
+    assert_eq!(fast_at % 4, 0, "fast arrival aligned to the 800 MHz domain");
+}
+
+#[test]
+fn oracle_and_static_issue_identical_request_streams() {
+    // Placement only changes which word the fast DIMM holds — the number
+    // of DRAM transactions must not change.
+    let count = |policy: PlacementPolicy| {
+        let mut mem = HeteroCwfMemory::new(CwfConfig::rl().with_policy(policy));
+        for i in 0..40u64 {
+            // Stride 17 lines: co-prime with the 4 sub-channels, so no
+            // single queue fills.
+            mem.try_submit(&LineRequest::demand_read(i * 64 * 17, (i % 8) as u8, 0), 0)
+                .unwrap();
+        }
+        let mut ev = Vec::new();
+        run(&mut mem, 0, 50_000, &mut ev);
+        let s = mem.stats(50_000);
+        (s.total_reads(), ev.len())
+    };
+    assert_eq!(count(PlacementPolicy::Static0), count(PlacementPolicy::Oracle));
+}
+
+#[test]
+fn writes_update_adaptive_tags_only_for_adaptive_policy() {
+    for (policy, expect_tags) in
+        [(PlacementPolicy::Static0, 0), (PlacementPolicy::Adaptive, 3)]
+    {
+        let mut mem = HeteroCwfMemory::new(CwfConfig::rl().with_policy(policy));
+        for i in 0..3u64 {
+            mem.try_submit(&LineRequest::writeback(i * 64, 5, 0), 0).unwrap();
+        }
+        assert_eq!(mem.placement().tagged_lines(), expect_tags, "{policy:?}");
+    }
+}
+
+#[test]
+fn head_start_statistics_are_consistent() {
+    let mut mem = HeteroCwfMemory::new(CwfConfig::rl());
+    for i in 0..20u64 {
+        mem.try_submit(&LineRequest::demand_read(i * 64 * 8, 0, 0), 0).unwrap();
+    }
+    let mut ev = Vec::new();
+    run(&mut mem, 0, 50_000, &mut ev);
+    let s = mem.cwf_stats();
+    assert_eq!(s.demand_reads, 20);
+    assert_eq!(s.cw_served_fast, 20, "all word-0 criticals under Static0");
+    assert_eq!(s.fast_first, 20, "RLDRAM always beats LPDDR2 here");
+    assert!(s.avg_head_start() > 0.0);
+    assert_eq!(s.parity_errors, 0);
+}

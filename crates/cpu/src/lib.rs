@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! USIMM-style out-of-order core model.
+//!
+//! The paper simulates an 8-core, 3.2 GHz, 4-wide processor with a
+//! 64-entry reorder buffer (Table 1). As in USIMM (the authors' own DRAM
+//! simulation framework this paper's memory model derives from), the core
+//! abstraction that matters for main-memory studies is the **ROB-limited
+//! memory-level-parallelism window**: non-memory instructions retire at
+//! pipeline speed, loads occupy a ROB slot until their data returns, and
+//! the ROB's finite size bounds how many misses can overlap.
+//!
+//! The core consumes [`TraceOp`]s from a [`TraceSource`] and issues memory
+//! operations through a caller-supplied sink (the cache hierarchy),
+//! keeping this crate free of cache/memory dependencies.
+//!
+//! # Examples
+//!
+//! ```
+//! use cpu_model::{Core, CoreParams, IssueResult, MemOpKind, TraceOp, TraceSource};
+//!
+//! struct TwoLoads(u32);
+//! impl TraceSource for TwoLoads {
+//!     fn next_op(&mut self) -> TraceOp {
+//!         self.0 += 1;
+//!         if self.0 % 2 == 0 { TraceOp::Load { addr: 64 * u64::from(self.0), pc: 1 } }
+//!         else { TraceOp::Gap(3) }
+//!     }
+//! }
+//!
+//! let mut core = Core::new(0, CoreParams::paper_default());
+//! let mut trace = TwoLoads(0);
+//! for now in 0..100 {
+//!     core.tick(now, &mut trace, &mut |_op| IssueResult::Done { complete_at: now + 1 });
+//! }
+//! assert!(core.retired() > 0);
+//! ```
+
+pub mod core_model;
+pub mod trace;
+
+pub use core_model::{Core, CoreParams, IssueResult, MemOp, MemOpKind};
+pub use trace::{TraceOp, TraceSource};

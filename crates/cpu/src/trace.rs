@@ -1,0 +1,70 @@
+//! Trace vocabulary consumed by the core model.
+
+/// One record of an instruction trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// `n` non-memory instructions before the next memory operation.
+    Gap(u32),
+    /// A load of the 8-byte word at `addr`, issued by the static
+    /// instruction at `pc` (the prefetcher trains on `pc`).
+    Load {
+        /// Byte address (word-aligned by generators).
+        addr: u64,
+        /// Program counter of the load.
+        pc: u64,
+    },
+    /// A store to the 8-byte word at `addr`.
+    Store {
+        /// Byte address.
+        addr: u64,
+        /// Program counter of the store.
+        pc: u64,
+    },
+}
+
+/// An infinite instruction stream.
+///
+/// Generators in the `workloads` crate implement this; the core keeps
+/// pulling records for as long as the simulation runs.
+pub trait TraceSource {
+    /// Produce the next trace record.
+    fn next_op(&mut self) -> TraceOp;
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for &mut T {
+    fn next_op(&mut self) -> TraceOp {
+        (**self).next_op()
+    }
+}
+
+impl TraceSource for Box<dyn TraceSource> {
+    fn next_op(&mut self) -> TraceOp {
+        (**self).next_op()
+    }
+}
+
+impl TraceSource for Box<dyn TraceSource + Send> {
+    fn next_op(&mut self) -> TraceOp {
+        (**self).next_op()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+    impl TraceSource for Fixed {
+        fn next_op(&mut self) -> TraceOp {
+            TraceOp::Gap(1)
+        }
+    }
+
+    #[test]
+    fn trait_objects_and_references_work() {
+        let mut f = Fixed;
+        assert_eq!((&mut f).next_op(), TraceOp::Gap(1));
+        let mut b: Box<dyn TraceSource> = Box::new(Fixed);
+        assert_eq!(b.next_op(), TraceOp::Gap(1));
+    }
+}

@@ -1,0 +1,154 @@
+//! Per-bank state machine and timing registers.
+
+/// Row-buffer state of one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankState {
+    /// All rows closed; an ACT (or a single-command access) may begin once
+    /// `next_act` allows.
+    Idle,
+    /// A row is latched in the row buffer.
+    Active {
+        /// The open row.
+        row: u32,
+    },
+}
+
+/// One DRAM bank: its open row and the earliest cycle each command class
+/// may next be issued to it.
+///
+/// The `next_*` registers implement the classic "earliest time" style of
+/// timing enforcement: every issued command pushes the registers of the
+/// commands it constrains.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    state: BankState,
+    /// Earliest cycle an ACT (or single-command access) may issue.
+    pub next_act: u64,
+    /// Earliest cycle a READ may issue (tRCD after ACT, tCCD after columns).
+    pub next_read: u64,
+    /// Earliest cycle a WRITE may issue.
+    pub next_write: u64,
+    /// Earliest cycle a PRECHARGE may issue (tRAS / tRTP / tWR).
+    pub next_pre: u64,
+    /// Cycle of the most recent ACT (for tRAS accounting on auto-precharge).
+    pub last_act_at: u64,
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bank {
+    /// A fresh, idle bank with all constraints satisfied at cycle 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Bank {
+            state: BankState::Idle,
+            next_act: 0,
+            next_read: 0,
+            next_write: 0,
+            next_pre: 0,
+            last_act_at: 0,
+        }
+    }
+
+    /// Current row-buffer state.
+    #[must_use]
+    pub fn state(&self) -> BankState {
+        self.state
+    }
+
+    /// The open row, if any.
+    #[must_use]
+    pub fn open_row(&self) -> Option<u32> {
+        match self.state {
+            BankState::Active { row } => Some(row),
+            BankState::Idle => None,
+        }
+    }
+
+    /// True when no row is open.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        matches!(self.state, BankState::Idle)
+    }
+
+    /// Apply an ACT issued at `now` for `row`.
+    pub fn apply_activate(&mut self, now: u64, row: u32, t_rcd: u32, t_ras: u32, t_rc: u32) {
+        debug_assert!(self.is_idle(), "ACT to a bank with an open row");
+        debug_assert!(now >= self.next_act, "ACT before tRC/tRP elapsed");
+        self.state = BankState::Active { row };
+        self.last_act_at = now;
+        self.next_read = self.next_read.max(now + u64::from(t_rcd));
+        self.next_write = self.next_write.max(now + u64::from(t_rcd));
+        self.next_pre = self.next_pre.max(now + u64::from(t_ras));
+        self.next_act = now + u64::from(t_rc);
+    }
+
+    /// Apply a PRECHARGE issued at `now`.
+    pub fn apply_precharge(&mut self, now: u64, t_rp: u32) {
+        debug_assert!(now >= self.next_pre, "PRE before tRAS/tRTP/tWR elapsed");
+        self.state = BankState::Idle;
+        self.next_act = self.next_act.max(now + u64::from(t_rp));
+    }
+
+    /// Close the bank as a side effect of an auto-precharging column access
+    /// issued at `now`. `pre_at` is the effective precharge start time.
+    pub fn apply_auto_precharge(&mut self, pre_at: u64, t_rp: u32) {
+        self.state = BankState::Idle;
+        self.next_act = self.next_act.max(pre_at + u64::from(t_rp));
+    }
+
+    /// Force the bank busy until `until` (used by refresh).
+    pub fn block_until(&mut self, until: u64) {
+        self.next_act = self.next_act.max(until);
+        self.next_read = self.next_read.max(until);
+        self.next_write = self.next_write.max(until);
+        self.next_pre = self.next_pre.max(until);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activate_opens_row_and_sets_constraints() {
+        let mut b = Bank::new();
+        b.apply_activate(100, 7, 11, 30, 40);
+        assert_eq!(b.open_row(), Some(7));
+        assert_eq!(b.next_read, 111);
+        assert_eq!(b.next_pre, 130);
+        assert_eq!(b.next_act, 140);
+    }
+
+    #[test]
+    fn precharge_closes_and_gates_next_act() {
+        let mut b = Bank::new();
+        b.apply_activate(0, 1, 11, 30, 40);
+        b.apply_precharge(30, 11);
+        assert!(b.is_idle());
+        // next_act = max(tRC from ACT, PRE + tRP) = max(40, 41) = 41.
+        assert_eq!(b.next_act, 41);
+    }
+
+    #[test]
+    fn auto_precharge_respects_tras_via_caller() {
+        let mut b = Bank::new();
+        b.apply_activate(0, 1, 11, 30, 40);
+        // Caller computed effective precharge start (e.g. max(rd+tRTP, act+tRAS)).
+        b.apply_auto_precharge(30, 11);
+        assert!(b.is_idle());
+        assert_eq!(b.next_act, 41);
+    }
+
+    #[test]
+    fn block_until_is_monotone() {
+        let mut b = Bank::new();
+        b.block_until(50);
+        b.block_until(20);
+        assert_eq!(b.next_act, 50);
+    }
+}

@@ -1,0 +1,565 @@
+//! A DRAM channel: ranks sharing one data bus and one address/command bus.
+//!
+//! The channel is a *timing oracle*: given a command it reports the earliest
+//! cycle at which the command could legally issue ([`Channel::earliest_issue`])
+//! and applies the command's effects ([`Channel::issue`]). One command may
+//! issue per device cycle (single command bus); the caller enforces that by
+//! issuing at most once per cycle.
+
+use crate::bank::BankState;
+use crate::command::Command;
+use crate::config::{AddressingStyle, DeviceConfig};
+use crate::rank::{PowerState, Rank};
+use crate::stats::{ChannelStats, Residency};
+
+/// Result of issuing a column command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssueOutcome {
+    /// Cycle of the first data beat (column commands only).
+    pub data_start: Option<u64>,
+    /// Cycle just after the last data beat (column commands only).
+    pub data_end: Option<u64>,
+}
+
+/// One DRAM channel of a single device type.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    cfg: DeviceConfig,
+    ranks: Vec<Rank>,
+    /// First cycle at which the data bus is free.
+    bus_free_at: u64,
+    last_burst_rank: Option<u8>,
+    last_burst_write: bool,
+    stats: ChannelStats,
+    /// When `Some`, every issued command is appended (protocol auditing).
+    log: Option<Vec<(u64, Command)>>,
+}
+
+impl Channel {
+    /// Create a channel with `ranks` ranks of the given device type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks == 0`.
+    #[must_use]
+    pub fn new(cfg: DeviceConfig, ranks: u32) -> Self {
+        assert!(ranks > 0, "a channel needs at least one rank");
+        let banks = cfg.geometry.banks;
+        Channel {
+            ranks: (0..ranks).map(|_| Rank::new(banks)).collect(),
+            cfg,
+            bus_free_at: 0,
+            last_burst_rank: None,
+            last_burst_write: false,
+            stats: ChannelStats::default(),
+            log: None,
+        }
+    }
+
+    /// Start recording every issued command (for protocol auditing with
+    /// [`crate::ProtocolChecker`]).
+    pub fn enable_command_log(&mut self) {
+        self.log = Some(Vec::new());
+    }
+
+    /// Take the recorded `(cycle, command)` log, leaving recording on.
+    pub fn take_command_log(&mut self) -> Vec<(u64, Command)> {
+        match &mut self.log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    /// Device configuration of this channel.
+    #[must_use]
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Ranks on this channel.
+    #[must_use]
+    pub fn ranks(&self) -> &[Rank] {
+        &self.ranks
+    }
+
+    /// Mutable rank access (power-state management by the controller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn rank_mut(&mut self, rank: u8) -> &mut Rank {
+        &mut self.ranks[usize::from(rank)]
+    }
+
+    /// Activity counters.
+    #[must_use]
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// Mutable counters — the controller records row-hit/miss/conflict
+    /// classification here, since only it sees whole transactions.
+    pub fn stats_mut(&mut self) -> &mut ChannelStats {
+        &mut self.stats
+    }
+
+    /// First cycle the data bus is free.
+    #[must_use]
+    pub fn bus_free_at(&self) -> u64 {
+        self.bus_free_at
+    }
+
+    /// Sum of all ranks' residency counters, settled up to `now`.
+    pub fn residency(&mut self, now: u64) -> Residency {
+        let mut total = Residency::default();
+        for r in &mut self.ranks {
+            r.finalize(now);
+            total.add(r.residency());
+        }
+        total
+    }
+
+    /// Earliest data-burst start given bus occupancy and switch penalties.
+    fn burst_floor(&self, rank: u8, is_write: bool) -> u64 {
+        let switch = self.last_burst_rank != Some(rank) || self.last_burst_write != is_write;
+        if self.last_burst_rank.is_some() && switch {
+            self.bus_free_at + u64::from(self.cfg.timings.t_rtrs)
+        } else {
+            self.bus_free_at
+        }
+    }
+
+    /// Earliest cycle `>= now` at which `cmd` could legally issue, or
+    /// `None` if the command is illegal in the current state (wrong row
+    /// open, rank powered down, addressing-style mismatch, …).
+    #[must_use]
+    pub fn earliest_issue(&self, cmd: &Command, now: u64) -> Option<u64> {
+        let t = &self.cfg.timings;
+        let rank_idx = cmd.rank();
+        let rank = self.ranks.get(usize::from(rank_idx))?;
+        if rank.power_state() != PowerState::Up {
+            return None; // the controller must wake the rank first
+        }
+        match *cmd {
+            Command::Activate { bank, .. } => {
+                if self.cfg.addressing == AddressingStyle::SingleCommand {
+                    return None;
+                }
+                let b = rank.bank(bank);
+                if !b.is_idle() {
+                    return None;
+                }
+                let mut lb = now
+                    .max(b.next_act)
+                    .max(rank.next_act_rrd)
+                    .max(rank.next_cmd_ok);
+                lb = rank.faw_ready(lb, t.t_faw);
+                Some(lb)
+            }
+            Command::Read { bank, row, .. } => {
+                let b = rank.bank(bank);
+                match self.cfg.addressing {
+                    AddressingStyle::RasCas => {
+                        if b.open_row() != Some(row) {
+                            return None;
+                        }
+                        let floor = self.burst_floor(rank_idx, false);
+                        Some(
+                            now.max(b.next_read)
+                                .max(rank.read_after_write_ok)
+                                .max(rank.next_cmd_ok)
+                                .max(floor.saturating_sub(u64::from(t.t_rl))),
+                        )
+                    }
+                    AddressingStyle::SingleCommand => {
+                        if !b.is_idle() {
+                            return None;
+                        }
+                        let floor = self.burst_floor(rank_idx, false);
+                        Some(
+                            now.max(b.next_act)
+                                .max(rank.next_cmd_ok)
+                                .max(floor.saturating_sub(u64::from(t.t_rl))),
+                        )
+                    }
+                }
+            }
+            Command::Write { bank, row, .. } => {
+                let b = rank.bank(bank);
+                match self.cfg.addressing {
+                    AddressingStyle::RasCas => {
+                        if b.open_row() != Some(row) {
+                            return None;
+                        }
+                        let floor = self.burst_floor(rank_idx, true);
+                        Some(
+                            now.max(b.next_write)
+                                .max(rank.next_cmd_ok)
+                                .max(floor.saturating_sub(u64::from(t.t_wl))),
+                        )
+                    }
+                    AddressingStyle::SingleCommand => {
+                        if !b.is_idle() {
+                            return None;
+                        }
+                        let floor = self.burst_floor(rank_idx, true);
+                        Some(
+                            now.max(b.next_act)
+                                .max(rank.next_cmd_ok)
+                                .max(floor.saturating_sub(u64::from(t.t_wl))),
+                        )
+                    }
+                }
+            }
+            Command::Precharge { bank, .. } => {
+                let b = rank.bank(bank);
+                if b.is_idle() {
+                    return None;
+                }
+                Some(now.max(b.next_pre).max(rank.next_cmd_ok))
+            }
+            Command::Refresh { .. } => {
+                if rank.open_banks() > 0 {
+                    return None;
+                }
+                let mut lb = now.max(rank.next_cmd_ok);
+                for b in rank.banks() {
+                    lb = lb.max(b.next_act);
+                }
+                Some(lb)
+            }
+            Command::RefreshBank { bank, .. } => {
+                let b = rank.bank(bank);
+                if !b.is_idle() {
+                    return None;
+                }
+                Some(now.max(b.next_act).max(rank.next_cmd_ok))
+            }
+        }
+    }
+
+    /// True iff `cmd` may issue exactly at `now`.
+    #[must_use]
+    pub fn can_issue(&self, cmd: &Command, now: u64) -> bool {
+        self.earliest_issue(cmd, now) == Some(now)
+    }
+
+    /// Issue `cmd` at `now`, applying all timing effects.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the command is not issuable at `now`; callers
+    /// must check with [`Channel::can_issue`] first.
+    pub fn issue(&mut self, cmd: &Command, now: u64) -> IssueOutcome {
+        debug_assert!(
+            self.can_issue(cmd, now),
+            "command {cmd:?} not issuable at cycle {now}"
+        );
+        if let Some(log) = &mut self.log {
+            log.push((now, *cmd));
+        }
+        let t = self.cfg.timings;
+        let addressing = self.cfg.addressing;
+        let rank_idx = cmd.rank();
+        let rank = &mut self.ranks[usize::from(rank_idx)];
+        rank.touch(now);
+        match *cmd {
+            Command::Activate { bank, row, .. } => {
+                rank.bank_mut(bank).apply_activate(now, row, t.t_rcd, t.t_ras, t.t_rc);
+                rank.note_activate(now, t.t_rrd);
+                self.stats.activates += 1;
+                IssueOutcome { data_start: None, data_end: None }
+            }
+            Command::Read { bank, auto_pre, .. } => {
+                let data_start = now + u64::from(t.t_rl);
+                let data_end = data_start + u64::from(t.t_burst);
+                {
+                    let b = rank.bank_mut(bank);
+                    match addressing {
+                        AddressingStyle::RasCas => {
+                            b.next_read = b.next_read.max(now + u64::from(t.t_ccd));
+                            b.next_write = b.next_write.max(now + u64::from(t.t_ccd));
+                            b.next_pre = b.next_pre.max(now + u64::from(t.t_rtp));
+                            if auto_pre {
+                                let pre_at = (now + u64::from(t.t_rtp))
+                                    .max(b.last_act_at + u64::from(t.t_ras));
+                                b.apply_auto_precharge(pre_at, t.t_rp);
+                            }
+                        }
+                        AddressingStyle::SingleCommand => {
+                            // Implicit activate + auto-precharge: the bank is
+                            // busy for one full tRC.
+                            b.next_act = now + u64::from(t.t_rc);
+                            self.stats.activates += 1;
+                        }
+                    }
+                }
+                self.bus_free_at = data_end;
+                self.last_burst_rank = Some(rank_idx);
+                self.last_burst_write = false;
+                self.stats.reads += 1;
+                self.stats.read_bus_cycles += u64::from(t.t_burst);
+                IssueOutcome { data_start: Some(data_start), data_end: Some(data_end) }
+            }
+            Command::Write { bank, auto_pre, .. } => {
+                let data_start = now + u64::from(t.t_wl);
+                let data_end = data_start + u64::from(t.t_burst);
+                {
+                    if t.t_wtr > 0 {
+                        rank.read_after_write_ok =
+                            rank.read_after_write_ok.max(data_end + u64::from(t.t_wtr));
+                    }
+                    let b = rank.bank_mut(bank);
+                    match addressing {
+                        AddressingStyle::RasCas => {
+                            b.next_read = b.next_read.max(now + u64::from(t.t_ccd));
+                            b.next_write = b.next_write.max(now + u64::from(t.t_ccd));
+                            b.next_pre = b.next_pre.max(data_end + u64::from(t.t_wr));
+                            if auto_pre {
+                                let pre_at = (data_end + u64::from(t.t_wr))
+                                    .max(b.last_act_at + u64::from(t.t_ras));
+                                b.apply_auto_precharge(pre_at, t.t_rp);
+                            }
+                        }
+                        AddressingStyle::SingleCommand => {
+                            b.next_act = now + u64::from(t.t_rc);
+                            self.stats.activates += 1;
+                        }
+                    }
+                }
+                self.bus_free_at = data_end;
+                self.last_burst_rank = Some(rank_idx);
+                self.last_burst_write = true;
+                self.stats.writes += 1;
+                self.stats.write_bus_cycles += u64::from(t.t_burst);
+                IssueOutcome { data_start: Some(data_start), data_end: Some(data_end) }
+            }
+            Command::Precharge { bank, .. } => {
+                rank.bank_mut(bank).apply_precharge(now, t.t_rp);
+                self.stats.precharges += 1;
+                IssueOutcome { data_start: None, data_end: None }
+            }
+            Command::Refresh { .. } => {
+                let until = now + u64::from(t.t_rfc);
+                for b in 0..self.cfg.geometry.banks {
+                    rank.bank_mut(b as u8).block_until(until);
+                }
+                rank.next_cmd_ok = rank.next_cmd_ok.max(until);
+                self.stats.refreshes += 1;
+                IssueOutcome { data_start: None, data_end: None }
+            }
+            Command::RefreshBank { bank, .. } => {
+                rank.bank_mut(bank).block_until(now + u64::from(t.t_rfc));
+                self.stats.refreshes += 1;
+                IssueOutcome { data_start: None, data_end: None }
+            }
+        }
+    }
+
+    /// Idle-state management: if a rank has been idle long enough, drop it
+    /// into power-down or self-refresh per the device's sleep policy.
+    /// Returns `true` if a state change happened for `rank`.
+    pub fn maybe_sleep(&mut self, rank: u8, now: u64, queue_empty: bool) -> bool {
+        let cfg_pd = self.cfg.powerdown_idle_cycles;
+        let cfg_sr = self.cfg.self_refresh_idle_cycles;
+        if cfg_pd == 0 || !queue_empty {
+            return false;
+        }
+        let r = &mut self.ranks[usize::from(rank)];
+        let idle = now.saturating_sub(r.last_activity);
+        match r.power_state() {
+            PowerState::Up => {
+                if idle >= u64::from(cfg_pd) {
+                    r.enter_powerdown(now);
+                    true
+                } else {
+                    false
+                }
+            }
+            PowerState::PowerDown => {
+                if cfg_sr > 0 && idle >= u64::from(cfg_sr) && r.open_banks() == 0 {
+                    // Escalate: wake (instantaneous model for the CKE toggle)
+                    // then drop to self-refresh.
+                    r.wake(now, &self.cfg);
+                    r.enter_self_refresh(now);
+                    true
+                } else {
+                    false
+                }
+            }
+            PowerState::SelfRefresh => false,
+        }
+    }
+
+    /// Wake `rank` so commands become legal; returns the ready cycle.
+    pub fn wake_rank(&mut self, rank: u8, now: u64) -> u64 {
+        let cfg = self.cfg.clone();
+        self.ranks[usize::from(rank)].wake(now, &cfg)
+    }
+
+    /// Does any bank in `rank` hold an open row different from `row`?
+    /// Used by the controller for conflict classification.
+    #[must_use]
+    pub fn bank_state(&self, rank: u8, bank: u8) -> BankState {
+        self.ranks[usize::from(rank)].bank(bank).state()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+
+    fn ddr3() -> Channel {
+        Channel::new(DeviceConfig::ddr3_1600(), 2)
+    }
+
+    #[test]
+    fn read_needs_matching_open_row() {
+        let mut ch = ddr3();
+        assert_eq!(ch.earliest_issue(&Command::read(0, 0, 5, false), 0), None);
+        ch.issue(&Command::activate(0, 0, 5), 0);
+        assert!(ch.earliest_issue(&Command::read(0, 0, 5, false), 0).is_some());
+        assert_eq!(ch.earliest_issue(&Command::read(0, 0, 6, false), 0), None);
+    }
+
+    #[test]
+    fn act_to_read_spacing_is_trcd() {
+        let mut ch = ddr3();
+        ch.issue(&Command::activate(0, 0, 5), 10);
+        let rd = Command::read(0, 0, 5, false);
+        assert_eq!(ch.earliest_issue(&rd, 10), Some(10 + 11));
+    }
+
+    #[test]
+    fn back_to_back_reads_same_rank_are_tccd_apart() {
+        let mut ch = ddr3();
+        ch.issue(&Command::activate(0, 0, 5), 0);
+        ch.issue(&Command::activate(0, 1, 9), 5);
+        // Start after both banks' tRCD windows have elapsed.
+        let t0 = ch.earliest_issue(&Command::read(0, 0, 5, false), 16).unwrap();
+        ch.issue(&Command::read(0, 0, 5, false), t0);
+        let t1 = ch.earliest_issue(&Command::read(0, 1, 9, false), t0).unwrap();
+        // Same rank, same direction: gap limited by burst occupancy (tCCD=4).
+        assert_eq!(t1 - t0, 4);
+    }
+
+    #[test]
+    fn rank_switch_adds_trtrs() {
+        let mut ch = ddr3();
+        ch.issue(&Command::activate(0, 0, 5), 0);
+        ch.issue(&Command::activate(1, 0, 5), 5);
+        let t0 = 11;
+        ch.issue(&Command::read(0, 0, 5, false), t0);
+        let t1 = ch.earliest_issue(&Command::read(1, 0, 5, false), t0).unwrap();
+        // Burst must start tRTRS after the previous burst ends.
+        assert_eq!(t1 - t0, 4 + 2);
+    }
+
+    #[test]
+    fn write_to_read_same_rank_pays_twtr() {
+        let mut ch = ddr3();
+        let t = DeviceConfig::ddr3_1600().timings;
+        ch.issue(&Command::activate(0, 0, 5), 0);
+        let wr_at = ch.earliest_issue(&Command::write(0, 0, 5, false), 11).unwrap();
+        ch.issue(&Command::write(0, 0, 5, false), wr_at);
+        let rd_at = ch.earliest_issue(&Command::read(0, 0, 5, false), wr_at).unwrap();
+        let write_burst_end = wr_at + u64::from(t.t_wl + t.t_burst);
+        assert_eq!(rd_at, write_burst_end + u64::from(t.t_wtr));
+    }
+
+    #[test]
+    fn faw_blocks_fifth_activate() {
+        let mut ch = ddr3();
+        let mut now = 0;
+        for b in 0..4u8 {
+            let act = Command::activate(0, b, 1);
+            now = ch.earliest_issue(&act, now).unwrap();
+            ch.issue(&act, now);
+        }
+        let fifth = Command::activate(0, 4, 1);
+        let t5 = ch.earliest_issue(&fifth, now).unwrap();
+        assert_eq!(t5, 32, "fifth ACT waits for the tFAW window");
+    }
+
+    #[test]
+    fn rldram_single_command_read_turnaround() {
+        let cfg = DeviceConfig::rldram3();
+        let mut ch = Channel::new(cfg, 1);
+        let rd = Command::read(0, 0, 99, true);
+        assert_eq!(ch.earliest_issue(&rd, 0), Some(0));
+        let out = ch.issue(&rd, 0);
+        assert_eq!(out.data_start, Some(8));
+        assert_eq!(out.data_end, Some(12));
+        // Same bank blocked for tRC; other banks free (modulo the bus).
+        assert_eq!(ch.earliest_issue(&Command::read(0, 0, 5, true), 1), Some(10));
+        let other = ch.earliest_issue(&Command::read(0, 1, 5, true), 1).unwrap();
+        assert_eq!(other, 4, "other bank limited only by burst occupancy");
+    }
+
+    #[test]
+    fn rldram_rejects_explicit_activate() {
+        let ch = Channel::new(DeviceConfig::rldram3(), 1);
+        assert_eq!(ch.earliest_issue(&Command::activate(0, 0, 1), 0), None);
+    }
+
+    #[test]
+    fn rldram_write_to_read_has_no_twtr() {
+        let cfg = DeviceConfig::rldram3();
+        let t = cfg.timings;
+        let mut ch = Channel::new(cfg, 1);
+        ch.issue(&Command::write(0, 0, 1, true), 0);
+        let rd = ch.earliest_issue(&Command::read(0, 1, 2, true), 0).unwrap();
+        // Only the bus turnaround applies: write burst end + tRTRS - tRL.
+        let write_end = u64::from(t.t_wl + t.t_burst);
+        assert_eq!(rd, (write_end + u64::from(t.t_rtrs)).saturating_sub(u64::from(t.t_rl)));
+    }
+
+    #[test]
+    fn refresh_blocks_rank_for_trfc() {
+        let mut ch = ddr3();
+        ch.issue(&Command::Refresh { rank: 0 }, 0);
+        let act = Command::activate(0, 0, 1);
+        assert_eq!(ch.earliest_issue(&act, 0), Some(128));
+    }
+
+    #[test]
+    fn refresh_requires_all_banks_closed() {
+        let mut ch = ddr3();
+        ch.issue(&Command::activate(0, 0, 1), 0);
+        assert_eq!(ch.earliest_issue(&Command::Refresh { rank: 0 }, 0), None);
+    }
+
+    #[test]
+    fn powered_down_rank_rejects_commands_until_woken() {
+        let mut ch = ddr3();
+        ch.rank_mut(0).enter_powerdown(0);
+        assert_eq!(ch.earliest_issue(&Command::activate(0, 0, 1), 10), None);
+        let ready = ch.wake_rank(0, 10);
+        assert_eq!(ready, 10 + 5);
+        assert_eq!(ch.earliest_issue(&Command::activate(0, 0, 1), 10), Some(15));
+    }
+
+    #[test]
+    fn sleep_policy_escalates_to_self_refresh() {
+        let mut ch = Channel::new(DeviceConfig::lpddr2_800(), 1);
+        assert!(!ch.maybe_sleep(0, 5, true));
+        assert!(ch.maybe_sleep(0, 12, true)); // fast PD after 12 idle cycles
+        assert_eq!(ch.ranks()[0].power_state(), PowerState::PowerDown);
+        assert!(ch.maybe_sleep(0, 650, true)); // deep sleep
+        assert_eq!(ch.ranks()[0].power_state(), PowerState::SelfRefresh);
+    }
+
+    #[test]
+    fn close_page_read_precharges_automatically() {
+        let mut ch = ddr3();
+        let t = DeviceConfig::ddr3_1600().timings;
+        ch.issue(&Command::activate(0, 0, 5), 0);
+        let rd_at = u64::from(t.t_rcd);
+        ch.issue(&Command::read(0, 0, 5, true), rd_at);
+        assert!(ch.ranks()[0].bank(0).is_idle());
+        // next ACT must respect tRAS + tRP from the original activate.
+        let next = ch.earliest_issue(&Command::activate(0, 0, 6), rd_at).unwrap();
+        assert_eq!(next, u64::from(t.t_ras + t.t_rp));
+    }
+}

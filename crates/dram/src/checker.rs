@@ -1,0 +1,439 @@
+//! An independent DRAM protocol checker.
+//!
+//! [`ProtocolChecker`] re-validates a command stream against the JEDEC-style
+//! rules *without* sharing any code with the [`crate::Channel`] timing
+//! oracle: it keeps its own shadow state and reports a [`Violation`] when a
+//! command breaks a constraint. The property tests in `mem-ctrl` drive the
+//! real FR-FCFS controller under random workloads and assert that every
+//! command it emits passes this checker — a differential test between the
+//! scheduler ("is this legal *now*?") and the protocol ("was that legal at
+//! all?").
+//!
+//! Checked rules:
+//!
+//! * structural: ACT only to idle banks, columns only to the open row,
+//!   PRE only to open banks, REF only with all banks closed, no ACT on
+//!   single-command devices;
+//! * bank timing: `tRC` (ACT→ACT), `tRCD` (ACT→column), `tRAS`/`tRTP`/`tWR`
+//!   (→PRE), `tRP` (PRE→ACT);
+//! * rank timing: `tRRD`, the rolling four-activate `tFAW` window,
+//!   `tWTR` (write burst → READ), `tRFC` after refresh;
+//! * data bus: bursts never overlap, and rank-switch / direction-switch
+//!   gaps of `tRTRS` are respected.
+
+use crate::command::Command;
+use crate::config::{AddressingStyle, DeviceConfig};
+
+/// A detected protocol violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Cycle at which the offending command was issued.
+    pub at: u64,
+    /// The offending command.
+    pub cmd: Command,
+    /// Which rule was broken.
+    pub rule: &'static str,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cycle {}: {:?} violates {}", self.at, self.cmd, self.rule)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ShadowBank {
+    open_row: Option<u32>,
+    last_act: Option<u64>,
+    last_pre: Option<u64>,
+    last_read: Option<u64>,
+    last_write_burst_end: Option<u64>,
+    blocked_until: u64,
+}
+
+impl ShadowBank {
+    fn new() -> Self {
+        ShadowBank {
+            open_row: None,
+            last_act: None,
+            last_pre: None,
+            last_read: None,
+            last_write_burst_end: None,
+            blocked_until: 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ShadowRank {
+    banks: Vec<ShadowBank>,
+    acts: Vec<u64>,
+    last_write_burst_end: Option<u64>,
+}
+
+/// Shadow-state protocol checker for one channel.
+#[derive(Debug)]
+pub struct ProtocolChecker {
+    cfg: DeviceConfig,
+    ranks: Vec<ShadowRank>,
+    /// (start, end, rank, is_write) of the last data burst.
+    last_burst: Option<(u64, u64, u8, bool)>,
+    violations: Vec<Violation>,
+    commands_checked: u64,
+}
+
+impl ProtocolChecker {
+    /// Build a checker for `ranks` ranks of `cfg` devices.
+    #[must_use]
+    pub fn new(cfg: DeviceConfig, ranks: u32) -> Self {
+        let banks = cfg.geometry.banks as usize;
+        ProtocolChecker {
+            ranks: (0..ranks)
+                .map(|_| ShadowRank {
+                    banks: vec![ShadowBank::new(); banks],
+                    acts: Vec::new(),
+                    last_write_burst_end: None,
+                })
+                .collect(),
+            cfg,
+            last_burst: None,
+            violations: Vec::new(),
+            commands_checked: 0,
+        }
+    }
+
+    /// Violations recorded so far.
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Total commands observed.
+    #[must_use]
+    pub fn commands_checked(&self) -> u64 {
+        self.commands_checked
+    }
+
+    fn flag(&mut self, at: u64, cmd: &Command, rule: &'static str) {
+        self.violations.push(Violation { at, cmd: *cmd, rule });
+    }
+
+    /// Observe a command at cycle `at`, recording any violations.
+    pub fn observe(&mut self, cmd: &Command, at: u64) {
+        self.commands_checked += 1;
+        let t = self.cfg.timings;
+        let addressing = self.cfg.addressing;
+        let rank_idx = cmd.rank();
+        let Some(rank) = self.ranks.get_mut(usize::from(rank_idx)) else {
+            self.flag(at, cmd, "rank index out of range");
+            return;
+        };
+
+        // tFAW / tRRD bookkeeping uses the per-rank activate history.
+        let faw_ok = |acts: &[u64]| -> bool {
+            t.t_faw == 0
+                || acts.len() < 4
+                || at >= acts[acts.len() - 4] + u64::from(t.t_faw)
+        };
+        let rrd_ok = |acts: &[u64]| -> bool {
+            t.t_rrd == 0 || acts.last().is_none_or(|&l| at >= l + u64::from(t.t_rrd))
+        };
+
+        match *cmd {
+            Command::Activate { bank, row, .. } => {
+                if addressing == AddressingStyle::SingleCommand {
+                    self.flag(at, cmd, "ACT on a single-command device");
+                    return;
+                }
+                let ok_faw = faw_ok(&rank.acts);
+                let ok_rrd = rrd_ok(&rank.acts);
+                let b = &mut rank.banks[usize::from(bank)];
+                if b.open_row.is_some() {
+                    self.violations.push(Violation { at, cmd: *cmd, rule: "ACT to open bank" });
+                    return;
+                }
+                if let Some(last) = b.last_act {
+                    if at < last + u64::from(t.t_rc) {
+                        self.violations.push(Violation { at, cmd: *cmd, rule: "tRC" });
+                    }
+                }
+                if let Some(pre) = b.last_pre {
+                    if at < pre + u64::from(t.t_rp) {
+                        self.violations.push(Violation { at, cmd: *cmd, rule: "tRP" });
+                    }
+                }
+                if at < b.blocked_until {
+                    self.violations.push(Violation { at, cmd: *cmd, rule: "tRFC" });
+                }
+                if !ok_rrd {
+                    self.violations.push(Violation { at, cmd: *cmd, rule: "tRRD" });
+                }
+                if !ok_faw {
+                    self.violations.push(Violation { at, cmd: *cmd, rule: "tFAW" });
+                }
+                b.open_row = Some(row);
+                b.last_act = Some(at);
+                rank.acts.push(at);
+            }
+            Command::Read { bank, row, auto_pre, .. } => {
+                let rank_wtr_end = rank.last_write_burst_end;
+                let b = &mut rank.banks[usize::from(bank)];
+                match addressing {
+                    AddressingStyle::RasCas => {
+                        if b.open_row != Some(row) {
+                            self.violations
+                                .push(Violation { at, cmd: *cmd, rule: "READ to wrong/closed row" });
+                            return;
+                        }
+                        if let Some(act) = b.last_act {
+                            if at < act + u64::from(t.t_rcd) {
+                                self.violations.push(Violation { at, cmd: *cmd, rule: "tRCD" });
+                            }
+                        }
+                    }
+                    AddressingStyle::SingleCommand => {
+                        if let Some(act) = b.last_act {
+                            if at < act + u64::from(t.t_rc) {
+                                self.violations
+                                    .push(Violation { at, cmd: *cmd, rule: "tRC (single-command)" });
+                            }
+                        }
+                        b.last_act = Some(at);
+                    }
+                }
+                if t.t_wtr > 0 {
+                    if let Some(wend) = rank_wtr_end {
+                        if at < wend + u64::from(t.t_wtr) {
+                            self.violations.push(Violation { at, cmd: *cmd, rule: "tWTR" });
+                        }
+                    }
+                }
+                if at < b.blocked_until {
+                    self.violations.push(Violation { at, cmd: *cmd, rule: "tRFC" });
+                }
+                b.last_read = Some(at);
+                if auto_pre || addressing == AddressingStyle::SingleCommand {
+                    b.open_row = None;
+                    b.last_pre = Some(
+                        (at + u64::from(t.t_rtp))
+                            .max(b.last_act.unwrap_or(0) + u64::from(t.t_ras)),
+                    );
+                }
+                let start = at + u64::from(t.t_rl);
+                self.check_bus(cmd, at, start, start + u64::from(t.t_burst), rank_idx, false);
+            }
+            Command::Write { bank, row, auto_pre, .. } => {
+                let b = &mut rank.banks[usize::from(bank)];
+                match addressing {
+                    AddressingStyle::RasCas => {
+                        if b.open_row != Some(row) {
+                            self.violations
+                                .push(Violation { at, cmd: *cmd, rule: "WRITE to wrong/closed row" });
+                            return;
+                        }
+                        if let Some(act) = b.last_act {
+                            if at < act + u64::from(t.t_rcd) {
+                                self.violations.push(Violation { at, cmd: *cmd, rule: "tRCD" });
+                            }
+                        }
+                    }
+                    AddressingStyle::SingleCommand => {
+                        if let Some(act) = b.last_act {
+                            if at < act + u64::from(t.t_rc) {
+                                self.violations
+                                    .push(Violation { at, cmd: *cmd, rule: "tRC (single-command)" });
+                            }
+                        }
+                        b.last_act = Some(at);
+                    }
+                }
+                if at < b.blocked_until {
+                    self.violations.push(Violation { at, cmd: *cmd, rule: "tRFC" });
+                }
+                let end = at + u64::from(t.t_wl) + u64::from(t.t_burst);
+                b.last_write_burst_end = Some(end);
+                rank.last_write_burst_end = Some(end);
+                if auto_pre || addressing == AddressingStyle::SingleCommand {
+                    b.open_row = None;
+                    b.last_pre = Some(
+                        (end + u64::from(t.t_wr))
+                            .max(b.last_act.unwrap_or(0) + u64::from(t.t_ras)),
+                    );
+                }
+                let start = at + u64::from(t.t_wl);
+                self.check_bus(cmd, at, start, end, rank_idx, true);
+            }
+            Command::Precharge { bank, .. } => {
+                let b = &mut rank.banks[usize::from(bank)];
+                if b.open_row.is_none() {
+                    self.violations.push(Violation { at, cmd: *cmd, rule: "PRE to closed bank" });
+                    return;
+                }
+                if let Some(act) = b.last_act {
+                    if at < act + u64::from(t.t_ras) {
+                        self.violations.push(Violation { at, cmd: *cmd, rule: "tRAS" });
+                    }
+                }
+                if let Some(rd) = b.last_read {
+                    if at < rd + u64::from(t.t_rtp) {
+                        self.violations.push(Violation { at, cmd: *cmd, rule: "tRTP" });
+                    }
+                }
+                if let Some(wend) = b.last_write_burst_end {
+                    if at < wend + u64::from(t.t_wr) {
+                        self.violations.push(Violation { at, cmd: *cmd, rule: "tWR" });
+                    }
+                }
+                b.open_row = None;
+                b.last_pre = Some(at);
+            }
+            Command::Refresh { .. } => {
+                if rank.banks.iter().any(|b| b.open_row.is_some()) {
+                    self.violations
+                        .push(Violation { at, cmd: *cmd, rule: "REF with open banks" });
+                    return;
+                }
+                for b in &mut rank.banks {
+                    if at < b.blocked_until {
+                        self.violations.push(Violation { at, cmd: *cmd, rule: "tRFC" });
+                        break;
+                    }
+                }
+                for b in &mut rank.banks {
+                    b.blocked_until = at + u64::from(t.t_rfc);
+                    // Refresh implies internal activates; a following ACT
+                    // must honour tRFC, which blocked_until models.
+                    b.last_pre = Some(at.saturating_sub(u64::from(t.t_rp)));
+                }
+            }
+            Command::RefreshBank { bank, .. } => {
+                let b = &mut rank.banks[usize::from(bank)];
+                if b.open_row.is_some() {
+                    self.violations
+                        .push(Violation { at, cmd: *cmd, rule: "REFB to open bank" });
+                    return;
+                }
+                if at < b.blocked_until {
+                    self.violations.push(Violation { at, cmd: *cmd, rule: "tRFC" });
+                }
+                if let Some(act) = b.last_act {
+                    if at < act + u64::from(t.t_rc) {
+                        self.violations.push(Violation { at, cmd: *cmd, rule: "tRC before REFB" });
+                    }
+                }
+                b.blocked_until = at + u64::from(t.t_rfc);
+            }
+        }
+    }
+
+    fn check_bus(&mut self, cmd: &Command, at: u64, start: u64, end: u64, rank: u8, write: bool) {
+        if let Some((_, pend, prank, pwrite)) = self.last_burst {
+            if start < pend {
+                self.flag(at, cmd, "data bus overlap");
+            } else if (prank != rank || pwrite != write)
+                && start < pend + u64::from(self.cfg.timings.t_rtrs)
+            {
+                self.flag(at, cmd, "tRTRS");
+            }
+        }
+        self.last_burst = Some((start, end, rank, write));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+
+    fn checker() -> ProtocolChecker {
+        ProtocolChecker::new(DeviceConfig::ddr3_1600(), 1)
+    }
+
+    #[test]
+    fn legal_sequence_is_clean() {
+        let mut c = checker();
+        c.observe(&Command::activate(0, 0, 5), 0);
+        c.observe(&Command::read(0, 0, 5, false), 11);
+        c.observe(&Command::precharge(0, 0), 30);
+        c.observe(&Command::activate(0, 0, 6), 41);
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+        assert_eq!(c.commands_checked(), 4);
+    }
+
+    #[test]
+    fn early_read_flags_trcd() {
+        let mut c = checker();
+        c.observe(&Command::activate(0, 0, 5), 0);
+        c.observe(&Command::read(0, 0, 5, false), 5);
+        assert!(c.violations().iter().any(|v| v.rule == "tRCD"));
+    }
+
+    #[test]
+    fn read_to_wrong_row_is_structural() {
+        let mut c = checker();
+        c.observe(&Command::activate(0, 0, 5), 0);
+        c.observe(&Command::read(0, 0, 9, false), 20);
+        assert!(c.violations().iter().any(|v| v.rule.contains("wrong")));
+    }
+
+    #[test]
+    fn five_fast_acts_flag_tfaw() {
+        let mut c = checker();
+        for (i, t) in [0u64, 5, 10, 15, 20].iter().enumerate() {
+            c.observe(&Command::activate(0, i as u8, 1), *t);
+        }
+        assert!(c.violations().iter().any(|v| v.rule == "tFAW"));
+    }
+
+    #[test]
+    fn early_precharge_flags_tras() {
+        let mut c = checker();
+        c.observe(&Command::activate(0, 0, 5), 0);
+        c.observe(&Command::precharge(0, 0), 10);
+        assert!(c.violations().iter().any(|v| v.rule == "tRAS"));
+    }
+
+    #[test]
+    fn bus_overlap_detected() {
+        let mut c = checker();
+        c.observe(&Command::activate(0, 0, 5), 0);
+        c.observe(&Command::activate(0, 1, 5), 5);
+        c.observe(&Command::read(0, 0, 5, false), 16);
+        // Second read one cycle later: bursts overlap on the shared bus.
+        c.observe(&Command::read(0, 1, 5, false), 17);
+        assert!(c.violations().iter().any(|v| v.rule == "data bus overlap"));
+    }
+
+    #[test]
+    fn write_then_early_read_flags_twtr() {
+        let mut c = checker();
+        c.observe(&Command::activate(0, 0, 5), 0);
+        c.observe(&Command::write(0, 0, 5, false), 11);
+        // Write burst ends at 11+6+4=21; tWTR=6 -> READ legal at 27.
+        c.observe(&Command::read(0, 0, 5, false), 24);
+        assert!(c.violations().iter().any(|v| v.rule == "tWTR"));
+    }
+
+    #[test]
+    fn refresh_with_open_bank_is_structural() {
+        let mut c = checker();
+        c.observe(&Command::activate(0, 0, 5), 0);
+        c.observe(&Command::Refresh { rank: 0 }, 40);
+        assert!(c.violations().iter().any(|v| v.rule == "REF with open banks"));
+    }
+
+    #[test]
+    fn rldram_act_is_illegal() {
+        let mut c = ProtocolChecker::new(DeviceConfig::rldram3(), 1);
+        c.observe(&Command::activate(0, 0, 5), 0);
+        assert!(c.violations().iter().any(|v| v.rule.contains("single-command")));
+    }
+
+    #[test]
+    fn rldram_back_to_back_same_bank_flags_trc() {
+        let mut c = ProtocolChecker::new(DeviceConfig::rldram3(), 1);
+        c.observe(&Command::read(0, 0, 5, true), 0);
+        c.observe(&Command::read(0, 0, 6, true), 5);
+        assert!(c.violations().iter().any(|v| v.rule.contains("tRC")));
+    }
+}

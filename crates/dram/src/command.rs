@@ -1,0 +1,121 @@
+//! DRAM command vocabulary.
+
+/// A command the memory controller can present to a [`crate::Channel`].
+///
+/// `rank` and `bank` index into the channel's configuration; `row`/`col`
+/// are device-local coordinates already decoded by the controller's address
+/// mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// Open `row` in `bank` of `rank` (RAS). Illegal for
+    /// [`crate::AddressingStyle::SingleCommand`] devices.
+    Activate {
+        /// Target rank.
+        rank: u8,
+        /// Target bank.
+        bank: u8,
+        /// Row to open.
+        row: u32,
+    },
+    /// Column read (CAS). For single-command devices this carries the full
+    /// address and implies activate + auto-precharge.
+    Read {
+        /// Target rank.
+        rank: u8,
+        /// Target bank.
+        bank: u8,
+        /// Row being read (must match the open row for RAS/CAS devices).
+        row: u32,
+        /// Close the row after the burst (close-page policy).
+        auto_pre: bool,
+    },
+    /// Column write. Same addressing rules as [`Command::Read`].
+    Write {
+        /// Target rank.
+        rank: u8,
+        /// Target bank.
+        bank: u8,
+        /// Row being written.
+        row: u32,
+        /// Close the row after the burst.
+        auto_pre: bool,
+    },
+    /// Close the open row of one bank.
+    Precharge {
+        /// Target rank.
+        rank: u8,
+        /// Target bank.
+        bank: u8,
+    },
+    /// All-bank refresh of a rank (DDR3/LPDDR2).
+    Refresh {
+        /// Target rank.
+        rank: u8,
+    },
+    /// Single-bank refresh (RLDRAM3's per-bank refresh).
+    RefreshBank {
+        /// Target rank.
+        rank: u8,
+        /// Bank to refresh.
+        bank: u8,
+    },
+}
+
+impl Command {
+    /// Convenience constructor for [`Command::Activate`].
+    #[must_use]
+    pub fn activate(rank: u8, bank: u8, row: u32) -> Self {
+        Command::Activate { rank, bank, row }
+    }
+
+    /// Convenience constructor for [`Command::Read`].
+    #[must_use]
+    pub fn read(rank: u8, bank: u8, row: u32, auto_pre: bool) -> Self {
+        Command::Read { rank, bank, row, auto_pre }
+    }
+
+    /// Convenience constructor for [`Command::Write`].
+    #[must_use]
+    pub fn write(rank: u8, bank: u8, row: u32, auto_pre: bool) -> Self {
+        Command::Write { rank, bank, row, auto_pre }
+    }
+
+    /// Convenience constructor for [`Command::Precharge`].
+    #[must_use]
+    pub fn precharge(rank: u8, bank: u8) -> Self {
+        Command::Precharge { rank, bank }
+    }
+
+    /// The rank this command addresses.
+    #[must_use]
+    pub fn rank(&self) -> u8 {
+        match *self {
+            Command::Activate { rank, .. }
+            | Command::Read { rank, .. }
+            | Command::Write { rank, .. }
+            | Command::Precharge { rank, .. }
+            | Command::Refresh { rank }
+            | Command::RefreshBank { rank, .. } => rank,
+        }
+    }
+
+    /// True for column commands that move data over the bus.
+    #[must_use]
+    pub fn is_column(&self) -> bool {
+        matches!(self, Command::Read { .. } | Command::Write { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let c = Command::read(2, 5, 100, true);
+        assert_eq!(c.rank(), 2);
+        assert!(c.is_column());
+        assert!(!Command::activate(1, 0, 3).is_column());
+        assert_eq!(Command::Refresh { rank: 3 }.rank(), 3);
+    }
+}

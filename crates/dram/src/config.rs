@@ -1,0 +1,361 @@
+//! Device configurations: timing, geometry and access style per DRAM flavor.
+//!
+//! The three presets carry the paper's Table 2 timing parameters converted
+//! into device-clock cycles (1.25 ns for the 800 MHz DDR3/RLDRAM3 buses,
+//! 2.5 ns for the 400 MHz LPDDR2 bus), plus standard JEDEC values for the
+//! parameters the paper leaves implicit (`tCCD`, `tRRD`, `tRTP`, `tWR`,
+//! refresh, power-down exits), taken from the referenced Micron datasheets.
+
+/// The DRAM flavor a channel is built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Commodity DDR3-1600 (MT41J256M8): the paper's baseline.
+    Ddr3,
+    /// Mobile LPDDR2-800 (MT42L128M16D1): the low-power DIMM.
+    Lpddr2,
+    /// Reduced-latency RLDRAM3 (MT44K32M18): the critical-word DIMM.
+    Rldram3,
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceKind::Ddr3 => write!(f, "DDR3"),
+            DeviceKind::Lpddr2 => write!(f, "LPDDR2"),
+            DeviceKind::Rldram3 => write!(f, "RLDRAM3"),
+        }
+    }
+}
+
+/// Row-buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PagePolicy {
+    /// Keep rows open to harvest row-buffer hits (DDR3/LPDDR2 baseline).
+    Open,
+    /// Auto-precharge after every column access. RLDRAM3 can *only*
+    /// operate this way (§2.3).
+    Closed,
+}
+
+/// How a random access is addressed on the command bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddressingStyle {
+    /// Separate row (ACT) and column (RD/WR) commands — DDR3, LPDDR2.
+    RasCas,
+    /// SRAM-style: the full address rides on a single READ/WRITE command
+    /// and the bank auto-precharges afterwards — RLDRAM3.
+    SingleCommand,
+}
+
+/// Timing parameters in **device clock cycles**.
+///
+/// A value of 0 means the constraint does not exist for this device
+/// (e.g. `t_faw` on RLDRAM3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceTimings {
+    /// Clock period in picoseconds (1250 for 800 MHz, 2500 for 400 MHz).
+    pub t_ck_ps: u32,
+    /// Data-bus cycles one cache-line burst occupies (BL8 ⇒ 4).
+    pub t_burst: u32,
+    /// Bank turnaround: ACT-to-ACT on the same bank.
+    pub t_rc: u32,
+    /// ACT to column command.
+    pub t_rcd: u32,
+    /// Read latency: READ command to first data beat.
+    pub t_rl: u32,
+    /// Precharge latency.
+    pub t_rp: u32,
+    /// ACT to PRECHARGE minimum.
+    pub t_ras: u32,
+    /// Rank-to-rank data-bus switch penalty (bus cycles).
+    pub t_rtrs: u32,
+    /// Four-activate window (0 ⇒ unconstrained).
+    pub t_faw: u32,
+    /// End of write burst to READ command, same rank (0 ⇒ none).
+    pub t_wtr: u32,
+    /// Write latency: WRITE command to first data beat.
+    pub t_wl: u32,
+    /// Column-to-column command spacing.
+    pub t_ccd: u32,
+    /// ACT-to-ACT across banks of one rank (0 ⇒ none).
+    pub t_rrd: u32,
+    /// READ to PRECHARGE of the same bank.
+    pub t_rtp: u32,
+    /// Write recovery: end of write burst to PRECHARGE.
+    pub t_wr: u32,
+    /// Average refresh interval (0 ⇒ no controller-visible refresh).
+    pub t_refi: u32,
+    /// Refresh cycle time (all-bank for DDR3/LPDDR2, per-bank for RLDRAM3).
+    pub t_rfc: u32,
+    /// Power-down exit latency (0 ⇒ device has no power-down mode).
+    pub t_xp: u32,
+    /// Self-refresh exit latency (0 ⇒ no self-refresh mode).
+    pub t_xsr: u32,
+}
+
+impl DeviceTimings {
+    /// Round-trip read latency in device cycles: command to last data beat.
+    #[must_use]
+    pub fn read_latency_total(&self) -> u32 {
+        self.t_rl + self.t_burst
+    }
+
+    /// Convert a cycle count of this device's clock into nanoseconds.
+    #[must_use]
+    pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 * f64::from(self.t_ck_ps) / 1000.0
+    }
+}
+
+/// Geometry of a single device (chip) and of the rank it forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceGeometry {
+    /// Banks per device.
+    pub banks: u32,
+    /// Rows per bank.
+    pub rows: u32,
+    /// Cache lines per row **per rank** (row-buffer size / 64 B).
+    pub lines_per_row: u32,
+    /// Data width of one device in bits (8, 9, 16, …).
+    pub width_bits: u32,
+    /// Device capacity in megabits (for cost/capacity accounting).
+    pub capacity_mbit: u32,
+}
+
+/// Complete description of the devices behind one channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceConfig {
+    /// Device flavor.
+    pub kind: DeviceKind,
+    /// Human-readable part name.
+    pub name: &'static str,
+    /// Timing parameters in device cycles.
+    pub timings: DeviceTimings,
+    /// Bank/row geometry.
+    pub geometry: DeviceGeometry,
+    /// Row-buffer policy the controller must use.
+    pub page_policy: PagePolicy,
+    /// RAS/CAS vs single-command addressing.
+    pub addressing: AddressingStyle,
+    /// CPU cycles per device cycle (3.2 GHz core: 4 for 800 MHz, 8 for 400 MHz).
+    pub cpu_cycles_per_mem_cycle: u32,
+    /// Device-cycles of rank idleness before the controller drops the rank
+    /// into fast power-down (0 ⇒ never; RLDRAM3 has no power-down).
+    pub powerdown_idle_cycles: u32,
+    /// Device-cycles of rank idleness before entering self-refresh
+    /// (0 ⇒ never).
+    pub self_refresh_idle_cycles: u32,
+}
+
+impl DeviceConfig {
+    /// DDR3-1600, x8, 2 Gb (Micron MT41J256M8) — the paper's baseline part.
+    ///
+    /// Table 2: tRC 50 ns, tRCD/tRL/tRP 13.5 ns, tRAS 37 ns, tFAW 40 ns,
+    /// tWTR 7.5 ns, tWL 6.5 ns, tRTRS 2 bus cycles; 8 banks; open page.
+    #[must_use]
+    pub fn ddr3_1600() -> Self {
+        DeviceConfig {
+            kind: DeviceKind::Ddr3,
+            name: "MT41J256M8 DDR3-1600",
+            timings: DeviceTimings {
+                t_ck_ps: 1250,
+                t_burst: 4,
+                t_rc: 40,
+                t_rcd: 11,
+                t_rl: 11,
+                t_rp: 11,
+                t_ras: 30,
+                t_rtrs: 2,
+                t_faw: 32,
+                t_wtr: 6,
+                t_wl: 6,
+                t_ccd: 4,
+                t_rrd: 5,
+                t_rtp: 6,
+                t_wr: 12,
+                t_refi: 6240,
+                t_rfc: 128,
+                t_xp: 5,
+                t_xsr: 512,
+            },
+            geometry: DeviceGeometry {
+                banks: 8,
+                rows: 32768,
+                lines_per_row: 128, // 8 KB row buffer per rank
+                width_bits: 8,
+                capacity_mbit: 2048,
+            },
+            page_policy: PagePolicy::Open,
+            addressing: AddressingStyle::RasCas,
+            cpu_cycles_per_mem_cycle: 4,
+            powerdown_idle_cycles: 30,
+            self_refresh_idle_cycles: 0, // servers keep DDR3 out of self-refresh
+        }
+    }
+
+    /// LPDDR2-800, 2 Gb (modelled after MT42L128M16D1 at 400 MHz) — the
+    /// low-power DIMM, with the paper's server adaptations (DLL + ODT).
+    ///
+    /// Table 2: tRC 60 ns, tRCD/tRL/tRP 18 ns, tRAS 42 ns, tFAW 50 ns,
+    /// tWTR 7.5 ns, tWL 6.5 ns; 8 banks; open page (energy-minimising);
+    /// aggressive sleep-transition policy (§4.1).
+    #[must_use]
+    pub fn lpddr2_800() -> Self {
+        DeviceConfig {
+            kind: DeviceKind::Lpddr2,
+            name: "MT42L128M16D1 LPDDR2-800",
+            timings: DeviceTimings {
+                t_ck_ps: 2500,
+                t_burst: 4,
+                t_rc: 24,
+                t_rcd: 8,
+                t_rl: 8,
+                t_rp: 8,
+                t_ras: 17,
+                t_rtrs: 2,
+                t_faw: 20,
+                t_wtr: 3,
+                t_wl: 3,
+                t_ccd: 4,
+                t_rrd: 4,
+                t_rtp: 3,
+                t_wr: 6,
+                t_refi: 1560,
+                t_rfc: 52,
+                t_xp: 3,
+                t_xsr: 56,
+            },
+            geometry: DeviceGeometry {
+                banks: 8,
+                rows: 32768,
+                lines_per_row: 128,
+                width_bits: 8,
+                capacity_mbit: 2048,
+            },
+            page_policy: PagePolicy::Open,
+            addressing: AddressingStyle::RasCas,
+            cpu_cycles_per_mem_cycle: 8,
+            powerdown_idle_cycles: 12, // aggressive sleep transitions
+            self_refresh_idle_cycles: 600,
+        }
+    }
+
+    /// RLDRAM3-1600, 576 Mb x9 slice (modelled after MT44K32M18) — the
+    /// critical-word DIMM.
+    ///
+    /// Table 2: tRC 12 ns, tRL 10 ns, tWL 11.25 ns; 16 banks; no tFAW, no
+    /// tWTR; SRAM-style single-command addressing with built-in
+    /// auto-precharge (close page only); no power-down modes, which is why
+    /// its background power is high (§3).
+    #[must_use]
+    pub fn rldram3() -> Self {
+        DeviceConfig {
+            kind: DeviceKind::Rldram3,
+            name: "MT44K32M18 RLDRAM3",
+            timings: DeviceTimings {
+                t_ck_ps: 1250,
+                t_burst: 4,
+                t_rc: 10,
+                t_rcd: 0,
+                t_rl: 8,
+                t_rp: 0,
+                t_ras: 0,
+                t_rtrs: 2,
+                t_faw: 0,
+                t_wtr: 0,
+                t_wl: 9,
+                t_ccd: 4,
+                t_rrd: 0,
+                t_rtp: 0,
+                t_wr: 0,
+                t_refi: 3125, // one per-bank refresh slot every 3.9 µs
+                t_rfc: 10,    // a bank refresh costs one tRC
+                t_xp: 0,
+                t_xsr: 0,
+            },
+            geometry: DeviceGeometry {
+                banks: 16,
+                rows: 8192,
+                lines_per_row: 1, // close-page: no reuse of the row buffer
+                width_bits: 9,
+                capacity_mbit: 576,
+            },
+            page_policy: PagePolicy::Closed,
+            addressing: AddressingStyle::SingleCommand,
+            cpu_cycles_per_mem_cycle: 4,
+            powerdown_idle_cycles: 0,
+            self_refresh_idle_cycles: 0,
+        }
+    }
+
+    /// Preset lookup by kind.
+    #[must_use]
+    pub fn preset(kind: DeviceKind) -> Self {
+        match kind {
+            DeviceKind::Ddr3 => Self::ddr3_1600(),
+            DeviceKind::Lpddr2 => Self::lpddr2_800(),
+            DeviceKind::Rldram3 => Self::rldram3(),
+        }
+    }
+
+    /// Peak pin bandwidth of one 64-bit data bus of this device type, in
+    /// GB/s (DDR ⇒ two transfers per clock).
+    #[must_use]
+    pub fn peak_bandwidth_gbps(&self) -> f64 {
+        let freq_ghz = 1000.0 / f64::from(self.timings.t_ck_ps);
+        freq_ghz * 2.0 * 8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values_in_ns() {
+        let d = DeviceConfig::ddr3_1600();
+        assert_eq!(d.timings.cycles_to_ns(u64::from(d.timings.t_rc)), 50.0);
+        assert_eq!(d.timings.cycles_to_ns(u64::from(d.timings.t_faw)), 40.0);
+        let l = DeviceConfig::lpddr2_800();
+        assert_eq!(l.timings.cycles_to_ns(u64::from(l.timings.t_rc)), 60.0);
+        assert_eq!(l.timings.cycles_to_ns(u64::from(l.timings.t_faw)), 50.0);
+        let r = DeviceConfig::rldram3();
+        assert_eq!(r.timings.cycles_to_ns(u64::from(r.timings.t_rc)), 12.5);
+    }
+
+    #[test]
+    fn rldram_is_close_page_single_command() {
+        let r = DeviceConfig::rldram3();
+        assert_eq!(r.page_policy, PagePolicy::Closed);
+        assert_eq!(r.addressing, AddressingStyle::SingleCommand);
+        assert_eq!(r.timings.t_faw, 0);
+        assert_eq!(r.timings.t_wtr, 0);
+        assert_eq!(r.geometry.banks, 16);
+    }
+
+    #[test]
+    fn bank_turnaround_ordering_matches_paper() {
+        // RLDRAM3 tRC << DDR3 tRC < LPDDR2 tRC (in wall-clock time).
+        let ns = |c: &DeviceConfig| c.timings.cycles_to_ns(u64::from(c.timings.t_rc));
+        assert!(ns(&DeviceConfig::rldram3()) < ns(&DeviceConfig::ddr3_1600()));
+        assert!(ns(&DeviceConfig::ddr3_1600()) < ns(&DeviceConfig::lpddr2_800()));
+    }
+
+    #[test]
+    fn clock_ratios() {
+        assert_eq!(DeviceConfig::ddr3_1600().cpu_cycles_per_mem_cycle, 4);
+        assert_eq!(DeviceConfig::lpddr2_800().cpu_cycles_per_mem_cycle, 8);
+        assert_eq!(DeviceConfig::rldram3().cpu_cycles_per_mem_cycle, 4);
+    }
+
+    #[test]
+    fn pin_bandwidth_rldram_equals_ddr3() {
+        // §3: "the pin bandwidth of the RLDRAM3 system is the same as DDR3".
+        let d = DeviceConfig::ddr3_1600().peak_bandwidth_gbps();
+        let r = DeviceConfig::rldram3().peak_bandwidth_gbps();
+        assert!((d - r).abs() < 1e-9);
+        // LPDDR2 runs at half the frequency.
+        let l = DeviceConfig::lpddr2_800().peak_bandwidth_gbps();
+        assert!((l - d / 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! Cycle-level DRAM device timing models for DDR3, LPDDR2 and RLDRAM3.
+//!
+//! This crate is the bottom layer of the `cwfmem` simulator: it models a
+//! single DRAM **channel** (one or more ranks of one device type) at the
+//! granularity of individual device-clock cycles and DRAM commands, the way
+//! USIMM does for the paper.
+//!
+//! What is modelled:
+//!
+//! * per-bank state machines (idle / active row) with `tRC`, `tRCD`, `tRP`,
+//!   `tRAS`, `tRTP`, `tWR` constraints;
+//! * per-rank constraints: the `tFAW` rolling four-activate window, `tRRD`,
+//!   write-to-read turnaround (`tWTR`), refresh (`tREFI`/`tRFC`), and
+//!   power-down / self-refresh states with exit latencies;
+//! * the shared data bus: burst occupancy (`BL8`), rank-to-rank switch
+//!   penalties (`tRTRS`) and read/write turnaround;
+//! * RLDRAM3's SRAM-style single-command access (no separate RAS/CAS, no
+//!   `tFAW`, no `tWTR`, built-in auto-precharge, 16 banks) — §2.3 of the
+//!   paper;
+//! * activity and state-residency statistics consumed by the power model.
+//!
+//! Timing parameters are the paper's Table 2 values converted to device
+//! cycles; see [`config`] for the three presets.
+//!
+//! The crate deliberately knows nothing about queues or scheduling policy:
+//! a [`Channel`] answers *"when could this command legally issue?"* and
+//! applies its effects. Scheduling lives in the `mem-ctrl` crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use dram_timing::{Channel, Command, DeviceConfig};
+//!
+//! let mut ch = Channel::new(DeviceConfig::ddr3_1600(), 1);
+//! let act = Command::activate(0, 0, 42);
+//! assert_eq!(ch.earliest_issue(&act, 0), Some(0));
+//! ch.issue(&act, 0);
+//! let rd = Command::read(0, 0, 42, false);
+//! // tRCD must elapse before the column read.
+//! let t = ch.earliest_issue(&rd, 0).unwrap();
+//! assert_eq!(t, u64::from(ch.config().timings.t_rcd));
+//! ```
+
+pub mod bank;
+pub mod checker;
+pub mod channel;
+pub mod command;
+pub mod config;
+pub mod rank;
+pub mod stats;
+
+pub use bank::{Bank, BankState};
+pub use checker::{ProtocolChecker, Violation};
+pub use channel::{Channel, IssueOutcome};
+pub use command::Command;
+pub use config::{
+    AddressingStyle, DeviceConfig, DeviceGeometry, DeviceKind, DeviceTimings, PagePolicy,
+};
+pub use rank::{PowerState, Rank};
+pub use stats::{ChannelStats, Residency};

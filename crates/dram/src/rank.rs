@@ -1,0 +1,251 @@
+//! Per-rank constraints: tFAW, tRRD, tWTR, power states and residency.
+
+use std::collections::VecDeque;
+
+use crate::bank::Bank;
+use crate::config::DeviceConfig;
+use crate::stats::Residency;
+
+/// CKE/power state of one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PowerState {
+    /// Clock enabled, rank responsive.
+    Up,
+    /// Fast-exit power-down (active or precharge PD by bank state).
+    PowerDown,
+    /// Self-refresh: deepest state; refresh is handled internally.
+    SelfRefresh,
+}
+
+/// One rank: a set of banks plus rank-wide timing state.
+#[derive(Debug, Clone)]
+pub struct Rank {
+    banks: Vec<Bank>,
+    /// Issue times of the last four ACTs (tFAW window).
+    act_window: VecDeque<u64>,
+    /// Earliest next ACT due to tRRD.
+    pub next_act_rrd: u64,
+    /// Earliest READ command after the last WRITE burst to this rank (tWTR).
+    pub read_after_write_ok: u64,
+    /// Earliest any command may issue (power-down exit, refresh completion).
+    pub next_cmd_ok: u64,
+    power: PowerState,
+    power_since: u64,
+    /// Cycle of the last command activity on this rank (idleness tracking).
+    pub last_activity: u64,
+    residency: Residency,
+}
+
+impl Rank {
+    /// A fresh rank with `banks` idle banks, powered up at cycle 0.
+    #[must_use]
+    pub fn new(banks: u32) -> Self {
+        Rank {
+            banks: (0..banks).map(|_| Bank::new()).collect(),
+            act_window: VecDeque::with_capacity(4),
+            next_act_rrd: 0,
+            read_after_write_ok: 0,
+            next_cmd_ok: 0,
+            power: PowerState::Up,
+            power_since: 0,
+            last_activity: 0,
+            residency: Residency::default(),
+        }
+    }
+
+    /// Immutable access to a bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    #[must_use]
+    pub fn bank(&self, bank: u8) -> &Bank {
+        &self.banks[usize::from(bank)]
+    }
+
+    /// Mutable access to a bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn bank_mut(&mut self, bank: u8) -> &mut Bank {
+        &mut self.banks[usize::from(bank)]
+    }
+
+    /// All banks of this rank.
+    #[must_use]
+    pub fn banks(&self) -> &[Bank] {
+        &self.banks
+    }
+
+    /// Number of banks with an open row.
+    #[must_use]
+    pub fn open_banks(&self) -> usize {
+        self.banks.iter().filter(|b| !b.is_idle()).count()
+    }
+
+    /// Current power state.
+    #[must_use]
+    pub fn power_state(&self) -> PowerState {
+        self.power
+    }
+
+    /// Earliest cycle a new ACT satisfies the tFAW window (`now` if free).
+    #[must_use]
+    pub fn faw_ready(&self, now: u64, t_faw: u32) -> u64 {
+        if t_faw == 0 || self.act_window.len() < 4 {
+            return now;
+        }
+        now.max(self.act_window[0] + u64::from(t_faw))
+    }
+
+    /// Record an ACT at `now` into the tFAW window and bump tRRD.
+    pub fn note_activate(&mut self, now: u64, t_rrd: u32) {
+        if self.act_window.len() == 4 {
+            self.act_window.pop_front();
+        }
+        self.act_window.push_back(now);
+        self.next_act_rrd = now + u64::from(t_rrd);
+        self.last_activity = now;
+    }
+
+    /// Accumulate state residency up to `now` (call before any transition).
+    fn settle(&mut self, now: u64) {
+        let span = now.saturating_sub(self.power_since);
+        let open = self.open_banks() > 0;
+        match self.power {
+            PowerState::Up => {
+                if open {
+                    self.residency.active_standby += span;
+                } else {
+                    self.residency.precharge_standby += span;
+                }
+            }
+            PowerState::PowerDown => {
+                if open {
+                    self.residency.active_powerdown += span;
+                } else {
+                    self.residency.precharge_powerdown += span;
+                }
+            }
+            PowerState::SelfRefresh => self.residency.self_refresh += span,
+        }
+        self.power_since = now;
+    }
+
+    /// Mark activity at `now`, flushing residency accounting first.
+    ///
+    /// Must be called when a command is issued so that open-bank transitions
+    /// split standby residency correctly.
+    pub fn touch(&mut self, now: u64) {
+        self.settle(now);
+        self.last_activity = now;
+    }
+
+    /// Enter fast power-down at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the rank is not `Up`.
+    pub fn enter_powerdown(&mut self, now: u64) {
+        debug_assert_eq!(self.power, PowerState::Up);
+        self.settle(now);
+        self.power = PowerState::PowerDown;
+    }
+
+    /// Enter self-refresh at `now` (requires all banks closed).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if any bank has an open row.
+    pub fn enter_self_refresh(&mut self, now: u64) {
+        debug_assert_eq!(self.open_banks(), 0, "self-refresh with open rows");
+        self.settle(now);
+        self.power = PowerState::SelfRefresh;
+    }
+
+    /// Wake the rank at `now`; commands become legal after the exit latency.
+    ///
+    /// Returns the cycle at which the rank is usable.
+    pub fn wake(&mut self, now: u64, cfg: &DeviceConfig) -> u64 {
+        self.settle(now);
+        let exit = match self.power {
+            PowerState::Up => 0,
+            PowerState::PowerDown => u64::from(cfg.timings.t_xp),
+            PowerState::SelfRefresh => u64::from(cfg.timings.t_xsr),
+        };
+        self.power = PowerState::Up;
+        let ready = now + exit;
+        self.next_cmd_ok = self.next_cmd_ok.max(ready);
+        ready
+    }
+
+    /// Finalize residency accounting at end of simulation.
+    pub fn finalize(&mut self, now: u64) {
+        self.settle(now);
+    }
+
+    /// Residency counters (device cycles per state).
+    #[must_use]
+    pub fn residency(&self) -> &Residency {
+        &self.residency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faw_allows_four_then_blocks() {
+        let mut r = Rank::new(8);
+        for (i, t) in [0u64, 5, 10, 15].iter().enumerate() {
+            assert_eq!(r.faw_ready(*t, 32), *t, "act {i}");
+            r.note_activate(*t, 5);
+        }
+        // Fifth ACT must wait until first + tFAW = 32.
+        assert_eq!(r.faw_ready(20, 32), 32);
+        // Without tFAW (RLDRAM3) there is no constraint.
+        assert_eq!(r.faw_ready(20, 0), 20);
+    }
+
+    #[test]
+    fn rrd_spacing() {
+        let mut r = Rank::new(8);
+        r.note_activate(100, 5);
+        assert_eq!(r.next_act_rrd, 105);
+    }
+
+    #[test]
+    fn powerdown_wake_costs_txp() {
+        let cfg = DeviceConfig::ddr3_1600();
+        let mut r = Rank::new(8);
+        r.enter_powerdown(100);
+        let ready = r.wake(200, &cfg);
+        assert_eq!(ready, 200 + u64::from(cfg.timings.t_xp));
+        assert_eq!(r.power_state(), PowerState::Up);
+    }
+
+    #[test]
+    fn residency_splits_by_state() {
+        let cfg = DeviceConfig::lpddr2_800();
+        let mut r = Rank::new(8);
+        r.touch(50); // 0..50 precharge standby
+        r.enter_powerdown(50);
+        r.wake(150, &cfg); // 50..150 precharge powerdown
+        r.enter_self_refresh(250); // 150..250 up (precharge standby)
+        r.finalize(400); // 250..400 self refresh
+        let res = r.residency();
+        assert_eq!(res.precharge_standby, 50 + 100);
+        assert_eq!(res.precharge_powerdown, 100);
+        assert_eq!(res.self_refresh, 150);
+        assert_eq!(res.active_standby, 0);
+    }
+
+    #[test]
+    fn wake_when_up_is_free() {
+        let cfg = DeviceConfig::ddr3_1600();
+        let mut r = Rank::new(8);
+        assert_eq!(r.wake(10, &cfg), 10);
+    }
+}

@@ -1,0 +1,158 @@
+//! Activity counters consumed by the power model and the reports.
+
+/// Device-cycles a rank spent in each power-relevant state.
+///
+/// These map one-to-one onto the background-current terms of the Micron
+/// power calculator (IDD3N, IDD2N, IDD3P, IDD2P, IDD6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Residency {
+    /// CKE high, at least one bank open (IDD3N).
+    pub active_standby: u64,
+    /// CKE high, all banks closed (IDD2N).
+    pub precharge_standby: u64,
+    /// Power-down with a bank open (IDD3P).
+    pub active_powerdown: u64,
+    /// Power-down, all banks closed (IDD2P).
+    pub precharge_powerdown: u64,
+    /// Self-refresh (IDD6).
+    pub self_refresh: u64,
+}
+
+impl Residency {
+    /// Total accounted cycles.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.active_standby
+            + self.precharge_standby
+            + self.active_powerdown
+            + self.precharge_powerdown
+            + self.self_refresh
+    }
+
+    /// Fraction of time in any power-down or self-refresh state.
+    #[must_use]
+    pub fn low_power_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            return 0.0;
+        }
+        (self.active_powerdown + self.precharge_powerdown + self.self_refresh) as f64 / t as f64
+    }
+
+    /// Element-wise accumulate another residency (for summing ranks).
+    pub fn add(&mut self, other: &Residency) {
+        self.active_standby += other.active_standby;
+        self.precharge_standby += other.precharge_standby;
+        self.active_powerdown += other.active_powerdown;
+        self.precharge_powerdown += other.precharge_powerdown;
+        self.self_refresh += other.self_refresh;
+    }
+}
+
+/// Command and bus-activity counters for one channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// ACT commands issued (plus implicit activates of single-command reads).
+    pub activates: u64,
+    /// READ column commands.
+    pub reads: u64,
+    /// WRITE column commands.
+    pub writes: u64,
+    /// Explicit PRECHARGE commands.
+    pub precharges: u64,
+    /// Refresh commands (all-bank or per-bank).
+    pub refreshes: u64,
+    /// Column accesses that hit an already-open row.
+    pub row_hits: u64,
+    /// Activates issued to an idle bank (row closed).
+    pub row_misses: u64,
+    /// Activates that first required closing another row.
+    pub row_conflicts: u64,
+    /// Device cycles the data bus carried read data.
+    pub read_bus_cycles: u64,
+    /// Device cycles the data bus carried write data.
+    pub write_bus_cycles: u64,
+}
+
+impl ChannelStats {
+    /// Data-bus utilization over `elapsed` device cycles.
+    #[must_use]
+    pub fn bus_utilization(&self, elapsed: u64) -> f64 {
+        if elapsed == 0 {
+            return 0.0;
+        }
+        (self.read_bus_cycles + self.write_bus_cycles) as f64 / elapsed as f64
+    }
+
+    /// Row-buffer hit rate over all column accesses.
+    #[must_use]
+    pub fn row_hit_rate(&self) -> f64 {
+        let cols = self.reads + self.writes;
+        if cols == 0 {
+            return 0.0;
+        }
+        self.row_hits as f64 / cols as f64
+    }
+
+    /// Element-wise accumulate (for summing channels).
+    pub fn add(&mut self, other: &ChannelStats) {
+        self.activates += other.activates;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.precharges += other.precharges;
+        self.refreshes += other.refreshes;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.row_conflicts += other.row_conflicts;
+        self.read_bus_cycles += other.read_bus_cycles;
+        self.write_bus_cycles += other.write_bus_cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_and_hit_rate() {
+        let s = ChannelStats {
+            reads: 8,
+            writes: 2,
+            row_hits: 5,
+            read_bus_cycles: 32,
+            write_bus_cycles: 8,
+            ..Default::default()
+        };
+        assert!((s.bus_utilization(100) - 0.4).abs() < 1e-12);
+        assert!((s.row_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(ChannelStats::default().row_hit_rate(), 0.0);
+        assert_eq!(ChannelStats::default().bus_utilization(0), 0.0);
+    }
+
+    #[test]
+    fn residency_totals() {
+        let r = Residency {
+            active_standby: 10,
+            precharge_standby: 20,
+            active_powerdown: 5,
+            precharge_powerdown: 15,
+            self_refresh: 50,
+        };
+        assert_eq!(r.total(), 100);
+        assert!((r.low_power_fraction() - 0.70).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulation() {
+        let mut a = ChannelStats { reads: 1, ..Default::default() };
+        let b = ChannelStats { reads: 2, writes: 3, ..Default::default() };
+        a.add(&b);
+        assert_eq!(a.reads, 3);
+        assert_eq!(a.writes, 3);
+
+        let mut ra = Residency { active_standby: 1, ..Default::default() };
+        ra.add(&Residency { active_standby: 2, self_refresh: 4, ..Default::default() });
+        assert_eq!(ra.active_standby, 3);
+        assert_eq!(ra.self_refresh, 4);
+    }
+}

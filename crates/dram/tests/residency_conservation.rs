@@ -1,0 +1,124 @@
+//! Property tests of rank power-state accounting: residency must
+//! partition time exactly (the power model depends on it), and power
+//! transitions must never lose or double-count cycles.
+
+use dram_timing::{Channel, Command, DeviceConfig, PowerState};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Access { bank: u8, row: u32, write: bool },
+    Sleep,
+    Wake,
+    Idle { cycles: u8 },
+}
+
+fn step(banks: u8) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..banks, 0u32..32, prop::bool::ANY)
+            .prop_map(|(bank, row, write)| Step::Access { bank, row, write }),
+        Just(Step::Sleep),
+        Just(Step::Wake),
+        (1u8..60).prop_map(|cycles| Step::Idle { cycles }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn residency_partitions_elapsed_time(
+        steps in prop::collection::vec(step(8), 1..60)
+    ) {
+        let cfg = DeviceConfig::lpddr2_800();
+        let mut ch = Channel::new(cfg.clone(), 1);
+        let mut now = 0u64;
+        for s in steps {
+            match s {
+                Step::Access { bank, row, write } => {
+                    if ch.ranks()[0].power_state() != PowerState::Up {
+                        now = ch.wake_rank(0, now);
+                    }
+                    // Open the row if needed, then access it.
+                    if ch.ranks()[0].bank(bank).open_row() != Some(row) {
+                        if ch.ranks()[0].bank(bank).open_row().is_some() {
+                            let pre = Command::precharge(0, bank);
+                            if let Some(t) = ch.earliest_issue(&pre, now) {
+                                now = t;
+                                ch.issue(&pre, now);
+                            }
+                        }
+                        let act = Command::activate(0, bank, row);
+                        if let Some(t) = ch.earliest_issue(&act, now) {
+                            now = t;
+                            ch.issue(&act, now);
+                        }
+                    }
+                    let col = if write {
+                        Command::write(0, bank, row, false)
+                    } else {
+                        Command::read(0, bank, row, false)
+                    };
+                    if let Some(t) = ch.earliest_issue(&col, now) {
+                        now = t;
+                        ch.issue(&col, now);
+                    }
+                }
+                Step::Sleep => {
+                    if ch.ranks()[0].power_state() == PowerState::Up {
+                        // Force idleness long enough for the sleep policy.
+                        now += u64::from(cfg.powerdown_idle_cycles) + 1;
+                        ch.maybe_sleep(0, now, true);
+                    }
+                }
+                Step::Wake => {
+                    now = now.max(ch.wake_rank(0, now));
+                }
+                Step::Idle { cycles } => now += u64::from(cycles),
+            }
+        }
+        // Settle and check the partition.
+        let end = now + 100;
+        let res = ch.residency(end);
+        prop_assert_eq!(
+            res.total(), end,
+            "residency must cover exactly the elapsed time: {:?}", res
+        );
+    }
+
+    #[test]
+    fn bus_cycles_never_exceed_elapsed_time(
+        rows in prop::collection::vec((0u8..8, 0u32..64), 1..40)
+    ) {
+        let mut ch = Channel::new(DeviceConfig::ddr3_1600(), 1);
+        let mut now = 0u64;
+        for (bank, row) in rows {
+            if ch.ranks()[0].bank(bank).open_row() != Some(row) {
+                if ch.ranks()[0].bank(bank).open_row().is_some() {
+                    let pre = Command::precharge(0, bank);
+                    if let Some(t) = ch.earliest_issue(&pre, now) {
+                        now = t;
+                        ch.issue(&pre, now);
+                    }
+                }
+                let act = Command::activate(0, bank, row);
+                if let Some(t) = ch.earliest_issue(&act, now) {
+                    now = t;
+                    ch.issue(&act, now);
+                }
+            }
+            let rd = Command::read(0, bank, row, false);
+            if let Some(t) = ch.earliest_issue(&rd, now) {
+                now = t;
+                ch.issue(&rd, now);
+            }
+        }
+        let elapsed = ch.bus_free_at().max(now);
+        let stats = ch.stats();
+        prop_assert!(
+            stats.read_bus_cycles + stats.write_bus_cycles <= elapsed,
+            "bus busy {} > elapsed {elapsed}",
+            stats.read_bus_cycles + stats.write_bus_cycles
+        );
+    }
+}

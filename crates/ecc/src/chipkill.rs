@@ -1,0 +1,303 @@
+//! Chipkill-style symbol error correction.
+//!
+//! §4.2.3 of the paper notes that the lightweight-parity/fast-DIMM plus
+//! full-ECC/slow-DIMM split "can also be extended to handle other fault
+//! tolerance solutions such as chipkill". This module provides that
+//! extension: a single-symbol-correct / double-symbol-detect (SSC-DSD)
+//! code over 8-bit symbols, where each symbol maps to one x8 DRAM device
+//! of the rank — so the failure of an *entire chip* corrupts exactly one
+//! symbol per codeword and remains correctable.
+//!
+//! The construction is a shortened Reed–Solomon-style [11,8] code over
+//! GF(2⁸) with **three** check symbols per codeword,
+//!
+//! * `P = Σ dᵢ`,
+//! * `Q = Σ gᵢ·dᵢ`,
+//! * `R = Σ gᵢ²·dᵢ`,
+//!
+//! giving minimum distance 4: any single-symbol error is located and
+//! corrected from the syndrome ratios, and every double-symbol error is
+//! detected by syndrome inconsistency. (Two check symbols would only give
+//! distance 3, which cannot simultaneously correct singles and detect all
+//! doubles — a property our own tests exercise.)
+
+/// Number of data symbols per codeword (one per x8 data device).
+pub const DATA_SYMBOLS: usize = 8;
+
+/// GF(2^8) with the AES polynomial x^8 + x^4 + x^3 + x + 1 (0x11B).
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80 != 0;
+        a <<= 1;
+        if hi {
+            a ^= 0x1B;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+fn gf_pow(mut a: u8, mut e: u32) -> u8 {
+    let mut r = 1u8;
+    while e > 0 {
+        if e & 1 == 1 {
+            r = gf_mul(r, a);
+        }
+        a = gf_mul(a, a);
+        e >>= 1;
+    }
+    r
+}
+
+fn gf_inv(a: u8) -> u8 {
+    // a^254 in GF(2^8).
+    gf_pow(a, 254)
+}
+
+/// Per-position generator coefficients: gᵢ = 2^i (distinct, nonzero).
+fn coeff(i: usize) -> u8 {
+    gf_pow(2, i as u32)
+}
+
+/// The three check symbols of a codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CheckSymbols {
+    /// XOR parity symbol.
+    pub p: u8,
+    /// Weighted GF(2⁸) parity symbol (`Σ gᵢ·dᵢ`).
+    pub q: u8,
+    /// Squared-weight parity symbol (`Σ gᵢ²·dᵢ`).
+    pub r: u8,
+}
+
+/// Decode result for one codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymbolDecoded {
+    /// No error.
+    Clean([u8; DATA_SYMBOLS]),
+    /// One symbol (= one chip slice) corrected at `position`.
+    Corrected {
+        /// Recovered data.
+        data: [u8; DATA_SYMBOLS],
+        /// Index of the failed symbol (device).
+        position: usize,
+    },
+    /// More than one symbol failed: detected, not correctable.
+    MultiSymbolError,
+}
+
+impl SymbolDecoded {
+    /// The recovered data, unless uncorrectable.
+    #[must_use]
+    pub fn data(self) -> Option<[u8; DATA_SYMBOLS]> {
+        match self {
+            SymbolDecoded::Clean(d) | SymbolDecoded::Corrected { data: d, .. } => Some(d),
+            SymbolDecoded::MultiSymbolError => None,
+        }
+    }
+}
+
+/// Encode eight data symbols into their check symbols.
+///
+/// # Examples
+///
+/// ```
+/// use ecc::chipkill::{encode, decode, SymbolDecoded};
+/// let data = [1, 2, 3, 4, 5, 6, 7, 8];
+/// let chk = encode(&data);
+/// assert_eq!(decode(&data, chk), SymbolDecoded::Clean(data));
+/// ```
+#[must_use]
+pub fn encode(data: &[u8; DATA_SYMBOLS]) -> CheckSymbols {
+    let mut p = 0u8;
+    let mut q = 0u8;
+    let mut r = 0u8;
+    for (i, &d) in data.iter().enumerate() {
+        let g = coeff(i);
+        p ^= d;
+        q ^= gf_mul(g, d);
+        r ^= gf_mul(gf_mul(g, g), d);
+    }
+    CheckSymbols { p, q, r }
+}
+
+/// Decode a possibly corrupted codeword against its stored checks.
+///
+/// Corrects any single-symbol error (including an error in a check
+/// symbol) and detects double-symbol errors.
+#[must_use]
+pub fn decode(data: &[u8; DATA_SYMBOLS], stored: CheckSymbols) -> SymbolDecoded {
+    let computed = encode(data);
+    let s0 = computed.p ^ stored.p;
+    let s1 = computed.q ^ stored.q;
+    let s2 = computed.r ^ stored.r;
+    let nonzero = u32::from(s0 != 0) + u32::from(s1 != 0) + u32::from(s2 != 0);
+    match nonzero {
+        0 => SymbolDecoded::Clean(*data),
+        1 => {
+            // Exactly one check symbol disagrees: the error is in that
+            // check symbol itself; the data is intact. (A single data
+            // error always perturbs all three syndromes.)
+            SymbolDecoded::Corrected { data: *data, position: DATA_SYMBOLS }
+        }
+        _ => {
+            // A single data error at position i with value e gives
+            // s0 = e, s1 = gᵢ·e, s2 = gᵢ²·e — so all three are nonzero
+            // and s1² = s0·s2 with s1/s0 equal to some coefficient.
+            if s0 != 0 && s1 != 0 && s2 != 0 && gf_mul(s1, s1) == gf_mul(s0, s2) {
+                let ratio = gf_mul(s1, gf_inv(s0));
+                for i in 0..DATA_SYMBOLS {
+                    if coeff(i) == ratio {
+                        let mut fixed = *data;
+                        fixed[i] ^= s0;
+                        return SymbolDecoded::Corrected { data: fixed, position: i };
+                    }
+                }
+            }
+            SymbolDecoded::MultiSymbolError
+        }
+    }
+}
+
+/// Encode a 64-byte cache line as eight interleaved codewords: byte `j`
+/// of word `i` goes to symbol `i` of codeword `j`, so each x8 device
+/// contributes exactly one symbol to every codeword — a whole-chip
+/// failure stays single-symbol-correctable.
+#[must_use]
+pub fn encode_line(words: &[u64; 8]) -> [CheckSymbols; 8] {
+    let mut out = [CheckSymbols { p: 0, q: 0, r: 0 }; 8];
+    for (j, o) in out.iter_mut().enumerate() {
+        let mut cw = [0u8; DATA_SYMBOLS];
+        for (i, w) in words.iter().enumerate() {
+            cw[i] = ((w >> (j * 8)) & 0xFF) as u8;
+        }
+        *o = encode(&cw);
+    }
+    out
+}
+
+/// Decode a 64-byte line, correcting the failure of one whole device.
+///
+/// Returns the corrected words, or `None` if any codeword saw a
+/// multi-symbol error.
+#[must_use]
+pub fn decode_line(words: &[u64; 8], checks: &[CheckSymbols; 8]) -> Option<[u64; 8]> {
+    let mut out = [0u64; 8];
+    for j in 0..8 {
+        let mut cw = [0u8; DATA_SYMBOLS];
+        for (i, w) in words.iter().enumerate() {
+            cw[i] = ((w >> (j * 8)) & 0xFF) as u8;
+        }
+        let fixed = decode(&cw, checks[j]).data()?;
+        for (i, b) in fixed.iter().enumerate() {
+            out[i] |= u64::from(*b) << (j * 8);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gf_field_sanity() {
+        assert_eq!(gf_mul(1, 77), 77);
+        assert_eq!(gf_mul(0, 77), 0);
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "a={a}");
+        }
+        // Coefficients are distinct and nonzero.
+        let cs: Vec<u8> = (0..8).map(coeff).collect();
+        let mut dedup = cs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8);
+        assert!(cs.iter().all(|&c| c != 0));
+    }
+
+    #[test]
+    fn corrects_any_single_symbol_any_value() {
+        let data = [0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88];
+        let chk = encode(&data);
+        for pos in 0..8 {
+            for err in [0x01u8, 0x80, 0xFF, 0x5A] {
+                let mut bad = data;
+                bad[pos] ^= err;
+                assert_eq!(
+                    decode(&bad, chk),
+                    SymbolDecoded::Corrected { data, position: pos },
+                    "pos {pos} err {err:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detects_double_symbol_errors() {
+        let data = [9, 8, 7, 6, 5, 4, 3, 2];
+        let chk = encode(&data);
+        let mut bad = data;
+        bad[0] ^= 0x0F;
+        bad[5] ^= 0xF0;
+        assert_eq!(decode(&bad, chk), SymbolDecoded::MultiSymbolError);
+    }
+
+    #[test]
+    fn check_symbol_error_leaves_data_intact() {
+        let data = [1, 1, 2, 3, 5, 8, 13, 21];
+        let mut chk = encode(&data);
+        chk.p ^= 0x42;
+        let out = decode(&data, chk);
+        assert_eq!(out.data(), Some(data));
+    }
+
+    #[test]
+    fn whole_chip_failure_on_a_line_is_corrected() {
+        // Device 3 (symbol 3 of every codeword) returns garbage.
+        let words = [
+            0x0102_0304_0506_0708u64,
+            0x1112_1314_1516_1718,
+            0x2122_2324_2526_2728,
+            0x3132_3334_3536_3738,
+            0x4142_4344_4546_4748,
+            0x5152_5354_5556_5758,
+            0x6162_6364_6566_6768,
+            0x7172_7374_7576_7778,
+        ];
+        let checks = encode_line(&words);
+        let mut bad = words;
+        bad[3] = 0xDEAD_BEEF_0BAD_F00D; // entire device-3 slice corrupted
+        assert_eq!(decode_line(&bad, &checks), Some(words));
+    }
+
+    #[test]
+    fn two_chip_failure_is_detected_not_miscorrected() {
+        let words = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let checks = encode_line(&words);
+        let mut bad = words;
+        // Both faults land in byte lane 0 — codeword 0 sees two bad
+        // symbols (devices 1 and 6), which is beyond SSC-DSD correction.
+        bad[1] ^= 0xFF;
+        bad[6] ^= 0xFF;
+        assert_eq!(decode_line(&bad, &checks), None);
+    }
+
+    #[test]
+    fn roundtrip_random_lines() {
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        for _ in 0..200 {
+            let mut words = [0u64; 8];
+            for w in &mut words {
+                x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                *w = x;
+            }
+            let checks = encode_line(&words);
+            assert_eq!(decode_line(&words, &checks), Some(words));
+        }
+    }
+}

@@ -1,0 +1,91 @@
+#![warn(missing_docs)]
+
+//! Error-detection and correction codes for the CWF heterogeneous memory.
+//!
+//! The paper's design (§4.2.3) splits a cache line between a low-latency
+//! DIMM (the critical word, protected by a **per-byte parity** bit on the x9
+//! RLDRAM chip) and a low-power DIMM (the remaining words plus the line's
+//! **SECDED** code). A waiting instruction is woken by the critical word
+//! after a parity check only; full single-error-correct / double-error-detect
+//! coverage is restored when the rest of the line and its ECC arrive.
+//!
+//! This crate implements both codes for 64-bit words and 64-byte lines:
+//!
+//! * [`secded`] — a Hamming(72,64) SECDED code (8 check bits per 64-bit
+//!   word), the classical scheme behind the paper's baseline "SECDED ECC on
+//!   a 72-bit DDR3 channel".
+//! * [`parity`] — even per-byte parity, one bit per byte (the 9th bit of the
+//!   x9 RLDRAM chip).
+//! * [`chipkill`] — the §4.2.3 extension: a single-symbol-correct /
+//!   double-symbol-detect code over 8-bit symbols that survives the
+//!   failure of an entire x8 device.
+//! * [`inject`] — deterministic fault injection used by the failure-handling
+//!   tests and examples.
+//!
+//! # Examples
+//!
+//! ```
+//! use ecc::secded::{encode, decode, Decoded};
+//!
+//! let word = 0xDEAD_BEEF_0BAD_F00Du64;
+//! let code = encode(word);
+//! // A single flipped data bit is corrected.
+//! let corrupted = word ^ (1 << 17);
+//! assert_eq!(decode(corrupted, code), Decoded::Corrected(word));
+//! ```
+
+pub mod chipkill;
+pub mod inject;
+pub mod parity;
+pub mod secded;
+
+pub use parity::{byte_parity, check_byte_parity};
+pub use secded::{decode, encode, Decoded};
+
+/// Outcome of the paper's two-stage check on an arriving critical word.
+///
+/// The critical word is forwarded to the waiting instruction immediately iff
+/// the parity check passes; otherwise the consumer must wait for the full
+/// line plus SECDED (§4.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CriticalWordCheck {
+    /// Parity clean — forward the word before the rest of the line arrives.
+    ForwardEarly,
+    /// Parity error — hold the instruction until SECDED over the full line.
+    WaitForSecded,
+}
+
+/// Perform the RLDRAM-side parity check on a critical word.
+///
+/// `stored_parity` is the 8-bit per-byte parity fetched alongside the word
+/// (the 9th bit of each of the eight beats on the x9 chip).
+#[must_use]
+pub fn check_critical_word(word: u64, stored_parity: u8) -> CriticalWordCheck {
+    if check_byte_parity(word, stored_parity) {
+        CriticalWordCheck::ForwardEarly
+    } else {
+        CriticalWordCheck::WaitForSecded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_word_forwards_early() {
+        let w = 0x0123_4567_89AB_CDEF;
+        let p = byte_parity(w);
+        assert_eq!(check_critical_word(w, p), CriticalWordCheck::ForwardEarly);
+    }
+
+    #[test]
+    fn single_bit_flip_waits_for_secded() {
+        let w = 0x0123_4567_89AB_CDEF;
+        let p = byte_parity(w);
+        assert_eq!(
+            check_critical_word(w ^ (1 << 5), p),
+            CriticalWordCheck::WaitForSecded
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Per-byte even parity, the lightweight check on the critical-word DIMM.
+//!
+//! Each critical word travels over a single x9 RLDRAM chip as eight 9-bit
+//! beats: one data byte plus one parity bit per beat (§4.2.3). The eight
+//! parity bits of a 64-bit word are packed into one byte here, parity of
+//! byte *i* in bit *i*.
+
+/// Compute the 8 even-parity bits of a 64-bit word (one per byte).
+///
+/// # Examples
+///
+/// ```
+/// // 0x01 has one set bit -> odd population -> even-parity bit is 1.
+/// assert_eq!(ecc::parity::byte_parity(0x01) & 1, 1);
+/// // 0x03 has two set bits -> parity bit 0.
+/// assert_eq!(ecc::parity::byte_parity(0x03) & 1, 0);
+/// ```
+#[must_use]
+pub fn byte_parity(word: u64) -> u8 {
+    let mut parity = 0u8;
+    for byte in 0..8 {
+        let b = ((word >> (byte * 8)) & 0xFF) as u8;
+        parity |= ((b.count_ones() & 1) as u8) << byte;
+    }
+    parity
+}
+
+/// Verify a word against its stored per-byte parity bits.
+///
+/// Returns `true` when every byte's parity matches. Note that, as the paper
+/// observes, parity cannot see an even number of flips within one byte —
+/// such errors are caught later by SECDED over the full line.
+#[must_use]
+pub fn check_byte_parity(word: u64, stored: u8) -> bool {
+    byte_parity(word) == stored
+}
+
+/// Identify which bytes of a word disagree with the stored parity.
+///
+/// Bit *i* of the result is set when byte *i* fails its parity check. Useful
+/// for diagnostics and the fail-stop report the paper requires (§4.2.3:
+/// "the point of failure will be precisely known").
+#[must_use]
+pub fn failing_bytes(word: u64, stored: u8) -> u8 {
+    byte_parity(word) ^ stored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_word_has_zero_parity() {
+        assert_eq!(byte_parity(0), 0);
+        assert!(check_byte_parity(0, 0));
+    }
+
+    #[test]
+    fn all_ones_byte_parity() {
+        // 0xFF has 8 set bits -> even -> parity 0 for that byte.
+        assert_eq!(byte_parity(0xFF), 0);
+        // 0x7F has 7 set bits -> parity 1 in bit 0.
+        assert_eq!(byte_parity(0x7F), 1);
+    }
+
+    #[test]
+    fn single_flip_in_any_byte_is_caught() {
+        let w = 0x0102_0304_0506_0708u64;
+        let p = byte_parity(w);
+        for bit in 0..64 {
+            let bad = w ^ (1u64 << bit);
+            assert!(!check_byte_parity(bad, p), "bit {bit}");
+            assert_eq!(failing_bytes(bad, p), 1 << (bit / 8));
+        }
+    }
+
+    #[test]
+    fn even_flips_within_a_byte_escape_parity() {
+        // The documented blind spot: two flips in the same byte.
+        let w = 0u64;
+        let p = byte_parity(w);
+        let bad = w ^ 0b11; // two flips in byte 0
+        assert!(check_byte_parity(bad, p));
+    }
+
+    #[test]
+    fn flips_in_different_bytes_are_both_reported() {
+        let w = 0xAAAA_AAAA_AAAA_AAAAu64;
+        let p = byte_parity(w);
+        let bad = w ^ (1 << 3) ^ (1 << 60);
+        assert_eq!(failing_bytes(bad, p), (1 << 0) | (1 << 7));
+    }
+}

@@ -1,0 +1,249 @@
+//! Hamming(72,64) single-error-correct / double-error-detect code.
+//!
+//! This is the classical extended Hamming code used by 72-bit ECC DIMMs:
+//! seven Hamming check bits at codeword positions 1, 2, 4, …, 64 plus one
+//! overall parity bit. Eight check bits protect each 64-bit word, which is
+//! exactly the x8 ECC device on the paper's baseline 9-device DDR3 rank.
+
+/// Number of data bits protected per codeword.
+pub const DATA_BITS: u32 = 64;
+/// Number of check bits per codeword (7 Hamming + 1 overall parity).
+pub const CHECK_BITS: u32 = 8;
+/// Highest occupied codeword position (positions 1..=71 are used).
+const MAX_POS: u32 = 71;
+
+/// Result of decoding a (possibly corrupted) codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decoded {
+    /// No error detected; the payload is the stored data word.
+    Clean(u64),
+    /// A single-bit error was detected and corrected.
+    Corrected(u64),
+    /// A double-bit error was detected; the data cannot be recovered.
+    DoubleError,
+}
+
+impl Decoded {
+    /// The recovered data word, if the codeword was clean or correctable.
+    #[must_use]
+    pub fn data(self) -> Option<u64> {
+        match self {
+            Decoded::Clean(w) | Decoded::Corrected(w) => Some(w),
+            Decoded::DoubleError => None,
+        }
+    }
+}
+
+/// Returns `true` if `pos` holds a Hamming check bit (powers of two).
+fn is_check_pos(pos: u32) -> bool {
+    pos.is_power_of_two()
+}
+
+/// Spread the 64 data bits over codeword positions 3,5,6,7,9,… (skipping
+/// power-of-two positions). Bit `i` of the return value is codeword
+/// position `i`; position 0 is reserved for the overall parity bit.
+fn spread(data: u64) -> u128 {
+    let mut word = 0u128;
+    let mut bit = 0u32;
+    for pos in 1..=MAX_POS {
+        if is_check_pos(pos) {
+            continue;
+        }
+        if (data >> bit) & 1 == 1 {
+            word |= 1u128 << pos;
+        }
+        bit += 1;
+    }
+    debug_assert_eq!(bit, DATA_BITS);
+    word
+}
+
+/// Inverse of [`spread`]: collect data bits back out of codeword positions.
+fn gather(word: u128) -> u64 {
+    let mut data = 0u64;
+    let mut bit = 0u32;
+    for pos in 1..=MAX_POS {
+        if is_check_pos(pos) {
+            continue;
+        }
+        if (word >> pos) & 1 == 1 {
+            data |= 1u64 << bit;
+        }
+        bit += 1;
+    }
+    data
+}
+
+/// Compute the seven Hamming check bits over the spread codeword.
+fn hamming_checks(word: u128) -> u8 {
+    let mut checks = 0u8;
+    for (i, c) in (0..7).map(|i| (i, 1u32 << i)) {
+        let mut parity = 0u32;
+        for pos in 1..=MAX_POS {
+            if pos & c != 0 && !is_check_pos(pos) && (word >> pos) & 1 == 1 {
+                parity ^= 1;
+            }
+        }
+        checks |= (parity as u8) << i;
+    }
+    checks
+}
+
+/// Encode a 64-bit data word, returning its 8 SECDED check bits.
+///
+/// Bits 0–6 of the result are the Hamming check bits; bit 7 is the overall
+/// (even) parity over data and check bits together.
+///
+/// # Examples
+///
+/// ```
+/// let code = ecc::secded::encode(42);
+/// assert_eq!(ecc::secded::decode(42, code), ecc::secded::Decoded::Clean(42));
+/// ```
+#[must_use]
+pub fn encode(data: u64) -> u8 {
+    let word = spread(data);
+    let checks = hamming_checks(word);
+    let overall =
+        (word.count_ones() + u32::from(checks.count_ones() as u8) as u32) & 1;
+    checks | ((overall as u8) << 7)
+}
+
+/// Decode a data word against its stored check bits.
+///
+/// Corrects any single-bit error in either the data or the check bits and
+/// detects (without correcting) any double-bit error.
+///
+/// # Examples
+///
+/// ```
+/// use ecc::secded::{encode, decode, Decoded};
+/// let code = encode(7);
+/// assert_eq!(decode(7 ^ 0b100, code), Decoded::Corrected(7));
+/// ```
+#[must_use]
+pub fn decode(data: u64, stored_checks: u8) -> Decoded {
+    let word = spread(data);
+    let computed = hamming_checks(word);
+    let stored_hamming = stored_checks & 0x7F;
+    let syndrome = u32::from(computed ^ stored_hamming);
+
+    let overall_stored = (stored_checks >> 7) & 1;
+    let overall_computed =
+        ((word.count_ones() + u32::from(stored_hamming.count_ones())) & 1) as u8;
+    let parity_mismatch = overall_stored != overall_computed;
+
+    match (syndrome, parity_mismatch) {
+        (0, false) => Decoded::Clean(data),
+        // Error confined to the overall-parity bit: data is intact.
+        (0, true) => Decoded::Corrected(data),
+        (s, true) => {
+            if s > MAX_POS {
+                // Syndrome points outside the codeword: multi-bit corruption
+                // that aliases; report as (at least) a double error.
+                return Decoded::DoubleError;
+            }
+            if is_check_pos(s) {
+                // A check bit flipped; the data word itself is intact.
+                Decoded::Corrected(data)
+            } else {
+                Decoded::Corrected(gather(word ^ (1u128 << s)))
+            }
+        }
+        (_, false) => Decoded::DoubleError,
+    }
+}
+
+/// Encode a full 64-byte cache line, returning the 8 check bytes that the
+/// baseline stores on the ninth (ECC) device of a rank.
+#[must_use]
+pub fn encode_line(words: &[u64; 8]) -> [u8; 8] {
+    let mut out = [0u8; 8];
+    for (o, w) in out.iter_mut().zip(words.iter()) {
+        *o = encode(*w);
+    }
+    out
+}
+
+/// Decode a full 64-byte cache line against its 8 check bytes.
+///
+/// Returns the per-word decode results; the caller decides whether a
+/// [`Decoded::DoubleError`] is a fail-stop condition (it is, in both the
+/// baseline and the CWF design — §4.2.3).
+#[must_use]
+pub fn decode_line(words: &[u64; 8], checks: &[u8; 8]) -> [Decoded; 8] {
+    let mut out = [Decoded::Clean(0); 8];
+    for i in 0..8 {
+        out[i] = decode(words[i], checks[i]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_clean() {
+        for &w in &[0u64, u64::MAX, 0xA5A5_A5A5_5A5A_5A5A, 1, 1 << 63] {
+            assert_eq!(decode(w, encode(w)), Decoded::Clean(w));
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_data_bit() {
+        let w = 0x0123_4567_89AB_CDEF;
+        let code = encode(w);
+        for bit in 0..64 {
+            let corrupted = w ^ (1u64 << bit);
+            assert_eq!(decode(corrupted, code), Decoded::Corrected(w), "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_check_bit() {
+        let w = 0xFEED_FACE_CAFE_BEEF;
+        let code = encode(w);
+        for bit in 0..8 {
+            let corrupted_code = code ^ (1u8 << bit);
+            assert_eq!(decode(w, corrupted_code), Decoded::Corrected(w), "check bit {bit}");
+        }
+    }
+
+    #[test]
+    fn detects_double_data_bit_errors() {
+        let w = 0x1111_2222_3333_4444;
+        let code = encode(w);
+        for (a, b) in [(0u32, 1u32), (5, 40), (63, 0), (17, 18), (31, 32)] {
+            let corrupted = w ^ (1u64 << a) ^ (1u64 << b);
+            assert_eq!(decode(corrupted, code), Decoded::DoubleError, "bits {a},{b}");
+        }
+    }
+
+    #[test]
+    fn detects_data_plus_check_double_error() {
+        let w = 0x5555_AAAA_5555_AAAA;
+        let code = encode(w);
+        assert_eq!(decode(w ^ 1, code ^ 1), Decoded::DoubleError);
+    }
+
+    #[test]
+    fn line_roundtrip() {
+        let words = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let checks = encode_line(&words);
+        for (i, d) in decode_line(&words, &checks).iter().enumerate() {
+            assert_eq!(*d, Decoded::Clean(words[i]));
+        }
+    }
+
+    #[test]
+    fn line_corrects_one_word_independently() {
+        let words = [10u64, 20, 30, 40, 50, 60, 70, 80];
+        let checks = encode_line(&words);
+        let mut bad = words;
+        bad[3] ^= 1 << 9;
+        let decoded = decode_line(&bad, &checks);
+        assert_eq!(decoded[3], Decoded::Corrected(40));
+        assert_eq!(decoded[0], Decoded::Clean(10));
+    }
+}

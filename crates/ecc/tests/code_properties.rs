@@ -1,0 +1,85 @@
+//! Property tests of the three ECC codes: SECDED(72,64), per-byte parity
+//! and the chipkill SSC-DSD symbol code.
+
+use ecc::chipkill::{self, SymbolDecoded};
+use ecc::parity::{byte_parity, check_byte_parity};
+use ecc::secded::{decode, encode, Decoded};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn secded_roundtrip(word in any::<u64>()) {
+        prop_assert_eq!(decode(word, encode(word)), Decoded::Clean(word));
+    }
+
+    #[test]
+    fn secded_corrects_every_single_bit(word in any::<u64>(), bit in 0u32..64) {
+        let code = encode(word);
+        prop_assert_eq!(decode(word ^ (1u64 << bit), code), Decoded::Corrected(word));
+    }
+
+    #[test]
+    fn secded_detects_every_double_bit(word in any::<u64>(), a in 0u32..64, b in 0u32..64) {
+        prop_assume!(a != b);
+        let code = encode(word);
+        let bad = word ^ (1u64 << a) ^ (1u64 << b);
+        prop_assert_eq!(decode(bad, code), Decoded::DoubleError);
+    }
+
+    #[test]
+    fn parity_catches_any_odd_corruption(word in any::<u64>(), bit in 0u32..64) {
+        let p = byte_parity(word);
+        prop_assert!(check_byte_parity(word, p));
+        prop_assert!(!check_byte_parity(word ^ (1u64 << bit), p));
+    }
+
+    #[test]
+    fn chipkill_roundtrip(data in any::<[u8; 8]>()) {
+        let chk = chipkill::encode(&data);
+        prop_assert_eq!(chipkill::decode(&data, chk), SymbolDecoded::Clean(data));
+    }
+
+    #[test]
+    fn chipkill_corrects_any_single_symbol(
+        data in any::<[u8; 8]>(),
+        pos in 0usize..8,
+        err in 1u8..=255,
+    ) {
+        let chk = chipkill::encode(&data);
+        let mut bad = data;
+        bad[pos] ^= err;
+        prop_assert_eq!(
+            chipkill::decode(&bad, chk),
+            SymbolDecoded::Corrected { data, position: pos }
+        );
+    }
+
+    #[test]
+    fn chipkill_never_miscorrects_double_symbols(
+        data in any::<[u8; 8]>(),
+        a in 0usize..8,
+        b in 0usize..8,
+        ea in 1u8..=255,
+        eb in 1u8..=255,
+    ) {
+        prop_assume!(a != b);
+        let chk = chipkill::encode(&data);
+        let mut bad = data;
+        bad[a] ^= ea;
+        bad[b] ^= eb;
+        // Distance 4 guarantees every double-symbol error is *detected*.
+        prop_assert_eq!(chipkill::decode(&bad, chk), SymbolDecoded::MultiSymbolError);
+    }
+
+    #[test]
+    fn chipkill_line_survives_any_whole_chip(
+        words in any::<[u64; 8]>(),
+        chip in 0usize..8,
+        garbage in any::<u64>(),
+    ) {
+        let checks = chipkill::encode_line(&words);
+        let mut bad = words;
+        bad[chip] = garbage;
+        prop_assert_eq!(chipkill::decode_line(&bad, &checks), Some(words));
+    }
+}

@@ -1,0 +1,236 @@
+//! Sub-ranked aggregation: skinny channels behind one address/command bus.
+//!
+//! §4.2.4 of the paper replaces four private 9-bit RLDRAM channels (each
+//! with its own controller and 26-bit address bus) with **one** controller
+//! driving four x9 sub-channels over a shared 38-bit double-data-rate
+//! address/command bus. The data buses stay independent, but only one
+//! command can be launched per device cycle across all sub-channels — the
+//! paper argues this is safe because a word-0 transfer occupies the data
+//! bus four times longer than its command occupies the address bus.
+//!
+//! [`AggregatedController`] models exactly that: it round-robins the
+//! per-cycle command slot across its sub-controllers, so the shared bus can
+//! become a bottleneck for high-MLP workloads (the effect the paper calls
+//! out for mcf/milc/lbm under the oracular scheme, §6.1.2).
+
+use dram_timing::DeviceConfig;
+
+use crate::controller::{Controller, ControllerStats, CtrlParams, ReadCompletion};
+use crate::mapping::Loc;
+use crate::request::Token;
+
+/// Several sub-channel controllers sharing a single command slot per cycle.
+#[derive(Debug)]
+pub struct AggregatedController {
+    subs: Vec<Controller>,
+    rr: usize,
+    shared_bus: bool,
+    /// Cycles in which some sub-controller wanted the slot but lost it.
+    pub cmd_bus_conflicts: u64,
+}
+
+impl AggregatedController {
+    /// Build `n_subs` sub-channels of `cfg` devices, each with `ranks`
+    /// ranks and `chips_per_access` devices per access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_subs == 0`.
+    #[must_use]
+    pub fn new(
+        cfg: &DeviceConfig,
+        n_subs: u32,
+        ranks: u32,
+        chips_per_access: u32,
+        label: &str,
+        params: CtrlParams,
+    ) -> Self {
+        assert!(n_subs > 0, "need at least one sub-channel");
+        let subs = (0..n_subs)
+            .map(|i| {
+                Controller::with_params(
+                    cfg.clone(),
+                    ranks,
+                    chips_per_access,
+                    &format!("{label}-sub{i}"),
+                    params,
+                )
+            })
+            .collect();
+        AggregatedController { subs, rr: 0, shared_bus: true, cmd_bus_conflicts: 0 }
+    }
+
+    /// Ablation variant: give every sub-channel its own private
+    /// address/command bus (no per-cycle arbitration). This is the
+    /// pre-optimization organization of §4.2.2 with four independent
+    /// 26-bit buses.
+    #[must_use]
+    pub fn with_private_buses(mut self) -> Self {
+        self.shared_bus = false;
+        self
+    }
+
+    /// Number of sub-channels.
+    #[must_use]
+    pub fn n_subs(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Device configuration (shared by all sub-channels).
+    #[must_use]
+    pub fn config(&self) -> &DeviceConfig {
+        self.subs[0].config()
+    }
+
+    /// Can sub-channel `sub` accept a read?
+    #[must_use]
+    pub fn read_space(&self, sub: usize) -> bool {
+        self.subs[sub].read_space()
+    }
+
+    /// Can sub-channel `sub` accept a write?
+    #[must_use]
+    pub fn write_space(&self, sub: usize) -> bool {
+        self.subs[sub].write_space()
+    }
+
+    /// Enqueue a read on sub-channel `sub`.
+    pub fn enqueue_read(
+        &mut self,
+        sub: usize,
+        token: Token,
+        loc: Loc,
+        prefetch: bool,
+        enqueue_mem: u64,
+    ) -> bool {
+        self.subs[sub].enqueue_read(token, loc, prefetch, enqueue_mem)
+    }
+
+    /// Enqueue a write on sub-channel `sub`.
+    pub fn enqueue_write(&mut self, sub: usize, loc: Loc, enqueue_mem: u64) -> bool {
+        self.subs[sub].enqueue_write(loc, enqueue_mem)
+    }
+
+    /// Advance all sub-channels one device cycle, arbitrating the single
+    /// command slot round-robin (starting after last cycle's winner).
+    pub fn tick_mem(&mut self, now: u64) {
+        if !self.shared_bus {
+            for s in &mut self.subs {
+                s.tick_mem(now, true);
+            }
+            return;
+        }
+        let n = self.subs.len();
+        let mut issued = false;
+        let mut wanted_after_grant = false;
+        for k in 0..n {
+            let i = (self.rr + k) % n;
+            if !issued {
+                if self.subs[i].tick_mem(now, true) {
+                    issued = true;
+                    self.rr = (i + 1) % n;
+                }
+            } else {
+                // Slot consumed: sibling may still do bookkeeping.
+                let had_work =
+                    self.subs[i].read_q_len() > 0 || self.subs[i].write_q_len() > 0;
+                self.subs[i].tick_mem(now, false);
+                if had_work {
+                    wanted_after_grant = true;
+                }
+            }
+        }
+        if issued && wanted_after_grant {
+            self.cmd_bus_conflicts += 1;
+        }
+    }
+
+    /// Take completions from every sub-channel, tagged with the sub index.
+    pub fn take_completions(&mut self) -> Vec<(usize, ReadCompletion)> {
+        let mut out = Vec::new();
+        for (i, s) in self.subs.iter_mut().enumerate() {
+            for c in s.take_completions() {
+                out.push((i, c));
+            }
+        }
+        out
+    }
+
+    /// Per-sub-channel statistics.
+    pub fn stats(&mut self, now_mem: u64) -> Vec<ControllerStats> {
+        self.subs.iter_mut().map(|s| s.stats(now_mem)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_timing::DeviceConfig;
+
+    fn rld_agg() -> AggregatedController {
+        AggregatedController::new(
+            &DeviceConfig::rldram3(),
+            4,
+            1,
+            1,
+            "rld",
+            CtrlParams::default(),
+        )
+    }
+
+    #[test]
+    fn four_subchannel_reads_serialize_on_cmd_bus() {
+        let mut agg = rld_agg();
+        for sub in 0..4 {
+            let loc = Loc { rank: 0, bank: 0, row: 7, col: 0 };
+            assert!(agg.enqueue_read(sub, Token(sub as u64), loc, false, 0));
+        }
+        let mut done = Vec::new();
+        for now in 0..100 {
+            agg.tick_mem(now);
+            done.extend(agg.take_completions());
+        }
+        assert_eq!(done.len(), 4);
+        let mut ends: Vec<u64> = done.iter().map(|(_, c)| c.data_end_mem).collect();
+        ends.sort_unstable();
+        // Commands issue on consecutive cycles (one per cycle on the shared
+        // bus); data buses are independent so bursts overlap.
+        assert_eq!(ends, vec![12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn conflicts_counted_when_slot_contended() {
+        let mut agg = rld_agg();
+        for sub in 0..4 {
+            for r in 0..4u32 {
+                let loc = Loc { rank: 0, bank: r as u8, row: r, col: 0 };
+                assert!(agg.enqueue_read(sub, Token((sub * 10 + r as usize) as u64), loc, false, 0));
+            }
+        }
+        for now in 0..200 {
+            agg.tick_mem(now);
+        }
+        assert!(agg.cmd_bus_conflicts > 0);
+    }
+
+    #[test]
+    fn round_robin_is_fair() {
+        let mut agg = rld_agg();
+        // Saturate two sub-channels; both should make progress.
+        for r in 0..8u32 {
+            for sub in [0usize, 1] {
+                let loc = Loc { rank: 0, bank: (r % 16) as u8, row: r, col: 0 };
+                agg.enqueue_read(sub, Token((sub as u64) << 32 | u64::from(r)), loc, false, 0);
+            }
+        }
+        let mut done = Vec::new();
+        for now in 0..500 {
+            agg.tick_mem(now);
+            done.extend(agg.take_completions());
+        }
+        let sub0 = done.iter().filter(|(s, _)| *s == 0).count();
+        let sub1 = done.iter().filter(|(s, _)| *s == 1).count();
+        assert_eq!(sub0, 8);
+        assert_eq!(sub1, 8);
+    }
+}

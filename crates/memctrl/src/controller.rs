@@ -1,0 +1,799 @@
+//! A per-channel FR-FCFS transaction scheduler (USIMM-style).
+//!
+//! Each controller owns one [`Channel`] and two transaction queues. Per
+//! device cycle it issues at most one DRAM command, chosen by
+//! First-Ready-First-Come-First-Served order:
+//!
+//! 1. oldest transaction whose **column** command is ready (row-buffer hit),
+//! 2. oldest whose **activate** is ready,
+//! 3. oldest needing a **precharge** (row conflict), provided no older
+//!    queued transaction still wants the currently open row.
+//!
+//! Demand reads outrank prefetch reads until a prefetch exceeds the age
+//! threshold, at which point it is promoted (paper §5). Writes are
+//! scheduled in drain mode, entered above the high watermark and left at
+//! the low watermark (Table 1: 48-entry queues, watermarks 32/16), or
+//! opportunistically when the read queue is empty.
+
+use dram_timing::{
+    AddressingStyle, BankState, Channel, Command, DeviceConfig, DeviceKind, PagePolicy,
+    PowerState,
+};
+
+use crate::mapping::Loc;
+use crate::request::Token;
+
+/// Transaction scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedPolicy {
+    /// First-Ready-FCFS: row hits jump ahead (the paper's policy, §5).
+    FrFcfs,
+    /// Strict in-order FCFS: only the oldest transaction's next command
+    /// may issue (ablation baseline).
+    Fcfs,
+}
+
+/// Tunable controller parameters (defaults follow the paper's Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtrlParams {
+    /// Read queue capacity.
+    pub read_q_capacity: usize,
+    /// Write queue capacity.
+    pub write_q_capacity: usize,
+    /// Enter write-drain mode at this write-queue occupancy.
+    pub wq_high: usize,
+    /// Leave write-drain mode at this occupancy.
+    pub wq_low: usize,
+    /// Prefetch age (device cycles) after which a prefetch read is promoted
+    /// to demand priority.
+    pub prefetch_promote_age: u64,
+    /// Scheduling policy.
+    pub policy: SchedPolicy,
+}
+
+impl Default for CtrlParams {
+    fn default() -> Self {
+        CtrlParams {
+            read_q_capacity: 48,
+            write_q_capacity: 48,
+            wq_high: 32,
+            wq_low: 16,
+            prefetch_promote_age: 400,
+            policy: SchedPolicy::FrFcfs,
+        }
+    }
+}
+
+/// A completed read, in device-cycle units (the owner converts to CPU
+/// cycles using the channel's clock ratio).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadCompletion {
+    /// Transaction handle given at enqueue.
+    pub token: Token,
+    /// Device cycle after the last data beat.
+    pub data_end_mem: u64,
+    /// Cycles spent queued (enqueue to column command).
+    pub queue_mem: u64,
+    /// Cycles from column command to last beat (core/service latency).
+    pub service_mem: u64,
+}
+
+/// End-of-run statistics for one controller.
+#[derive(Debug, Clone)]
+pub struct ControllerStats {
+    /// Device flavor behind this channel.
+    pub kind: DeviceKind,
+    /// Reporting label, e.g. `"ddr3-ch0"`.
+    pub label: String,
+    /// DRAM chips that participate in each access on this channel (for
+    /// power scaling: 9 on the baseline, 8 on LPDDR2, 1 on an x9 RLDRAM
+    /// sub-channel).
+    pub chips_per_access: u32,
+    /// Total device cycles elapsed.
+    pub mem_cycles: u64,
+    /// Clock period of this device in picoseconds.
+    pub t_ck_ps: u32,
+    /// Channel command/bus counters.
+    pub channel: dram_timing::ChannelStats,
+    /// Rank power-state residency (summed over ranks).
+    pub residency: dram_timing::Residency,
+    /// Number of ranks (residency is a sum over them).
+    pub ranks: u32,
+    /// Reads completed.
+    pub reads_done: u64,
+    /// Writes completed.
+    pub writes_done: u64,
+    /// Sum of read queueing delays in nanoseconds.
+    pub sum_queue_ns: f64,
+    /// Sum of read service latencies in nanoseconds.
+    pub sum_service_ns: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Txn {
+    token: Token,
+    loc: Loc,
+    prefetch: bool,
+    enqueue_mem: u64,
+    classified: bool,
+}
+
+/// One memory channel's transaction scheduler.
+#[derive(Debug)]
+pub struct Controller {
+    cfg: DeviceConfig,
+    params: CtrlParams,
+    label: String,
+    chips_per_access: u32,
+    channel: Channel,
+    read_q: Vec<Txn>,
+    write_q: Vec<Txn>,
+    drain: bool,
+    refresh_deadline: Vec<u64>,
+    refresh_bank_rr: Vec<u8>,
+    completions: Vec<ReadCompletion>,
+    mem_cycles: u64,
+    reads_done: u64,
+    writes_done: u64,
+    sum_queue_mem: u64,
+    sum_service_mem: u64,
+    next_token: u64,
+}
+
+impl Controller {
+    /// Create a controller over `ranks` ranks of `cfg` devices.
+    #[must_use]
+    pub fn new(cfg: DeviceConfig, ranks: u32, chips_per_access: u32, label: &str) -> Self {
+        Self::with_params(cfg, ranks, chips_per_access, label, CtrlParams::default())
+    }
+
+    /// Create a controller with explicit queue parameters.
+    #[must_use]
+    pub fn with_params(
+        cfg: DeviceConfig,
+        ranks: u32,
+        chips_per_access: u32,
+        label: &str,
+        params: CtrlParams,
+    ) -> Self {
+        let t_refi = u64::from(cfg.timings.t_refi);
+        let channel = Channel::new(cfg.clone(), ranks);
+        Controller {
+            cfg,
+            params,
+            label: label.to_owned(),
+            chips_per_access,
+            channel,
+            read_q: Vec::new(),
+            write_q: Vec::new(),
+            drain: false,
+            refresh_deadline: (0..ranks).map(|r| t_refi.max(1) + u64::from(r) * 7).collect(),
+            refresh_bank_rr: vec![0; ranks as usize],
+            completions: Vec::new(),
+            mem_cycles: 0,
+            reads_done: 0,
+            writes_done: 0,
+            sum_queue_mem: 0,
+            sum_service_mem: 0,
+            next_token: 0,
+        }
+    }
+
+    /// Device configuration behind this channel.
+    #[must_use]
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// True if a read can currently be accepted.
+    #[must_use]
+    pub fn read_space(&self) -> bool {
+        self.read_q.len() < self.params.read_q_capacity
+    }
+
+    /// True if a write can currently be accepted.
+    #[must_use]
+    pub fn write_space(&self) -> bool {
+        self.write_q.len() < self.params.write_q_capacity
+    }
+
+    /// Current read-queue occupancy.
+    #[must_use]
+    pub fn read_q_len(&self) -> usize {
+        self.read_q.len()
+    }
+
+    /// Current write-queue occupancy.
+    #[must_use]
+    pub fn write_q_len(&self) -> usize {
+        self.write_q.len()
+    }
+
+    /// Enqueue a read transaction; returns its token, or `None` when full.
+    pub fn enqueue_read(
+        &mut self,
+        token: Token,
+        loc: Loc,
+        prefetch: bool,
+        enqueue_mem: u64,
+    ) -> bool {
+        if !self.read_space() {
+            return false;
+        }
+        self.read_q.push(Txn { token, loc, prefetch, enqueue_mem, classified: false });
+        true
+    }
+
+    /// Enqueue a writeback; returns `false` when the write queue is full.
+    pub fn enqueue_write(&mut self, loc: Loc, enqueue_mem: u64) -> bool {
+        if !self.write_space() {
+            return false;
+        }
+        let token = Token(u64::MAX - self.next_token);
+        self.next_token += 1;
+        self.write_q.push(Txn { token, loc, prefetch: false, enqueue_mem, classified: false });
+        true
+    }
+
+    /// Take the read completions produced since the last call.
+    pub fn take_completions(&mut self) -> Vec<ReadCompletion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Record every DRAM command this controller issues (protocol audit).
+    pub fn enable_command_log(&mut self) {
+        self.channel.enable_command_log();
+    }
+
+    /// Take the `(cycle, command)` log recorded so far.
+    pub fn take_command_log(&mut self) -> Vec<(u64, dram_timing::Command)> {
+        self.channel.take_command_log()
+    }
+
+    /// Advance one device cycle. `cmd_allowed` is false when a shared
+    /// address/command bus gave this cycle's slot to a sibling sub-channel
+    /// (§4.2.4). Returns `true` iff a command was issued.
+    pub fn tick_mem(&mut self, now: u64, cmd_allowed: bool) -> bool {
+        self.mem_cycles = self.mem_cycles.max(now + 1);
+        self.manage_power(now);
+        if !cmd_allowed {
+            return false;
+        }
+        if self.tick_refresh(now) {
+            return true;
+        }
+        // Write-drain hysteresis.
+        if self.write_q.len() >= self.params.wq_high {
+            self.drain = true;
+        } else if self.write_q.len() <= self.params.wq_low {
+            self.drain = false;
+        }
+        if self.drain {
+            // Read-favouring drain: a demand read whose row is already
+            // open (a row-buffer hit) may bypass the drain — it costs the
+            // write stream almost nothing and avoids multi-hundred-cycle
+            // read blackouts. When the write queue is nearly overflowing,
+            // writes go unconditionally first.
+            let urgent = self.write_q.len() + 2 >= self.params.write_q_capacity;
+            if !urgent {
+                for demand in [true, false] {
+                    if let Some(i) = self.find_column(now, true, demand) {
+                        self.issue_column(now, true, i);
+                        return true;
+                    }
+                }
+            }
+            self.schedule(now, false) || self.schedule(now, true)
+        } else if !self.read_q.is_empty() {
+            self.schedule(now, true)
+        } else {
+            self.schedule(now, false)
+        }
+    }
+
+    /// Wake ranks that have pending work; sleep ranks that do not.
+    fn manage_power(&mut self, now: u64) {
+        let ranks = self.channel.ranks().len();
+        for r in 0..ranks {
+            let r8 = r as u8;
+            let busy = self
+                .read_q
+                .iter()
+                .chain(self.write_q.iter())
+                .any(|t| t.loc.rank == r8);
+            let refresh_due = self.cfg.timings.t_refi != 0
+                && now + u64::from(self.cfg.timings.t_xp) + 8 >= self.refresh_deadline[r];
+            let state = self.channel.ranks()[r].power_state();
+            if busy || (refresh_due && state == PowerState::PowerDown) {
+                if state != PowerState::Up {
+                    self.channel.wake_rank(r8, now);
+                }
+            } else if !busy && !refresh_due && state != PowerState::SelfRefresh {
+                self.channel.maybe_sleep(r8, now, true);
+            }
+        }
+    }
+
+    /// Handle refresh obligations. Returns `true` if a command was issued.
+    fn tick_refresh(&mut self, now: u64) -> bool {
+        if self.cfg.timings.t_refi == 0 {
+            return false;
+        }
+        let t_refi = u64::from(self.cfg.timings.t_refi);
+        for r in 0..self.channel.ranks().len() {
+            if now < self.refresh_deadline[r] {
+                continue;
+            }
+            let r8 = r as u8;
+            if self.channel.ranks()[r].power_state() == PowerState::SelfRefresh {
+                // Self-refresh handles this internally.
+                self.refresh_deadline[r] = now + t_refi;
+                continue;
+            }
+            match self.cfg.addressing {
+                AddressingStyle::SingleCommand => {
+                    // RLDRAM3: per-bank refresh, one bank per tREFI slot.
+                    let bank = self.refresh_bank_rr[r];
+                    let cmd = Command::RefreshBank { rank: r8, bank };
+                    if self.channel.can_issue(&cmd, now) {
+                        self.channel.issue(&cmd, now);
+                        self.refresh_bank_rr[r] =
+                            (bank + 1) % self.cfg.geometry.banks as u8;
+                        self.refresh_deadline[r] = now + t_refi;
+                        return true;
+                    }
+                }
+                AddressingStyle::RasCas => {
+                    // Close any open bank, then refresh the whole rank.
+                    let open: Vec<u8> = self.channel.ranks()[r]
+                        .banks()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, b)| !b.is_idle())
+                        .map(|(i, _)| i as u8)
+                        .collect();
+                    if open.is_empty() {
+                        let cmd = Command::Refresh { rank: r8 };
+                        if self.channel.can_issue(&cmd, now) {
+                            self.channel.issue(&cmd, now);
+                            self.refresh_deadline[r] = now + t_refi;
+                            return true;
+                        }
+                    } else {
+                        for bank in open {
+                            let cmd = Command::precharge(r8, bank);
+                            if self.channel.can_issue(&cmd, now) {
+                                self.channel.issue(&cmd, now);
+                                return true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// A rank is blocked for normal traffic while its refresh is overdue.
+    fn refresh_blocked(&self, rank: u8, now: u64) -> bool {
+        self.cfg.timings.t_refi != 0 && now >= self.refresh_deadline[usize::from(rank)]
+    }
+
+    /// True when `txn` currently counts as demand priority.
+    fn is_demand(&self, txn: &Txn, now: u64) -> bool {
+        !txn.prefetch || now.saturating_sub(txn.enqueue_mem) >= self.params.prefetch_promote_age
+    }
+
+    /// FR-FCFS (or strict FCFS) over one queue. Returns `true` iff a
+    /// command issued.
+    fn schedule(&mut self, now: u64, reads: bool) -> bool {
+        if (reads && self.read_q.is_empty()) || (!reads && self.write_q.is_empty()) {
+            return false;
+        }
+        if self.params.policy == SchedPolicy::Fcfs {
+            return self.schedule_fcfs(now, reads);
+        }
+        // Class-major: demand first, then (for reads) prefetch.
+        for demand_pass in [true, false] {
+            if !reads && !demand_pass {
+                break; // writes have a single class
+            }
+            if let Some(i) = self.find_column(now, reads, demand_pass) {
+                self.issue_column(now, reads, i);
+                return true;
+            }
+            if self.cfg.addressing == AddressingStyle::RasCas {
+                if let Some(i) = self.find_activate(now, reads, demand_pass) {
+                    self.issue_activate(now, reads, i);
+                    return true;
+                }
+                if let Some(i) = self.find_conflict_precharge(now, reads, demand_pass) {
+                    self.issue_precharge(now, reads, i);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Strict FCFS: only the oldest transaction may make progress.
+    fn schedule_fcfs(&mut self, now: u64, reads: bool) -> bool {
+        let (loc, refresh_blocked) = {
+            let t = &self.queue(reads)[0];
+            (t.loc, self.refresh_blocked(t.loc.rank, now))
+        };
+        if refresh_blocked {
+            return false;
+        }
+        let auto_pre = self.cfg.page_policy == PagePolicy::Closed;
+        let col = self.column_cmd(&self.queue(reads)[0], reads, auto_pre);
+        if self.channel.can_issue(&col, now) {
+            self.issue_column(now, reads, 0);
+            return true;
+        }
+        if self.cfg.addressing == AddressingStyle::RasCas {
+            match self.channel.bank_state(loc.rank, loc.bank) {
+                BankState::Idle => {
+                    let act = Command::activate(loc.rank, loc.bank, loc.row);
+                    if self.channel.can_issue(&act, now) {
+                        self.issue_activate(now, reads, 0);
+                        return true;
+                    }
+                }
+                BankState::Active { row } if row != loc.row => {
+                    let pre = Command::precharge(loc.rank, loc.bank);
+                    if self.channel.can_issue(&pre, now) {
+                        self.issue_precharge(now, reads, 0);
+                        return true;
+                    }
+                }
+                BankState::Active { .. } => {}
+            }
+        }
+        false
+    }
+
+    fn queue(&self, reads: bool) -> &Vec<Txn> {
+        if reads {
+            &self.read_q
+        } else {
+            &self.write_q
+        }
+    }
+
+    /// Oldest transaction whose column command is ready now.
+    fn find_column(&self, now: u64, reads: bool, demand: bool) -> Option<usize> {
+        let auto_pre = self.cfg.page_policy == PagePolicy::Closed;
+        for (i, t) in self.queue(reads).iter().enumerate() {
+            if self.is_demand(t, now) != demand || self.refresh_blocked(t.loc.rank, now) {
+                continue;
+            }
+            let cmd = self.column_cmd(t, reads, auto_pre);
+            if self.channel.can_issue(&cmd, now) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Oldest transaction whose bank is idle and whose ACT is ready.
+    fn find_activate(&self, now: u64, reads: bool, demand: bool) -> Option<usize> {
+        for (i, t) in self.queue(reads).iter().enumerate() {
+            if self.is_demand(t, now) != demand || self.refresh_blocked(t.loc.rank, now) {
+                continue;
+            }
+            if self.channel.bank_state(t.loc.rank, t.loc.bank) != BankState::Idle {
+                continue;
+            }
+            let cmd = Command::activate(t.loc.rank, t.loc.bank, t.loc.row);
+            if self.channel.can_issue(&cmd, now) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Oldest transaction blocked by a conflicting open row, where no older
+    /// same-class transaction still wants that open row.
+    fn find_conflict_precharge(&self, now: u64, reads: bool, demand: bool) -> Option<usize> {
+        let q = self.queue(reads);
+        for (i, t) in q.iter().enumerate() {
+            if self.is_demand(t, now) != demand || self.refresh_blocked(t.loc.rank, now) {
+                continue;
+            }
+            let open = match self.channel.bank_state(t.loc.rank, t.loc.bank) {
+                BankState::Active { row } if row != t.loc.row => row,
+                _ => continue,
+            };
+            // Row-hit preservation: skip if a transaction of the queue
+            // being scheduled still targets the open row. Only the active
+            // queue may veto — a parked write must not block read-side
+            // precharges (that would wedge the bank until the next refresh,
+            // since writes are not scheduled while reads wait).
+            let wanted = q
+                .iter()
+                .any(|o| o.loc.rank == t.loc.rank && o.loc.bank == t.loc.bank && o.loc.row == open);
+            if wanted {
+                continue;
+            }
+            let cmd = Command::precharge(t.loc.rank, t.loc.bank);
+            if self.channel.can_issue(&cmd, now) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    fn column_cmd(&self, t: &Txn, reads: bool, auto_pre: bool) -> Command {
+        if reads {
+            Command::read(t.loc.rank, t.loc.bank, t.loc.row, auto_pre)
+        } else {
+            Command::write(t.loc.rank, t.loc.bank, t.loc.row, auto_pre)
+        }
+    }
+
+    fn issue_column(&mut self, now: u64, reads: bool, i: usize) {
+        let auto_pre = self.cfg.page_policy == PagePolicy::Closed;
+        let txn = if reads { self.read_q.remove(i) } else { self.write_q.remove(i) };
+        let cmd = self.column_cmd(&txn, reads, auto_pre);
+        let out = self.channel.issue(&cmd, now);
+        if !txn.classified {
+            // A direct column command on an open-page device is a row hit;
+            // on a close-page device every access pays the full activate.
+            match self.cfg.page_policy {
+                PagePolicy::Open => self.channel.stats_mut().row_hits += 1,
+                PagePolicy::Closed => self.channel.stats_mut().row_misses += 1,
+            }
+        }
+        if reads {
+            let data_end = out.data_end.expect("read produces data");
+            self.reads_done += 1;
+            let queue = now.saturating_sub(txn.enqueue_mem);
+            #[cfg(feature = "trace-long-waits")]
+            if queue > 200 {
+                eprintln!(
+                    "LONGWAIT q={} pf={} rank={} bank={} row={} now={}",
+                    queue, txn.prefetch, txn.loc.rank, txn.loc.bank, txn.loc.row, now
+                );
+            }
+            let service = data_end - now;
+            self.sum_queue_mem += queue;
+            self.sum_service_mem += service;
+            self.completions.push(ReadCompletion {
+                token: txn.token,
+                data_end_mem: data_end,
+                queue_mem: queue,
+                service_mem: service,
+            });
+        } else {
+            self.writes_done += 1;
+        }
+    }
+
+    fn issue_activate(&mut self, now: u64, reads: bool, i: usize) {
+        let (loc, classified) = {
+            let t = &self.queue(reads)[i];
+            (t.loc, t.classified)
+        };
+        let cmd = Command::activate(loc.rank, loc.bank, loc.row);
+        self.channel.issue(&cmd, now);
+        if !classified {
+            self.channel.stats_mut().row_misses += 1;
+        }
+        if reads {
+            self.read_q[i].classified = true;
+        } else {
+            self.write_q[i].classified = true;
+        }
+    }
+
+    fn issue_precharge(&mut self, now: u64, reads: bool, i: usize) {
+        let (loc, classified) = {
+            let t = &self.queue(reads)[i];
+            (t.loc, t.classified)
+        };
+        let cmd = Command::precharge(loc.rank, loc.bank);
+        self.channel.issue(&cmd, now);
+        if !classified {
+            self.channel.stats_mut().row_conflicts += 1;
+        }
+        if reads {
+            self.read_q[i].classified = true;
+        } else {
+            self.write_q[i].classified = true;
+        }
+    }
+
+    /// Snapshot statistics, settling residency up to `now` device cycles.
+    pub fn stats(&mut self, now: u64) -> ControllerStats {
+        let ns_per_cycle = f64::from(self.cfg.timings.t_ck_ps) / 1000.0;
+        ControllerStats {
+            kind: self.cfg.kind,
+            label: self.label.clone(),
+            chips_per_access: self.chips_per_access,
+            mem_cycles: now.max(self.mem_cycles),
+            t_ck_ps: self.cfg.timings.t_ck_ps,
+            channel: *self.channel.stats(),
+            residency: self.channel.residency(now.max(self.mem_cycles)),
+            ranks: self.channel.ranks().len() as u32,
+            reads_done: self.reads_done,
+            writes_done: self.writes_done,
+            sum_queue_ns: self.sum_queue_mem as f64 * ns_per_cycle,
+            sum_service_ns: self.sum_service_mem as f64 * ns_per_cycle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_timing::DeviceConfig;
+
+    fn ddr3_ctrl() -> Controller {
+        Controller::new(DeviceConfig::ddr3_1600(), 1, 9, "test")
+    }
+
+    fn run_until_done(ctrl: &mut Controller, max: u64) -> Vec<ReadCompletion> {
+        let mut done = Vec::new();
+        for now in 0..max {
+            ctrl.tick_mem(now, true);
+            done.extend(ctrl.take_completions());
+        }
+        done
+    }
+
+    #[test]
+    fn single_read_completes_with_miss_latency() {
+        let mut c = ddr3_ctrl();
+        let loc = Loc { rank: 0, bank: 0, row: 10, col: 0 };
+        assert!(c.enqueue_read(Token(1), loc, false, 0));
+        let done = run_until_done(&mut c, 200);
+        assert_eq!(done.len(), 1);
+        let t = DeviceConfig::ddr3_1600().timings;
+        // ACT at 0, READ at tRCD, data end at tRCD + tRL + tBURST.
+        assert_eq!(done[0].data_end_mem, u64::from(t.t_rcd + t.t_rl + t.t_burst));
+        assert_eq!(done[0].token, Token(1));
+    }
+
+    #[test]
+    fn row_hits_are_scheduled_first() {
+        let mut c = ddr3_ctrl();
+        // Two to the same row (different cols), one conflicting row, FCFS
+        // order: conflict arrives between the two hits.
+        assert!(c.enqueue_read(Token(1), Loc { rank: 0, bank: 0, row: 10, col: 0 }, false, 0));
+        assert!(c.enqueue_read(Token(2), Loc { rank: 0, bank: 0, row: 99, col: 0 }, false, 0));
+        assert!(c.enqueue_read(Token(3), Loc { rank: 0, bank: 0, row: 10, col: 4 }, false, 0));
+        let done = run_until_done(&mut c, 400);
+        assert_eq!(done.len(), 3);
+        let order: Vec<Token> = done.iter().map(|d| d.token).collect();
+        // FR-FCFS reorders token 3 (row hit) ahead of token 2 (conflict).
+        assert_eq!(order, vec![Token(1), Token(3), Token(2)]);
+        let stats = c.stats(400);
+        assert_eq!(stats.channel.row_hits, 1);
+        assert_eq!(stats.channel.row_conflicts, 1);
+        assert_eq!(stats.channel.row_misses, 1);
+    }
+
+    #[test]
+    fn demand_outranks_fresh_prefetch() {
+        let mut c = ddr3_ctrl();
+        assert!(c.enqueue_read(Token(1), Loc { rank: 0, bank: 0, row: 1, col: 0 }, true, 0));
+        assert!(c.enqueue_read(Token(2), Loc { rank: 0, bank: 1, row: 1, col: 0 }, false, 0));
+        let done = run_until_done(&mut c, 300);
+        assert_eq!(done[0].token, Token(2), "demand first despite FCFS order");
+    }
+
+    #[test]
+    fn old_prefetch_is_promoted() {
+        let mut c = ddr3_ctrl();
+        assert!(c.enqueue_read(Token(1), Loc { rank: 0, bank: 0, row: 1, col: 0 }, true, 0));
+        // Age the prefetch past the promotion threshold with idle ticks...
+        let mut now = 0;
+        while now < 401 {
+            // hold scheduling back by denying the command slot
+            c.tick_mem(now, false);
+            now += 1;
+        }
+        assert!(c.enqueue_read(Token(2), Loc { rank: 0, bank: 1, row: 1, col: 0 }, false, now));
+        let mut done = Vec::new();
+        for t in now..now + 300 {
+            c.tick_mem(t, true);
+            done.extend(c.take_completions());
+        }
+        assert_eq!(done[0].token, Token(1), "aged prefetch keeps FCFS order");
+    }
+
+    #[test]
+    fn write_drain_hysteresis() {
+        let mut c = ddr3_ctrl();
+        // Fill write queue to the high watermark.
+        for i in 0..32u32 {
+            assert!(c.enqueue_write(Loc { rank: 0, bank: (i % 8) as u8, row: i, col: 0 }, 0));
+        }
+        assert!(c.enqueue_read(Token(9), Loc { rank: 0, bank: 0, row: 500, col: 0 }, false, 0));
+        // Drain mode must service writes below the low watermark before the
+        // read goes out.
+        let mut read_done_at = None;
+        for now in 0..5_000 {
+            c.tick_mem(now, true);
+            for d in c.take_completions() {
+                read_done_at = Some((now, d));
+            }
+            if read_done_at.is_some() {
+                break;
+            }
+        }
+        let (_, _d) = read_done_at.expect("read eventually completes");
+        assert!(c.write_q_len() <= 16, "drain ran to the low watermark");
+    }
+
+    #[test]
+    fn refresh_happens_periodically() {
+        let mut c = ddr3_ctrl();
+        for now in 0..20_000 {
+            c.tick_mem(now, true);
+        }
+        let s = c.stats(20_000);
+        // 20000 cycles / tREFI(6240) ≈ 3 refreshes.
+        assert!(s.channel.refreshes >= 2, "got {}", s.channel.refreshes);
+    }
+
+    #[test]
+    fn rldram_reads_have_no_act() {
+        let mut c = Controller::new(DeviceConfig::rldram3(), 1, 1, "rld");
+        for i in 0..4u32 {
+            assert!(c.enqueue_read(
+                Token(u64::from(i)),
+                Loc { rank: 0, bank: i as u8, row: i, col: 0 },
+                false,
+                0
+            ));
+        }
+        let done = run_until_done(&mut c, 200);
+        assert_eq!(done.len(), 4);
+        let t = DeviceConfig::rldram3().timings;
+        // First read issues at 0: data end at tRL + tBURST = 12; subsequent
+        // ones pipeline on the data bus every tBURST cycles.
+        assert_eq!(done[0].data_end_mem, u64::from(t.t_rl + t.t_burst));
+        assert_eq!(done[1].data_end_mem - done[0].data_end_mem, u64::from(t.t_burst));
+    }
+
+    #[test]
+    fn queue_capacity_is_enforced() {
+        let mut c = ddr3_ctrl();
+        for i in 0..48u64 {
+            assert!(c.enqueue_read(Token(i), Loc { rank: 0, bank: 0, row: 1, col: i as u32 }, false, 0));
+        }
+        assert!(!c.read_space());
+        assert!(!c.enqueue_read(Token(99), Loc { rank: 0, bank: 0, row: 1, col: 0 }, false, 0));
+    }
+
+    #[test]
+    fn idle_rank_powers_down_and_recovers() {
+        let mut c = Controller::new(DeviceConfig::lpddr2_800(), 1, 8, "lp");
+        for now in 0..100 {
+            c.tick_mem(now, true);
+        }
+        let s = c.stats(100);
+        assert!(s.residency.precharge_powerdown > 0, "rank slept while idle");
+        // A late read still completes correctly after wake + tXP.
+        assert!(c.enqueue_read(Token(1), Loc { rank: 0, bank: 0, row: 3, col: 1 }, false, 100));
+        let mut done = Vec::new();
+        for now in 100..400 {
+            c.tick_mem(now, true);
+            done.extend(c.take_completions());
+        }
+        assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn stats_latency_units_are_ns() {
+        let mut c = ddr3_ctrl();
+        assert!(c.enqueue_read(Token(1), Loc { rank: 0, bank: 0, row: 10, col: 0 }, false, 0));
+        run_until_done(&mut c, 200);
+        let s = c.stats(200);
+        let t = DeviceConfig::ddr3_1600().timings;
+        let expect_service_ns = f64::from(t.t_rl + t.t_burst) * 1.25;
+        assert!((s.sum_service_ns - expect_service_ns).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,306 @@
+//! A homogeneous main memory: N identical channels of one device type.
+//!
+//! This is the paper's baseline (4 × 72-bit DDR3 channels, Table 1) and the
+//! all-RLDRAM3 / all-LPDDR2 design points of Figure 1. A read's critical
+//! word and line fill complete together — the conventional bus-level
+//! critical-word-first only helps by a few CPU cycles and the ECC check
+//! needs the whole line anyway (§1, §4.2.3), so both events carry the
+//! burst-end timestamp.
+
+use dram_timing::{DeviceConfig, DeviceKind, PagePolicy};
+
+use crate::controller::{Controller, CtrlParams};
+use crate::mapping::{AddressMapper, MappingScheme};
+use crate::request::{
+    AccessKind, LineRequest, MainMemory, MemBusy, MemEvent, MemSystemStats, Token,
+};
+
+/// N identical channels of one DRAM flavor behind one address mapper.
+#[derive(Debug)]
+pub struct HomogeneousMemory {
+    controllers: Vec<Controller>,
+    mapper: AddressMapper,
+    /// CPU cycles per device cycle.
+    ratio: u64,
+    next_token: u64,
+    /// (cpu_cycle_ready, token) for reads whose data is in flight.
+    pending: Vec<(u64, Token)>,
+}
+
+impl HomogeneousMemory {
+    /// Build a homogeneous memory from a device preset.
+    ///
+    /// `chips_per_access` is the number of devices a single access
+    /// activates (9 for the 72-bit ECC baseline).
+    #[must_use]
+    pub fn new(
+        cfg: DeviceConfig,
+        channels: u32,
+        ranks: u32,
+        chips_per_access: u32,
+        params: CtrlParams,
+    ) -> Self {
+        let scheme = match cfg.page_policy {
+            PagePolicy::Open => MappingScheme::OpenPageRowLocality,
+            PagePolicy::Closed => MappingScheme::ClosePageBankInterleave,
+        };
+        Self::with_scheme(cfg, channels, ranks, chips_per_access, params, scheme)
+    }
+
+    /// Build with an explicit address-interleaving scheme (mapping
+    /// ablations; `new` picks the best scheme for the page policy).
+    #[must_use]
+    pub fn with_scheme(
+        cfg: DeviceConfig,
+        channels: u32,
+        ranks: u32,
+        chips_per_access: u32,
+        params: CtrlParams,
+        scheme: MappingScheme,
+    ) -> Self {
+        let mapper = AddressMapper::new(
+            scheme,
+            channels,
+            ranks,
+            cfg.geometry.banks,
+            cfg.geometry.lines_per_row,
+            cfg.geometry.rows,
+        );
+        let ratio = u64::from(cfg.cpu_cycles_per_mem_cycle);
+        let kind = format!("{}", cfg.kind).to_lowercase();
+        let controllers = (0..channels)
+            .map(|i| {
+                Controller::with_params(
+                    cfg.clone(),
+                    ranks,
+                    chips_per_access,
+                    &format!("{kind}-ch{i}"),
+                    params,
+                )
+            })
+            .collect();
+        HomogeneousMemory { controllers, mapper, ratio, next_token: 0, pending: Vec::new() }
+    }
+
+    /// The paper's baseline: four 72-bit DDR3-1600 channels, one 9-device
+    /// rank each (Table 1).
+    #[must_use]
+    pub fn baseline_ddr3() -> Self {
+        Self::new(DeviceConfig::ddr3_1600(), 4, 1, 9, CtrlParams::default())
+    }
+
+    /// Figure 1's all-LPDDR2 design point (same topology as the baseline).
+    #[must_use]
+    pub fn all_lpddr2() -> Self {
+        Self::new(DeviceConfig::lpddr2_800(), 4, 1, 9, CtrlParams::default())
+    }
+
+    /// Figure 1's all-RLDRAM3 design point: four 72-bit channels of x18
+    /// parts (4 devices per access), close page.
+    #[must_use]
+    pub fn all_rldram3() -> Self {
+        Self::new(DeviceConfig::rldram3(), 4, 1, 4, CtrlParams::default())
+    }
+
+    /// Preset by device kind, baseline topology.
+    #[must_use]
+    pub fn preset(kind: DeviceKind) -> Self {
+        match kind {
+            DeviceKind::Ddr3 => Self::baseline_ddr3(),
+            DeviceKind::Lpddr2 => Self::all_lpddr2(),
+            DeviceKind::Rldram3 => Self::all_rldram3(),
+        }
+    }
+
+    fn mem_now(&self, now: u64) -> u64 {
+        now / self.ratio
+    }
+
+    /// The per-channel controllers (diagnostics).
+    #[must_use]
+    pub fn controllers(&self) -> &[Controller] {
+        &self.controllers
+    }
+}
+
+impl MainMemory for HomogeneousMemory {
+    fn try_submit(&mut self, req: &LineRequest, now: u64) -> Result<Option<Token>, MemBusy> {
+        let (chan, loc) = self.mapper.decode(req.line_addr);
+        let ctrl = &mut self.controllers[usize::from(chan)];
+        let mem_now = now / self.ratio;
+        match req.kind {
+            AccessKind::Write { .. } => {
+                if ctrl.enqueue_write(loc, mem_now) {
+                    Ok(None)
+                } else {
+                    Err(MemBusy)
+                }
+            }
+            AccessKind::DemandRead | AccessKind::PrefetchRead => {
+                let token = Token(self.next_token);
+                let prefetch = req.kind == AccessKind::PrefetchRead;
+                if ctrl.enqueue_read(token, loc, prefetch, mem_now) {
+                    self.next_token += 1;
+                    Ok(Some(token))
+                } else {
+                    Err(MemBusy)
+                }
+            }
+        }
+    }
+
+    fn tick(&mut self, now: u64) {
+        if now % self.ratio != 0 {
+            return;
+        }
+        let mem_now = self.mem_now(now);
+        for ctrl in &mut self.controllers {
+            ctrl.tick_mem(mem_now, true);
+            for c in ctrl.take_completions() {
+                self.pending.push((c.data_end_mem * self.ratio, c.token));
+            }
+        }
+    }
+
+    fn drain_events(&mut self, now: u64, out: &mut Vec<MemEvent>) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].0 <= now {
+                let (at, token) = self.pending.swap_remove(i);
+                // Baseline: the critical word is only a handful of CPU
+                // cycles early and gated by the line-wide ECC check, so
+                // all words arrive together with the line fill.
+                out.push(MemEvent::WordsAvailable { token, at, words: 0xFF, served_fast: false });
+                out.push(MemEvent::LineFilled { token, at });
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn stats(&mut self, now: u64) -> MemSystemStats {
+        let mem_now = now / self.ratio;
+        MemSystemStats {
+            controllers: self.controllers.iter_mut().map(|c| c.stats(mem_now)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(mem: &mut HomogeneousMemory, upto: u64, out: &mut Vec<MemEvent>) {
+        for now in 0..upto {
+            mem.tick(now);
+            mem.drain_events(now, out);
+        }
+    }
+
+    #[test]
+    fn read_produces_both_events_coincident() {
+        let mut mem = HomogeneousMemory::baseline_ddr3();
+        let tok = mem
+            .try_submit(&LineRequest::demand_read(0x10_000, 3, 0), 0)
+            .unwrap()
+            .unwrap();
+        let mut ev = Vec::new();
+        run(&mut mem, 1_000, &mut ev);
+        let crit = ev
+            .iter()
+            .find(|e| matches!(e, MemEvent::WordsAvailable { token, words: 0xFF, .. } if *token == tok))
+            .expect("words available event");
+        let fill = ev
+            .iter()
+            .find(|e| matches!(e, MemEvent::LineFilled { token, .. } if *token == tok))
+            .expect("line fill event");
+        assert_eq!(crit.at(), fill.at());
+        // ACT(0) + tRCD(11) + tRL(11) + burst(4) = 26 mem cycles = 104 CPU.
+        assert_eq!(fill.at(), 104);
+    }
+
+    #[test]
+    fn writes_are_fire_and_forget() {
+        let mut mem = HomogeneousMemory::baseline_ddr3();
+        let res = mem.try_submit(&LineRequest::writeback(0x40, 0, 0), 0).unwrap();
+        assert!(res.is_none());
+        let mut ev = Vec::new();
+        run(&mut mem, 2_000, &mut ev);
+        assert!(ev.is_empty(), "writes produce no events");
+        let stats = mem.stats(2_000);
+        assert_eq!(stats.total_writes(), 1);
+    }
+
+    #[test]
+    fn channel_interleaving_spreads_load() {
+        let mut mem = HomogeneousMemory::baseline_ddr3();
+        for i in 0..8u64 {
+            mem.try_submit(&LineRequest::demand_read(i * 64, 0, 0), 0).unwrap();
+        }
+        let mut ev = Vec::new();
+        run(&mut mem, 2_000, &mut ev);
+        let stats = mem.stats(2_000);
+        for c in &stats.controllers {
+            assert_eq!(c.reads_done, 2, "{}", c.label);
+        }
+    }
+
+    #[test]
+    fn rldram_memory_is_faster_than_ddr3_for_random_reads() {
+        let latency = |mut mem: HomogeneousMemory| {
+            // Scatter reads over banks to provoke bank conflicts on DDR3.
+            let mut toks = Vec::new();
+            for i in 0..32u64 {
+                let addr = i * 64 * 997; // pseudo-random stride
+                if let Ok(Some(t)) = mem.try_submit(&LineRequest::demand_read(addr, 0, 0), 0) {
+                    toks.push(t);
+                }
+            }
+            let mut ev = Vec::new();
+            for now in 0..100_000u64 {
+                mem.tick(now);
+                mem.drain_events(now, &mut ev);
+                if ev.iter().filter(|e| matches!(e, MemEvent::LineFilled { .. })).count()
+                    == toks.len()
+                {
+                    break;
+                }
+            }
+            ev.iter().map(MemEvent::at).max().unwrap()
+        };
+        let ddr = latency(HomogeneousMemory::baseline_ddr3());
+        let rld = latency(HomogeneousMemory::all_rldram3());
+        assert!(
+            rld < ddr,
+            "RLDRAM3 ({rld} cycles) should beat DDR3 ({ddr} cycles) on random reads"
+        );
+    }
+
+    #[test]
+    fn lpddr2_is_slower_than_ddr3_for_a_single_read() {
+        let one = |mut mem: HomogeneousMemory| {
+            mem.try_submit(&LineRequest::demand_read(0, 0, 0), 0).unwrap();
+            let mut ev = Vec::new();
+            run(&mut mem, 5_000, &mut ev);
+            ev[0].at()
+        };
+        assert!(one(HomogeneousMemory::all_lpddr2()) > one(HomogeneousMemory::baseline_ddr3()));
+    }
+
+    #[test]
+    fn busy_queue_rejects_then_recovers() {
+        let mut mem = HomogeneousMemory::baseline_ddr3();
+        let mut accepted = 0u32;
+        // All to channel 0 (stride of 4 lines) until the queue fills.
+        for i in 0..100u64 {
+            match mem.try_submit(&LineRequest::demand_read(i * 4 * 64 * 997, 0, 0), 0) {
+                Ok(_) => accepted += 1,
+                Err(MemBusy) => break,
+            }
+        }
+        assert_eq!(accepted, 48, "per-channel read queue is 48 entries");
+        let mut ev = Vec::new();
+        run(&mut mem, 20_000, &mut ev);
+        assert!(mem.try_submit(&LineRequest::demand_read(0, 0, 0), 20_000).is_ok());
+    }
+}

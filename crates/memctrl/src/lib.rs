@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! Memory controllers for the `cwfmem` simulator.
+//!
+//! This crate sits between the cache hierarchy and the `dram-timing`
+//! channels. It provides:
+//!
+//! * [`request`] — the [`LineRequest`]/[`MemEvent`] vocabulary and the
+//!   [`MainMemory`] trait every memory backend (homogeneous or the paper's
+//!   CWF heterogeneous design) implements;
+//! * [`mapping`] — physical address interleaving schemes (the open-page
+//!   row-locality mapping of the baseline, and close-page bank interleaving
+//!   for RLDRAM3);
+//! * [`controller`] — a per-channel FR-FCFS transaction scheduler with
+//!   48-entry read/write queues, write-drain watermarks (32/16), refresh
+//!   scheduling, demand-over-prefetch priority with age promotion, and
+//!   power-state management (Table 1 of the paper);
+//! * [`aggregate`] — the sub-ranked controller of §4.2.4: several skinny
+//!   data channels sharing one double-data-rate address/command bus (one
+//!   command per device cycle across all sub-channels);
+//! * [`homogeneous`] — a complete [`MainMemory`] built from N identical
+//!   channels (the baseline and the all-RLDRAM3 / all-LPDDR2 comparison
+//!   points of Figure 1).
+//!
+//! # Examples
+//!
+//! ```
+//! use mem_ctrl::{HomogeneousMemory, LineRequest, MainMemory};
+//!
+//! let mut mem = HomogeneousMemory::baseline_ddr3();
+//! let req = LineRequest::demand_read(0x4000, 0, 0);
+//! let token = mem.try_submit(&req, 0).unwrap().unwrap();
+//! let mut events = Vec::new();
+//! for cyc in 0..2_000 {
+//!     mem.tick(cyc);
+//!     mem.drain_events(cyc, &mut events);
+//! }
+//! assert!(events.iter().any(|e| e.token() == token));
+//! ```
+
+pub mod aggregate;
+pub mod controller;
+pub mod homogeneous;
+pub mod mapping;
+pub mod request;
+
+pub use aggregate::AggregatedController;
+pub use controller::{Controller, ControllerStats, CtrlParams, SchedPolicy};
+pub use homogeneous::HomogeneousMemory;
+pub use mapping::{AddressMapper, Loc, MappingScheme};
+pub use request::{AccessKind, LineRequest, MainMemory, MemBusy, MemEvent, MemSystemStats, Token};

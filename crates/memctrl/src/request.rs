@@ -1,0 +1,242 @@
+//! Request/event vocabulary shared by all memory backends.
+
+use crate::controller::ControllerStats;
+
+/// Opaque handle identifying an in-flight read transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub u64);
+
+/// What kind of access a [`LineRequest`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A demand read caused by a core's load (or store miss).
+    DemandRead,
+    /// A prefetcher-generated read (lower priority at the controller).
+    PrefetchRead,
+    /// A dirty-line writeback. `predicted_critical` carries the critical
+    /// word the adaptive CWF placement should install for this line
+    /// (§4.2.5); homogeneous backends ignore it.
+    Write {
+        /// Critical word observed on the line's last fetch (0–7).
+        predicted_critical: u8,
+    },
+}
+
+/// One cache-line transaction presented to main memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineRequest {
+    /// Byte address of the 64-byte-aligned cache line.
+    pub line_addr: u64,
+    /// Which of the 8 words the waiting instruction needs first (0–7).
+    pub critical_word: u8,
+    /// Demand read, prefetch read or writeback.
+    pub kind: AccessKind,
+    /// Requesting core (for statistics and fairness accounting).
+    pub core: u8,
+}
+
+impl LineRequest {
+    /// A demand read for `line_addr` whose critical word is `critical_word`.
+    #[must_use]
+    pub fn demand_read(line_addr: u64, critical_word: u8, core: u8) -> Self {
+        LineRequest { line_addr, critical_word, kind: AccessKind::DemandRead, core }
+    }
+
+    /// A prefetch read (critical word irrelevant; word 0 by convention).
+    #[must_use]
+    pub fn prefetch_read(line_addr: u64, core: u8) -> Self {
+        LineRequest { line_addr, critical_word: 0, kind: AccessKind::PrefetchRead, core }
+    }
+
+    /// A writeback of a dirty line, tagging the predicted critical word.
+    #[must_use]
+    pub fn writeback(line_addr: u64, predicted_critical: u8, core: u8) -> Self {
+        LineRequest {
+            line_addr,
+            critical_word: predicted_critical,
+            kind: AccessKind::Write { predicted_critical },
+            core,
+        }
+    }
+
+    /// True for reads (demand or prefetch).
+    #[must_use]
+    pub fn is_read(&self) -> bool {
+        !matches!(self.kind, AccessKind::Write { .. })
+    }
+}
+
+/// Completion events a memory backend reports back to the hierarchy.
+///
+/// A read produces one or two [`MemEvent::WordsAvailable`] events (the CWF
+/// design delivers the fast DIMM's word and the slow DIMM's words
+/// separately, possibly tens of CPU cycles apart) followed by — or
+/// coincident with — one [`MemEvent::LineFilled`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemEvent {
+    /// Some words of the line are home and passed their early check:
+    /// instructions waiting on any of them may be woken.
+    WordsAvailable {
+        /// Transaction this event belongs to.
+        token: Token,
+        /// CPU cycle of availability.
+        at: u64,
+        /// Bitmask of 64-bit word indices now available (bit *i* ⇒ word *i*).
+        words: u8,
+        /// Whether the low-latency (fast) DIMM supplied these words.
+        served_fast: bool,
+    },
+    /// The full line (and its ECC) has arrived: the caches may be filled
+    /// and the MSHR freed.
+    LineFilled {
+        /// Transaction this event belongs to.
+        token: Token,
+        /// CPU cycle of arrival.
+        at: u64,
+    },
+}
+
+impl MemEvent {
+    /// The transaction this event refers to.
+    #[must_use]
+    pub fn token(&self) -> Token {
+        match *self {
+            MemEvent::WordsAvailable { token, .. } | MemEvent::LineFilled { token, .. } => token,
+        }
+    }
+
+    /// CPU cycle at which the event takes effect.
+    #[must_use]
+    pub fn at(&self) -> u64 {
+        match *self {
+            MemEvent::WordsAvailable { at, .. } | MemEvent::LineFilled { at, .. } => at,
+        }
+    }
+}
+
+/// Error returned when a request cannot be accepted this cycle (queue full).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemBusy;
+
+impl std::fmt::Display for MemBusy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "memory transaction queue full")
+    }
+}
+
+impl std::error::Error for MemBusy {}
+
+/// Aggregated end-of-run statistics from a memory backend.
+#[derive(Debug, Clone, Default)]
+pub struct MemSystemStats {
+    /// One entry per controller (order is backend-defined but stable).
+    pub controllers: Vec<ControllerStats>,
+}
+
+impl MemSystemStats {
+    /// Total reads completed across all controllers.
+    #[must_use]
+    pub fn total_reads(&self) -> u64 {
+        self.controllers.iter().map(|c| c.reads_done).sum()
+    }
+
+    /// Total writes issued across all controllers.
+    #[must_use]
+    pub fn total_writes(&self) -> u64 {
+        self.controllers.iter().map(|c| c.writes_done).sum()
+    }
+
+    /// Mean read queueing delay in nanoseconds.
+    #[must_use]
+    pub fn avg_queue_ns(&self) -> f64 {
+        let (sum, n): (f64, u64) = self
+            .controllers
+            .iter()
+            .fold((0.0, 0), |(s, n), c| (s + c.sum_queue_ns, n + c.reads_done));
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Mean read service (core) latency in nanoseconds.
+    #[must_use]
+    pub fn avg_service_ns(&self) -> f64 {
+        let (sum, n): (f64, u64) = self
+            .controllers
+            .iter()
+            .fold((0.0, 0), |(s, n), c| (s + c.sum_service_ns, n + c.reads_done));
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+/// Interface every main-memory backend implements.
+///
+/// The full-system simulator drives this once per CPU cycle; backends with
+/// slower device clocks divide internally.
+pub trait MainMemory {
+    /// Try to accept a transaction at CPU cycle `now`.
+    ///
+    /// Returns `Ok(Some(token))` for reads, `Ok(None)` for writes (which
+    /// are fire-and-forget), or `Err(MemBusy)` when the relevant queue(s)
+    /// have no space — the caller must retry later.
+    ///
+    /// # Errors
+    ///
+    /// [`MemBusy`] when a transaction queue is full.
+    fn try_submit(&mut self, req: &LineRequest, now: u64) -> Result<Option<Token>, MemBusy>;
+
+    /// Advance internal state to CPU cycle `now`.
+    fn tick(&mut self, now: u64);
+
+    /// Append all events that have become visible by `now` to `out`.
+    fn drain_events(&mut self, now: u64, out: &mut Vec<MemEvent>);
+
+    /// Snapshot statistics (settling residency up to `now`).
+    fn stats(&mut self, now: u64) -> MemSystemStats;
+}
+
+impl<M: MainMemory + ?Sized> MainMemory for Box<M> {
+    fn try_submit(&mut self, req: &LineRequest, now: u64) -> Result<Option<Token>, MemBusy> {
+        (**self).try_submit(req, now)
+    }
+
+    fn tick(&mut self, now: u64) {
+        (**self).tick(now);
+    }
+
+    fn drain_events(&mut self, now: u64, out: &mut Vec<MemEvent>) {
+        (**self).drain_events(now, out);
+    }
+
+    fn stats(&mut self, now: u64) -> MemSystemStats {
+        (**self).stats(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_classify_reads_and_writes() {
+        assert!(LineRequest::demand_read(0, 3, 1).is_read());
+        assert!(LineRequest::prefetch_read(0, 1).is_read());
+        assert!(!LineRequest::writeback(0, 3, 1).is_read());
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = MemEvent::WordsAvailable { token: Token(7), at: 99, words: 0b1, served_fast: true };
+        assert_eq!(e.token(), Token(7));
+        assert_eq!(e.at(), 99);
+        let f = MemEvent::LineFilled { token: Token(8), at: 100 };
+        assert_eq!(f.token(), Token(8));
+        assert_eq!(f.at(), 100);
+    }
+}

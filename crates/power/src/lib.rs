@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! DRAM power and system energy models.
+//!
+//! Reimplements the Micron DRAM power-calculator methodology the paper uses
+//! (§5, "Power Modeling"): per-chip power is the sum of IDD-based
+//! background terms (weighted by power-state residency), activate/precharge
+//! energy, read/write burst power, refresh, and I/O termination. The
+//! paper's modifications for server-grade LPDDR2 are reproduced:
+//!
+//! * background/power-down currents kept at DDR3 levels to pay for the
+//!   added DLL, plus a static ODT term — the honest accounting that avoids
+//!   "artificially inflating the LPDDR2 power savings";
+//! * a Malladi-style *unterminated* variant (§7.2) with true mobile-class
+//!   background currents and no ODT.
+//!
+//! [`system`] implements the paper's whole-system energy model (§6.1.3):
+//! DRAM is 25% of baseline system power; one third of CPU power is static
+//! and the rest scales with activity.
+
+pub mod calculator;
+pub mod currents;
+pub mod system;
+
+pub use calculator::{
+    apply_pasr, channel_power, channel_power_with, default_table, power_at_utilization,
+    PowerBreakdown,
+};
+pub use currents::{IddTable, LpddrIo};
+pub use system::SystemEnergyModel;

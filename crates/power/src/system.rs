@@ -1,0 +1,92 @@
+//! Whole-system energy, per the paper's §6.1.3 methodology.
+//!
+//! "We assume the power consumption of the DRAM system in the baseline to
+//! be 25% of the entire system. We assume that one-third of the CPU power
+//! is constant (leakage + clock), while the rest scales linearly with CPU
+//! activity."
+
+/// System energy model anchored to a baseline run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemEnergyModel {
+    /// Non-DRAM ("CPU") power of the baseline system, watts.
+    cpu_power_w: f64,
+    /// Baseline aggregate IPC (activity reference).
+    baseline_ipc: f64,
+}
+
+impl SystemEnergyModel {
+    /// Anchor the model: baseline DRAM power is 25% of the system, so the
+    /// CPU side is three times the baseline DRAM power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline_dram_power_w` or `baseline_ipc` is not positive.
+    #[must_use]
+    pub fn from_baseline(baseline_dram_power_w: f64, baseline_ipc: f64) -> Self {
+        assert!(baseline_dram_power_w > 0.0, "baseline DRAM power must be positive");
+        assert!(baseline_ipc > 0.0, "baseline IPC must be positive");
+        SystemEnergyModel { cpu_power_w: 3.0 * baseline_dram_power_w, baseline_ipc }
+    }
+
+    /// CPU power for a configuration running at `ipc`.
+    ///
+    /// One third of CPU power is static; two thirds scale with activity
+    /// (IPC relative to the baseline).
+    #[must_use]
+    pub fn cpu_power_w(&self, ipc: f64) -> f64 {
+        let activity = ipc / self.baseline_ipc;
+        self.cpu_power_w * (1.0 / 3.0 + 2.0 / 3.0 * activity)
+    }
+
+    /// System power (CPU + DRAM) for a configuration.
+    #[must_use]
+    pub fn system_power_w(&self, dram_power_w: f64, ipc: f64) -> f64 {
+        self.cpu_power_w(ipc) + dram_power_w
+    }
+
+    /// System energy in joules over `seconds` of execution.
+    #[must_use]
+    pub fn system_energy_j(&self, dram_power_w: f64, ipc: f64, seconds: f64) -> f64 {
+        self.system_power_w(dram_power_w, ipc) * seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_split_is_25_75() {
+        let m = SystemEnergyModel::from_baseline(10.0, 2.0);
+        let total = m.system_power_w(10.0, 2.0);
+        assert!((total - 40.0).abs() < 1e-12);
+        assert!((10.0 / total - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpu_power_scales_with_activity() {
+        let m = SystemEnergyModel::from_baseline(10.0, 2.0);
+        // At baseline activity: full CPU power (30 W).
+        assert!((m.cpu_power_w(2.0) - 30.0).abs() < 1e-12);
+        // At zero activity: only the static third remains.
+        assert!((m.cpu_power_w(0.0) - 10.0).abs() < 1e-12);
+        // 50% higher IPC -> dynamic part grows 1.5x.
+        assert!((m.cpu_power_w(3.0) - (10.0 + 30.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_run_can_save_energy_despite_higher_power() {
+        let m = SystemEnergyModel::from_baseline(10.0, 2.0);
+        let base_energy = m.system_energy_j(10.0, 2.0, 1.0);
+        // A config that is 13% faster at equal DRAM power: 13% less time,
+        // slightly higher CPU power -> net win.
+        let fast_energy = m.system_energy_j(10.0, 2.26, 1.0 / 1.13);
+        assert!(fast_energy < base_energy);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline DRAM power must be positive")]
+    fn rejects_non_positive_power() {
+        let _ = SystemEnergyModel::from_baseline(0.0, 1.0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Run configurations: memory system kinds and simulation knobs.
+
+use cwf_core::{
+    CwfConfig, CwfStats, HeteroCwfMemory, PagePlacedMemory, PlacementPolicy, ProfilingMemory,
+};
+use mem_ctrl::{HomogeneousMemory, LineRequest, MainMemory, MemBusy, MemEvent, MemSystemStats, Token};
+
+/// A concrete memory backend (static dispatch over the paper's designs).
+#[derive(Debug)]
+pub enum MemBackend {
+    /// N identical channels of one device type.
+    Homogeneous(HomogeneousMemory),
+    /// The split-line CWF heterogeneous design.
+    Cwf(HeteroCwfMemory),
+    /// The §7.1 page-placement comparator.
+    PagePlaced(PagePlacedMemory),
+    /// A profiling pass over the baseline (collects page heat).
+    Profiling(ProfilingMemory<HomogeneousMemory>),
+}
+
+impl MemBackend {
+    /// CWF statistics if this backend is a CWF organization.
+    #[must_use]
+    pub fn cwf_stats(&self) -> Option<CwfStats> {
+        match self {
+            MemBackend::Cwf(m) => Some(*m.cwf_stats()),
+            _ => None,
+        }
+    }
+
+    /// Reads served by the fast channel for page-placed memory.
+    #[must_use]
+    pub fn page_placed(&self) -> Option<&PagePlacedMemory> {
+        match self {
+            MemBackend::PagePlaced(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The profiler, if this is a profiling pass.
+    #[must_use]
+    pub fn profiling(&self) -> Option<&ProfilingMemory<HomogeneousMemory>> {
+        match self {
+            MemBackend::Profiling(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Replay a warmed dirty eviction into the adaptive placement state
+    /// (no-op for backends without one).
+    pub fn seed_adaptive_tag(&mut self, line: u64, predicted_critical: u8) {
+        if let MemBackend::Cwf(m) = self {
+            m.seed_adaptive_tag(line, predicted_critical);
+        }
+    }
+
+    /// Install the adaptive placement's steady-state layout function.
+    pub fn set_steady_state_placement(&mut self, f: Box<dyn Fn(u64) -> Option<u8> + Send>) {
+        if let MemBackend::Cwf(m) = self {
+            m.set_steady_state_placement(f);
+        }
+    }
+}
+
+impl MainMemory for MemBackend {
+    fn try_submit(&mut self, req: &LineRequest, now: u64) -> Result<Option<Token>, MemBusy> {
+        match self {
+            MemBackend::Homogeneous(m) => m.try_submit(req, now),
+            MemBackend::Cwf(m) => m.try_submit(req, now),
+            MemBackend::PagePlaced(m) => m.try_submit(req, now),
+            MemBackend::Profiling(m) => m.try_submit(req, now),
+        }
+    }
+
+    fn tick(&mut self, now: u64) {
+        match self {
+            MemBackend::Homogeneous(m) => m.tick(now),
+            MemBackend::Cwf(m) => m.tick(now),
+            MemBackend::PagePlaced(m) => m.tick(now),
+            MemBackend::Profiling(m) => m.tick(now),
+        }
+    }
+
+    fn drain_events(&mut self, now: u64, out: &mut Vec<MemEvent>) {
+        match self {
+            MemBackend::Homogeneous(m) => m.drain_events(now, out),
+            MemBackend::Cwf(m) => m.drain_events(now, out),
+            MemBackend::PagePlaced(m) => m.drain_events(now, out),
+            MemBackend::Profiling(m) => m.drain_events(now, out),
+        }
+    }
+
+    fn stats(&mut self, now: u64) -> MemSystemStats {
+        match self {
+            MemBackend::Homogeneous(m) => m.stats(now),
+            MemBackend::Cwf(m) => m.stats(now),
+            MemBackend::PagePlaced(m) => m.stats(now),
+            MemBackend::Profiling(m) => m.stats(now),
+        }
+    }
+}
+
+/// Every memory organization evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemKind {
+    /// Baseline: 4 × 72-bit DDR3-1600 channels (Table 1).
+    Ddr3,
+    /// Homogeneous LPDDR2 (Figure 1).
+    Lpddr2,
+    /// Homogeneous RLDRAM3 (Figure 1).
+    Rldram3,
+    /// CWF: RLDRAM3 critical store + DDR3 bulk (Figure 6, "RD").
+    Rd,
+    /// CWF: RLDRAM3 critical store + LPDDR2 bulk — the flagship ("RL").
+    Rl,
+    /// CWF: DDR3 critical store + LPDDR2 bulk ("DL").
+    Dl,
+    /// RL with adaptive per-line placement (Figure 9, "RL AD").
+    RlAdaptive,
+    /// RL with oracular placement (Figure 9, "RL OR").
+    RlOracle,
+    /// RL with random word placement (§6.1.1 control).
+    RlRandom,
+}
+
+impl MemKind {
+    /// Display label matching the paper's figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MemKind::Ddr3 => "DDR3",
+            MemKind::Lpddr2 => "LPDDR2",
+            MemKind::Rldram3 => "RLDRAM3",
+            MemKind::Rd => "RD",
+            MemKind::Rl => "RL",
+            MemKind::Dl => "DL",
+            MemKind::RlAdaptive => "RL AD",
+            MemKind::RlOracle => "RL OR",
+            MemKind::RlRandom => "RL RAND",
+        }
+    }
+
+    /// Construct the memory backend for this kind.
+    #[must_use]
+    pub fn build(self, parity_error_rate: f64, seed: u64) -> MemBackend {
+        let cwf = |cfg: CwfConfig| -> MemBackend {
+            MemBackend::Cwf(HeteroCwfMemory::new(
+                cfg.with_parity_errors(parity_error_rate, seed ^ 0xC0FF_EE00),
+            ))
+        };
+        match self {
+            MemKind::Ddr3 => MemBackend::Homogeneous(HomogeneousMemory::baseline_ddr3()),
+            MemKind::Lpddr2 => MemBackend::Homogeneous(HomogeneousMemory::all_lpddr2()),
+            MemKind::Rldram3 => MemBackend::Homogeneous(HomogeneousMemory::all_rldram3()),
+            MemKind::Rd => cwf(CwfConfig::rd()),
+            MemKind::Rl => cwf(CwfConfig::rl()),
+            MemKind::Dl => cwf(CwfConfig::dl()),
+            MemKind::RlAdaptive => cwf(CwfConfig::rl().with_policy(PlacementPolicy::Adaptive)),
+            MemKind::RlOracle => cwf(CwfConfig::rl().with_policy(PlacementPolicy::Oracle)),
+            MemKind::RlRandom => cwf(CwfConfig::rl().with_policy(PlacementPolicy::Random)),
+        }
+    }
+
+    /// True for the split-line CWF organizations.
+    #[must_use]
+    pub fn is_cwf(self) -> bool {
+        matches!(
+            self,
+            MemKind::Rd
+                | MemKind::Rl
+                | MemKind::Dl
+                | MemKind::RlAdaptive
+                | MemKind::RlOracle
+                | MemKind::RlRandom
+        )
+    }
+}
+
+/// Knobs of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunConfig {
+    /// Memory organization.
+    pub mem: MemKind,
+    /// Cores (the paper uses 8; `IPC_alone` runs use 1).
+    pub cores: u8,
+    /// Measure until this many demand DRAM reads (after warm-up).
+    pub target_dram_reads: u64,
+    /// Demand DRAM reads of warm-up before measurement starts.
+    pub warmup_dram_reads: u64,
+    /// Hard cycle cap (safety net).
+    pub max_cycles: u64,
+    /// Stride prefetcher on/off (§6.1.1 ablation).
+    pub prefetch: bool,
+    /// Workload/backend seed.
+    pub seed: u64,
+    /// Critical-word parity error injection rate (§4.2.3).
+    pub parity_error_rate: f64,
+    /// Functional (timing-free) cache-warming memory operations per core
+    /// before the timed windows — the analogue of the paper's 2 B-
+    /// instruction fast-forward. Fills the 4 MB L2 so that eviction,
+    /// writeback and adaptive-placement behaviour is in steady state.
+    pub functional_warm_ops: u64,
+}
+
+impl RunConfig {
+    /// The paper's methodology scaled by `reads` (it uses 2 M DRAM reads;
+    /// our default harness uses `CWF_READS`, see the bench crate).
+    #[must_use]
+    pub fn paper(mem: MemKind, reads: u64) -> Self {
+        RunConfig {
+            mem,
+            cores: 8,
+            target_dram_reads: reads,
+            warmup_dram_reads: (reads / 5).min(10_000),
+            max_cycles: 4_000 * reads.max(1_000),
+            prefetch: true,
+            seed: 0xD2A4_0001,
+            parity_error_rate: 0.0,
+            functional_warm_ops: 40_000,
+        }
+    }
+
+    /// A small, fast configuration for tests and doc examples.
+    #[must_use]
+    pub fn quick(mem: MemKind, reads: u64) -> Self {
+        RunConfig {
+            cores: 2,
+            warmup_dram_reads: 0,
+            functional_warm_ops: 4_000,
+            ..Self::paper(mem, reads)
+        }
+    }
+
+    /// Same run with a different core count.
+    #[must_use]
+    pub fn with_cores(mut self, cores: u8) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Same run with the prefetcher disabled.
+    #[must_use]
+    pub fn without_prefetch(mut self) -> Self {
+        self.prefetch = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds() {
+        for kind in [
+            MemKind::Ddr3,
+            MemKind::Lpddr2,
+            MemKind::Rldram3,
+            MemKind::Rd,
+            MemKind::Rl,
+            MemKind::Dl,
+            MemKind::RlAdaptive,
+            MemKind::RlOracle,
+            MemKind::RlRandom,
+        ] {
+            let mut mem = kind.build(0.0, 1);
+            mem.tick(0);
+            assert!(!kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn cwf_classification() {
+        assert!(MemKind::Rl.is_cwf());
+        assert!(!MemKind::Ddr3.is_cwf());
+        assert!(!MemKind::Rldram3.is_cwf());
+    }
+
+    #[test]
+    fn paper_config_defaults() {
+        let c = RunConfig::paper(MemKind::Rl, 100_000);
+        assert_eq!(c.cores, 8);
+        assert!(c.warmup_dram_reads > 0);
+        assert!(c.prefetch);
+    }
+}

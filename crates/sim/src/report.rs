@@ -1,0 +1,198 @@
+//! Plain-text table rendering for the experiment drivers.
+
+/// A printable table: title, column headers, rows of cells.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table caption (e.g. `"Figure 6: normalized throughput"`).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (each the same arity as `columns`).
+    pub rows: Vec<Vec<String>>,
+    /// Footnotes printed after the body.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Create an empty table.
+    #[must_use]
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a footnote.
+    pub fn note(&mut self, note: &str) {
+        self.notes.push(note.to_owned());
+    }
+
+    /// Render as an aligned plain-text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                // Right-align numeric-looking cells, left-align labels.
+                if cell.parse::<f64>().is_ok() || cell.ends_with('%') {
+                    line.push_str(&format!("{cell:>w$}"));
+                } else {
+                    line.push_str(&format!("{cell:<w$}"));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.columns));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+}
+
+impl Table {
+    /// Render as CSV (header row + data rows; RFC-4180 quoting).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.columns.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the table as `<dir>/<slug>.csv`, deriving the slug from the
+    /// title. Returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        let slug: String = self
+            .title
+            .chars()
+            .take_while(|c| *c != ':')
+            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect();
+        let path = dir.join(format!("{slug}.csv"));
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// Format a ratio as a signed percentage delta (e.g. `+12.9%`).
+#[must_use]
+pub fn pct_delta(ratio: f64) -> String {
+    format!("{:+.1}%", (ratio - 1.0) * 100.0)
+}
+
+/// Format a fraction as a percentage (e.g. `67.2%`).
+#[must_use]
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_and_includes_everything() {
+        let mut t = Table::new("Demo", &["bench", "value"]);
+        t.row(vec!["stream".into(), "1.31".into()]);
+        t.row(vec!["mcf".into(), "0.99".into()]);
+        t.note("numbers are ratios");
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("stream"));
+        assert!(s.contains("note: numbers are ratios"));
+        // Aligned: both value cells end at the same column.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_is_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn csv_rendering_quotes_and_escapes() {
+        let mut t = Table::new("Figure 6: demo, with comma", &["bench", "x"]);
+        t.row(vec!["a,b".into(), "1.5".into()]);
+        t.row(vec!["plain".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.starts_with("bench,x"));
+    }
+
+    #[test]
+    fn csv_file_roundtrip() {
+        let dir = std::env::temp_dir().join("cwfmem_csv_test");
+        let mut t = Table::new("Figure 9: placement", &["a"]);
+        t.row(vec!["1".into()]);
+        let path = t.write_csv(&dir).expect("write");
+        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("figure_9"));
+        let body = std::fs::read_to_string(path).expect("read");
+        assert_eq!(body, "a\n1\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn percentage_helpers() {
+        assert_eq!(pct_delta(1.129), "+12.9%");
+        assert_eq!(pct_delta(0.91), "-9.0%");
+        assert_eq!(pct(0.672), "67.2%");
+    }
+}

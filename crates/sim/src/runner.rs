@@ -1,0 +1,117 @@
+//! Benchmark runners and the paper's throughput metric.
+
+use workloads::by_name;
+
+use crate::config::{MemKind, RunConfig};
+use crate::metrics::RunMetrics;
+use crate::system::System;
+
+/// Run one benchmark under `cfg`.
+///
+/// # Panics
+///
+/// Panics if `bench` is not one of the 27 suite programs.
+#[must_use]
+pub fn run_benchmark(cfg: &RunConfig, bench: &str) -> RunMetrics {
+    let profile = by_name(bench)
+        .unwrap_or_else(|| panic!("unknown benchmark '{bench}' (see workloads::suite())"));
+    System::new(cfg, profile).run()
+}
+
+/// The paper's system-throughput metric: `Σᵢ IPCᵢ_shared / IPCᵢ_alone`
+/// (§5), where `IPC_alone` is measured on a single-core system with the
+/// same memory organization.
+#[must_use]
+pub fn weighted_speedup(cfg: &RunConfig, bench: &str) -> f64 {
+    let shared = run_benchmark(cfg, bench);
+    let alone_cfg = RunConfig {
+        cores: 1,
+        // One core generates roughly 1/8th of the traffic; keep the run
+        // length proportional so both runs see steady state.
+        target_dram_reads: (cfg.target_dram_reads / u64::from(cfg.cores)).max(500),
+        warmup_dram_reads: (cfg.warmup_dram_reads / u64::from(cfg.cores)).min(2_000),
+        ..*cfg
+    };
+    let alone = run_benchmark(&alone_cfg, bench);
+    let ipc_alone = alone.ipc_total().max(1e-9);
+    shared.ipc_per_core().iter().map(|ipc| ipc / ipc_alone).sum()
+}
+
+/// Weighted speedup of `mem`, normalised to the DDR3 baseline — the
+/// y-axis of Figures 1a, 6 and 9.
+#[must_use]
+pub fn normalized_throughput(cfg: &RunConfig, baseline: &RunConfig, bench: &str) -> f64 {
+    let ws = weighted_speedup(cfg, bench);
+    let ws_base = weighted_speedup(baseline, bench).max(1e-9);
+    ws / ws_base
+}
+
+/// Run `f` for every (benchmark, config) pair across worker threads and
+/// return results in input order. Simulations are independent, so this is
+/// the safe coarse-grained parallelism the harness uses.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
+    let n = items.len();
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<R>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n.max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().expect("poisoned slot") = Some(r);
+            });
+        }
+    });
+    for (o, s) in out.iter_mut().zip(slots) {
+        *o = s.into_inner().expect("poisoned slot");
+    }
+    out.into_iter().map(|o| o.expect("every slot filled")).collect()
+}
+
+/// Memory kind of this run's `mem` field wrapped for `parallel_map` use.
+#[must_use]
+pub fn mem_of(metrics: &RunMetrics) -> MemKind {
+    metrics.mem
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_speedup_is_near_core_count_for_light_sharing() {
+        // A compute-heavy benchmark: each core barely interferes, so the
+        // weighted speedup approaches the core count (needs a warmed run;
+        // cold-start windows under-estimate IPC_shared).
+        let cfg = RunConfig::paper(MemKind::Ddr3, 2_000).with_cores(2);
+        let ws = weighted_speedup(&cfg, "gobmk");
+        assert!(ws > 1.4 && ws <= f64::from(cfg.cores) * 1.2, "ws = {ws}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_benchmark_panics() {
+        let _ = run_benchmark(&RunConfig::quick(MemKind::Ddr3, 10), "doom");
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let cfg = RunConfig::quick(MemKind::Ddr3, 150);
+        let items = vec!["stream", "mcf", "gobmk"];
+        let out = parallel_map(items.clone(), |b| run_benchmark(&cfg, b));
+        for (name, m) in items.iter().zip(&out) {
+            assert_eq!(*name, m.bench);
+        }
+    }
+}

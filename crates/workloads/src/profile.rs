@@ -1,0 +1,222 @@
+//! The 27 benchmark profiles (SPEC CPU2006, NPB, STREAM).
+//!
+//! Every field is a calibration knob documented on [`BenchmarkProfile`];
+//! the values below were tuned so that the LLC-filtered DRAM access stream
+//! reproduces the qualitative behaviour the paper reports per benchmark:
+//! which programs are memory-intensive, which have word-0-dominated
+//! critical words (Figure 4), and which chase pointers.
+
+/// Benchmark suite a profile belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC CPU2006, run as 8 copies (one per core, disjoint address spaces).
+    Spec2006,
+    /// NAS Parallel Benchmarks (OpenMP): one thread per core, shared space.
+    Npb,
+    /// The STREAM bandwidth kernel (multithreaded, shared space).
+    Stream,
+}
+
+/// Relative weights of the four access-pattern generators.
+///
+/// Weights need not sum to 1; they are normalised at generation time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatternMix {
+    /// Unit-stride scans over large arrays (word-0-critical producer).
+    pub seq: f64,
+    /// Fixed-stride walks (`stride_bytes` apart).
+    pub stride: f64,
+    /// Pointer chasing: random lines, random words (uniform criticality).
+    pub chase: f64,
+    /// Reuse-heavy accesses inside a small hot region (mostly cache hits).
+    pub hot: f64,
+}
+
+/// A statistical model of one benchmark's memory behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Program name as in the paper's figures.
+    pub name: &'static str,
+    /// Suite (decides multiprogrammed vs multithreaded address spaces).
+    pub suite: Suite,
+    /// Mean non-memory instructions between memory operations (memory
+    /// intensity: lower ⇒ more bandwidth demand).
+    pub mem_gap: u32,
+    /// Working-set size in MiB (per copy). Footprints ≫ 4 MiB defeat the
+    /// shared L2 and generate DRAM traffic.
+    pub footprint_mb: u32,
+    /// Fraction of memory operations that are stores.
+    pub write_frac: f64,
+    /// Pattern mix.
+    pub mix: PatternMix,
+    /// Stride of the strided component, in bytes.
+    pub stride_bytes: u32,
+    /// Probability that a scan/stride burst starts line-aligned (word 0).
+    /// High values produce the word-0 criticality bias of Figure 4.
+    pub word0_align: f64,
+    /// Per-word bias for the pointer-chase component (`None` = uniform).
+    /// mcf uses this to make words 0 and 3 its favourites (Figure 3b).
+    pub chase_word_bias: Option<[f64; 8]>,
+    /// Probability that, right after a sequential scan first touches a
+    /// line, the program also consumes 1–3 more words of that line before
+    /// moving on. High values model codes whose "second access to a line
+    /// arrives before the whole line returns" (paper §6.1.1: tonto,
+    /// dealII); low values model element-per-line streams (Figure 3a).
+    pub followup: f64,
+}
+
+impl BenchmarkProfile {
+    /// Working set in cache lines.
+    #[must_use]
+    pub fn footprint_lines(&self) -> u64 {
+        u64::from(self.footprint_mb) * 1024 * 1024 / 64
+    }
+
+    /// True when all cores share one address space (NPB/STREAM).
+    #[must_use]
+    pub fn shared_address_space(&self) -> bool {
+        self.suite != Suite::Spec2006
+    }
+}
+
+/// mcf's chase bias: words 0 and 3 dominate (paper Figure 3b).
+const MCF_BIAS: [f64; 8] = [0.28, 0.07, 0.07, 0.28, 0.08, 0.07, 0.08, 0.07];
+
+macro_rules! bench {
+    ($name:literal, $suite:ident, gap $gap:literal, fp $fp:literal, wr $wr:literal,
+     mix($seq:literal, $stride:literal, $chase:literal, $hot:literal),
+     sb $sb:literal, align $align:literal, fu $fu:literal $(, bias $bias:expr)?) => {
+        BenchmarkProfile {
+            name: $name,
+            suite: Suite::$suite,
+            mem_gap: $gap,
+            footprint_mb: $fp,
+            write_frac: $wr,
+            mix: PatternMix { seq: $seq, stride: $stride, chase: $chase, hot: $hot },
+            stride_bytes: $sb,
+            word0_align: $align,
+            chase_word_bias: bench!(@bias $($bias)?),
+            followup: $fu,
+        }
+    };
+    (@bias) => { None };
+    (@bias $bias:expr) => { Some($bias) };
+}
+
+/// The full 27-program suite of the paper (§5: NPB cg/is/ep/lu/mg/sp,
+/// STREAM, and the listed SPEC CPU2006 programs plus GemsFDTD and wrf,
+/// which appear in the evaluation figures).
+static SUITE: [BenchmarkProfile; 27] = [
+    // --- NAS Parallel Benchmarks (multithreaded, shared space) ---
+    bench!("cg", Npb, gap 480, fp 160, wr 0.15, mix(0.45, 0.15, 0.10, 0.30), sb 128, align 0.92, fu 0.10),
+    bench!("is", Npb, gap 520, fp 128, wr 0.30, mix(0.35, 0.10, 0.20, 0.35), sb 96, align 0.80, fu 0.30),
+    bench!("ep", Npb, gap 900, fp 24, wr 0.10, mix(0.25, 0.05, 0.05, 0.65), sb 64, align 0.85, fu 0.30),
+    bench!("lu", Npb, gap 440, fp 200, wr 0.25, mix(0.55, 0.10, 0.05, 0.30), sb 128, align 0.94, fu 0.08),
+    bench!("mg", Npb, gap 400, fp 256, wr 0.25, mix(0.60, 0.13, 0.05, 0.22), sb 256, align 0.93, fu 0.08),
+    bench!("sp", Npb, gap 420, fp 224, wr 0.25, mix(0.58, 0.13, 0.05, 0.24), sb 192, align 0.92, fu 0.08),
+    // --- STREAM (multithreaded, shared space) ---
+    bench!("stream", Stream, gap 380, fp 384, wr 0.33, mix(0.90, 0.05, 0.00, 0.05), sb 64, align 0.98, fu 0.02),
+    // --- SPEC CPU2006 (8 copies, disjoint spaces) ---
+    bench!("astar", Spec2006, gap 600, fp 96, wr 0.15, mix(0.10, 0.05, 0.40, 0.45), sb 96, align 0.40, fu 0.20),
+    bench!("bzip2", Spec2006, gap 560, fp 96, wr 0.25, mix(0.25, 0.10, 0.20, 0.45), sb 80, align 0.76, fu 0.30),
+    bench!("dealII", Spec2006, gap 540, fp 128, wr 0.20, mix(0.40, 0.12, 0.10, 0.38), sb 96, align 0.85, fu 0.60),
+    bench!("GemsFDTD", Spec2006, gap 360, fp 288, wr 0.30, mix(0.65, 0.10, 0.03, 0.22), sb 128, align 0.95, fu 0.05),
+    bench!("gobmk", Spec2006, gap 840, fp 48, wr 0.20, mix(0.20, 0.08, 0.17, 0.55), sb 80, align 0.72, fu 0.30),
+    bench!("gromacs", Spec2006, gap 700, fp 64, wr 0.15, mix(0.30, 0.15, 0.08, 0.47), sb 96, align 0.78, fu 0.30),
+    bench!("h264ref", Spec2006, gap 640, fp 64, wr 0.20, mix(0.30, 0.15, 0.08, 0.47), sb 80, align 0.78, fu 0.30),
+    bench!("hmmer", Spec2006, gap 540, fp 56, wr 0.20, mix(0.50, 0.10, 0.03, 0.37), sb 64, align 0.95, fu 0.10),
+    bench!("lbm", Spec2006, gap 330, fp 384, wr 0.40, mix(0.20, 0.40, 0.12, 0.28), sb 152, align 0.30, fu 0.10),
+    bench!("leslie3d", Spec2006, gap 360, fp 320, wr 0.25, mix(0.65, 0.10, 0.03, 0.22), sb 128, align 0.96, fu 0.05),
+    bench!("libquantum", Spec2006, gap 360, fp 256, wr 0.25, mix(0.75, 0.05, 0.00, 0.20), sb 128, align 0.97, fu 0.03),
+    bench!("mcf", Spec2006, gap 380, fp 448, wr 0.20, mix(0.08, 0.10, 0.52, 0.30), sb 96, align 0.40, fu 0.15, bias MCF_BIAS),
+    bench!("milc", Spec2006, gap 380, fp 320, wr 0.30, mix(0.18, 0.30, 0.24, 0.28), sb 272, align 0.35, fu 0.10),
+    bench!("omnetpp", Spec2006, gap 450, fp 192, wr 0.25, mix(0.08, 0.08, 0.48, 0.36), sb 96, align 0.40, fu 0.20),
+    bench!("sjeng", Spec2006, gap 760, fp 96, wr 0.20, mix(0.15, 0.10, 0.25, 0.50), sb 80, align 0.76, fu 0.30),
+    bench!("soplex", Spec2006, gap 420, fp 256, wr 0.20, mix(0.40, 0.20, 0.12, 0.28), sb 144, align 0.76, fu 0.25),
+    bench!("tonto", Spec2006, gap 600, fp 80, wr 0.20, mix(0.40, 0.15, 0.08, 0.37), sb 80, align 0.90, fu 0.65),
+    bench!("wrf", Spec2006, gap 480, fp 160, wr 0.25, mix(0.45, 0.15, 0.06, 0.34), sb 96, align 0.85, fu 0.20),
+    bench!("xalancbmk", Spec2006, gap 480, fp 160, wr 0.15, mix(0.08, 0.08, 0.52, 0.32), sb 96, align 0.35, fu 0.20),
+    bench!("zeusmp", Spec2006, gap 440, fp 224, wr 0.25, mix(0.50, 0.15, 0.05, 0.30), sb 128, align 0.85, fu 0.20),
+];
+
+/// All 27 benchmark profiles, in the paper's grouping order.
+#[must_use]
+pub fn suite() -> &'static [BenchmarkProfile] {
+    &SUITE
+}
+
+/// Look up a profile by its name (as it appears in the paper's figures).
+#[must_use]
+pub fn by_name(name: &str) -> Option<&'static BenchmarkProfile> {
+    SUITE.iter().find(|p| p.name == name)
+}
+
+/// The six programs the paper singles out as having *no* word-0 bias
+/// (Figure 4 discussion + Appendix A pointer-chasing analysis).
+#[must_use]
+pub fn unbiased_names() -> [&'static str; 6] {
+    ["astar", "lbm", "mcf", "milc", "omnetpp", "xalancbmk"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_27_unique_programs() {
+        assert_eq!(suite().len(), 27);
+        let mut names: Vec<_> = suite().iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 27);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("mcf").unwrap().footprint_mb, 448);
+        assert!(by_name("doom").is_none());
+    }
+
+    #[test]
+    fn npb_and_stream_share_address_space() {
+        assert!(by_name("cg").unwrap().shared_address_space());
+        assert!(by_name("stream").unwrap().shared_address_space());
+        assert!(!by_name("mcf").unwrap().shared_address_space());
+    }
+
+    #[test]
+    fn unbiased_programs_have_low_alignment_and_high_chase() {
+        for name in unbiased_names() {
+            let p = by_name(name).unwrap();
+            let weight = p.mix.seq + p.mix.stride + p.mix.chase + p.mix.hot;
+            let chase_share = p.mix.chase / weight;
+            assert!(
+                p.word0_align <= 0.5 || chase_share >= 0.4,
+                "{name} should not produce word-0 bias"
+            );
+        }
+    }
+
+    #[test]
+    fn mcf_bias_favours_words_0_and_3() {
+        let bias = by_name("mcf").unwrap().chase_word_bias.unwrap();
+        assert!(bias[0] > bias[1] * 2.0);
+        assert!(bias[3] > bias[1] * 2.0);
+        let sum: f64 = bias.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "bias must be a distribution");
+    }
+
+    #[test]
+    fn footprints_exceed_llc_for_memory_intensive_programs() {
+        // Every program the paper calls memory-intensive must spill the
+        // 4 MiB L2 by a wide margin.
+        for name in ["mcf", "lbm", "milc", "leslie3d", "libquantum", "stream", "mg"] {
+            assert!(by_name(name).unwrap().footprint_mb >= 128, "{name}");
+        }
+    }
+
+    #[test]
+    fn footprint_lines_conversion() {
+        assert_eq!(by_name("stream").unwrap().footprint_lines(), 384 * 1024 * 1024 / 64);
+    }
+}

@@ -1,0 +1,95 @@
+//! Tests of the steady-state placement helpers and distribution
+//! conformance of the trace generators.
+
+use cpu_model::{TraceOp, TraceSource};
+use workloads::{by_name, habitual_chase_word, steady_state_tag, suite, TraceGen};
+
+#[test]
+fn steady_tags_cover_exactly_the_chase_region() {
+    let p = by_name("mcf").unwrap(); // SPEC: per-core 8 GiB bases
+    // Inside core 0's chase region.
+    assert!(steady_state_tag(p, 0).is_some());
+    assert!(steady_state_tag(p, 24 * 1024 * 1024 - 64).is_some());
+    // Outside it (but inside the footprint).
+    assert!(steady_state_tag(p, 100 * 1024 * 1024).is_none());
+    // Inside core 3's chase region (same offset, different base).
+    let base3 = 3u64 << 33;
+    assert!(steady_state_tag(p, base3 + 4096).is_some());
+}
+
+#[test]
+fn steady_tags_match_the_generators_habitual_words() {
+    let p = by_name("mcf").unwrap();
+    for line in (0..1000u64).map(|i| i * 64) {
+        let tag = steady_state_tag(p, line).expect("in chase region");
+        assert_eq!(u64::from(tag), habitual_chase_word(p, line));
+    }
+}
+
+#[test]
+fn read_only_profiles_have_no_steady_tags() {
+    // A profile with no writes can never re-organise a line (§4.2.5:
+    // "unless a word is written to, its organization is not altered").
+    let mut p = by_name("mcf").unwrap().clone();
+    p.write_frac = 0.0;
+    assert!(steady_state_tag(&p, 0).is_none());
+}
+
+#[test]
+fn habitual_words_follow_the_bias_distribution() {
+    let p = by_name("mcf").unwrap();
+    let mut hist = [0u32; 8];
+    for i in 0..80_000u64 {
+        hist[habitual_chase_word(p, i * 64) as usize] += 1;
+    }
+    let total: u32 = hist.iter().sum();
+    let frac = |w: usize| f64::from(hist[w]) / f64::from(total);
+    // mcf's bias: words 0 and 3 at 28% each.
+    assert!((frac(0) - 0.28).abs() < 0.02, "word0 {:.3}", frac(0));
+    assert!((frac(3) - 0.28).abs() < 0.02, "word3 {:.3}", frac(3));
+    assert!(frac(1) < 0.12);
+}
+
+#[test]
+fn uniform_profiles_have_uniform_habitual_words() {
+    let p = by_name("omnetpp").unwrap(); // no chase_word_bias
+    let mut hist = [0u32; 8];
+    for i in 0..80_000u64 {
+        hist[habitual_chase_word(p, i * 64) as usize] += 1;
+    }
+    for (w, n) in hist.iter().enumerate() {
+        let frac = f64::from(*n) / 80_000.0;
+        assert!((frac - 0.125).abs() < 0.02, "word {w}: {frac:.3}");
+    }
+}
+
+#[test]
+fn every_profile_generates_valid_streams() {
+    // Smoke-test the whole suite: addresses in range, gaps sane, and the
+    // op mix contains all three record kinds.
+    for p in suite() {
+        let mut g = TraceGen::new(p, 0, 1);
+        let (mut gaps, mut loads, mut stores) = (0u32, 0u32, 0u32);
+        for _ in 0..3_000 {
+            match g.next_op() {
+                TraceOp::Gap(n) => {
+                    assert!(n >= 1 && n < 20 * p.mem_gap.max(1), "{}: gap {n}", p.name);
+                    gaps += 1;
+                }
+                TraceOp::Load { addr, pc } => {
+                    assert_eq!(addr % 8, 0, "{}", p.name);
+                    assert!(pc >= 0x1000);
+                    loads += 1;
+                }
+                TraceOp::Store { addr, .. } => {
+                    assert_eq!(addr % 8, 0, "{}", p.name);
+                    stores += 1;
+                }
+            }
+        }
+        assert!(gaps > 0 && loads > 0, "{}", p.name);
+        if p.write_frac > 0.05 {
+            assert!(stores > 0, "{} should emit stores", p.name);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerate the pinned values for `tests/golden.rs`.
+//!
+//! Run after any deliberate behavioural change and copy the printed rows
+//! into the `GOLDEN` table:
+//!
+//! ```sh
+//! cargo run --release --example golden_gen
+//! ```
+
+use cwfmem::sim::config::MemKind;
+use cwfmem::sim::{run_benchmark, RunConfig};
+
+fn main() {
+    for (kind, bench) in [
+        (MemKind::Ddr3, "leslie3d"),
+        (MemKind::Rl, "leslie3d"),
+        (MemKind::RlAdaptive, "mcf"),
+    ] {
+        let m = run_benchmark(&RunConfig::quick(kind, 1_500), bench);
+        println!(
+            "({:?}, \"{}\"): cycles={} insts={} reads={} writes={} hist={:?}",
+            kind,
+            bench,
+            m.cycles,
+            m.insts_per_core.iter().sum::<u64>(),
+            m.dram_reads,
+            m.dram_writes,
+            m.hier.critical_word_hist
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Power-model explorer (paper Figure 2 and §6.1.3).
+//!
+//! Sweeps the open-loop chip-power model across bus utilizations, then
+//! decomposes the DRAM power of a real RL run by component and by device
+//! type — including the §7.2 unterminated-LPDDR variant.
+//!
+//! ```sh
+//! cargo run --release --example power_explorer
+//! ```
+
+use cwfmem::dram::{DeviceConfig, DeviceKind};
+use cwfmem::power::{power_at_utilization, IddTable, LpddrIo};
+use cwfmem::sim::config::MemKind;
+use cwfmem::sim::{run_benchmark, RunConfig};
+
+fn main() {
+    println!("== chip power vs utilization (Figure 2) ==\n");
+    println!("{:<6} {:>9} {:>9} {:>9} {:>14}", "util", "RLDRAM3", "DDR3", "LPDDR2", "LPDDR2-unterm");
+    let parts = [
+        (IddTable::rldram3_x18(), DeviceConfig::rldram3()),
+        (IddTable::ddr3(), DeviceConfig::ddr3_1600()),
+        (IddTable::lpddr2_server(), DeviceConfig::lpddr2_800()),
+        (IddTable::lpddr2_unterminated(), DeviceConfig::lpddr2_800()),
+    ];
+    for u in [0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        print!("{:<6}", format!("{:.0}%", u * 100.0));
+        for (idd, cfg) in &parts {
+            print!(" {:>9.3}", power_at_utilization(idd, cfg, u, 0.7).total_w());
+        }
+        println!();
+    }
+
+    println!("\n== DRAM power of a real RL run (stream, 8000 reads) ==\n");
+    let m = run_benchmark(&RunConfig::paper(MemKind::Rl, 8_000), "stream");
+    for io in [LpddrIo::ServerAdapted, LpddrIo::Unterminated] {
+        let b = m.dram_power_breakdown(io);
+        println!("LPDDR2 I/O = {io:?}:");
+        println!(
+            "  background {:.3} W | activate {:.3} W | read {:.3} W | write {:.3} W | refresh {:.3} W | termination {:.3} W",
+            b.background_w, b.activate_w, b.read_w, b.write_w, b.refresh_w, b.termination_w
+        );
+        println!(
+            "  total {:.3} W  (RLDRAM3 share {:.3} W, LPDDR2 share {:.3} W)\n",
+            b.total_w(),
+            m.dram_power_of_kind_w(DeviceKind::Rldram3, io),
+            m.dram_power_of_kind_w(DeviceKind::Lpddr2, io),
+        );
+    }
+    println!(
+        "The unterminated (Malladi-style, §7.2) LPDDR2 removes ODT/DLL static\n\
+         power and mobile-class idle currents cut the background component —\n\
+         the paper reports energy savings growing to 26.1% with this variant."
+    );
+}

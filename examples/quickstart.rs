@@ -1,0 +1,58 @@
+//! Quickstart: run one benchmark on the paper's flagship RL organization
+//! (RLDRAM3 critical store + LPDDR2 bulk) and compare it with the DDR3
+//! baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [benchmark]
+//! ```
+
+use cwfmem::power::LpddrIo;
+use cwfmem::sim::config::MemKind;
+use cwfmem::sim::{run_benchmark, RunConfig};
+
+fn main() {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "leslie3d".to_owned());
+    let reads = 10_000;
+    println!("== cwfmem quickstart: {bench}, {reads} DRAM reads, 8 cores ==\n");
+
+    let base = run_benchmark(&RunConfig::paper(MemKind::Ddr3, reads), &bench);
+    let rl = run_benchmark(&RunConfig::paper(MemKind::Rl, reads), &bench);
+
+    println!("{:<28} {:>12} {:>12}", "", "DDR3 base", "RL (CWF)");
+    let row = |k: &str, a: String, b: String| println!("{k:<28} {a:>12} {b:>12}");
+    row("aggregate IPC", format!("{:.2}", base.ipc_total()), format!("{:.2}", rl.ipc_total()));
+    row(
+        "critical-word latency (ns)",
+        format!("{:.1}", base.avg_cw_latency_ns()),
+        format!("{:.1}", rl.avg_cw_latency_ns()),
+    );
+    row(
+        "read latency queue+svc (ns)",
+        format!("{:.1}", base.avg_read_latency_ns()),
+        format!("{:.1}", rl.avg_read_latency_ns()),
+    );
+    row(
+        "data-bus utilization",
+        format!("{:.1}%", base.bus_utilization() * 100.0),
+        format!("{:.1}%", rl.bus_utilization() * 100.0),
+    );
+    row(
+        "DRAM power (W)",
+        format!("{:.2}", base.dram_power_w(LpddrIo::ServerAdapted)),
+        format!("{:.2}", rl.dram_power_w(LpddrIo::ServerAdapted)),
+    );
+    if let Some(cwf) = rl.cwf {
+        println!(
+            "\nRL details: {:.0}% of critical words served by the RLDRAM3 DIMM;",
+            cwf.served_fast_fraction() * 100.0
+        );
+        println!(
+            "the fast part arrived on average {:.0} CPU cycles before the rest of the line",
+            cwf.avg_head_start()
+        );
+    }
+    println!(
+        "\nthroughput vs baseline: {:+.1}%",
+        (rl.ipc_total() / base.ipc_total() - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # cwfmem — Critical-Word-First Heterogeneous DRAM Memory Simulator
+//!
+//! A from-scratch Rust reproduction of *"Leveraging Heterogeneity in DRAM
+//! Main Memories to Accelerate Critical Word Access"* (MICRO 2012).
+//!
+//! This façade crate re-exports the whole workspace under one roof. See the
+//! individual crates for details:
+//!
+//! * [`dram`] — cycle-level DDR3 / LPDDR2 / RLDRAM3 device timing models.
+//! * [`memctrl`] — FR-FCFS memory controllers, address mapping, write drain.
+//! * [`cache`] — L1/L2 hierarchy with per-word MSHRs and a stride prefetcher.
+//! * [`cpu`] — a USIMM-style ROB core model.
+//! * [`workloads`] — 27 synthetic benchmark profiles (SPEC2k6 / NPB / STREAM).
+//! * [`power`] — Micron-calculator-style DRAM power and system-energy model.
+//! * [`ecc`] — SECDED Hamming(72,64) and byte parity with fault injection.
+//! * [`cwf`] — the paper's contribution: CWF heterogeneous memory systems.
+//! * [`sim`] — the full-system harness and per-figure experiment drivers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cwfmem::sim::{run_benchmark, RunConfig};
+//! use cwfmem::sim::config::MemKind;
+//!
+//! # fn main() {
+//! let cfg = RunConfig::quick(MemKind::Rl, 2_000);
+//! let metrics = run_benchmark(&cfg, "leslie3d");
+//! assert!(metrics.ipc_total() > 0.0);
+//! # }
+//! ```
+
+pub use cache_hier as cache;
+pub use cpu_model as cpu;
+pub use cwf_core as cwf;
+pub use dram_power as power;
+pub use dram_timing as dram;
+pub use ecc;
+pub use mem_ctrl as memctrl;
+pub use sim_harness as sim;
+pub use workloads;

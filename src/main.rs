@@ -1,0 +1,260 @@
+//! `cwfmem` — command-line front end for the simulator.
+//!
+//! ```text
+//! cwfmem list                         # benchmarks and memory organizations
+//! cwfmem run --mem rl --bench mcf     # one run, key metrics (or --json)
+//! cwfmem compare --bench leslie3d     # all organizations side by side
+//! cwfmem figures fig6                 # regenerate a paper figure
+//! ```
+
+use cwfmem::power::LpddrIo;
+use cwfmem::sim::config::MemKind;
+use cwfmem::sim::experiments::{
+    ablations, all_benches, alternatives, default_benches, fig10_11_energy, fig1_homogeneous,
+    fig2_power_utilization, fig3_line_profiles, fig4_critical_word_distribution, fig6_7_8_cwf,
+    fig9_placement,
+};
+use cwfmem::sim::{run_benchmark, RunConfig};
+use cwfmem::workloads::suite;
+
+const KINDS: [(&str, MemKind); 9] = [
+    ("ddr3", MemKind::Ddr3),
+    ("lpddr2", MemKind::Lpddr2),
+    ("rldram3", MemKind::Rldram3),
+    ("rd", MemKind::Rd),
+    ("rl", MemKind::Rl),
+    ("dl", MemKind::Dl),
+    ("rl-ad", MemKind::RlAdaptive),
+    ("rl-or", MemKind::RlOracle),
+    ("rl-rand", MemKind::RlRandom),
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  cwfmem list\n  cwfmem run --mem <kind> --bench <name>|--trace <file> [--reads N] \
+         [--cores N] [--no-prefetch] [--parity-rate P] [--seed S] [--json]\n  \
+         cwfmem compare --bench <name> [--reads N]\n  \
+         cwfmem figures <fig1|fig2|fig3|fig4|fig6|fig9|fig10|ablations|alternatives|all> \
+         [--reads N] [--all-benches] [--csv DIR]\n  \
+         cwfmem dump-trace --bench <name> [--core N] [--ops N] [--seed S] --out <file>\n\nmemory kinds: {}",
+        KINDS.map(|(n, _)| n).join(", ")
+    );
+    std::process::exit(2)
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_kind(name: &str) -> MemKind {
+    KINDS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, k)| *k)
+        .unwrap_or_else(|| {
+            eprintln!("unknown memory kind '{name}'");
+            usage()
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("figures") => cmd_figures(&args[1..]),
+        Some("dump-trace") => cmd_dump_trace(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_list() {
+    println!("memory organizations:");
+    for (name, kind) in KINDS {
+        println!("  {name:<8} {}", kind.label());
+    }
+    println!("\nbenchmarks ({}):", suite().len());
+    for p in suite() {
+        println!(
+            "  {:<12} {:?}, {} MiB footprint, gap {} insts",
+            p.name, p.suite, p.footprint_mb, p.mem_gap
+        );
+    }
+}
+
+fn build_config(args: &[String]) -> RunConfig {
+    let mem = parse_kind(&arg_value(args, "--mem").unwrap_or_else(|| "rl".into()));
+    let reads = arg_value(args, "--reads").and_then(|v| v.parse().ok()).unwrap_or(10_000);
+    let mut cfg = RunConfig::paper(mem, reads);
+    if let Some(c) = arg_value(args, "--cores").and_then(|v| v.parse().ok()) {
+        cfg.cores = c;
+    }
+    if args.iter().any(|a| a == "--no-prefetch") {
+        cfg.prefetch = false;
+    }
+    if let Some(p) = arg_value(args, "--parity-rate").and_then(|v| v.parse().ok()) {
+        cfg.parity_error_rate = p;
+    }
+    if let Some(s) = arg_value(args, "--seed").and_then(|v| v.parse().ok()) {
+        cfg.seed = s;
+    }
+    cfg
+}
+
+fn cmd_run(args: &[String]) {
+    let cfg = build_config(args);
+    let m = if let Some(trace) = arg_value(args, "--trace") {
+        // Replay an external trace, phase-shifted per core (see `dump-trace`).
+        use cwfmem::sim::system::BoxedTrace;
+        use cwfmem::workloads::FileTraceSource;
+        let src = FileTraceSource::open(&trace).unwrap_or_else(|e| {
+            eprintln!("cannot load trace {trace}: {e}");
+            std::process::exit(1)
+        });
+        let mut cfg = cfg;
+        // External traces are finite: keep the warm phases inside one pass.
+        cfg.functional_warm_ops = (src.len() as u64 / 4).min(cfg.functional_warm_ops);
+        cfg.warmup_dram_reads = 0;
+        let n = usize::from(cfg.cores);
+        let sources: Vec<BoxedTrace> = (0..n)
+            .map(|i| Box::new(src.clone().starting_at(i * src.len() / n)) as BoxedTrace)
+            .collect();
+        let backend = cfg.mem.build(cfg.parity_error_rate, cfg.seed);
+        cwfmem::sim::System::with_trace_sources(&cfg, &trace, sources, backend).run()
+    } else {
+        let bench = arg_value(args, "--bench").unwrap_or_else(|| "leslie3d".into());
+        run_benchmark(&cfg, &bench)
+    };
+    if args.iter().any(|a| a == "--json") {
+        // Hand-rolled JSON of the headline metrics (stable field names).
+        println!("{{");
+        println!("  \"bench\": \"{}\",", m.bench);
+        println!("  \"mem\": \"{}\",", m.mem.label());
+        println!("  \"cycles\": {},", m.cycles);
+        println!("  \"ipc_total\": {:.6},", m.ipc_total());
+        println!("  \"dram_reads\": {},", m.dram_reads);
+        println!("  \"dram_writes\": {},", m.dram_writes);
+        println!("  \"avg_cw_latency_ns\": {:.3},", m.avg_cw_latency_ns());
+        println!("  \"avg_read_latency_ns\": {:.3},", m.avg_read_latency_ns());
+        println!("  \"bus_utilization\": {:.6},", m.bus_utilization());
+        println!("  \"row_hit_rate\": {:.6},", m.row_hit_rate());
+        println!("  \"dram_power_w\": {:.6},", m.dram_power_w(LpddrIo::ServerAdapted));
+        match m.cwf {
+            Some(c) => println!(
+                "  \"cwf\": {{ \"served_fast\": {:.6}, \"head_start_cycles\": {:.2}, \"parity_errors\": {} }}",
+                c.served_fast_fraction(),
+                c.avg_head_start(),
+                c.parity_errors
+            ),
+            None => println!("  \"cwf\": null"),
+        }
+        println!("}}");
+    } else {
+        println!("{} on {} ({} cores, {} reads):", m.mem.label(), m.bench, cfg.cores, m.dram_reads);
+        println!("  IPC (aggregate)        {:.3}", m.ipc_total());
+        println!("  critical-word latency  {:.1} ns", m.avg_cw_latency_ns());
+        println!("  DRAM read latency      {:.1} ns (queue {:.1} + service {:.1})",
+            m.avg_read_latency_ns(), m.mem_stats.avg_queue_ns(), m.mem_stats.avg_service_ns());
+        println!("  bus utilization        {:.1}%", m.bus_utilization() * 100.0);
+        println!("  row-buffer hit rate    {:.1}%", m.row_hit_rate() * 100.0);
+        println!("  DRAM power             {:.2} W", m.dram_power_w(LpddrIo::ServerAdapted));
+        if let Some(c) = m.cwf {
+            println!("  critical served fast   {:.1}%", c.served_fast_fraction() * 100.0);
+            println!("  fast-part head start   {:.0} CPU cycles", c.avg_head_start());
+        }
+    }
+}
+
+fn cmd_compare(args: &[String]) {
+    let bench = arg_value(args, "--bench").unwrap_or_else(|| "leslie3d".into());
+    let reads = arg_value(args, "--reads").and_then(|v| v.parse().ok()).unwrap_or(8_000);
+    println!("{:<10} {:>8} {:>9} {:>12} {:>9}", "config", "IPC", "vs DDR3", "cw-lat (ns)", "DRAM W");
+    let mut base = None;
+    for (_, kind) in KINDS {
+        let m = run_benchmark(&RunConfig::paper(kind, reads), &bench);
+        let ipc = m.ipc_total();
+        let b = *base.get_or_insert(ipc);
+        println!(
+            "{:<10} {:>8.2} {:>8.1}% {:>12.1} {:>9.2}",
+            kind.label(),
+            ipc,
+            (ipc / b - 1.0) * 100.0,
+            m.avg_cw_latency_ns(),
+            m.dram_power_w(LpddrIo::ServerAdapted)
+        );
+    }
+}
+
+fn cmd_dump_trace(args: &[String]) {
+    let bench = arg_value(args, "--bench").unwrap_or_else(|| "leslie3d".into());
+    let core: u8 = arg_value(args, "--core").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let ops: u64 = arg_value(args, "--ops").and_then(|v| v.parse().ok()).unwrap_or(100_000);
+    let seed: u64 = arg_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(0xD2A4_0001);
+    let Some(out) = arg_value(args, "--out") else { usage() };
+    let Some(profile) = cwfmem::workloads::by_name(&bench) else {
+        eprintln!("unknown benchmark '{bench}'");
+        std::process::exit(1)
+    };
+    let mut gen = cwfmem::workloads::TraceGen::new(profile, core, seed);
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&out).unwrap_or_else(|e| {
+        eprintln!("cannot create {out}: {e}");
+        std::process::exit(1)
+    }));
+    cwfmem::workloads::dump(&mut gen, ops, &mut f).expect("trace write");
+    println!("wrote {ops} records of {bench} (core {core}) to {out}");
+}
+
+fn cmd_figures(args: &[String]) {
+    let which = args.first().cloned().unwrap_or_else(|| "all".into());
+    let reads = arg_value(args, "--reads").and_then(|v| v.parse().ok()).unwrap_or(8_000);
+    let csv_dir = arg_value(args, "--csv").map(std::path::PathBuf::from);
+    let benches: Vec<&'static str> = if args.iter().any(|a| a == "--all-benches") {
+        all_benches()
+    } else {
+        default_benches()
+    };
+    let run = |name: &str| -> bool { which == name || which == "all" };
+    let mut emit = |tables: Vec<cwfmem::sim::Table>| {
+        for t in tables {
+            println!("{t}");
+            if let Some(dir) = &csv_dir {
+                match t.write_csv(dir) {
+                    Ok(path) => eprintln!("wrote {}", path.display()),
+                    Err(e) => eprintln!("csv write failed: {e}"),
+                }
+            }
+        }
+    };
+    if run("fig1") {
+        let (a, b) = fig1_homogeneous(&benches, reads);
+        emit(vec![a, b]);
+    }
+    if run("fig2") {
+        emit(vec![fig2_power_utilization()]);
+    }
+    if run("fig3") {
+        emit(vec![fig3_line_profiles((40 * reads).max(200_000))]);
+    }
+    if run("fig4") {
+        emit(vec![fig4_critical_word_distribution(&benches, 4 * reads)]);
+    }
+    if run("fig6") {
+        let (a, b, c) = fig6_7_8_cwf(&benches, reads);
+        emit(vec![a, b, c]);
+    }
+    if run("fig9") {
+        emit(vec![fig9_placement(&benches, reads)]);
+    }
+    if run("fig10") {
+        let (a, b) = fig10_11_energy(&benches, reads);
+        emit(vec![a, b]);
+    }
+    if run("ablations") {
+        emit(vec![ablations(&benches, reads)]);
+    }
+    if run("alternatives") {
+        let (a, b) = alternatives(&benches, reads);
+        emit(vec![a, b]);
+    }
+}

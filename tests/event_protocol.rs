@@ -1,0 +1,148 @@
+//! Property tests of the memory-event protocol across backends.
+//!
+//! Whatever the organization, every accepted read must produce exactly
+//! one `LineFilled`, word-availability must cover all eight words by fill
+//! time, and event timestamps must be consistent.
+
+use std::collections::HashMap;
+
+use cwfmem::cwf::{CwfConfig, HeteroCwfMemory, PlacementPolicy};
+use cwfmem::memctrl::{HomogeneousMemory, LineRequest, MainMemory, MemEvent};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+struct Req {
+    line: u64,
+    word: u8,
+    write: bool,
+    delay: u8,
+}
+
+fn req_strategy() -> impl Strategy<Value = Req> {
+    (0u64..512, 0u8..8, prop::bool::ANY, 0u8..32)
+        .prop_map(|(line, word, write, delay)| Req { line: line * 64, word, write, delay })
+}
+
+fn drive(mem: &mut dyn MainMemory, reqs: &[Req]) -> (usize, Vec<MemEvent>) {
+    let mut now = 0u64;
+    let mut accepted = 0usize;
+    let mut events = Vec::new();
+    for r in reqs {
+        for _ in 0..r.delay {
+            mem.tick(now);
+            mem.drain_events(now, &mut events);
+            now += 1;
+        }
+        let lr = if r.write {
+            LineRequest::writeback(r.line, r.word, 0)
+        } else {
+            LineRequest::demand_read(r.line, r.word, 0)
+        };
+        if let Ok(Some(_)) = mem.try_submit(&lr, now) {
+            accepted += 1;
+        }
+    }
+    for _ in 0..80_000 {
+        mem.tick(now);
+        mem.drain_events(now, &mut events);
+        now += 1;
+    }
+    (accepted, events)
+}
+
+fn check_protocol(accepted: usize, events: &[MemEvent]) {
+    let mut fills: HashMap<u64, u64> = HashMap::new();
+    let mut words: HashMap<u64, (u8, u64)> = HashMap::new();
+    for e in events {
+        match *e {
+            MemEvent::LineFilled { token, at } => {
+                assert!(
+                    fills.insert(token.0, at).is_none(),
+                    "duplicate LineFilled for {token:?}"
+                );
+            }
+            MemEvent::WordsAvailable { token, at, words: w, .. } => {
+                let entry = words.entry(token.0).or_insert((0, 0));
+                entry.0 |= w;
+                entry.1 = entry.1.max(at);
+            }
+        }
+    }
+    assert_eq!(fills.len(), accepted, "every accepted read fills exactly once");
+    for (tok, fill_at) in &fills {
+        let (mask, last_at) = words.get(tok).copied().unwrap_or((0, 0));
+        assert_eq!(mask, 0xFF, "token {tok}: all words available by fill");
+        assert!(last_at <= *fill_at, "token {tok}: words precede the fill");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn homogeneous_protocol(reqs in prop::collection::vec(req_strategy(), 1..60)) {
+        let mut mem = HomogeneousMemory::baseline_ddr3();
+        let (accepted, events) = drive(&mut mem, &reqs);
+        check_protocol(accepted, &events);
+    }
+
+    #[test]
+    fn cwf_rl_protocol(reqs in prop::collection::vec(req_strategy(), 1..60)) {
+        let mut mem = HeteroCwfMemory::new(CwfConfig::rl());
+        let (accepted, events) = drive(&mut mem, &reqs);
+        check_protocol(accepted, &events);
+    }
+
+    #[test]
+    fn cwf_adaptive_protocol_with_parity_errors(
+        reqs in prop::collection::vec(req_strategy(), 1..60),
+        rate in 0.0f64..1.0,
+    ) {
+        let cfg = CwfConfig::rl()
+            .with_policy(PlacementPolicy::Adaptive)
+            .with_parity_errors(rate, 1234);
+        let mut mem = HeteroCwfMemory::new(cfg);
+        let (accepted, events) = drive(&mut mem, &reqs);
+        check_protocol(accepted, &events);
+    }
+
+    #[test]
+    fn cwf_critical_event_is_never_after_fill(
+        word in 0u8..8,
+        line in 0u64..4096,
+    ) {
+        let mut mem = HeteroCwfMemory::new(CwfConfig::rl());
+        let tok = mem
+            .try_submit(&LineRequest::demand_read(line * 64, word, 0), 0)
+            .unwrap()
+            .unwrap();
+        let mut events = Vec::new();
+        for now in 0..20_000 {
+            mem.tick(now);
+            mem.drain_events(now, &mut events);
+        }
+        let fill = events
+            .iter()
+            .find_map(|e| match e {
+                MemEvent::LineFilled { token, at } if *token == tok => Some(*at),
+                _ => None,
+            })
+            .expect("fill");
+        let critical = events
+            .iter()
+            .find_map(|e| match e {
+                MemEvent::WordsAvailable { token, at, words, .. }
+                    if *token == tok && words & (1 << word) != 0 =>
+                {
+                    Some(*at)
+                }
+                _ => None,
+            })
+            .expect("critical word availability");
+        prop_assert!(critical <= fill);
+        // Word 0 under Static0 always beats the fill strictly.
+        if word == 0 {
+            prop_assert!(critical < fill);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Golden regression pins: exact end-to-end metrics for fixed seeds.
+//!
+//! Any behavioural change to the generators, caches, controllers, timing
+//! model or CWF logic shifts these numbers. That is intentional — a
+//! failing golden test means "the simulation changed; re-validate the
+//! figure shapes in EXPERIMENTS.md and update the pins deliberately"
+//! (regenerate with `cargo run --release --example golden_gen`).
+
+use cwfmem::sim::config::MemKind;
+use cwfmem::sim::{run_benchmark, RunConfig};
+
+struct Golden {
+    kind: MemKind,
+    bench: &'static str,
+    cycles: u64,
+    insts: u64,
+    reads: u64,
+    hist: [u64; 8],
+}
+
+const GOLDEN: [Golden; 3] = [
+    Golden {
+        kind: MemKind::Ddr3,
+        bench: "leslie3d",
+        cycles: 148_450,
+        insts: 959_381,
+        reads: 1_500,
+        hist: [1446, 45, 0, 3, 0, 2, 2, 2],
+    },
+    Golden {
+        kind: MemKind::Rl,
+        bench: "leslie3d",
+        cycles: 148_379,
+        insts: 1_056_987,
+        reads: 1_500,
+        hist: [1451, 40, 0, 3, 0, 2, 2, 2],
+    },
+    Golden {
+        kind: MemKind::RlAdaptive,
+        bench: "mcf",
+        cycles: 134_205,
+        insts: 749_034,
+        reads: 1_500,
+        hist: [436, 110, 106, 223, 111, 97, 296, 121],
+    },
+];
+
+#[test]
+fn golden_metrics_are_stable() {
+    for g in &GOLDEN {
+        let m = run_benchmark(&RunConfig::quick(g.kind, 1_500), g.bench);
+        assert_eq!(m.cycles, g.cycles, "{:?}/{}: cycles", g.kind, g.bench);
+        assert_eq!(
+            m.insts_per_core.iter().sum::<u64>(),
+            g.insts,
+            "{:?}/{}: instructions",
+            g.kind,
+            g.bench
+        );
+        assert_eq!(m.dram_reads, g.reads, "{:?}/{}: reads", g.kind, g.bench);
+        assert_eq!(m.hier.critical_word_hist, g.hist, "{:?}/{}: histogram", g.kind, g.bench);
+    }
+}
