@@ -8,8 +8,5 @@ use sim_harness::experiments::fig4_critical_word_distribution;
 
 fn main() {
     cwf_bench::header("Figure 4: critical word distribution");
-    println!(
-        "{}",
-        fig4_critical_word_distribution(&cwf_bench::benches(), 4 * cwf_bench::reads())
-    );
+    println!("{}", fig4_critical_word_distribution(&cwf_bench::benches(), 4 * cwf_bench::reads()));
 }

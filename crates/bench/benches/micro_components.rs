@@ -1,99 +1,97 @@
-//! Criterion microbenchmarks of the simulator's hot components.
+//! Microbenchmarks of the simulator's hot components.
 //!
 //! These are engineering benchmarks (not paper figures): they track the
 //! cost of the DRAM channel timing oracle, the FR-FCFS scheduler, the
 //! SECDED codec, the cache lookup path and the trace generator, so that
 //! harness-scale experiments stay fast.
+//!
+//! Timing uses the in-tree [`cwf_bench::micro`] harness (median of
+//! batched samples) instead of criterion, so the workspace builds with
+//! no registry access.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use cache_hier::{Cache, CacheCfg, LineMeta};
 use cpu_model::TraceSource;
+use cwf_bench::micro::bench_function;
 use dram_timing::{Channel, Command, DeviceConfig};
 use mem_ctrl::{Controller, Loc, Token};
 use workloads::{by_name, TraceGen};
 
-fn bench_channel(c: &mut Criterion) {
-    c.bench_function("channel_issue_act_rd_pre", |b| {
-        let mut ch = Channel::new(DeviceConfig::ddr3_1600(), 1);
-        let mut now = 0u64;
-        let mut row = 0u32;
-        b.iter(|| {
-            let act = Command::activate(0, (row % 8) as u8, row);
-            now = ch.earliest_issue(&act, now).expect("legal");
-            ch.issue(&act, now);
-            let rd = Command::read(0, (row % 8) as u8, row, false);
-            now = ch.earliest_issue(&rd, now).expect("legal");
-            let out = ch.issue(&rd, now);
-            let pre = Command::precharge(0, (row % 8) as u8);
-            now = ch.earliest_issue(&pre, now).expect("legal");
-            ch.issue(&pre, now);
-            row = row.wrapping_add(97) % 32768;
-            black_box(out)
-        });
+fn bench_channel() {
+    let mut ch = Channel::new(DeviceConfig::ddr3_1600(), 1);
+    let mut now = 0u64;
+    let mut row = 0u32;
+    bench_function("channel_issue_act_rd_pre", move || {
+        let act = Command::activate(0, (row % 8) as u8, row);
+        now = ch.earliest_issue(&act, now).expect("legal");
+        ch.issue(&act, now);
+        let rd = Command::read(0, (row % 8) as u8, row, false);
+        now = ch.earliest_issue(&rd, now).expect("legal");
+        let out = ch.issue(&rd, now);
+        let pre = Command::precharge(0, (row % 8) as u8);
+        now = ch.earliest_issue(&pre, now).expect("legal");
+        ch.issue(&pre, now);
+        row = row.wrapping_add(97) % 32768;
+        black_box(out);
     });
 }
 
-fn bench_scheduler(c: &mut Criterion) {
-    c.bench_function("frfcfs_tick_with_deep_queue", |b| {
-        let mut ctrl = Controller::new(DeviceConfig::ddr3_1600(), 1, 9, "bench");
-        let mut now = 0u64;
-        let mut i = 0u64;
-        b.iter(|| {
-            if ctrl.read_q_len() < 32 {
-                let loc = Loc {
-                    rank: 0,
-                    bank: (i % 8) as u8,
-                    row: (i * 131 % 32768) as u32,
-                    col: (i % 128) as u32,
-                };
-                ctrl.enqueue_read(Token(i), loc, false, now);
-                i += 1;
-            }
-            ctrl.tick_mem(now, true);
-            now += 1;
-            black_box(ctrl.take_completions())
-        });
+fn bench_scheduler() {
+    let mut ctrl = Controller::new(DeviceConfig::ddr3_1600(), 1, 9, "bench");
+    let mut now = 0u64;
+    let mut i = 0u64;
+    bench_function("frfcfs_tick_with_deep_queue", move || {
+        if ctrl.read_q_len() < 32 {
+            let loc = Loc {
+                rank: 0,
+                bank: (i % 8) as u8,
+                row: (i * 131 % 32768) as u32,
+                col: (i % 128) as u32,
+            };
+            ctrl.enqueue_read(Token(i), loc, false, now);
+            i += 1;
+        }
+        ctrl.tick_mem(now, true);
+        now += 1;
+        black_box(ctrl.take_completions());
     });
 }
 
-fn bench_secded(c: &mut Criterion) {
-    c.bench_function("secded_encode_decode_word", |b| {
-        let mut w = 0x0123_4567_89AB_CDEFu64;
-        b.iter(|| {
-            let code = ecc::secded::encode(w);
-            let out = ecc::secded::decode(w ^ 1, code);
-            w = w.rotate_left(7);
-            black_box(out)
-        });
+fn bench_secded() {
+    let mut w = 0x0123_4567_89AB_CDEFu64;
+    bench_function("secded_encode_decode_word", move || {
+        let code = ecc::secded::encode(w);
+        let out = ecc::secded::decode(w ^ 1, code);
+        w = w.rotate_left(7);
+        black_box(out);
     });
 }
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("l2_lookup_insert", |b| {
-        let mut cache = Cache::new(CacheCfg::l2_4m_8way());
-        let mut line = 0u64;
-        b.iter(|| {
-            if cache.lookup(line).is_none() {
-                cache.insert(line, LineMeta::default());
-            }
-            line = line.wrapping_add(4097);
-            black_box(cache.resident())
-        });
+fn bench_cache() {
+    let mut cache = Cache::new(CacheCfg::l2_4m_8way());
+    let mut line = 0u64;
+    bench_function("l2_lookup_insert", move || {
+        if cache.lookup(line).is_none() {
+            cache.insert(line, LineMeta::default());
+        }
+        line = line.wrapping_add(4097);
+        black_box(cache.resident());
     });
 }
 
-fn bench_tracegen(c: &mut Criterion) {
-    c.bench_function("tracegen_next_op", |b| {
-        let mut gen = TraceGen::new(by_name("mcf").expect("mcf exists"), 0, 1);
-        b.iter(|| black_box(gen.next_op()));
+fn bench_tracegen() {
+    let mut gen = TraceGen::new(by_name("mcf").expect("mcf exists"), 0, 1);
+    bench_function("tracegen_next_op", move || {
+        black_box(gen.next_op());
     });
 }
 
-criterion_group! {
-    name = micro;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_channel, bench_scheduler, bench_secded, bench_cache, bench_tracegen
+fn main() {
+    cwf_bench::header("microbenchmarks: hot-component cost");
+    bench_channel();
+    bench_scheduler();
+    bench_secded();
+    bench_cache();
+    bench_tracegen();
 }
-criterion_main!(micro);

@@ -48,3 +48,54 @@ pub fn header(what: &str) {
         reads()
     );
 }
+
+/// A small self-contained microbenchmark timer (criterion stand-in).
+///
+/// The workspace builds without registry access, so the engineering
+/// microbenchmarks use this batched median-of-samples harness instead of
+/// criterion. It is intentionally simple: per-sample batching amortizes
+/// timer overhead, and the median across samples resists scheduler
+/// noise.
+pub mod micro {
+    use std::time::Instant;
+
+    /// Number of timed samples per benchmark.
+    const SAMPLES: usize = 20;
+    /// Target wall-clock per sample (the batch size auto-calibrates).
+    const SAMPLE_TARGET_NS: u128 = 20_000_000;
+
+    /// Time `f` and print `name` with the median, min and max ns/op.
+    pub fn bench_function<F: FnMut()>(name: &str, mut f: F) {
+        // Calibrate: grow the batch until one batch costs ≥ ~2 ms.
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            let elapsed = t0.elapsed().as_nanos().max(1);
+            if elapsed >= SAMPLE_TARGET_NS / 10 || batch >= 1 << 30 {
+                break;
+            }
+            // Aim the next probe at the per-sample target.
+            let scale = (SAMPLE_TARGET_NS / 10 / elapsed).clamp(2, 128);
+            batch = batch.saturating_mul(scale as u64);
+        }
+        let mut per_op: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..batch {
+                    f();
+                }
+                t0.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        per_op.sort_by(f64::total_cmp);
+        let median = per_op[per_op.len() / 2];
+        println!(
+            "{name:<32} {median:>10.1} ns/op   (min {:.1}, max {:.1}, {batch} ops × {SAMPLES} samples)",
+            per_op.first().copied().unwrap_or(0.0),
+            per_op.last().copied().unwrap_or(0.0),
+        );
+    }
+}

@@ -112,11 +112,7 @@ impl Cache {
     pub fn peek(&self, line: u64) -> Option<&LineMeta> {
         let tag = self.tag(line);
         let range = self.set_range(line);
-        self.ways[range]
-            .iter()
-            .flatten()
-            .find(|w| w.tag == tag)
-            .map(|w| &w.meta)
+        self.ways[range].iter().flatten().find(|w| w.tag == tag).map(|w| &w.meta)
     }
 
     /// Insert `line` with `meta`, evicting the LRU way if the set is full.

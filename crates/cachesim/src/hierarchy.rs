@@ -129,6 +129,10 @@ pub struct HierStats {
     pub demand_fills: u64,
     /// Sum of critical-word latencies (alloc → word usable), CPU cycles.
     pub cw_latency_sum: u64,
+    /// Distribution of critical-word latencies (alloc → word usable),
+    /// CPU cycles. Same events as [`HierStats::cw_latency_sum`], but
+    /// bucketed so p50/p95/p99 tail latency can be reported.
+    pub cw_lat_hist: dram_timing::stats::LatencyHist,
     /// Demand fills whose critical word came from the fast DIMM.
     pub cw_served_fast: u64,
     /// Secondary accesses to a different word than the critical one.
@@ -427,8 +431,11 @@ impl<M: MainMemory> Hierarchy<M> {
             }
             if vmeta.dirty {
                 self.stats.writebacks += 1;
-                self.writeback_buf
-                    .push_back(LineRequest::writeback(victim << 6, vmeta.crit_word, 0));
+                self.writeback_buf.push_back(LineRequest::writeback(
+                    victim << 6,
+                    vmeta.crit_word,
+                    0,
+                ));
             }
         }
         for c in 0..self.params.cores {
@@ -468,6 +475,7 @@ impl<M: MainMemory> Hierarchy<M> {
                         if entry.demand {
                             let cw_at = entry.critical_word_at.unwrap_or(at);
                             self.stats.cw_latency_sum += cw_at - entry.allocated_at;
+                            self.stats.cw_lat_hist.record(cw_at - entry.allocated_at);
                             if entry.critical_served_fast {
                                 self.stats.cw_served_fast += 1;
                             }
@@ -544,12 +552,8 @@ impl<M: MainMemory> Hierarchy<M> {
             return;
         }
         // Miss: install instantly (no timing), as a long-warmed cache would.
-        let meta = LineMeta {
-            dirty: is_store,
-            sharers: 1 << core,
-            crit_word: word,
-            prefetched: false,
-        };
+        let meta =
+            LineMeta { dirty: is_store, sharers: 1 << core, crit_word: word, prefetched: false };
         if let Some((victim, vmeta)) = self.l2.insert(line, meta) {
             if vmeta.sharers != 0 {
                 for c in 0..self.params.cores {

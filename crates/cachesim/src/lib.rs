@@ -9,7 +9,7 @@
 //! processor-side support the CWF design needs for "buffering two parts of
 //! a cache line in the MSHR" (§4.2.2).
 //!
-//! The [`Hierarchy`] owns a [`MainMemory`] backend; swapping the backend is
+//! The [`Hierarchy`] owns a [`mem_ctrl::MainMemory`] backend; swapping the backend is
 //! how the simulator compares the DDR3 baseline against the heterogeneous
 //! CWF organizations.
 //!

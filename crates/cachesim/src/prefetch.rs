@@ -91,7 +91,11 @@ impl StridePrefetcher {
                     let stride_lines = if e.stride.unsigned_abs() < 64 {
                         // Sub-line strides still walk forward one line at a
                         // time in the direction of travel.
-                        if e.stride > 0 { 64 } else { -64 }
+                        if e.stride > 0 {
+                            64
+                        } else {
+                            -64
+                        }
                     } else {
                         e.stride
                     };
@@ -104,13 +108,8 @@ impl StridePrefetcher {
                 }
             }
             None => {
-                self.table[victim] = Some(RptEntry {
-                    pc,
-                    last_addr: addr,
-                    stride: 0,
-                    confidence: 0,
-                    lru: clock,
-                });
+                self.table[victim] =
+                    Some(RptEntry { pc, last_addr: addr, stride: 0, confidence: 0, lru: clock });
             }
         }
         self.issued += out.len() as u64;
@@ -179,7 +178,7 @@ mod tests {
         p.train(1, 0x100);
         p.train(2, 0x200);
         p.train(3, 0x300); // evicts pc=1
-        // pc=1 must re-learn from scratch.
+                           // pc=1 must re-learn from scratch.
         for i in 1..4u64 {
             let out = p.train(1, 0x100 + i * 0x40);
             if i < 3 {

@@ -15,9 +15,8 @@ struct Access {
 }
 
 fn access(cores: u8, lines: u64) -> impl Strategy<Value = Access> {
-    (0..cores, 0..lines, 0u8..8, prop::bool::ANY, 0u8..40).prop_map(
-        |(core, line, word, store, gap)| Access { core, line, word, store, gap },
-    )
+    (0..cores, 0..lines, 0u8..8, prop::bool::ANY, 0u8..40)
+        .prop_map(|(core, line, word, store, gap)| Access { core, line, word, store, gap })
 }
 
 /// A small hierarchy so invariant-threatening evictions happen often.
@@ -62,8 +61,8 @@ fn check_inclusive(h: &Hierarchy<HomogeneousMemory>, cores: u8, lines: u64) {
         let l2_sharers = h.l2_peek(line).map(|m| m.sharers);
         for core in 0..cores {
             if h.l1_peek(core, line).is_some() {
-                let sharers = l2_sharers
-                    .unwrap_or_else(|| panic!("line {line} in L1[{core}] but not in L2"));
+                let sharers =
+                    l2_sharers.unwrap_or_else(|| panic!("line {line} in L1[{core}] but not in L2"));
                 assert!(
                     sharers & (1 << core) != 0,
                     "line {line}: L1[{core}] resident but sharer bit clear ({sharers:#b})"

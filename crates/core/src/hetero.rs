@@ -435,10 +435,8 @@ mod tests {
         mut mem: HeteroCwfMemory,
         critical: u8,
     ) -> (HeteroCwfMemory, Vec<MemEvent>, Token) {
-        let tok = mem
-            .try_submit(&LineRequest::demand_read(0x10_000, critical, 0), 0)
-            .unwrap()
-            .unwrap();
+        let tok =
+            mem.try_submit(&LineRequest::demand_read(0x10_000, critical, 0), 0).unwrap().unwrap();
         let mut ev = Vec::new();
         for now in 0..5_000 {
             mem.tick(now);

@@ -89,8 +89,7 @@ fn oracle_and_static_issue_identical_request_streams() {
         for i in 0..40u64 {
             // Stride 17 lines: co-prime with the 4 sub-channels, so no
             // single queue fills.
-            mem.try_submit(&LineRequest::demand_read(i * 64 * 17, (i % 8) as u8, 0), 0)
-                .unwrap();
+            mem.try_submit(&LineRequest::demand_read(i * 64 * 17, (i % 8) as u8, 0), 0).unwrap();
         }
         let mut ev = Vec::new();
         run(&mut mem, 0, 50_000, &mut ev);
@@ -102,9 +101,7 @@ fn oracle_and_static_issue_identical_request_streams() {
 
 #[test]
 fn writes_update_adaptive_tags_only_for_adaptive_policy() {
-    for (policy, expect_tags) in
-        [(PlacementPolicy::Static0, 0), (PlacementPolicy::Adaptive, 3)]
-    {
+    for (policy, expect_tags) in [(PlacementPolicy::Static0, 0), (PlacementPolicy::Adaptive, 3)] {
         let mut mem = HeteroCwfMemory::new(CwfConfig::rl().with_policy(policy));
         for i in 0..3u64 {
             mem.try_submit(&LineRequest::writeback(i * 64, 5, 0), 0).unwrap();

@@ -149,10 +149,7 @@ impl Channel {
                 if !b.is_idle() {
                     return None;
                 }
-                let mut lb = now
-                    .max(b.next_act)
-                    .max(rank.next_act_rrd)
-                    .max(rank.next_cmd_ok);
+                let mut lb = now.max(b.next_act).max(rank.next_act_rrd).max(rank.next_cmd_ok);
                 lb = rank.faw_ready(lb, t.t_faw);
                 Some(lb)
             }
@@ -251,10 +248,7 @@ impl Channel {
     /// Panics (debug builds) if the command is not issuable at `now`; callers
     /// must check with [`Channel::can_issue`] first.
     pub fn issue(&mut self, cmd: &Command, now: u64) -> IssueOutcome {
-        debug_assert!(
-            self.can_issue(cmd, now),
-            "command {cmd:?} not issuable at cycle {now}"
-        );
+        debug_assert!(self.can_issue(cmd, now), "command {cmd:?} not issuable at cycle {now}");
         if let Some(log) = &mut self.log {
             log.push((now, *cmd));
         }
@@ -268,6 +262,7 @@ impl Channel {
                 rank.bank_mut(bank).apply_activate(now, row, t.t_rcd, t.t_ras, t.t_rc);
                 rank.note_activate(now, t.t_rrd);
                 self.stats.activates += 1;
+                self.stats.per_bank[usize::from(bank)].activates += 1;
                 IssueOutcome { data_start: None, data_end: None }
             }
             Command::Read { bank, auto_pre, .. } => {
@@ -291,6 +286,7 @@ impl Channel {
                             // busy for one full tRC.
                             b.next_act = now + u64::from(t.t_rc);
                             self.stats.activates += 1;
+                            self.stats.per_bank[usize::from(bank)].activates += 1;
                         }
                     }
                 }
@@ -298,6 +294,7 @@ impl Channel {
                 self.last_burst_rank = Some(rank_idx);
                 self.last_burst_write = false;
                 self.stats.reads += 1;
+                self.stats.per_bank[usize::from(bank)].reads += 1;
                 self.stats.read_bus_cycles += u64::from(t.t_burst);
                 IssueOutcome { data_start: Some(data_start), data_end: Some(data_end) }
             }
@@ -324,6 +321,7 @@ impl Channel {
                         AddressingStyle::SingleCommand => {
                             b.next_act = now + u64::from(t.t_rc);
                             self.stats.activates += 1;
+                            self.stats.per_bank[usize::from(bank)].activates += 1;
                         }
                     }
                 }
@@ -331,6 +329,7 @@ impl Channel {
                 self.last_burst_rank = Some(rank_idx);
                 self.last_burst_write = true;
                 self.stats.writes += 1;
+                self.stats.per_bank[usize::from(bank)].writes += 1;
                 self.stats.write_bus_cycles += u64::from(t.t_burst);
                 IssueOutcome { data_start: Some(data_start), data_end: Some(data_end) }
             }

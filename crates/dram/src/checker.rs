@@ -131,9 +131,7 @@ impl ProtocolChecker {
 
         // tFAW / tRRD bookkeeping uses the per-rank activate history.
         let faw_ok = |acts: &[u64]| -> bool {
-            t.t_faw == 0
-                || acts.len() < 4
-                || at >= acts[acts.len() - 4] + u64::from(t.t_faw)
+            t.t_faw == 0 || acts.len() < 4 || at >= acts[acts.len() - 4] + u64::from(t.t_faw)
         };
         let rrd_ok = |acts: &[u64]| -> bool {
             t.t_rrd == 0 || acts.last().is_none_or(|&l| at >= l + u64::from(t.t_rrd))
@@ -181,8 +179,11 @@ impl ProtocolChecker {
                 match addressing {
                     AddressingStyle::RasCas => {
                         if b.open_row != Some(row) {
-                            self.violations
-                                .push(Violation { at, cmd: *cmd, rule: "READ to wrong/closed row" });
+                            self.violations.push(Violation {
+                                at,
+                                cmd: *cmd,
+                                rule: "READ to wrong/closed row",
+                            });
                             return;
                         }
                         if let Some(act) = b.last_act {
@@ -194,8 +195,11 @@ impl ProtocolChecker {
                     AddressingStyle::SingleCommand => {
                         if let Some(act) = b.last_act {
                             if at < act + u64::from(t.t_rc) {
-                                self.violations
-                                    .push(Violation { at, cmd: *cmd, rule: "tRC (single-command)" });
+                                self.violations.push(Violation {
+                                    at,
+                                    cmd: *cmd,
+                                    rule: "tRC (single-command)",
+                                });
                             }
                         }
                         b.last_act = Some(at);
@@ -215,8 +219,7 @@ impl ProtocolChecker {
                 if auto_pre || addressing == AddressingStyle::SingleCommand {
                     b.open_row = None;
                     b.last_pre = Some(
-                        (at + u64::from(t.t_rtp))
-                            .max(b.last_act.unwrap_or(0) + u64::from(t.t_ras)),
+                        (at + u64::from(t.t_rtp)).max(b.last_act.unwrap_or(0) + u64::from(t.t_ras)),
                     );
                 }
                 let start = at + u64::from(t.t_rl);
@@ -227,8 +230,11 @@ impl ProtocolChecker {
                 match addressing {
                     AddressingStyle::RasCas => {
                         if b.open_row != Some(row) {
-                            self.violations
-                                .push(Violation { at, cmd: *cmd, rule: "WRITE to wrong/closed row" });
+                            self.violations.push(Violation {
+                                at,
+                                cmd: *cmd,
+                                rule: "WRITE to wrong/closed row",
+                            });
                             return;
                         }
                         if let Some(act) = b.last_act {
@@ -240,8 +246,11 @@ impl ProtocolChecker {
                     AddressingStyle::SingleCommand => {
                         if let Some(act) = b.last_act {
                             if at < act + u64::from(t.t_rc) {
-                                self.violations
-                                    .push(Violation { at, cmd: *cmd, rule: "tRC (single-command)" });
+                                self.violations.push(Violation {
+                                    at,
+                                    cmd: *cmd,
+                                    rule: "tRC (single-command)",
+                                });
                             }
                         }
                         b.last_act = Some(at);
@@ -256,8 +265,7 @@ impl ProtocolChecker {
                 if auto_pre || addressing == AddressingStyle::SingleCommand {
                     b.open_row = None;
                     b.last_pre = Some(
-                        (end + u64::from(t.t_wr))
-                            .max(b.last_act.unwrap_or(0) + u64::from(t.t_ras)),
+                        (end + u64::from(t.t_wr)).max(b.last_act.unwrap_or(0) + u64::from(t.t_ras)),
                     );
                 }
                 let start = at + u64::from(t.t_wl);
@@ -289,8 +297,7 @@ impl ProtocolChecker {
             }
             Command::Refresh { .. } => {
                 if rank.banks.iter().any(|b| b.open_row.is_some()) {
-                    self.violations
-                        .push(Violation { at, cmd: *cmd, rule: "REF with open banks" });
+                    self.violations.push(Violation { at, cmd: *cmd, rule: "REF with open banks" });
                     return;
                 }
                 for b in &mut rank.banks {
@@ -309,8 +316,7 @@ impl ProtocolChecker {
             Command::RefreshBank { bank, .. } => {
                 let b = &mut rank.banks[usize::from(bank)];
                 if b.open_row.is_some() {
-                    self.violations
-                        .push(Violation { at, cmd: *cmd, rule: "REFB to open bank" });
+                    self.violations.push(Violation { at, cmd: *cmd, rule: "REFB to open bank" });
                     return;
                 }
                 if at < b.blocked_until {

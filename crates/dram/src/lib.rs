@@ -44,19 +44,19 @@
 //! ```
 
 pub mod bank;
-pub mod checker;
 pub mod channel;
+pub mod checker;
 pub mod command;
 pub mod config;
 pub mod rank;
 pub mod stats;
 
 pub use bank::{Bank, BankState};
-pub use checker::{ProtocolChecker, Violation};
 pub use channel::{Channel, IssueOutcome};
+pub use checker::{ProtocolChecker, Violation};
 pub use command::Command;
 pub use config::{
     AddressingStyle, DeviceConfig, DeviceGeometry, DeviceKind, DeviceTimings, PagePolicy,
 };
 pub use rank::{PowerState, Rank};
-pub use stats::{ChannelStats, Residency};
+pub use stats::{BankCounters, ChannelStats, LatencyHist, Residency, MAX_BANKS};

@@ -49,6 +49,208 @@ impl Residency {
     }
 }
 
+/// Upper bound on banks per rank across all supported devices (RLDRAM3
+/// has 16; DDR3 and LPDDR2 have 8).
+pub const MAX_BANKS: usize = 16;
+
+/// Per-bank command counters (index = bank id within the rank, summed
+/// over ranks of a channel).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BankCounters {
+    /// ACT commands issued to this bank (incl. implicit activates).
+    pub activates: u64,
+    /// READ column commands to this bank.
+    pub reads: u64,
+    /// WRITE column commands to this bank.
+    pub writes: u64,
+}
+
+impl BankCounters {
+    /// Element-wise accumulate.
+    pub fn add(&mut self, other: &BankCounters) {
+        self.activates += other.activates;
+        self.reads += other.reads;
+        self.writes += other.writes;
+    }
+
+    /// Element-wise subtract (for warm-up deltas). Saturates at zero.
+    pub fn sub(&mut self, other: &BankCounters) {
+        self.activates = self.activates.saturating_sub(other.activates);
+        self.reads = self.reads.saturating_sub(other.reads);
+        self.writes = self.writes.saturating_sub(other.writes);
+    }
+}
+
+/// Fixed-bucket latency histogram with ~25% relative resolution.
+///
+/// Values 0–15 get exact buckets; larger values share an octave split
+/// into four sub-buckets (an HDR-histogram-style layout). Everything is
+/// plain integer counters, so [`LatencyHist::merge`] is associative and
+/// commutative — the property the parallel sweep's order-independent
+/// aggregation test pins down — and quantile queries are deterministic
+/// across thread counts.
+#[derive(Clone, Copy)]
+pub struct LatencyHist {
+    buckets: [u64; Self::BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl LatencyHist {
+    /// Exact buckets for small values.
+    const LOW: usize = 16;
+    /// Sub-buckets per octave above [`Self::LOW`].
+    const SUB: usize = 4;
+    /// Total bucket count: 16 exact + 4 per octave for octaves 4..=63.
+    const BUCKETS: usize = Self::LOW + (64 - 4) * Self::SUB;
+
+    /// Bucket index of `v`.
+    fn index(v: u64) -> usize {
+        if v < Self::LOW as u64 {
+            return v as usize;
+        }
+        let octave = 63 - v.leading_zeros() as usize; // >= 4
+        let sub = ((v >> (octave - 2)) & 0b11) as usize;
+        Self::LOW + (octave - 4) * Self::SUB + sub
+    }
+
+    /// Inclusive upper bound of bucket `i` (the value reported by
+    /// [`LatencyHist::quantile`]).
+    fn bucket_high(i: usize) -> u64 {
+        if i < Self::LOW {
+            return i as u64;
+        }
+        let rel = i - Self::LOW;
+        let octave = 4 + rel / Self::SUB;
+        let sub = (rel % Self::SUB) as u64;
+        (1u64 << octave) + ((sub + 1) << (octave - 2)) - 1
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// holding the `ceil(q·count)`-th smallest sample (capped at the
+    /// recorded maximum). Returns 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_high(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Accumulate another histogram (bucket-wise; associative and
+    /// commutative).
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Subtract an earlier snapshot (for warm-up deltas). The maximum is
+    /// kept from `self` (conservative: deltas cannot lower a maximum).
+    pub fn sub(&mut self, earlier: &LatencyHist) {
+        for (a, b) in self.buckets.iter_mut().zip(&earlier.buckets) {
+            *a = a.saturating_sub(*b);
+        }
+        self.count = self.count.saturating_sub(earlier.count);
+        self.sum = self.sum.saturating_sub(earlier.sum);
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs (JSON export).
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_high(i), n))
+            .collect()
+    }
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        LatencyHist { buckets: [0; Self::BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl PartialEq for LatencyHist {
+    fn eq(&self, other: &Self) -> bool {
+        self.count == other.count
+            && self.sum == other.sum
+            && self.max == other.max
+            && self.buckets[..] == other.buckets[..]
+    }
+}
+
+impl Eq for LatencyHist {}
+
+impl std::fmt::Debug for LatencyHist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHist")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("p50", &self.quantile(0.50))
+            .field("p95", &self.quantile(0.95))
+            .field("p99", &self.quantile(0.99))
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
 /// Command and bus-activity counters for one channel.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChannelStats {
@@ -72,6 +274,9 @@ pub struct ChannelStats {
     pub read_bus_cycles: u64,
     /// Device cycles the data bus carried write data.
     pub write_bus_cycles: u64,
+    /// Per-bank command counters (bank id within the rank, summed over
+    /// ranks).
+    pub per_bank: [BankCounters; MAX_BANKS],
 }
 
 impl ChannelStats {
@@ -106,6 +311,26 @@ impl ChannelStats {
         self.row_conflicts += other.row_conflicts;
         self.read_bus_cycles += other.read_bus_cycles;
         self.write_bus_cycles += other.write_bus_cycles;
+        for (a, b) in self.per_bank.iter_mut().zip(&other.per_bank) {
+            a.add(b);
+        }
+    }
+
+    /// Element-wise subtract an earlier snapshot (for warm-up deltas).
+    pub fn sub(&mut self, earlier: &ChannelStats) {
+        self.activates -= earlier.activates;
+        self.reads -= earlier.reads;
+        self.writes -= earlier.writes;
+        self.precharges -= earlier.precharges;
+        self.refreshes -= earlier.refreshes;
+        self.row_hits -= earlier.row_hits;
+        self.row_misses -= earlier.row_misses;
+        self.row_conflicts -= earlier.row_conflicts;
+        self.read_bus_cycles -= earlier.read_bus_cycles;
+        self.write_bus_cycles -= earlier.write_bus_cycles;
+        for (a, b) in self.per_bank.iter_mut().zip(&earlier.per_bank) {
+            a.sub(b);
+        }
     }
 }
 
@@ -140,6 +365,83 @@ mod tests {
         };
         assert_eq!(r.total(), 100);
         assert!((r.low_power_fraction() - 0.70).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_hist_buckets_are_monotone() {
+        // Every index maps to an upper bound >= the value, and indices
+        // are non-decreasing in the value.
+        let mut prev = 0usize;
+        for v in [0u64, 1, 15, 16, 17, 63, 64, 100, 1 << 20, u64::MAX / 2] {
+            let i = LatencyHist::index(v);
+            assert!(i >= prev, "index not monotone at {v}");
+            assert!(LatencyHist::bucket_high(i) >= v, "bucket high < value at {v}");
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn latency_hist_quantiles() {
+        let mut h = LatencyHist::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.max(), 100);
+        // ~25% bucket resolution: p50 of 1..=100 is within [50, 63].
+        let p50 = h.quantile(0.50);
+        assert!((50..=63).contains(&p50), "p50 = {p50}");
+        assert!(h.quantile(1.0) == 100);
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(LatencyHist::default().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn latency_hist_merge_is_commutative() {
+        let mut a = LatencyHist::default();
+        let mut b = LatencyHist::default();
+        for v in [3u64, 900, 17, 4096, 0] {
+            a.record(v);
+        }
+        for v in [8u64, 8, 123_456] {
+            b.record(v);
+        }
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 8);
+    }
+
+    #[test]
+    fn latency_hist_sub_reverses_merge() {
+        let mut warm = LatencyHist::default();
+        warm.record(10);
+        warm.record(200);
+        let mut total = warm;
+        total.record(77);
+        total.sub(&warm);
+        assert_eq!(total.count(), 1);
+        assert_eq!(total.sum(), 77);
+        // Quantile reports the surviving bucket's upper bound (77 lives
+        // in the 64..=79 bucket).
+        let p50 = total.quantile(0.5);
+        assert!((77..=79).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn per_bank_counters_roundtrip() {
+        let mut s = ChannelStats::default();
+        s.per_bank[3].reads = 7;
+        s.per_bank[3].activates = 2;
+        let mut t = ChannelStats::default();
+        t.per_bank[3].reads = 1;
+        s.add(&t);
+        assert_eq!(s.per_bank[3].reads, 8);
+        s.sub(&t);
+        assert_eq!(s.per_bank[3].reads, 7);
     }
 
     #[test]

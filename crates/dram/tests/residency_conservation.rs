@@ -15,8 +15,11 @@ enum Step {
 
 fn step(banks: u8) -> impl Strategy<Value = Step> {
     prop_oneof![
-        (0..banks, 0u32..32, prop::bool::ANY)
-            .prop_map(|(bank, row, write)| Step::Access { bank, row, write }),
+        (0..banks, 0u32..32, prop::bool::ANY).prop_map(|(bank, row, write)| Step::Access {
+            bank,
+            row,
+            write
+        }),
         Just(Step::Sleep),
         Just(Step::Wake),
         (1u8..60).prop_map(|cycles| Step::Idle { cycles }),

@@ -1,0 +1,89 @@
+//! Property tests for the statistics types underlying the parallel
+//! sweep's ordered aggregation: merging per-cell results must be
+//! independent of the order the workers finished in.
+
+use dram_timing::stats::{ChannelStats, LatencyHist};
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> LatencyHist {
+    let mut h = LatencyHist::default();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// Merging a set of histograms yields the same result for any
+    /// rotation of the merge order (rotations generate the full cyclic
+    /// group; combined with pairwise commutativity this pins order
+    /// independence).
+    #[test]
+    fn hist_merge_is_order_independent(
+        chunks in prop::collection::vec(prop::collection::vec(0u64..1_000_000, 0..20), 1..6),
+        rot in 0usize..6,
+    ) {
+        let hists: Vec<LatencyHist> = chunks.iter().map(|c| hist_of(c)).collect();
+        let mut forward = LatencyHist::default();
+        for h in &hists {
+            forward.merge(h);
+        }
+        let mut rotated = LatencyHist::default();
+        let k = rot % hists.len();
+        for h in hists[k..].iter().chain(&hists[..k]) {
+            rotated.merge(h);
+        }
+        prop_assert_eq!(forward, rotated);
+        let total: usize = chunks.iter().map(Vec::len).sum();
+        prop_assert_eq!(forward.count(), total as u64);
+    }
+
+    /// Merging chunked recordings equals recording everything into one
+    /// histogram: splitting work across sweep cells loses nothing.
+    #[test]
+    fn hist_merge_equals_single_recording(
+        chunks in prop::collection::vec(prop::collection::vec(0u64..1_000_000, 0..20), 1..6),
+    ) {
+        let mut merged = LatencyHist::default();
+        for c in &chunks {
+            merged.merge(&hist_of(c));
+        }
+        let all: Vec<u64> = chunks.concat();
+        prop_assert_eq!(merged, hist_of(&all));
+    }
+
+    /// Quantiles are monotone in the quantile and bounded by the max.
+    #[test]
+    fn hist_quantiles_are_monotone(values in prop::collection::vec(0u64..1_000_000, 1..50)) {
+        let h = hist_of(&values);
+        let q: Vec<u64> = [0.0, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q))
+            .collect();
+        for w in q.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {:?}", q);
+        }
+        let max = *values.iter().max().unwrap();
+        prop_assert_eq!(q[6], max);
+    }
+
+    /// ChannelStats accumulation (incl. per-bank counters) commutes.
+    #[test]
+    fn channel_stats_add_commutes(
+        a_reads in 0u64..1_000, a_writes in 0u64..1_000, a_bank in 0usize..16,
+        b_reads in 0u64..1_000, b_writes in 0u64..1_000, b_bank in 0usize..16,
+    ) {
+        let mut a = ChannelStats { reads: a_reads, writes: a_writes, ..Default::default() };
+        a.per_bank[a_bank].reads = a_reads;
+        let mut b = ChannelStats { reads: b_reads, writes: b_writes, ..Default::default() };
+        b.per_bank[b_bank].reads = b_reads;
+        let mut ab = a;
+        ab.add(&b);
+        let mut ba = b;
+        ba.add(&a);
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(ab.reads, a_reads + b_reads);
+        prop_assert_eq!(ab.per_bank[a_bank].reads + ab.per_bank[b_bank].reads,
+            if a_bank == b_bank { 2 * (a_reads + b_reads) } else { a_reads + b_reads });
+    }
+}

@@ -8,7 +8,7 @@
 //! of the rank — so the failure of an *entire chip* corrupts exactly one
 //! symbol per codeword and remains correctable.
 //!
-//! The construction is a shortened Reed–Solomon-style [11,8] code over
+//! The construction is a shortened Reed–Solomon-style \[11,8\] code over
 //! GF(2⁸) with **three** check symbols per codeword,
 //!
 //! * `P = Σ dᵢ`,

@@ -28,19 +28,9 @@ impl FaultInjector {
     /// Panics if either rate is outside `[0, 1]`.
     #[must_use]
     pub fn new(seed: u64, word_error_rate: f64, double_bit_rate: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&word_error_rate),
-            "word_error_rate must be a probability"
-        );
-        assert!(
-            (0.0..=1.0).contains(&double_bit_rate),
-            "double_bit_rate must be a probability"
-        );
-        Self {
-            rng: StdRng::seed_from_u64(seed),
-            word_error_rate,
-            double_bit_rate,
-        }
+        assert!((0.0..=1.0).contains(&word_error_rate), "word_error_rate must be a probability");
+        assert!((0.0..=1.0).contains(&double_bit_rate), "double_bit_rate must be a probability");
+        Self { rng: StdRng::seed_from_u64(seed), word_error_rate, double_bit_rate }
     }
 
     /// Possibly corrupt `word`, returning the (maybe flipped) value and the

@@ -83,9 +83,6 @@ mod tests {
     fn single_bit_flip_waits_for_secded() {
         let w = 0x0123_4567_89AB_CDEF;
         let p = byte_parity(w);
-        assert_eq!(
-            check_critical_word(w ^ (1 << 5), p),
-            CriticalWordCheck::WaitForSecded
-        );
+        assert_eq!(check_critical_word(w ^ (1 << 5), p), CriticalWordCheck::WaitForSecded);
     }
 }

@@ -132,8 +132,7 @@ impl AggregatedController {
                 }
             } else {
                 // Slot consumed: sibling may still do bookkeeping.
-                let had_work =
-                    self.subs[i].read_q_len() > 0 || self.subs[i].write_q_len() > 0;
+                let had_work = self.subs[i].read_q_len() > 0 || self.subs[i].write_q_len() > 0;
                 self.subs[i].tick_mem(now, false);
                 if had_work {
                     wanted_after_grant = true;
@@ -168,14 +167,7 @@ mod tests {
     use dram_timing::DeviceConfig;
 
     fn rld_agg() -> AggregatedController {
-        AggregatedController::new(
-            &DeviceConfig::rldram3(),
-            4,
-            1,
-            1,
-            "rld",
-            CtrlParams::default(),
-        )
+        AggregatedController::new(&DeviceConfig::rldram3(), 4, 1, 1, "rld", CtrlParams::default())
     }
 
     #[test]
@@ -204,7 +196,13 @@ mod tests {
         for sub in 0..4 {
             for r in 0..4u32 {
                 let loc = Loc { rank: 0, bank: r as u8, row: r, col: 0 };
-                assert!(agg.enqueue_read(sub, Token((sub * 10 + r as usize) as u64), loc, false, 0));
+                assert!(agg.enqueue_read(
+                    sub,
+                    Token((sub * 10 + r as usize) as u64),
+                    loc,
+                    false,
+                    0
+                ));
             }
         }
         for now in 0..200 {

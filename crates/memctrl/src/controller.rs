@@ -16,8 +16,7 @@
 //! opportunistically when the read queue is empty.
 
 use dram_timing::{
-    AddressingStyle, BankState, Channel, Command, DeviceConfig, DeviceKind, PagePolicy,
-    PowerState,
+    AddressingStyle, BankState, Channel, Command, DeviceConfig, DeviceKind, PagePolicy, PowerState,
 };
 
 use crate::mapping::Loc;
@@ -107,6 +106,9 @@ pub struct ControllerStats {
     pub sum_queue_ns: f64,
     /// Sum of read service latencies in nanoseconds.
     pub sum_service_ns: f64,
+    /// Histogram of end-to-end read latencies (enqueue to last data
+    /// beat), in integer nanoseconds.
+    pub read_lat_hist: dram_timing::stats::LatencyHist,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -137,6 +139,7 @@ pub struct Controller {
     writes_done: u64,
     sum_queue_mem: u64,
     sum_service_mem: u64,
+    read_lat_hist: dram_timing::stats::LatencyHist,
     next_token: u64,
 }
 
@@ -175,6 +178,7 @@ impl Controller {
             writes_done: 0,
             sum_queue_mem: 0,
             sum_service_mem: 0,
+            read_lat_hist: dram_timing::stats::LatencyHist::default(),
             next_token: 0,
         }
     }
@@ -296,11 +300,7 @@ impl Controller {
         let ranks = self.channel.ranks().len();
         for r in 0..ranks {
             let r8 = r as u8;
-            let busy = self
-                .read_q
-                .iter()
-                .chain(self.write_q.iter())
-                .any(|t| t.loc.rank == r8);
+            let busy = self.read_q.iter().chain(self.write_q.iter()).any(|t| t.loc.rank == r8);
             let refresh_due = self.cfg.timings.t_refi != 0
                 && now + u64::from(self.cfg.timings.t_xp) + 8 >= self.refresh_deadline[r];
             let state = self.channel.ranks()[r].power_state();
@@ -337,8 +337,7 @@ impl Controller {
                     let cmd = Command::RefreshBank { rank: r8, bank };
                     if self.channel.can_issue(&cmd, now) {
                         self.channel.issue(&cmd, now);
-                        self.refresh_bank_rr[r] =
-                            (bank + 1) % self.cfg.geometry.banks as u8;
+                        self.refresh_bank_rr[r] = (bank + 1) % self.cfg.geometry.banks as u8;
                         self.refresh_deadline[r] = now + t_refi;
                         return true;
                     }
@@ -559,6 +558,10 @@ impl Controller {
             let service = data_end - now;
             self.sum_queue_mem += queue;
             self.sum_service_mem += service;
+            // Integer-ns bucketing keeps the histogram identical across
+            // platforms (no float rounding in the hot path).
+            self.read_lat_hist
+                .record((queue + service) * u64::from(self.cfg.timings.t_ck_ps) / 1000);
             self.completions.push(ReadCompletion {
                 token: txn.token,
                 data_end_mem: data_end,
@@ -620,6 +623,7 @@ impl Controller {
             writes_done: self.writes_done,
             sum_queue_ns: self.sum_queue_mem as f64 * ns_per_cycle,
             sum_service_ns: self.sum_service_mem as f64 * ns_per_cycle,
+            read_lat_hist: self.read_lat_hist,
         }
     }
 }
@@ -762,7 +766,12 @@ mod tests {
     fn queue_capacity_is_enforced() {
         let mut c = ddr3_ctrl();
         for i in 0..48u64 {
-            assert!(c.enqueue_read(Token(i), Loc { rank: 0, bank: 0, row: 1, col: i as u32 }, false, 0));
+            assert!(c.enqueue_read(
+                Token(i),
+                Loc { rank: 0, bank: 0, row: 1, col: i as u32 },
+                false,
+                0
+            ));
         }
         assert!(!c.read_space());
         assert!(!c.enqueue_read(Token(99), Loc { rank: 0, bank: 0, row: 1, col: 0 }, false, 0));

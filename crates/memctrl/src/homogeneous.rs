@@ -200,10 +200,7 @@ mod tests {
     #[test]
     fn read_produces_both_events_coincident() {
         let mut mem = HomogeneousMemory::baseline_ddr3();
-        let tok = mem
-            .try_submit(&LineRequest::demand_read(0x10_000, 3, 0), 0)
-            .unwrap()
-            .unwrap();
+        let tok = mem.try_submit(&LineRequest::demand_read(0x10_000, 3, 0), 0).unwrap().unwrap();
         let mut ev = Vec::new();
         run(&mut mem, 1_000, &mut ev);
         let crit = ev

@@ -160,6 +160,18 @@ impl MemSystemStats {
         }
     }
 
+    /// Merged read-latency histogram (integer nanoseconds) across all
+    /// controllers. Merge order does not matter — bucket addition is
+    /// commutative — so this is identical however the run was scheduled.
+    #[must_use]
+    pub fn read_lat_hist(&self) -> dram_timing::stats::LatencyHist {
+        let mut h = dram_timing::stats::LatencyHist::default();
+        for c in &self.controllers {
+            h.merge(&c.read_lat_hist);
+        }
+        h
+    }
+
     /// Mean read service (core) latency in nanoseconds.
     #[must_use]
     pub fn avg_service_ns(&self) -> f64 {

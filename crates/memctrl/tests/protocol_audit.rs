@@ -29,8 +29,7 @@ fn item(banks: u8, rows: u32) -> impl Strategy<Value = WorkItem> {
 /// Run `items` through a controller with command logging on; return the
 /// audited command count.
 fn audit(cfg: DeviceConfig, items: &[WorkItem]) -> (u64, Vec<String>) {
-    let mut ctrl =
-        Controller::with_params(cfg.clone(), 1, 9, "audit", CtrlParams::default());
+    let mut ctrl = Controller::with_params(cfg.clone(), 1, 9, "audit", CtrlParams::default());
     ctrl.enable_command_log();
     let mut checker = ProtocolChecker::new(cfg, 1);
     let mut now = 0u64;

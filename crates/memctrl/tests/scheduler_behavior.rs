@@ -2,9 +2,7 @@
 //! FCFS vs FR-FCFS ordering, and aggregated-channel write handling.
 
 use dram_timing::DeviceConfig;
-use mem_ctrl::{
-    AggregatedController, Controller, CtrlParams, Loc, SchedPolicy, Token,
-};
+use mem_ctrl::{AggregatedController, Controller, CtrlParams, Loc, SchedPolicy, Token};
 
 #[test]
 fn rldram_per_bank_refresh_rotates_over_banks() {
@@ -33,8 +31,7 @@ fn rldram_per_bank_refresh_rotates_over_banks() {
 fn fcfs_preserves_arrival_order_where_frfcfs_reorders() {
     let run = |policy: SchedPolicy| -> Vec<u64> {
         let params = CtrlParams { policy, ..CtrlParams::default() };
-        let mut c =
-            Controller::with_params(DeviceConfig::ddr3_1600(), 1, 9, "t", params);
+        let mut c = Controller::with_params(DeviceConfig::ddr3_1600(), 1, 9, "t", params);
         // Token 0: row 10; token 1: conflicting row 99; token 2: row 10
         // again (a row hit FR-FCFS will hoist above token 1).
         c.enqueue_read(Token(0), Loc { rank: 0, bank: 0, row: 10, col: 0 }, false, 0);
@@ -55,8 +52,7 @@ fn fcfs_preserves_arrival_order_where_frfcfs_reorders() {
 fn fcfs_is_slower_than_frfcfs_on_conflicting_streams() {
     let finish = |policy: SchedPolicy| -> u64 {
         let params = CtrlParams { policy, ..CtrlParams::default() };
-        let mut c =
-            Controller::with_params(DeviceConfig::ddr3_1600(), 1, 9, "t", params);
+        let mut c = Controller::with_params(DeviceConfig::ddr3_1600(), 1, 9, "t", params);
         // Interleaved rows: FCFS ping-pongs between rows; FR-FCFS batches.
         for i in 0..24u64 {
             let row = if i % 2 == 0 { 7 } else { 900 };
@@ -82,14 +78,8 @@ fn fcfs_is_slower_than_frfcfs_on_conflicting_streams() {
 
 #[test]
 fn aggregated_channel_drains_writes() {
-    let mut agg = AggregatedController::new(
-        &DeviceConfig::rldram3(),
-        4,
-        1,
-        1,
-        "rld",
-        CtrlParams::default(),
-    );
+    let mut agg =
+        AggregatedController::new(&DeviceConfig::rldram3(), 4, 1, 1, "rld", CtrlParams::default());
     for sub in 0..4usize {
         for i in 0..40u32 {
             assert!(agg.enqueue_write(

@@ -121,7 +121,8 @@ pub fn channel_power_with(
     let t_ras = f64::from(cfg.timings.t_ras).min(t_rc);
     let act_overhead_ma =
         (idd.idd0 - (idd.idd3n * t_ras + idd.idd2n * (t_rc - t_ras)) / t_rc).max(0.0);
-    let activate_w = act_overhead_ma * (stats.channel.activates as f64 * t_rc / t) * ma_to_w * chips;
+    let activate_w =
+        act_overhead_ma * (stats.channel.activates as f64 * t_rc / t) * ma_to_w * chips;
 
     // Bursts.
     let rd_frac = stats.channel.read_bus_cycles as f64 / t;
@@ -165,10 +166,7 @@ pub fn apply_pasr(
     idd: &IddTable,
     retained_fraction: f64,
 ) -> PowerBreakdown {
-    assert!(
-        (0.0..=1.0).contains(&retained_fraction),
-        "retained_fraction is a fraction"
-    );
+    assert!((0.0..=1.0).contains(&retained_fraction), "retained_fraction is a fraction");
     if stats.mem_cycles == 0 {
         return *breakdown;
     }
@@ -254,6 +252,7 @@ mod tests {
             writes_done: 100,
             sum_queue_ns: 0.0,
             sum_service_ns: 0.0,
+            read_lat_hist: dram_timing::stats::LatencyHist::default(),
         }
     }
 
@@ -265,8 +264,8 @@ mod tests {
         assert!(p.read_w > 0.0);
         assert!(p.write_w > 0.0);
         assert!(p.refresh_w > 0.0);
-        let sum = p.background_w + p.activate_w + p.read_w + p.write_w + p.refresh_w
-            + p.termination_w;
+        let sum =
+            p.background_w + p.activate_w + p.read_w + p.write_w + p.refresh_w + p.termination_w;
         assert!((p.total_w() - sum).abs() < 1e-12);
     }
 
@@ -333,11 +332,8 @@ mod tests {
     #[test]
     fn pasr_scales_only_the_self_refresh_share() {
         let mut s = fake_stats(DeviceKind::Lpddr2, 8);
-        s.residency = Residency {
-            precharge_standby: 20_000,
-            self_refresh: 80_000,
-            ..Default::default()
-        };
+        s.residency =
+            Residency { precharge_standby: 20_000, self_refresh: 80_000, ..Default::default() };
         let idd = IddTable::lpddr2_unterminated();
         let cfg = DeviceConfig::preset(DeviceKind::Lpddr2);
         let base = channel_power_with(&s, &idd, &cfg);

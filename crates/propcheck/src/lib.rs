@@ -1,0 +1,578 @@
+#![warn(missing_docs)]
+
+//! Vendored property-testing mini-framework exposing the subset of the
+//! `proptest` crate API this workspace's tests use.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! dependency `proptest` is path-renamed to this crate (see the root
+//! `Cargo.toml`). It implements:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`Strategy`] for ranges, tuples, [`Just`], mapped and boxed
+//!   strategies, `prop::collection::vec` and `prop::bool::ANY`,
+//! * [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`] and [`prop_assume!`].
+//!
+//! Unlike real proptest there is **no shrinking** and no persistence of
+//! failing cases; a failure reports the generated inputs via `Debug`.
+//! Case generation is fully deterministic: the RNG is seeded from the
+//! test function's name, so failures always reproduce.
+
+use cwf_rand::rngs::StdRng;
+use cwf_rand::SeedableRng;
+
+/// Deterministic case-generation RNG handed to [`Strategy::generate`].
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seed from an arbitrary byte string (the test function name).
+    #[must_use]
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name gives a stable per-test seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Next uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.0.next_f64()
+    }
+
+    /// Uniform index in `0..n` (`n` must be non-zero).
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index over empty domain");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// How a generated case ended: pass, explicit rejection
+/// ([`prop_assume!`]) or assertion failure.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case did not satisfy a [`prop_assume!`] precondition.
+    Reject,
+    /// A `prop_assert*` macro failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Runner configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the cycle-accurate
+        // simulator tests fast while still exploring a useful space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test values. Object-safe; combinators live on
+/// [`StrategyExt`].
+pub trait Strategy {
+    /// Type of value produced.
+    type Value;
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Combinators for [`Strategy`] (kept off the base trait so strategies
+/// can be boxed).
+pub trait StrategyExt: Strategy + Sized {
+    /// Transform generated values with `f` (proptest's `prop_map`).
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<S: Strategy + Sized> StrategyExt for S {}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy produced by [`StrategyExt::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                if span == 0 {
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Uniform choice between boxed alternative strategies
+/// (built by [`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from the alternatives (must be non-empty).
+    #[must_use]
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.index(self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Values generatable by [`any`].
+pub trait Arbitrary {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        core::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+/// Strategy over the whole domain of `T` (proptest's `any::<T>()`).
+#[must_use]
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(core::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Namespaced helper strategies (`prop::collection::vec`,
+/// `prop::bool::ANY`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy for `Vec<S::Value>` with length drawn from `len`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            lo: usize,
+            hi: usize,
+        }
+
+        /// Length specifications accepted by [`vec()`].
+        pub trait IntoSizeRange {
+            /// Lower (inclusive) and upper (exclusive) length bounds.
+            fn bounds(self) -> (usize, usize);
+        }
+
+        impl IntoSizeRange for core::ops::Range<usize> {
+            fn bounds(self) -> (usize, usize) {
+                (self.start, self.end)
+            }
+        }
+
+        impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+            fn bounds(self) -> (usize, usize) {
+                (*self.start(), *self.end() + 1)
+            }
+        }
+
+        impl IntoSizeRange for usize {
+            fn bounds(self) -> (usize, usize) {
+                (self, self + 1)
+            }
+        }
+
+        /// Generate vectors whose elements come from `elem` and whose
+        /// length is uniform in `len`.
+        pub fn vec<S: Strategy>(elem: S, len: impl IntoSizeRange) -> VecStrategy<S> {
+            let (lo, hi) = len.bounds();
+            assert!(lo < hi, "empty length range");
+            VecStrategy { elem, lo, hi }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let extra = self.hi - self.lo;
+                let len = self.lo + rng.index(extra.max(1)) * usize::from(extra > 0);
+                (0..len).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use super::super::{Strategy, TestRng};
+
+        /// Unit strategy for a fair coin flip.
+        #[derive(Debug, Clone, Copy)]
+        pub struct BoolAny;
+
+        /// Uniform `bool` (proptest's `prop::bool::ANY`).
+        pub const ANY: BoolAny = BoolAny;
+
+        impl Strategy for BoolAny {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, StrategyExt, TestCaseError,
+    };
+}
+
+/// Defines property tests.
+///
+/// Supported grammar (a subset of real proptest):
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]   // optional
+///     #[test]
+///     fn my_property(x in 0u32..10, v in prop::collection::vec(any::<u64>(), 1..5)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                let mut ran: u32 = 0;
+                let mut attempts: u32 = 0;
+                while ran < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= config.cases.saturating_mul(20).max(1_000),
+                        "too many prop_assume! rejections in {}",
+                        stringify!($name),
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let __case_desc = || {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(concat!("  ", stringify!($arg), " = "));
+                            s.push_str(&::std::format!("{:?}\n", &$arg));
+                        )+
+                        s
+                    };
+                    let __desc = __case_desc();
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { { $body } ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => { ran += 1; }
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            ::std::panic!(
+                                "property '{}' failed at case {}:\n{}\ninputs:\n{}",
+                                stringify!($name), ran, msg, __desc,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let arms: ::std::vec::Vec<$crate::BoxedStrategy<_>> =
+            ::std::vec![$(::std::boxed::Box::new($arm)),+];
+        $crate::Union::new(arms)
+    }};
+}
+
+/// Assert inside a [`proptest!`] body; failure reports the generated
+/// inputs instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(l == r, "{:?} != {:?}", l, r);
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(l == r, "{:?} != {:?}: {}", l, r, ::std::format!($($fmt)+));
+            }
+        }
+    };
+}
+
+/// Inequality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(l != r, "{:?} == {:?}", l, r);
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(l != r, "{:?} == {:?}: {}", l, r, ::std::format!($($fmt)+));
+            }
+        }
+    };
+}
+
+/// Discard the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_are_deterministic_per_name() {
+        let mut a = crate::TestRng::from_name("x");
+        let mut b = crate::TestRng::from_name("x");
+        let s = (0u32..100, prop::bool::ANY).prop_map(|(n, f)| (n * 2, f));
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let mut rng = crate::TestRng::from_name("vec");
+        let s = prop::collection::vec(0u8..4, 2..6);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_every_arm() {
+        let mut rng = crate::TestRng::from_name("oneof");
+        let s = prop_oneof![Just(1u8), Just(2u8), (5u8..7)];
+        let mut seen = [false; 8];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && (seen[5] || seen[6]));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_roundtrip(x in 0u64..100, flip in prop::bool::ANY) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert_eq!(x + u64::from(flip), u64::from(flip) + x);
+            prop_assert_ne!(x, 13);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'failing_property' failed")]
+    fn failures_report_inputs() {
+        proptest! {
+            fn failing_property(x in 10u32..20) {
+                prop_assert!(x < 5, "x was {}", x);
+            }
+        }
+        failing_property();
+    }
+}

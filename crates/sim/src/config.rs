@@ -3,7 +3,9 @@
 use cwf_core::{
     CwfConfig, CwfStats, HeteroCwfMemory, PagePlacedMemory, PlacementPolicy, ProfilingMemory,
 };
-use mem_ctrl::{HomogeneousMemory, LineRequest, MainMemory, MemBusy, MemEvent, MemSystemStats, Token};
+use mem_ctrl::{
+    HomogeneousMemory, LineRequest, MainMemory, MemBusy, MemEvent, MemSystemStats, Token,
+};
 
 /// A concrete memory backend (static dispatch over the paper's designs).
 #[derive(Debug)]
@@ -137,6 +139,23 @@ impl MemKind {
             MemKind::RlAdaptive => "RL AD",
             MemKind::RlOracle => "RL OR",
             MemKind::RlRandom => "RL RAND",
+        }
+    }
+
+    /// Filesystem- and CLI-safe short name (`rl-ad` for "RL AD"); also
+    /// the spelling `cwfmem` accepts for `--mem`/`--kinds`.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            MemKind::Ddr3 => "ddr3",
+            MemKind::Lpddr2 => "lpddr2",
+            MemKind::Rldram3 => "rldram3",
+            MemKind::Rd => "rd",
+            MemKind::Rl => "rl",
+            MemKind::Dl => "dl",
+            MemKind::RlAdaptive => "rl-ad",
+            MemKind::RlOracle => "rl-or",
+            MemKind::RlRandom => "rl-rand",
         }
     }
 

@@ -33,9 +33,16 @@ pub fn all_benches() -> Vec<&'static str> {
 #[must_use]
 pub fn default_benches() -> Vec<&'static str> {
     vec![
-        "stream", "mg", "leslie3d", "libquantum", "GemsFDTD", // word-0 streaming
-        "mcf", "omnetpp", "lbm", // unbiased / chasing
-        "bzip2", "gobmk", // low intensity
+        "stream",
+        "mg",
+        "leslie3d",
+        "libquantum",
+        "GemsFDTD", // word-0 streaming
+        "mcf",
+        "omnetpp",
+        "lbm", // unbiased / chasing
+        "bzip2",
+        "gobmk", // low intensity
     ]
 }
 
@@ -59,8 +66,7 @@ impl SweepRow {
     /// while being far less sensitive to short-run noise.
     #[must_use]
     pub fn normalized(&self, kind: MemKind) -> f64 {
-        self.metrics(kind)
-            .map_or(f64::NAN, |m| m.ipc_total() / self.base.ipc_total().max(1e-9))
+        self.metrics(kind).map_or(f64::NAN, |m| m.ipc_total() / self.base.ipc_total().max(1e-9))
     }
 
     /// Metrics of `kind`.
@@ -71,35 +77,49 @@ impl SweepRow {
 }
 
 /// Sweep `kinds` (plus the DDR3 baseline) over `benches`.
+///
+/// Cells run across the [`crate::sweep`] worker pool (`CWF_JOBS`). A
+/// cell that panics is reported on stderr and dropped: a failed config
+/// leaves a hole [`SweepRow::metrics`] reports as `None`; a failed
+/// baseline drops the whole row.
 #[must_use]
 pub fn sweep(benches: &[&str], kinds: &[MemKind], reads: u64) -> Vec<SweepRow> {
-    // Flatten to (bench, kind-or-baseline) tasks for the worker pool.
+    // Flatten to (bench, kind-or-baseline) cells for the worker pool.
+    // Figure drivers pin every run to the paper seed so their tables
+    // reproduce EXPERIMENTS.md exactly (the CLI `sweep` command instead
+    // decorrelates cells via `sweep::cell_seed`).
     let mut tasks: Vec<(String, Option<MemKind>)> = Vec::new();
+    let mut cells: Vec<crate::sweep::Cell> = Vec::new();
     for b in benches {
-        tasks.push(((*b).to_owned(), None));
-        for k in kinds {
-            tasks.push(((*b).to_owned(), Some(*k)));
+        for kind in std::iter::once(None).chain(kinds.iter().copied().map(Some)) {
+            tasks.push(((*b).to_owned(), kind));
+            cells.push(crate::sweep::Cell {
+                bench: (*b).to_owned(),
+                cfg: RunConfig::paper(kind.unwrap_or(MemKind::Ddr3), reads),
+            });
         }
     }
-    let results = parallel_map(tasks.clone(), |(bench, kind)| {
-        let mem = kind.unwrap_or(MemKind::Ddr3);
-        run_benchmark(&RunConfig::paper(mem, reads), bench)
-    });
-    let mut by_task: HashMap<(String, Option<MemKind>), RunMetrics> =
-        tasks.into_iter().zip(results).collect();
+    let results = crate::sweep::run_cells(&cells);
+    let mut by_task: HashMap<(String, Option<MemKind>), RunMetrics> = HashMap::new();
+    for (task, result) in tasks.into_iter().zip(results) {
+        match result {
+            crate::sweep::CellResult::Done(m) => {
+                by_task.insert(task, m);
+            }
+            crate::sweep::CellResult::Failed { bench, mem, error } => {
+                eprintln!("sweep cell {bench}/{} failed: {error}", mem.label());
+            }
+        }
+    }
     benches
         .iter()
-        .map(|b| {
-            let base = by_task.remove(&((*b).to_owned(), None)).expect("baseline run present");
+        .filter_map(|b| {
+            let base = by_task.remove(&((*b).to_owned(), None))?;
             let configs = kinds
                 .iter()
-                .map(|k| {
-                    let m =
-                        by_task.remove(&((*b).to_owned(), Some(*k))).expect("config run present");
-                    (*k, m)
-                })
+                .filter_map(|k| by_task.remove(&((*b).to_owned(), Some(*k))).map(|m| (*k, m)))
                 .collect();
-            SweepRow { bench: (*b).to_owned(), base, configs }
+            Some(SweepRow { bench: (*b).to_owned(), base, configs })
         })
         .collect()
 }
@@ -229,13 +249,10 @@ pub fn fig3_line_profiles(misses: u64) -> Table {
     for bench in ["leslie3d", "mcf"] {
         let (_, per_line) = critical_word_profile(bench, misses);
         let mut lines: Vec<(u64, [u32; 8])> = per_line.into_iter().collect();
-        lines.sort_unstable_by_key(|(line, h)| {
-            (std::cmp::Reverse(h.iter().sum::<u32>()), *line)
-        });
+        lines.sort_unstable_by_key(|(line, h)| (std::cmp::Reverse(h.iter().sum::<u32>()), *line));
         for (rank, (_, h)) in lines.iter().take(10).enumerate() {
             let total: u32 = h.iter().sum();
-            let (dom, dom_n) =
-                h.iter().enumerate().max_by_key(|(_, n)| **n).expect("8 words");
+            let (dom, dom_n) = h.iter().enumerate().max_by_key(|(_, n)| **n).expect("8 words");
             t.row(vec![
                 bench.into(),
                 format!("{}", rank + 1),
@@ -267,10 +284,10 @@ pub fn fig4_critical_word_distribution(benches: &[&str], misses: u64) -> Table {
         "Figure 4: critical word distribution at the DRAM level (paper: word 0 >50% for 21 of 27)",
         &["bench", "w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7"],
     );
-    let rows: Vec<(String, [u64; 8])> = parallel_map(
-        benches.iter().map(|b| (*b).to_owned()).collect(),
-        |bench| (bench.clone(), critical_word_profile(bench, misses).0),
-    );
+    let rows: Vec<(String, [u64; 8])> =
+        parallel_map(benches.iter().map(|b| (*b).to_owned()).collect(), |bench| {
+            (bench.clone(), critical_word_profile(bench, misses).0)
+        });
     let mut word0_over_half = 0;
     for (bench, hist) in &rows {
         let total: u64 = hist.iter().sum::<u64>().max(1);
@@ -356,7 +373,9 @@ pub fn fig6_7_8_cwf(benches: &[&str], reads: u64) -> (Table, Table, Table) {
             format!("{:.0}", cwf.avg_head_start()),
         ]);
     }
-    t8.note("head start is the fast part's arrival lead over the slow part (paper: ~70 CPU cycles)");
+    t8.note(
+        "head start is the fast part's arrival lead over the slow part (paper: ~70 CPU cycles)",
+    );
     (t6, t7, t8)
 }
 
@@ -380,7 +399,9 @@ pub fn fig9_placement(benches: &[&str], reads: u64) -> Table {
         t.row(cells);
     }
     let mut cells = vec!["MEAN".to_owned()];
-    cells.extend(kinds.iter().map(|k| format!("{:.3}", mean(rows.iter().map(|r| r.normalized(*k))))));
+    cells.extend(
+        kinds.iter().map(|k| format!("{:.3}", mean(rows.iter().map(|r| r.normalized(*k))))),
+    );
     t.row(cells);
     t.note("expected ordering: RL < RL AD < RL OR < RLDRAM3");
     t
@@ -399,8 +420,9 @@ fn system_energy_ratio(base: &RunMetrics, m: &RunMetrics, io: LpddrIo) -> f64 {
     );
     // Energy per instruction = system power / (IPC × f); the CPU frequency
     // cancels in the ratio.
-    let epi =
-        |mm: &RunMetrics, io| model.system_power_w(mm.dram_power_w(io), mm.ipc_total()) / mm.ipc_total().max(1e-9);
+    let epi = |mm: &RunMetrics, io| {
+        model.system_power_w(mm.dram_power_w(io), mm.ipc_total()) / mm.ipc_total().max(1e-9)
+    };
     epi(m, io) / epi(base, LpddrIo::ServerAdapted)
 }
 
@@ -543,13 +565,17 @@ pub fn ablations(benches: &[&str], reads: u64) -> Table {
             0 => run_benchmark(&paper(MemKind::Ddr3, true), bench).ipc_total(),
             1 => run_benchmark(&paper(MemKind::Ddr3, false), bench).ipc_total(),
             i => match &variants_ref[i - 2].1 {
-                Variant::Kind(kind, prefetch) => run_benchmark(&paper(*kind, *prefetch), bench).ipc_total(),
+                Variant::Kind(kind, prefetch) => {
+                    run_benchmark(&paper(*kind, *prefetch), bench).ipc_total()
+                }
                 Variant::Custom(which) => {
                     let is_rl = !matches!(*which, "fcfs" | "pagemap");
                     let cfg = paper(if is_rl { MemKind::Rl } else { MemKind::Ddr3 }, true);
                     let make = || -> MemBackend {
                         match *which {
-                            "striped" => MemBackend::Cwf(HeteroCwfMemory::new(striped_fast_config())),
+                            "striped" => {
+                                MemBackend::Cwf(HeteroCwfMemory::new(striped_fast_config()))
+                            }
                             "private" => MemBackend::Cwf(HeteroCwfMemory::new(
                                 CwfConfig::rl().with_private_fast_buses(),
                             )),
@@ -612,9 +638,8 @@ pub fn ablations(benches: &[&str], reads: u64) -> Table {
 #[must_use]
 pub fn alternatives(benches: &[&str], reads: u64) -> (Table, Table) {
     // --- §7.1: profile-guided page placement ---
-    let rows: Vec<(String, f64, f64)> = parallel_map(
-        benches.iter().map(|b| (*b).to_owned()).collect(),
-        |bench| {
+    let rows: Vec<(String, f64, f64)> =
+        parallel_map(benches.iter().map(|b| (*b).to_owned()).collect(), |bench| {
             let profile = by_name(bench).expect("known benchmark");
             let cfg = RunConfig::paper(MemKind::Ddr3, reads / 2);
             // Offline profiling pass over the baseline.
@@ -634,8 +659,9 @@ pub fn alternatives(benches: &[&str], reads: u64) -> (Table, Table) {
             // Top 7.6% of touched pages go to RLDRAM3 (paper §7.1).
             let hot = hot_pages(&counts, 0.076);
             let cfg = RunConfig::paper(MemKind::Ddr3, reads);
-            let ws_pp =
-                ipc_custom(&cfg, bench, || MemBackend::PagePlaced(PagePlacedMemory::new(hot.clone())));
+            let ws_pp = ipc_custom(&cfg, bench, || {
+                MemBackend::PagePlaced(PagePlacedMemory::new(hot.clone()))
+            });
             let ws_base = run_benchmark(&cfg, bench).ipc_total();
             let hot_frac = {
                 let total: u64 = counts.values().sum();
@@ -644,8 +670,7 @@ pub fn alternatives(benches: &[&str], reads: u64) -> (Table, Table) {
                 hot_count as f64 / total.max(1) as f64
             };
             ((*bench).to_owned(), ws_pp / ws_base.max(1e-9), hot_frac)
-        },
-    );
+        });
     let mut t71 = Table::new(
         "§7.1 page placement: top 7.6% of pages in RLDRAM3 (paper: -9.3%..+11.2%, avg ~+8%)",
         &["bench", "normalized throughput", "accesses to hot pages"],

@@ -33,10 +33,12 @@ pub mod experiments;
 pub mod metrics;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 pub mod system;
 
 pub use config::{MemKind, RunConfig};
 pub use metrics::RunMetrics;
 pub use report::Table;
 pub use runner::{normalized_throughput, run_benchmark, weighted_speedup};
+pub use sweep::{Cell, CellResult};
 pub use system::System;

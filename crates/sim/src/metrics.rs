@@ -72,6 +72,22 @@ impl RunMetrics {
         self.hier.avg_cw_latency() / CPU_HZ * 1e9
     }
 
+    /// Critical-word latency at quantile `q` (e.g. `0.5`, `0.95`,
+    /// `0.99`), in nanoseconds. Tail companion to
+    /// [`RunMetrics::avg_cw_latency_ns`]; bucketed with ~25% relative
+    /// resolution (see `dram_timing::stats::LatencyHist`).
+    #[must_use]
+    pub fn cw_latency_ns_quantile(&self, q: f64) -> f64 {
+        self.hier.cw_lat_hist.quantile(q) as f64 / CPU_HZ * 1e9
+    }
+
+    /// End-to-end DRAM read latency (enqueue to last data beat) at
+    /// quantile `q`, in nanoseconds, merged over all channels.
+    #[must_use]
+    pub fn read_latency_ns_quantile(&self, q: f64) -> f64 {
+        self.mem_stats.read_lat_hist().quantile(q) as f64
+    }
+
     /// Combined data-bus utilization across the bulk (slow) channels.
     #[must_use]
     pub fn bus_utilization(&self) -> f64 {

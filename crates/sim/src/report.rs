@@ -128,6 +128,158 @@ impl std::fmt::Display for Table {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Structured (JSON) export.
+// ---------------------------------------------------------------------------
+
+/// Escape a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` with a fixed six-decimal representation.
+///
+/// Fixed precision (rather than shortest-roundtrip) makes the byte
+/// output a pure function of the value, which the sweep's determinism
+/// test relies on; non-finite values become `null`.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn json_hist(h: &dram_timing::stats::LatencyHist, scale_ns: f64, out: &mut String, indent: &str) {
+    let q = |p: f64| json_f64(h.quantile(p) as f64 * scale_ns);
+    out.push_str(&format!(
+        "{{\n{indent}  \"count\": {},\n{indent}  \"mean_ns\": {},\n{indent}  \"p50_ns\": {},\n\
+         {indent}  \"p95_ns\": {},\n{indent}  \"p99_ns\": {},\n{indent}  \"max_ns\": {}\n{indent}}}",
+        h.count(),
+        json_f64(h.mean() * scale_ns),
+        q(0.50),
+        q(0.95),
+        q(0.99),
+        json_f64(h.max() as f64 * scale_ns),
+    ));
+}
+
+/// Serialize one run's metrics as a stable, hand-rolled JSON document
+/// (schema `cwfmem.run.v1`; see DESIGN.md for the field reference).
+///
+/// No serde in this workspace — the build environment is offline — so
+/// the writer is explicit. All floats use fixed six-decimal formatting,
+/// making the output byte-identical for identical metrics regardless of
+/// how the producing sweep was scheduled.
+#[must_use]
+pub fn to_json(m: &crate::metrics::RunMetrics) -> String {
+    use crate::metrics::CPU_HZ;
+    use dram_power::LpddrIo;
+
+    let cpu_cycle_ns = 1e9 / CPU_HZ;
+    let mut o = String::new();
+    o.push_str("{\n");
+    o.push_str("  \"schema\": \"cwfmem.run.v1\",\n");
+    o.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(&m.bench)));
+    o.push_str(&format!("  \"mem\": \"{}\",\n", json_escape(m.mem.label())));
+    o.push_str(&format!("  \"cycles\": {},\n", m.cycles));
+    o.push_str(&format!(
+        "  \"insts_per_core\": [{}],\n",
+        m.insts_per_core.iter().map(u64::to_string).collect::<Vec<_>>().join(", ")
+    ));
+    o.push_str(&format!("  \"ipc_total\": {},\n", json_f64(m.ipc_total())));
+    o.push_str(&format!("  \"dram_reads\": {},\n", m.dram_reads));
+    o.push_str(&format!("  \"dram_writes\": {},\n", m.dram_writes));
+    o.push_str(&format!("  \"avg_cw_latency_ns\": {},\n", json_f64(m.avg_cw_latency_ns())));
+    o.push_str("  \"cw_latency\": ");
+    json_hist(&m.hier.cw_lat_hist, cpu_cycle_ns, &mut o, "  ");
+    o.push_str(",\n");
+    o.push_str(&format!("  \"avg_read_latency_ns\": {},\n", json_f64(m.avg_read_latency_ns())));
+    o.push_str("  \"read_latency\": ");
+    json_hist(&m.mem_stats.read_lat_hist(), 1.0, &mut o, "  ");
+    o.push_str(",\n");
+    o.push_str(&format!("  \"bus_utilization\": {},\n", json_f64(m.bus_utilization())));
+    o.push_str(&format!("  \"row_hit_rate\": {},\n", json_f64(m.row_hit_rate())));
+    o.push_str(&format!(
+        "  \"dram_power_w\": {},\n",
+        json_f64(m.dram_power_w(LpddrIo::ServerAdapted))
+    ));
+    o.push_str(&format!(
+        "  \"critical_word_hist\": [{}],\n",
+        m.hier.critical_word_hist.iter().map(u64::to_string).collect::<Vec<_>>().join(", ")
+    ));
+    match &m.cwf {
+        Some(c) => o.push_str(&format!(
+            "  \"cwf\": {{ \"served_fast_fraction\": {}, \"avg_head_start_cycles\": {}, \
+             \"parity_errors\": {} }},\n",
+            json_f64(c.served_fast_fraction()),
+            json_f64(c.avg_head_start()),
+            c.parity_errors
+        )),
+        None => o.push_str("  \"cwf\": null,\n"),
+    }
+    o.push_str("  \"channels\": [");
+    for (ci, c) in m.mem_stats.controllers.iter().enumerate() {
+        if ci > 0 {
+            o.push(',');
+        }
+        o.push_str("\n    {\n");
+        o.push_str(&format!("      \"label\": \"{}\",\n", json_escape(&c.label)));
+        o.push_str(&format!("      \"kind\": \"{}\",\n", format!("{:?}", c.kind).to_lowercase()));
+        o.push_str(&format!("      \"mem_cycles\": {},\n", c.mem_cycles));
+        o.push_str(&format!("      \"reads\": {},\n", c.channel.reads));
+        o.push_str(&format!("      \"writes\": {},\n", c.channel.writes));
+        o.push_str(&format!("      \"activates\": {},\n", c.channel.activates));
+        o.push_str(&format!("      \"precharges\": {},\n", c.channel.precharges));
+        o.push_str(&format!("      \"refreshes\": {},\n", c.channel.refreshes));
+        o.push_str(&format!("      \"row_hits\": {},\n", c.channel.row_hits));
+        o.push_str(&format!("      \"row_misses\": {},\n", c.channel.row_misses));
+        o.push_str(&format!("      \"row_conflicts\": {},\n", c.channel.row_conflicts));
+        o.push_str("      \"read_latency\": ");
+        json_hist(&c.read_lat_hist, 1.0, &mut o, "      ");
+        o.push_str(",\n");
+        // Only banks that saw traffic: keeps RLDRAM3's 16-bank arrays
+        // from padding every DDR3 document with zeros.
+        o.push_str("      \"banks\": [");
+        let mut first = true;
+        for (bi, b) in c.channel.per_bank.iter().enumerate() {
+            if b.activates == 0 && b.reads == 0 && b.writes == 0 {
+                continue;
+            }
+            if !first {
+                o.push(',');
+            }
+            first = false;
+            o.push_str(&format!(
+                "\n        {{ \"bank\": {bi}, \"activates\": {}, \"reads\": {}, \
+                 \"writes\": {} }}",
+                b.activates, b.reads, b.writes
+            ));
+        }
+        if !first {
+            o.push_str("\n      ");
+        }
+        o.push_str("]\n    }");
+    }
+    if !m.mem_stats.controllers.is_empty() {
+        o.push_str("\n  ");
+    }
+    o.push_str("]\n}\n");
+    o
+}
+
 /// Format a ratio as a signed percentage delta (e.g. `+12.9%`).
 #[must_use]
 pub fn pct_delta(ratio: f64) -> String {

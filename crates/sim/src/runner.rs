@@ -48,14 +48,15 @@ pub fn normalized_throughput(cfg: &RunConfig, baseline: &RunConfig, bench: &str)
 
 /// Run `f` for every (benchmark, config) pair across worker threads and
 /// return results in input order. Simulations are independent, so this is
-/// the safe coarse-grained parallelism the harness uses.
+/// the safe coarse-grained parallelism the harness uses. The worker
+/// count honours `CWF_JOBS` (see [`crate::sweep::jobs`]).
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
+    let workers = crate::sweep::jobs();
     let n = items.len();
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);

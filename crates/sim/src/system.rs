@@ -42,9 +42,9 @@ impl System {
         // workload regularly writes has been re-organised long before our
         // scaled-down measurement window — see DESIGN.md §4).
         let p = profile.clone();
-        sys.hierarchy
-            .memory_mut()
-            .set_steady_state_placement(Box::new(move |addr| workloads::steady_state_tag(&p, addr)));
+        sys.hierarchy.memory_mut().set_steady_state_placement(Box::new(move |addr| {
+            workloads::steady_state_tag(&p, addr)
+        }));
         sys
     }
 
@@ -183,12 +183,8 @@ impl System {
         self.run_until_reads(self.cfg.warmup_dram_reads + self.cfg.target_dram_reads);
 
         let cycles = self.now - warm_cycles;
-        let insts_per_core: Vec<u64> = self
-            .cores
-            .iter()
-            .zip(&warm_insts)
-            .map(|(c, w)| c.retired() - w)
-            .collect();
+        let insts_per_core: Vec<u64> =
+            self.cores.iter().zip(&warm_insts).map(|(c, w)| c.retired() - w).collect();
         let hier = hier_delta(self.hierarchy.stats(), &warm_hier);
         let mem_stats = mem_delta(&self.hierarchy.memory_mut().stats(self.now), &warm_mem);
         let cwf = match (self.hierarchy.memory().cwf_stats(), warm_cwf) {
@@ -214,6 +210,8 @@ fn hier_delta(now: &HierStats, warm: &HierStats) -> HierStats {
     for i in 0..8 {
         hist[i] = now.critical_word_hist[i] - warm.critical_word_hist[i];
     }
+    let mut cw_lat_hist = now.cw_lat_hist;
+    cw_lat_hist.sub(&warm.cw_lat_hist);
     HierStats {
         loads: now.loads - warm.loads,
         stores: now.stores - warm.stores,
@@ -229,6 +227,7 @@ fn hier_delta(now: &HierStats, warm: &HierStats) -> HierStats {
         fills: now.fills - warm.fills,
         demand_fills: now.demand_fills - warm.demand_fills,
         cw_latency_sum: now.cw_latency_sum - warm.cw_latency_sum,
+        cw_lat_hist,
         cw_served_fast: now.cw_served_fast - warm.cw_served_fast,
         secondary_diff_word: now.secondary_diff_word - warm.secondary_diff_word,
         secondary_gap_sum: now.secondary_gap_sum - warm.secondary_gap_sum,
@@ -244,17 +243,7 @@ fn mem_delta(now: &MemSystemStats, warm: &MemSystemStats) -> MemSystemStats {
         .map(|(n, w)| {
             debug_assert_eq!(n.label, w.label, "controller order must be stable");
             let mut channel = n.channel;
-            let wc = &w.channel;
-            channel.activates -= wc.activates;
-            channel.reads -= wc.reads;
-            channel.writes -= wc.writes;
-            channel.precharges -= wc.precharges;
-            channel.refreshes -= wc.refreshes;
-            channel.row_hits -= wc.row_hits;
-            channel.row_misses -= wc.row_misses;
-            channel.row_conflicts -= wc.row_conflicts;
-            channel.read_bus_cycles -= wc.read_bus_cycles;
-            channel.write_bus_cycles -= wc.write_bus_cycles;
+            channel.sub(&w.channel);
             let mut residency = n.residency;
             let wr = &w.residency;
             residency.active_standby -= wr.active_standby;
@@ -275,6 +264,11 @@ fn mem_delta(now: &MemSystemStats, warm: &MemSystemStats) -> MemSystemStats {
                 writes_done: n.writes_done - w.writes_done,
                 sum_queue_ns: n.sum_queue_ns - w.sum_queue_ns,
                 sum_service_ns: n.sum_service_ns - w.sum_service_ns,
+                read_lat_hist: {
+                    let mut h = n.read_lat_hist;
+                    h.sub(&w.read_lat_hist);
+                    h
+                },
             }
         })
         .collect();
@@ -314,8 +308,8 @@ mod tests {
         let cwf = m.cwf.expect("RL is a CWF organization");
         assert!(cwf.demand_reads > 0);
         assert!(cwf.served_fast_fraction() > 0.5, "stream is word-0 dominated");
-        let base = System::new(&RunConfig::quick(MemKind::Ddr3, 400), by_name("stream").unwrap())
-            .run();
+        let base =
+            System::new(&RunConfig::quick(MemKind::Ddr3, 400), by_name("stream").unwrap()).run();
         assert!(base.cwf.is_none());
     }
 

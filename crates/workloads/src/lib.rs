@@ -38,5 +38,5 @@ pub mod profile;
 pub mod tracefile;
 
 pub use generator::{habitual_chase_word, steady_state_tag, TraceGen};
-pub use tracefile::{dump, FileTraceSource, ParseTraceError};
 pub use profile::{by_name, suite, BenchmarkProfile, PatternMix, Suite};
+pub use tracefile::{dump, FileTraceSource, ParseTraceError};

@@ -129,9 +129,7 @@ impl FileTraceSource {
             match parse_line(&line) {
                 Ok(Some(op)) => ops.push(op),
                 Ok(None) => {}
-                Err(()) => {
-                    return Err(ParseTraceError::Malformed { line: i + 1, text: line })
-                }
+                Err(()) => return Err(ParseTraceError::Malformed { line: i + 1, text: line }),
             }
         }
         if ops.is_empty() {
@@ -216,12 +214,7 @@ mod tests {
 
     #[test]
     fn malformed_records_are_rejected_with_line_numbers() {
-        for (bad, line) in [
-            ("G x\n", 1),
-            ("L 40\n", 1),
-            ("G 1\nQ 2 3\n", 2),
-            ("L 40 50 60\n", 1),
-        ] {
+        for (bad, line) in [("G x\n", 1), ("L 40\n", 1), ("G 1\nQ 2 3\n", 2), ("L 40 50 60\n", 1)] {
             match FileTraceSource::parse(bad.as_bytes()) {
                 Err(ParseTraceError::Malformed { line: l, .. }) => assert_eq!(l, line, "{bad:?}"),
                 other => panic!("{bad:?}: expected Malformed, got {other:?}"),

@@ -7,7 +7,7 @@ use workloads::{by_name, habitual_chase_word, steady_state_tag, suite, TraceGen}
 #[test]
 fn steady_tags_cover_exactly_the_chase_region() {
     let p = by_name("mcf").unwrap(); // SPEC: per-core 8 GiB bases
-    // Inside core 0's chase region.
+                                     // Inside core 0's chase region.
     assert!(steady_state_tag(p, 0).is_some());
     assert!(steady_state_tag(p, 24 * 1024 * 1024 - 64).is_some());
     // Outside it (but inside the footprint).

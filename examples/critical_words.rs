@@ -23,8 +23,7 @@ fn main() {
     let mut word0_over_half = 0;
     for profile in suite() {
         let mut l2 = Cache::new(CacheCfg::l2_4m_8way());
-        let mut gens: Vec<TraceGen> =
-            (0..8).map(|c| TraceGen::new(profile, c, 99)).collect();
+        let mut gens: Vec<TraceGen> = (0..8).map(|c| TraceGen::new(profile, c, 99)).collect();
         let mut hist = [0u64; 8];
         let mut seen = 0u64;
         let mut core = 0usize;
@@ -50,10 +49,7 @@ fn main() {
         for h in hist {
             print!(" {:>5.1}%", h as f64 / total as f64 * 100.0);
         }
-        println!(
-            "   {}",
-            if w0 > 0.5 { "word-0 dominant" } else { "no bias (chaser)" }
-        );
+        println!("   {}", if w0 > 0.5 { "word-0 dominant" } else { "no bias (chaser)" });
     }
     println!(
         "\n{word0_over_half} of {} programs have word 0 critical in >50% of fetches \

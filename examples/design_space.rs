@@ -11,8 +11,7 @@ use cwfmem::sim::{run_benchmark, RunConfig};
 
 fn main() {
     let bench = std::env::args().nth(1).unwrap_or_else(|| "libquantum".to_owned());
-    let reads: u64 =
-        std::env::args().nth(2).and_then(|v| v.parse().ok()).unwrap_or(8_000);
+    let reads: u64 = std::env::args().nth(2).and_then(|v| v.parse().ok()).unwrap_or(8_000);
     println!("== design space on {bench} ({reads} DRAM reads) ==\n");
     println!(
         "{:<10} {:>10} {:>12} {:>12} {:>10} {:>10}",
@@ -42,10 +41,10 @@ fn main() {
             (ipc / base - 1.0) * 100.0,
             m.avg_cw_latency_ns(),
             m.dram_power_w(LpddrIo::ServerAdapted),
-            m.cwf.map_or_else(|| "-".to_owned(), |c| format!(
-                "{:.0}%",
-                c.served_fast_fraction() * 100.0
-            )),
+            m.cwf.map_or_else(
+                || "-".to_owned(),
+                |c| format!("{:.0}%", c.served_fast_fraction() * 100.0)
+            ),
         );
     }
     println!("\n(cw-fast: critical words served by the fast DIMM; '-' for non-CWF designs)");

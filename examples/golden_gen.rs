@@ -11,11 +11,9 @@ use cwfmem::sim::config::MemKind;
 use cwfmem::sim::{run_benchmark, RunConfig};
 
 fn main() {
-    for (kind, bench) in [
-        (MemKind::Ddr3, "leslie3d"),
-        (MemKind::Rl, "leslie3d"),
-        (MemKind::RlAdaptive, "mcf"),
-    ] {
+    for (kind, bench) in
+        [(MemKind::Ddr3, "leslie3d"), (MemKind::Rl, "leslie3d"), (MemKind::RlAdaptive, "mcf")]
+    {
         let m = run_benchmark(&RunConfig::quick(kind, 1_500), bench);
         println!(
             "({:?}, \"{}\"): cycles={} insts={} reads={} writes={} hist={:?}",

@@ -15,7 +15,10 @@ use cwfmem::sim::{run_benchmark, RunConfig};
 
 fn main() {
     println!("== chip power vs utilization (Figure 2) ==\n");
-    println!("{:<6} {:>9} {:>9} {:>9} {:>14}", "util", "RLDRAM3", "DDR3", "LPDDR2", "LPDDR2-unterm");
+    println!(
+        "{:<6} {:>9} {:>9} {:>9} {:>14}",
+        "util", "RLDRAM3", "DDR3", "LPDDR2", "LPDDR2-unterm"
+    );
     let parts = [
         (IddTable::rldram3_x18(), DeviceConfig::rldram3()),
         (IddTable::ddr3(), DeviceConfig::ddr3_1600()),

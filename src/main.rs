@@ -4,6 +4,7 @@
 //! cwfmem list                         # benchmarks and memory organizations
 //! cwfmem run --mem rl --bench mcf     # one run, key metrics (or --json)
 //! cwfmem compare --bench leslie3d     # all organizations side by side
+//! cwfmem sweep --json out/            # parallel grid, one JSON per cell
 //! cwfmem figures fig6                 # regenerate a paper figure
 //! ```
 
@@ -34,6 +35,8 @@ fn usage() -> ! {
         "usage:\n  cwfmem list\n  cwfmem run --mem <kind> --bench <name>|--trace <file> [--reads N] \
          [--cores N] [--no-prefetch] [--parity-rate P] [--seed S] [--json]\n  \
          cwfmem compare --bench <name> [--reads N]\n  \
+         cwfmem sweep [--benches a,b,c|--all-benches] [--kinds k1,k2] [--reads N] [--jobs N] \
+         [--json DIR]\n  \
          cwfmem figures <fig1|fig2|fig3|fig4|fig6|fig9|fig10|ablations|alternatives|all> \
          [--reads N] [--all-benches] [--csv DIR]\n  \
          cwfmem dump-trace --bench <name> [--core N] [--ops N] [--seed S] --out <file>\n\nmemory kinds: {}",
@@ -47,14 +50,10 @@ fn arg_value(args: &[String], key: &str) -> Option<String> {
 }
 
 fn parse_kind(name: &str) -> MemKind {
-    KINDS
-        .iter()
-        .find(|(n, _)| *n == name)
-        .map(|(_, k)| *k)
-        .unwrap_or_else(|| {
-            eprintln!("unknown memory kind '{name}'");
-            usage()
-        })
+    KINDS.iter().find(|(n, _)| *n == name).map(|(_, k)| *k).unwrap_or_else(|| {
+        eprintln!("unknown memory kind '{name}'");
+        usage()
+    })
 }
 
 fn main() {
@@ -63,6 +62,7 @@ fn main() {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         Some("figures") => cmd_figures(&args[1..]),
         Some("dump-trace") => cmd_dump_trace(&args[1..]),
         _ => usage(),
@@ -127,35 +127,18 @@ fn cmd_run(args: &[String]) {
         run_benchmark(&cfg, &bench)
     };
     if args.iter().any(|a| a == "--json") {
-        // Hand-rolled JSON of the headline metrics (stable field names).
-        println!("{{");
-        println!("  \"bench\": \"{}\",", m.bench);
-        println!("  \"mem\": \"{}\",", m.mem.label());
-        println!("  \"cycles\": {},", m.cycles);
-        println!("  \"ipc_total\": {:.6},", m.ipc_total());
-        println!("  \"dram_reads\": {},", m.dram_reads);
-        println!("  \"dram_writes\": {},", m.dram_writes);
-        println!("  \"avg_cw_latency_ns\": {:.3},", m.avg_cw_latency_ns());
-        println!("  \"avg_read_latency_ns\": {:.3},", m.avg_read_latency_ns());
-        println!("  \"bus_utilization\": {:.6},", m.bus_utilization());
-        println!("  \"row_hit_rate\": {:.6},", m.row_hit_rate());
-        println!("  \"dram_power_w\": {:.6},", m.dram_power_w(LpddrIo::ServerAdapted));
-        match m.cwf {
-            Some(c) => println!(
-                "  \"cwf\": {{ \"served_fast\": {:.6}, \"head_start_cycles\": {:.2}, \"parity_errors\": {} }}",
-                c.served_fast_fraction(),
-                c.avg_head_start(),
-                c.parity_errors
-            ),
-            None => println!("  \"cwf\": null"),
-        }
-        println!("}}");
+        // The sweep's structured schema (`cwfmem.run.v1`), one document.
+        print!("{}", cwfmem::sim::report::to_json(&m));
     } else {
         println!("{} on {} ({} cores, {} reads):", m.mem.label(), m.bench, cfg.cores, m.dram_reads);
         println!("  IPC (aggregate)        {:.3}", m.ipc_total());
         println!("  critical-word latency  {:.1} ns", m.avg_cw_latency_ns());
-        println!("  DRAM read latency      {:.1} ns (queue {:.1} + service {:.1})",
-            m.avg_read_latency_ns(), m.mem_stats.avg_queue_ns(), m.mem_stats.avg_service_ns());
+        println!(
+            "  DRAM read latency      {:.1} ns (queue {:.1} + service {:.1})",
+            m.avg_read_latency_ns(),
+            m.mem_stats.avg_queue_ns(),
+            m.mem_stats.avg_service_ns()
+        );
         println!("  bus utilization        {:.1}%", m.bus_utilization() * 100.0);
         println!("  row-buffer hit rate    {:.1}%", m.row_hit_rate() * 100.0);
         println!("  DRAM power             {:.2} W", m.dram_power_w(LpddrIo::ServerAdapted));
@@ -166,10 +149,89 @@ fn cmd_run(args: &[String]) {
     }
 }
 
+fn cmd_sweep(args: &[String]) {
+    use cwfmem::sim::{report, sweep, Table};
+    let reads = arg_value(args, "--reads").and_then(|v| v.parse().ok()).unwrap_or(8_000);
+    let benches: Vec<String> = if args.iter().any(|a| a == "--all-benches") {
+        all_benches().iter().map(|b| (*b).to_owned()).collect()
+    } else if let Some(list) = arg_value(args, "--benches") {
+        list.split(',').map(str::to_owned).collect()
+    } else {
+        default_benches().iter().map(|b| (*b).to_owned()).collect()
+    };
+    let kinds: Vec<MemKind> = arg_value(args, "--kinds").map_or_else(
+        || vec![MemKind::Ddr3, MemKind::Rl, MemKind::RlAdaptive],
+        |list| list.split(',').map(parse_kind).collect(),
+    );
+    let jobs = arg_value(args, "--jobs").and_then(|v| v.parse().ok()).unwrap_or_else(sweep::jobs);
+    let json_dir = arg_value(args, "--json").map(std::path::PathBuf::from);
+
+    let bench_refs: Vec<&str> = benches.iter().map(String::as_str).collect();
+    let cells = sweep::grid(&bench_refs, &kinds, reads);
+    eprintln!(
+        "sweep: {} cells ({} benches x {} kinds), {jobs} workers",
+        cells.len(),
+        benches.len(),
+        kinds.len()
+    );
+    let results = sweep::run_cells_with(&cells, jobs);
+
+    let mut cols = vec!["bench".to_owned()];
+    for k in &kinds {
+        cols.push(format!("{} IPC", k.label()));
+        cols.push(format!("{} cw-p99 ns", k.label()));
+    }
+    let mut table = Table::new(
+        "Sweep: IPC and p99 critical-word latency",
+        &cols.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let mut failures = 0usize;
+    for (bench, row) in bench_refs.iter().zip(results.chunks(kinds.len())) {
+        let mut cells_out = vec![(*bench).to_owned()];
+        for r in row {
+            match r {
+                cwfmem::sim::CellResult::Done(m) => {
+                    cells_out.push(format!("{:.3}", m.ipc_total()));
+                    cells_out.push(format!("{:.1}", m.cw_latency_ns_quantile(0.99)));
+                    if let Some(dir) = &json_dir {
+                        if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
+                            std::fs::write(
+                                dir.join(format!("{}__{}.json", m.bench, m.mem.slug())),
+                                report::to_json(m),
+                            )
+                        }) {
+                            eprintln!("cannot write JSON to {}: {e}", dir.display());
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                cwfmem::sim::CellResult::Failed { bench, mem, error } => {
+                    failures += 1;
+                    eprintln!("FAILED {bench}/{}: {error}", mem.label());
+                    cells_out.push("failed".to_owned());
+                    cells_out.push("-".to_owned());
+                }
+            }
+        }
+        table.row(cells_out);
+    }
+    println!("{table}");
+    if let Some(dir) = &json_dir {
+        eprintln!("wrote {} JSON documents to {}", results.len() - failures, dir.display());
+    }
+    if failures > 0 {
+        eprintln!("{failures} cell(s) failed");
+        std::process::exit(1);
+    }
+}
+
 fn cmd_compare(args: &[String]) {
     let bench = arg_value(args, "--bench").unwrap_or_else(|| "leslie3d".into());
     let reads = arg_value(args, "--reads").and_then(|v| v.parse().ok()).unwrap_or(8_000);
-    println!("{:<10} {:>8} {:>9} {:>12} {:>9}", "config", "IPC", "vs DDR3", "cw-lat (ns)", "DRAM W");
+    println!(
+        "{:<10} {:>8} {:>9} {:>12} {:>9}",
+        "config", "IPC", "vs DDR3", "cw-lat (ns)", "DRAM W"
+    );
     let mut base = None;
     for (_, kind) in KINDS {
         let m = run_benchmark(&RunConfig::paper(kind, reads), &bench);
@@ -209,13 +271,10 @@ fn cmd_figures(args: &[String]) {
     let which = args.first().cloned().unwrap_or_else(|| "all".into());
     let reads = arg_value(args, "--reads").and_then(|v| v.parse().ok()).unwrap_or(8_000);
     let csv_dir = arg_value(args, "--csv").map(std::path::PathBuf::from);
-    let benches: Vec<&'static str> = if args.iter().any(|a| a == "--all-benches") {
-        all_benches()
-    } else {
-        default_benches()
-    };
+    let benches: Vec<&'static str> =
+        if args.iter().any(|a| a == "--all-benches") { all_benches() } else { default_benches() };
     let run = |name: &str| -> bool { which == name || which == "all" };
-    let mut emit = |tables: Vec<cwfmem::sim::Table>| {
+    let emit = |tables: Vec<cwfmem::sim::Table>| {
         for t in tables {
             println!("{t}");
             if let Some(dir) = &csv_dir {

@@ -87,7 +87,12 @@ fn served_fast_tracks_word0_fraction() {
     let m = run_benchmark(&RunConfig::paper(MemKind::Rl, READS), "leslie3d");
     let cwf = m.cwf.expect("RL is CWF");
     let diff = (cwf.served_fast_fraction() - m.hier.word0_fraction()).abs();
-    assert!(diff < 0.08, "served-fast {:.2} vs word0 {:.2}", cwf.served_fast_fraction(), m.hier.word0_fraction());
+    assert!(
+        diff < 0.08,
+        "served-fast {:.2} vs word0 {:.2}",
+        cwf.served_fast_fraction(),
+        m.hier.word0_fraction()
+    );
     assert!(cwf.served_fast_fraction() > 0.5, "leslie3d is word-0 dominated");
 }
 

@@ -19,8 +19,12 @@ struct Req {
 }
 
 fn req_strategy() -> impl Strategy<Value = Req> {
-    (0u64..512, 0u8..8, prop::bool::ANY, 0u8..32)
-        .prop_map(|(line, word, write, delay)| Req { line: line * 64, word, write, delay })
+    (0u64..512, 0u8..8, prop::bool::ANY, 0u8..32).prop_map(|(line, word, write, delay)| Req {
+        line: line * 64,
+        word,
+        write,
+        delay,
+    })
 }
 
 fn drive(mem: &mut dyn MainMemory, reqs: &[Req]) -> (usize, Vec<MemEvent>) {
@@ -56,10 +60,7 @@ fn check_protocol(accepted: usize, events: &[MemEvent]) {
     for e in events {
         match *e {
             MemEvent::LineFilled { token, at } => {
-                assert!(
-                    fills.insert(token.0, at).is_none(),
-                    "duplicate LineFilled for {token:?}"
-                );
+                assert!(fills.insert(token.0, at).is_none(), "duplicate LineFilled for {token:?}");
             }
             MemEvent::WordsAvailable { token, at, words: w, .. } => {
                 let entry = words.entry(token.0).or_insert((0, 0));

@@ -22,26 +22,26 @@ const GOLDEN: [Golden; 3] = [
     Golden {
         kind: MemKind::Ddr3,
         bench: "leslie3d",
-        cycles: 148_450,
-        insts: 959_381,
+        cycles: 144_276,
+        insts: 914_537,
         reads: 1_500,
-        hist: [1446, 45, 0, 3, 0, 2, 2, 2],
+        hist: [1435, 53, 2, 3, 0, 1, 3, 3],
     },
     Golden {
         kind: MemKind::Rl,
         bench: "leslie3d",
-        cycles: 148_379,
-        insts: 1_056_987,
+        cycles: 142_742,
+        insts: 1_005_927,
         reads: 1_500,
-        hist: [1451, 40, 0, 3, 0, 2, 2, 2],
+        hist: [1431, 52, 5, 3, 1, 1, 3, 4],
     },
     Golden {
         kind: MemKind::RlAdaptive,
         bench: "mcf",
-        cycles: 134_205,
-        insts: 749_034,
+        cycles: 116_000,
+        insts: 634_994,
         reads: 1_500,
-        hist: [436, 110, 106, 223, 111, 97, 296, 121],
+        hist: [475, 96, 103, 234, 280, 102, 103, 107],
     },
 ];
 
