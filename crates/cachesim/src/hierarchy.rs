@@ -175,6 +175,34 @@ impl HierStats {
             self.critical_word_hist[0] as f64 / total as f64
         }
     }
+
+    /// Subtract an earlier snapshot of the same hierarchy (warm-up
+    /// exclusion). Every counter and histogram lives here, next to the
+    /// field definitions, so a new field cannot silently miss the
+    /// warm-up-delta path.
+    pub fn sub(&mut self, earlier: &HierStats) {
+        self.loads -= earlier.loads;
+        self.stores -= earlier.stores;
+        self.l1_hits -= earlier.l1_hits;
+        self.l2_hits -= earlier.l2_hits;
+        self.mshr_secondary -= earlier.mshr_secondary;
+        self.demand_misses -= earlier.demand_misses;
+        self.blocked_mshr -= earlier.blocked_mshr;
+        self.blocked_mem -= earlier.blocked_mem;
+        self.prefetches_issued -= earlier.prefetches_issued;
+        self.prefetches_useful -= earlier.prefetches_useful;
+        self.writebacks -= earlier.writebacks;
+        self.fills -= earlier.fills;
+        self.demand_fills -= earlier.demand_fills;
+        self.cw_latency_sum -= earlier.cw_latency_sum;
+        self.cw_lat_hist.sub(&earlier.cw_lat_hist);
+        self.cw_served_fast -= earlier.cw_served_fast;
+        self.secondary_diff_word -= earlier.secondary_diff_word;
+        self.secondary_gap_sum -= earlier.secondary_gap_sum;
+        for (a, b) in self.critical_word_hist.iter_mut().zip(&earlier.critical_word_hist) {
+            *a -= b;
+        }
+    }
 }
 
 /// The complete on-chip memory hierarchy bound to a main-memory backend.
@@ -495,6 +523,22 @@ impl<M: MainMemory> Hierarchy<M> {
                 Err(_) => break,
             }
         }
+    }
+
+    /// Earliest CPU cycle strictly after `now` at which [`Hierarchy::tick`]
+    /// could do anything observable, or `None` when the whole memory side
+    /// is quiescent.
+    ///
+    /// The hierarchy itself is event-driven — caches, MSHRs and the
+    /// prefetcher only change state inside `load`/`store` or while
+    /// processing memory events — so the bound is exactly the backend's:
+    /// buffered writebacks can only retry successfully once the backend
+    /// frees queue space, which requires a backend state change, and a
+    /// backend with a full (hence non-empty) queue always reports the
+    /// next device-cycle boundary.
+    #[must_use]
+    pub fn next_activity(&self, now: u64) -> Option<u64> {
+        self.mem.next_activity(now)
     }
 
     /// Flush remaining writebacks opportunistically (end of run).

@@ -131,6 +131,15 @@ impl CwfStats {
             self.gap_cpu_cycles as f64 / self.fast_first as f64
         }
     }
+
+    /// Subtract an earlier snapshot (warm-up exclusion).
+    pub fn sub(&mut self, earlier: &CwfStats) {
+        self.demand_reads -= earlier.demand_reads;
+        self.cw_served_fast -= earlier.cw_served_fast;
+        self.parity_errors -= earlier.parity_errors;
+        self.fast_first -= earlier.fast_first;
+        self.gap_cpu_cycles -= earlier.gap_cpu_cycles;
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -418,11 +427,32 @@ impl MainMemory for HeteroCwfMemory {
     }
 
     fn stats(&mut self, now: u64) -> MemSystemStats {
-        let mut controllers = self.fast.stats(now / self.fast_ratio);
+        // Ceiling division per clock domain: the settle point must not
+        // depend on whether the cycles since the last device tick were
+        // executed one-by-one or skipped (see `HomogeneousMemory::stats`).
+        let mut controllers = self.fast.stats(now.div_ceil(self.fast_ratio));
         for ctrl in &mut self.slow {
-            controllers.push(ctrl.stats(now / self.slow_ratio));
+            controllers.push(ctrl.stats(now.div_ceil(self.slow_ratio)));
         }
         MemSystemStats { controllers }
+    }
+
+    fn next_activity(&self, now: u64) -> Option<u64> {
+        let mut next =
+            self.scheduled.iter().map(|&(at, _)| at.max(now + 1)).min().unwrap_or(u64::MAX);
+        if let Some(at_mem) = self.fast.next_activity_mem(now / self.fast_ratio) {
+            next = next.min(at_mem * self.fast_ratio);
+        }
+        for ctrl in &self.slow {
+            if let Some(at_mem) = ctrl.next_activity_mem(now / self.slow_ratio) {
+                next = next.min(at_mem * self.slow_ratio);
+            }
+        }
+        if next == u64::MAX {
+            None
+        } else {
+            Some(next)
+        }
     }
 }
 

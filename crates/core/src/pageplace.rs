@@ -67,6 +67,10 @@ impl<M: MainMemory> MainMemory for ProfilingMemory<M> {
     fn stats(&mut self, now: u64) -> MemSystemStats {
         self.inner.stats(now)
     }
+
+    fn next_activity(&self, now: u64) -> Option<u64> {
+        self.inner.next_activity(now)
+    }
 }
 
 /// Select the hottest `fraction` of touched pages (by DRAM access count).
@@ -218,11 +222,32 @@ impl MainMemory for PagePlacedMemory {
     }
 
     fn stats(&mut self, now: u64) -> MemSystemStats {
-        let mut controllers = vec![self.rld.stats(now / self.rld_ratio)];
+        // Ceiling division per clock domain: the settle point must not
+        // depend on whether the cycles since the last device tick were
+        // executed one-by-one or skipped (see `HomogeneousMemory::stats`).
+        let mut controllers = vec![self.rld.stats(now.div_ceil(self.rld_ratio))];
         for ctrl in &mut self.lp {
-            controllers.push(ctrl.stats(now / self.lp_ratio));
+            controllers.push(ctrl.stats(now.div_ceil(self.lp_ratio)));
         }
         MemSystemStats { controllers }
+    }
+
+    fn next_activity(&self, now: u64) -> Option<u64> {
+        let mut next =
+            self.pending.iter().map(|&(at, _)| at.max(now + 1)).min().unwrap_or(u64::MAX);
+        if let Some(at_mem) = self.rld.next_activity_mem(now / self.rld_ratio) {
+            next = next.min(at_mem * self.rld_ratio);
+        }
+        for ctrl in &self.lp {
+            if let Some(at_mem) = ctrl.next_activity_mem(now / self.lp_ratio) {
+                next = next.min(at_mem * self.lp_ratio);
+            }
+        }
+        if next == u64::MAX {
+            None
+        } else {
+            Some(next)
+        }
     }
 }
 

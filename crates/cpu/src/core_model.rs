@@ -71,6 +71,20 @@ enum RobEntry {
     Load { load_id: u64 },
 }
 
+/// What a core would do if ticked right now (event-kernel quiescence
+/// classification; see [`Core::next_activity`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreActivity {
+    /// The core would retire and/or fetch — it must be ticked this cycle.
+    Active,
+    /// ROB full, head completes at the given future cycle; ticks until
+    /// then are no-ops.
+    WaitRetire(u64),
+    /// ROB full, head is a load waiting on memory; each skipped cycle
+    /// adds exactly one memory-stall cycle and nothing else.
+    WaitLoad,
+}
+
 /// One out-of-order core.
 #[derive(Debug)]
 pub struct Core {
@@ -128,6 +142,39 @@ impl Core {
     #[must_use]
     pub fn rob_len(&self) -> usize {
         self.rob.len()
+    }
+
+    /// Classify what [`Core::tick`] would do at cycle `now` without
+    /// running it.
+    ///
+    /// A core is only skippable when its ROB is full — with free ROB
+    /// slots the fetch loop touches the trace (or retries a stalled op)
+    /// every cycle. With a full ROB the fetch loop cannot run, so the
+    /// tick reduces to the retire loop's head check:
+    ///
+    /// - head `Done(at)` with `at <= now`: it would retire — `Active`;
+    /// - head `Done(at)` with `at > now`: nothing happens until `at` —
+    ///   `WaitRetire(at)`;
+    /// - head pending `Load`: the only effect per cycle is one
+    ///   `mem_stall_cycles` increment — `WaitLoad`, which the kernel
+    ///   batch-accounts over skipped cycles.
+    #[must_use]
+    pub fn next_activity(&self, now: u64) -> CoreActivity {
+        if self.rob.len() < self.params.rob_size {
+            return CoreActivity::Active;
+        }
+        match self.rob.front() {
+            Some(RobEntry::Done(at)) if *at > now => CoreActivity::WaitRetire(*at),
+            Some(RobEntry::Load { .. }) => CoreActivity::WaitLoad,
+            _ => CoreActivity::Active,
+        }
+    }
+
+    /// Batch-account `cycles` skipped memory-stall cycles (the per-cycle
+    /// kernel's head-`Load` increment, applied in one step). Only valid
+    /// while [`Core::next_activity`] reports [`CoreActivity::WaitLoad`].
+    pub fn add_stall_cycles(&mut self, cycles: u64) {
+        self.mem_stall_cycles += cycles;
     }
 
     /// Deliver data for a pending load (match by `load_id`).

@@ -39,5 +39,5 @@
 pub mod core_model;
 pub mod trace;
 
-pub use core_model::{Core, CoreParams, IssueResult, MemOp, MemOpKind};
+pub use core_model::{Core, CoreActivity, CoreParams, IssueResult, MemOp, MemOpKind};
 pub use trace::{TraceOp, TraceSource};

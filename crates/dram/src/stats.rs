@@ -47,6 +47,17 @@ impl Residency {
         self.precharge_powerdown += other.precharge_powerdown;
         self.self_refresh += other.self_refresh;
     }
+
+    /// Element-wise subtract an earlier snapshot (for warm-up deltas).
+    /// Saturates at zero.
+    pub fn sub(&mut self, earlier: &Residency) {
+        self.active_standby = self.active_standby.saturating_sub(earlier.active_standby);
+        self.precharge_standby = self.precharge_standby.saturating_sub(earlier.precharge_standby);
+        self.active_powerdown = self.active_powerdown.saturating_sub(earlier.active_powerdown);
+        self.precharge_powerdown =
+            self.precharge_powerdown.saturating_sub(earlier.precharge_powerdown);
+        self.self_refresh = self.self_refresh.saturating_sub(earlier.self_refresh);
+    }
 }
 
 /// Upper bound on banks per rank across all supported devices (RLDRAM3

@@ -144,6 +144,16 @@ impl AggregatedController {
         }
     }
 
+    /// Earliest device cycle strictly after `now` at which any sub-channel
+    /// could change state (see [`Controller::next_activity_mem`]). The
+    /// round-robin pointer only advances when a command actually issues,
+    /// which requires a non-empty queue somewhere — so a quiescent
+    /// aggregate's arbitration state cannot drift across a skip.
+    #[must_use]
+    pub fn next_activity_mem(&self, now: u64) -> Option<u64> {
+        self.subs.iter().filter_map(|s| s.next_activity_mem(now)).min()
+    }
+
     /// Take completions from every sub-channel, tagged with the sub index.
     pub fn take_completions(&mut self) -> Vec<(usize, ReadCompletion)> {
         let mut out = Vec::new();

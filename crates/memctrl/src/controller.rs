@@ -111,6 +111,29 @@ pub struct ControllerStats {
     pub read_lat_hist: dram_timing::stats::LatencyHist,
 }
 
+impl ControllerStats {
+    /// Subtract an earlier snapshot of the *same* controller (warm-up
+    /// exclusion). Identity fields (kind, label, geometry, clock) are
+    /// kept from `self`; every counter, histogram and residency field is
+    /// reduced by the snapshot's contribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the snapshots are from different
+    /// controllers (labels differ).
+    pub fn sub(&mut self, earlier: &ControllerStats) {
+        debug_assert_eq!(self.label, earlier.label, "controller delta across different channels");
+        self.mem_cycles -= earlier.mem_cycles;
+        self.channel.sub(&earlier.channel);
+        self.residency.sub(&earlier.residency);
+        self.reads_done -= earlier.reads_done;
+        self.writes_done -= earlier.writes_done;
+        self.sum_queue_ns -= earlier.sum_queue_ns;
+        self.sum_service_ns -= earlier.sum_service_ns;
+        self.read_lat_hist.sub(&earlier.read_lat_hist);
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Txn {
     token: Token,
@@ -604,6 +627,72 @@ impl Controller {
             self.read_q[i].classified = true;
         } else {
             self.write_q[i].classified = true;
+        }
+    }
+
+    /// Earliest device cycle strictly after `now` at which [`tick_mem`]
+    /// could do anything observable, or `None` when the controller is
+    /// idle forever absent new transactions.
+    ///
+    /// While any transaction is queued (or a completion is pending
+    /// hand-off) the scheduler must run every device cycle — command
+    /// readiness depends on fine-grained channel state that is cheaper
+    /// to re-test than to bound. With empty queues the only autonomous
+    /// state changes are refresh handling and idle power management,
+    /// whose trigger cycles are computed exactly:
+    ///
+    /// - `deadline - (tXP + 8)`: power management wakes a powered-down
+    ///   rank ahead of its refresh deadline ([`Self::manage_power`]'s
+    ///   `refresh_due` window), and stops putting ranks to sleep;
+    /// - `deadline`: the refresh issues (or, in self-refresh, the
+    ///   deadline silently re-arms);
+    /// - `last_activity + powerdown_idle_cycles`: an idle `Up` rank
+    ///   enters power-down;
+    /// - `last_activity + self_refresh_idle_cycles`: an idle powered-down
+    ///   rank with all banks closed escalates to self-refresh.
+    ///
+    /// Every candidate is clamped to `now + 1`, so an overdue deadline
+    /// (e.g. a refresh blocked behind tRFC) degrades to per-cycle
+    /// ticking rather than being skipped past. Waking *early* is always
+    /// safe — `tick_mem` on a quiescent controller is a deterministic
+    /// no-op — only waking late could diverge from the per-cycle kernel.
+    ///
+    /// [`tick_mem`]: Self::tick_mem
+    #[must_use]
+    pub fn next_activity_mem(&self, now: u64) -> Option<u64> {
+        if !self.read_q.is_empty() || !self.write_q.is_empty() || !self.completions.is_empty() {
+            return Some(now + 1);
+        }
+        let t = &self.cfg.timings;
+        let mut next = u64::MAX;
+        let mut fold = |at: u64| next = next.min(at.max(now + 1));
+        for (r, rank) in self.channel.ranks().iter().enumerate() {
+            if t.t_refi != 0 {
+                let deadline = self.refresh_deadline[r];
+                fold(deadline.saturating_sub(u64::from(t.t_xp) + 8));
+                fold(deadline);
+            }
+            match rank.power_state() {
+                PowerState::Up => {
+                    if self.cfg.powerdown_idle_cycles > 0 {
+                        fold(rank.last_activity + u64::from(self.cfg.powerdown_idle_cycles));
+                    }
+                }
+                PowerState::PowerDown => {
+                    if self.cfg.powerdown_idle_cycles > 0
+                        && self.cfg.self_refresh_idle_cycles > 0
+                        && rank.open_banks() == 0
+                    {
+                        fold(rank.last_activity + u64::from(self.cfg.self_refresh_idle_cycles));
+                    }
+                }
+                PowerState::SelfRefresh => {}
+            }
+        }
+        if next == u64::MAX {
+            None
+        } else {
+            Some(next)
         }
     }
 

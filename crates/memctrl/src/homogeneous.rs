@@ -179,9 +179,32 @@ impl MainMemory for HomogeneousMemory {
     }
 
     fn stats(&mut self, now: u64) -> MemSystemStats {
-        let mem_now = now / self.ratio;
+        // Ceiling division makes the settle point independent of when the
+        // last device tick ran: after a tick at CPU cycle t the internal
+        // cycle counter reads t/ratio + 1 == ceil(now/ratio) for every
+        // now in (t, t + ratio], whether or not the in-between CPU cycles
+        // were skipped by the event kernel.
+        let mem_now = now.div_ceil(self.ratio);
         MemSystemStats {
             controllers: self.controllers.iter_mut().map(|c| c.stats(mem_now)).collect(),
+        }
+    }
+
+    fn next_activity(&self, now: u64) -> Option<u64> {
+        let mut next =
+            self.pending.iter().map(|&(at, _)| at.max(now + 1)).min().unwrap_or(u64::MAX);
+        let mem_now = self.mem_now(now);
+        for c in &self.controllers {
+            if let Some(at_mem) = c.next_activity_mem(mem_now) {
+                // Device cycle d happens at CPU cycle d * ratio (the tick
+                // gate below); d >= mem_now + 1 implies d * ratio > now.
+                next = next.min(at_mem * self.ratio);
+            }
+        }
+        if next == u64::MAX {
+            None
+        } else {
+            Some(next)
         }
     }
 }

@@ -172,6 +172,20 @@ impl MemSystemStats {
         h
     }
 
+    /// Subtract an earlier snapshot of the same memory system (warm-up
+    /// exclusion): controller-by-controller [`ControllerStats::sub`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the controller lists do not match
+    /// one-to-one in order.
+    pub fn sub(&mut self, earlier: &MemSystemStats) {
+        debug_assert_eq!(self.controllers.len(), earlier.controllers.len());
+        for (c, e) in self.controllers.iter_mut().zip(&earlier.controllers) {
+            c.sub(e);
+        }
+    }
+
     /// Mean read service (core) latency in nanoseconds.
     #[must_use]
     pub fn avg_service_ns(&self) -> f64 {
@@ -211,6 +225,21 @@ pub trait MainMemory {
 
     /// Snapshot statistics (settling residency up to `now`).
     fn stats(&mut self, now: u64) -> MemSystemStats;
+
+    /// Earliest CPU cycle strictly after `now` at which this backend can
+    /// change observable state: issue a queued command, complete a burst,
+    /// hit a refresh deadline, cross a power-down/self-refresh idle
+    /// threshold, or re-check a write-drain watermark.
+    ///
+    /// The event-driven kernel skips `tick` calls up to (exclusive) the
+    /// returned cycle, so the bound must be *conservative*: returning an
+    /// earlier cycle than necessary is a harmless no-op wake; returning a
+    /// later one breaks cycle accuracy. `None` means "idle forever absent
+    /// new requests". The default is the always-safe `Some(now + 1)`
+    /// (tick every cycle — degenerates to the cycle-driven kernel).
+    fn next_activity(&self, now: u64) -> Option<u64> {
+        Some(now + 1)
+    }
 }
 
 impl<M: MainMemory + ?Sized> MainMemory for Box<M> {
@@ -228,6 +257,10 @@ impl<M: MainMemory + ?Sized> MainMemory for Box<M> {
 
     fn stats(&mut self, now: u64) -> MemSystemStats {
         (**self).stats(now)
+    }
+
+    fn next_activity(&self, now: u64) -> Option<u64> {
+        (**self).next_activity(now)
     }
 }
 

@@ -103,7 +103,7 @@ pub fn sweep(benches: &[&str], kinds: &[MemKind], reads: u64) -> Vec<SweepRow> {
     let mut by_task: HashMap<(String, Option<MemKind>), RunMetrics> = HashMap::new();
     for (task, result) in tasks.into_iter().zip(results) {
         match result {
-            crate::sweep::CellResult::Done(m) => {
+            crate::sweep::CellResult::Done(m, _) => {
                 by_task.insert(task, m);
             }
             crate::sweep::CellResult::Failed { bench, mem, error } => {

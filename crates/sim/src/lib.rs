@@ -36,9 +36,9 @@ pub mod runner;
 pub mod sweep;
 pub mod system;
 
-pub use config::{MemKind, RunConfig};
+pub use config::{Kernel, MemKind, RunConfig};
 pub use metrics::RunMetrics;
 pub use report::Table;
-pub use runner::{normalized_throughput, run_benchmark, weighted_speedup};
+pub use runner::{normalized_throughput, run_benchmark, run_benchmark_diag, weighted_speedup};
 pub use sweep::{Cell, CellResult};
-pub use system::System;
+pub use system::{KernelStats, System};

@@ -185,6 +185,23 @@ fn json_hist(h: &dram_timing::stats::LatencyHist, scale_ns: f64, out: &mut Strin
 /// how the producing sweep was scheduled.
 #[must_use]
 pub fn to_json(m: &crate::metrics::RunMetrics) -> String {
+    write_json(m, None)
+}
+
+/// [`to_json`] plus an additive `"kernel"` diagnostics object (kernel
+/// name, memory-tick call count, skipped cycles, tick ratio). Everything
+/// else — including the schema tag, which the addition does not break —
+/// is byte-identical to [`to_json`] on the same metrics, keeping the two
+/// kernels' metric documents directly diffable.
+#[must_use]
+pub fn to_json_diag(m: &crate::metrics::RunMetrics, k: &crate::system::KernelStats) -> String {
+    write_json(m, Some(k))
+}
+
+fn write_json(
+    m: &crate::metrics::RunMetrics,
+    kernel: Option<&crate::system::KernelStats>,
+) -> String {
     use crate::metrics::CPU_HZ;
     use dram_power::LpddrIo;
 
@@ -229,6 +246,16 @@ pub fn to_json(m: &crate::metrics::RunMetrics) -> String {
             c.parity_errors
         )),
         None => o.push_str("  \"cwf\": null,\n"),
+    }
+    if let Some(k) = kernel {
+        o.push_str(&format!(
+            "  \"kernel\": {{ \"name\": \"{}\", \"mem_tick_calls\": {}, \
+             \"cycles_skipped\": {}, \"tick_ratio\": {} }},\n",
+            k.kernel.name(),
+            k.mem_tick_calls,
+            k.cycles_skipped,
+            json_f64(k.tick_ratio())
+        ));
     }
     o.push_str("  \"channels\": [");
     for (ci, c) in m.mem_stats.controllers.iter().enumerate() {

@@ -4,7 +4,7 @@ use workloads::by_name;
 
 use crate::config::{MemKind, RunConfig};
 use crate::metrics::RunMetrics;
-use crate::system::System;
+use crate::system::{KernelStats, System};
 
 /// Run one benchmark under `cfg`.
 ///
@@ -13,9 +13,24 @@ use crate::system::System;
 /// Panics if `bench` is not one of the 27 suite programs.
 #[must_use]
 pub fn run_benchmark(cfg: &RunConfig, bench: &str) -> RunMetrics {
+    run_benchmark_diag(cfg, bench).0
+}
+
+/// Run one benchmark under `cfg`, also returning the kernel's execution
+/// counters (tick-call counts, skipped cycles). The metrics half is
+/// identical to [`run_benchmark`] — the diagnostics ride alongside, never
+/// inside, [`RunMetrics`].
+///
+/// # Panics
+///
+/// Panics if `bench` is not one of the 27 suite programs.
+#[must_use]
+pub fn run_benchmark_diag(cfg: &RunConfig, bench: &str) -> (RunMetrics, KernelStats) {
     let profile = by_name(bench)
         .unwrap_or_else(|| panic!("unknown benchmark '{bench}' (see workloads::suite())"));
-    System::new(cfg, profile).run()
+    let mut sys = System::new(cfg, profile);
+    let metrics = sys.run();
+    (metrics, sys.kernel_stats())
 }
 
 /// The paper's system-throughput metric: `Σᵢ IPCᵢ_shared / IPCᵢ_alone`

@@ -26,7 +26,8 @@ use std::sync::Mutex;
 
 use crate::config::{MemKind, RunConfig};
 use crate::metrics::RunMetrics;
-use crate::runner::run_benchmark;
+use crate::runner::run_benchmark_diag;
+use crate::system::KernelStats;
 
 /// One unit of sweep work: a benchmark under a configuration.
 #[derive(Debug, Clone)]
@@ -40,8 +41,9 @@ pub struct Cell {
 /// Outcome of one cell.
 #[derive(Debug, Clone)]
 pub enum CellResult {
-    /// The cell ran to completion.
-    Done(RunMetrics),
+    /// The cell ran to completion: its metrics plus the kernel's
+    /// execution counters (diagnostics; not part of the metrics schema).
+    Done(RunMetrics, KernelStats),
     /// The cell panicked; the sweep continued without it.
     Failed {
         /// Benchmark of the failed cell.
@@ -58,7 +60,16 @@ impl CellResult {
     #[must_use]
     pub fn metrics(&self) -> Option<&RunMetrics> {
         match self {
-            CellResult::Done(m) => Some(m),
+            CellResult::Done(m, _) => Some(m),
+            CellResult::Failed { .. } => None,
+        }
+    }
+
+    /// The kernel diagnostics, if the cell completed.
+    #[must_use]
+    pub fn kernel_stats(&self) -> Option<&KernelStats> {
+        match self {
+            CellResult::Done(_, k) => Some(k),
             CellResult::Failed { .. } => None,
         }
     }
@@ -144,9 +155,9 @@ pub fn run_cells_with(cells: &[Cell], workers: usize) -> Vec<CellResult> {
                 // (read-only) and its own fresh System; a panic cannot
                 // leave shared state half-mutated.
                 let res = match catch_unwind(AssertUnwindSafe(|| {
-                    run_benchmark(&cell.cfg, &cell.bench)
+                    run_benchmark_diag(&cell.cfg, &cell.bench)
                 })) {
-                    Ok(m) => CellResult::Done(m),
+                    Ok((m, k)) => CellResult::Done(m, k),
                     Err(payload) => CellResult::Failed {
                         bench: cell.bench.clone(),
                         mem: cell.cfg.mem,
@@ -227,7 +238,7 @@ mod tests {
                 assert_eq!(*mem, MemKind::Rl);
                 assert!(error.contains("unknown benchmark"), "error = {error}");
             }
-            CellResult::Done(_) => panic!("bad cell should fail"),
+            CellResult::Done(..) => panic!("bad cell should fail"),
         }
         assert!(out[1].metrics().is_some());
     }

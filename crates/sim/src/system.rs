@@ -1,16 +1,53 @@
 //! The full-system simulator: cores + hierarchy + memory, one CPU-cycle
 //! master clock, with warm-up/measurement windows.
 
-use cache_hier::{AccessOutcome, HierParams, HierStats, Hierarchy, StoreOutcome, Woken};
-use cpu_model::{Core, CoreParams, IssueResult, MemOp, MemOpKind, TraceSource};
-use mem_ctrl::{ControllerStats, MainMemory, MemSystemStats};
+use cache_hier::{AccessOutcome, HierParams, Hierarchy, StoreOutcome, Woken};
+use cpu_model::{Core, CoreActivity, CoreParams, IssueResult, MemOp, MemOpKind, TraceSource};
+use mem_ctrl::MainMemory;
 use workloads::{BenchmarkProfile, TraceGen};
 
 /// A boxed, sendable trace source (synthetic generator or file replay).
 pub type BoxedTrace = Box<dyn TraceSource + Send>;
 
-use crate::config::{MemBackend, RunConfig};
+use crate::config::{Kernel, MemBackend, RunConfig};
 use crate::metrics::RunMetrics;
+
+/// Execution counters the simulation kernel keeps about itself.
+///
+/// Deliberately **not** part of [`RunMetrics`]: the two kernels must
+/// produce bit-identical metrics, so kernel bookkeeping travels on the
+/// side (`report::to_json_diag` appends it as an additive JSON object).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Which kernel produced this run.
+    pub kernel: Kernel,
+    /// CPU cycles actually executed (per-cycle step bodies entered).
+    pub steps: u64,
+    /// Calls into `Hierarchy::tick` (each ticks the memory backend once).
+    /// The cycle-driven kernel makes exactly one per step.
+    pub mem_tick_calls: u64,
+    /// CPU cycles the event-driven kernel jumped over without executing.
+    pub cycles_skipped: u64,
+}
+
+impl KernelStats {
+    /// Total simulated cycles (executed + skipped).
+    #[must_use]
+    pub fn simulated_cycles(&self) -> u64 {
+        self.steps + self.cycles_skipped
+    }
+
+    /// Memory tick calls the cycle-driven kernel would have made per tick
+    /// call this kernel actually made (1.0 for the cycle-driven kernel).
+    #[must_use]
+    pub fn tick_ratio(&self) -> f64 {
+        if self.mem_tick_calls == 0 {
+            1.0
+        } else {
+            self.simulated_cycles() as f64 / self.mem_tick_calls as f64
+        }
+    }
+}
 
 /// A complete simulated machine for one benchmark run.
 pub struct System {
@@ -21,6 +58,11 @@ pub struct System {
     hierarchy: Hierarchy<MemBackend>,
     now: u64,
     woken_buf: Vec<Woken>,
+    /// Cached `hierarchy.next_activity` bound: no memory-side state can
+    /// change at any cycle strictly below this (`u64::MAX` = idle until
+    /// new work arrives). 0 forces a tick on the first step.
+    mem_wake: u64,
+    kstats: KernelStats,
 }
 
 impl System {
@@ -75,6 +117,13 @@ impl System {
             hierarchy: Hierarchy::new(hp, backend),
             now: 0,
             woken_buf: Vec::new(),
+            mem_wake: 0,
+            kstats: KernelStats {
+                kernel: cfg.kernel,
+                steps: 0,
+                mem_tick_calls: 0,
+                cycles_skipped: 0,
+            },
             cfg: *cfg,
             bench: name.to_owned(),
         };
@@ -134,37 +183,124 @@ impl System {
         &self.hierarchy
     }
 
-    /// Advance one CPU cycle.
+    /// Kernel execution counters (steps, memory ticks, skipped cycles).
+    #[must_use]
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.kstats
+    }
+
+    /// Advance one CPU cycle (cycle-driven semantics: the memory side is
+    /// ticked unconditionally).
     pub fn step(&mut self) {
+        self.step_inner(false);
+    }
+
+    /// One cycle of work. With `gate_mem` set (event-driven kernel) the
+    /// hierarchy/memory tick is elided while `now` is strictly below the
+    /// cached next-activity bound — by construction those ticks are
+    /// observable no-ops (device-clock boundaries not reached, no pending
+    /// completion due, no queue-state change a writeback retry could see).
+    fn step_inner(&mut self, gate_mem: bool) {
         let now = self.now;
-        self.woken_buf.clear();
-        self.hierarchy.tick(now, &mut self.woken_buf);
-        for w in &self.woken_buf {
-            self.cores[usize::from(w.core)].complete_load(w.load_id, w.at);
+        if !gate_mem || now >= self.mem_wake {
+            self.woken_buf.clear();
+            self.hierarchy.tick(now, &mut self.woken_buf);
+            self.kstats.mem_tick_calls += 1;
+            for w in &self.woken_buf {
+                self.cores[usize::from(w.core)].complete_load(w.load_id, w.at);
+            }
+            if gate_mem {
+                self.mem_wake = self.hierarchy.next_activity(now).unwrap_or(u64::MAX);
+            }
         }
         let hier = &mut self.hierarchy;
+        let mut issued = false;
         for (core, gen) in self.cores.iter_mut().zip(self.gens.iter_mut()) {
-            core.tick(now, gen, &mut |op: MemOp| match op.kind {
-                MemOpKind::Load => match hier.load(op.core, op.pc, op.addr, now) {
-                    AccessOutcome::Hit { complete_at } => IssueResult::Done { complete_at },
-                    AccessOutcome::Miss { load_id } => IssueResult::Pending { load_id },
-                    AccessOutcome::Blocked => IssueResult::Blocked,
-                },
-                MemOpKind::Store => match hier.store(op.core, op.pc, op.addr, now) {
-                    StoreOutcome::Done => IssueResult::Done { complete_at: now + 1 },
-                    StoreOutcome::Blocked => IssueResult::Blocked,
-                },
+            core.tick(now, gen, &mut |op: MemOp| {
+                issued = true;
+                match op.kind {
+                    MemOpKind::Load => match hier.load(op.core, op.pc, op.addr, now) {
+                        AccessOutcome::Hit { complete_at } => IssueResult::Done { complete_at },
+                        AccessOutcome::Miss { load_id } => IssueResult::Pending { load_id },
+                        AccessOutcome::Blocked => IssueResult::Blocked,
+                    },
+                    MemOpKind::Store => match hier.store(op.core, op.pc, op.addr, now) {
+                        StoreOutcome::Done => IssueResult::Done { complete_at: now + 1 },
+                        StoreOutcome::Blocked => IssueResult::Blocked,
+                    },
+                }
             });
         }
+        // A load/store (hit or miss, even Blocked attempts are preceded by
+        // successful ones eventually) may have enqueued backend work or a
+        // completion event, invalidating the cached bound.
+        if gate_mem && issued {
+            self.mem_wake = self.hierarchy.next_activity(now).unwrap_or(u64::MAX);
+        }
+        self.kstats.steps += 1;
         self.now += 1;
+    }
+
+    /// Event-driven fast-forward: when every core is blocked on a full ROB
+    /// and the memory side reports nothing before `mem_wake`, jump `now`
+    /// to the earliest cycle anything can change, batch-accounting the
+    /// stall cycles each load-blocked core would have accrued one at a
+    /// time. A no-op whenever any component may act this cycle — so the
+    /// cycle-by-cycle execution that follows is untouched and statistics
+    /// stay bit-identical to the cycle-driven kernel.
+    fn try_skip(&mut self) {
+        let now = self.now;
+        let mut target = self.mem_wake;
+        for core in &self.cores {
+            match core.next_activity(now) {
+                // Can fetch/issue/retire this cycle: no skipping.
+                CoreActivity::Active => return,
+                CoreActivity::WaitRetire(at) => target = target.min(at),
+                // Woken only by the memory side (already in `target`).
+                CoreActivity::WaitLoad => {}
+            }
+        }
+        let target = target.min(self.cfg.max_cycles);
+        if target <= now {
+            return;
+        }
+        let skipped = target - now;
+        for core in &mut self.cores {
+            // The per-cycle loop charges a full-ROB core whose head is an
+            // outstanding load one stall cycle per cycle; nothing else
+            // about it changes, so the charge can be batched.
+            if core.next_activity(now) == CoreActivity::WaitLoad {
+                core.add_stall_cycles(skipped);
+            }
+        }
+        self.kstats.cycles_skipped += skipped;
+        self.now = target;
     }
 
     /// Run until `reads` demand DRAM reads have been issued (or the cycle
     /// cap is hit). Returns the cycle count consumed.
     fn run_until_reads(&mut self, reads: u64) -> u64 {
         let start = self.now;
-        while self.hierarchy.stats().demand_misses < reads && self.now < self.cfg.max_cycles {
-            self.step();
+        match self.cfg.kernel {
+            Kernel::Cycle => {
+                while self.hierarchy.stats().demand_misses < reads && self.now < self.cfg.max_cycles
+                {
+                    self.step_inner(false);
+                }
+            }
+            Kernel::Event => {
+                // The skip happens at the top of the loop, never after the
+                // step that satisfied the exit condition: both kernels
+                // must leave `now` at exactly `t_satisfy + 1`.
+                while self.hierarchy.stats().demand_misses < reads && self.now < self.cfg.max_cycles
+                {
+                    self.try_skip();
+                    if self.now >= self.cfg.max_cycles {
+                        break;
+                    }
+                    self.step_inner(true);
+                }
+            }
         }
         self.now - start
     }
@@ -185,12 +321,16 @@ impl System {
         let cycles = self.now - warm_cycles;
         let insts_per_core: Vec<u64> =
             self.cores.iter().zip(&warm_insts).map(|(c, w)| c.retired() - w).collect();
-        let hier = hier_delta(self.hierarchy.stats(), &warm_hier);
-        let mem_stats = mem_delta(&self.hierarchy.memory_mut().stats(self.now), &warm_mem);
-        let cwf = match (self.hierarchy.memory().cwf_stats(), warm_cwf) {
-            (Some(now), Some(warm)) => Some(cwf_delta(&now, &warm)),
-            (now, _) => now,
-        };
+        let mut hier = *self.hierarchy.stats();
+        hier.sub(&warm_hier);
+        let mut mem_stats = self.hierarchy.memory_mut().stats(self.now);
+        mem_stats.sub(&warm_mem);
+        let cwf = self.hierarchy.memory().cwf_stats().map(|mut c| {
+            if let Some(w) = &warm_cwf {
+                c.sub(w);
+            }
+            c
+        });
         RunMetrics {
             bench: self.bench.clone(),
             mem: self.cfg.mem,
@@ -202,86 +342,6 @@ impl System {
             mem_stats,
             cwf,
         }
-    }
-}
-
-fn hier_delta(now: &HierStats, warm: &HierStats) -> HierStats {
-    let mut hist = [0u64; 8];
-    for i in 0..8 {
-        hist[i] = now.critical_word_hist[i] - warm.critical_word_hist[i];
-    }
-    let mut cw_lat_hist = now.cw_lat_hist;
-    cw_lat_hist.sub(&warm.cw_lat_hist);
-    HierStats {
-        loads: now.loads - warm.loads,
-        stores: now.stores - warm.stores,
-        l1_hits: now.l1_hits - warm.l1_hits,
-        l2_hits: now.l2_hits - warm.l2_hits,
-        mshr_secondary: now.mshr_secondary - warm.mshr_secondary,
-        demand_misses: now.demand_misses - warm.demand_misses,
-        blocked_mshr: now.blocked_mshr - warm.blocked_mshr,
-        blocked_mem: now.blocked_mem - warm.blocked_mem,
-        prefetches_issued: now.prefetches_issued - warm.prefetches_issued,
-        prefetches_useful: now.prefetches_useful - warm.prefetches_useful,
-        writebacks: now.writebacks - warm.writebacks,
-        fills: now.fills - warm.fills,
-        demand_fills: now.demand_fills - warm.demand_fills,
-        cw_latency_sum: now.cw_latency_sum - warm.cw_latency_sum,
-        cw_lat_hist,
-        cw_served_fast: now.cw_served_fast - warm.cw_served_fast,
-        secondary_diff_word: now.secondary_diff_word - warm.secondary_diff_word,
-        secondary_gap_sum: now.secondary_gap_sum - warm.secondary_gap_sum,
-        critical_word_hist: hist,
-    }
-}
-
-fn mem_delta(now: &MemSystemStats, warm: &MemSystemStats) -> MemSystemStats {
-    let controllers = now
-        .controllers
-        .iter()
-        .zip(&warm.controllers)
-        .map(|(n, w)| {
-            debug_assert_eq!(n.label, w.label, "controller order must be stable");
-            let mut channel = n.channel;
-            channel.sub(&w.channel);
-            let mut residency = n.residency;
-            let wr = &w.residency;
-            residency.active_standby -= wr.active_standby;
-            residency.precharge_standby -= wr.precharge_standby;
-            residency.active_powerdown -= wr.active_powerdown;
-            residency.precharge_powerdown -= wr.precharge_powerdown;
-            residency.self_refresh -= wr.self_refresh;
-            ControllerStats {
-                kind: n.kind,
-                label: n.label.clone(),
-                chips_per_access: n.chips_per_access,
-                mem_cycles: n.mem_cycles - w.mem_cycles,
-                t_ck_ps: n.t_ck_ps,
-                channel,
-                residency,
-                ranks: n.ranks,
-                reads_done: n.reads_done - w.reads_done,
-                writes_done: n.writes_done - w.writes_done,
-                sum_queue_ns: n.sum_queue_ns - w.sum_queue_ns,
-                sum_service_ns: n.sum_service_ns - w.sum_service_ns,
-                read_lat_hist: {
-                    let mut h = n.read_lat_hist;
-                    h.sub(&w.read_lat_hist);
-                    h
-                },
-            }
-        })
-        .collect();
-    MemSystemStats { controllers }
-}
-
-fn cwf_delta(now: &cwf_core::CwfStats, warm: &cwf_core::CwfStats) -> cwf_core::CwfStats {
-    cwf_core::CwfStats {
-        demand_reads: now.demand_reads - warm.demand_reads,
-        cw_served_fast: now.cw_served_fast - warm.cw_served_fast,
-        parity_errors: now.parity_errors - warm.parity_errors,
-        fast_first: now.fast_first - warm.fast_first,
-        gap_cpu_cycles: now.gap_cpu_cycles - warm.gap_cpu_cycles,
     }
 }
 
@@ -322,6 +382,30 @@ mod tests {
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.insts_per_core, b.insts_per_core);
         assert_eq!(a.dram_reads, b.dram_reads);
+    }
+
+    #[test]
+    fn event_kernel_matches_cycle_kernel() {
+        let p = by_name("stream").unwrap();
+        let mut cy = RunConfig::quick(MemKind::Lpddr2, 300);
+        cy.kernel = Kernel::Cycle;
+        let mut ev = cy;
+        ev.kernel = Kernel::Event;
+        let mut sys_c = System::new(&cy, p);
+        let mc = sys_c.run();
+        let kc = sys_c.kernel_stats();
+        let mut sys_e = System::new(&ev, p);
+        let me = sys_e.run();
+        let ke = sys_e.kernel_stats();
+        assert_eq!(mc.cycles, me.cycles);
+        assert_eq!(mc.insts_per_core, me.insts_per_core);
+        assert_eq!(mc.dram_reads, me.dram_reads);
+        assert_eq!(mc.hier.blocked_mshr, me.hier.blocked_mshr);
+        // Cycle kernel ticks memory every step; event kernel strictly less.
+        assert_eq!(kc.mem_tick_calls, kc.steps);
+        assert_eq!(kc.simulated_cycles(), ke.simulated_cycles());
+        assert!(ke.mem_tick_calls < kc.mem_tick_calls);
+        assert!(ke.tick_ratio() > 1.0, "ratio {}", ke.tick_ratio());
     }
 
     #[test]

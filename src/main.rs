@@ -15,7 +15,7 @@ use cwfmem::sim::experiments::{
     fig2_power_utilization, fig3_line_profiles, fig4_critical_word_distribution, fig6_7_8_cwf,
     fig9_placement,
 };
-use cwfmem::sim::{run_benchmark, RunConfig};
+use cwfmem::sim::{run_benchmark, run_benchmark_diag, Kernel, RunConfig};
 use cwfmem::workloads::suite;
 
 const KINDS: [(&str, MemKind); 9] = [
@@ -33,7 +33,7 @@ const KINDS: [(&str, MemKind); 9] = [
 fn usage() -> ! {
     eprintln!(
         "usage:\n  cwfmem list\n  cwfmem run --mem <kind> --bench <name>|--trace <file> [--reads N] \
-         [--cores N] [--no-prefetch] [--parity-rate P] [--seed S] [--json]\n  \
+         [--cores N] [--no-prefetch] [--parity-rate P] [--seed S] [--kernel cycle|event] [--json]\n  \
          cwfmem compare --bench <name> [--reads N]\n  \
          cwfmem sweep [--benches a,b,c|--all-benches] [--kinds k1,k2] [--reads N] [--jobs N] \
          [--json DIR]\n  \
@@ -99,12 +99,21 @@ fn build_config(args: &[String]) -> RunConfig {
     if let Some(s) = arg_value(args, "--seed").and_then(|v| v.parse().ok()) {
         cfg.seed = s;
     }
+    // `--kernel` overrides the `CWF_KERNEL` environment default. Both
+    // kernels produce bit-identical metrics; the flag exists for
+    // performance comparisons and debugging.
+    if let Some(k) = arg_value(args, "--kernel") {
+        cfg.kernel = Kernel::from_env_str(&k).unwrap_or_else(|| {
+            eprintln!("unknown kernel '{k}' (expected 'cycle' or 'event')");
+            usage()
+        });
+    }
     cfg
 }
 
 fn cmd_run(args: &[String]) {
     let cfg = build_config(args);
-    let m = if let Some(trace) = arg_value(args, "--trace") {
+    let (m, kstats) = if let Some(trace) = arg_value(args, "--trace") {
         // Replay an external trace, phase-shifted per core (see `dump-trace`).
         use cwfmem::sim::system::BoxedTrace;
         use cwfmem::workloads::FileTraceSource;
@@ -121,14 +130,17 @@ fn cmd_run(args: &[String]) {
             .map(|i| Box::new(src.clone().starting_at(i * src.len() / n)) as BoxedTrace)
             .collect();
         let backend = cfg.mem.build(cfg.parity_error_rate, cfg.seed);
-        cwfmem::sim::System::with_trace_sources(&cfg, &trace, sources, backend).run()
+        let mut sys = cwfmem::sim::System::with_trace_sources(&cfg, &trace, sources, backend);
+        let m = sys.run();
+        (m, sys.kernel_stats())
     } else {
         let bench = arg_value(args, "--bench").unwrap_or_else(|| "leslie3d".into());
-        run_benchmark(&cfg, &bench)
+        run_benchmark_diag(&cfg, &bench)
     };
     if args.iter().any(|a| a == "--json") {
-        // The sweep's structured schema (`cwfmem.run.v1`), one document.
-        print!("{}", cwfmem::sim::report::to_json(&m));
+        // The sweep's structured schema (`cwfmem.run.v1`), one document,
+        // plus the additive kernel-diagnostics object.
+        print!("{}", cwfmem::sim::report::to_json_diag(&m, &kstats));
     } else {
         println!("{} on {} ({} cores, {} reads):", m.mem.label(), m.bench, cfg.cores, m.dram_reads);
         println!("  IPC (aggregate)        {:.3}", m.ipc_total());
@@ -146,6 +158,11 @@ fn cmd_run(args: &[String]) {
             println!("  critical served fast   {:.1}%", c.served_fast_fraction() * 100.0);
             println!("  fast-part head start   {:.0} CPU cycles", c.avg_head_start());
         }
+        println!(
+            "  kernel                 {} ({:.1}x cycles per mem tick)",
+            kstats.kernel.name(),
+            kstats.tick_ratio()
+        );
     }
 }
 
@@ -190,14 +207,14 @@ fn cmd_sweep(args: &[String]) {
         let mut cells_out = vec![(*bench).to_owned()];
         for r in row {
             match r {
-                cwfmem::sim::CellResult::Done(m) => {
+                cwfmem::sim::CellResult::Done(m, k) => {
                     cells_out.push(format!("{:.3}", m.ipc_total()));
                     cells_out.push(format!("{:.1}", m.cw_latency_ns_quantile(0.99)));
                     if let Some(dir) = &json_dir {
                         if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
                             std::fs::write(
                                 dir.join(format!("{}__{}.json", m.bench, m.mem.slug())),
-                                report::to_json(m),
+                                report::to_json_diag(m, k),
                             )
                         }) {
                             eprintln!("cannot write JSON to {}: {e}", dir.display());
