@@ -34,7 +34,7 @@ impl CacheCfg {
 }
 
 /// Metadata carried by every resident line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LineMeta {
     /// Dirty with respect to the level below.
     pub dirty: bool,
@@ -45,12 +45,6 @@ pub struct LineMeta {
     pub crit_word: u8,
     /// Brought in by the prefetcher and not yet demanded.
     pub prefetched: bool,
-}
-
-impl Default for LineMeta {
-    fn default() -> Self {
-        LineMeta { dirty: false, sharers: 0, crit_word: 0, prefetched: false }
-    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -96,12 +90,10 @@ impl Cache {
         let tag = self.tag(line);
         let clock = self.clock;
         let range = self.set_range(line);
-        for slot in &mut self.ways[range] {
-            if let Some(w) = slot {
-                if w.tag == tag {
-                    w.stamp = clock;
-                    return Some(&mut w.meta);
-                }
+        for w in self.ways[range].iter_mut().flatten() {
+            if w.tag == tag {
+                w.stamp = clock;
+                return Some(&mut w.meta);
             }
         }
         None
@@ -123,18 +115,16 @@ impl Cache {
     pub fn insert(&mut self, line: u64, meta: LineMeta) -> Option<(u64, LineMeta)> {
         self.clock += 1;
         let tag = self.tag(line);
-        let set = (line % u64::from(self.cfg.sets)) as u64;
+        let set = line % u64::from(self.cfg.sets);
         let clock = self.clock;
         let range = self.set_range(line);
 
         // Already resident?
-        for slot in &mut self.ways[range.clone()] {
-            if let Some(w) = slot {
-                if w.tag == tag {
-                    w.meta = meta;
-                    w.stamp = clock;
-                    return None;
-                }
+        for w in self.ways[range.clone()].iter_mut().flatten() {
+            if w.tag == tag {
+                w.meta = meta;
+                w.stamp = clock;
+                return None;
             }
         }
         // Empty way?
@@ -181,6 +171,15 @@ impl Cache {
     #[must_use]
     pub fn resident(&self) -> usize {
         self.ways.iter().flatten().count()
+    }
+
+    /// Iterate all resident lines as `(line, meta)` (inclusion audit).
+    pub fn iter_resident(&self) -> impl Iterator<Item = (u64, &LineMeta)> + '_ {
+        let sets = u64::from(self.cfg.sets);
+        let ways = self.cfg.ways as usize;
+        self.ways.iter().enumerate().filter_map(move |(i, slot)| {
+            slot.as_ref().map(|w| (w.tag * sets + (i / ways) as u64, &w.meta))
+        })
     }
 
     /// Configuration.

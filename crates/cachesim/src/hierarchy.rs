@@ -4,11 +4,33 @@
 
 use std::collections::VecDeque;
 
-use mem_ctrl::{LineRequest, MainMemory, MemEvent};
+use mem_ctrl::{LineRequest, MainMemory, MemEvent, Token};
 
 use crate::cache::{Cache, CacheCfg, LineMeta};
 use crate::mshr::{MshrEntry, MshrFile, Waiter};
 use crate::prefetch::StridePrefetcher;
+
+/// One observation for the cross-layer verify oracle: the hierarchy's side
+/// of the memory contract, recorded in program order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HierAudit {
+    /// A read (demand or prefetch) accepted by the backend at CPU cycle
+    /// `at` under `token`.
+    Submit {
+        /// Backend-issued transaction token.
+        token: Token,
+        /// CPU cycle of submission.
+        at: u64,
+    },
+    /// A memory event drained from the backend at CPU cycle `delivered_at`
+    /// (the event's own timestamp rides inside `ev`).
+    Event {
+        /// The drained event.
+        ev: MemEvent,
+        /// CPU cycle the hierarchy actually saw it.
+        delivered_at: u64,
+    },
+}
 
 /// Hierarchy configuration (defaults are the paper's Table 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -218,6 +240,8 @@ pub struct Hierarchy<M> {
     next_load_id: u64,
     ev_buf: Vec<MemEvent>,
     stats: HierStats,
+    /// Verify-oracle observation log (`None` ⇒ auditing disabled).
+    audit: Option<Vec<HierAudit>>,
 }
 
 impl<M: MainMemory> Hierarchy<M> {
@@ -241,8 +265,57 @@ impl<M: MainMemory> Hierarchy<M> {
             next_load_id: 0,
             ev_buf: Vec::new(),
             stats: HierStats::default(),
+            audit: None,
             params,
         }
+    }
+
+    /// Start recording submits and drained events for the verify oracle,
+    /// and enable command/power auditing on the backend. Observation only
+    /// — no timing or replacement decision changes.
+    pub fn enable_audit(&mut self) {
+        self.audit = Some(Vec::new());
+        self.mem.enable_audit();
+    }
+
+    /// Take the buffered observations recorded since the last call.
+    /// Returns an empty vec while auditing is disabled.
+    pub fn take_audit(&mut self) -> Vec<HierAudit> {
+        match &mut self.audit {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
+        }
+    }
+
+    /// Audit the inclusive-L2 directory against actual L1 residency, in
+    /// both directions: every L1-resident line must be L2-resident with
+    /// that core's sharer bit set, and every set sharer bit must have the
+    /// line in that L1. Returns one message per broken entry.
+    #[must_use]
+    pub fn check_inclusion(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (c, l1) in self.l1s.iter().enumerate() {
+            for (line, _) in l1.iter_resident() {
+                match self.l2.peek(line) {
+                    None => out.push(format!("line {line:#x} in L1[{c}] but not in L2")),
+                    Some(meta) if meta.sharers & (1 << c) == 0 => out.push(format!(
+                        "line {line:#x} in L1[{c}] but sharer bit clear (sharers {:#04b})",
+                        meta.sharers
+                    )),
+                    Some(_) => {}
+                }
+            }
+        }
+        for (line, meta) in self.l2.iter_resident() {
+            for c in 0..self.params.cores {
+                if meta.sharers & (1 << c) != 0 && self.l1s[usize::from(c)].peek(line).is_none() {
+                    out.push(format!(
+                        "L2 directory lists core {c} for line {line:#x} not in its L1"
+                    ));
+                }
+            }
+        }
+        out
     }
 
     /// Statistics snapshot.
@@ -392,6 +465,9 @@ impl<M: MainMemory> Hierarchy<M> {
                 return AccessOutcome::Blocked;
             }
         };
+        if let Some(buf) = &mut self.audit {
+            buf.push(HierAudit::Submit { token, at: now });
+        }
         self.stats.demand_misses += 1;
         self.stats.critical_word_hist[usize::from(word)] += 1;
         let mut entry = MshrEntry::new(line, token, word, true, now);
@@ -420,6 +496,9 @@ impl<M: MainMemory> Hierarchy<M> {
         }
         let req = LineRequest::prefetch_read(line << 6, core);
         if let Ok(Some(token)) = self.mem.try_submit(&req, now) {
+            if let Some(buf) = &mut self.audit {
+                buf.push(HierAudit::Submit { token, at: now });
+            }
             self.stats.prefetches_issued += 1;
             self.mshr.allocate(MshrEntry::new(line, token, 0, false, now));
         }
@@ -480,6 +559,11 @@ impl<M: MainMemory> Hierarchy<M> {
         let mut ev = std::mem::take(&mut self.ev_buf);
         ev.clear();
         self.mem.drain_events(now, &mut ev);
+        if let Some(buf) = &mut self.audit {
+            for e in &ev {
+                buf.push(HierAudit::Event { ev: *e, delivered_at: now });
+            }
+        }
         for e in &ev {
             match *e {
                 MemEvent::WordsAvailable { token, at, words, served_fast } => {

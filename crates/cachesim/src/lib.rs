@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Cache hierarchy for the `cwfmem` simulator.
@@ -39,6 +40,8 @@ pub mod mshr;
 pub mod prefetch;
 
 pub use cache::{Cache, CacheCfg, LineMeta};
-pub use hierarchy::{AccessOutcome, HierParams, HierStats, Hierarchy, StoreOutcome, Woken};
+pub use hierarchy::{
+    AccessOutcome, HierAudit, HierParams, HierStats, Hierarchy, StoreOutcome, Woken,
+};
 pub use mshr::{MshrEntry, MshrFile};
 pub use prefetch::StridePrefetcher;

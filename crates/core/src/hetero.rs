@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use dram_timing::{DeviceConfig, PagePolicy};
+use mem_ctrl::audit::{AuditRecord, ChannelDesc};
 use mem_ctrl::{
     AddressMapper, AggregatedController, Controller, CtrlParams, LineRequest, MainMemory,
     MappingScheme, MemBusy, MemEvent, MemSystemStats, Token,
@@ -168,6 +169,8 @@ pub struct HeteroCwfMemory {
     scheduled: Vec<(u64, MemEvent)>,
     next_id: u64,
     stats: CwfStats,
+    /// True once [`MainMemory::enable_audit`] has been called.
+    audit: bool,
 }
 
 impl HeteroCwfMemory {
@@ -236,7 +239,15 @@ impl HeteroCwfMemory {
             scheduled: Vec::new(),
             next_id: 0,
             stats: CwfStats::default(),
+            audit: false,
         }
+    }
+
+    /// Fault injection: double-book the shared fast command slot (see
+    /// [`AggregatedController::inject_double_book_slot`]). Seeded-fault
+    /// tests only.
+    pub fn inject_double_book_slot(&mut self) {
+        self.fast.inject_double_book_slot();
     }
 
     /// CWF-specific statistics.
@@ -395,14 +406,14 @@ impl MainMemory for HeteroCwfMemory {
     }
 
     fn tick(&mut self, now: u64) {
-        if now % self.fast_ratio == 0 {
+        if now.is_multiple_of(self.fast_ratio) {
             let mem_now = now / self.fast_ratio;
             self.fast.tick_mem(mem_now);
             for (_sub, c) in self.fast.take_completions() {
                 self.handle_fast_done(c.token.0, c.data_end_mem * self.fast_ratio);
             }
         }
-        if now % self.slow_ratio == 0 {
+        if now.is_multiple_of(self.slow_ratio) {
             let mem_now = now / self.slow_ratio;
             let mut done = Vec::new();
             for ctrl in &mut self.slow {
@@ -435,6 +446,61 @@ impl MainMemory for HeteroCwfMemory {
             controllers.push(ctrl.stats(now.div_ceil(self.slow_ratio)));
         }
         MemSystemStats { controllers }
+    }
+
+    fn enable_audit(&mut self) {
+        self.audit = true;
+        self.fast.enable_command_log();
+        for c in &mut self.slow {
+            c.enable_command_log();
+        }
+    }
+
+    fn audit_channels(&self) -> Vec<ChannelDesc> {
+        if !self.audit {
+            return Vec::new();
+        }
+        let bus_group = if self.fast.shared_bus() { Some(0) } else { None };
+        let mut out: Vec<ChannelDesc> = self
+            .fast
+            .subs()
+            .iter()
+            .map(|c| ChannelDesc {
+                label: c.label().to_owned(),
+                cfg: c.config().clone(),
+                ranks: c.ranks(),
+                bus_group,
+            })
+            .collect();
+        out.extend(self.slow.iter().map(|c| ChannelDesc {
+            label: c.label().to_owned(),
+            cfg: c.config().clone(),
+            ranks: c.ranks(),
+            bus_group: None,
+        }));
+        out
+    }
+
+    fn drain_audit(&mut self, out: &mut Vec<AuditRecord>) {
+        let n_fast = self.fast.n_subs();
+        for (i, log) in self.fast.take_command_logs().into_iter().enumerate() {
+            for (at_mem, cmd) in log {
+                out.push(AuditRecord::Cmd { channel: i, at_mem, cmd });
+            }
+        }
+        for (i, log) in self.fast.take_power_logs().into_iter().enumerate() {
+            for (at_mem, rank, state) in log {
+                out.push(AuditRecord::Power { channel: i, at_mem, rank, state });
+            }
+        }
+        for (j, c) in self.slow.iter_mut().enumerate() {
+            for (at_mem, cmd) in c.take_command_log() {
+                out.push(AuditRecord::Cmd { channel: n_fast + j, at_mem, cmd });
+            }
+            for (at_mem, rank, state) in c.take_power_log() {
+                out.push(AuditRecord::Power { channel: n_fast + j, at_mem, rank, state });
+            }
+        }
     }
 
     fn next_activity(&self, now: u64) -> Option<u64> {

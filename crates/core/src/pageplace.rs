@@ -192,13 +192,13 @@ impl MainMemory for PagePlacedMemory {
     }
 
     fn tick(&mut self, now: u64) {
-        if now % self.rld_ratio == 0 {
+        if now.is_multiple_of(self.rld_ratio) {
             self.rld.tick_mem(now / self.rld_ratio, true);
             for c in self.rld.take_completions() {
                 self.pending.push((c.data_end_mem * self.rld_ratio, c.token));
             }
         }
-        if now % self.lp_ratio == 0 {
+        if now.is_multiple_of(self.lp_ratio) {
             for ctrl in &mut self.lp {
                 ctrl.tick_mem(now / self.lp_ratio, true);
                 for c in ctrl.take_completions() {

@@ -63,7 +63,7 @@ mod tests {
     #[test]
     fn trait_objects_and_references_work() {
         let mut f = Fixed;
-        assert_eq!((&mut f).next_op(), TraceOp::Gap(1));
+        assert_eq!(f.next_op(), TraceOp::Gap(1));
         let mut b: Box<dyn TraceSource> = Box::new(Fixed);
         assert_eq!(b.next_op(), TraceOp::Gap(1));
     }

@@ -33,6 +33,10 @@ pub struct Channel {
     stats: ChannelStats,
     /// When `Some`, every issued command is appended (protocol auditing).
     log: Option<Vec<(u64, Command)>>,
+    /// When logging is on, every rank power-state change is appended as
+    /// `(cycle, rank, new state)` — the verify oracle needs these to pause
+    /// refresh obligations across self-refresh.
+    power_log: Option<Vec<(u64, u8, PowerState)>>,
 }
 
 impl Channel {
@@ -53,18 +57,30 @@ impl Channel {
             last_burst_write: false,
             stats: ChannelStats::default(),
             log: None,
+            power_log: None,
         }
     }
 
     /// Start recording every issued command (for protocol auditing with
-    /// [`crate::ProtocolChecker`]).
+    /// [`crate::ProtocolChecker`]) and every rank power-state transition.
     pub fn enable_command_log(&mut self) {
         self.log = Some(Vec::new());
+        self.power_log = Some(Vec::new());
     }
 
     /// Take the recorded `(cycle, command)` log, leaving recording on.
     pub fn take_command_log(&mut self) -> Vec<(u64, Command)> {
         match &mut self.log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    /// Take the recorded `(cycle, rank, state)` power-transition log,
+    /// leaving recording on. Empty unless [`Channel::enable_command_log`]
+    /// was called.
+    pub fn take_power_log(&mut self) -> Vec<(u64, u8, PowerState)> {
+        match &mut self.power_log {
             Some(log) => std::mem::take(log),
             None => Vec::new(),
         }
@@ -366,7 +382,7 @@ impl Channel {
         }
         let r = &mut self.ranks[usize::from(rank)];
         let idle = now.saturating_sub(r.last_activity);
-        match r.power_state() {
+        let changed = match r.power_state() {
             PowerState::Up => {
                 if idle >= u64::from(cfg_pd) {
                     r.enter_powerdown(now);
@@ -387,13 +403,27 @@ impl Channel {
                 }
             }
             PowerState::SelfRefresh => false,
+        };
+        if changed {
+            let state = self.ranks[usize::from(rank)].power_state();
+            if let Some(log) = &mut self.power_log {
+                log.push((now, rank, state));
+            }
         }
+        changed
     }
 
     /// Wake `rank` so commands become legal; returns the ready cycle.
     pub fn wake_rank(&mut self, rank: u8, now: u64) -> u64 {
         let cfg = self.cfg.clone();
-        self.ranks[usize::from(rank)].wake(now, &cfg)
+        let was = self.ranks[usize::from(rank)].power_state();
+        let ready = self.ranks[usize::from(rank)].wake(now, &cfg);
+        if was != PowerState::Up {
+            if let Some(log) = &mut self.power_log {
+                log.push((now, rank, PowerState::Up));
+            }
+        }
+        ready
     }
 
     /// Does any bank in `rank` hold an open row different from `row`?

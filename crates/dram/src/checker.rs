@@ -24,6 +24,98 @@
 use crate::command::Command;
 use crate::config::{AddressingStyle, DeviceConfig};
 
+/// The protocol rule a [`Violation`] broke.
+///
+/// Each variant corresponds to one JEDEC-style constraint the checker
+/// enforces; [`Rule::as_str`] (and `Display`) render the same short names
+/// the checker historically reported, so log output and JSON labels are
+/// stable while callers can match structurally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// ACT → column command spacing.
+    TRcd,
+    /// ACT → ACT same-bank spacing.
+    TRc,
+    /// PRE → ACT same-bank spacing.
+    TRp,
+    /// ACT → ACT same-rank spacing.
+    TRrd,
+    /// Rolling four-activate window per rank.
+    TFaw,
+    /// Refresh recovery time (bank blocked after REF/REFB).
+    TRfc,
+    /// ACT → PRE minimum row-open time.
+    TRas,
+    /// READ → PRE spacing.
+    TRtp,
+    /// Write recovery before PRE.
+    TWr,
+    /// Write burst → READ turnaround per rank.
+    TWtr,
+    /// Rank-switch / direction-switch data bus gap.
+    TRtrs,
+    /// Two data bursts overlap on the shared bus.
+    DataBusOverlap,
+    /// ACT issued to a bank that already has an open row.
+    ActToOpenBank,
+    /// READ issued to a closed bank or the wrong open row.
+    ReadClosedRow,
+    /// WRITE issued to a closed bank or the wrong open row.
+    WriteClosedRow,
+    /// PRE issued to an already-closed bank.
+    PreToClosedBank,
+    /// All-bank REF issued while a bank held an open row.
+    RefWithOpenBanks,
+    /// Per-bank REFB issued to a bank with an open row.
+    RefbToOpenBank,
+    /// Implicit-activate spacing on single-command (RLDRAM3) devices.
+    TRcSingleCommand,
+    /// REFB issued within `tRC` of the bank's implicit activate.
+    TRcBeforeRefb,
+    /// Explicit ACT sent to a single-command (RLDRAM3) device.
+    ActOnSingleCommandDevice,
+    /// Command addressed a rank the channel does not have.
+    RankOutOfRange,
+}
+
+impl Rule {
+    /// Short human-readable name; identical to the strings the checker
+    /// reported before the enum existed.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Rule::TRcd => "tRCD",
+            Rule::TRc => "tRC",
+            Rule::TRp => "tRP",
+            Rule::TRrd => "tRRD",
+            Rule::TFaw => "tFAW",
+            Rule::TRfc => "tRFC",
+            Rule::TRas => "tRAS",
+            Rule::TRtp => "tRTP",
+            Rule::TWr => "tWR",
+            Rule::TWtr => "tWTR",
+            Rule::TRtrs => "tRTRS",
+            Rule::DataBusOverlap => "data bus overlap",
+            Rule::ActToOpenBank => "ACT to open bank",
+            Rule::ReadClosedRow => "READ to wrong/closed row",
+            Rule::WriteClosedRow => "WRITE to wrong/closed row",
+            Rule::PreToClosedBank => "PRE to closed bank",
+            Rule::RefWithOpenBanks => "REF with open banks",
+            Rule::RefbToOpenBank => "REFB to open bank",
+            Rule::TRcSingleCommand => "tRC (single-command)",
+            Rule::TRcBeforeRefb => "tRC before REFB",
+            Rule::ActOnSingleCommandDevice => "ACT on a single-command device",
+            Rule::RankOutOfRange => "rank index out of range",
+        }
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// A detected protocol violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
@@ -32,7 +124,7 @@ pub struct Violation {
     /// The offending command.
     pub cmd: Command,
     /// Which rule was broken.
-    pub rule: &'static str,
+    pub rule: Rule,
 }
 
 impl std::fmt::Display for Violation {
@@ -114,7 +206,7 @@ impl ProtocolChecker {
         self.commands_checked
     }
 
-    fn flag(&mut self, at: u64, cmd: &Command, rule: &'static str) {
+    fn flag(&mut self, at: u64, cmd: &Command, rule: Rule) {
         self.violations.push(Violation { at, cmd: *cmd, rule });
     }
 
@@ -125,7 +217,7 @@ impl ProtocolChecker {
         let addressing = self.cfg.addressing;
         let rank_idx = cmd.rank();
         let Some(rank) = self.ranks.get_mut(usize::from(rank_idx)) else {
-            self.flag(at, cmd, "rank index out of range");
+            self.flag(at, cmd, Rule::RankOutOfRange);
             return;
         };
 
@@ -140,34 +232,34 @@ impl ProtocolChecker {
         match *cmd {
             Command::Activate { bank, row, .. } => {
                 if addressing == AddressingStyle::SingleCommand {
-                    self.flag(at, cmd, "ACT on a single-command device");
+                    self.flag(at, cmd, Rule::ActOnSingleCommandDevice);
                     return;
                 }
                 let ok_faw = faw_ok(&rank.acts);
                 let ok_rrd = rrd_ok(&rank.acts);
                 let b = &mut rank.banks[usize::from(bank)];
                 if b.open_row.is_some() {
-                    self.violations.push(Violation { at, cmd: *cmd, rule: "ACT to open bank" });
+                    self.violations.push(Violation { at, cmd: *cmd, rule: Rule::ActToOpenBank });
                     return;
                 }
                 if let Some(last) = b.last_act {
                     if at < last + u64::from(t.t_rc) {
-                        self.violations.push(Violation { at, cmd: *cmd, rule: "tRC" });
+                        self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TRc });
                     }
                 }
                 if let Some(pre) = b.last_pre {
                     if at < pre + u64::from(t.t_rp) {
-                        self.violations.push(Violation { at, cmd: *cmd, rule: "tRP" });
+                        self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TRp });
                     }
                 }
                 if at < b.blocked_until {
-                    self.violations.push(Violation { at, cmd: *cmd, rule: "tRFC" });
+                    self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TRfc });
                 }
                 if !ok_rrd {
-                    self.violations.push(Violation { at, cmd: *cmd, rule: "tRRD" });
+                    self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TRrd });
                 }
                 if !ok_faw {
-                    self.violations.push(Violation { at, cmd: *cmd, rule: "tFAW" });
+                    self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TFaw });
                 }
                 b.open_row = Some(row);
                 b.last_act = Some(at);
@@ -182,13 +274,13 @@ impl ProtocolChecker {
                             self.violations.push(Violation {
                                 at,
                                 cmd: *cmd,
-                                rule: "READ to wrong/closed row",
+                                rule: Rule::ReadClosedRow,
                             });
                             return;
                         }
                         if let Some(act) = b.last_act {
                             if at < act + u64::from(t.t_rcd) {
-                                self.violations.push(Violation { at, cmd: *cmd, rule: "tRCD" });
+                                self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TRcd });
                             }
                         }
                     }
@@ -198,7 +290,7 @@ impl ProtocolChecker {
                                 self.violations.push(Violation {
                                     at,
                                     cmd: *cmd,
-                                    rule: "tRC (single-command)",
+                                    rule: Rule::TRcSingleCommand,
                                 });
                             }
                         }
@@ -208,12 +300,12 @@ impl ProtocolChecker {
                 if t.t_wtr > 0 {
                     if let Some(wend) = rank_wtr_end {
                         if at < wend + u64::from(t.t_wtr) {
-                            self.violations.push(Violation { at, cmd: *cmd, rule: "tWTR" });
+                            self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TWtr });
                         }
                     }
                 }
                 if at < b.blocked_until {
-                    self.violations.push(Violation { at, cmd: *cmd, rule: "tRFC" });
+                    self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TRfc });
                 }
                 b.last_read = Some(at);
                 if auto_pre || addressing == AddressingStyle::SingleCommand {
@@ -233,13 +325,13 @@ impl ProtocolChecker {
                             self.violations.push(Violation {
                                 at,
                                 cmd: *cmd,
-                                rule: "WRITE to wrong/closed row",
+                                rule: Rule::WriteClosedRow,
                             });
                             return;
                         }
                         if let Some(act) = b.last_act {
                             if at < act + u64::from(t.t_rcd) {
-                                self.violations.push(Violation { at, cmd: *cmd, rule: "tRCD" });
+                                self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TRcd });
                             }
                         }
                     }
@@ -249,7 +341,7 @@ impl ProtocolChecker {
                                 self.violations.push(Violation {
                                     at,
                                     cmd: *cmd,
-                                    rule: "tRC (single-command)",
+                                    rule: Rule::TRcSingleCommand,
                                 });
                             }
                         }
@@ -257,7 +349,7 @@ impl ProtocolChecker {
                     }
                 }
                 if at < b.blocked_until {
-                    self.violations.push(Violation { at, cmd: *cmd, rule: "tRFC" });
+                    self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TRfc });
                 }
                 let end = at + u64::from(t.t_wl) + u64::from(t.t_burst);
                 b.last_write_burst_end = Some(end);
@@ -274,22 +366,22 @@ impl ProtocolChecker {
             Command::Precharge { bank, .. } => {
                 let b = &mut rank.banks[usize::from(bank)];
                 if b.open_row.is_none() {
-                    self.violations.push(Violation { at, cmd: *cmd, rule: "PRE to closed bank" });
+                    self.violations.push(Violation { at, cmd: *cmd, rule: Rule::PreToClosedBank });
                     return;
                 }
                 if let Some(act) = b.last_act {
                     if at < act + u64::from(t.t_ras) {
-                        self.violations.push(Violation { at, cmd: *cmd, rule: "tRAS" });
+                        self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TRas });
                     }
                 }
                 if let Some(rd) = b.last_read {
                     if at < rd + u64::from(t.t_rtp) {
-                        self.violations.push(Violation { at, cmd: *cmd, rule: "tRTP" });
+                        self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TRtp });
                     }
                 }
                 if let Some(wend) = b.last_write_burst_end {
                     if at < wend + u64::from(t.t_wr) {
-                        self.violations.push(Violation { at, cmd: *cmd, rule: "tWR" });
+                        self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TWr });
                     }
                 }
                 b.open_row = None;
@@ -297,12 +389,12 @@ impl ProtocolChecker {
             }
             Command::Refresh { .. } => {
                 if rank.banks.iter().any(|b| b.open_row.is_some()) {
-                    self.violations.push(Violation { at, cmd: *cmd, rule: "REF with open banks" });
+                    self.violations.push(Violation { at, cmd: *cmd, rule: Rule::RefWithOpenBanks });
                     return;
                 }
                 for b in &mut rank.banks {
                     if at < b.blocked_until {
-                        self.violations.push(Violation { at, cmd: *cmd, rule: "tRFC" });
+                        self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TRfc });
                         break;
                     }
                 }
@@ -316,15 +408,19 @@ impl ProtocolChecker {
             Command::RefreshBank { bank, .. } => {
                 let b = &mut rank.banks[usize::from(bank)];
                 if b.open_row.is_some() {
-                    self.violations.push(Violation { at, cmd: *cmd, rule: "REFB to open bank" });
+                    self.violations.push(Violation { at, cmd: *cmd, rule: Rule::RefbToOpenBank });
                     return;
                 }
                 if at < b.blocked_until {
-                    self.violations.push(Violation { at, cmd: *cmd, rule: "tRFC" });
+                    self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TRfc });
                 }
                 if let Some(act) = b.last_act {
                     if at < act + u64::from(t.t_rc) {
-                        self.violations.push(Violation { at, cmd: *cmd, rule: "tRC before REFB" });
+                        self.violations.push(Violation {
+                            at,
+                            cmd: *cmd,
+                            rule: Rule::TRcBeforeRefb,
+                        });
                     }
                 }
                 b.blocked_until = at + u64::from(t.t_rfc);
@@ -335,11 +431,11 @@ impl ProtocolChecker {
     fn check_bus(&mut self, cmd: &Command, at: u64, start: u64, end: u64, rank: u8, write: bool) {
         if let Some((_, pend, prank, pwrite)) = self.last_burst {
             if start < pend {
-                self.flag(at, cmd, "data bus overlap");
+                self.flag(at, cmd, Rule::DataBusOverlap);
             } else if (prank != rank || pwrite != write)
                 && start < pend + u64::from(self.cfg.timings.t_rtrs)
             {
-                self.flag(at, cmd, "tRTRS");
+                self.flag(at, cmd, Rule::TRtrs);
             }
         }
         self.last_burst = Some((start, end, rank, write));
@@ -371,7 +467,7 @@ mod tests {
         let mut c = checker();
         c.observe(&Command::activate(0, 0, 5), 0);
         c.observe(&Command::read(0, 0, 5, false), 5);
-        assert!(c.violations().iter().any(|v| v.rule == "tRCD"));
+        assert!(c.violations().iter().any(|v| v.rule == Rule::TRcd));
     }
 
     #[test]
@@ -379,7 +475,7 @@ mod tests {
         let mut c = checker();
         c.observe(&Command::activate(0, 0, 5), 0);
         c.observe(&Command::read(0, 0, 9, false), 20);
-        assert!(c.violations().iter().any(|v| v.rule.contains("wrong")));
+        assert!(c.violations().iter().any(|v| v.rule == Rule::ReadClosedRow));
     }
 
     #[test]
@@ -388,7 +484,7 @@ mod tests {
         for (i, t) in [0u64, 5, 10, 15, 20].iter().enumerate() {
             c.observe(&Command::activate(0, i as u8, 1), *t);
         }
-        assert!(c.violations().iter().any(|v| v.rule == "tFAW"));
+        assert!(c.violations().iter().any(|v| v.rule == Rule::TFaw));
     }
 
     #[test]
@@ -396,7 +492,7 @@ mod tests {
         let mut c = checker();
         c.observe(&Command::activate(0, 0, 5), 0);
         c.observe(&Command::precharge(0, 0), 10);
-        assert!(c.violations().iter().any(|v| v.rule == "tRAS"));
+        assert!(c.violations().iter().any(|v| v.rule == Rule::TRas));
     }
 
     #[test]
@@ -407,7 +503,7 @@ mod tests {
         c.observe(&Command::read(0, 0, 5, false), 16);
         // Second read one cycle later: bursts overlap on the shared bus.
         c.observe(&Command::read(0, 1, 5, false), 17);
-        assert!(c.violations().iter().any(|v| v.rule == "data bus overlap"));
+        assert!(c.violations().iter().any(|v| v.rule == Rule::DataBusOverlap));
     }
 
     #[test]
@@ -417,7 +513,7 @@ mod tests {
         c.observe(&Command::write(0, 0, 5, false), 11);
         // Write burst ends at 11+6+4=21; tWTR=6 -> READ legal at 27.
         c.observe(&Command::read(0, 0, 5, false), 24);
-        assert!(c.violations().iter().any(|v| v.rule == "tWTR"));
+        assert!(c.violations().iter().any(|v| v.rule == Rule::TWtr));
     }
 
     #[test]
@@ -425,14 +521,14 @@ mod tests {
         let mut c = checker();
         c.observe(&Command::activate(0, 0, 5), 0);
         c.observe(&Command::Refresh { rank: 0 }, 40);
-        assert!(c.violations().iter().any(|v| v.rule == "REF with open banks"));
+        assert!(c.violations().iter().any(|v| v.rule == Rule::RefWithOpenBanks));
     }
 
     #[test]
     fn rldram_act_is_illegal() {
         let mut c = ProtocolChecker::new(DeviceConfig::rldram3(), 1);
         c.observe(&Command::activate(0, 0, 5), 0);
-        assert!(c.violations().iter().any(|v| v.rule.contains("single-command")));
+        assert!(c.violations().iter().any(|v| v.rule == Rule::ActOnSingleCommandDevice));
     }
 
     #[test]
@@ -440,6 +536,14 @@ mod tests {
         let mut c = ProtocolChecker::new(DeviceConfig::rldram3(), 1);
         c.observe(&Command::read(0, 0, 5, true), 0);
         c.observe(&Command::read(0, 0, 6, true), 5);
-        assert!(c.violations().iter().any(|v| v.rule.contains("tRC")));
+        assert!(c.violations().iter().any(|v| v.rule == Rule::TRcSingleCommand));
+    }
+
+    #[test]
+    fn rule_display_matches_legacy_strings() {
+        assert_eq!(Rule::TRcd.to_string(), "tRCD");
+        assert_eq!(Rule::DataBusOverlap.to_string(), "data bus overlap");
+        assert_eq!(Rule::TRcSingleCommand.to_string(), "tRC (single-command)");
+        assert_eq!(Rule::ActOnSingleCommandDevice.as_str(), "ACT on a single-command device");
     }
 }

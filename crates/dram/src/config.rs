@@ -305,6 +305,18 @@ impl DeviceConfig {
         let freq_ghz = 1000.0 / f64::from(self.timings.t_ck_ps);
         freq_ghz * 2.0 * 8.0
     }
+
+    /// Fault-injection helper: a copy of this config with `tRCD` shaved by
+    /// one cycle. A controller built from the shaved config issues column
+    /// commands one cycle early relative to the pristine spec; the verify
+    /// oracle (checking against the *unshaved* config) must flag every such
+    /// issue. Exists solely so the seeded-fault tests can prove the tRCD
+    /// check is not vacuous — never use it to build a real memory system.
+    #[must_use]
+    pub fn with_shaved_trcd(mut self) -> Self {
+        self.timings.t_rcd = self.timings.t_rcd.saturating_sub(1);
+        self
+    }
 }
 
 #[cfg(test)]

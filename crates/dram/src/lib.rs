@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Cycle-level DRAM device timing models for DDR3, LPDDR2 and RLDRAM3.
@@ -53,7 +54,7 @@ pub mod stats;
 
 pub use bank::{Bank, BankState};
 pub use channel::{Channel, IssueOutcome};
-pub use checker::{ProtocolChecker, Violation};
+pub use checker::{ProtocolChecker, Rule, Violation};
 pub use command::Command;
 pub use config::{
     AddressingStyle, DeviceConfig, DeviceGeometry, DeviceKind, DeviceTimings, PagePolicy,

@@ -187,12 +187,12 @@ pub fn encode_line(words: &[u64; 8]) -> [CheckSymbols; 8] {
 #[must_use]
 pub fn decode_line(words: &[u64; 8], checks: &[CheckSymbols; 8]) -> Option<[u64; 8]> {
     let mut out = [0u64; 8];
-    for j in 0..8 {
+    for (j, check) in checks.iter().enumerate() {
         let mut cw = [0u8; DATA_SYMBOLS];
         for (i, w) in words.iter().enumerate() {
             cw[i] = ((w >> (j * 8)) & 0xFF) as u8;
         }
-        let fixed = decode(&cw, checks[j]).data()?;
+        let fixed = decode(&cw, *check).data()?;
         for (i, b) in fixed.iter().enumerate() {
             out[i] |= u64::from(*b) << (j * 8);
         }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Error-detection and correction codes for the CWF heterogeneous memory.

@@ -104,7 +104,7 @@ fn hamming_checks(word: u128) -> u8 {
 pub fn encode(data: u64) -> u8 {
     let word = spread(data);
     let checks = hamming_checks(word);
-    let overall = (word.count_ones() + u32::from(checks.count_ones() as u8) as u32) & 1;
+    let overall = (word.count_ones() + u32::from(checks.count_ones() as u8)) & 1;
     checks | ((overall as u8) << 7)
 }
 
@@ -128,7 +128,7 @@ pub fn decode(data: u64, stored_checks: u8) -> Decoded {
     let syndrome = u32::from(computed ^ stored_hamming);
 
     let overall_stored = (stored_checks >> 7) & 1;
-    let overall_computed = ((word.count_ones() + u32::from(stored_hamming.count_ones())) & 1) as u8;
+    let overall_computed = ((word.count_ones() + stored_hamming.count_ones()) & 1) as u8;
     let parity_mismatch = overall_stored != overall_computed;
 
     match (syndrome, parity_mismatch) {

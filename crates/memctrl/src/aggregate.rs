@@ -13,7 +13,7 @@
 //! become a bottleneck for high-MLP workloads (the effect the paper calls
 //! out for mcf/milc/lbm under the oracular scheme, §6.1.2).
 
-use dram_timing::DeviceConfig;
+use dram_timing::{DeviceConfig, PowerState};
 
 use crate::controller::{Controller, ControllerStats, CtrlParams, ReadCompletion};
 use crate::mapping::Loc;
@@ -27,6 +27,11 @@ pub struct AggregatedController {
     shared_bus: bool,
     /// Cycles in which some sub-controller wanted the slot but lost it.
     pub cmd_bus_conflicts: u64,
+    /// Fault injection: when `true`, a second sub-channel may issue in the
+    /// same cycle as the slot winner — an impossible double-booking of the
+    /// shared address/command bus. Only the verify oracle's seeded-fault
+    /// tests set this.
+    fault_double_book: bool,
 }
 
 impl AggregatedController {
@@ -57,7 +62,21 @@ impl AggregatedController {
                 )
             })
             .collect();
-        AggregatedController { subs, rr: 0, shared_bus: true, cmd_bus_conflicts: 0 }
+        AggregatedController {
+            subs,
+            rr: 0,
+            shared_bus: true,
+            cmd_bus_conflicts: 0,
+            fault_double_book: false,
+        }
+    }
+
+    /// Fault injection: let one extra sub-channel issue per cycle, i.e.
+    /// double-book the shared command slot. Exists solely so the verify
+    /// oracle's seeded-fault tests can prove the shared-bus check is not
+    /// vacuous.
+    pub fn inject_double_book_slot(&mut self) {
+        self.fault_double_book = true;
     }
 
     /// Ablation variant: give every sub-channel its own private
@@ -122,6 +141,7 @@ impl AggregatedController {
         }
         let n = self.subs.len();
         let mut issued = false;
+        let mut double_booked = false;
         let mut wanted_after_grant = false;
         for k in 0..n {
             let i = (self.rr + k) % n;
@@ -130,6 +150,9 @@ impl AggregatedController {
                     issued = true;
                     self.rr = (i + 1) % n;
                 }
+            } else if self.fault_double_book && !double_booked {
+                // Fault injection: grant the slot a second time this cycle.
+                double_booked = self.subs[i].tick_mem(now, true);
             } else {
                 // Slot consumed: sibling may still do bookkeeping.
                 let had_work = self.subs[i].read_q_len() > 0 || self.subs[i].write_q_len() > 0;
@@ -168,6 +191,37 @@ impl AggregatedController {
     /// Per-sub-channel statistics.
     pub fn stats(&mut self, now_mem: u64) -> Vec<ControllerStats> {
         self.subs.iter_mut().map(|s| s.stats(now_mem)).collect()
+    }
+
+    /// True when the sub-channels arbitrate one shared command bus (the
+    /// default §4.2.4 organization; `false` after
+    /// [`AggregatedController::with_private_buses`]).
+    #[must_use]
+    pub fn shared_bus(&self) -> bool {
+        self.shared_bus
+    }
+
+    /// The sub-channel controllers, in channel-index order (audit).
+    #[must_use]
+    pub fn subs(&self) -> &[Controller] {
+        &self.subs
+    }
+
+    /// Record every DRAM command each sub-channel issues (protocol audit).
+    pub fn enable_command_log(&mut self) {
+        for s in &mut self.subs {
+            s.enable_command_log();
+        }
+    }
+
+    /// Take each sub-channel's `(cycle, command)` log, in sub index order.
+    pub fn take_command_logs(&mut self) -> Vec<Vec<(u64, dram_timing::Command)>> {
+        self.subs.iter_mut().map(Controller::take_command_log).collect()
+    }
+
+    /// Take each sub-channel's power-transition log, in sub index order.
+    pub fn take_power_logs(&mut self) -> Vec<Vec<(u64, u8, PowerState)>> {
+        self.subs.iter_mut().map(Controller::take_power_log).collect()
     }
 }
 

@@ -1,0 +1,55 @@
+//! Audit vocabulary for the cross-layer verify oracle.
+//!
+//! When auditing is enabled (see [`crate::MainMemory::enable_audit`]) a
+//! backend records every DRAM command it issues and every rank power-state
+//! transition, tagged with the channel it happened on. The `cwf-verify`
+//! oracle replays these records through independent shadow checkers
+//! (protocol legality, refresh obligations, shared command-bus occupancy)
+//! without touching the live simulation state.
+
+use dram_timing::{Command, DeviceConfig, PowerState};
+
+/// One audited hardware event, in the owning channel's device-cycle clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditRecord {
+    /// A DRAM command issued on `channel` at device cycle `at_mem`.
+    Cmd {
+        /// Index into the backend's [`ChannelDesc`] list.
+        channel: usize,
+        /// Device cycle of issue (channel-local clock).
+        at_mem: u64,
+        /// The command.
+        cmd: Command,
+    },
+    /// Rank `rank` on `channel` changed power state at device cycle
+    /// `at_mem`.
+    Power {
+        /// Index into the backend's [`ChannelDesc`] list.
+        channel: usize,
+        /// Device cycle of the transition (channel-local clock).
+        at_mem: u64,
+        /// Affected rank.
+        rank: u8,
+        /// State the rank is in *after* the transition.
+        state: PowerState,
+    },
+}
+
+/// Static description of one audited channel, used by the oracle to build
+/// matching shadow checkers.
+#[derive(Debug, Clone)]
+pub struct ChannelDesc {
+    /// Reporting label, e.g. `"ddr3-ch0"`.
+    pub label: String,
+    /// Device preset behind the channel (the oracle checks against these
+    /// timings — deliberately taken from the pristine preset, never from a
+    /// fault-shaved copy).
+    pub cfg: DeviceConfig,
+    /// Ranks on the channel.
+    pub ranks: u32,
+    /// Channels that share one address/command bus (§4.2.4 sub-ranked
+    /// aggregation) carry the same group id; `None` means a private bus.
+    /// The oracle flags two commands in the same device cycle within one
+    /// group as a slot double-booking.
+    pub bus_group: Option<u32>,
+}

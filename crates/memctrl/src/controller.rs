@@ -164,6 +164,10 @@ pub struct Controller {
     sum_service_mem: u64,
     read_lat_hist: dram_timing::stats::LatencyHist,
     next_token: u64,
+    /// Fault injection: number of upcoming refresh obligations to skip
+    /// silently (deadline re-armed, no command issued). Only the verify
+    /// oracle's seeded-fault tests set this.
+    fault_drop_refreshes: u32,
 }
 
 impl Controller {
@@ -203,13 +207,28 @@ impl Controller {
             sum_service_mem: 0,
             read_lat_hist: dram_timing::stats::LatencyHist::default(),
             next_token: 0,
+            fault_drop_refreshes: 0,
         }
+    }
+
+    /// Fault injection: silently drop the next `n` refresh obligations —
+    /// each deadline is re-armed as if the refresh had issued, but no
+    /// command goes to the devices. Exists solely so the verify oracle's
+    /// seeded-fault tests can prove the refresh ledger is not vacuous.
+    pub fn inject_drop_refresh(&mut self, n: u32) {
+        self.fault_drop_refreshes = n;
     }
 
     /// Device configuration behind this channel.
     #[must_use]
     pub fn config(&self) -> &DeviceConfig {
         &self.cfg
+    }
+
+    /// Reporting label given at construction (e.g. `"ddr3-ch0"`).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
     }
 
     /// True if a read can currently be accepted.
@@ -275,6 +294,18 @@ impl Controller {
     /// Take the `(cycle, command)` log recorded so far.
     pub fn take_command_log(&mut self) -> Vec<(u64, dram_timing::Command)> {
         self.channel.take_command_log()
+    }
+
+    /// Take the `(cycle, rank, state)` power-transition log recorded so
+    /// far (empty unless [`Controller::enable_command_log`] was called).
+    pub fn take_power_log(&mut self) -> Vec<(u64, u8, PowerState)> {
+        self.channel.take_power_log()
+    }
+
+    /// Number of ranks behind this channel.
+    #[must_use]
+    pub fn ranks(&self) -> u32 {
+        self.channel.ranks().len() as u32
     }
 
     /// Advance one device cycle. `cmd_allowed` is false when a shared
@@ -350,6 +381,11 @@ impl Controller {
             let r8 = r as u8;
             if self.channel.ranks()[r].power_state() == PowerState::SelfRefresh {
                 // Self-refresh handles this internally.
+                self.refresh_deadline[r] = now + t_refi;
+                continue;
+            }
+            if self.fault_drop_refreshes > 0 {
+                self.fault_drop_refreshes -= 1;
                 self.refresh_deadline[r] = now + t_refi;
                 continue;
             }

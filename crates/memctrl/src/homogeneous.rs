@@ -9,6 +9,7 @@
 
 use dram_timing::{DeviceConfig, DeviceKind, PagePolicy};
 
+use crate::audit::{AuditRecord, ChannelDesc};
 use crate::controller::{Controller, CtrlParams};
 use crate::mapping::{AddressMapper, MappingScheme};
 use crate::request::{
@@ -25,6 +26,8 @@ pub struct HomogeneousMemory {
     next_token: u64,
     /// (cpu_cycle_ready, token) for reads whose data is in flight.
     pending: Vec<(u64, Token)>,
+    /// True once [`MainMemory::enable_audit`] has been called.
+    audit: bool,
 }
 
 impl HomogeneousMemory {
@@ -79,7 +82,14 @@ impl HomogeneousMemory {
                 )
             })
             .collect();
-        HomogeneousMemory { controllers, mapper, ratio, next_token: 0, pending: Vec::new() }
+        HomogeneousMemory {
+            controllers,
+            mapper,
+            ratio,
+            next_token: 0,
+            pending: Vec::new(),
+            audit: false,
+        }
     }
 
     /// The paper's baseline: four 72-bit DDR3-1600 channels, one 9-device
@@ -150,7 +160,7 @@ impl MainMemory for HomogeneousMemory {
     }
 
     fn tick(&mut self, now: u64) {
-        if now % self.ratio != 0 {
+        if !now.is_multiple_of(self.ratio) {
             return;
         }
         let mem_now = self.mem_now(now);
@@ -187,6 +197,39 @@ impl MainMemory for HomogeneousMemory {
         let mem_now = now.div_ceil(self.ratio);
         MemSystemStats {
             controllers: self.controllers.iter_mut().map(|c| c.stats(mem_now)).collect(),
+        }
+    }
+
+    fn enable_audit(&mut self) {
+        self.audit = true;
+        for c in &mut self.controllers {
+            c.enable_command_log();
+        }
+    }
+
+    fn audit_channels(&self) -> Vec<ChannelDesc> {
+        if !self.audit {
+            return Vec::new();
+        }
+        self.controllers
+            .iter()
+            .map(|c| ChannelDesc {
+                label: c.label().to_owned(),
+                cfg: c.config().clone(),
+                ranks: c.ranks(),
+                bus_group: None,
+            })
+            .collect()
+    }
+
+    fn drain_audit(&mut self, out: &mut Vec<AuditRecord>) {
+        for (i, c) in self.controllers.iter_mut().enumerate() {
+            for (at_mem, cmd) in c.take_command_log() {
+                out.push(AuditRecord::Cmd { channel: i, at_mem, cmd });
+            }
+            for (at_mem, rank, state) in c.take_power_log() {
+                out.push(AuditRecord::Power { channel: i, at_mem, rank, state });
+            }
         }
     }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Memory controllers for the `cwfmem` simulator.
@@ -39,12 +40,14 @@
 //! ```
 
 pub mod aggregate;
+pub mod audit;
 pub mod controller;
 pub mod homogeneous;
 pub mod mapping;
 pub mod request;
 
 pub use aggregate::AggregatedController;
+pub use audit::{AuditRecord, ChannelDesc};
 pub use controller::{Controller, ControllerStats, CtrlParams, SchedPolicy};
 pub use homogeneous::HomogeneousMemory;
 pub use mapping::{AddressMapper, Loc, MappingScheme};

@@ -240,6 +240,30 @@ pub trait MainMemory {
     fn next_activity(&self, now: u64) -> Option<u64> {
         Some(now + 1)
     }
+
+    /// Start recording [`AuditRecord`]s (commands, power transitions) for
+    /// the verify oracle. Backends without audit support ignore this —
+    /// they then report no channels and no records, and the oracle simply
+    /// has nothing to check.
+    ///
+    /// [`AuditRecord`]: crate::audit::AuditRecord
+    fn enable_audit(&mut self) {}
+
+    /// Describe the audited channels, in the index order used by
+    /// [`AuditRecord::Cmd`]'s `channel` field. Empty unless
+    /// [`MainMemory::enable_audit`] was called (or unsupported).
+    ///
+    /// [`AuditRecord::Cmd`]: crate::audit::AuditRecord::Cmd
+    fn audit_channels(&self) -> Vec<crate::audit::ChannelDesc> {
+        Vec::new()
+    }
+
+    /// Append the audit records accumulated since the last drain to `out`.
+    /// Records of one channel are in nondecreasing time order; records of
+    /// different channels may interleave arbitrarily.
+    fn drain_audit(&mut self, out: &mut Vec<crate::audit::AuditRecord>) {
+        let _ = out;
+    }
 }
 
 impl<M: MainMemory + ?Sized> MainMemory for Box<M> {
@@ -261,6 +285,18 @@ impl<M: MainMemory + ?Sized> MainMemory for Box<M> {
 
     fn next_activity(&self, now: u64) -> Option<u64> {
         (**self).next_activity(now)
+    }
+
+    fn enable_audit(&mut self) {
+        (**self).enable_audit();
+    }
+
+    fn audit_channels(&self) -> Vec<crate::audit::ChannelDesc> {
+        (**self).audit_channels()
+    }
+
+    fn drain_audit(&mut self, out: &mut Vec<crate::audit::AuditRecord>) {
+        (**self).drain_audit(out);
     }
 }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Vendored deterministic PRNG exposing the subset of the `rand` crate

@@ -8,6 +8,11 @@ use mem_ctrl::{
 };
 
 /// A concrete memory backend (static dispatch over the paper's designs).
+///
+/// One value exists per `System`, so the size spread between variants
+/// (the page-placement comparator carries per-page heat tables) is not
+/// worth a heap indirection on every memory call.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum MemBackend {
     /// N identical channels of one device type.
@@ -107,6 +112,34 @@ impl MainMemory for MemBackend {
             MemBackend::Cwf(m) => m.next_activity(now),
             MemBackend::PagePlaced(m) => m.next_activity(now),
             MemBackend::Profiling(m) => m.next_activity(now),
+        }
+    }
+
+    // Audit hooks for the verify oracle. The page-placed and profiling
+    // comparators fall back to the trait's no-op defaults: their channels
+    // are the same audited controller types, but they are diagnostic
+    // backends outside the oracle's clean-run matrix.
+    fn enable_audit(&mut self) {
+        match self {
+            MemBackend::Homogeneous(m) => m.enable_audit(),
+            MemBackend::Cwf(m) => m.enable_audit(),
+            MemBackend::PagePlaced(_) | MemBackend::Profiling(_) => {}
+        }
+    }
+
+    fn audit_channels(&self) -> Vec<mem_ctrl::ChannelDesc> {
+        match self {
+            MemBackend::Homogeneous(m) => m.audit_channels(),
+            MemBackend::Cwf(m) => m.audit_channels(),
+            MemBackend::PagePlaced(_) | MemBackend::Profiling(_) => Vec::new(),
+        }
+    }
+
+    fn drain_audit(&mut self, out: &mut Vec<mem_ctrl::AuditRecord>) {
+        match self {
+            MemBackend::Homogeneous(m) => m.drain_audit(out),
+            MemBackend::Cwf(m) => m.drain_audit(out),
+            MemBackend::PagePlaced(_) | MemBackend::Profiling(_) => {}
         }
     }
 }
@@ -272,6 +305,22 @@ pub struct RunConfig {
     pub functional_warm_ops: u64,
     /// Simulation kernel (`CWF_KERNEL` env: `cycle`/`event`; default event).
     pub kernel: Kernel,
+    /// Run the cross-layer verify oracle alongside the simulation
+    /// ([`cwf_verify`]). Observation only — metrics are bit-identical
+    /// either way; the cost is bookkeeping time and memory. Defaults to on
+    /// in debug builds and off in release sweeps; `CWF_VERIFY=1`/`0`
+    /// overrides, and the CLI's `--verify`/`--no-verify` override both.
+    pub verify: bool,
+}
+
+/// The default verify-oracle setting: `CWF_VERIFY` (`1`/`true`/`on` or
+/// `0`/`false`/`off`) when set, else on for debug builds, off for release.
+#[must_use]
+pub fn verify_default() -> bool {
+    match std::env::var("CWF_VERIFY") {
+        Ok(v) => matches!(v.to_ascii_lowercase().as_str(), "1" | "true" | "on" | "yes"),
+        Err(_) => cfg!(debug_assertions),
+    }
 }
 
 impl RunConfig {
@@ -290,6 +339,7 @@ impl RunConfig {
             parity_error_rate: 0.0,
             functional_warm_ops: 40_000,
             kernel: Kernel::from_env(),
+            verify: verify_default(),
         }
     }
 

@@ -216,7 +216,7 @@ pub fn fig2_power_utilization() -> Table {
 fn critical_word_profile(bench: &str, misses: u64) -> ([u64; 8], HashMap<u64, [u32; 8]>) {
     let profile = by_name(bench).expect("known benchmark");
     let mut l2 = Cache::new(CacheCfg::l2_4m_8way());
-    let mut gens: Vec<TraceGen> = (0..8).map(|c| TraceGen::new(profile, c, 0xF16_3)).collect();
+    let mut gens: Vec<TraceGen> = (0..8).map(|c| TraceGen::new(profile, c, 0xF163)).collect();
     let mut hist = [0u64; 8];
     let mut per_line: HashMap<u64, [u32; 8]> = HashMap::new();
     let mut seen = 0u64;

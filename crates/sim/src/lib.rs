@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Full-system simulation harness.
@@ -37,8 +38,12 @@ pub mod sweep;
 pub mod system;
 
 pub use config::{Kernel, MemKind, RunConfig};
+pub use cwf_verify::VerifyReport;
 pub use metrics::RunMetrics;
 pub use report::Table;
-pub use runner::{normalized_throughput, run_benchmark, run_benchmark_diag, weighted_speedup};
+pub use runner::{
+    normalized_throughput, run_benchmark, run_benchmark_diag, run_benchmark_verified,
+    weighted_speedup,
+};
 pub use sweep::{Cell, CellResult};
 pub use system::{KernelStats, System};

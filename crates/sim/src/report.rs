@@ -185,7 +185,7 @@ fn json_hist(h: &dram_timing::stats::LatencyHist, scale_ns: f64, out: &mut Strin
 /// how the producing sweep was scheduled.
 #[must_use]
 pub fn to_json(m: &crate::metrics::RunMetrics) -> String {
-    write_json(m, None)
+    write_json(m, None, None)
 }
 
 /// [`to_json`] plus an additive `"kernel"` diagnostics object (kernel
@@ -195,12 +195,27 @@ pub fn to_json(m: &crate::metrics::RunMetrics) -> String {
 /// kernels' metric documents directly diffable.
 #[must_use]
 pub fn to_json_diag(m: &crate::metrics::RunMetrics, k: &crate::system::KernelStats) -> String {
-    write_json(m, Some(k))
+    write_json(m, Some(k), None)
+}
+
+/// [`to_json_diag`] plus an additive `"verify"` object summarising the
+/// cross-layer oracle's findings (checked counts, violation total, first
+/// few violations rendered as strings). Like the `"kernel"` object, the
+/// addition leaves every other byte — including the schema tag — identical
+/// to [`to_json`] on the same metrics.
+#[must_use]
+pub fn to_json_verified(
+    m: &crate::metrics::RunMetrics,
+    k: &crate::system::KernelStats,
+    v: &cwf_verify::VerifyReport,
+) -> String {
+    write_json(m, Some(k), Some(v))
 }
 
 fn write_json(
     m: &crate::metrics::RunMetrics,
     kernel: Option<&crate::system::KernelStats>,
+    verify: Option<&cwf_verify::VerifyReport>,
 ) -> String {
     use crate::metrics::CPU_HZ;
     use dram_power::LpddrIo;
@@ -256,6 +271,30 @@ fn write_json(
             k.cycles_skipped,
             json_f64(k.tick_ratio())
         ));
+    }
+    if let Some(v) = verify {
+        o.push_str(&format!(
+            "  \"verify\": {{\n    \"clean\": {},\n    \"commands_checked\": {},\n    \
+             \"events_checked\": {},\n    \"fills_completed\": {},\n    \
+             \"total_violations\": {},\n    \"violations\": [",
+            v.is_clean(),
+            v.commands_checked,
+            v.events_checked,
+            v.fills_completed,
+            v.total_violations,
+        ));
+        // A handful of rendered violations is enough to localise a bug;
+        // the full list lives in the VerifyReport.
+        for (i, viol) in v.violations.iter().take(16).enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str(&format!("\n      \"{}\"", json_escape(&viol.to_string())));
+        }
+        if !v.violations.is_empty() {
+            o.push_str("\n    ");
+        }
+        o.push_str("]\n  },\n");
     }
     o.push_str("  \"channels\": [");
     for (ci, c) in m.mem_stats.controllers.iter().enumerate() {

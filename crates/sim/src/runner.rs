@@ -33,6 +33,25 @@ pub fn run_benchmark_diag(cfg: &RunConfig, bench: &str) -> (RunMetrics, KernelSt
     (metrics, sys.kernel_stats())
 }
 
+/// Run one benchmark under `cfg`, also returning the verify oracle's
+/// report (`None` when `cfg.verify` is off). Metrics are bit-identical to
+/// [`run_benchmark`] — the oracle observes, never steers.
+///
+/// # Panics
+///
+/// Panics if `bench` is not one of the 27 suite programs.
+#[must_use]
+pub fn run_benchmark_verified(
+    cfg: &RunConfig,
+    bench: &str,
+) -> (RunMetrics, KernelStats, Option<cwf_verify::VerifyReport>) {
+    let profile = by_name(bench)
+        .unwrap_or_else(|| panic!("unknown benchmark '{bench}' (see workloads::suite())"));
+    let mut sys = System::new(cfg, profile);
+    let metrics = sys.run();
+    (metrics, sys.kernel_stats(), sys.verify_report())
+}
+
 /// The paper's system-throughput metric: `Σᵢ IPCᵢ_shared / IPCᵢ_alone`
 /// (§5), where `IPC_alone` is measured on a single-core system with the
 /// same memory organization.

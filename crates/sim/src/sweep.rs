@@ -39,6 +39,11 @@ pub struct Cell {
 }
 
 /// Outcome of one cell.
+///
+/// `Done` dwarfs `Failed` because metrics embed latency histograms, but a
+/// sweep holds one result per cell — boxing would only complicate every
+/// consumer.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum CellResult {
     /// The cell ran to completion: its metrics plus the kernel's

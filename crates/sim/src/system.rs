@@ -1,9 +1,10 @@
 //! The full-system simulator: cores + hierarchy + memory, one CPU-cycle
 //! master clock, with warm-up/measurement windows.
 
-use cache_hier::{AccessOutcome, HierParams, Hierarchy, StoreOutcome, Woken};
+use cache_hier::{AccessOutcome, HierAudit, HierParams, Hierarchy, StoreOutcome, Woken};
 use cpu_model::{Core, CoreActivity, CoreParams, IssueResult, MemOp, MemOpKind, TraceSource};
-use mem_ctrl::MainMemory;
+use cwf_verify::{Oracle, VerifyReport};
+use mem_ctrl::{AuditRecord, MainMemory};
 use workloads::{BenchmarkProfile, TraceGen};
 
 /// A boxed, sendable trace source (synthetic generator or file replay).
@@ -63,6 +64,15 @@ pub struct System {
     /// new work arrives). 0 forces a tick on the first step.
     mem_wake: u64,
     kstats: KernelStats,
+    /// Cross-layer verify oracle (`cfg.verify`); pure observer.
+    oracle: Option<Oracle>,
+    /// Reusable buffer for backend audit drains.
+    audit_buf: Vec<AuditRecord>,
+    /// Fault injection: extra cycles added to every cached `mem_wake`
+    /// bound, making the event kernel trust an optimistic quiet period the
+    /// backend never promised. Only the verify oracle's seeded-fault tests
+    /// set this (via [`System::inject_optimistic_wake`]).
+    fault_wake_slack: u64,
 }
 
 impl System {
@@ -126,16 +136,59 @@ impl System {
             },
             cfg: *cfg,
             bench: name.to_owned(),
+            oracle: None,
+            audit_buf: Vec::new(),
+            fault_wake_slack: 0,
         };
+        if cfg.verify {
+            sys.hierarchy.enable_audit();
+            sys.oracle = Some(Oracle::new(sys.hierarchy.memory().audit_channels()));
+        }
         sys.functional_warm(cfg.functional_warm_ops);
         sys
+    }
+
+    /// Feed everything observed since the last drain to the oracle:
+    /// hierarchy-side submits/events, then backend command/power records.
+    /// No-op while verification is off.
+    fn drain_verify(&mut self) {
+        if self.oracle.is_none() {
+            return;
+        }
+        let audits = self.hierarchy.take_audit();
+        let mut records = std::mem::take(&mut self.audit_buf);
+        records.clear();
+        self.hierarchy.memory_mut().drain_audit(&mut records);
+        let oracle = self.oracle.as_mut().expect("verified above");
+        for a in audits {
+            match a {
+                HierAudit::Submit { token, at } => oracle.observe_submit(token, at),
+                HierAudit::Event { ev, delivered_at } => oracle.observe_event(&ev, delivered_at),
+            }
+        }
+        oracle.observe_records(&records);
+        self.audit_buf = records;
+    }
+
+    /// Fault injection for the oracle's seeded-fault tests: report every
+    /// memory wake-up `extra_cycles` later than the backend's bound, so the
+    /// event kernel skips over real deadlines.
+    pub fn inject_optimistic_wake(&mut self, extra_cycles: u64) {
+        self.fault_wake_slack = extra_cycles;
+    }
+
+    /// The oracle's findings so far (complete after [`System::run`], which
+    /// finalizes end-of-run obligations). `None` when `cfg.verify` is off.
+    #[must_use]
+    pub fn verify_report(&self) -> Option<VerifyReport> {
+        self.oracle.as_ref().map(Oracle::report)
     }
 
     /// Timing-free cache warming: advance every core's trace by
     /// `ops_per_core` memory operations through the functional cache model,
     /// replaying dirty evictions into the backend's adaptive placement
     /// state. This is the scaled-down analogue of the paper's fast-forward
-    /// + 5 M-cycle warm-up (§5); the timed run then continues from the
+    /// plus 5 M-cycle warm-up (§5); the timed run then continues from the
     /// warmed generators, so the L2 content matches the instruction stream
     /// about to execute.
     fn functional_warm(&mut self, ops_per_core: u64) {
@@ -210,7 +263,11 @@ impl System {
                 self.cores[usize::from(w.core)].complete_load(w.load_id, w.at);
             }
             if gate_mem {
-                self.mem_wake = self.hierarchy.next_activity(now).unwrap_or(u64::MAX);
+                self.mem_wake = self
+                    .hierarchy
+                    .next_activity(now)
+                    .unwrap_or(u64::MAX)
+                    .saturating_add(self.fault_wake_slack);
             }
         }
         let hier = &mut self.hierarchy;
@@ -235,7 +292,11 @@ impl System {
         // successful ones eventually) may have enqueued backend work or a
         // completion event, invalidating the cached bound.
         if gate_mem && issued {
-            self.mem_wake = self.hierarchy.next_activity(now).unwrap_or(u64::MAX);
+            self.mem_wake = self
+                .hierarchy
+                .next_activity(now)
+                .unwrap_or(u64::MAX)
+                .saturating_add(self.fault_wake_slack);
         }
         self.kstats.steps += 1;
         self.now += 1;
@@ -274,6 +335,9 @@ impl System {
             }
         }
         self.kstats.cycles_skipped += skipped;
+        if let Some(oracle) = &mut self.oracle {
+            oracle.note_skip(now, target);
+        }
         self.now = target;
     }
 
@@ -286,6 +350,10 @@ impl System {
                 while self.hierarchy.stats().demand_misses < reads && self.now < self.cfg.max_cycles
                 {
                     self.step_inner(false);
+                    // Bound the audit buffers on long verified runs.
+                    if self.oracle.is_some() && self.kstats.steps & 0xFFFF == 0 {
+                        self.drain_verify();
+                    }
                 }
             }
             Kernel::Event => {
@@ -299,6 +367,9 @@ impl System {
                         break;
                     }
                     self.step_inner(true);
+                    if self.oracle.is_some() && self.kstats.steps & 0xFFFF == 0 {
+                        self.drain_verify();
+                    }
                 }
             }
         }
@@ -331,6 +402,16 @@ impl System {
             }
             c
         });
+        // Close the oracle's books: remaining audit batches, the inclusive
+        // directory sweep, and end-of-run refresh/fill obligations.
+        if self.oracle.is_some() {
+            self.drain_verify();
+            let inclusion = self.hierarchy.check_inclusion();
+            let end = self.now;
+            let oracle = self.oracle.as_mut().expect("checked above");
+            oracle.note_inclusion_violations(end, &inclusion);
+            oracle.finalize(end);
+        }
         RunMetrics {
             bench: self.bench.clone(),
             mem: self.cfg.mem,

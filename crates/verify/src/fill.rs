@@ -1,0 +1,220 @@
+//! MSHR/fill coherence checker.
+//!
+//! Shadows the per-token event stream a memory backend feeds the cache
+//! hierarchy and re-checks the MSHR contract the CWF design leans on:
+//! every submitted read delivers each of its eight words exactly once
+//! (split across fast/slow `WordsAvailable` events), exactly one
+//! `LineFilled` retires the token, nothing arrives before its submit, and
+//! no word is timestamped after the fill (processing order inside a drain
+//! batch is arbitrary, so all checks compare event timestamps).
+
+use std::collections::{HashMap, HashSet};
+
+use mem_ctrl::{MemEvent, Token};
+
+use crate::rules::{OracleRule, OracleViolation};
+
+#[derive(Debug, Clone, Copy)]
+struct TokenState {
+    submit_at: u64,
+    words: u8,
+    fill_at: Option<u64>,
+}
+
+/// Per-token word-arrival and fill bookkeeping.
+#[derive(Debug, Default)]
+pub struct FillOracle {
+    inflight: HashMap<u64, TokenState>,
+    completed: HashSet<u64>,
+}
+
+impl FillOracle {
+    /// New empty oracle.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a read submitted to memory at CPU cycle `at`.
+    pub fn observe_submit(&mut self, token: Token, at: u64) {
+        self.inflight.insert(token.0, TokenState { submit_at: at, words: 0, fill_at: None });
+    }
+
+    /// Check one delivered memory event (timestamps are the event's own;
+    /// delivery-time soundness is the skip monitor's job).
+    pub fn observe_event(&mut self, ev: &MemEvent, out: &mut Vec<OracleViolation>) {
+        let tok = ev.token().0;
+        let at = ev.at();
+        let Some(state) = self.inflight.get_mut(&tok) else {
+            let rule = if self.completed.contains(&tok) {
+                match ev {
+                    MemEvent::LineFilled { .. } => OracleRule::DuplicateLineFill,
+                    MemEvent::WordsAvailable { .. } => OracleRule::DuplicateWordDelivery,
+                }
+            } else {
+                OracleRule::UnknownToken
+            };
+            out.push(OracleViolation { at, rule, detail: format!("token {tok}") });
+            return;
+        };
+        if at < state.submit_at {
+            out.push(OracleViolation {
+                at,
+                rule: OracleRule::NonMonotonicArrival,
+                detail: format!("token {tok}: event at {at} before submit at {}", state.submit_at),
+            });
+        }
+        match *ev {
+            MemEvent::WordsAvailable { words, .. } => {
+                if words & state.words != 0 {
+                    out.push(OracleViolation {
+                        at,
+                        rule: OracleRule::DuplicateWordDelivery,
+                        detail: format!(
+                            "token {tok}: words {:#04x} overlap {:#04x}",
+                            words, state.words
+                        ),
+                    });
+                }
+                if let Some(fill_at) = state.fill_at {
+                    // Delivery order within a drain batch is arbitrary, so
+                    // judge by timestamps: only words stamped strictly
+                    // after the fill are a real leak.
+                    if at > fill_at {
+                        out.push(OracleViolation {
+                            at,
+                            rule: OracleRule::NonMonotonicArrival,
+                            detail: format!("token {tok}: words at {at} after fill at {fill_at}"),
+                        });
+                    }
+                }
+                state.words |= words;
+            }
+            MemEvent::LineFilled { .. } => {
+                if state.fill_at.is_some() {
+                    out.push(OracleViolation {
+                        at,
+                        rule: OracleRule::DuplicateLineFill,
+                        detail: format!("token {tok}"),
+                    });
+                }
+                state.fill_at = Some(at);
+            }
+        }
+        if state.words == 0xFF && state.fill_at.is_some() {
+            self.inflight.remove(&tok);
+            self.completed.insert(tok);
+        }
+    }
+
+    /// End-of-run check: a filled token must have received all its words.
+    /// Unfilled tokens are fine — they were simply in flight at the end.
+    pub fn finalize(&self, out: &mut Vec<OracleViolation>) {
+        let mut stuck: Vec<(&u64, &TokenState)> =
+            self.inflight.iter().filter(|(_, s)| s.fill_at.is_some()).collect();
+        stuck.sort_by_key(|(t, _)| **t);
+        for (tok, s) in stuck {
+            out.push(OracleViolation {
+                at: s.fill_at.unwrap_or(0),
+                rule: OracleRule::IncompleteFill,
+                detail: format!("token {tok}: filled with words {:#04x}", s.words),
+            });
+        }
+    }
+
+    /// Tokens fully retired (all words + fill).
+    #[must_use]
+    pub fn completed_count(&self) -> usize {
+        self.completed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wa(token: u64, at: u64, words: u8) -> MemEvent {
+        MemEvent::WordsAvailable { token: Token(token), at, words, served_fast: false }
+    }
+
+    fn lf(token: u64, at: u64) -> MemEvent {
+        MemEvent::LineFilled { token: Token(token), at }
+    }
+
+    #[test]
+    fn split_delivery_retires_cleanly() {
+        let mut f = FillOracle::new();
+        let mut out = Vec::new();
+        f.observe_submit(Token(1), 10);
+        f.observe_event(&wa(1, 50, 0x01), &mut out); // fast word
+        f.observe_event(&wa(1, 90, 0xFE), &mut out); // rest of line
+        f.observe_event(&lf(1, 90), &mut out);
+        f.finalize(&mut out);
+        assert!(out.is_empty(), "{out:?}");
+        assert_eq!(f.completed_count(), 1);
+    }
+
+    #[test]
+    fn same_cycle_fill_before_words_is_tolerated() {
+        // swap_remove drain order may deliver LineFilled before the
+        // coincident WordsAvailable.
+        let mut f = FillOracle::new();
+        let mut out = Vec::new();
+        f.observe_submit(Token(1), 0);
+        f.observe_event(&wa(1, 50, 0x01), &mut out);
+        f.observe_event(&lf(1, 90), &mut out);
+        f.observe_event(&wa(1, 90, 0xFE), &mut out);
+        f.finalize(&mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn duplicate_word_is_flagged() {
+        let mut f = FillOracle::new();
+        let mut out = Vec::new();
+        f.observe_submit(Token(1), 0);
+        f.observe_event(&wa(1, 50, 0x03), &mut out);
+        f.observe_event(&wa(1, 60, 0x02), &mut out);
+        assert!(out.iter().any(|v| v.rule == OracleRule::DuplicateWordDelivery));
+    }
+
+    #[test]
+    fn duplicate_fill_is_flagged() {
+        let mut f = FillOracle::new();
+        let mut out = Vec::new();
+        f.observe_submit(Token(1), 0);
+        f.observe_event(&wa(1, 50, 0xFF), &mut out);
+        f.observe_event(&lf(1, 50), &mut out);
+        f.observe_event(&lf(1, 70), &mut out);
+        assert!(out.iter().any(|v| v.rule == OracleRule::DuplicateLineFill));
+    }
+
+    #[test]
+    fn unknown_token_is_flagged() {
+        let mut f = FillOracle::new();
+        let mut out = Vec::new();
+        f.observe_event(&lf(9, 70), &mut out);
+        assert!(out.iter().any(|v| v.rule == OracleRule::UnknownToken));
+    }
+
+    #[test]
+    fn incomplete_fill_caught_at_finalize() {
+        let mut f = FillOracle::new();
+        let mut out = Vec::new();
+        f.observe_submit(Token(1), 0);
+        f.observe_event(&wa(1, 50, 0x01), &mut out);
+        f.observe_event(&lf(1, 90), &mut out);
+        assert!(out.is_empty());
+        f.finalize(&mut out);
+        assert!(out.iter().any(|v| v.rule == OracleRule::IncompleteFill));
+    }
+
+    #[test]
+    fn event_before_submit_is_flagged() {
+        let mut f = FillOracle::new();
+        let mut out = Vec::new();
+        f.observe_submit(Token(1), 100);
+        f.observe_event(&wa(1, 50, 0xFF), &mut out);
+        assert!(out.iter().any(|v| v.rule == OracleRule::NonMonotonicArrival));
+    }
+}

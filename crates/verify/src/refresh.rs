@@ -1,0 +1,139 @@
+//! Refresh-obligation ledger.
+//!
+//! The per-channel [`dram_timing::ProtocolChecker`] validates `tRFC` *after*
+//! a refresh, but nothing in the seed checked that refreshes happen *on
+//! schedule* — a controller that silently dropped its tREFI obligations
+//! would pass every timing rule while simulating impossible hardware. The
+//! ledger shadows each rank's deadline exactly the way the controller arms
+//! it (first deadline at `tREFI + 7·rank`, re-armed `tREFI` after every
+//! observed REF/REFB) and flags a refresh that arrives more than half a
+//! tREFI late. Self-refresh pauses the obligation: the device refreshes
+//! itself, and a fresh deadline starts at wake-up.
+
+use dram_timing::{DeviceConfig, PowerState};
+
+/// Per-rank shadow of one channel's refresh deadlines.
+#[derive(Debug)]
+pub struct RefreshLedger {
+    t_refi: u64,
+    /// Scheduling slack: a refresh may legitimately trail its deadline by
+    /// a precharge + tRFC of an earlier refresh + wake latency; half a
+    /// tREFI is far above that and far below a dropped interval.
+    slack: u64,
+    deadline: Vec<u64>,
+    in_self_refresh: Vec<bool>,
+}
+
+impl RefreshLedger {
+    /// Shadow `ranks` ranks of `cfg` devices.
+    #[must_use]
+    pub fn new(cfg: &DeviceConfig, ranks: u32) -> Self {
+        let t_refi = u64::from(cfg.timings.t_refi);
+        RefreshLedger {
+            t_refi,
+            slack: t_refi / 2,
+            // Mirrors the controller's staggered initial deadlines.
+            deadline: (0..ranks).map(|r| t_refi.max(1) + u64::from(r) * 7).collect(),
+            in_self_refresh: vec![false; ranks as usize],
+        }
+    }
+
+    /// Observe a REF or REFB on `rank` at device cycle `at`. Returns the
+    /// lateness in cycles when the refresh over-postponed its deadline.
+    pub fn observe_refresh(&mut self, rank: usize, at: u64) -> Option<u64> {
+        if self.t_refi == 0 || rank >= self.deadline.len() {
+            return None;
+        }
+        let deadline = self.deadline[rank];
+        self.deadline[rank] = at.max(deadline) + self.t_refi;
+        (at > deadline + self.slack).then(|| at - deadline)
+    }
+
+    /// Observe a rank power transition (self-refresh suspends the ledger;
+    /// wake re-arms a full interval, matching the controller's silent
+    /// re-arm while the device refreshes itself).
+    pub fn observe_power(&mut self, rank: usize, at: u64, state: PowerState) {
+        if self.t_refi == 0 || rank >= self.deadline.len() {
+            return;
+        }
+        match state {
+            PowerState::SelfRefresh => self.in_self_refresh[rank] = true,
+            PowerState::Up => {
+                if self.in_self_refresh[rank] {
+                    self.in_self_refresh[rank] = false;
+                    self.deadline[rank] = at + self.t_refi;
+                }
+            }
+            PowerState::PowerDown => {} // obligations keep running
+        }
+    }
+
+    /// End-of-run check at device cycle `end`: every rank not in
+    /// self-refresh must not be overdue. Returns `(rank, lateness)` pairs.
+    #[must_use]
+    pub fn finalize(&self, end: u64) -> Vec<(usize, u64)> {
+        if self.t_refi == 0 {
+            return Vec::new();
+        }
+        self.deadline
+            .iter()
+            .enumerate()
+            .filter(|&(r, &d)| !self.in_self_refresh[r] && end > d + self.slack)
+            .map(|(r, &d)| (r, end - d))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_timing::DeviceConfig;
+
+    #[test]
+    fn on_time_refreshes_are_clean() {
+        let cfg = DeviceConfig::ddr3_1600();
+        let t_refi = u64::from(cfg.timings.t_refi);
+        let mut l = RefreshLedger::new(&cfg, 1);
+        let mut at = t_refi + 40; // a little scheduling delay is fine
+        for _ in 0..10 {
+            assert_eq!(l.observe_refresh(0, at), None);
+            at += t_refi;
+        }
+        assert!(l.finalize(at).is_empty());
+    }
+
+    #[test]
+    fn skipped_interval_is_flagged() {
+        let cfg = DeviceConfig::ddr3_1600();
+        let t_refi = u64::from(cfg.timings.t_refi);
+        let mut l = RefreshLedger::new(&cfg, 1);
+        assert_eq!(l.observe_refresh(0, t_refi), None);
+        // Next refresh a full interval late (one obligation dropped).
+        let late = l.observe_refresh(0, 3 * t_refi);
+        assert!(late.is_some(), "a dropped interval must be flagged");
+    }
+
+    #[test]
+    fn never_refreshing_fails_finalize() {
+        let cfg = DeviceConfig::ddr3_1600();
+        let t_refi = u64::from(cfg.timings.t_refi);
+        let l = RefreshLedger::new(&cfg, 2);
+        let overdue = l.finalize(4 * t_refi);
+        assert_eq!(overdue.len(), 2);
+    }
+
+    #[test]
+    fn self_refresh_pauses_obligations() {
+        let cfg = DeviceConfig::lpddr2_800();
+        let t_refi = u64::from(cfg.timings.t_refi);
+        let mut l = RefreshLedger::new(&cfg, 1);
+        assert_eq!(l.observe_refresh(0, t_refi), None);
+        l.observe_power(0, t_refi + 100, PowerState::SelfRefresh);
+        // Deep in what would have been several missed intervals...
+        assert!(l.finalize(10 * t_refi).is_empty(), "self-refresh suspends the ledger");
+        l.observe_power(0, 10 * t_refi, PowerState::Up);
+        // ...the obligation restarts one interval after wake.
+        assert_eq!(l.observe_refresh(0, 11 * t_refi), None);
+        assert!(!l.finalize(13 * t_refi).is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! Violation vocabulary of the cross-layer oracle.
+
+use dram_timing::Rule;
+
+/// Which oracle invariant a violation broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OracleRule {
+    /// A JEDEC-style protocol rule, re-derived by the shadow-state
+    /// [`dram_timing::ProtocolChecker`].
+    Protocol(Rule),
+    /// A rank's refresh arrived later than its tREFI deadline plus the
+    /// ledger's scheduling slack (or never arrived at all).
+    RefreshMissed,
+    /// Two sub-channels sharing one address/command bus issued commands in
+    /// the same device cycle (§4.2.4 allows exactly one).
+    CmdSlotDoubleBooked,
+    /// A second `LineFilled` was delivered for an already-filled line.
+    DuplicateLineFill,
+    /// A word of a line was delivered by two `WordsAvailable` events.
+    DuplicateWordDelivery,
+    /// An event referenced a token that was never submitted (or already
+    /// retired in a previous run phase).
+    UnknownToken,
+    /// Per-word arrival order broke: an event was timestamped before its
+    /// submit, or words trickled in after the line fill.
+    NonMonotonicArrival,
+    /// A line fill completed without all eight words having arrived.
+    IncompleteFill,
+    /// The inclusive-L2 directory disagreed with L1 residency.
+    InclusionViolation,
+    /// The event kernel delivered a memory event off its timestamp — a
+    /// deadline fired strictly inside a skipped interval.
+    SkipMissedDeadline,
+}
+
+impl std::fmt::Display for OracleRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleRule::Protocol(r) => write!(f, "protocol: {r}"),
+            OracleRule::RefreshMissed => f.write_str("refresh missed"),
+            OracleRule::CmdSlotDoubleBooked => f.write_str("cmd slot double-booked"),
+            OracleRule::DuplicateLineFill => f.write_str("duplicate line fill"),
+            OracleRule::DuplicateWordDelivery => f.write_str("duplicate word delivery"),
+            OracleRule::UnknownToken => f.write_str("event for unknown token"),
+            OracleRule::NonMonotonicArrival => f.write_str("non-monotonic arrival"),
+            OracleRule::IncompleteFill => f.write_str("incomplete line fill"),
+            OracleRule::InclusionViolation => f.write_str("L2 inclusion violation"),
+            OracleRule::SkipMissedDeadline => f.write_str("skip missed deadline"),
+        }
+    }
+}
+
+/// One detected invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleViolation {
+    /// Cycle of the offending observation (device cycles for hardware
+    /// rules, CPU cycles for event/MSHR rules — the detail says which).
+    pub at: u64,
+    /// The invariant class.
+    pub rule: OracleRule,
+    /// Human-readable specifics (channel, token, lateness, …).
+    pub detail: String,
+}
+
+impl std::fmt::Display for OracleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cycle {}: {} ({})", self.at, self.rule, self.detail)
+    }
+}

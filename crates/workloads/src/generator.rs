@@ -220,7 +220,7 @@ impl TraceGen {
                 let a = b.line + b.start_word * 8;
                 b.remaining -= 1;
                 b.line = b.line.wrapping_add(b.step);
-                if b.step % 64 != 0 {
+                if !b.step.is_multiple_of(64) {
                     // Non-line-multiple strides walk the word offset too.
                     b.start_word = (b.start_word + b.step / 8) % 8;
                 }
@@ -243,7 +243,7 @@ impl TraceGen {
                 // Hot-region reuse walks an array of structures: accesses
                 // favour the leading word with the profile's alignment
                 // bias, like the scan patterns (Appendix A).
-                let hot_base = self.base + (self.footprint / 2 & !63);
+                let hot_base = self.base + ((self.footprint / 2) & !63);
                 let line = self.rng.random_range(0..HOT_REGION_BYTES / 64) * 64;
                 let word = if self.rng.random::<f64>() < self.profile.word0_align {
                     0
@@ -460,7 +460,7 @@ mod tests {
             let a0 = addr(&mut g0);
             let a1 = addr(&mut g1);
             assert!(a0 < (1 << 33));
-            assert!(a1 >= (1 << 33) && a1 < (2u64 << 33));
+            assert!(((1 << 33)..(2u64 << 33)).contains(&a1));
         }
     }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Synthetic workloads standing in for the paper's benchmark suite.

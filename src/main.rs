@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `cwfmem` — command-line front end for the simulator.
 //!
 //! ```text
@@ -15,7 +16,7 @@ use cwfmem::sim::experiments::{
     fig2_power_utilization, fig3_line_profiles, fig4_critical_word_distribution, fig6_7_8_cwf,
     fig9_placement,
 };
-use cwfmem::sim::{run_benchmark, run_benchmark_diag, Kernel, RunConfig};
+use cwfmem::sim::{run_benchmark, run_benchmark_verified, Kernel, RunConfig};
 use cwfmem::workloads::suite;
 
 const KINDS: [(&str, MemKind); 9] = [
@@ -33,7 +34,7 @@ const KINDS: [(&str, MemKind); 9] = [
 fn usage() -> ! {
     eprintln!(
         "usage:\n  cwfmem list\n  cwfmem run --mem <kind> --bench <name>|--trace <file> [--reads N] \
-         [--cores N] [--no-prefetch] [--parity-rate P] [--seed S] [--kernel cycle|event] [--json]\n  \
+         [--cores N] [--no-prefetch] [--parity-rate P] [--seed S] [--kernel cycle|event] [--verify|--no-verify] [--json]\n  \
          cwfmem compare --bench <name> [--reads N]\n  \
          cwfmem sweep [--benches a,b,c|--all-benches] [--kinds k1,k2] [--reads N] [--jobs N] \
          [--json DIR]\n  \
@@ -108,12 +109,19 @@ fn build_config(args: &[String]) -> RunConfig {
             usage()
         });
     }
+    // `--verify`/`--no-verify` override the `CWF_VERIFY` environment
+    // default (on in debug builds, off in release).
+    if args.iter().any(|a| a == "--verify") {
+        cfg.verify = true;
+    } else if args.iter().any(|a| a == "--no-verify") {
+        cfg.verify = false;
+    }
     cfg
 }
 
 fn cmd_run(args: &[String]) {
     let cfg = build_config(args);
-    let (m, kstats) = if let Some(trace) = arg_value(args, "--trace") {
+    let (m, kstats, verify) = if let Some(trace) = arg_value(args, "--trace") {
         // Replay an external trace, phase-shifted per core (see `dump-trace`).
         use cwfmem::sim::system::BoxedTrace;
         use cwfmem::workloads::FileTraceSource;
@@ -132,15 +140,19 @@ fn cmd_run(args: &[String]) {
         let backend = cfg.mem.build(cfg.parity_error_rate, cfg.seed);
         let mut sys = cwfmem::sim::System::with_trace_sources(&cfg, &trace, sources, backend);
         let m = sys.run();
-        (m, sys.kernel_stats())
+        (m, sys.kernel_stats(), sys.verify_report())
     } else {
         let bench = arg_value(args, "--bench").unwrap_or_else(|| "leslie3d".into());
-        run_benchmark_diag(&cfg, &bench)
+        run_benchmark_verified(&cfg, &bench)
     };
     if args.iter().any(|a| a == "--json") {
         // The sweep's structured schema (`cwfmem.run.v1`), one document,
-        // plus the additive kernel-diagnostics object.
-        print!("{}", cwfmem::sim::report::to_json_diag(&m, &kstats));
+        // plus the additive kernel (and, under `--verify`, oracle)
+        // diagnostics objects.
+        match &verify {
+            Some(v) => print!("{}", cwfmem::sim::report::to_json_verified(&m, &kstats, v)),
+            None => print!("{}", cwfmem::sim::report::to_json_diag(&m, &kstats)),
+        }
     } else {
         println!("{} on {} ({} cores, {} reads):", m.mem.label(), m.bench, cfg.cores, m.dram_reads);
         println!("  IPC (aggregate)        {:.3}", m.ipc_total());
@@ -163,6 +175,20 @@ fn cmd_run(args: &[String]) {
             kstats.kernel.name(),
             kstats.tick_ratio()
         );
+        if let Some(v) = &verify {
+            if v.is_clean() {
+                println!(
+                    "  verify                 clean ({} commands, {} events checked)",
+                    v.commands_checked, v.events_checked
+                );
+            } else {
+                println!(
+                    "  verify                 {} violation(s); first: {}",
+                    v.total_violations,
+                    v.violations.first().map_or_else(String::new, ToString::to_string)
+                );
+            }
+        }
     }
 }
 
