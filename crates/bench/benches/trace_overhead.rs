@@ -1,0 +1,55 @@
+//! Engineering benchmark: cost of the cross-layer trace subsystem.
+//!
+//! Runs the same workloads with tracing off and on and reports the
+//! wall-clock overhead plus event volume. The metrics are byte-identical
+//! either way (enforced by `tests/trace_observer`); what tracing costs is
+//! bookkeeping time and ring-buffer memory, and this harness measures it.
+//!
+//! ```text
+//! CWF_READS=20000 cargo bench -p cwf-bench --bench trace_overhead
+//! ```
+
+use std::time::Instant;
+
+use sim_harness::config::MemKind;
+use sim_harness::{run_benchmark, run_benchmark_traced, RunConfig};
+
+fn main() {
+    cwf_bench::header("trace subsystem overhead (off vs on)");
+    let reads = cwf_bench::reads();
+    println!(
+        "{:<8} {:<6} {:>9} {:>9} {:>9} {:>8} {:>9}",
+        "bench", "mem", "off ms", "on ms", "overhead", "events", "ev/read"
+    );
+    for mem in [MemKind::Ddr3, MemKind::Rl] {
+        for bench in ["stream", "mcf"] {
+            let off = RunConfig { verify: false, trace: false, ..RunConfig::paper(mem, reads) };
+            let on = RunConfig { trace: true, ..off };
+            // One untimed run per setting warms allocator and caches.
+            let _ = run_benchmark(&off, bench);
+            let (_, _, _, trace) = run_benchmark_traced(&on, bench);
+            let t = trace.expect("trace on");
+            let events = t.events.len() as u64 + t.dropped;
+
+            let runs = 3u32;
+            let t0 = Instant::now();
+            for _ in 0..runs {
+                let _ = run_benchmark(&off, bench);
+            }
+            let ms_off = t0.elapsed().as_secs_f64() * 1e3 / f64::from(runs);
+            let t1 = Instant::now();
+            for _ in 0..runs {
+                let _ = run_benchmark_traced(&on, bench);
+            }
+            let ms_on = t1.elapsed().as_secs_f64() * 1e3 / f64::from(runs);
+
+            println!(
+                "{bench:<8} {:<6} {ms_off:>9.1} {ms_on:>9.1} {:>+7.1}% {events:>8} {:>9.1}",
+                mem.slug(),
+                (ms_on / ms_off.max(1e-9) - 1.0) * 100.0,
+                events as f64 / reads as f64,
+            );
+        }
+    }
+    println!("\noverhead = extra wall-clock with tracing on (collection + waterfall build)");
+}

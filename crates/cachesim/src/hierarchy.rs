@@ -4,6 +4,7 @@
 
 use std::collections::VecDeque;
 
+use cwf_tracelog::TraceEvent;
 use mem_ctrl::{LineRequest, MainMemory, MemEvent, Token};
 
 use crate::cache::{Cache, CacheCfg, LineMeta};
@@ -242,6 +243,8 @@ pub struct Hierarchy<M> {
     stats: HierStats,
     /// Verify-oracle observation log (`None` ⇒ auditing disabled).
     audit: Option<Vec<HierAudit>>,
+    /// Trace-event buffer (`None` ⇒ tracing disabled).
+    trace: Option<Vec<TraceEvent>>,
 }
 
 impl<M: MainMemory> Hierarchy<M> {
@@ -266,6 +269,7 @@ impl<M: MainMemory> Hierarchy<M> {
             ev_buf: Vec::new(),
             stats: HierStats::default(),
             audit: None,
+            trace: None,
             params,
         }
     }
@@ -285,6 +289,23 @@ impl<M: MainMemory> Hierarchy<M> {
             Some(buf) => std::mem::take(buf),
             None => Vec::new(),
         }
+    }
+
+    /// Start emitting trace events (cache misses, MSHR lifecycle, word
+    /// arrivals) and enable tracing on the backend. Observation only — no
+    /// timing or replacement decision changes.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+        self.mem.enable_trace();
+    }
+
+    /// Append the hierarchy's and the backend's buffered trace events to
+    /// `out`. No-op while tracing is disabled.
+    pub fn drain_trace(&mut self, out: &mut Vec<TraceEvent>) {
+        if let Some(buf) = &mut self.trace {
+            out.append(buf);
+        }
+        self.mem.drain_trace(out);
     }
 
     /// Audit the inclusive-L2 directory against actual L1 residency, in
@@ -394,6 +415,9 @@ impl<M: MainMemory> Hierarchy<M> {
     ) -> AccessOutcome {
         let line = addr >> 6;
         let word = Self::word_of(addr);
+        if let Some(buf) = &mut self.trace {
+            buf.push(TraceEvent::L1Miss { core, at: now, line });
+        }
 
         // L2 hit: fill the requesting L1 and account coherence.
         if let Some(meta) = self.l2.lookup(line) {
@@ -411,6 +435,9 @@ impl<M: MainMemory> Hierarchy<M> {
             }
             self.fill_l1(core, line);
             return AccessOutcome::Hit { complete_at: now + self.params.l2_latency };
+        }
+        if let Some(buf) = &mut self.trace {
+            buf.push(TraceEvent::L2Miss { core, at: now, line });
         }
 
         // Train the prefetcher on the L2 miss stream.
@@ -468,6 +495,16 @@ impl<M: MainMemory> Hierarchy<M> {
         if let Some(buf) = &mut self.audit {
             buf.push(HierAudit::Submit { token, at: now });
         }
+        if let Some(buf) = &mut self.trace {
+            buf.push(TraceEvent::MshrAlloc {
+                token,
+                core,
+                at: now,
+                line,
+                critical_word: word,
+                demand: true,
+            });
+        }
         self.stats.demand_misses += 1;
         self.stats.critical_word_hist[usize::from(word)] += 1;
         let mut entry = MshrEntry::new(line, token, word, true, now);
@@ -498,6 +535,16 @@ impl<M: MainMemory> Hierarchy<M> {
         if let Ok(Some(token)) = self.mem.try_submit(&req, now) {
             if let Some(buf) = &mut self.audit {
                 buf.push(HierAudit::Submit { token, at: now });
+            }
+            if let Some(buf) = &mut self.trace {
+                buf.push(TraceEvent::MshrAlloc {
+                    token,
+                    core,
+                    at: now,
+                    line,
+                    critical_word: 0,
+                    demand: false,
+                });
             }
             self.stats.prefetches_issued += 1;
             self.mshr.allocate(MshrEntry::new(line, token, 0, false, now));
@@ -568,6 +615,9 @@ impl<M: MainMemory> Hierarchy<M> {
             match *e {
                 MemEvent::WordsAvailable { token, at, words, served_fast } => {
                     if let Some(entry) = self.mshr.by_token(token) {
+                        if let Some(buf) = &mut self.trace {
+                            buf.push(TraceEvent::WordsArrived { token, at, words, served_fast });
+                        }
                         if entry.critical_word_at.is_none()
                             && words & (1 << entry.critical_word) != 0
                         {
@@ -581,6 +631,9 @@ impl<M: MainMemory> Hierarchy<M> {
                 }
                 MemEvent::LineFilled { token, at } => {
                     if let Some(mut entry) = self.mshr.release(token) {
+                        if let Some(buf) = &mut self.trace {
+                            buf.push(TraceEvent::FillDone { token, at });
+                        }
                         for w in entry.drain_waiters() {
                             woken.push(Woken { core: w.core, load_id: w.load_id, at });
                         }

@@ -456,6 +456,23 @@ impl MainMemory for HeteroCwfMemory {
         }
     }
 
+    fn enable_trace(&mut self) {
+        // Channel numbering matches `audit_channels`: fast sub-channels
+        // first, then the slow line channels.
+        self.fast.enable_trace(0);
+        let n_fast = self.fast.n_subs() as u16;
+        for (j, c) in self.slow.iter_mut().enumerate() {
+            c.enable_trace(n_fast + j as u16);
+        }
+    }
+
+    fn drain_trace(&mut self, out: &mut Vec<cwf_tracelog::TraceEvent>) {
+        self.fast.drain_trace(out);
+        for c in &mut self.slow {
+            out.append(&mut c.take_trace());
+        }
+    }
+
     fn audit_channels(&self) -> Vec<ChannelDesc> {
         if !self.audit {
             return Vec::new();

@@ -71,6 +71,14 @@ impl<M: MainMemory> MainMemory for ProfilingMemory<M> {
     fn next_activity(&self, now: u64) -> Option<u64> {
         self.inner.next_activity(now)
     }
+
+    fn enable_trace(&mut self) {
+        self.inner.enable_trace();
+    }
+
+    fn drain_trace(&mut self, out: &mut Vec<cwf_tracelog::TraceEvent>) {
+        self.inner.drain_trace(out);
+    }
 }
 
 /// Select the hottest `fraction` of touched pages (by DRAM access count).
@@ -247,6 +255,21 @@ impl MainMemory for PagePlacedMemory {
             None
         } else {
             Some(next)
+        }
+    }
+
+    fn enable_trace(&mut self) {
+        // RLDRAM3 hot channel first, then the three LPDDR2 channels.
+        self.rld.enable_trace(0);
+        for (j, c) in self.lp.iter_mut().enumerate() {
+            c.enable_trace(1 + j as u16);
+        }
+    }
+
+    fn drain_trace(&mut self, out: &mut Vec<cwf_tracelog::TraceEvent>) {
+        out.append(&mut self.rld.take_trace());
+        for c in &mut self.lp {
+            out.append(&mut c.take_trace());
         }
     }
 }

@@ -2,6 +2,8 @@
 
 use std::collections::VecDeque;
 
+use cwf_tracelog::{TraceEvent, RETIRE_BATCH};
+
 use crate::trace::{TraceOp, TraceSource};
 
 /// Core configuration (Table 1 defaults).
@@ -101,6 +103,12 @@ pub struct Core {
     /// Cycles in which nothing could be retired while the ROB head was a
     /// pending load (memory-stall cycles).
     pub mem_stall_cycles: u64,
+    /// Trace-event buffer (`None` ⇒ tracing disabled).
+    tracelog: Option<Vec<TraceEvent>>,
+    /// True while a ROB-stall span is open (edge detection for trace).
+    stall_open: bool,
+    /// Retirements since the last batched `Retire` trace event.
+    retire_pending: u16,
 }
 
 impl Core {
@@ -117,6 +125,22 @@ impl Core {
             loads_issued: 0,
             stores_issued: 0,
             mem_stall_cycles: 0,
+            tracelog: None,
+            stall_open: false,
+            retire_pending: 0,
+        }
+    }
+
+    /// Start buffering trace events (ROB-stall edges and batched retire
+    /// counts). Observation only — no timing changes.
+    pub fn enable_trace(&mut self) {
+        self.tracelog = Some(Vec::new());
+    }
+
+    /// Append buffered trace events to `out`. No-op while disabled.
+    pub fn drain_trace(&mut self, out: &mut Vec<TraceEvent>) {
+        if let Some(buf) = &mut self.tracelog {
+            out.append(buf);
         }
     }
 
@@ -197,6 +221,7 @@ impl Core {
     {
         // Retire.
         let mut retired_this_cycle = 0;
+        let mut stalled_on_load = false;
         while retired_this_cycle < self.params.width {
             match self.rob.front() {
                 Some(RobEntry::Done(at)) if *at <= now => {
@@ -206,9 +231,25 @@ impl Core {
                 }
                 Some(RobEntry::Load { .. }) if retired_this_cycle == 0 => {
                     self.mem_stall_cycles += 1;
+                    stalled_on_load = true;
                     break;
                 }
                 _ => break,
+            }
+        }
+        if let Some(buf) = &mut self.tracelog {
+            if stalled_on_load != self.stall_open {
+                self.stall_open = stalled_on_load;
+                buf.push(if stalled_on_load {
+                    TraceEvent::RobStallBegin { core: self.id, at: now }
+                } else {
+                    TraceEvent::RobStallEnd { core: self.id, at: now }
+                });
+            }
+            self.retire_pending += retired_this_cycle as u16;
+            if self.retire_pending >= RETIRE_BATCH {
+                buf.push(TraceEvent::Retire { core: self.id, at: now, count: self.retire_pending });
+                self.retire_pending = 0;
             }
         }
 

@@ -223,6 +223,21 @@ impl AggregatedController {
     pub fn take_power_logs(&mut self) -> Vec<Vec<(u64, u8, PowerState)>> {
         self.subs.iter_mut().map(Controller::take_power_log).collect()
     }
+
+    /// Start emitting request-linked trace events; sub-channel `i`
+    /// reports as global channel `base_channel + i`.
+    pub fn enable_trace(&mut self, base_channel: u16) {
+        for (i, s) in self.subs.iter_mut().enumerate() {
+            s.enable_trace(base_channel + i as u16);
+        }
+    }
+
+    /// Append each sub-channel's trace events to `out`.
+    pub fn drain_trace(&mut self, out: &mut Vec<cwf_tracelog::TraceEvent>) {
+        for s in &mut self.subs {
+            out.append(&mut s.take_trace());
+        }
+    }
 }
 
 #[cfg(test)]

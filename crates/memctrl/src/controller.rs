@@ -19,6 +19,8 @@ use dram_timing::{
     AddressingStyle, BankState, Channel, Command, DeviceConfig, DeviceKind, PagePolicy, PowerState,
 };
 
+use cwf_tracelog::TraceEvent;
+
 use crate::mapping::Loc;
 use crate::request::Token;
 
@@ -168,6 +170,20 @@ pub struct Controller {
     /// silently (deadline re-armed, no command issued). Only the verify
     /// oracle's seeded-fault tests set this.
     fault_drop_refreshes: u32,
+    /// Request-linked trace sink (None ⇒ tracing off, zero work).
+    trace: Option<TraceSink>,
+}
+
+/// Buffer for token-tagged [`TraceEvent`]s. Timestamps are converted
+/// to CPU cycles at emission (device cycle × clock ratio), so the
+/// host can merge sinks from channels in different clock domains.
+#[derive(Debug)]
+struct TraceSink {
+    /// Global channel index (audit numbering).
+    channel: u16,
+    /// CPU cycles per device cycle.
+    ratio: u64,
+    events: Vec<TraceEvent>,
 }
 
 impl Controller {
@@ -208,6 +224,27 @@ impl Controller {
             read_lat_hist: dram_timing::stats::LatencyHist::default(),
             next_token: 0,
             fault_drop_refreshes: 0,
+            trace: None,
+        }
+    }
+
+    /// Start emitting request-linked [`TraceEvent`]s, reporting this
+    /// controller as global channel index `channel` (the same
+    /// numbering as [`crate::audit::ChannelDesc`] ordering).
+    pub fn enable_trace(&mut self, channel: u16) {
+        self.trace = Some(TraceSink {
+            channel,
+            ratio: u64::from(self.cfg.cpu_cycles_per_mem_cycle).max(1),
+            events: Vec::new(),
+        });
+    }
+
+    /// Take the trace events emitted since the last call (empty unless
+    /// [`Controller::enable_trace`] was called).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        match self.trace.as_mut() {
+            Some(t) => std::mem::take(&mut t.events),
+            None => Vec::new(),
         }
     }
 
@@ -267,6 +304,13 @@ impl Controller {
             return false;
         }
         self.read_q.push(Txn { token, loc, prefetch, enqueue_mem, classified: false });
+        if let Some(t) = self.trace.as_mut() {
+            t.events.push(TraceEvent::McEnqueue {
+                token,
+                channel: t.channel,
+                at: enqueue_mem * t.ratio,
+            });
+        }
         true
     }
 
@@ -321,10 +365,21 @@ impl Controller {
             return true;
         }
         // Write-drain hysteresis.
+        let was_draining = self.drain;
         if self.write_q.len() >= self.params.wq_high {
             self.drain = true;
         } else if self.write_q.len() <= self.params.wq_low {
             self.drain = false;
+        }
+        if self.drain != was_draining {
+            if let Some(t) = self.trace.as_mut() {
+                let at = now * t.ratio;
+                t.events.push(if self.drain {
+                    TraceEvent::McDrainEnter { channel: t.channel, at }
+                } else {
+                    TraceEvent::McDrainExit { channel: t.channel, at }
+                });
+            }
         }
         if self.drain {
             // Read-favouring drain: a demand read whose row is already
@@ -595,6 +650,16 @@ impl Controller {
         let txn = if reads { self.read_q.remove(i) } else { self.write_q.remove(i) };
         let cmd = self.column_cmd(&txn, reads, auto_pre);
         let out = self.channel.issue(&cmd, now);
+        if let Some(t) = self.trace.as_mut() {
+            t.events.push(TraceEvent::McCas {
+                token: txn.token,
+                channel: t.channel,
+                at: now * t.ratio,
+                rank: txn.loc.rank,
+                bank: txn.loc.bank,
+                write: !reads,
+            });
+        }
         if !txn.classified {
             // A direct column command on an open-page device is a row hit;
             // on a close-page device every access pays the full activate.
@@ -627,20 +692,37 @@ impl Controller {
                 queue_mem: queue,
                 service_mem: service,
             });
+            if let Some(t) = self.trace.as_mut() {
+                t.events.push(TraceEvent::McDataEnd {
+                    token: txn.token,
+                    channel: t.channel,
+                    at: data_end * t.ratio,
+                    burst_cycles: (u64::from(self.cfg.timings.t_burst) * t.ratio) as u32,
+                });
+            }
         } else {
             self.writes_done += 1;
         }
     }
 
     fn issue_activate(&mut self, now: u64, reads: bool, i: usize) {
-        let (loc, classified) = {
+        let (loc, classified, token) = {
             let t = &self.queue(reads)[i];
-            (t.loc, t.classified)
+            (t.loc, t.classified, t.token)
         };
         let cmd = Command::activate(loc.rank, loc.bank, loc.row);
         self.channel.issue(&cmd, now);
         if !classified {
             self.channel.stats_mut().row_misses += 1;
+        }
+        if let Some(t) = self.trace.as_mut() {
+            t.events.push(TraceEvent::McActivate {
+                token,
+                channel: t.channel,
+                at: now * t.ratio,
+                rank: loc.rank,
+                bank: loc.bank,
+            });
         }
         if reads {
             self.read_q[i].classified = true;
@@ -650,14 +732,23 @@ impl Controller {
     }
 
     fn issue_precharge(&mut self, now: u64, reads: bool, i: usize) {
-        let (loc, classified) = {
+        let (loc, classified, token) = {
             let t = &self.queue(reads)[i];
-            (t.loc, t.classified)
+            (t.loc, t.classified, t.token)
         };
         let cmd = Command::precharge(loc.rank, loc.bank);
         self.channel.issue(&cmd, now);
         if !classified {
             self.channel.stats_mut().row_conflicts += 1;
+        }
+        if let Some(t) = self.trace.as_mut() {
+            t.events.push(TraceEvent::McPrecharge {
+                token,
+                channel: t.channel,
+                at: now * t.ratio,
+                rank: loc.rank,
+                bank: loc.bank,
+            });
         }
         if reads {
             self.read_q[i].classified = true;

@@ -233,6 +233,18 @@ impl MainMemory for HomogeneousMemory {
         }
     }
 
+    fn enable_trace(&mut self) {
+        for (i, c) in self.controllers.iter_mut().enumerate() {
+            c.enable_trace(i as u16);
+        }
+    }
+
+    fn drain_trace(&mut self, out: &mut Vec<cwf_tracelog::TraceEvent>) {
+        for c in &mut self.controllers {
+            out.append(&mut c.take_trace());
+        }
+    }
+
     fn next_activity(&self, now: u64) -> Option<u64> {
         let mut next =
             self.pending.iter().map(|&(at, _)| at.max(now + 1)).min().unwrap_or(u64::MAX);

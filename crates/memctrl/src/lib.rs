@@ -51,4 +51,6 @@ pub use audit::{AuditRecord, ChannelDesc};
 pub use controller::{Controller, ControllerStats, CtrlParams, SchedPolicy};
 pub use homogeneous::HomogeneousMemory;
 pub use mapping::{AddressMapper, Loc, MappingScheme};
-pub use request::{AccessKind, LineRequest, MainMemory, MemBusy, MemEvent, MemSystemStats, Token};
+pub use request::{
+    AccessKind, LineRequest, MainMemory, MemBusy, MemEvent, MemSystemStats, RequestToken, Token,
+};

@@ -2,9 +2,13 @@
 
 use crate::controller::ControllerStats;
 
-/// Opaque handle identifying an in-flight read transaction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Token(pub u64);
+pub use cwf_tracelog::RequestToken;
+// `Token` is the historical local name for the workspace-wide
+// `RequestToken`: backends mint it, the cache hierarchy keys MSHR
+// entries on it, and both the verify oracle (`FillOracle`) and the
+// trace log identify a read by the same value — there is exactly one
+// request ID space.
+pub use cwf_tracelog::RequestToken as Token;
 
 /// What kind of access a [`LineRequest`] is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -264,6 +268,21 @@ pub trait MainMemory {
     fn drain_audit(&mut self, out: &mut Vec<crate::audit::AuditRecord>) {
         let _ = out;
     }
+
+    /// Start emitting request-linked [`TraceEvent`]s (controller
+    /// enqueue, ACT/PRE/CAS attribution, data-burst completion,
+    /// write-drain edges). Backends without trace support ignore this
+    /// and simply contribute no channel-level records.
+    ///
+    /// [`TraceEvent`]: cwf_tracelog::TraceEvent
+    fn enable_trace(&mut self) {}
+
+    /// Append the trace events emitted since the last drain to `out`.
+    /// Timestamps are CPU cycles; channel indices follow
+    /// [`MainMemory::audit_channels`] ordering.
+    fn drain_trace(&mut self, out: &mut Vec<cwf_tracelog::TraceEvent>) {
+        let _ = out;
+    }
 }
 
 impl<M: MainMemory + ?Sized> MainMemory for Box<M> {
@@ -297,6 +316,14 @@ impl<M: MainMemory + ?Sized> MainMemory for Box<M> {
 
     fn drain_audit(&mut self, out: &mut Vec<crate::audit::AuditRecord>) {
         (**self).drain_audit(out);
+    }
+
+    fn enable_trace(&mut self) {
+        (**self).enable_trace();
+    }
+
+    fn drain_trace(&mut self, out: &mut Vec<cwf_tracelog::TraceEvent>) {
+        (**self).drain_trace(out);
     }
 }
 

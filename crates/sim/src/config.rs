@@ -142,6 +142,24 @@ impl MainMemory for MemBackend {
             MemBackend::PagePlaced(_) | MemBackend::Profiling(_) => {}
         }
     }
+
+    fn enable_trace(&mut self) {
+        match self {
+            MemBackend::Homogeneous(m) => m.enable_trace(),
+            MemBackend::Cwf(m) => m.enable_trace(),
+            MemBackend::PagePlaced(m) => m.enable_trace(),
+            MemBackend::Profiling(m) => m.enable_trace(),
+        }
+    }
+
+    fn drain_trace(&mut self, out: &mut Vec<cwf_tracelog::TraceEvent>) {
+        match self {
+            MemBackend::Homogeneous(m) => m.drain_trace(out),
+            MemBackend::Cwf(m) => m.drain_trace(out),
+            MemBackend::PagePlaced(m) => m.drain_trace(out),
+            MemBackend::Profiling(m) => m.drain_trace(out),
+        }
+    }
 }
 
 /// Every memory organization evaluated in the paper.
@@ -311,6 +329,11 @@ pub struct RunConfig {
     /// in debug builds and off in release sweeps; `CWF_VERIFY=1`/`0`
     /// overrides, and the CLI's `--verify`/`--no-verify` override both.
     pub verify: bool,
+    /// Collect cross-layer trace events ([`cwf_tracelog`]) into the
+    /// system's ring buffer. Observation only — metrics are bit-identical
+    /// either way. Defaults to off; `CWF_TRACE=1` enables it, and the
+    /// CLI's `--trace`/`--no-trace` override both.
+    pub trace: bool,
 }
 
 /// The default verify-oracle setting: `CWF_VERIFY` (`1`/`true`/`on` or
@@ -320,6 +343,16 @@ pub fn verify_default() -> bool {
     match std::env::var("CWF_VERIFY") {
         Ok(v) => matches!(v.to_ascii_lowercase().as_str(), "1" | "true" | "on" | "yes"),
         Err(_) => cfg!(debug_assertions),
+    }
+}
+
+/// The default tracing setting: `CWF_TRACE` (`1`/`true`/`on`/`yes` to
+/// enable) when set, else off.
+#[must_use]
+pub fn trace_default() -> bool {
+    match std::env::var("CWF_TRACE") {
+        Ok(v) => matches!(v.to_ascii_lowercase().as_str(), "1" | "true" | "on" | "yes"),
+        Err(_) => false,
     }
 }
 
@@ -340,6 +373,7 @@ impl RunConfig {
             functional_warm_ops: 40_000,
             kernel: Kernel::from_env(),
             verify: verify_default(),
+            trace: trace_default(),
         }
     }
 

@@ -36,14 +36,16 @@ pub mod report;
 pub mod runner;
 pub mod sweep;
 pub mod system;
+pub mod trace;
 
 pub use config::{Kernel, MemKind, RunConfig};
 pub use cwf_verify::VerifyReport;
 pub use metrics::RunMetrics;
 pub use report::Table;
 pub use runner::{
-    normalized_throughput, run_benchmark, run_benchmark_diag, run_benchmark_verified,
-    weighted_speedup,
+    normalized_throughput, run_benchmark, run_benchmark_diag, run_benchmark_traced,
+    run_benchmark_verified, weighted_speedup,
 };
 pub use sweep::{Cell, CellResult};
 pub use system::{KernelStats, System};
+pub use trace::TraceReport;

@@ -185,7 +185,7 @@ fn json_hist(h: &dram_timing::stats::LatencyHist, scale_ns: f64, out: &mut Strin
 /// how the producing sweep was scheduled.
 #[must_use]
 pub fn to_json(m: &crate::metrics::RunMetrics) -> String {
-    write_json(m, None, None)
+    write_json(m, None, None, None)
 }
 
 /// [`to_json`] plus an additive `"kernel"` diagnostics object (kernel
@@ -195,7 +195,7 @@ pub fn to_json(m: &crate::metrics::RunMetrics) -> String {
 /// kernels' metric documents directly diffable.
 #[must_use]
 pub fn to_json_diag(m: &crate::metrics::RunMetrics, k: &crate::system::KernelStats) -> String {
-    write_json(m, Some(k), None)
+    write_json(m, Some(k), None, None)
 }
 
 /// [`to_json_diag`] plus an additive `"verify"` object summarising the
@@ -209,13 +209,29 @@ pub fn to_json_verified(
     k: &crate::system::KernelStats,
     v: &cwf_verify::VerifyReport,
 ) -> String {
-    write_json(m, Some(k), Some(v))
+    write_json(m, Some(k), Some(v), None)
+}
+
+/// [`to_json_diag`] plus the additive `"trace"` object (event counts,
+/// ring drops, and the latency-waterfall stage aggregates) and, when the
+/// run was also verified, the `"verify"` object. As with every other
+/// diagnostics object, the addition leaves all other bytes — including
+/// the schema tag — identical to [`to_json`] on the same metrics.
+#[must_use]
+pub fn to_json_traced(
+    m: &crate::metrics::RunMetrics,
+    k: &crate::system::KernelStats,
+    v: Option<&cwf_verify::VerifyReport>,
+    t: &crate::trace::TraceReport,
+) -> String {
+    write_json(m, Some(k), v, Some(t))
 }
 
 fn write_json(
     m: &crate::metrics::RunMetrics,
     kernel: Option<&crate::system::KernelStats>,
     verify: Option<&cwf_verify::VerifyReport>,
+    trace: Option<&crate::trace::TraceReport>,
 ) -> String {
     use crate::metrics::CPU_HZ;
     use dram_power::LpddrIo;
@@ -295,6 +311,11 @@ fn write_json(
             o.push_str("\n    ");
         }
         o.push_str("]\n  },\n");
+    }
+    if let Some(t) = trace {
+        o.push_str("  \"trace\": ");
+        o.push_str(&t.to_json_object("  "));
+        o.push_str(",\n");
     }
     o.push_str("  \"channels\": [");
     for (ci, c) in m.mem_stats.controllers.iter().enumerate() {

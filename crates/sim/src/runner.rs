@@ -52,6 +52,27 @@ pub fn run_benchmark_verified(
     (metrics, sys.kernel_stats(), sys.verify_report())
 }
 
+/// Run one benchmark under `cfg`, also returning the collected trace
+/// (`None` when `cfg.trace` is off) and, when `cfg.verify` is on, the
+/// oracle's report. Metrics are bit-identical to [`run_benchmark`] — the
+/// tracer observes, never steers.
+///
+/// # Panics
+///
+/// Panics if `bench` is not one of the 27 suite programs.
+#[must_use]
+pub fn run_benchmark_traced(
+    cfg: &RunConfig,
+    bench: &str,
+) -> (RunMetrics, KernelStats, Option<cwf_verify::VerifyReport>, Option<crate::trace::TraceReport>)
+{
+    let profile = by_name(bench)
+        .unwrap_or_else(|| panic!("unknown benchmark '{bench}' (see workloads::suite())"));
+    let mut sys = System::new(cfg, profile);
+    let metrics = sys.run();
+    (metrics, sys.kernel_stats(), sys.verify_report(), sys.trace_report())
+}
+
 /// The paper's system-throughput metric: `Σᵢ IPCᵢ_shared / IPCᵢ_alone`
 /// (§5), where `IPC_alone` is measured on a single-core system with the
 /// same memory organization.

@@ -3,6 +3,7 @@
 
 use cache_hier::{AccessOutcome, HierAudit, HierParams, Hierarchy, StoreOutcome, Woken};
 use cpu_model::{Core, CoreActivity, CoreParams, IssueResult, MemOp, MemOpKind, TraceSource};
+use cwf_tracelog::TraceEvent;
 use cwf_verify::{Oracle, VerifyReport};
 use mem_ctrl::{AuditRecord, MainMemory};
 use workloads::{BenchmarkProfile, TraceGen};
@@ -12,6 +13,7 @@ pub type BoxedTrace = Box<dyn TraceSource + Send>;
 
 use crate::config::{Kernel, MemBackend, RunConfig};
 use crate::metrics::RunMetrics;
+use crate::trace::{TraceReport, Tracer};
 
 /// Execution counters the simulation kernel keeps about itself.
 ///
@@ -66,8 +68,12 @@ pub struct System {
     kstats: KernelStats,
     /// Cross-layer verify oracle (`cfg.verify`); pure observer.
     oracle: Option<Oracle>,
+    /// Cross-layer event tracer (`cfg.trace`); pure observer.
+    tracer: Option<Tracer>,
     /// Reusable buffer for backend audit drains.
     audit_buf: Vec<AuditRecord>,
+    /// Reusable buffer for trace drains.
+    trace_buf: Vec<TraceEvent>,
     /// Fault injection: extra cycles added to every cached `mem_wake`
     /// bound, making the event kernel trust an optimistic quiet period the
     /// backend never promised. Only the verify oracle's seeded-fault tests
@@ -137,36 +143,65 @@ impl System {
             cfg: *cfg,
             bench: name.to_owned(),
             oracle: None,
+            tracer: None,
             audit_buf: Vec::new(),
+            trace_buf: Vec::new(),
             fault_wake_slack: 0,
         };
-        if cfg.verify {
+        // The tracer reuses the audit plumbing for DRAM-level refresh and
+        // power-state events, so either observer enables backend auditing.
+        if cfg.verify || cfg.trace {
             sys.hierarchy.enable_audit();
+        }
+        if cfg.verify {
             sys.oracle = Some(Oracle::new(sys.hierarchy.memory().audit_channels()));
+        }
+        if cfg.trace {
+            sys.hierarchy.enable_trace();
+            for core in &mut sys.cores {
+                core.enable_trace();
+            }
+            sys.tracer = Some(Tracer::new(&sys.hierarchy.memory().audit_channels(), cfg.cores));
         }
         sys.functional_warm(cfg.functional_warm_ops);
         sys
     }
 
-    /// Feed everything observed since the last drain to the oracle:
-    /// hierarchy-side submits/events, then backend command/power records.
-    /// No-op while verification is off.
-    fn drain_verify(&mut self) {
-        if self.oracle.is_none() {
+    /// Feed everything observed since the last drain to the enabled
+    /// observers: the oracle gets hierarchy-side submits/events plus
+    /// backend command/power records, the tracer gets every layer's trace
+    /// buffers plus the refresh/power subset of the audit records. No-op
+    /// while both are off.
+    fn drain_observers(&mut self) {
+        if self.oracle.is_none() && self.tracer.is_none() {
             return;
         }
         let audits = self.hierarchy.take_audit();
         let mut records = std::mem::take(&mut self.audit_buf);
         records.clear();
         self.hierarchy.memory_mut().drain_audit(&mut records);
-        let oracle = self.oracle.as_mut().expect("verified above");
-        for a in audits {
-            match a {
-                HierAudit::Submit { token, at } => oracle.observe_submit(token, at),
-                HierAudit::Event { ev, delivered_at } => oracle.observe_event(&ev, delivered_at),
+        if let Some(oracle) = &mut self.oracle {
+            for a in audits {
+                match a {
+                    HierAudit::Submit { token, at } => oracle.observe_submit(token, at),
+                    HierAudit::Event { ev, delivered_at } => {
+                        oracle.observe_event(&ev, delivered_at);
+                    }
+                }
             }
+            oracle.observe_records(&records);
         }
-        oracle.observe_records(&records);
+        if let Some(tracer) = &mut self.tracer {
+            let mut ev = std::mem::take(&mut self.trace_buf);
+            ev.clear();
+            for core in &mut self.cores {
+                core.drain_trace(&mut ev);
+            }
+            self.hierarchy.drain_trace(&mut ev);
+            tracer.absorb_events(&mut ev);
+            tracer.absorb_audit(&records);
+            self.trace_buf = ev;
+        }
         self.audit_buf = records;
     }
 
@@ -182,6 +217,13 @@ impl System {
     #[must_use]
     pub fn verify_report(&self) -> Option<VerifyReport> {
         self.oracle.as_ref().map(Oracle::report)
+    }
+
+    /// Snapshot the collected trace (complete after [`System::run`], which
+    /// drains every layer's tail). `None` when `cfg.trace` is off.
+    #[must_use]
+    pub fn trace_report(&self) -> Option<TraceReport> {
+        self.tracer.as_ref().map(Tracer::report)
     }
 
     /// Timing-free cache warming: advance every core's trace by
@@ -222,6 +264,11 @@ impl System {
         for (l, w) in evictions.drain(..) {
             self.hierarchy.memory_mut().seed_adaptive_tag(l, w);
         }
+    }
+
+    /// True when any pure observer (oracle, tracer) is collecting.
+    fn observers_on(&self) -> bool {
+        self.oracle.is_some() || self.tracer.is_some()
     }
 
     /// Current CPU cycle.
@@ -350,9 +397,9 @@ impl System {
                 while self.hierarchy.stats().demand_misses < reads && self.now < self.cfg.max_cycles
                 {
                     self.step_inner(false);
-                    // Bound the audit buffers on long verified runs.
-                    if self.oracle.is_some() && self.kstats.steps & 0xFFFF == 0 {
-                        self.drain_verify();
+                    // Bound the observer buffers on long runs.
+                    if self.observers_on() && self.kstats.steps & 0xFFFF == 0 {
+                        self.drain_observers();
                     }
                 }
             }
@@ -367,8 +414,8 @@ impl System {
                         break;
                     }
                     self.step_inner(true);
-                    if self.oracle.is_some() && self.kstats.steps & 0xFFFF == 0 {
-                        self.drain_verify();
+                    if self.observers_on() && self.kstats.steps & 0xFFFF == 0 {
+                        self.drain_observers();
                     }
                 }
             }
@@ -402,15 +449,17 @@ impl System {
             }
             c
         });
-        // Close the oracle's books: remaining audit batches, the inclusive
-        // directory sweep, and end-of-run refresh/fill obligations.
+        // Drain the observers' tails, then close the oracle's books:
+        // the inclusive directory sweep and end-of-run refresh/fill
+        // obligations.
+        self.drain_observers();
         if self.oracle.is_some() {
-            self.drain_verify();
             let inclusion = self.hierarchy.check_inclusion();
             let end = self.now;
-            let oracle = self.oracle.as_mut().expect("checked above");
-            oracle.note_inclusion_violations(end, &inclusion);
-            oracle.finalize(end);
+            if let Some(oracle) = &mut self.oracle {
+                oracle.note_inclusion_violations(end, &inclusion);
+                oracle.finalize(end);
+            }
         }
         RunMetrics {
             bench: self.bench.clone(),

@@ -1,0 +1,288 @@
+//! The shared request token and the compact trace-record vocabulary.
+
+use std::fmt;
+
+/// Opaque identity of one outstanding memory-line transaction.
+///
+/// This is the *single* request ID space shared by the whole
+/// workspace: the memory backends mint tokens, the cache hierarchy
+/// keys MSHR entries on them, the verify oracle's `FillOracle` checks
+/// fill contracts against them, and every trace record that belongs
+/// to a read carries the same token. (`mem_ctrl::Token` is an alias
+/// of this type, so no translation layer exists anywhere.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestToken(pub u64);
+
+impl fmt::Display for RequestToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One compact trace record.
+///
+/// All timestamps (`at`) are **CPU cycles**; layers that operate in
+/// device-clock domains convert before emitting (device cycle ×
+/// `cpu_cycles_per_mem_cycle`). Channel indices follow the same
+/// numbering as `MainMemory::audit_channels`: for the heterogeneous
+/// CWF backend the fast RLDRAM3 sub-channels come first, then the
+/// slow line channels.
+///
+/// Records are `Copy` and at most 32 bytes, so pushing one into the
+/// ring is a couple of stores — cheap enough to leave hooks inline in
+/// the hot paths behind an `Option` check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A core's ROB head is blocked on an in-flight load (stall edge).
+    RobStallBegin {
+        /// Core index.
+        core: u8,
+        /// CPU cycle of the first blocked cycle.
+        at: u64,
+    },
+    /// The blocking load retired; the core is flowing again.
+    RobStallEnd {
+        /// Core index.
+        core: u8,
+        /// CPU cycle at which retirement resumed.
+        at: u64,
+    },
+    /// Batched retirement progress (a counter sample, emitted every
+    /// [`RETIRE_BATCH`] retired instructions rather than per cycle).
+    Retire {
+        /// Core index.
+        core: u8,
+        /// CPU cycle of the sample.
+        at: u64,
+        /// Instructions retired since the previous sample.
+        count: u16,
+    },
+    /// A load or store missed in L1 and was sent below.
+    L1Miss {
+        /// Core index.
+        core: u8,
+        /// CPU cycle.
+        at: u64,
+        /// Cache-line address (line granularity, not bytes).
+        line: u64,
+    },
+    /// The access also missed in L2.
+    L2Miss {
+        /// Core index.
+        core: u8,
+        /// CPU cycle.
+        at: u64,
+        /// Cache-line address.
+        line: u64,
+    },
+    /// A fresh MSHR entry was allocated and the miss submitted to the
+    /// memory backend. This is the start of the read's causal chain.
+    MshrAlloc {
+        /// Token minted by the backend for this line read.
+        token: RequestToken,
+        /// Requesting core.
+        core: u8,
+        /// CPU cycle of submission.
+        at: u64,
+        /// Cache-line address.
+        line: u64,
+        /// Critical (demand) word index within the line, 0..8.
+        critical_word: u8,
+        /// True for demand misses, false for prefetches.
+        demand: bool,
+    },
+    /// A subset of the line's words became usable at the L2.
+    WordsArrived {
+        /// Read this delivery belongs to.
+        token: RequestToken,
+        /// CPU cycle of arrival.
+        at: u64,
+        /// Bitmask of word indices (bit i = word i).
+        words: u8,
+        /// True if the words came from the fast (RLDRAM3) channel.
+        served_fast: bool,
+    },
+    /// The full line is filled; the MSHR entry retires.
+    FillDone {
+        /// Read that completed.
+        token: RequestToken,
+        /// CPU cycle of the fill.
+        at: u64,
+    },
+    /// The controller accepted the read into its transaction queue.
+    McEnqueue {
+        /// Read being enqueued.
+        token: RequestToken,
+        /// Channel index.
+        channel: u16,
+        /// CPU cycle.
+        at: u64,
+    },
+    /// FR-FCFS issued an ACT for this transaction.
+    McActivate {
+        /// Transaction the row activation serves.
+        token: RequestToken,
+        /// Channel index.
+        channel: u16,
+        /// CPU cycle.
+        at: u64,
+        /// Rank index.
+        rank: u8,
+        /// Bank index.
+        bank: u8,
+    },
+    /// FR-FCFS issued a PRE (row conflict) for this transaction.
+    McPrecharge {
+        /// Transaction the precharge serves.
+        token: RequestToken,
+        /// Channel index.
+        channel: u16,
+        /// CPU cycle.
+        at: u64,
+        /// Rank index.
+        rank: u8,
+        /// Bank index.
+        bank: u8,
+    },
+    /// FR-FCFS issued the column command (CAS) for this transaction.
+    McCas {
+        /// Transaction being served.
+        token: RequestToken,
+        /// Channel index.
+        channel: u16,
+        /// CPU cycle.
+        at: u64,
+        /// Rank index.
+        rank: u8,
+        /// Bank index.
+        bank: u8,
+        /// True for a column write, false for a read.
+        write: bool,
+    },
+    /// The data burst for this read finished on the channel's bus.
+    McDataEnd {
+        /// Transaction whose data completed.
+        token: RequestToken,
+        /// Channel index.
+        channel: u16,
+        /// CPU cycle at which the last beat left the bus.
+        at: u64,
+        /// Bus occupancy of the burst, in CPU cycles.
+        burst_cycles: u32,
+    },
+    /// The controller entered write-drain mode (high watermark).
+    McDrainEnter {
+        /// Channel index.
+        channel: u16,
+        /// CPU cycle.
+        at: u64,
+    },
+    /// The controller left write-drain mode (low watermark).
+    McDrainExit {
+        /// Channel index.
+        channel: u16,
+        /// CPU cycle.
+        at: u64,
+    },
+    /// The device executed a refresh (all-bank or per-bank).
+    DramRefresh {
+        /// Channel index.
+        channel: u16,
+        /// CPU cycle.
+        at: u64,
+        /// Rank being refreshed.
+        rank: u8,
+    },
+    /// A rank changed power state.
+    DramPower {
+        /// Channel index.
+        channel: u16,
+        /// CPU cycle.
+        at: u64,
+        /// Rank index.
+        rank: u8,
+        /// Encoded state: 0 = up, 1 = power-down, 2 = self-refresh.
+        state: u8,
+    },
+}
+
+/// Retired-instruction count batched into one [`TraceEvent::Retire`]
+/// counter sample. Sampling keeps compute-bound phases from flooding
+/// the ring with one record per cycle.
+pub const RETIRE_BATCH: u16 = 64;
+
+impl TraceEvent {
+    /// The record's timestamp in CPU cycles.
+    #[must_use]
+    pub fn at(&self) -> u64 {
+        match *self {
+            TraceEvent::RobStallBegin { at, .. }
+            | TraceEvent::RobStallEnd { at, .. }
+            | TraceEvent::Retire { at, .. }
+            | TraceEvent::L1Miss { at, .. }
+            | TraceEvent::L2Miss { at, .. }
+            | TraceEvent::MshrAlloc { at, .. }
+            | TraceEvent::WordsArrived { at, .. }
+            | TraceEvent::FillDone { at, .. }
+            | TraceEvent::McEnqueue { at, .. }
+            | TraceEvent::McActivate { at, .. }
+            | TraceEvent::McPrecharge { at, .. }
+            | TraceEvent::McCas { at, .. }
+            | TraceEvent::McDataEnd { at, .. }
+            | TraceEvent::McDrainEnter { at, .. }
+            | TraceEvent::McDrainExit { at, .. }
+            | TraceEvent::DramRefresh { at, .. }
+            | TraceEvent::DramPower { at, .. } => at,
+        }
+    }
+
+    /// The token this record is attributed to, if any. Channel-global
+    /// records (drain edges, refresh, power) carry none.
+    #[must_use]
+    pub fn token(&self) -> Option<RequestToken> {
+        match *self {
+            TraceEvent::MshrAlloc { token, .. }
+            | TraceEvent::WordsArrived { token, .. }
+            | TraceEvent::FillDone { token, .. }
+            | TraceEvent::McEnqueue { token, .. }
+            | TraceEvent::McActivate { token, .. }
+            | TraceEvent::McPrecharge { token, .. }
+            | TraceEvent::McCas { token, .. }
+            | TraceEvent::McDataEnd { token, .. } => Some(token),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_stay_compact() {
+        // The "compact binary record" promise: one machine word of
+        // payload beyond the discriminant+token, 32 bytes total.
+        assert!(std::mem::size_of::<TraceEvent>() <= 32);
+    }
+
+    #[test]
+    fn token_display() {
+        assert_eq!(RequestToken(42).to_string(), "t42");
+    }
+
+    #[test]
+    fn accessors() {
+        let e = TraceEvent::McCas {
+            token: RequestToken(7),
+            channel: 3,
+            at: 123,
+            rank: 0,
+            bank: 5,
+            write: false,
+        };
+        assert_eq!(e.at(), 123);
+        assert_eq!(e.token(), Some(RequestToken(7)));
+        let d = TraceEvent::McDrainEnter { channel: 0, at: 9 };
+        assert_eq!(d.token(), None);
+    }
+}

@@ -1,0 +1,389 @@
+//! Minimal JSON support: string escaping for the exporter, a small
+//! recursive-descent parser, and structural validation of exported
+//! Chrome/Perfetto traces.
+//!
+//! The build environment is offline, so no serde: this module
+//! implements just enough of RFC 8259 to round-trip the exporter's
+//! own output (and ordinary foreign JSON) for smoke validation.
+
+use std::collections::BTreeMap;
+
+/// Escape a string for embedding in a JSON document (without the
+/// surrounding quotes).
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object. Keys are sorted (BTreeMap); duplicate keys keep the
+    /// last occurrence.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Object member lookup; `None` for non-objects/missing keys.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document.
+///
+/// # Errors
+/// Returns a message with the byte offset of the first syntax error,
+/// or on trailing garbage after the top-level value.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let b = text.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != b.len() {
+        return Err(format!("trailing data at byte {}", p.i));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn err<T>(&self, what: &str) -> Result<T, String> {
+        Err(format!("{what} at byte {}", self.i))
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(v)
+        } else {
+            self.err("bad literal")
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        let s = std::str::from_utf8(&self.b[start..self.i]).map_err(|e| e.to_string())?;
+        s.parse::<f64>().map(Value::Num).map_err(|_| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        debug_assert_eq!(self.b[self.i], b'"');
+        self.i += 1;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let cp = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            // Surrogates are not paired; plain BMP is
+                            // all the exporter emits.
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.b[self.i..])
+                        .map_err(|_| format!("invalid UTF-8 at byte {}", self.i))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.i += 1; // '['
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(Value::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => {
+                    self.i += 1;
+                }
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Value::Arr(out));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.i += 1; // '{'
+        let mut out = BTreeMap::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(Value::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            if self.b.get(self.i) != Some(&b'"') {
+                return self.err("expected object key");
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.b.get(self.i) != Some(&b':') {
+                return self.err("expected ':'");
+            }
+            self.i += 1;
+            let v = self.value()?;
+            out.insert(key, v);
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => {
+                    self.i += 1;
+                }
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Value::Obj(out));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+/// Result of a successful [`validate_chrome_trace`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeTraceCheck {
+    /// Total entries in `traceEvents`.
+    pub events: usize,
+    /// Entries that are metadata (`"ph": "M"`).
+    pub metadata: usize,
+    /// Distinct `(pid, tid)` tracks seen.
+    pub tracks: usize,
+}
+
+/// Structurally validate an exported Chrome/Perfetto trace:
+/// the document parses, `traceEvents` is present, every entry carries
+/// the required keys for its phase, and within each `(pid, tid)`
+/// track timestamps are monotonically non-decreasing in array order.
+///
+/// # Errors
+/// Returns a description of the first violation found.
+pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceCheck, String> {
+    let doc = parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| "missing \"traceEvents\" array".to_string())?;
+    let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    let mut metadata = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing \"ph\""))?;
+        let pid = ev
+            .get("pid")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i}: missing \"pid\""))?;
+        let tid = ev
+            .get("tid")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i}: missing \"tid\""))?;
+        if ph == "M" {
+            metadata += 1;
+            continue;
+        }
+        if ev.get("name").and_then(Value::as_str).is_none() {
+            return Err(format!("event {i}: missing \"name\""));
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i}: missing \"ts\""))?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(format!("event {i}: non-finite or negative ts"));
+        }
+        if ph == "X" && ev.get("dur").and_then(Value::as_f64).is_none() {
+            return Err(format!("event {i}: complete event missing \"dur\""));
+        }
+        let key = (pid as u64, tid as u64);
+        if let Some(prev) = last_ts.get(&key) {
+            if ts < *prev {
+                return Err(format!(
+                    "event {i}: ts {ts} regresses below {prev} on track pid={} tid={}",
+                    key.0, key.1
+                ));
+            }
+        }
+        last_ts.insert(key, ts);
+    }
+    Ok(ChromeTraceCheck { events: events.len(), metadata, tracks: last_ts.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_specials() {
+        assert_eq!(escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let v = parse(r#"{"a": [1, -2.5, "x\ny", true, null], "b": {}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 5);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[0].as_f64(), Some(1.0));
+        assert_eq!(v.get("b"), Some(&Value::Obj(BTreeMap::new())));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} x").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn validate_catches_ts_regression() {
+        let good = r#"{"traceEvents": [
+            {"ph":"M","pid":1,"tid":0,"name":"thread_name","args":{"name":"c0"}},
+            {"ph":"i","pid":1,"tid":0,"name":"a","ts":1.0,"s":"t"},
+            {"ph":"i","pid":1,"tid":0,"name":"b","ts":2.0,"s":"t"}
+        ]}"#;
+        let c = validate_chrome_trace(good).unwrap();
+        assert_eq!(c.events, 3);
+        assert_eq!(c.metadata, 1);
+        assert_eq!(c.tracks, 1);
+
+        let bad = r#"{"traceEvents": [
+            {"ph":"i","pid":1,"tid":0,"name":"a","ts":2.0},
+            {"ph":"i","pid":1,"tid":0,"name":"b","ts":1.0}
+        ]}"#;
+        assert!(validate_chrome_trace(bad).unwrap_err().contains("regresses"));
+    }
+
+    #[test]
+    fn validate_requires_keys() {
+        assert!(validate_chrome_trace(r#"{"other": 1}"#).is_err());
+        let no_ts = r#"{"traceEvents": [{"ph":"i","pid":1,"tid":0,"name":"a"}]}"#;
+        assert!(validate_chrome_trace(no_ts).unwrap_err().contains("ts"));
+    }
+}

@@ -1,0 +1,36 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Low-overhead cross-layer event tracing for the `cwfmem` simulator.
+//!
+//! Every layer of the simulated machine — CPU cores, the cache
+//! hierarchy, the memory controllers and the DRAM devices — can emit
+//! compact [`TraceEvent`] records into a fixed-capacity [`TraceRing`].
+//! Events that belong to one memory read all carry the same
+//! [`RequestToken`], so a read's full causal chain (MSHR allocation →
+//! controller enqueue → ACT/PRE/CAS → data burst → per-word arrival →
+//! line fill) is reconstructible from the flat log.
+//!
+//! Two exporters sit on top of the raw log:
+//!
+//! * [`perfetto::export`] renders the log as Chrome/Perfetto trace
+//!   JSON (one track per channel and per bank, per-core flow events),
+//! * [`waterfall`] decomposes each traced read into
+//!   queueing / row-activation / CAS / bus / critical-word-offset /
+//!   fill-tail stages whose sum is exactly the end-to-end latency.
+//!
+//! The crate is dependency-free and performs no I/O; hosts decide
+//! where exported strings go. The ring never reallocates after
+//! construction and never aborts on overflow: the oldest record is
+//! dropped and counted (see [`TraceRing::dropped`]).
+
+pub mod event;
+pub mod json;
+pub mod perfetto;
+pub mod ring;
+pub mod waterfall;
+
+pub use event::{RequestToken, TraceEvent, RETIRE_BATCH};
+pub use perfetto::TraceMeta;
+pub use ring::TraceRing;
+pub use waterfall::{ReadWaterfall, WaterfallSummary, STAGE_NAMES};

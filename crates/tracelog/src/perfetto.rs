@@ -1,0 +1,479 @@
+//! Chrome/Perfetto trace-event JSON exporter.
+//!
+//! The exporter renders the flat [`TraceEvent`] log as the Chrome
+//! trace-event format (readable by `ui.perfetto.dev` and
+//! `chrome://tracing`):
+//!
+//! * **pid 1, one thread per core** — async `read` spans per request
+//!   token, ROB-stall slices, retire-rate counter samples, miss
+//!   instants and the *start* halves of per-request flow arrows;
+//! * **pid 2, one thread per channel and per bank** — ACT/PRE/CAS
+//!   instants and data-burst slices on the bank rows, write-drain
+//!   slices, refresh instants and power-state counters on the channel
+//!   row, plus the *finish* halves of the flow arrows.
+//!
+//! All timestamps are emitted in microseconds with seven fractional
+//! digits computed by exact integer arithmetic, so output is
+//! byte-stable across platforms. Events are sorted by
+//! `(pid, tid, ts)` before emission; the companion validator
+//! ([`crate::json::validate_chrome_trace`]) asserts per-track
+//! monotonicity on the emitted document.
+
+use std::collections::BTreeMap;
+
+use crate::event::{RequestToken, TraceEvent};
+use crate::json::escape;
+
+/// Host-supplied context for the export.
+#[derive(Debug, Clone)]
+pub struct TraceMeta {
+    /// CPU cycles per microsecond (3200 for the 3.2 GHz model core).
+    pub cycles_per_us: u64,
+    /// Display label per channel index (missing indices fall back to
+    /// `ch<N>`).
+    pub channel_labels: Vec<String>,
+    /// Number of cores (threads under pid 1).
+    pub cores: u8,
+}
+
+const PID_CORES: u64 = 1;
+const PID_MEM: u64 = 2;
+/// Threads under pid 2: channel row at `channel * TRACK_STRIDE`, bank
+/// rows right after it.
+const TRACK_STRIDE: u64 = 64;
+
+/// One pre-rendered trace event: sort key + JSON body.
+struct Entry {
+    pid: u64,
+    tid: u64,
+    /// Cycles (sort key; `None` for metadata, which sorts first).
+    ts: Option<u64>,
+    body: String,
+}
+
+fn ts_us(cycles: u64, meta: &TraceMeta) -> String {
+    // Exact: microseconds with 7 fractional digits.
+    let e7 = (u128::from(cycles) * 10_000_000) / u128::from(meta.cycles_per_us.max(1));
+    format!("{}.{:07}", e7 / 10_000_000, e7 % 10_000_000)
+}
+
+fn chan_label(meta: &TraceMeta, c: u16) -> String {
+    meta.channel_labels.get(c as usize).cloned().unwrap_or_else(|| format!("ch{c}"))
+}
+
+fn chan_tid(c: u16) -> u64 {
+    u64::from(c) * TRACK_STRIDE
+}
+
+fn bank_tid(c: u16, rank: u8, bank: u8) -> u64 {
+    // Rank-major bank rows under the channel row; stride 64 leaves
+    // room for 63 rank×bank rows which covers every modeled device.
+    chan_tid(c) + 1 + (u64::from(rank) * 16 + u64::from(bank)) % (TRACK_STRIDE - 1)
+}
+
+/// Render the log as a Chrome trace-event JSON document.
+#[must_use]
+pub fn export(events: &[TraceEvent], meta: &TraceMeta) -> String {
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut thread_names: BTreeMap<(u64, u64), String> = BTreeMap::new();
+    for core in 0..meta.cores {
+        thread_names.insert((PID_CORES, u64::from(core)), format!("core{core}"));
+    }
+
+    // Token context accumulated on a first pass: requesting core and
+    // span endpoints (for async read spans), CAS site per channel
+    // (for burst slices).
+    struct TokenInfo {
+        core: Option<u8>,
+        alloc_at: Option<u64>,
+        fill_at: Option<u64>,
+        critical_word: Option<u8>,
+        cas: BTreeMap<u16, (u64, u8, u8)>, // channel -> (at, rank, bank)
+    }
+    let mut tokens: BTreeMap<u64, TokenInfo> = BTreeMap::new();
+    fn info(tokens: &mut BTreeMap<u64, TokenInfo>, t: RequestToken) -> &mut TokenInfo {
+        tokens.entry(t.0).or_insert(TokenInfo {
+            core: None,
+            alloc_at: None,
+            fill_at: None,
+            critical_word: None,
+            cas: BTreeMap::new(),
+        })
+    }
+    for ev in events {
+        match *ev {
+            TraceEvent::MshrAlloc { token, core, at, critical_word, .. } => {
+                let ti = info(&mut tokens, token);
+                ti.core = Some(core);
+                ti.alloc_at = Some(at);
+                ti.critical_word = Some(critical_word);
+            }
+            TraceEvent::FillDone { token, at } => {
+                info(&mut tokens, token).fill_at = Some(at);
+            }
+            TraceEvent::McCas { token, channel, at, rank, bank, write: false } => {
+                info(&mut tokens, token).cas.insert(channel, (at, rank, bank));
+            }
+            _ => {}
+        }
+    }
+
+    // Open-interval state folded while walking the log in order.
+    let mut stall_open: BTreeMap<u8, u64> = BTreeMap::new();
+    let mut drain_open: BTreeMap<u16, u64> = BTreeMap::new();
+
+    let push = |entries: &mut Vec<Entry>, pid: u64, tid: u64, at: u64, body: String| {
+        entries.push(Entry { pid, tid, ts: Some(at), body });
+    };
+
+    for ev in events {
+        match *ev {
+            TraceEvent::RobStallBegin { core, at } => {
+                stall_open.insert(core, at);
+            }
+            TraceEvent::RobStallEnd { core, at } => {
+                if let Some(begin) = stall_open.remove(&core) {
+                    let dur = at.saturating_sub(begin);
+                    push(
+                        &mut entries,
+                        PID_CORES,
+                        u64::from(core),
+                        begin,
+                        format!(
+                            "\"name\":\"rob-stall\",\"ph\":\"X\",\"ts\":{},\"dur\":{}",
+                            ts_us(begin, meta),
+                            ts_us(dur, meta)
+                        ),
+                    );
+                }
+            }
+            TraceEvent::Retire { core, at, count } => {
+                push(
+                    &mut entries,
+                    PID_CORES,
+                    u64::from(core),
+                    at,
+                    format!(
+                        "\"name\":\"retired\",\"ph\":\"C\",\"ts\":{},\"args\":{{\"count\":{count}}}",
+                        ts_us(at, meta)
+                    ),
+                );
+            }
+            TraceEvent::L1Miss { core, at, line } | TraceEvent::L2Miss { core, at, line } => {
+                let name =
+                    if matches!(ev, TraceEvent::L1Miss { .. }) { "l1-miss" } else { "l2-miss" };
+                push(
+                    &mut entries,
+                    PID_CORES,
+                    u64::from(core),
+                    at,
+                    format!(
+                        "\"name\":\"{name}\",\"ph\":\"i\",\"ts\":{},\"s\":\"t\",\"args\":{{\"line\":{line}}}",
+                        ts_us(at, meta)
+                    ),
+                );
+            }
+            TraceEvent::MshrAlloc { token, core, at, line, critical_word, demand } => {
+                let tid = u64::from(core);
+                push(
+                    &mut entries,
+                    PID_CORES,
+                    tid,
+                    at,
+                    format!(
+                        "\"name\":\"read\",\"cat\":\"req\",\"ph\":\"b\",\"id\":{},\"ts\":{},\"args\":{{\"line\":{line},\"cw\":{critical_word},\"demand\":{demand}}}",
+                        token.0,
+                        ts_us(at, meta)
+                    ),
+                );
+                push(
+                    &mut entries,
+                    PID_CORES,
+                    tid,
+                    at,
+                    format!(
+                        "\"name\":\"read\",\"cat\":\"req\",\"ph\":\"s\",\"id\":{},\"ts\":{}",
+                        token.0,
+                        ts_us(at, meta)
+                    ),
+                );
+            }
+            TraceEvent::WordsArrived { token, at, words, served_fast } => {
+                if let Some(ti) = tokens.get(&token.0) {
+                    if let Some(core) = ti.core {
+                        let critical = ti.critical_word.is_some_and(|cw| words & (1u8 << cw) != 0);
+                        let name = if critical { "critical-word" } else { "words" };
+                        push(
+                            &mut entries,
+                            PID_CORES,
+                            u64::from(core),
+                            at,
+                            format!(
+                                "\"name\":\"{name}\",\"ph\":\"i\",\"ts\":{},\"s\":\"t\",\"args\":{{\"mask\":{words},\"fast\":{served_fast}}}",
+                                ts_us(at, meta)
+                            ),
+                        );
+                    }
+                }
+            }
+            TraceEvent::FillDone { token, at } => {
+                if let Some(ti) = tokens.get(&token.0) {
+                    if let (Some(core), Some(_)) = (ti.core, ti.alloc_at) {
+                        push(
+                            &mut entries,
+                            PID_CORES,
+                            u64::from(core),
+                            at,
+                            format!(
+                                "\"name\":\"read\",\"cat\":\"req\",\"ph\":\"e\",\"id\":{},\"ts\":{}",
+                                token.0,
+                                ts_us(at, meta)
+                            ),
+                        );
+                    }
+                }
+            }
+            TraceEvent::McEnqueue { token, channel, at } => {
+                push(
+                    &mut entries,
+                    PID_MEM,
+                    chan_tid(channel),
+                    at,
+                    format!(
+                        "\"name\":\"enq\",\"ph\":\"i\",\"ts\":{},\"s\":\"t\",\"args\":{{\"token\":{}}}",
+                        ts_us(at, meta),
+                        token.0
+                    ),
+                );
+            }
+            TraceEvent::McActivate { token, channel, at, rank, bank }
+            | TraceEvent::McPrecharge { token, channel, at, rank, bank } => {
+                let name = if matches!(ev, TraceEvent::McActivate { .. }) { "ACT" } else { "PRE" };
+                push(
+                    &mut entries,
+                    PID_MEM,
+                    bank_tid(channel, rank, bank),
+                    at,
+                    format!(
+                        "\"name\":\"{name}\",\"ph\":\"i\",\"ts\":{},\"s\":\"t\",\"args\":{{\"token\":{}}}",
+                        ts_us(at, meta),
+                        token.0
+                    ),
+                );
+            }
+            TraceEvent::McCas { token, channel, at, rank, bank, write } => {
+                let name = if write { "CAS-W" } else { "CAS" };
+                let tid = bank_tid(channel, rank, bank);
+                push(
+                    &mut entries,
+                    PID_MEM,
+                    tid,
+                    at,
+                    format!(
+                        "\"name\":\"{name}\",\"ph\":\"i\",\"ts\":{},\"s\":\"t\",\"args\":{{\"token\":{}}}",
+                        ts_us(at, meta),
+                        token.0
+                    ),
+                );
+                if !write {
+                    push(
+                        &mut entries,
+                        PID_MEM,
+                        tid,
+                        at,
+                        format!(
+                            "\"name\":\"read\",\"cat\":\"req\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{},\"ts\":{}",
+                            token.0,
+                            ts_us(at, meta)
+                        ),
+                    );
+                }
+            }
+            TraceEvent::McDataEnd { token, channel, at, burst_cycles } => {
+                if let Some(&(_, rank, bank)) =
+                    tokens.get(&token.0).and_then(|ti| ti.cas.get(&channel))
+                {
+                    let start = at.saturating_sub(u64::from(burst_cycles));
+                    push(
+                        &mut entries,
+                        PID_MEM,
+                        bank_tid(channel, rank, bank),
+                        start,
+                        format!(
+                            "\"name\":\"data\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"args\":{{\"token\":{}}}",
+                            ts_us(start, meta),
+                            ts_us(u64::from(burst_cycles), meta),
+                            token.0
+                        ),
+                    );
+                }
+            }
+            TraceEvent::McDrainEnter { channel, at } => {
+                drain_open.insert(channel, at);
+            }
+            TraceEvent::McDrainExit { channel, at } => {
+                if let Some(begin) = drain_open.remove(&channel) {
+                    push(
+                        &mut entries,
+                        PID_MEM,
+                        chan_tid(channel),
+                        begin,
+                        format!(
+                            "\"name\":\"write-drain\",\"ph\":\"X\",\"ts\":{},\"dur\":{}",
+                            ts_us(begin, meta),
+                            ts_us(at.saturating_sub(begin), meta)
+                        ),
+                    );
+                }
+            }
+            TraceEvent::DramRefresh { channel, at, rank } => {
+                push(
+                    &mut entries,
+                    PID_MEM,
+                    chan_tid(channel),
+                    at,
+                    format!(
+                        "\"name\":\"REF\",\"ph\":\"i\",\"ts\":{},\"s\":\"t\",\"args\":{{\"rank\":{rank}}}",
+                        ts_us(at, meta)
+                    ),
+                );
+            }
+            TraceEvent::DramPower { channel, at, rank, state } => {
+                push(
+                    &mut entries,
+                    PID_MEM,
+                    chan_tid(channel),
+                    at,
+                    format!(
+                        "\"name\":\"power-r{rank}\",\"ph\":\"C\",\"ts\":{},\"args\":{{\"state\":{state}}}",
+                        ts_us(at, meta)
+                    ),
+                );
+            }
+        }
+    }
+
+    // Name every memory track that received events.
+    for e in &entries {
+        if e.pid != PID_MEM {
+            continue;
+        }
+        let channel = (e.tid / TRACK_STRIDE) as u16;
+        let label = chan_label(meta, channel);
+        let name = if e.tid % TRACK_STRIDE == 0 {
+            label
+        } else {
+            format!("{label}.bank{}", e.tid % TRACK_STRIDE - 1)
+        };
+        thread_names.entry((PID_MEM, e.tid)).or_insert(name);
+    }
+
+    // Stable order: metadata first, then (pid, tid, ts, append order).
+    let mut order: Vec<usize> = (0..entries.len()).collect();
+    order.sort_by_key(|&i| (entries[i].pid, entries[i].tid, entries[i].ts, i));
+
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    let mut first = true;
+    let emit = |out: &mut String, body: &str, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push('{');
+        out.push_str(body);
+        out.push('}');
+    };
+    for (pid, name) in [(PID_CORES, "cores"), (PID_MEM, "memory")] {
+        emit(
+            &mut out,
+            &format!(
+                "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{}\"}}",
+                escape(name)
+            ),
+            &mut first,
+        );
+    }
+    for ((pid, tid), name) in &thread_names {
+        emit(
+            &mut out,
+            &format!(
+                "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}",
+                escape(name)
+            ),
+            &mut first,
+        );
+    }
+    for i in order {
+        let e = &entries[i];
+        emit(&mut out, &format!("{},\"pid\":{},\"tid\":{}", e.body, e.pid, e.tid), &mut first);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_chrome_trace;
+
+    fn meta() -> TraceMeta {
+        TraceMeta {
+            cycles_per_us: 3200,
+            channel_labels: vec!["rl-0".into(), "rl-1".into()],
+            cores: 2,
+        }
+    }
+
+    #[test]
+    fn ts_is_exact_integer_arithmetic() {
+        let m = meta();
+        assert_eq!(ts_us(0, &m), "0.0000000");
+        assert_eq!(ts_us(3200, &m), "1.0000000");
+        assert_eq!(ts_us(1, &m), "0.0003125");
+        assert_eq!(ts_us(4801, &m), "1.5003125");
+    }
+
+    #[test]
+    fn export_validates_and_names_tracks() {
+        let t = RequestToken(5);
+        let events = vec![
+            TraceEvent::RobStallBegin { core: 0, at: 10 },
+            TraceEvent::MshrAlloc {
+                token: t,
+                core: 0,
+                at: 12,
+                line: 0x80,
+                critical_word: 2,
+                demand: true,
+            },
+            TraceEvent::McEnqueue { token: t, channel: 1, at: 12 },
+            TraceEvent::McActivate { token: t, channel: 1, at: 20, rank: 0, bank: 3 },
+            TraceEvent::McCas { token: t, channel: 1, at: 40, rank: 0, bank: 3, write: false },
+            TraceEvent::McDataEnd { token: t, channel: 1, at: 80, burst_cycles: 16 },
+            TraceEvent::WordsArrived { token: t, at: 80, words: 0xFF, served_fast: false },
+            TraceEvent::FillDone { token: t, at: 80 },
+            TraceEvent::RobStallEnd { core: 0, at: 82 },
+            TraceEvent::DramRefresh { channel: 1, at: 90, rank: 0 },
+            TraceEvent::DramPower { channel: 1, at: 95, rank: 0, state: 1 },
+            TraceEvent::McDrainEnter { channel: 0, at: 100 },
+            TraceEvent::McDrainExit { channel: 0, at: 120 },
+        ];
+        let json = export(&events, &meta());
+        let check = validate_chrome_trace(&json).unwrap();
+        assert!(check.events > 10);
+        assert!(check.metadata >= 4, "process + thread names expected");
+        assert!(json.contains("\"name\":\"rl-1.bank3\""));
+        assert!(json.contains("critical-word"));
+        assert!(json.contains("write-drain"));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let events = vec![
+            TraceEvent::Retire { core: 1, at: 64, count: 64 },
+            TraceEvent::L1Miss { core: 0, at: 3, line: 1 },
+        ];
+        assert_eq!(export(&events, &meta()), export(&events, &meta()));
+    }
+}

@@ -1,0 +1,151 @@
+//! Fixed-capacity ring buffer for trace records.
+
+use crate::event::TraceEvent;
+
+/// Bounded event log with drop-oldest overflow semantics.
+///
+/// All storage is allocated once at construction; [`TraceRing::push`]
+/// never reallocates and never fails. When the ring is full the
+/// oldest record is overwritten and [`TraceRing::dropped`] is
+/// incremented, so a full run always keeps the *most recent* window
+/// of activity and reports exactly how much history fell off the
+/// front.
+#[derive(Debug)]
+pub struct TraceRing {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Index of the oldest record once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// Default capacity (records) used by the simulator: 256 Ki
+    /// records ≈ 8 MiB, enough to hold every event of a short run.
+    pub const DEFAULT_CAPACITY: usize = 1 << 18;
+
+    /// Create a ring holding at most `capacity` records
+    /// (`capacity == 0` is rounded up to 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        TraceRing { buf: Vec::with_capacity(cap), cap, head: 0, dropped: 0 }
+    }
+
+    /// Append a record, overwriting the oldest one when full.
+    #[inline]
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head += 1;
+            if self.head == self.cap {
+                self.head = 0;
+            }
+            self.dropped += 1;
+        }
+    }
+
+    /// Append every record from `events`, draining it.
+    pub fn extend_from(&mut self, events: &mut Vec<TraceEvent>) {
+        for ev in events.drain(..) {
+            self.push(ev);
+        }
+    }
+
+    /// Number of records currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no records are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of records dropped to overflow since construction.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained records in append (chronological) order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::RequestToken;
+
+    fn fill(token: u64) -> TraceEvent {
+        TraceEvent::FillDone { token: RequestToken(token), at: token }
+    }
+
+    #[test]
+    fn push_below_capacity_keeps_everything() {
+        let mut r = TraceRing::new(8);
+        for i in 0..5 {
+            r.push(fill(i));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.dropped(), 0);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 5);
+        assert_eq!(snap[0], fill(0));
+        assert_eq!(snap[4], fill(4));
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let mut r = TraceRing::new(4);
+        for i in 0..10 {
+            r.push(fill(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        // The most recent window survives, in order.
+        assert_eq!(r.snapshot(), vec![fill(6), fill(7), fill(8), fill(9)]);
+    }
+
+    #[test]
+    fn overflow_never_reallocates() {
+        let mut r = TraceRing::new(16);
+        for i in 0..16 {
+            r.push(fill(i));
+        }
+        let cap_before = r.buf.capacity();
+        for i in 16..1000 {
+            r.push(fill(i));
+        }
+        assert_eq!(r.buf.capacity(), cap_before);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = TraceRing::new(0);
+        r.push(fill(1));
+        r.push(fill(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.snapshot(), vec![fill(2)]);
+    }
+
+    #[test]
+    fn extend_from_drains_source() {
+        let mut r = TraceRing::new(8);
+        let mut v = vec![fill(1), fill(2)];
+        r.extend_from(&mut v);
+        assert!(v.is_empty());
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -16,6 +16,8 @@
 //! * [`power`] — Micron-calculator-style DRAM power and system-energy model.
 //! * [`ecc`] — SECDED Hamming(72,64) and byte parity with fault injection.
 //! * [`cwf`] — the paper's contribution: CWF heterogeneous memory systems.
+//! * [`tracelog`] — cross-layer ring-buffer event tracing with Perfetto
+//!   export and per-read latency waterfalls.
 //! * [`sim`] — the full-system harness and per-figure experiment drivers.
 //!
 //! # Quickstart
@@ -34,6 +36,7 @@
 pub use cache_hier as cache;
 pub use cpu_model as cpu;
 pub use cwf_core as cwf;
+pub use cwf_tracelog as tracelog;
 pub use dram_power as power;
 pub use dram_timing as dram;
 pub use ecc;

@@ -4,6 +4,8 @@
 //! ```text
 //! cwfmem list                         # benchmarks and memory organizations
 //! cwfmem run --mem rl --bench mcf     # one run, key metrics (or --json)
+//! cwfmem run --bench mcf --trace t.json  # also export a Perfetto trace
+//! cwfmem trace-check t.json           # validate an exported trace
 //! cwfmem compare --bench leslie3d     # all organizations side by side
 //! cwfmem sweep --json out/            # parallel grid, one JSON per cell
 //! cwfmem figures fig6                 # regenerate a paper figure
@@ -16,7 +18,7 @@ use cwfmem::sim::experiments::{
     fig2_power_utilization, fig3_line_profiles, fig4_critical_word_distribution, fig6_7_8_cwf,
     fig9_placement,
 };
-use cwfmem::sim::{run_benchmark, run_benchmark_verified, Kernel, RunConfig};
+use cwfmem::sim::{run_benchmark, run_benchmark_traced, Kernel, RunConfig};
 use cwfmem::workloads::suite;
 
 const KINDS: [(&str, MemKind); 9] = [
@@ -33,8 +35,10 @@ const KINDS: [(&str, MemKind); 9] = [
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  cwfmem list\n  cwfmem run --mem <kind> --bench <name>|--trace <file> [--reads N] \
-         [--cores N] [--no-prefetch] [--parity-rate P] [--seed S] [--kernel cycle|event] [--verify|--no-verify] [--json]\n  \
+        "usage:\n  cwfmem list\n  cwfmem run --mem <kind> --bench <name>|--replay <file> [--reads N] \
+         [--cores N] [--no-prefetch] [--parity-rate P] [--seed S] [--kernel cycle|event] \
+         [--verify|--no-verify] [--trace <out.json>|--no-trace] [--json]\n  \
+         cwfmem trace-check <file.json>\n  \
          cwfmem compare --bench <name> [--reads N]\n  \
          cwfmem sweep [--benches a,b,c|--all-benches] [--kinds k1,k2] [--reads N] [--jobs N] \
          [--json DIR]\n  \
@@ -66,6 +70,7 @@ fn main() {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("figures") => cmd_figures(&args[1..]),
         Some("dump-trace") => cmd_dump_trace(&args[1..]),
+        Some("trace-check") => cmd_trace_check(&args[1..]),
         _ => usage(),
     }
 }
@@ -116,17 +121,34 @@ fn build_config(args: &[String]) -> RunConfig {
     } else if args.iter().any(|a| a == "--no-verify") {
         cfg.verify = false;
     }
+    // `--trace <out.json>` enables trace collection (and exports the
+    // Perfetto document); `--no-trace` overrides `CWF_TRACE`.
+    if args.iter().any(|a| a == "--trace") {
+        cfg.trace = true;
+    } else if args.iter().any(|a| a == "--no-trace") {
+        cfg.trace = false;
+    }
     cfg
 }
 
 fn cmd_run(args: &[String]) {
     let cfg = build_config(args);
-    let (m, kstats, verify) = if let Some(trace) = arg_value(args, "--trace") {
+    let trace_out = arg_value(args, "--trace");
+    if cfg.trace && args.iter().any(|a| a == "--trace") {
+        match &trace_out {
+            Some(p) if !p.starts_with("--") => {}
+            _ => {
+                eprintln!("--trace needs an output path (e.g. --trace trace.json)");
+                usage()
+            }
+        }
+    }
+    let (m, kstats, verify, trace) = if let Some(replay) = arg_value(args, "--replay") {
         // Replay an external trace, phase-shifted per core (see `dump-trace`).
         use cwfmem::sim::system::BoxedTrace;
         use cwfmem::workloads::FileTraceSource;
-        let src = FileTraceSource::open(&trace).unwrap_or_else(|e| {
-            eprintln!("cannot load trace {trace}: {e}");
+        let src = FileTraceSource::open(&replay).unwrap_or_else(|e| {
+            eprintln!("cannot load trace {replay}: {e}");
             std::process::exit(1)
         });
         let mut cfg = cfg;
@@ -138,20 +160,34 @@ fn cmd_run(args: &[String]) {
             .map(|i| Box::new(src.clone().starting_at(i * src.len() / n)) as BoxedTrace)
             .collect();
         let backend = cfg.mem.build(cfg.parity_error_rate, cfg.seed);
-        let mut sys = cwfmem::sim::System::with_trace_sources(&cfg, &trace, sources, backend);
+        let mut sys = cwfmem::sim::System::with_trace_sources(&cfg, &replay, sources, backend);
         let m = sys.run();
-        (m, sys.kernel_stats(), sys.verify_report())
+        (m, sys.kernel_stats(), sys.verify_report(), sys.trace_report())
     } else {
         let bench = arg_value(args, "--bench").unwrap_or_else(|| "leslie3d".into());
-        run_benchmark_verified(&cfg, &bench)
+        run_benchmark_traced(&cfg, &bench)
     };
+    if let (Some(path), Some(t)) = (&trace_out, &trace) {
+        if let Err(e) = std::fs::write(path, t.perfetto_json()) {
+            eprintln!("cannot write trace {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote Perfetto trace to {path} ({} events, {} dropped); open at ui.perfetto.dev",
+            t.events.len(),
+            t.dropped
+        );
+    }
     if args.iter().any(|a| a == "--json") {
         // The sweep's structured schema (`cwfmem.run.v1`), one document,
-        // plus the additive kernel (and, under `--verify`, oracle)
-        // diagnostics objects.
-        match &verify {
-            Some(v) => print!("{}", cwfmem::sim::report::to_json_verified(&m, &kstats, v)),
-            None => print!("{}", cwfmem::sim::report::to_json_diag(&m, &kstats)),
+        // plus the additive kernel (and, under `--verify`/`--trace`,
+        // oracle and trace) diagnostics objects.
+        match (&verify, &trace) {
+            (v, Some(t)) => {
+                print!("{}", cwfmem::sim::report::to_json_traced(&m, &kstats, v.as_ref(), t));
+            }
+            (Some(v), None) => print!("{}", cwfmem::sim::report::to_json_verified(&m, &kstats, v)),
+            (None, None) => print!("{}", cwfmem::sim::report::to_json_diag(&m, &kstats)),
         }
     } else {
         println!("{} on {} ({} cores, {} reads):", m.mem.label(), m.bench, cfg.cores, m.dram_reads);
@@ -188,6 +224,34 @@ fn cmd_run(args: &[String]) {
                     v.violations.first().map_or_else(String::new, ToString::to_string)
                 );
             }
+        }
+        if let Some(t) = &trace {
+            println!(
+                "  trace                  {} events ({} dropped), {} reads decomposed",
+                t.events.len(),
+                t.dropped,
+                t.summary.reads
+            );
+        }
+    }
+}
+
+fn cmd_trace_check(args: &[String]) {
+    let Some(path) = args.first() else { usage() };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1)
+    });
+    match cwfmem::tracelog::json::validate_chrome_trace(&text) {
+        Ok(check) => {
+            println!(
+                "{path}: valid Chrome/Perfetto trace ({} events, {} metadata, {} tracks)",
+                check.events, check.metadata, check.tracks
+            );
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID trace: {e}");
+            std::process::exit(1);
         }
     }
 }

@@ -1,0 +1,62 @@
+//! Golden pin of the Perfetto/Chrome-trace export.
+//!
+//! One tiny benchmark on the DDR3 baseline, fixed seed: the exported
+//! JSON must be byte-stable across runs (deterministic event order and
+//! exact-integer timestamps), structurally valid, and per-track
+//! monotonic. Any simulation or exporter change shifts the digest —
+//! update the pins deliberately (print them with
+//! `cargo test --test trace_golden -- --nocapture pins`).
+
+use cwfmem::sim::config::MemKind;
+use cwfmem::sim::{run_benchmark_traced, RunConfig};
+use cwfmem::tracelog::json::validate_chrome_trace;
+
+/// FNV-1a over the export text — cheap, dependency-free pinning.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const GOLDEN_EVENTS: usize = 7_513;
+const GOLDEN_DIGEST: u64 = 0xd34b_5a34_26f9_ba49;
+
+fn export() -> (String, usize) {
+    let cfg = RunConfig { trace: true, verify: false, ..RunConfig::quick(MemKind::Ddr3, 300) };
+    let (_m, _k, _v, trace) = run_benchmark_traced(&cfg, "leslie3d");
+    let t = trace.expect("trace on");
+    (t.perfetto_json(), t.events.len())
+}
+
+#[test]
+fn perfetto_export_matches_golden_pin() {
+    let (json, raw_events) = export();
+    let check = validate_chrome_trace(&json).expect("export must be a valid Chrome trace");
+    assert!(check.events > 0 && check.tracks > 0, "vacuous export: {check:?}");
+    assert_eq!(raw_events, GOLDEN_EVENTS, "traced event count moved");
+    assert_eq!(
+        fnv1a(&json),
+        GOLDEN_DIGEST,
+        "Perfetto export changed — re-pin deliberately if the simulation \
+         or exporter changed ({} chars, {} trace entries)",
+        json.len(),
+        check.events
+    );
+}
+
+#[test]
+fn perfetto_export_is_deterministic() {
+    let (a, _) = export();
+    let (b, _) = export();
+    assert_eq!(a, b, "same config + seed must export byte-identical traces");
+}
+
+/// Not a check: prints the current pins (`-- --nocapture pins`).
+#[test]
+fn pins() {
+    let (json, raw_events) = export();
+    println!("GOLDEN_EVENTS = {raw_events}; GOLDEN_DIGEST = {:#018x};", fnv1a(&json));
+}
