@@ -1,0 +1,145 @@
+//! Engineering benchmark: memory-controller scheduling hot path.
+//!
+//! Drives bare controllers (no cores, no caches) with an **open-loop**
+//! arrival stream in an event-gated loop — `tick_mem` at the cycles
+//! `next_activity_mem` reports (capped at the next arrival), admit
+//! arrivals at exactly their precomputed cycle, drop on a full queue —
+//! so the wall clock measures exactly the code the indexed FR-FCFS
+//! rebuild changed: the per-tick selection passes, the memoized
+//! `can_issue` probes, and the tightness of the controller's
+//! self-reported activity bound (a coarse bound degenerates this loop
+//! to one tick per device cycle).
+//!
+//! Because admission happens at fixed pre-drawn cycles and never depends
+//! on wall-clock or tick cadence, two checkouts of the controller that
+//! are behaviourally equivalent simulate the *identical* command stream
+//! and must print matching `sim cycles`, making the wall-clock column a
+//! like-for-like comparison. Checkouts that intentionally change
+//! scheduling-visible semantics (e.g. the refresh-cadence fix) shift
+//! the cycle counts by a few percent; anything larger is a correctness
+//! red flag.
+//!
+//! The stream mirrors the sweep's memory-side burst behaviour: 30%
+//! writes, 20% prefetch reads, 60% row locality, saturating arrivals
+//! with occasional long gaps that let ranks power down.
+//!
+//! ```text
+//! CWF_READS=200000 cargo bench -p cwf-bench --bench sched_hotpath
+//! ```
+//!
+//! Compare two checkouts by running the same bench source on each; the
+//! per-device `Mcyc/s` and the final aggregate line are the numbers
+//! quoted in EXPERIMENTS.md.
+
+use std::time::Instant;
+
+use dram_timing::DeviceConfig;
+use mem_ctrl::{Controller, Loc, Token};
+
+/// Deterministic split-mix style generator — identical stream on every
+/// run and checkout.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+}
+
+struct DeviceRun {
+    name: &'static str,
+    cfg: DeviceConfig,
+    ranks: u32,
+}
+
+/// One full run: returns (simulated device cycles, tick_mem calls).
+fn run(dev: &DeviceRun, target_reads: u64) -> (u64, u64) {
+    let banks = dev.cfg.geometry.banks as u8;
+    let mut ctrl = Controller::new(dev.cfg.clone(), dev.ranks, 8, dev.name);
+    let mut rng = Lcg(0x5eed_0001);
+    let mut now = 0u64;
+    let mut ticks = 0u64;
+    let mut tok = 0u64;
+    let mut done = 0u64;
+    let mut arrival = 0u64;
+    let mut last_row = vec![0u32; (dev.ranks * u32::from(banks)) as usize];
+    while done < target_reads {
+        // Admit every arrival due this cycle; a full queue drops the
+        // transaction (admission outcomes depend only on simulated state
+        // at the arrival cycle, never on tick cadence).
+        while arrival <= now {
+            let x = rng.next();
+            let rank = (x % u64::from(dev.ranks)) as u8;
+            let bank = ((x >> 8) % u64::from(banks)) as u8;
+            let idx = (u32::from(rank) * u32::from(banks) + u32::from(bank)) as usize;
+            // 60% row locality: revisit the bank's last row.
+            let row = if x % 10 < 6 { last_row[idx] } else { ((x >> 20) % 32) as u32 };
+            last_row[idx] = row;
+            let col = ((x >> 32) % 64) as u32;
+            let loc = Loc { rank, bank, row, col };
+            if x % 10 < 3 {
+                if ctrl.write_space() {
+                    ctrl.enqueue_write(loc, now);
+                }
+            } else if ctrl.read_space() {
+                ctrl.enqueue_read(Token(tok), loc, x % 10 >= 8, now);
+                tok += 1;
+            }
+            // Saturating inter-arrival (faster than any device's service
+            // rate, so queues sit near capacity like the sweep's burst
+            // phases) with a 1-in-32 long pause that lets idle ranks
+            // reach their power-down windows.
+            let gap = if x.is_multiple_of(32) { 30 + ((x >> 12) % 34) } else { (x >> 40) % 3 };
+            arrival += gap;
+        }
+        ctrl.tick_mem(now, true);
+        ticks += 1;
+        done += ctrl.take_completions().len() as u64;
+        let bound = ctrl.next_activity_mem(now).unwrap_or(u64::MAX);
+        now = bound.min(arrival).max(now + 1);
+    }
+    (now, ticks)
+}
+
+fn main() {
+    cwf_bench::header("scheduler hot path (bare controllers, event-gated)");
+    let target_reads = cwf_bench::reads().max(1_000) * 4;
+    let devices = [
+        DeviceRun { name: "ddr3", cfg: DeviceConfig::ddr3_1600(), ranks: 2 },
+        DeviceRun { name: "lpddr2", cfg: DeviceConfig::lpddr2_800(), ranks: 2 },
+        DeviceRun { name: "rldram3", cfg: DeviceConfig::rldram3(), ranks: 1 },
+    ];
+    println!(
+        "{:<8} {:>12} {:>12} {:>8} {:>9} {:>10}",
+        "device", "sim cycles", "mem ticks", "ratio", "secs", "Mcyc/s"
+    );
+    let mut total_secs = 0.0f64;
+    let mut total_cycles = 0u64;
+    for dev in &devices {
+        // Warm-up run, then best-of-3 timed runs.
+        let (cycles, ticks) = run(dev, target_reads);
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let _ = run(dev, target_reads);
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        total_secs += best;
+        total_cycles += cycles;
+        println!(
+            "{:<8} {:>12} {:>12} {:>7.1}x {:>9.3} {:>10.1}",
+            dev.name,
+            cycles,
+            ticks,
+            cycles as f64 / ticks as f64,
+            best,
+            cycles as f64 / best / 1e6
+        );
+    }
+    println!(
+        "\naggregate: {total_cycles} device cycles in {total_secs:.3}s \
+         ({:.1} Mcyc/s)",
+        total_cycles as f64 / total_secs / 1e6
+    );
+}

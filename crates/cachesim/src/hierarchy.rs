@@ -237,6 +237,10 @@ pub struct Hierarchy<M> {
     mshr: MshrFile,
     prefetchers: Vec<StridePrefetcher>,
     mem: M,
+    /// Set when a core-path access submitted (or attempted to submit) a
+    /// request to the backend since the last [`Hierarchy::take_backend_touched`];
+    /// the event kernel only recomputes its wake bound when this fires.
+    backend_touched: bool,
     writeback_buf: VecDeque<LineRequest>,
     next_load_id: u64,
     ev_buf: Vec<MemEvent>,
@@ -264,6 +268,7 @@ impl<M: MainMemory> Hierarchy<M> {
                 .map(|_| StridePrefetcher::new(64, params.prefetch_degree))
                 .collect(),
             mem,
+            backend_touched: false,
             writeback_buf: VecDeque::new(),
             next_load_id: 0,
             ev_buf: Vec::new(),
@@ -484,6 +489,7 @@ impl<M: MainMemory> Hierarchy<M> {
             return AccessOutcome::Blocked;
         }
         let req = LineRequest::demand_read(line << 6, word, core);
+        self.backend_touched = true;
         let token = match self.mem.try_submit(&req, now) {
             Ok(Some(t)) => t,
             Ok(None) => unreachable!("demand read returns a token"),
@@ -532,6 +538,7 @@ impl<M: MainMemory> Hierarchy<M> {
             return;
         }
         let req = LineRequest::prefetch_read(line << 6, core);
+        self.backend_touched = true;
         if let Ok(Some(token)) = self.mem.try_submit(&req, now) {
             if let Some(buf) = &mut self.audit {
                 buf.push(HierAudit::Submit { token, at: now });
@@ -668,14 +675,25 @@ impl<M: MainMemory> Hierarchy<M> {
     ///
     /// The hierarchy itself is event-driven — caches, MSHRs and the
     /// prefetcher only change state inside `load`/`store` or while
-    /// processing memory events — so the bound is exactly the backend's:
-    /// buffered writebacks can only retry successfully once the backend
-    /// frees queue space, which requires a backend state change, and a
-    /// backend with a full (hence non-empty) queue always reports the
-    /// next device-cycle boundary.
+    /// processing memory events — so the bound is exactly the backend's.
+    /// The backend derives it from its memoized per-(rank, bank, class)
+    /// ready-cycles: the earliest candidate command, refresh action,
+    /// power transition, or pending completion hand-off. Buffered
+    /// writebacks stay covered: they are created and drained within
+    /// `tick` itself, and a drain blocked on a full backend write queue
+    /// retries no later than that queue's next dequeue, which is one of
+    /// the folded candidate commands.
     #[must_use]
     pub fn next_activity(&self, now: u64) -> Option<u64> {
         self.mem.next_activity(now)
+    }
+
+    /// True if a core-path access has touched the memory backend (submit
+    /// or blocked submit attempt) since the last call; clears the flag.
+    /// The event kernel uses this to skip recomputing its wake bound on
+    /// pure cache-hit cycles, where the backend provably did not change.
+    pub fn take_backend_touched(&mut self) -> bool {
+        std::mem::take(&mut self.backend_touched)
     }
 
     /// Flush remaining writebacks opportunistically (end of run).

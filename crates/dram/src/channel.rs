@@ -6,11 +6,38 @@
 //! issue per device cycle (single command bus); the caller enforces that by
 //! issuing at most once per cycle.
 
+use std::cell::RefCell;
+
 use crate::bank::BankState;
 use crate::command::Command;
 use crate::config::{AddressingStyle, DeviceConfig};
 use crate::rank::{PowerState, Rank};
 use crate::stats::{ChannelStats, Residency};
+
+/// Command classes with distinct timing-bound formulas, used to key the
+/// memoized ready-cycle table. `Refresh` is rank-wide and stored in bank 0's
+/// slot.
+const CLASS_ACT: usize = 0;
+const CLASS_READ: usize = 1;
+const CLASS_WRITE: usize = 2;
+const CLASS_PRE: usize = 3;
+const CLASS_REF_BANK: usize = 4;
+const CLASS_REF: usize = 5;
+const NCLASS: usize = 6;
+
+/// One memoized timing bound. Valid while the generation counters match;
+/// `rank_gen == u64::MAX` marks a never-filled slot (live generations start
+/// at 0 and only increment).
+#[derive(Debug, Clone, Copy)]
+struct MemoSlot {
+    rank_gen: u64,
+    bus_gen: u64,
+    bound: u64,
+}
+
+impl MemoSlot {
+    const EMPTY: Self = MemoSlot { rank_gen: u64::MAX, bus_gen: 0, bound: 0 };
+}
 
 /// Result of issuing a column command.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +58,17 @@ pub struct Channel {
     last_burst_rank: Option<u8>,
     last_burst_write: bool,
     stats: ChannelStats,
+    /// Per-rank invalidation generation: bumped whenever any state that can
+    /// move a timing bound for that rank changes (a command issues, the rank
+    /// wakes or sleeps, or a caller takes `rank_mut`).
+    rank_gen: Vec<u64>,
+    /// Data-bus invalidation generation: bumped on every column (Read/Write)
+    /// issue, since bus occupancy and turnaround affect all ranks' column
+    /// bounds.
+    bus_gen: u64,
+    /// Memoized static timing bound per `(rank, bank, command class)`.
+    /// `earliest_issue` probes become an O(1) generation compare on hits.
+    memo: RefCell<Vec<MemoSlot>>,
     /// When `Some`, every issued command is appended (protocol auditing).
     log: Option<Vec<(u64, Command)>>,
     /// When logging is on, every rank power-state change is appended as
@@ -49,6 +87,7 @@ impl Channel {
     pub fn new(cfg: DeviceConfig, ranks: u32) -> Self {
         assert!(ranks > 0, "a channel needs at least one rank");
         let banks = cfg.geometry.banks;
+        let slots = (ranks as usize) * (banks as usize) * NCLASS;
         Channel {
             ranks: (0..ranks).map(|_| Rank::new(banks)).collect(),
             cfg,
@@ -56,9 +95,39 @@ impl Channel {
             last_burst_rank: None,
             last_burst_write: false,
             stats: ChannelStats::default(),
+            rank_gen: vec![0; ranks as usize],
+            bus_gen: 0,
+            memo: RefCell::new(vec![MemoSlot::EMPTY; slots]),
             log: None,
             power_log: None,
         }
+    }
+
+    /// Memoized static timing bound for `(class, rank, bank)`: returns the
+    /// cached bound when the relevant generations match, else recomputes via
+    /// `compute` and caches it. The bound is `now`-independent by
+    /// construction (every formula is a max over state registers), so
+    /// `earliest_issue` is `max(now, bound)`.
+    fn memo_bound(&self, class: usize, rank: u8, bank: u8, compute: impl FnOnce() -> u64) -> u64 {
+        let banks = self.cfg.geometry.banks as usize;
+        let idx = (usize::from(rank) * banks + usize::from(bank)) * NCLASS + class;
+        let rank_gen = self.rank_gen[usize::from(rank)];
+        let bus_gen = if class == CLASS_READ || class == CLASS_WRITE { self.bus_gen } else { 0 };
+        {
+            let memo = self.memo.borrow();
+            let slot = memo[idx];
+            if slot.rank_gen == rank_gen && slot.bus_gen == bus_gen {
+                return slot.bound;
+            }
+        }
+        let bound = compute();
+        self.memo.borrow_mut()[idx] = MemoSlot { rank_gen, bus_gen, bound };
+        bound
+    }
+
+    /// Invalidate memoized bounds for one rank.
+    fn bump_rank_gen(&mut self, rank: u8) {
+        self.rank_gen[usize::from(rank)] += 1;
     }
 
     /// Start recording every issued command (for protocol auditing with
@@ -100,10 +169,14 @@ impl Channel {
 
     /// Mutable rank access (power-state management by the controller).
     ///
+    /// Conservatively invalidates this rank's memoized timing bounds, since
+    /// the caller may mutate any timing register.
+    ///
     /// # Panics
     ///
     /// Panics if `rank` is out of range.
     pub fn rank_mut(&mut self, rank: u8) -> &mut Rank {
+        self.bump_rank_gen(rank);
         &mut self.ranks[usize::from(rank)]
     }
 
@@ -148,6 +221,13 @@ impl Channel {
     /// Earliest cycle `>= now` at which `cmd` could legally issue, or
     /// `None` if the command is illegal in the current state (wrong row
     /// open, rank powered down, addressing-style mismatch, …).
+    ///
+    /// Legality is always checked against live state; the timing bound is
+    /// memoized per `(rank, bank, command class)` and only recomputed after
+    /// an invalidating mutation (command issue, power transition, or
+    /// `rank_mut`), so repeated probes are O(1). Each bound is a pure max
+    /// over state registers — row numbers and `now` never enter it — which
+    /// is what makes the memoization sound.
     #[must_use]
     pub fn earliest_issue(&self, cmd: &Command, now: u64) -> Option<u64> {
         let t = &self.cfg.timings;
@@ -156,7 +236,7 @@ impl Channel {
         if rank.power_state() != PowerState::Up {
             return None; // the controller must wake the rank first
         }
-        match *cmd {
+        let bound = match *cmd {
             Command::Activate { bank, .. } => {
                 if self.cfg.addressing == AddressingStyle::SingleCommand {
                     return None;
@@ -165,9 +245,10 @@ impl Channel {
                 if !b.is_idle() {
                     return None;
                 }
-                let mut lb = now.max(b.next_act).max(rank.next_act_rrd).max(rank.next_cmd_ok);
-                lb = rank.faw_ready(lb, t.t_faw);
-                Some(lb)
+                self.memo_bound(CLASS_ACT, rank_idx, bank, || {
+                    let lb = b.next_act.max(rank.next_act_rrd).max(rank.next_cmd_ok);
+                    rank.faw_ready(lb, t.t_faw)
+                })
             }
             Command::Read { bank, row, .. } => {
                 let b = rank.bank(bank);
@@ -176,24 +257,24 @@ impl Channel {
                         if b.open_row() != Some(row) {
                             return None;
                         }
-                        let floor = self.burst_floor(rank_idx, false);
-                        Some(
-                            now.max(b.next_read)
+                        self.memo_bound(CLASS_READ, rank_idx, bank, || {
+                            let floor = self.burst_floor(rank_idx, false);
+                            b.next_read
                                 .max(rank.read_after_write_ok)
                                 .max(rank.next_cmd_ok)
-                                .max(floor.saturating_sub(u64::from(t.t_rl))),
-                        )
+                                .max(floor.saturating_sub(u64::from(t.t_rl)))
+                        })
                     }
                     AddressingStyle::SingleCommand => {
                         if !b.is_idle() {
                             return None;
                         }
-                        let floor = self.burst_floor(rank_idx, false);
-                        Some(
-                            now.max(b.next_act)
+                        self.memo_bound(CLASS_READ, rank_idx, bank, || {
+                            let floor = self.burst_floor(rank_idx, false);
+                            b.next_act
                                 .max(rank.next_cmd_ok)
-                                .max(floor.saturating_sub(u64::from(t.t_rl))),
-                        )
+                                .max(floor.saturating_sub(u64::from(t.t_rl)))
+                        })
                     }
                 }
             }
@@ -204,23 +285,23 @@ impl Channel {
                         if b.open_row() != Some(row) {
                             return None;
                         }
-                        let floor = self.burst_floor(rank_idx, true);
-                        Some(
-                            now.max(b.next_write)
+                        self.memo_bound(CLASS_WRITE, rank_idx, bank, || {
+                            let floor = self.burst_floor(rank_idx, true);
+                            b.next_write
                                 .max(rank.next_cmd_ok)
-                                .max(floor.saturating_sub(u64::from(t.t_wl))),
-                        )
+                                .max(floor.saturating_sub(u64::from(t.t_wl)))
+                        })
                     }
                     AddressingStyle::SingleCommand => {
                         if !b.is_idle() {
                             return None;
                         }
-                        let floor = self.burst_floor(rank_idx, true);
-                        Some(
-                            now.max(b.next_act)
+                        self.memo_bound(CLASS_WRITE, rank_idx, bank, || {
+                            let floor = self.burst_floor(rank_idx, true);
+                            b.next_act
                                 .max(rank.next_cmd_ok)
-                                .max(floor.saturating_sub(u64::from(t.t_wl))),
-                        )
+                                .max(floor.saturating_sub(u64::from(t.t_wl)))
+                        })
                     }
                 }
             }
@@ -229,26 +310,29 @@ impl Channel {
                 if b.is_idle() {
                     return None;
                 }
-                Some(now.max(b.next_pre).max(rank.next_cmd_ok))
+                self.memo_bound(CLASS_PRE, rank_idx, bank, || b.next_pre.max(rank.next_cmd_ok))
             }
             Command::Refresh { .. } => {
                 if rank.open_banks() > 0 {
                     return None;
                 }
-                let mut lb = now.max(rank.next_cmd_ok);
-                for b in rank.banks() {
-                    lb = lb.max(b.next_act);
-                }
-                Some(lb)
+                self.memo_bound(CLASS_REF, rank_idx, 0, || {
+                    let mut lb = rank.next_cmd_ok;
+                    for b in rank.banks() {
+                        lb = lb.max(b.next_act);
+                    }
+                    lb
+                })
             }
             Command::RefreshBank { bank, .. } => {
                 let b = rank.bank(bank);
                 if !b.is_idle() {
                     return None;
                 }
-                Some(now.max(b.next_act).max(rank.next_cmd_ok))
+                self.memo_bound(CLASS_REF_BANK, rank_idx, bank, || b.next_act.max(rank.next_cmd_ok))
             }
-        }
+        };
+        Some(now.max(bound))
     }
 
     /// True iff `cmd` may issue exactly at `now`.
@@ -271,11 +355,17 @@ impl Channel {
         let t = self.cfg.timings;
         let addressing = self.cfg.addressing;
         let rank_idx = cmd.rank();
+        // Any issue can move this rank's timing bounds; column commands also
+        // occupy the shared data bus and thus move every rank's column bounds.
+        self.bump_rank_gen(rank_idx);
+        if matches!(cmd, Command::Read { .. } | Command::Write { .. }) {
+            self.bus_gen += 1;
+        }
         let rank = &mut self.ranks[usize::from(rank_idx)];
         rank.touch(now);
         match *cmd {
             Command::Activate { bank, row, .. } => {
-                rank.bank_mut(bank).apply_activate(now, row, t.t_rcd, t.t_ras, t.t_rc);
+                rank.apply_activate(bank, now, row, t.t_rcd, t.t_ras, t.t_rc);
                 rank.note_activate(now, t.t_rrd);
                 self.stats.activates += 1;
                 self.stats.per_bank[usize::from(bank)].activates += 1;
@@ -294,7 +384,7 @@ impl Channel {
                             if auto_pre {
                                 let pre_at = (now + u64::from(t.t_rtp))
                                     .max(b.last_act_at + u64::from(t.t_ras));
-                                b.apply_auto_precharge(pre_at, t.t_rp);
+                                rank.apply_auto_precharge(bank, pre_at, t.t_rp);
                             }
                         }
                         AddressingStyle::SingleCommand => {
@@ -331,7 +421,7 @@ impl Channel {
                             if auto_pre {
                                 let pre_at = (data_end + u64::from(t.t_wr))
                                     .max(b.last_act_at + u64::from(t.t_ras));
-                                b.apply_auto_precharge(pre_at, t.t_rp);
+                                rank.apply_auto_precharge(bank, pre_at, t.t_rp);
                             }
                         }
                         AddressingStyle::SingleCommand => {
@@ -350,7 +440,7 @@ impl Channel {
                 IssueOutcome { data_start: Some(data_start), data_end: Some(data_end) }
             }
             Command::Precharge { bank, .. } => {
-                rank.bank_mut(bank).apply_precharge(now, t.t_rp);
+                rank.apply_precharge(bank, now, t.t_rp);
                 self.stats.precharges += 1;
                 IssueOutcome { data_start: None, data_end: None }
             }
@@ -405,6 +495,9 @@ impl Channel {
             PowerState::SelfRefresh => false,
         };
         if changed {
+            // The PD→SR escalation path goes through `Rank::wake`, which can
+            // move `next_cmd_ok` — invalidate the memoized bounds.
+            self.bump_rank_gen(rank);
             let state = self.ranks[usize::from(rank)].power_state();
             if let Some(log) = &mut self.power_log {
                 log.push((now, rank, state));
@@ -416,6 +509,7 @@ impl Channel {
     /// Wake `rank` so commands become legal; returns the ready cycle.
     pub fn wake_rank(&mut self, rank: u8, now: u64) -> u64 {
         let cfg = self.cfg.clone();
+        self.bump_rank_gen(rank);
         let was = self.ranks[usize::from(rank)].power_state();
         let ready = self.ranks[usize::from(rank)].wake(now, &cfg);
         if was != PowerState::Up {

@@ -21,6 +21,9 @@ pub enum PowerState {
 #[derive(Debug, Clone)]
 pub struct Rank {
     banks: Vec<Bank>,
+    /// Bit `b` set ⇔ bank `b` has an open row. Maintained incrementally by
+    /// the state-changing wrappers below so `open_banks` is O(1).
+    open_mask: u64,
     /// Issue times of the last four ACTs (tFAW window).
     act_window: VecDeque<u64>,
     /// Earliest next ACT due to tRRD.
@@ -40,8 +43,10 @@ impl Rank {
     /// A fresh rank with `banks` idle banks, powered up at cycle 0.
     #[must_use]
     pub fn new(banks: u32) -> Self {
+        assert!(banks <= 64, "open-bank bitmask supports at most 64 banks");
         Rank {
             banks: (0..banks).map(|_| Bank::new()).collect(),
+            open_mask: 0,
             act_window: VecDeque::with_capacity(4),
             next_act_rrd: 0,
             read_after_write_ok: 0,
@@ -63,13 +68,46 @@ impl Rank {
         &self.banks[usize::from(bank)]
     }
 
-    /// Mutable access to a bank.
+    /// Mutable access to a bank's timing registers.
+    ///
+    /// Crate-internal: open/idle transitions must go through the rank-level
+    /// wrappers ([`Rank::apply_activate`] et al.) so the open-bank bitmask
+    /// stays consistent.
     ///
     /// # Panics
     ///
     /// Panics if `bank` is out of range.
-    pub fn bank_mut(&mut self, bank: u8) -> &mut Bank {
+    pub(crate) fn bank_mut(&mut self, bank: u8) -> &mut Bank {
         &mut self.banks[usize::from(bank)]
+    }
+
+    /// Open a row in `bank` (see [`Bank::apply_activate`]), keeping the
+    /// open-bank bitmask in sync.
+    pub fn apply_activate(
+        &mut self,
+        bank: u8,
+        now: u64,
+        row: u32,
+        t_rcd: u32,
+        t_ras: u32,
+        t_rc: u32,
+    ) {
+        self.banks[usize::from(bank)].apply_activate(now, row, t_rcd, t_ras, t_rc);
+        self.open_mask |= 1u64 << bank;
+    }
+
+    /// Close the row in `bank` (see [`Bank::apply_precharge`]), keeping the
+    /// open-bank bitmask in sync.
+    pub fn apply_precharge(&mut self, bank: u8, now: u64, t_rp: u32) {
+        self.banks[usize::from(bank)].apply_precharge(now, t_rp);
+        self.open_mask &= !(1u64 << bank);
+    }
+
+    /// Auto-precharge `bank` (see [`Bank::apply_auto_precharge`]), keeping
+    /// the open-bank bitmask in sync.
+    pub fn apply_auto_precharge(&mut self, bank: u8, pre_at: u64, t_rp: u32) {
+        self.banks[usize::from(bank)].apply_auto_precharge(pre_at, t_rp);
+        self.open_mask &= !(1u64 << bank);
     }
 
     /// All banks of this rank.
@@ -81,7 +119,19 @@ impl Rank {
     /// Number of banks with an open row.
     #[must_use]
     pub fn open_banks(&self) -> usize {
-        self.banks.iter().filter(|b| !b.is_idle()).count()
+        let n = self.open_mask.count_ones() as usize;
+        debug_assert_eq!(
+            n,
+            self.banks.iter().filter(|b| !b.is_idle()).count(),
+            "open-bank bitmask out of sync with bank states"
+        );
+        n
+    }
+
+    /// Bitmask of banks with an open row (bit `b` ⇔ bank `b` open).
+    #[must_use]
+    pub fn open_mask(&self) -> u64 {
+        self.open_mask
     }
 
     /// Current power state.

@@ -23,6 +23,7 @@ use cwf_tracelog::TraceEvent;
 
 use crate::mapping::Loc;
 use crate::request::Token;
+use crate::txnq::{Txn, TxnQueue};
 
 /// Transaction scheduling policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -136,15 +137,6 @@ impl ControllerStats {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Txn {
-    token: Token,
-    loc: Loc,
-    prefetch: bool,
-    enqueue_mem: u64,
-    classified: bool,
-}
-
 /// One memory channel's transaction scheduler.
 #[derive(Debug)]
 pub struct Controller {
@@ -153,9 +145,16 @@ pub struct Controller {
     label: String,
     chips_per_access: u32,
     channel: Channel,
-    read_q: Vec<Txn>,
-    write_q: Vec<Txn>,
+    read_q: TxnQueue,
+    write_q: TxnQueue,
     drain: bool,
+    /// Cached "no scheduler action before this cycle" bound: while `now`
+    /// is strictly below it, `tick_mem` skips the drain-hysteresis check
+    /// and every FR-FCFS selection pass outright. Derived from
+    /// [`Self::sched_bound`] after a fruitless schedule round; reset to 0
+    /// (unknown) by anything that can create or accelerate a candidate —
+    /// an enqueue, any command issue, or a rank wake.
+    sched_idle_until: u64,
     refresh_deadline: Vec<u64>,
     refresh_bank_rr: Vec<u8>,
     completions: Vec<ReadCompletion>,
@@ -170,6 +169,12 @@ pub struct Controller {
     /// silently (deadline re-armed, no command issued). Only the verify
     /// oracle's seeded-fault tests set this.
     fault_drop_refreshes: u32,
+    /// Fault injection: number of upcoming refresh obligations to re-arm
+    /// as if the device were in self-refresh (silent `now + tREFI` reset,
+    /// no command, rank awake) — the exact behavior of the old
+    /// `tick_refresh` self-refresh branch when it fired on a woken rank.
+    /// Only the verify oracle's seeded-fault tests set this.
+    fault_phantom_self_refresh: u32,
     /// Request-linked trace sink (None ⇒ tracing off, zero work).
     trace: Option<TraceSink>,
 }
@@ -203,6 +208,7 @@ impl Controller {
         params: CtrlParams,
     ) -> Self {
         let t_refi = u64::from(cfg.timings.t_refi);
+        let banks = cfg.geometry.banks;
         let channel = Channel::new(cfg.clone(), ranks);
         Controller {
             cfg,
@@ -210,9 +216,10 @@ impl Controller {
             label: label.to_owned(),
             chips_per_access,
             channel,
-            read_q: Vec::new(),
-            write_q: Vec::new(),
+            read_q: TxnQueue::new(ranks, banks),
+            write_q: TxnQueue::new(ranks, banks),
             drain: false,
+            sched_idle_until: 0,
             refresh_deadline: (0..ranks).map(|r| t_refi.max(1) + u64::from(r) * 7).collect(),
             refresh_bank_rr: vec![0; ranks as usize],
             completions: Vec::new(),
@@ -224,6 +231,7 @@ impl Controller {
             read_lat_hist: dram_timing::stats::LatencyHist::default(),
             next_token: 0,
             fault_drop_refreshes: 0,
+            fault_phantom_self_refresh: 0,
             trace: None,
         }
     }
@@ -254,6 +262,15 @@ impl Controller {
     /// seeded-fault tests can prove the refresh ledger is not vacuous.
     pub fn inject_drop_refresh(&mut self, n: u32) {
         self.fault_drop_refreshes = n;
+    }
+
+    /// Fault injection: make the next `n` refresh obligations behave like
+    /// the pre-fix self-refresh branch — the deadline silently resets to
+    /// `now + tREFI` with no REF issued and the rank fully awake. Exists
+    /// solely so the seeded-fault tests can prove the refresh ledger
+    /// catches that (since-fixed) behavior.
+    pub fn inject_phantom_self_refresh(&mut self, n: u32) {
+        self.fault_phantom_self_refresh = n;
     }
 
     /// Device configuration behind this channel.
@@ -303,7 +320,8 @@ impl Controller {
         if !self.read_space() {
             return false;
         }
-        self.read_q.push(Txn { token, loc, prefetch, enqueue_mem, classified: false });
+        self.read_q.push(token, loc, prefetch, enqueue_mem);
+        self.sched_idle_until = 0;
         if let Some(t) = self.trace.as_mut() {
             t.events.push(TraceEvent::McEnqueue {
                 token,
@@ -321,7 +339,8 @@ impl Controller {
         }
         let token = Token(u64::MAX - self.next_token);
         self.next_token += 1;
-        self.write_q.push(Txn { token, loc, prefetch: false, enqueue_mem, classified: false });
+        self.write_q.push(token, loc, false, enqueue_mem);
+        self.sched_idle_until = 0;
         true
     }
 
@@ -362,8 +381,22 @@ impl Controller {
             return false;
         }
         if self.tick_refresh(now) {
+            self.sched_idle_until = 0;
             return true;
         }
+        // The memoized ready-cycles prove no scheduler candidate (and no
+        // pending drain flip) before this bound — skip the whole round.
+        if now < self.sched_idle_until {
+            return false;
+        }
+        let issued = self.schedule_round(now);
+        self.sched_idle_until = if issued { 0 } else { self.sched_bound(now) };
+        issued
+    }
+
+    /// One scheduler round: apply the write-drain hysteresis, then run the
+    /// FR-FCFS selection passes. Returns `true` iff a command issued.
+    fn schedule_round(&mut self, now: u64) -> bool {
         // Write-drain hysteresis.
         let was_draining = self.drain;
         if self.write_q.len() >= self.params.wq_high {
@@ -404,18 +437,51 @@ impl Controller {
         }
     }
 
+    /// How far ahead of a refresh deadline the power manager must wake a
+    /// powered-down rank (and stop putting ranks to sleep), derived from
+    /// the device timing parameters:
+    ///
+    /// ```text
+    /// lead = tXP + (open > 0 ? tRP + open - 1 : 0)
+    /// ```
+    ///
+    /// `manage_power` runs before `tick_refresh` within the same device
+    /// cycle, so a rank woken at `deadline - tXP` has
+    /// `next_cmd_ok = deadline` and its REF becomes legal exactly at the
+    /// deadline. When the rank powered down with `open` rows still open,
+    /// the REF must additionally wait for the serialized precharges that
+    /// close them: the last of `open` precharges issues `open - 1` cycles
+    /// after the first legal command slot, and its bank is idle `tRP`
+    /// later. A powered-down rank's open-bank mask is frozen (no command
+    /// can issue), so the lead is stable for the whole sleep.
+    fn refresh_wake_ahead(&self, rank: usize) -> u64 {
+        let t = &self.cfg.timings;
+        let open = u64::from(self.channel.ranks()[rank].open_mask().count_ones());
+        let pre_lead = if open > 0 { u64::from(t.t_rp) + open - 1 } else { 0 };
+        u64::from(t.t_xp) + pre_lead
+    }
+
     /// Wake ranks that have pending work; sleep ranks that do not.
     fn manage_power(&mut self, now: u64) {
         let ranks = self.channel.ranks().len();
         for r in 0..ranks {
             let r8 = r as u8;
-            let busy = self.read_q.iter().chain(self.write_q.iter()).any(|t| t.loc.rank == r8);
+            let busy = self.read_q.rank_busy(r) || self.write_q.rank_busy(r);
             let refresh_due = self.cfg.timings.t_refi != 0
-                && now + u64::from(self.cfg.timings.t_xp) + 8 >= self.refresh_deadline[r];
+                && now + self.refresh_wake_ahead(r) >= self.refresh_deadline[r];
             let state = self.channel.ranks()[r].power_state();
             if busy || (refresh_due && state == PowerState::PowerDown) {
                 if state != PowerState::Up {
                     self.channel.wake_rank(r8, now);
+                    if state == PowerState::SelfRefresh && self.cfg.timings.t_refi != 0 {
+                        // Self-refresh maintained the array internally; the
+                        // external refresh cadence restarts one full
+                        // interval after wake-up (the verify ledger's
+                        // suspension semantics).
+                        self.refresh_deadline[r] = now + u64::from(self.cfg.timings.t_refi);
+                    }
+                    // A wake can pull scheduler candidates earlier.
+                    self.sched_idle_until = 0;
                 }
             } else if !busy && !refresh_due && state != PowerState::SelfRefresh {
                 self.channel.maybe_sleep(r8, now, true);
@@ -435,13 +501,25 @@ impl Controller {
             }
             let r8 = r as u8;
             if self.channel.ranks()[r].power_state() == PowerState::SelfRefresh {
-                // Self-refresh handles this internally.
+                // The device refreshes itself in self-refresh: the external
+                // obligation is suspended — no silent deadline reset here —
+                // and the cadence restarts a full tREFI after wake-up (see
+                // `manage_power`), mirroring the verify ledger.
+                continue;
+            }
+            if self.fault_phantom_self_refresh > 0 {
+                self.fault_phantom_self_refresh -= 1;
+                // Replays the pre-fix self-refresh branch on an awake rank:
+                // deadline reset, no REF issued.
                 self.refresh_deadline[r] = now + t_refi;
+                self.sched_idle_until = 0;
                 continue;
             }
             if self.fault_drop_refreshes > 0 {
                 self.fault_drop_refreshes -= 1;
-                self.refresh_deadline[r] = now + t_refi;
+                self.refresh_deadline[r] += t_refi;
+                // Unblocking the rank without an issue re-opens candidates.
+                self.sched_idle_until = 0;
                 continue;
             }
             match self.cfg.addressing {
@@ -452,28 +530,31 @@ impl Controller {
                     if self.channel.can_issue(&cmd, now) {
                         self.channel.issue(&cmd, now);
                         self.refresh_bank_rr[r] = (bank + 1) % self.cfg.geometry.banks as u8;
-                        self.refresh_deadline[r] = now + t_refi;
+                        // Re-arm from the stored deadline, not the issue
+                        // cycle: a late REF must not drift the cadence.
+                        self.refresh_deadline[r] += t_refi;
                         return true;
                     }
                 }
                 AddressingStyle::RasCas => {
-                    // Close any open bank, then refresh the whole rank.
-                    let open: Vec<u8> = self.channel.ranks()[r]
-                        .banks()
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, b)| !b.is_idle())
-                        .map(|(i, _)| i as u8)
-                        .collect();
-                    if open.is_empty() {
+                    // Close any open bank, then refresh the whole rank. The
+                    // open-bank bitmask makes this allocation-free.
+                    let mut open = self.channel.ranks()[r].open_mask();
+                    if open == 0 {
                         let cmd = Command::Refresh { rank: r8 };
                         if self.channel.can_issue(&cmd, now) {
                             self.channel.issue(&cmd, now);
-                            self.refresh_deadline[r] = now + t_refi;
+                            // Re-arm from the stored deadline, not the
+                            // issue cycle: a late REF must not drift the
+                            // cadence (each slipped cycle would otherwise
+                            // compound forever).
+                            self.refresh_deadline[r] += t_refi;
                             return true;
                         }
                     } else {
-                        for bank in open {
+                        while open != 0 {
+                            let bank = open.trailing_zeros() as u8;
+                            open &= open - 1;
                             let cmd = Command::precharge(r8, bank);
                             if self.channel.can_issue(&cmd, now) {
                                 self.channel.issue(&cmd, now);
@@ -531,17 +612,17 @@ impl Controller {
 
     /// Strict FCFS: only the oldest transaction may make progress.
     fn schedule_fcfs(&mut self, now: u64, reads: bool) -> bool {
-        let (loc, refresh_blocked) = {
-            let t = &self.queue(reads)[0];
-            (t.loc, self.refresh_blocked(t.loc.rank, now))
+        let (slot, loc) = {
+            let (slot, t) = self.queue(reads).oldest().expect("non-empty queue");
+            (slot, t.loc)
         };
-        if refresh_blocked {
+        if self.refresh_blocked(loc.rank, now) {
             return false;
         }
         let auto_pre = self.cfg.page_policy == PagePolicy::Closed;
-        let col = self.column_cmd(&self.queue(reads)[0], reads, auto_pre);
+        let col = self.column_cmd(self.queue(reads).get(slot), reads, auto_pre);
         if self.channel.can_issue(&col, now) {
-            self.issue_column(now, reads, 0);
+            self.issue_column(now, reads, slot);
             return true;
         }
         if self.cfg.addressing == AddressingStyle::RasCas {
@@ -549,14 +630,14 @@ impl Controller {
                 BankState::Idle => {
                     let act = Command::activate(loc.rank, loc.bank, loc.row);
                     if self.channel.can_issue(&act, now) {
-                        self.issue_activate(now, reads, 0);
+                        self.issue_activate(now, reads, slot);
                         return true;
                     }
                 }
                 BankState::Active { row } if row != loc.row => {
                     let pre = Command::precharge(loc.rank, loc.bank);
                     if self.channel.can_issue(&pre, now) {
-                        self.issue_precharge(now, reads, 0);
+                        self.issue_precharge(now, reads, slot);
                         return true;
                     }
                 }
@@ -566,7 +647,7 @@ impl Controller {
         false
     }
 
-    fn queue(&self, reads: bool) -> &Vec<Txn> {
+    fn queue(&self, reads: bool) -> &TxnQueue {
         if reads {
             &self.read_q
         } else {
@@ -575,24 +656,172 @@ impl Controller {
     }
 
     /// Oldest transaction whose column command is ready now.
-    fn find_column(&self, now: u64, reads: bool, demand: bool) -> Option<usize> {
+    ///
+    /// Indexed: within one bank's bucket every candidate shares the same
+    /// column timing bound (rows only affect legality), so the bucket's
+    /// candidate is its first class-matching entry targeting the open row
+    /// (open page) or its first class-matching entry (close page, banks
+    /// always idle) — one `can_issue` probe per bank. The global pick is
+    /// the minimum-seq candidate, which equals the old linear scan's first
+    /// match.
+    fn find_column(&self, now: u64, reads: bool, demand: bool) -> Option<u32> {
         let auto_pre = self.cfg.page_policy == PagePolicy::Closed;
-        for (i, t) in self.queue(reads).iter().enumerate() {
-            if self.is_demand(t, now) != demand || self.refresh_blocked(t.loc.rank, now) {
+        let q = self.queue(reads);
+        let mut best: Option<(u64, u32)> = None;
+        for r in 0..self.channel.ranks().len() {
+            if !q.rank_busy(r) || self.refresh_blocked(r as u8, now) {
                 continue;
             }
-            let cmd = self.column_cmd(t, reads, auto_pre);
+            let mut mask = q.busy_banks(r);
+            while mask != 0 {
+                let b = mask.trailing_zeros() as u8;
+                mask &= mask - 1;
+                // A bucket cannot beat the incumbent if even its front is
+                // younger.
+                if let Some((seq, _)) = best {
+                    if q.bucket_front(r as u8, b).is_none_or(|f| f.seq >= seq) {
+                        continue;
+                    }
+                }
+                let open = match self.cfg.addressing {
+                    AddressingStyle::RasCas => match self.channel.bank_state(r as u8, b) {
+                        BankState::Active { row } => Some(row),
+                        BankState::Idle => continue,
+                    },
+                    AddressingStyle::SingleCommand => None,
+                };
+                let cand = q.bucket(r as u8, b).find(|(_, t)| {
+                    self.is_demand(t, now) == demand && open.is_none_or(|row| t.loc.row == row)
+                });
+                if let Some((slot, t)) = cand {
+                    if best.is_some_and(|(seq, _)| t.seq >= seq) {
+                        continue;
+                    }
+                    let cmd = self.column_cmd(t, reads, auto_pre);
+                    if self.channel.can_issue(&cmd, now) {
+                        best = Some((t.seq, slot));
+                    }
+                }
+            }
+        }
+        best.map(|(_, slot)| slot)
+    }
+
+    /// Oldest transaction whose bank is idle and whose ACT is ready.
+    fn find_activate(&self, now: u64, reads: bool, demand: bool) -> Option<u32> {
+        let q = self.queue(reads);
+        let mut best: Option<(u64, u32)> = None;
+        for r in 0..self.channel.ranks().len() {
+            if !q.rank_busy(r) || self.refresh_blocked(r as u8, now) {
+                continue;
+            }
+            let mut mask = q.busy_banks(r);
+            while mask != 0 {
+                let b = mask.trailing_zeros() as u8;
+                mask &= mask - 1;
+                if let Some((seq, _)) = best {
+                    if q.bucket_front(r as u8, b).is_none_or(|f| f.seq >= seq) {
+                        continue;
+                    }
+                }
+                if self.channel.bank_state(r as u8, b) != BankState::Idle {
+                    continue;
+                }
+                let cand = q.bucket(r as u8, b).find(|(_, t)| self.is_demand(t, now) == demand);
+                if let Some((slot, t)) = cand {
+                    if best.is_some_and(|(seq, _)| t.seq >= seq) {
+                        continue;
+                    }
+                    let cmd = Command::activate(t.loc.rank, t.loc.bank, t.loc.row);
+                    if self.channel.can_issue(&cmd, now) {
+                        best = Some((t.seq, slot));
+                    }
+                }
+            }
+        }
+        best.map(|(_, slot)| slot)
+    }
+
+    /// Oldest transaction blocked by a conflicting open row, where no older
+    /// same-class transaction still wants that open row.
+    ///
+    /// Row-hit preservation: a bank whose bucket still holds *any* entry
+    /// targeting the open row (regardless of demand class) yields no
+    /// precharge candidate — this mirrors the old linear scan, where only
+    /// the queue being scheduled may veto (a parked write must not block
+    /// read-side precharges).
+    fn find_conflict_precharge(&self, now: u64, reads: bool, demand: bool) -> Option<u32> {
+        let q = self.queue(reads);
+        let mut best: Option<(u64, u32)> = None;
+        for r in 0..self.channel.ranks().len() {
+            if !q.rank_busy(r) || self.refresh_blocked(r as u8, now) {
+                continue;
+            }
+            let mut mask = q.busy_banks(r);
+            while mask != 0 {
+                let b = mask.trailing_zeros() as u8;
+                mask &= mask - 1;
+                if let Some((seq, _)) = best {
+                    if q.bucket_front(r as u8, b).is_none_or(|f| f.seq >= seq) {
+                        continue;
+                    }
+                }
+                let open = match self.channel.bank_state(r as u8, b) {
+                    BankState::Active { row } => row,
+                    BankState::Idle => continue,
+                };
+                if q.bucket(r as u8, b).any(|(_, t)| t.loc.row == open) {
+                    continue; // an entry still wants the open row
+                }
+                // All remaining entries conflict with the open row.
+                let cand = q.bucket(r as u8, b).find(|(_, t)| self.is_demand(t, now) == demand);
+                if let Some((slot, t)) = cand {
+                    if best.is_some_and(|(seq, _)| t.seq >= seq) {
+                        continue;
+                    }
+                    let cmd = Command::precharge(t.loc.rank, t.loc.bank);
+                    if self.channel.can_issue(&cmd, now) {
+                        best = Some((t.seq, slot));
+                    }
+                }
+            }
+        }
+        best.map(|(_, slot)| slot)
+    }
+
+    /// Reference implementation of [`Controller::find_column`]: the
+    /// pre-index linear scan in global FCFS order. Kept as the oracle for
+    /// the pick-equivalence property tests — the indexed finders must
+    /// select exactly the transaction this scan selects.
+    #[cfg(test)]
+    fn find_column_linear(&self, now: u64, reads: bool, demand: bool) -> Option<u32> {
+        let auto_pre = self.cfg.page_policy == PagePolicy::Closed;
+        let q = self.queue(reads);
+        for (slot, t) in q.ordered() {
+            if self.refresh_blocked(t.loc.rank, now) || self.is_demand(&t, now) != demand {
+                continue;
+            }
+            if self.cfg.addressing == AddressingStyle::RasCas {
+                match self.channel.bank_state(t.loc.rank, t.loc.bank) {
+                    BankState::Active { row } if row == t.loc.row => {}
+                    _ => continue,
+                }
+            }
+            let cmd = self.column_cmd(&t, reads, auto_pre);
             if self.channel.can_issue(&cmd, now) {
-                return Some(i);
+                return Some(slot);
             }
         }
         None
     }
 
-    /// Oldest transaction whose bank is idle and whose ACT is ready.
-    fn find_activate(&self, now: u64, reads: bool, demand: bool) -> Option<usize> {
-        for (i, t) in self.queue(reads).iter().enumerate() {
-            if self.is_demand(t, now) != demand || self.refresh_blocked(t.loc.rank, now) {
+    /// Reference implementation of [`Controller::find_activate`] (linear
+    /// FCFS scan); see [`Controller::find_column_linear`].
+    #[cfg(test)]
+    fn find_activate_linear(&self, now: u64, reads: bool, demand: bool) -> Option<u32> {
+        let q = self.queue(reads);
+        for (slot, t) in q.ordered() {
+            if self.refresh_blocked(t.loc.rank, now) || self.is_demand(&t, now) != demand {
                 continue;
             }
             if self.channel.bank_state(t.loc.rank, t.loc.bank) != BankState::Idle {
@@ -600,38 +829,36 @@ impl Controller {
             }
             let cmd = Command::activate(t.loc.rank, t.loc.bank, t.loc.row);
             if self.channel.can_issue(&cmd, now) {
-                return Some(i);
+                return Some(slot);
             }
         }
         None
     }
 
-    /// Oldest transaction blocked by a conflicting open row, where no older
-    /// same-class transaction still wants that open row.
-    fn find_conflict_precharge(&self, now: u64, reads: bool, demand: bool) -> Option<usize> {
+    /// Reference implementation of [`Controller::find_conflict_precharge`]
+    /// (linear FCFS scan); see [`Controller::find_column_linear`].
+    #[cfg(test)]
+    fn find_conflict_precharge_linear(&self, now: u64, reads: bool, demand: bool) -> Option<u32> {
         let q = self.queue(reads);
-        for (i, t) in q.iter().enumerate() {
-            if self.is_demand(t, now) != demand || self.refresh_blocked(t.loc.rank, now) {
+        for (slot, t) in q.ordered() {
+            if self.refresh_blocked(t.loc.rank, now) || self.is_demand(&t, now) != demand {
                 continue;
             }
             let open = match self.channel.bank_state(t.loc.rank, t.loc.bank) {
                 BankState::Active { row } if row != t.loc.row => row,
                 _ => continue,
             };
-            // Row-hit preservation: skip if a transaction of the queue
-            // being scheduled still targets the open row. Only the active
-            // queue may veto — a parked write must not block read-side
-            // precharges (that would wedge the bank until the next refresh,
-            // since writes are not scheduled while reads wait).
-            let wanted = q
-                .iter()
-                .any(|o| o.loc.rank == t.loc.rank && o.loc.bank == t.loc.bank && o.loc.row == open);
-            if wanted {
+            // Same row-hit veto as the indexed finder: any same-queue entry
+            // still targeting the open row protects it from precharge.
+            let protected = q.ordered().iter().any(|(_, o)| {
+                o.loc.rank == t.loc.rank && o.loc.bank == t.loc.bank && o.loc.row == open
+            });
+            if protected {
                 continue;
             }
             let cmd = Command::precharge(t.loc.rank, t.loc.bank);
             if self.channel.can_issue(&cmd, now) {
-                return Some(i);
+                return Some(slot);
             }
         }
         None
@@ -645,9 +872,9 @@ impl Controller {
         }
     }
 
-    fn issue_column(&mut self, now: u64, reads: bool, i: usize) {
+    fn issue_column(&mut self, now: u64, reads: bool, slot: u32) {
         let auto_pre = self.cfg.page_policy == PagePolicy::Closed;
-        let txn = if reads { self.read_q.remove(i) } else { self.write_q.remove(i) };
+        let txn = if reads { self.read_q.remove(slot) } else { self.write_q.remove(slot) };
         let cmd = self.column_cmd(&txn, reads, auto_pre);
         let out = self.channel.issue(&cmd, now);
         if let Some(t) = self.trace.as_mut() {
@@ -705,9 +932,9 @@ impl Controller {
         }
     }
 
-    fn issue_activate(&mut self, now: u64, reads: bool, i: usize) {
+    fn issue_activate(&mut self, now: u64, reads: bool, slot: u32) {
         let (loc, classified, token) = {
-            let t = &self.queue(reads)[i];
+            let t = self.queue(reads).get(slot);
             (t.loc, t.classified, t.token)
         };
         let cmd = Command::activate(loc.rank, loc.bank, loc.row);
@@ -725,15 +952,15 @@ impl Controller {
             });
         }
         if reads {
-            self.read_q[i].classified = true;
+            self.read_q.get_mut(slot).classified = true;
         } else {
-            self.write_q[i].classified = true;
+            self.write_q.get_mut(slot).classified = true;
         }
     }
 
-    fn issue_precharge(&mut self, now: u64, reads: bool, i: usize) {
+    fn issue_precharge(&mut self, now: u64, reads: bool, slot: u32) {
         let (loc, classified, token) = {
-            let t = &self.queue(reads)[i];
+            let t = self.queue(reads).get(slot);
             (t.loc, t.classified, t.token)
         };
         let cmd = Command::precharge(loc.rank, loc.bank);
@@ -751,9 +978,9 @@ impl Controller {
             });
         }
         if reads {
-            self.read_q[i].classified = true;
+            self.read_q.get_mut(slot).classified = true;
         } else {
-            self.write_q[i].classified = true;
+            self.write_q.get_mut(slot).classified = true;
         }
     }
 
@@ -761,66 +988,254 @@ impl Controller {
     /// could do anything observable, or `None` when the controller is
     /// idle forever absent new transactions.
     ///
-    /// While any transaction is queued (or a completion is pending
-    /// hand-off) the scheduler must run every device cycle — command
-    /// readiness depends on fine-grained channel state that is cheaper
-    /// to re-test than to bound. With empty queues the only autonomous
-    /// state changes are refresh handling and idle power management,
-    /// whose trigger cycles are computed exactly:
+    /// The bound is derived directly from the channel's memoized
+    /// ready-cycles: for every candidate command the scheduler could pick
+    /// (per-bank column / activate / conflict-precharge, plus the refresh
+    /// action for an overdue rank), fold in its `earliest_issue` bound.
+    /// Autonomous power management contributes:
     ///
-    /// - `deadline - (tXP + 8)`: power management wakes a powered-down
-    ///   rank ahead of its refresh deadline ([`Self::manage_power`]'s
-    ///   `refresh_due` window), and stops putting ranks to sleep;
-    /// - `deadline`: the refresh issues (or, in self-refresh, the
-    ///   deadline silently re-arms);
-    /// - `last_activity + powerdown_idle_cycles`: an idle `Up` rank
-    ///   enters power-down;
-    /// - `last_activity + self_refresh_idle_cycles`: an idle powered-down
-    ///   rank with all banks closed escalates to self-refresh.
+    /// - `now + 1` for a non-`Up` rank with queued work (the power
+    ///   manager wakes it on the very next tick) and for a pending
+    ///   write-drain hysteresis flip (the flip edge is traced);
+    /// - `deadline - refresh_wake_ahead()`: a powered-down rank is woken
+    ///   ahead of its refresh deadline;
+    /// - `deadline` / the refresh action's ready cycle once overdue;
+    /// - `last_activity + powerdown_idle_cycles` for an idle `Up` rank
+    ///   (suppressed inside the refresh-due window, where
+    ///   [`Self::manage_power`] refuses to sleep), and
+    ///   `last_activity + self_refresh_idle_cycles` for the PD→SR
+    ///   escalation.
     ///
-    /// Every candidate is clamped to `now + 1`, so an overdue deadline
-    /// (e.g. a refresh blocked behind tRFC) degrades to per-cycle
-    /// ticking rather than being skipped past. Waking *early* is always
-    /// safe — `tick_mem` on a quiescent controller is a deterministic
-    /// no-op — only waking late could diverge from the per-cycle kernel.
+    /// Every candidate is clamped to `now + 1`. Waking *early* is always
+    /// safe — `tick_mem` with nothing ready is a deterministic no-op —
+    /// only waking late could diverge from the per-cycle kernel.
     ///
     /// [`tick_mem`]: Self::tick_mem
     #[must_use]
     pub fn next_activity_mem(&self, now: u64) -> Option<u64> {
-        if !self.read_q.is_empty() || !self.write_q.is_empty() || !self.completions.is_empty() {
+        let t = &self.cfg.timings;
+        let t_refi = u64::from(t.t_refi);
+        // Every candidate below is clamped to `now + 1`, so the fold can
+        // stop the moment it reaches that floor — nothing can beat it.
+        if !self.completions.is_empty() {
             return Some(now + 1);
         }
-        let t = &self.cfg.timings;
         let mut next = u64::MAX;
-        let mut fold = |at: u64| next = next.min(at.max(now + 1));
         for (r, rank) in self.channel.ranks().iter().enumerate() {
-            if t.t_refi != 0 {
-                let deadline = self.refresh_deadline[r];
-                fold(deadline.saturating_sub(u64::from(t.t_xp) + 8));
-                fold(deadline);
+            let busy = self.read_q.rank_busy(r) || self.write_q.rank_busy(r);
+            let state = rank.power_state();
+            let wake_ahead = self.refresh_wake_ahead(r);
+            if busy && state != PowerState::Up {
+                next = next.min(now + 1);
             }
-            match rank.power_state() {
-                PowerState::Up => {
-                    if self.cfg.powerdown_idle_cycles > 0 {
-                        fold(rank.last_activity + u64::from(self.cfg.powerdown_idle_cycles));
+            // A self-refreshing rank has no external refresh obligation;
+            // its cadence restarts on wake (which `busy` above covers).
+            if t_refi != 0 && state != PowerState::SelfRefresh {
+                let deadline = self.refresh_deadline[r];
+                if now < deadline {
+                    next = next.min(deadline.max(now + 1));
+                    if state == PowerState::PowerDown {
+                        next = next.min(deadline.saturating_sub(wake_ahead).max(now + 1));
                     }
+                } else if state != PowerState::Up
+                    || self.fault_drop_refreshes > 0
+                    || self.fault_phantom_self_refresh > 0
+                {
+                    // Fault drop/phantom or a wake in flight: the next
+                    // tick acts.
+                    next = next.min(now + 1);
+                } else {
+                    next = next.min(self.refresh_action_bound(r, now).max(now + 1));
                 }
-                PowerState::PowerDown => {
-                    if self.cfg.powerdown_idle_cycles > 0
-                        && self.cfg.self_refresh_idle_cycles > 0
-                        && rank.open_banks() == 0
-                    {
-                        fold(rank.last_activity + u64::from(self.cfg.self_refresh_idle_cycles));
+            }
+            if !busy && self.cfg.powerdown_idle_cycles > 0 {
+                // Sleep candidates only fire outside the refresh-due
+                // window; inside it manage_power neither sleeps nor wakes
+                // an Up rank, and the deadline fold above covers the rest.
+                match state {
+                    PowerState::Up => {
+                        let at = rank.last_activity + u64::from(self.cfg.powerdown_idle_cycles);
+                        if t_refi == 0 || at.saturating_add(wake_ahead) < self.refresh_deadline[r] {
+                            next = next.min(at.max(now + 1));
+                        }
                     }
+                    PowerState::PowerDown => {
+                        if self.cfg.self_refresh_idle_cycles > 0 && rank.open_banks() == 0 {
+                            let at =
+                                rank.last_activity + u64::from(self.cfg.self_refresh_idle_cycles);
+                            if t_refi == 0
+                                || at.saturating_add(wake_ahead) < self.refresh_deadline[r]
+                            {
+                                next = next.min(at.max(now + 1));
+                            }
+                        }
+                    }
+                    PowerState::SelfRefresh => {}
                 }
-                PowerState::SelfRefresh => {}
+            }
+            if next <= now + 1 {
+                return Some(now + 1);
             }
         }
+        next = next.min(self.sched_bound(now));
         if next == u64::MAX {
             None
         } else {
             Some(next)
         }
+    }
+
+    /// Ready cycle of the refresh action an overdue `Up` rank would take:
+    /// the REF itself (or the round-robin bank refresh), or the earliest
+    /// precharge closing an open bank ahead of it.
+    fn refresh_action_bound(&self, r: usize, now: u64) -> u64 {
+        let r8 = r as u8;
+        match self.cfg.addressing {
+            AddressingStyle::SingleCommand => {
+                let cmd = Command::RefreshBank { rank: r8, bank: self.refresh_bank_rr[r] };
+                self.channel.earliest_issue(&cmd, now).unwrap_or(now + 1)
+            }
+            AddressingStyle::RasCas => {
+                let mut open = self.channel.ranks()[r].open_mask();
+                if open == 0 {
+                    let cmd = Command::Refresh { rank: r8 };
+                    return self.channel.earliest_issue(&cmd, now).unwrap_or(now + 1);
+                }
+                let mut best = u64::MAX;
+                while open != 0 {
+                    let bank = open.trailing_zeros() as u8;
+                    open &= open - 1;
+                    if let Some(at) =
+                        self.channel.earliest_issue(&Command::precharge(r8, bank), now)
+                    {
+                        best = best.min(at);
+                    }
+                }
+                if best == u64::MAX {
+                    now + 1
+                } else {
+                    best
+                }
+            }
+        }
+    }
+
+    /// Lower bound on the next cycle the transaction scheduler could issue
+    /// any command, folded over every per-bank candidate the FR-FCFS passes
+    /// consider. Demand-class boundaries are ignored (a superset of
+    /// candidates only wakes the kernel early, never late).
+    fn sched_bound(&self, now: u64) -> u64 {
+        // A still-valid cached bound is exact: every folded candidate is an
+        // absolute cycle, and invalidation resets the cache to 0.
+        if now < self.sched_idle_until {
+            return self.sched_idle_until;
+        }
+        if self.read_q.is_empty() && self.write_q.is_empty() {
+            // Unreachable with `drain` still set (writes only leave by
+            // issuing, which clears the cache), but keep the flip honest.
+            return if self.drain { now + 1 } else { u64::MAX };
+        }
+        let mut next = u64::MAX;
+        // A pending write-drain hysteresis flip is applied (and traced) on
+        // the next command-slot tick.
+        let wq = self.write_q.len();
+        let drain_next = if wq >= self.params.wq_high {
+            true
+        } else if wq <= self.params.wq_low {
+            false
+        } else {
+            self.drain
+        };
+        if drain_next != self.drain {
+            return now + 1;
+        }
+        if self.params.policy == SchedPolicy::Fcfs {
+            // The strict-FCFS ablation gains little from exact bounds;
+            // tick every cycle while work is queued.
+            return now + 1;
+        }
+        if drain_next {
+            next = next.min(self.queue_sched_bound(now, false));
+            if next <= now + 1 {
+                return next.max(now + 1);
+            }
+            next = next.min(self.queue_sched_bound(now, true));
+        } else if !self.read_q.is_empty() {
+            next = next.min(self.queue_sched_bound(now, true));
+        } else {
+            next = next.min(self.queue_sched_bound(now, false));
+        }
+        next.max(now + 1)
+    }
+
+    /// Candidate fold for one queue: per non-empty bank bucket, the column
+    /// bound (an entry targeting the open row, or any entry on a
+    /// close-page device), the activate bound (bank idle), or the
+    /// conflict-precharge bound (no entry wants the open row).
+    fn queue_sched_bound(&self, now: u64, reads: bool) -> u64 {
+        let q = self.queue(reads);
+        if q.is_empty() {
+            return u64::MAX;
+        }
+        let auto_pre = self.cfg.page_policy == PagePolicy::Closed;
+        let mut next = u64::MAX;
+        for r in 0..self.channel.ranks().len() {
+            let r8 = r as u8;
+            if !q.rank_busy(r) || self.refresh_blocked(r8, now) {
+                continue;
+            }
+            // A non-Up busy rank is woken next tick (folded by the caller
+            // via the busy rule); its commands stay illegal until then.
+            let mut mask = q.busy_banks(r);
+            while mask != 0 {
+                if next <= now + 1 {
+                    // Clamped to `now + 1` by the caller — already minimal.
+                    return next;
+                }
+                let b = mask.trailing_zeros() as u8;
+                mask &= mask - 1;
+                match self.cfg.addressing {
+                    AddressingStyle::SingleCommand => {
+                        let t = q.bucket_front(r8, b).expect("checked non-empty");
+                        let cmd = self.column_cmd(t, reads, auto_pre);
+                        if let Some(at) = self.channel.earliest_issue(&cmd, now) {
+                            next = next.min(at);
+                        }
+                    }
+                    AddressingStyle::RasCas => match self.channel.bank_state(r8, b) {
+                        BankState::Active { row: open } => {
+                            // The bucket is non-empty, so "no entry wants the
+                            // open row" already implies a conflict; stop at
+                            // the first open-row hit.
+                            let wants_open = q.bucket(r8, b).any(|(_, t)| t.loc.row == open);
+                            if wants_open {
+                                let cmd = if reads {
+                                    Command::read(r8, b, open, auto_pre)
+                                } else {
+                                    Command::write(r8, b, open, auto_pre)
+                                };
+                                if let Some(at) = self.channel.earliest_issue(&cmd, now) {
+                                    next = next.min(at);
+                                }
+                            } else {
+                                let cmd = Command::precharge(r8, b);
+                                if let Some(at) = self.channel.earliest_issue(&cmd, now) {
+                                    next = next.min(at);
+                                }
+                            }
+                        }
+                        BankState::Idle => {
+                            let t = q.bucket_front(r8, b).expect("checked non-empty");
+                            let cmd = Command::activate(r8, b, t.loc.row);
+                            if let Some(at) = self.channel.earliest_issue(&cmd, now) {
+                                next = next.min(at);
+                            }
+                        }
+                    },
+                }
+            }
+        }
+        next
     }
 
     /// Snapshot statistics, settling residency up to `now` device cycles.
@@ -1009,6 +1424,107 @@ mod tests {
             done.extend(c.take_completions());
         }
         assert_eq!(done.len(), 1);
+    }
+
+    mod pick_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone, Copy)]
+        struct Item {
+            rank: u8,
+            bank: u8,
+            row: u32,
+            col: u32,
+            write: bool,
+            prefetch: bool,
+            gap: u8,
+        }
+
+        /// Few rows and banks so buckets collect row hits, row conflicts
+        /// and multi-entry FCFS chains instead of degenerating to one
+        /// transaction per bank.
+        fn item(ranks: u8, banks: u8) -> impl Strategy<Value = Item> {
+            (0..ranks, 0..banks, 0u32..5, 0u32..64, prop::bool::ANY, prop::bool::ANY, 0u8..20)
+                .prop_map(|(rank, bank, row, col, write, prefetch, gap)| Item {
+                    rank,
+                    bank,
+                    row,
+                    col,
+                    write,
+                    prefetch,
+                    gap,
+                })
+        }
+
+        /// At every cycle of a randomized run, the indexed finders must
+        /// pick exactly the slot the retired linear scan picks, across
+        /// both queues, both demand classes, and all three passes.
+        fn assert_picks_match(cfg: DeviceConfig, ranks: u32, items: &[Item]) {
+            let mut c = Controller::new(cfg, ranks, 8, "pick-eq");
+            let mut now = 0u64;
+            let mut tok = 0u64;
+            let probe = |c: &Controller, now: u64| {
+                for reads in [true, false] {
+                    for demand in [true, false] {
+                        assert_eq!(
+                            c.find_column(now, reads, demand),
+                            c.find_column_linear(now, reads, demand),
+                            "column pick diverged at {now} (reads={reads}, demand={demand})"
+                        );
+                        assert_eq!(
+                            c.find_activate(now, reads, demand),
+                            c.find_activate_linear(now, reads, demand),
+                            "activate pick diverged at {now} (reads={reads}, demand={demand})"
+                        );
+                        assert_eq!(
+                            c.find_conflict_precharge(now, reads, demand),
+                            c.find_conflict_precharge_linear(now, reads, demand),
+                            "precharge pick diverged at {now} (reads={reads}, demand={demand})"
+                        );
+                    }
+                }
+            };
+            for it in items {
+                for _ in 0..it.gap {
+                    probe(&c, now);
+                    c.tick_mem(now, true);
+                    now += 1;
+                }
+                let loc = Loc { rank: it.rank, bank: it.bank, row: it.row, col: it.col };
+                if it.write {
+                    let _ = c.enqueue_write(loc, now);
+                } else if c.enqueue_read(Token(tok), loc, it.prefetch, now) {
+                    tok += 1;
+                }
+            }
+            // Drain across a refresh boundary so refresh_blocked ranks and
+            // re-opened banks are probed too.
+            for _ in 0..7_000 {
+                probe(&c, now);
+                c.tick_mem(now, true);
+                c.take_completions();
+                now += 1;
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            #[test]
+            fn indexed_frfcfs_matches_linear_scan_ddr3(
+                items in prop::collection::vec(item(2, 8), 1..48)
+            ) {
+                assert_picks_match(DeviceConfig::ddr3_1600(), 2, &items);
+            }
+
+            #[test]
+            fn indexed_frfcfs_matches_linear_scan_rldram3(
+                items in prop::collection::vec(item(1, 16), 1..48)
+            ) {
+                assert_picks_match(DeviceConfig::rldram3(), 1, &items);
+            }
+        }
     }
 
     #[test]

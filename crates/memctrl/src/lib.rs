@@ -45,6 +45,7 @@ pub mod controller;
 pub mod homogeneous;
 pub mod mapping;
 pub mod request;
+mod txnq;
 
 pub use aggregate::AggregatedController;
 pub use audit::{AuditRecord, ChannelDesc};

@@ -221,6 +221,8 @@ impl_tuple_strategy!(A, B, C);
 impl_tuple_strategy!(A, B, C, D);
 impl_tuple_strategy!(A, B, C, D, E);
 impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
 
 /// Uniform choice between boxed alternative strategies
 /// (built by [`prop_oneof!`]).

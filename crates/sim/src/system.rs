@@ -302,19 +302,14 @@ impl System {
     /// completion due, no queue-state change a writeback retry could see).
     fn step_inner(&mut self, gate_mem: bool) {
         let now = self.now;
+        let mut ticked = false;
         if !gate_mem || now >= self.mem_wake {
             self.woken_buf.clear();
             self.hierarchy.tick(now, &mut self.woken_buf);
             self.kstats.mem_tick_calls += 1;
+            ticked = true;
             for w in &self.woken_buf {
                 self.cores[usize::from(w.core)].complete_load(w.load_id, w.at);
-            }
-            if gate_mem {
-                self.mem_wake = self
-                    .hierarchy
-                    .next_activity(now)
-                    .unwrap_or(u64::MAX)
-                    .saturating_add(self.fault_wake_slack);
             }
         }
         let hier = &mut self.hierarchy;
@@ -335,10 +330,13 @@ impl System {
                 }
             });
         }
-        // A load/store (hit or miss, even Blocked attempts are preceded by
-        // successful ones eventually) may have enqueued backend work or a
-        // completion event, invalidating the cached bound.
-        if gate_mem && issued {
+        // One recompute per step, after both the memory tick and the core
+        // issue loop, so it sees the post-submit state. Only a memory tick
+        // or a load/store that reached the backend (submit or blocked
+        // submit attempt) can invalidate the cached bound; pure cache hits
+        // leave the backend untouched and keep the cached value.
+        let touched = issued && self.hierarchy.take_backend_touched();
+        if gate_mem && (ticked || touched) {
             self.mem_wake = self
                 .hierarchy
                 .next_activity(now)

@@ -98,6 +98,43 @@ fn dropped_refresh_is_caught_by_the_ledger() {
     );
 }
 
+/// Fault (b2): replay of the pre-fix self-refresh branch of
+/// `tick_refresh` — the deadline silently resets to `now + tREFI` on an
+/// *awake* rank, so the interval passes with neither a REF on the wire
+/// nor a self-refresh power transition the ledger would credit. Every
+/// command that does issue is individually legal; only the refresh
+/// ledger can see the array went a full interval without maintenance.
+#[test]
+fn phantom_self_refresh_credit_is_caught_by_the_ledger() {
+    let cfg = DeviceConfig::ddr3_1600();
+    let t_refi = u64::from(cfg.timings.t_refi);
+    let mut ctrl = Controller::new(cfg.clone(), 1, 8, "ddr3");
+    ctrl.enable_command_log();
+    ctrl.inject_phantom_self_refresh(1);
+
+    let end_mem = 4 * t_refi;
+    for now in 0..end_mem {
+        ctrl.tick_mem(now, true);
+    }
+
+    let mut oracle = Oracle::new(vec![ChannelDesc {
+        label: "ddr3".to_string(),
+        cfg: cfg.clone(),
+        ranks: 1,
+        bus_group: None,
+    }]);
+    oracle.observe_records(&drain_records(&mut ctrl, 0));
+    oracle.finalize(end_mem * u64::from(cfg.cpu_cycles_per_mem_cycle));
+
+    let report = oracle.report();
+    assert!(!report.is_clean(), "a phantom self-refresh credit must be detected");
+    assert!(
+        report.violations.iter().all(|v| v.rule == OracleRule::RefreshMissed),
+        "only the refresh ledger should fire: {:?}",
+        report.violations
+    );
+}
+
 /// Control for fault (b): the identical run without the fault knob is
 /// clean, so the ledger's slack is not just below normal scheduling noise.
 #[test]

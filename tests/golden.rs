@@ -22,24 +22,24 @@ const GOLDEN: [Golden; 3] = [
     Golden {
         kind: MemKind::Ddr3,
         bench: "leslie3d",
-        cycles: 144_276,
-        insts: 914_537,
+        cycles: 143_595,
+        insts: 916_213,
         reads: 1_500,
-        hist: [1435, 53, 2, 3, 0, 1, 3, 3],
+        hist: [1437, 51, 2, 3, 0, 1, 3, 3],
     },
     Golden {
         kind: MemKind::Rl,
         bench: "leslie3d",
-        cycles: 142_742,
-        insts: 1_005_927,
+        cycles: 142_515,
+        insts: 1_005_272,
         reads: 1_500,
-        hist: [1431, 52, 5, 3, 1, 1, 3, 4],
+        hist: [1430, 53, 5, 3, 1, 1, 3, 4],
     },
     Golden {
         kind: MemKind::RlAdaptive,
         bench: "mcf",
-        cycles: 116_000,
-        insts: 634_994,
+        cycles: 115_818,
+        insts: 635_410,
         reads: 1_500,
         hist: [475, 96, 103, 234, 280, 102, 103, 107],
     },
