@@ -71,6 +71,18 @@ impl CwfConfig {
         CwfConfig { fast: DeviceConfig::ddr3_1600(), ..Self::rl() }
     }
 
+    /// An arbitrary fast/slow device pairing (spec-layer standards) on the
+    /// flagship topology: e.g. an RLDRAM3 critical store backed by
+    /// DDR5-4800 bulk channels.
+    #[must_use]
+    pub fn pair(fast: dram_timing::DeviceKind, slow: dram_timing::DeviceKind) -> Self {
+        CwfConfig {
+            fast: DeviceConfig::preset(fast),
+            slow: DeviceConfig::preset(slow),
+            ..Self::rl()
+        }
+    }
+
     /// Same configuration under a different placement policy.
     #[must_use]
     pub fn with_policy(mut self, policy: PlacementPolicy) -> Self {

@@ -87,9 +87,10 @@ impl Channel {
     pub fn new(cfg: DeviceConfig, ranks: u32) -> Self {
         assert!(ranks > 0, "a channel needs at least one rank");
         let banks = cfg.geometry.banks;
+        let groups = cfg.geometry.bank_groups;
         let slots = (ranks as usize) * (banks as usize) * NCLASS;
         Channel {
-            ranks: (0..ranks).map(|_| Rank::new(banks)).collect(),
+            ranks: (0..ranks).map(|_| Rank::with_bank_groups(banks, groups)).collect(),
             cfg,
             bus_free_at: 0,
             last_burst_rank: None,
@@ -208,6 +209,17 @@ impl Channel {
         total
     }
 
+    /// Bank group of `bank`, or `None` when the device has no bank groups
+    /// (so all group timing state stays untouched on legacy devices).
+    fn group_of(&self, bank: u8) -> Option<usize> {
+        let groups = self.cfg.geometry.bank_groups;
+        if groups <= 1 {
+            return None;
+        }
+        let per_group = self.cfg.geometry.banks / groups;
+        Some((u32::from(bank) / per_group) as usize)
+    }
+
     /// Earliest data-burst start given bus occupancy and switch penalties.
     fn burst_floor(&self, rank: u8, is_write: bool) -> u64 {
         let switch = self.last_burst_rank != Some(rank) || self.last_burst_write != is_write;
@@ -246,7 +258,10 @@ impl Channel {
                     return None;
                 }
                 self.memo_bound(CLASS_ACT, rank_idx, bank, || {
-                    let lb = b.next_act.max(rank.next_act_rrd).max(rank.next_cmd_ok);
+                    let mut lb = b.next_act.max(rank.next_act_rrd).max(rank.next_cmd_ok);
+                    if let Some(g) = self.group_of(bank) {
+                        lb = lb.max(rank.group_next_act[g]);
+                    }
                     rank.faw_ready(lb, t.t_faw)
                 })
             }
@@ -259,10 +274,16 @@ impl Channel {
                         }
                         self.memo_bound(CLASS_READ, rank_idx, bank, || {
                             let floor = self.burst_floor(rank_idx, false);
-                            b.next_read
+                            let mut lb = b
+                                .next_read
                                 .max(rank.read_after_write_ok)
                                 .max(rank.next_cmd_ok)
-                                .max(floor.saturating_sub(u64::from(t.t_rl)))
+                                .max(rank.next_col_rank)
+                                .max(floor.saturating_sub(u64::from(t.t_rl)));
+                            if let Some(g) = self.group_of(bank) {
+                                lb = lb.max(rank.group_next_col[g]);
+                            }
+                            lb
                         })
                     }
                     AddressingStyle::SingleCommand => {
@@ -287,9 +308,15 @@ impl Channel {
                         }
                         self.memo_bound(CLASS_WRITE, rank_idx, bank, || {
                             let floor = self.burst_floor(rank_idx, true);
-                            b.next_write
+                            let mut lb = b
+                                .next_write
                                 .max(rank.next_cmd_ok)
-                                .max(floor.saturating_sub(u64::from(t.t_wl)))
+                                .max(rank.next_col_rank)
+                                .max(floor.saturating_sub(u64::from(t.t_wl)));
+                            if let Some(g) = self.group_of(bank) {
+                                lb = lb.max(rank.group_next_col[g]);
+                            }
+                            lb
                         })
                     }
                     AddressingStyle::SingleCommand => {
@@ -361,12 +388,23 @@ impl Channel {
         if matches!(cmd, Command::Read { .. } | Command::Write { .. }) {
             self.bus_gen += 1;
         }
+        // Bank group of the addressed bank (None on ungrouped devices),
+        // resolved before the rank borrow below.
+        let group_of = match *cmd {
+            Command::Activate { bank, .. }
+            | Command::Read { bank, .. }
+            | Command::Write { bank, .. } => self.group_of(bank),
+            _ => None,
+        };
         let rank = &mut self.ranks[usize::from(rank_idx)];
         rank.touch(now);
         match *cmd {
             Command::Activate { bank, row, .. } => {
                 rank.apply_activate(bank, now, row, t.t_rcd, t.t_ras, t.t_rc);
                 rank.note_activate(now, t.t_rrd);
+                if let Some(g) = group_of {
+                    rank.group_next_act[g] = rank.group_next_act[g].max(now + u64::from(t.t_rrd_l));
+                }
                 self.stats.activates += 1;
                 self.stats.per_bank[usize::from(bank)].activates += 1;
                 IssueOutcome { data_start: None, data_end: None }
@@ -395,6 +433,10 @@ impl Channel {
                             self.stats.per_bank[usize::from(bank)].activates += 1;
                         }
                     }
+                }
+                if let Some(g) = group_of {
+                    rank.next_col_rank = rank.next_col_rank.max(now + u64::from(t.t_ccd));
+                    rank.group_next_col[g] = rank.group_next_col[g].max(now + u64::from(t.t_ccd_l));
                 }
                 self.bus_free_at = data_end;
                 self.last_burst_rank = Some(rank_idx);
@@ -430,6 +472,10 @@ impl Channel {
                             self.stats.per_bank[usize::from(bank)].activates += 1;
                         }
                     }
+                }
+                if let Some(g) = group_of {
+                    rank.next_col_rank = rank.next_col_rank.max(now + u64::from(t.t_ccd));
+                    rank.group_next_col[g] = rank.group_next_col[g].max(now + u64::from(t.t_ccd_l));
                 }
                 self.bus_free_at = data_end;
                 self.last_burst_rank = Some(rank_idx);

@@ -9,20 +9,30 @@
 //! scheduler ("is this legal *now*?") and the protocol ("was that legal at
 //! all?").
 //!
+//! Since the spec-layer refactor the timing rules are **generated from the
+//! device's constraint table** ([`DeviceConfig::constraints`], parsed from
+//! the spec TOML): each `prev -> next @scope CYCLES` entry becomes one
+//! pairwise rule evaluated against per-bank / per-bank-group / per-rank
+//! shadow event times, so a new standard added under `specs/` is checked
+//! automatically — including DDR4/DDR5 `tCCD_L`, `tRRD_L` and DDR5
+//! same-bank refresh. Structural rules (row state, addressing style,
+//! `tRFC` blocking, data-bus occupancy) are built in.
+//!
 //! Checked rules:
 //!
 //! * structural: ACT only to idle banks, columns only to the open row,
 //!   PRE only to open banks, REF only with all banks closed, no ACT on
 //!   single-command devices;
 //! * bank timing: `tRC` (ACT→ACT), `tRCD` (ACT→column), `tRAS`/`tRTP`/`tWR`
-//!   (→PRE), `tRP` (PRE→ACT);
+//!   (→PRE), `tRP` (PRE→ACT), `tCCD` column spacing;
+//! * bank-group timing: `tCCD_L`, `tRRD_L` on grouped devices;
 //! * rank timing: `tRRD`, the rolling four-activate `tFAW` window,
 //!   `tWTR` (write burst → READ), `tRFC` after refresh;
 //! * data bus: bursts never overlap, and rank-switch / direction-switch
 //!   gaps of `tRTRS` are respected.
 
 use crate::command::Command;
-use crate::config::{AddressingStyle, DeviceConfig};
+use crate::config::{AddressingStyle, CmdClass, ConstraintScope, DeviceConfig, RefPoint};
 
 /// The protocol rule a [`Violation`] broke.
 ///
@@ -40,6 +50,8 @@ pub enum Rule {
     TRp,
     /// ACT → ACT same-rank spacing.
     TRrd,
+    /// ACT → ACT spacing within one bank group (`tRRD_L`).
+    TRrdL,
     /// Rolling four-activate window per rank.
     TFaw,
     /// Refresh recovery time (bank blocked after REF/REFB).
@@ -52,6 +64,11 @@ pub enum Rule {
     TWr,
     /// Write burst → READ turnaround per rank.
     TWtr,
+    /// Column → column command spacing (per bank, or the short `tCCD_S`
+    /// across bank groups).
+    TCcd,
+    /// Column → column spacing within one bank group (`tCCD_L`).
+    TCcdL,
     /// Rank-switch / direction-switch data bus gap.
     TRtrs,
     /// Two data bursts overlap on the shared bus.
@@ -88,12 +105,15 @@ impl Rule {
             Rule::TRc => "tRC",
             Rule::TRp => "tRP",
             Rule::TRrd => "tRRD",
+            Rule::TRrdL => "tRRD_L",
             Rule::TFaw => "tFAW",
             Rule::TRfc => "tRFC",
             Rule::TRas => "tRAS",
             Rule::TRtp => "tRTP",
             Rule::TWr => "tWR",
             Rule::TWtr => "tWTR",
+            Rule::TCcd => "tCCD",
+            Rule::TCcdL => "tCCD_L",
             Rule::TRtrs => "tRTRS",
             Rule::DataBusOverlap => "data bus overlap",
             Rule::ActToOpenBank => "ACT to open bank",
@@ -133,40 +153,58 @@ impl std::fmt::Display for Violation {
     }
 }
 
+/// Shadow event classes the pairwise rules reference. `WrEnd` is the
+/// write's data-burst end (the `from=data-end` reference point), recorded
+/// at write-issue time.
+const EV_ACT: usize = 0;
+const EV_RD: usize = 1;
+const EV_WR: usize = 2;
+const EV_PRE: usize = 3;
+const EV_WR_END: usize = 4;
+const NEV: usize = 5;
+
+/// One generated pairwise timing rule: the observed command class `next`
+/// must not issue before `last[prev_ev] + cycles` within `scope`.
+#[derive(Debug, Clone, Copy)]
+struct PairRule {
+    rule: Rule,
+    prev_ev: usize,
+    next: CmdClass,
+    scope: ConstraintScope,
+    cycles: u64,
+    /// 1 for pairwise rules; 4 for the rolling tFAW window (evaluated
+    /// against the rank's activate history instead of `last`).
+    window: u32,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct ShadowBank {
     open_row: Option<u32>,
-    last_act: Option<u64>,
-    last_pre: Option<u64>,
-    last_read: Option<u64>,
-    last_write_burst_end: Option<u64>,
+    last: [Option<u64>; NEV],
     blocked_until: u64,
 }
 
 impl ShadowBank {
     fn new() -> Self {
-        ShadowBank {
-            open_row: None,
-            last_act: None,
-            last_pre: None,
-            last_read: None,
-            last_write_burst_end: None,
-            blocked_until: 0,
-        }
+        ShadowBank { open_row: None, last: [None; NEV], blocked_until: 0 }
     }
 }
 
 #[derive(Debug)]
 struct ShadowRank {
     banks: Vec<ShadowBank>,
+    /// Every activate issue time, in order (tFAW window source).
     acts: Vec<u64>,
-    last_write_burst_end: Option<u64>,
+    last: [Option<u64>; NEV],
+    /// Per-bank-group event times; empty on ungrouped devices.
+    group_last: Vec<[Option<u64>; NEV]>,
 }
 
 /// Shadow-state protocol checker for one channel.
 #[derive(Debug)]
 pub struct ProtocolChecker {
     cfg: DeviceConfig,
+    rules: Vec<PairRule>,
     ranks: Vec<ShadowRank>,
     /// (start, end, rank, is_write) of the last data burst.
     last_burst: Option<(u64, u64, u8, bool)>,
@@ -174,17 +212,139 @@ pub struct ProtocolChecker {
     commands_checked: u64,
 }
 
+/// Map a constraint's *shape* onto the [`Rule`] it reports. Shape (not the
+/// spec's name string) decides, so the mapping is total over the shapes
+/// the spec validator admits.
+fn rule_of(
+    prev: CmdClass,
+    next: CmdClass,
+    scope: ConstraintScope,
+    from: RefPoint,
+    window: u32,
+    addressing: AddressingStyle,
+) -> Rule {
+    use CmdClass::{Act, Pre, Rd, RefSb, Wr};
+    let col = |c: CmdClass| c == Rd || c == Wr;
+    match (prev, next) {
+        (Act, Act) => match (scope, window) {
+            (ConstraintScope::Bank, _) => Rule::TRc,
+            (ConstraintScope::BankGroup, _) => Rule::TRrdL,
+            (ConstraintScope::Rank, 4) => Rule::TFaw,
+            (ConstraintScope::Rank, _) => Rule::TRrd,
+        },
+        (Act, n) if col(n) => Rule::TRcd,
+        (Pre, Act) => Rule::TRp,
+        (Pre, RefSb) => Rule::TRp,
+        (Act, Pre) => Rule::TRas,
+        (Rd, Pre) => Rule::TRtp,
+        (Wr, Pre) => Rule::TWr,
+        (Wr, Rd) if from == RefPoint::DataEnd => Rule::TWtr,
+        (p, RefSb) if col(p) => Rule::TRcBeforeRefb,
+        (p, n) if col(p) && col(n) => match (addressing, scope) {
+            (AddressingStyle::SingleCommand, _) => Rule::TRcSingleCommand,
+            (_, ConstraintScope::BankGroup) => Rule::TCcdL,
+            _ => Rule::TCcd,
+        },
+        // The spec validator rejects every other shape; treat leftovers
+        // (hand-built configs) as generic column spacing.
+        _ => Rule::TCcd,
+    }
+}
+
+fn ev_of(prev: CmdClass, from: RefPoint) -> usize {
+    match (prev, from) {
+        (CmdClass::Act, _) => EV_ACT,
+        (CmdClass::Rd, _) => EV_RD,
+        (CmdClass::Wr, RefPoint::DataEnd) => EV_WR_END,
+        (CmdClass::Wr, RefPoint::Issue) => EV_WR,
+        (CmdClass::Pre, _) | (CmdClass::RefSb, _) => EV_PRE,
+    }
+}
+
+/// Generate the pairwise rule table from a device's constraint table, or —
+/// for hand-built configs with no table — synthesize the legacy rule set
+/// from the scalar timings.
+fn build_rules(cfg: &DeviceConfig) -> Vec<PairRule> {
+    use CmdClass::{Act, Pre, Rd, RefSb, Wr};
+    use ConstraintScope::{Bank, Rank};
+    if !cfg.constraints.is_empty() {
+        return cfg
+            .constraints
+            .iter()
+            .map(|c| PairRule {
+                rule: rule_of(c.prev, c.next, c.scope, c.from, c.window, cfg.addressing),
+                prev_ev: ev_of(c.prev, c.from),
+                next: c.next,
+                scope: c.scope,
+                cycles: u64::from(c.cycles),
+                window: c.window,
+            })
+            .collect();
+    }
+    let t = cfg.timings;
+    let pair = |rule, prev, from, next, scope, cycles: u32| PairRule {
+        rule,
+        prev_ev: ev_of(prev, from),
+        next,
+        scope,
+        cycles: u64::from(cycles),
+        window: 1,
+    };
+    let i = RefPoint::Issue;
+    let d = RefPoint::DataEnd;
+    let mut rules = match cfg.addressing {
+        AddressingStyle::RasCas => vec![
+            pair(Rule::TRc, Act, i, Act, Bank, t.t_rc),
+            pair(Rule::TRcd, Act, i, Rd, Bank, t.t_rcd),
+            pair(Rule::TRcd, Act, i, Wr, Bank, t.t_rcd),
+            pair(Rule::TRp, Pre, i, Act, Bank, t.t_rp),
+            pair(Rule::TRas, Act, i, Pre, Bank, t.t_ras),
+            pair(Rule::TRtp, Rd, i, Pre, Bank, t.t_rtp),
+            pair(Rule::TWr, Wr, d, Pre, Bank, t.t_wr),
+            pair(Rule::TWtr, Wr, d, Rd, Rank, t.t_wtr),
+            pair(Rule::TRrd, Act, i, Act, Rank, t.t_rrd),
+        ],
+        AddressingStyle::SingleCommand => vec![
+            pair(Rule::TRcSingleCommand, Rd, i, Rd, Bank, t.t_rc),
+            pair(Rule::TRcSingleCommand, Rd, i, Wr, Bank, t.t_rc),
+            pair(Rule::TRcSingleCommand, Wr, i, Rd, Bank, t.t_rc),
+            pair(Rule::TRcSingleCommand, Wr, i, Wr, Bank, t.t_rc),
+            pair(Rule::TRcBeforeRefb, Rd, i, RefSb, Bank, t.t_rc),
+            pair(Rule::TRcBeforeRefb, Wr, i, RefSb, Bank, t.t_rc),
+        ],
+    };
+    if cfg.addressing == AddressingStyle::RasCas && t.t_faw > 0 {
+        rules.push(PairRule {
+            rule: Rule::TFaw,
+            prev_ev: EV_ACT,
+            next: Act,
+            scope: Rank,
+            cycles: u64::from(t.t_faw),
+            window: 4,
+        });
+    }
+    // Zero-cycle rules can never fire; drop them to keep the table tight.
+    rules.retain(|r| r.cycles > 0);
+    rules
+}
+
 impl ProtocolChecker {
-    /// Build a checker for `ranks` ranks of `cfg` devices.
+    /// Build a checker for `ranks` ranks of `cfg` devices. The timing rule
+    /// table is generated from `cfg.constraints` (the spec's constraint
+    /// table), falling back to the scalar timings for hand-built configs.
     #[must_use]
     pub fn new(cfg: DeviceConfig, ranks: u32) -> Self {
         let banks = cfg.geometry.banks as usize;
+        let groups = cfg.geometry.bank_groups;
+        let group_slots = if groups > 1 { groups as usize } else { 0 };
         ProtocolChecker {
+            rules: build_rules(&cfg),
             ranks: (0..ranks)
                 .map(|_| ShadowRank {
                     banks: vec![ShadowBank::new(); banks],
                     acts: Vec::new(),
-                    last_write_burst_end: None,
+                    last: [None; NEV],
+                    group_last: vec![[None; NEV]; group_slots],
                 })
                 .collect(),
             cfg,
@@ -210,24 +370,62 @@ impl ProtocolChecker {
         self.violations.push(Violation { at, cmd: *cmd, rule });
     }
 
+    /// Bank group of `bank` (`None` on ungrouped devices).
+    fn group_of(&self, bank: u8) -> Option<usize> {
+        let groups = self.cfg.geometry.bank_groups;
+        if groups <= 1 {
+            return None;
+        }
+        Some((u32::from(bank) / (self.cfg.geometry.banks / groups)) as usize)
+    }
+
+    /// Evaluate every generated rule whose `next` matches the observed
+    /// command class, returning the broken rules in table order.
+    fn pair_hits(&self, next: CmdClass, rank_idx: usize, bank: u8, at: u64) -> Vec<Rule> {
+        let rank = &self.ranks[rank_idx];
+        let b = &rank.banks[usize::from(bank)];
+        let group = self.group_of(bank);
+        let mut hits = Vec::new();
+        for r in self.rules.iter().filter(|r| r.next == next) {
+            let broken = if r.window == 4 {
+                rank.acts.len() >= 4 && at < rank.acts[rank.acts.len() - 4] + r.cycles
+            } else {
+                let prev = match r.scope {
+                    ConstraintScope::Bank => b.last[r.prev_ev],
+                    ConstraintScope::Rank => rank.last[r.prev_ev],
+                    ConstraintScope::BankGroup => group.and_then(|g| rank.group_last[g][r.prev_ev]),
+                };
+                prev.is_some_and(|p| at < p + r.cycles)
+            };
+            if broken {
+                hits.push(r.rule);
+            }
+        }
+        hits
+    }
+
+    /// Record event `ev` at `when` on (bank, bank group, rank).
+    fn record(&mut self, rank_idx: usize, bank: u8, ev: usize, when: u64) {
+        let group = self.group_of(bank);
+        let rank = &mut self.ranks[rank_idx];
+        rank.banks[usize::from(bank)].last[ev] = Some(when);
+        rank.last[ev] = Some(when);
+        if let Some(g) = group {
+            rank.group_last[g][ev] = Some(when);
+        }
+    }
+
     /// Observe a command at cycle `at`, recording any violations.
     pub fn observe(&mut self, cmd: &Command, at: u64) {
         self.commands_checked += 1;
         let t = self.cfg.timings;
         let addressing = self.cfg.addressing;
         let rank_idx = cmd.rank();
-        let Some(rank) = self.ranks.get_mut(usize::from(rank_idx)) else {
+        let ri = usize::from(rank_idx);
+        if ri >= self.ranks.len() {
             self.flag(at, cmd, Rule::RankOutOfRange);
             return;
-        };
-
-        // tFAW / tRRD bookkeeping uses the per-rank activate history.
-        let faw_ok = |acts: &[u64]| -> bool {
-            t.t_faw == 0 || acts.len() < 4 || at >= acts[acts.len() - 4] + u64::from(t.t_faw)
-        };
-        let rrd_ok = |acts: &[u64]| -> bool {
-            t.t_rrd == 0 || acts.last().is_none_or(|&l| at >= l + u64::from(t.t_rrd))
-        };
+        }
 
         match *cmd {
             Command::Activate { bank, row, .. } => {
@@ -235,195 +433,123 @@ impl ProtocolChecker {
                     self.flag(at, cmd, Rule::ActOnSingleCommandDevice);
                     return;
                 }
-                let ok_faw = faw_ok(&rank.acts);
-                let ok_rrd = rrd_ok(&rank.acts);
-                let b = &mut rank.banks[usize::from(bank)];
+                let b = self.ranks[ri].banks[usize::from(bank)];
                 if b.open_row.is_some() {
-                    self.violations.push(Violation { at, cmd: *cmd, rule: Rule::ActToOpenBank });
+                    self.flag(at, cmd, Rule::ActToOpenBank);
                     return;
                 }
-                if let Some(last) = b.last_act {
-                    if at < last + u64::from(t.t_rc) {
-                        self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TRc });
-                    }
-                }
-                if let Some(pre) = b.last_pre {
-                    if at < pre + u64::from(t.t_rp) {
-                        self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TRp });
-                    }
-                }
                 if at < b.blocked_until {
-                    self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TRfc });
+                    self.flag(at, cmd, Rule::TRfc);
                 }
-                if !ok_rrd {
-                    self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TRrd });
+                for rule in self.pair_hits(CmdClass::Act, ri, bank, at) {
+                    self.flag(at, cmd, rule);
                 }
-                if !ok_faw {
-                    self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TFaw });
-                }
-                b.open_row = Some(row);
-                b.last_act = Some(at);
+                self.record(ri, bank, EV_ACT, at);
+                let rank = &mut self.ranks[ri];
+                rank.banks[usize::from(bank)].open_row = Some(row);
                 rank.acts.push(at);
             }
             Command::Read { bank, row, auto_pre, .. } => {
-                let rank_wtr_end = rank.last_write_burst_end;
-                let b = &mut rank.banks[usize::from(bank)];
-                match addressing {
-                    AddressingStyle::RasCas => {
-                        if b.open_row != Some(row) {
-                            self.violations.push(Violation {
-                                at,
-                                cmd: *cmd,
-                                rule: Rule::ReadClosedRow,
-                            });
-                            return;
-                        }
-                        if let Some(act) = b.last_act {
-                            if at < act + u64::from(t.t_rcd) {
-                                self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TRcd });
-                            }
-                        }
-                    }
-                    AddressingStyle::SingleCommand => {
-                        if let Some(act) = b.last_act {
-                            if at < act + u64::from(t.t_rc) {
-                                self.violations.push(Violation {
-                                    at,
-                                    cmd: *cmd,
-                                    rule: Rule::TRcSingleCommand,
-                                });
-                            }
-                        }
-                        b.last_act = Some(at);
-                    }
-                }
-                if t.t_wtr > 0 {
-                    if let Some(wend) = rank_wtr_end {
-                        if at < wend + u64::from(t.t_wtr) {
-                            self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TWtr });
-                        }
-                    }
+                let b = self.ranks[ri].banks[usize::from(bank)];
+                if addressing == AddressingStyle::RasCas && b.open_row != Some(row) {
+                    self.flag(at, cmd, Rule::ReadClosedRow);
+                    return;
                 }
                 if at < b.blocked_until {
-                    self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TRfc });
+                    self.flag(at, cmd, Rule::TRfc);
                 }
-                b.last_read = Some(at);
+                for rule in self.pair_hits(CmdClass::Rd, ri, bank, at) {
+                    self.flag(at, cmd, rule);
+                }
+                self.record(ri, bank, EV_RD, at);
                 if auto_pre || addressing == AddressingStyle::SingleCommand {
+                    // The implicit-activate reference for the synthesized
+                    // precharge: the read itself on single-command devices.
+                    let act_ref = match addressing {
+                        AddressingStyle::SingleCommand => at,
+                        AddressingStyle::RasCas => {
+                            self.ranks[ri].banks[usize::from(bank)].last[EV_ACT].unwrap_or(0)
+                        }
+                    };
+                    let b = &mut self.ranks[ri].banks[usize::from(bank)];
                     b.open_row = None;
-                    b.last_pre = Some(
-                        (at + u64::from(t.t_rtp)).max(b.last_act.unwrap_or(0) + u64::from(t.t_ras)),
-                    );
+                    // Synthesized auto-precharge time; deliberately not run
+                    // through the PRE rules (the device sequences it).
+                    b.last[EV_PRE] =
+                        Some((at + u64::from(t.t_rtp)).max(act_ref + u64::from(t.t_ras)));
                 }
                 let start = at + u64::from(t.t_rl);
                 self.check_bus(cmd, at, start, start + u64::from(t.t_burst), rank_idx, false);
             }
             Command::Write { bank, row, auto_pre, .. } => {
-                let b = &mut rank.banks[usize::from(bank)];
-                match addressing {
-                    AddressingStyle::RasCas => {
-                        if b.open_row != Some(row) {
-                            self.violations.push(Violation {
-                                at,
-                                cmd: *cmd,
-                                rule: Rule::WriteClosedRow,
-                            });
-                            return;
-                        }
-                        if let Some(act) = b.last_act {
-                            if at < act + u64::from(t.t_rcd) {
-                                self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TRcd });
-                            }
-                        }
-                    }
-                    AddressingStyle::SingleCommand => {
-                        if let Some(act) = b.last_act {
-                            if at < act + u64::from(t.t_rc) {
-                                self.violations.push(Violation {
-                                    at,
-                                    cmd: *cmd,
-                                    rule: Rule::TRcSingleCommand,
-                                });
-                            }
-                        }
-                        b.last_act = Some(at);
-                    }
+                let b = self.ranks[ri].banks[usize::from(bank)];
+                if addressing == AddressingStyle::RasCas && b.open_row != Some(row) {
+                    self.flag(at, cmd, Rule::WriteClosedRow);
+                    return;
                 }
                 if at < b.blocked_until {
-                    self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TRfc });
+                    self.flag(at, cmd, Rule::TRfc);
+                }
+                for rule in self.pair_hits(CmdClass::Wr, ri, bank, at) {
+                    self.flag(at, cmd, rule);
                 }
                 let end = at + u64::from(t.t_wl) + u64::from(t.t_burst);
-                b.last_write_burst_end = Some(end);
-                rank.last_write_burst_end = Some(end);
+                self.record(ri, bank, EV_WR, at);
+                self.record(ri, bank, EV_WR_END, end);
                 if auto_pre || addressing == AddressingStyle::SingleCommand {
+                    let act_ref = match addressing {
+                        AddressingStyle::SingleCommand => at,
+                        AddressingStyle::RasCas => {
+                            self.ranks[ri].banks[usize::from(bank)].last[EV_ACT].unwrap_or(0)
+                        }
+                    };
+                    let b = &mut self.ranks[ri].banks[usize::from(bank)];
                     b.open_row = None;
-                    b.last_pre = Some(
-                        (end + u64::from(t.t_wr)).max(b.last_act.unwrap_or(0) + u64::from(t.t_ras)),
-                    );
+                    b.last[EV_PRE] =
+                        Some((end + u64::from(t.t_wr)).max(act_ref + u64::from(t.t_ras)));
                 }
                 let start = at + u64::from(t.t_wl);
                 self.check_bus(cmd, at, start, end, rank_idx, true);
             }
             Command::Precharge { bank, .. } => {
-                let b = &mut rank.banks[usize::from(bank)];
-                if b.open_row.is_none() {
-                    self.violations.push(Violation { at, cmd: *cmd, rule: Rule::PreToClosedBank });
+                if self.ranks[ri].banks[usize::from(bank)].open_row.is_none() {
+                    self.flag(at, cmd, Rule::PreToClosedBank);
                     return;
                 }
-                if let Some(act) = b.last_act {
-                    if at < act + u64::from(t.t_ras) {
-                        self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TRas });
-                    }
+                for rule in self.pair_hits(CmdClass::Pre, ri, bank, at) {
+                    self.flag(at, cmd, rule);
                 }
-                if let Some(rd) = b.last_read {
-                    if at < rd + u64::from(t.t_rtp) {
-                        self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TRtp });
-                    }
-                }
-                if let Some(wend) = b.last_write_burst_end {
-                    if at < wend + u64::from(t.t_wr) {
-                        self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TWr });
-                    }
-                }
-                b.open_row = None;
-                b.last_pre = Some(at);
+                self.record(ri, bank, EV_PRE, at);
+                self.ranks[ri].banks[usize::from(bank)].open_row = None;
             }
             Command::Refresh { .. } => {
-                if rank.banks.iter().any(|b| b.open_row.is_some()) {
-                    self.violations.push(Violation { at, cmd: *cmd, rule: Rule::RefWithOpenBanks });
+                if self.ranks[ri].banks.iter().any(|b| b.open_row.is_some()) {
+                    self.flag(at, cmd, Rule::RefWithOpenBanks);
                     return;
                 }
-                for b in &mut rank.banks {
-                    if at < b.blocked_until {
-                        self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TRfc });
-                        break;
-                    }
+                if self.ranks[ri].banks.iter().any(|b| at < b.blocked_until) {
+                    self.flag(at, cmd, Rule::TRfc);
                 }
-                for b in &mut rank.banks {
+                for b in &mut self.ranks[ri].banks {
                     b.blocked_until = at + u64::from(t.t_rfc);
                     // Refresh implies internal activates; a following ACT
                     // must honour tRFC, which blocked_until models.
-                    b.last_pre = Some(at.saturating_sub(u64::from(t.t_rp)));
+                    b.last[EV_PRE] = Some(at.saturating_sub(u64::from(t.t_rp)));
                 }
             }
             Command::RefreshBank { bank, .. } => {
-                let b = &mut rank.banks[usize::from(bank)];
+                let b = self.ranks[ri].banks[usize::from(bank)];
                 if b.open_row.is_some() {
-                    self.violations.push(Violation { at, cmd: *cmd, rule: Rule::RefbToOpenBank });
+                    self.flag(at, cmd, Rule::RefbToOpenBank);
                     return;
                 }
                 if at < b.blocked_until {
-                    self.violations.push(Violation { at, cmd: *cmd, rule: Rule::TRfc });
+                    self.flag(at, cmd, Rule::TRfc);
                 }
-                if let Some(act) = b.last_act {
-                    if at < act + u64::from(t.t_rc) {
-                        self.violations.push(Violation {
-                            at,
-                            cmd: *cmd,
-                            rule: Rule::TRcBeforeRefb,
-                        });
-                    }
+                for rule in self.pair_hits(CmdClass::RefSb, ri, bank, at) {
+                    self.flag(at, cmd, rule);
                 }
-                b.blocked_until = at + u64::from(t.t_rfc);
+                self.ranks[ri].banks[usize::from(bank)].blocked_until = at + u64::from(t.t_rfc);
             }
         }
     }
@@ -545,5 +671,65 @@ mod tests {
         assert_eq!(Rule::DataBusOverlap.to_string(), "data bus overlap");
         assert_eq!(Rule::TRcSingleCommand.to_string(), "tRC (single-command)");
         assert_eq!(Rule::ActOnSingleCommandDevice.as_str(), "ACT on a single-command device");
+        assert_eq!(Rule::TCcdL.to_string(), "tCCD_L");
+        assert_eq!(Rule::TRrdL.to_string(), "tRRD_L");
+    }
+
+    #[test]
+    fn tccd_l_fires_within_a_bank_group_but_not_across() {
+        let cfg = DeviceConfig::ddr4_2400();
+        let t = cfg.timings;
+        assert!(t.t_ccd_l > t.t_ccd);
+        // Banks 0 and 1 share group 0; bank 4 is in group 1.
+        let mut c = ProtocolChecker::new(cfg.clone(), 1);
+        c.observe(&Command::activate(0, 0, 5), 0);
+        c.observe(&Command::activate(0, 4, 5), 100);
+        let rd0 = 200;
+        c.observe(&Command::read(0, 0, 5, false), rd0);
+        // Cross-group read at tCCD_S spacing: legal.
+        c.observe(&Command::read(0, 4, 5, false), rd0 + u64::from(t.t_ccd));
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+        // Same-group read at tCCD_S spacing: violates tCCD_L.
+        let mut c = ProtocolChecker::new(cfg, 1);
+        c.observe(&Command::activate(0, 0, 5), 0);
+        c.observe(&Command::activate(0, 1, 5), 100);
+        c.observe(&Command::read(0, 0, 5, false), rd0);
+        c.observe(&Command::read(0, 1, 5, false), rd0 + u64::from(t.t_ccd));
+        assert!(c.violations().iter().any(|v| v.rule == Rule::TCcdL), "{:?}", c.violations());
+    }
+
+    #[test]
+    fn trrd_l_fires_within_a_bank_group() {
+        let cfg = DeviceConfig::ddr4_2400();
+        let t = cfg.timings;
+        let mut c = ProtocolChecker::new(cfg, 1);
+        c.observe(&Command::activate(0, 0, 5), 0);
+        // Same group (bank 1), spaced at the short tRRD_S: tRRD_L broken.
+        c.observe(&Command::activate(0, 1, 5), u64::from(t.t_rrd));
+        assert!(c.violations().iter().any(|v| v.rule == Rule::TRrdL));
+        assert!(!c.violations().iter().any(|v| v.rule == Rule::TRrd));
+    }
+
+    #[test]
+    fn ddr5_refsb_rules_are_generated() {
+        let cfg = DeviceConfig::ddr5_4800();
+        let t = cfg.timings;
+        // REFsb to a bank with an open row is structural.
+        let mut c = ProtocolChecker::new(cfg.clone(), 1);
+        c.observe(&Command::activate(0, 0, 5), 0);
+        c.observe(&Command::RefreshBank { rank: 0, bank: 0 }, u64::from(t.t_ras) + 10);
+        assert!(c.violations().iter().any(|v| v.rule == Rule::RefbToOpenBank));
+        // REFsb inside tRP of the closing precharge violates the generated
+        // pre -> refsb rule.
+        let mut c = ProtocolChecker::new(cfg.clone(), 1);
+        c.observe(&Command::activate(0, 0, 5), 0);
+        c.observe(&Command::precharge(0, 0), u64::from(t.t_ras));
+        c.observe(&Command::RefreshBank { rank: 0, bank: 0 }, u64::from(t.t_ras) + 1);
+        assert!(c.violations().iter().any(|v| v.rule == Rule::TRp), "{:?}", c.violations());
+        // Back-to-back REFsb to the same bank inside tRFC is caught.
+        let mut c = ProtocolChecker::new(cfg, 1);
+        c.observe(&Command::RefreshBank { rank: 0, bank: 3 }, 0);
+        c.observe(&Command::RefreshBank { rank: 0, bank: 3 }, u64::from(t.t_rfc) / 2);
+        assert!(c.violations().iter().any(|v| v.rule == Rule::TRfc));
     }
 }

@@ -1,10 +1,19 @@
 //! Device configurations: timing, geometry and access style per DRAM flavor.
 //!
-//! The three presets carry the paper's Table 2 timing parameters converted
-//! into device-clock cycles (1.25 ns for the 800 MHz DDR3/RLDRAM3 buses,
-//! 2.5 ns for the 400 MHz LPDDR2 bus), plus standard JEDEC values for the
-//! parameters the paper leaves implicit (`tCCD`, `tRRD`, `tRTP`, `tWR`,
-//! refresh, power-down exits), taken from the referenced Micron datasheets.
+//! Since the spec-layer refactor every configuration is **data-driven**: the
+//! constructors below are thin wrappers that load the compile-time-embedded
+//! TOML specs under `specs/` (see [`crate::spec`]), so a [`DeviceConfig`] is
+//! always the product of the same parser + validator that handles user
+//!-provided spec files. The three paper presets carry Table 2 timing
+//! parameters converted into device-clock cycles (1.25 ns for the 800 MHz
+//! DDR3/RLDRAM3 buses, 2.5 ns for the 400 MHz LPDDR2 bus), plus standard
+//! JEDEC values for the parameters the paper leaves implicit (`tCCD`,
+//! `tRRD`, `tRTP`, `tWR`, refresh, power-down exits), taken from the
+//! referenced Micron datasheets. The DDR4/DDR5/LPDDR4 specs extend the set
+//! with bank groups (`tCCD_L`/`tCCD_S`, `tRRD_L`/`tRRD_S`) and DDR5's
+//! same-bank refresh.
+
+use std::sync::OnceLock;
 
 /// The DRAM flavor a channel is built from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -15,6 +24,57 @@ pub enum DeviceKind {
     Lpddr2,
     /// Reduced-latency RLDRAM3 (MT44K32M18): the critical-word DIMM.
     Rldram3,
+    /// DDR4-2400: 16 banks in 4 bank groups (`tCCD_L`/`tCCD_S`).
+    Ddr4,
+    /// DDR5-4800: 32 banks in 8 bank groups, same-bank refresh (REFsb).
+    Ddr5,
+    /// LPDDR4-3200: the mobile successor to LPDDR2.
+    Lpddr4,
+}
+
+impl DeviceKind {
+    /// Every supported flavor, in declaration order.
+    pub const ALL: [DeviceKind; 6] = [
+        DeviceKind::Ddr3,
+        DeviceKind::Lpddr2,
+        DeviceKind::Rldram3,
+        DeviceKind::Ddr4,
+        DeviceKind::Ddr5,
+        DeviceKind::Lpddr4,
+    ];
+
+    /// The id of the embedded spec this kind loads (`specs/<id>.toml`).
+    #[must_use]
+    pub fn spec_id(self) -> &'static str {
+        match self {
+            DeviceKind::Ddr3 => "ddr3_1600",
+            DeviceKind::Lpddr2 => "lpddr2_800",
+            DeviceKind::Rldram3 => "rldram3",
+            DeviceKind::Ddr4 => "ddr4_2400",
+            DeviceKind::Ddr5 => "ddr5_4800",
+            DeviceKind::Lpddr4 => "lpddr4_3200",
+        }
+    }
+
+    /// Parse a CLI/spec token: either the spec id (`"ddr5_4800"`) or the
+    /// lowercase family name (`"ddr5"`).
+    #[must_use]
+    pub fn parse_token(token: &str) -> Option<DeviceKind> {
+        Self::ALL
+            .into_iter()
+            .find(|k| k.spec_id() == token || k.to_string().to_lowercase() == token)
+    }
+
+    fn index(self) -> usize {
+        match self {
+            DeviceKind::Ddr3 => 0,
+            DeviceKind::Lpddr2 => 1,
+            DeviceKind::Rldram3 => 2,
+            DeviceKind::Ddr4 => 3,
+            DeviceKind::Ddr5 => 4,
+            DeviceKind::Lpddr4 => 5,
+        }
+    }
 }
 
 impl std::fmt::Display for DeviceKind {
@@ -23,6 +83,9 @@ impl std::fmt::Display for DeviceKind {
             DeviceKind::Ddr3 => write!(f, "DDR3"),
             DeviceKind::Lpddr2 => write!(f, "LPDDR2"),
             DeviceKind::Rldram3 => write!(f, "RLDRAM3"),
+            DeviceKind::Ddr4 => write!(f, "DDR4"),
+            DeviceKind::Ddr5 => write!(f, "DDR5"),
+            DeviceKind::Lpddr4 => write!(f, "LPDDR4"),
         }
     }
 }
@@ -47,10 +110,74 @@ pub enum AddressingStyle {
     SingleCommand,
 }
 
+/// Command class a timing constraint refers to (spec-file vocabulary:
+/// `act`, `rd`, `wr`, `pre`, `refsb`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmdClass {
+    /// Row activate.
+    Act,
+    /// Column read (on single-command devices: the implicit activate too).
+    Rd,
+    /// Column write (on single-command devices: the implicit activate too).
+    Wr,
+    /// Precharge.
+    Pre,
+    /// Per-bank refresh (REFB / DDR5 REFsb).
+    RefSb,
+}
+
+/// Scope at which a timing constraint is enforced (spec-file vocabulary:
+/// `@bank`, `@bank-group`, `@rank`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstraintScope {
+    /// Both commands address the same bank.
+    Bank,
+    /// Both commands address banks of the same bank group.
+    BankGroup,
+    /// Both commands address the same rank.
+    Rank,
+}
+
+/// Which edge of the *previous* command starts the constraint clock
+/// (spec-file vocabulary: the optional `from=data-end` suffix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RefPoint {
+    /// The previous command's issue cycle (default).
+    Issue,
+    /// The cycle just after the previous command's last data beat
+    /// (write-recovery style rules: `tWR`, `tWTR`).
+    DataEnd,
+}
+
+/// One parsed timing rule from a spec's `[timing] constraints` table:
+/// *`next` may not issue sooner than `cycles` after `prev` within `scope`*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecConstraint {
+    /// JEDEC-style rule name (`"tRC"`, `"tCCD_L"`, …); drawn from a closed
+    /// vocabulary so the verify oracle can map it onto a [`crate::Rule`].
+    pub name: String,
+    /// Earlier command class.
+    pub prev: CmdClass,
+    /// Later command class the spacing applies to.
+    pub next: CmdClass,
+    /// Scope the pair must share for the rule to bind.
+    pub scope: ConstraintScope,
+    /// Minimum spacing in device cycles (always > 0).
+    pub cycles: u32,
+    /// Sliding-window size: 1 for plain pairwise rules, 4 for the rolling
+    /// four-activate `tFAW` window.
+    pub window: u32,
+    /// Reference edge on the previous command.
+    pub from: RefPoint,
+}
+
 /// Timing parameters in **device clock cycles**.
 ///
 /// A value of 0 means the constraint does not exist for this device
-/// (e.g. `t_faw` on RLDRAM3).
+/// (e.g. `t_faw` on RLDRAM3, `t_ccd_l` on ungrouped devices). Every field
+/// except the clock/bus parameters is *derived* from the spec's constraint
+/// table by [`crate::spec::DeviceSpec`]; the scalars exist so the hot
+/// channel path and the power model need no table lookups.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeviceTimings {
     /// Clock period in picoseconds (1250 for 800 MHz, 2500 for 400 MHz).
@@ -75,17 +202,25 @@ pub struct DeviceTimings {
     pub t_wtr: u32,
     /// Write latency: WRITE command to first data beat.
     pub t_wl: u32,
-    /// Column-to-column command spacing.
+    /// Column-to-column command spacing (same bank; on bank-grouped
+    /// devices this is the short cross-group `tCCD_S`).
     pub t_ccd: u32,
-    /// ACT-to-ACT across banks of one rank (0 ⇒ none).
+    /// Column-to-column spacing within one bank group (`tCCD_L`;
+    /// 0 ⇒ the device has no bank groups).
+    pub t_ccd_l: u32,
+    /// ACT-to-ACT across banks of one rank (0 ⇒ none; on bank-grouped
+    /// devices this is the short cross-group `tRRD_S`).
     pub t_rrd: u32,
+    /// ACT-to-ACT within one bank group (`tRRD_L`; 0 ⇒ no bank groups).
+    pub t_rrd_l: u32,
     /// READ to PRECHARGE of the same bank.
     pub t_rtp: u32,
     /// Write recovery: end of write burst to PRECHARGE.
     pub t_wr: u32,
     /// Average refresh interval (0 ⇒ no controller-visible refresh).
     pub t_refi: u32,
-    /// Refresh cycle time (all-bank for DDR3/LPDDR2, per-bank for RLDRAM3).
+    /// Refresh cycle time (all-bank for DDR3/LPDDR2, per-bank for
+    /// RLDRAM3 and DDR5 REFsb).
     pub t_rfc: u32,
     /// Power-down exit latency (0 ⇒ device has no power-down mode).
     pub t_xp: u32,
@@ -112,6 +247,9 @@ impl DeviceTimings {
 pub struct DeviceGeometry {
     /// Banks per device.
     pub banks: u32,
+    /// Bank groups per device (1 ⇒ no bank grouping; when > 1, `banks`
+    /// is evenly divided and the long/short `tCCD`/`tRRD` pairs apply).
+    pub bank_groups: u32,
     /// Rows per bank.
     pub rows: u32,
     /// Cache lines per row **per rank** (row-buffer size / 64 B).
@@ -128,7 +266,7 @@ pub struct DeviceConfig {
     /// Device flavor.
     pub kind: DeviceKind,
     /// Human-readable part name.
-    pub name: &'static str,
+    pub name: String,
     /// Timing parameters in device cycles.
     pub timings: DeviceTimings,
     /// Bank/row geometry.
@@ -145,6 +283,24 @@ pub struct DeviceConfig {
     /// Device-cycles of rank idleness before entering self-refresh
     /// (0 ⇒ never).
     pub self_refresh_idle_cycles: u32,
+    /// Refresh granularity: `true` ⇒ the controller issues per-bank
+    /// refreshes (RLDRAM3 REFB, DDR5 REFsb) on a rotating bank pointer,
+    /// `false` ⇒ all-bank REF with every row closed first.
+    pub refresh_per_bank: bool,
+    /// The timing-constraint table the scalar [`DeviceTimings`] were
+    /// derived from; the verify oracle's `ProtocolChecker` generates its
+    /// rule set from this same table.
+    pub constraints: Vec<SpecConstraint>,
+}
+
+/// Embedded-spec cache: each preset is parsed once per process.
+fn embedded_preset(kind: DeviceKind) -> &'static DeviceConfig {
+    static CACHE: [OnceLock<DeviceConfig>; 6] = [const { OnceLock::new() }; 6];
+    CACHE[kind.index()].get_or_init(|| {
+        let spec = crate::spec::DeviceSpec::embedded(kind.spec_id())
+            .unwrap_or_else(|| panic!("no embedded spec for {kind:?}"));
+        spec.into_config()
+    })
 }
 
 impl DeviceConfig {
@@ -152,45 +308,10 @@ impl DeviceConfig {
     ///
     /// Table 2: tRC 50 ns, tRCD/tRL/tRP 13.5 ns, tRAS 37 ns, tFAW 40 ns,
     /// tWTR 7.5 ns, tWL 6.5 ns, tRTRS 2 bus cycles; 8 banks; open page.
+    /// Loaded from the embedded `specs/ddr3_1600.toml`.
     #[must_use]
     pub fn ddr3_1600() -> Self {
-        DeviceConfig {
-            kind: DeviceKind::Ddr3,
-            name: "MT41J256M8 DDR3-1600",
-            timings: DeviceTimings {
-                t_ck_ps: 1250,
-                t_burst: 4,
-                t_rc: 40,
-                t_rcd: 11,
-                t_rl: 11,
-                t_rp: 11,
-                t_ras: 30,
-                t_rtrs: 2,
-                t_faw: 32,
-                t_wtr: 6,
-                t_wl: 6,
-                t_ccd: 4,
-                t_rrd: 5,
-                t_rtp: 6,
-                t_wr: 12,
-                t_refi: 6240,
-                t_rfc: 128,
-                t_xp: 5,
-                t_xsr: 512,
-            },
-            geometry: DeviceGeometry {
-                banks: 8,
-                rows: 32768,
-                lines_per_row: 128, // 8 KB row buffer per rank
-                width_bits: 8,
-                capacity_mbit: 2048,
-            },
-            page_policy: PagePolicy::Open,
-            addressing: AddressingStyle::RasCas,
-            cpu_cycles_per_mem_cycle: 4,
-            powerdown_idle_cycles: 30,
-            self_refresh_idle_cycles: 0, // servers keep DDR3 out of self-refresh
-        }
+        Self::preset(DeviceKind::Ddr3)
     }
 
     /// LPDDR2-800, 2 Gb (modelled after MT42L128M16D1 at 400 MHz) — the
@@ -198,46 +319,11 @@ impl DeviceConfig {
     ///
     /// Table 2: tRC 60 ns, tRCD/tRL/tRP 18 ns, tRAS 42 ns, tFAW 50 ns,
     /// tWTR 7.5 ns, tWL 6.5 ns; 8 banks; open page (energy-minimising);
-    /// aggressive sleep-transition policy (§4.1).
+    /// aggressive sleep-transition policy (§4.1). Loaded from the embedded
+    /// `specs/lpddr2_800.toml`.
     #[must_use]
     pub fn lpddr2_800() -> Self {
-        DeviceConfig {
-            kind: DeviceKind::Lpddr2,
-            name: "MT42L128M16D1 LPDDR2-800",
-            timings: DeviceTimings {
-                t_ck_ps: 2500,
-                t_burst: 4,
-                t_rc: 24,
-                t_rcd: 8,
-                t_rl: 8,
-                t_rp: 8,
-                t_ras: 17,
-                t_rtrs: 2,
-                t_faw: 20,
-                t_wtr: 3,
-                t_wl: 3,
-                t_ccd: 4,
-                t_rrd: 4,
-                t_rtp: 3,
-                t_wr: 6,
-                t_refi: 1560,
-                t_rfc: 52,
-                t_xp: 3,
-                t_xsr: 56,
-            },
-            geometry: DeviceGeometry {
-                banks: 8,
-                rows: 32768,
-                lines_per_row: 128,
-                width_bits: 8,
-                capacity_mbit: 2048,
-            },
-            page_policy: PagePolicy::Open,
-            addressing: AddressingStyle::RasCas,
-            cpu_cycles_per_mem_cycle: 8,
-            powerdown_idle_cycles: 12, // aggressive sleep transitions
-            self_refresh_idle_cycles: 600,
-        }
+        Self::preset(DeviceKind::Lpddr2)
     }
 
     /// RLDRAM3-1600, 576 Mb x9 slice (modelled after MT44K32M18) — the
@@ -246,56 +332,40 @@ impl DeviceConfig {
     /// Table 2: tRC 12 ns, tRL 10 ns, tWL 11.25 ns; 16 banks; no tFAW, no
     /// tWTR; SRAM-style single-command addressing with built-in
     /// auto-precharge (close page only); no power-down modes, which is why
-    /// its background power is high (§3).
+    /// its background power is high (§3). Loaded from the embedded
+    /// `specs/rldram3.toml`.
     #[must_use]
     pub fn rldram3() -> Self {
-        DeviceConfig {
-            kind: DeviceKind::Rldram3,
-            name: "MT44K32M18 RLDRAM3",
-            timings: DeviceTimings {
-                t_ck_ps: 1250,
-                t_burst: 4,
-                t_rc: 10,
-                t_rcd: 0,
-                t_rl: 8,
-                t_rp: 0,
-                t_ras: 0,
-                t_rtrs: 2,
-                t_faw: 0,
-                t_wtr: 0,
-                t_wl: 9,
-                t_ccd: 4,
-                t_rrd: 0,
-                t_rtp: 0,
-                t_wr: 0,
-                t_refi: 3125, // one per-bank refresh slot every 3.9 µs
-                t_rfc: 10,    // a bank refresh costs one tRC
-                t_xp: 0,
-                t_xsr: 0,
-            },
-            geometry: DeviceGeometry {
-                banks: 16,
-                rows: 8192,
-                lines_per_row: 1, // close-page: no reuse of the row buffer
-                width_bits: 9,
-                capacity_mbit: 576,
-            },
-            page_policy: PagePolicy::Closed,
-            addressing: AddressingStyle::SingleCommand,
-            cpu_cycles_per_mem_cycle: 4,
-            powerdown_idle_cycles: 0,
-            self_refresh_idle_cycles: 0,
-        }
+        Self::preset(DeviceKind::Rldram3)
     }
 
-    /// Preset lookup by kind.
+    /// DDR4-2400, x8, 8 Gb (modelled after MT40A1G8): 16 banks in 4 bank
+    /// groups with `tCCD_L`/`tCCD_S` and `tRRD_L`/`tRRD_S` split timings.
+    /// Loaded from the embedded `specs/ddr4_2400.toml`.
+    #[must_use]
+    pub fn ddr4_2400() -> Self {
+        Self::preset(DeviceKind::Ddr4)
+    }
+
+    /// DDR5-4800, x8, 16 Gb: 32 banks in 8 bank groups and same-bank
+    /// refresh (REFsb). Loaded from the embedded `specs/ddr5_4800.toml`.
+    #[must_use]
+    pub fn ddr5_4800() -> Self {
+        Self::preset(DeviceKind::Ddr5)
+    }
+
+    /// LPDDR4-3200, 8 Gb: the mobile bulk option, with LPDDR2-style
+    /// aggressive sleep transitions. Loaded from the embedded
+    /// `specs/lpddr4_3200.toml`.
+    #[must_use]
+    pub fn lpddr4_3200() -> Self {
+        Self::preset(DeviceKind::Lpddr4)
+    }
+
+    /// Preset lookup by kind: loads (and caches) the embedded spec.
     #[must_use]
     pub fn preset(kind: DeviceKind) -> Self {
-        match kind {
-            DeviceKind::Ddr3 => Self::ddr3_1600(),
-            DeviceKind::Lpddr2 => Self::lpddr2_800(),
-            DeviceKind::Rldram3 => Self::rldram3(),
-        }
+        embedded_preset(kind).clone()
     }
 
     /// Peak pin bandwidth of one 64-bit data bus of this device type, in
@@ -307,14 +377,21 @@ impl DeviceConfig {
     }
 
     /// Fault-injection helper: a copy of this config with `tRCD` shaved by
-    /// one cycle. A controller built from the shaved config issues column
-    /// commands one cycle early relative to the pristine spec; the verify
-    /// oracle (checking against the *unshaved* config) must flag every such
-    /// issue. Exists solely so the seeded-fault tests can prove the tRCD
-    /// check is not vacuous — never use it to build a real memory system.
+    /// one cycle (both the scalar and the constraint-table entries, so the
+    /// shaved config stays self-consistent). A controller built from the
+    /// shaved config issues column commands one cycle early relative to the
+    /// pristine spec; the verify oracle (checking against the *unshaved*
+    /// config) must flag every such issue. Exists solely so the
+    /// seeded-fault tests can prove the tRCD check is not vacuous — never
+    /// use it to build a real memory system.
     #[must_use]
     pub fn with_shaved_trcd(mut self) -> Self {
         self.timings.t_rcd = self.timings.t_rcd.saturating_sub(1);
+        for c in &mut self.constraints {
+            if c.name == "tRCD" {
+                c.cycles = c.cycles.saturating_sub(1).max(1);
+            }
+        }
         self
     }
 }
@@ -343,6 +420,7 @@ mod tests {
         assert_eq!(r.timings.t_faw, 0);
         assert_eq!(r.timings.t_wtr, 0);
         assert_eq!(r.geometry.banks, 16);
+        assert!(r.refresh_per_bank);
     }
 
     #[test]
@@ -358,6 +436,9 @@ mod tests {
         assert_eq!(DeviceConfig::ddr3_1600().cpu_cycles_per_mem_cycle, 4);
         assert_eq!(DeviceConfig::lpddr2_800().cpu_cycles_per_mem_cycle, 8);
         assert_eq!(DeviceConfig::rldram3().cpu_cycles_per_mem_cycle, 4);
+        assert_eq!(DeviceConfig::ddr4_2400().cpu_cycles_per_mem_cycle, 3);
+        assert_eq!(DeviceConfig::ddr5_4800().cpu_cycles_per_mem_cycle, 1);
+        assert_eq!(DeviceConfig::lpddr4_3200().cpu_cycles_per_mem_cycle, 2);
     }
 
     #[test]
@@ -369,5 +450,44 @@ mod tests {
         // LPDDR2 runs at half the frequency.
         let l = DeviceConfig::lpddr2_800().peak_bandwidth_gbps();
         assert!((l - d / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bank_grouped_presets_carry_split_timings() {
+        let d4 = DeviceConfig::ddr4_2400();
+        assert_eq!(d4.geometry.bank_groups, 4);
+        assert!(d4.timings.t_ccd_l > d4.timings.t_ccd);
+        assert!(d4.timings.t_rrd_l > d4.timings.t_rrd);
+        let d5 = DeviceConfig::ddr5_4800();
+        assert_eq!(d5.geometry.banks, 32);
+        assert_eq!(d5.geometry.bank_groups, 8);
+        assert!(d5.refresh_per_bank, "DDR5 uses same-bank refresh");
+        // Ungrouped devices carry no long timings.
+        assert_eq!(DeviceConfig::ddr3_1600().timings.t_ccd_l, 0);
+        assert_eq!(DeviceConfig::lpddr4_3200().geometry.bank_groups, 1);
+    }
+
+    #[test]
+    fn spec_ids_and_display_names_agree() {
+        for kind in DeviceKind::ALL {
+            let display = kind.to_string().to_lowercase();
+            assert!(
+                kind.spec_id() == display || kind.spec_id().starts_with(&format!("{display}_")),
+                "{kind:?}: spec id {} does not extend display name {display}",
+                kind.spec_id()
+            );
+            assert_eq!(DeviceKind::parse_token(kind.spec_id()), Some(kind));
+            assert_eq!(DeviceKind::parse_token(&display), Some(kind));
+            assert_eq!(DeviceConfig::preset(kind).kind, kind);
+        }
+    }
+
+    #[test]
+    fn shaved_trcd_shaves_constraints_too() {
+        let cfg = DeviceConfig::ddr3_1600().with_shaved_trcd();
+        assert_eq!(cfg.timings.t_rcd, 10);
+        for c in cfg.constraints.iter().filter(|c| c.name == "tRCD") {
+            assert_eq!(c.cycles, 10);
+        }
     }
 }

@@ -23,7 +23,9 @@
 //! * activity and state-residency statistics consumed by the power model.
 //!
 //! Timing parameters are the paper's Table 2 values converted to device
-//! cycles; see [`config`] for the three presets.
+//! cycles; see [`config`] for the presets and [`spec`] for the data-driven
+//! TOML spec layer every preset (plus DDR4-2400, DDR5-4800 and
+//! LPDDR4-3200) loads from.
 //!
 //! The crate deliberately knows nothing about queues or scheduling policy:
 //! a [`Channel`] answers *"when could this command legally issue?"* and
@@ -50,6 +52,7 @@ pub mod checker;
 pub mod command;
 pub mod config;
 pub mod rank;
+pub mod spec;
 pub mod stats;
 
 pub use bank::{Bank, BankState};
@@ -57,7 +60,9 @@ pub use channel::{Channel, IssueOutcome};
 pub use checker::{ProtocolChecker, Rule, Violation};
 pub use command::Command;
 pub use config::{
-    AddressingStyle, DeviceConfig, DeviceGeometry, DeviceKind, DeviceTimings, PagePolicy,
+    AddressingStyle, CmdClass, ConstraintScope, DeviceConfig, DeviceGeometry, DeviceKind,
+    DeviceTimings, PagePolicy, RefPoint, SpecConstraint,
 };
 pub use rank::{PowerState, Rank};
+pub use spec::{DeviceSpec, SpecError};
 pub use stats::{BankCounters, ChannelStats, LatencyHist, Residency, MAX_BANKS};

@@ -28,6 +28,16 @@ pub struct Rank {
     act_window: VecDeque<u64>,
     /// Earliest next ACT due to tRRD.
     pub next_act_rrd: u64,
+    /// Per-bank-group earliest next ACT (`tRRD_L`). Empty on devices
+    /// without bank groups.
+    pub group_next_act: Vec<u64>,
+    /// Per-bank-group earliest next column command (`tCCD_L`). Empty on
+    /// devices without bank groups.
+    pub group_next_col: Vec<u64>,
+    /// Rank-wide earliest next column command (`tCCD_S`). Stays 0 on
+    /// devices without bank groups, where the per-bank `tCCD` register and
+    /// data-bus occupancy cover column spacing.
+    pub next_col_rank: u64,
     /// Earliest READ command after the last WRITE burst to this rank (tWTR).
     pub read_after_write_ok: u64,
     /// Earliest any command may issue (power-down exit, refresh completion).
@@ -40,15 +50,27 @@ pub struct Rank {
 }
 
 impl Rank {
-    /// A fresh rank with `banks` idle banks, powered up at cycle 0.
+    /// A fresh rank with `banks` idle banks, powered up at cycle 0, with
+    /// no bank grouping.
     #[must_use]
     pub fn new(banks: u32) -> Self {
+        Self::with_bank_groups(banks, 1)
+    }
+
+    /// A fresh rank whose `banks` are split into `groups` bank groups
+    /// (`groups <= 1` ⇒ no grouping; no group timing registers exist).
+    #[must_use]
+    pub fn with_bank_groups(banks: u32, groups: u32) -> Self {
         assert!(banks <= 64, "open-bank bitmask supports at most 64 banks");
+        let group_slots = if groups > 1 { groups as usize } else { 0 };
         Rank {
             banks: (0..banks).map(|_| Bank::new()).collect(),
             open_mask: 0,
             act_window: VecDeque::with_capacity(4),
             next_act_rrd: 0,
+            group_next_act: vec![0; group_slots],
+            group_next_col: vec![0; group_slots],
+            next_col_rank: 0,
             read_after_write_ok: 0,
             next_cmd_ok: 0,
             power: PowerState::Up,

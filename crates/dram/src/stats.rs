@@ -60,9 +60,9 @@ impl Residency {
     }
 }
 
-/// Upper bound on banks per rank across all supported devices (RLDRAM3
-/// has 16; DDR3 and LPDDR2 have 8).
-pub const MAX_BANKS: usize = 16;
+/// Upper bound on banks per rank across all supported devices (DDR5 has
+/// 32; RLDRAM3 and DDR4 have 16; DDR3, LPDDR2 and LPDDR4 have 8).
+pub const MAX_BANKS: usize = 32;
 
 /// Per-bank command counters (index = bank id within the rank, summed
 /// over ranks of a channel).

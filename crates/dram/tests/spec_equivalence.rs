@@ -1,0 +1,208 @@
+//! TOML ↔ constructor equivalence for the legacy device presets, plus the
+//! name-agreement contract between `DeviceKind`, the embedded spec ids and
+//! the checked-in `specs/` files.
+//!
+//! The three pre-spec-layer standards (DDR3-1600, LPDDR2-800, RLDRAM3)
+//! used to be hand-written struct literals. Those literals are frozen
+//! here, field for field, so any drift in the TOML files or the scalar
+//! derivation logic fails loudly instead of silently shifting the paper's
+//! baselines.
+
+use dram_timing::{
+    AddressingStyle, DeviceConfig, DeviceGeometry, DeviceKind, DeviceSpec, DeviceTimings,
+    PagePolicy,
+};
+
+/// The DDR3-1600 struct literal as it stood before the spec layer.
+fn legacy_ddr3_timings() -> DeviceTimings {
+    DeviceTimings {
+        t_ck_ps: 1250,
+        t_burst: 4,
+        t_rc: 40,
+        t_rcd: 11,
+        t_rl: 11,
+        t_rp: 11,
+        t_ras: 30,
+        t_rtrs: 2,
+        t_faw: 32,
+        t_wtr: 6,
+        t_wl: 6,
+        t_ccd: 4,
+        t_ccd_l: 0,
+        t_rrd: 5,
+        t_rrd_l: 0,
+        t_rtp: 6,
+        t_wr: 12,
+        t_refi: 6240,
+        t_rfc: 128,
+        t_xp: 5,
+        t_xsr: 512,
+    }
+}
+
+#[test]
+fn embedded_ddr3_matches_legacy_struct() {
+    let cfg = DeviceConfig::ddr3_1600();
+    assert_eq!(cfg.kind, DeviceKind::Ddr3);
+    assert_eq!(cfg.name, "MT41J256M8 DDR3-1600");
+    assert_eq!(cfg.timings, legacy_ddr3_timings());
+    assert_eq!(
+        cfg.geometry,
+        DeviceGeometry {
+            banks: 8,
+            bank_groups: 1,
+            rows: 32768,
+            lines_per_row: 128,
+            width_bits: 8,
+            capacity_mbit: 2048,
+        }
+    );
+    assert_eq!(cfg.page_policy, PagePolicy::Open);
+    assert_eq!(cfg.addressing, AddressingStyle::RasCas);
+    assert_eq!(cfg.cpu_cycles_per_mem_cycle, 4);
+    assert_eq!(cfg.powerdown_idle_cycles, 30);
+    assert_eq!(cfg.self_refresh_idle_cycles, 0);
+    assert!(!cfg.refresh_per_bank);
+    assert!(!cfg.constraints.is_empty(), "spec-loaded configs carry the constraint table");
+}
+
+#[test]
+fn embedded_lpddr2_matches_legacy_struct() {
+    let cfg = DeviceConfig::lpddr2_800();
+    assert_eq!(cfg.kind, DeviceKind::Lpddr2);
+    assert_eq!(cfg.name, "MT42L128M16D1 LPDDR2-800");
+    assert_eq!(
+        cfg.timings,
+        DeviceTimings {
+            t_ck_ps: 2500,
+            t_burst: 4,
+            t_rc: 24,
+            t_rcd: 8,
+            t_rl: 8,
+            t_rp: 8,
+            t_ras: 17,
+            t_rtrs: 2,
+            t_faw: 20,
+            t_wtr: 3,
+            t_wl: 3,
+            t_ccd: 4,
+            t_ccd_l: 0,
+            t_rrd: 4,
+            t_rrd_l: 0,
+            t_rtp: 3,
+            t_wr: 6,
+            t_refi: 1560,
+            t_rfc: 52,
+            t_xp: 3,
+            t_xsr: 56,
+        }
+    );
+    assert_eq!(
+        cfg.geometry,
+        DeviceGeometry {
+            banks: 8,
+            bank_groups: 1,
+            rows: 32768,
+            lines_per_row: 128,
+            width_bits: 8,
+            capacity_mbit: 2048,
+        }
+    );
+    assert_eq!(cfg.page_policy, PagePolicy::Open);
+    assert_eq!(cfg.addressing, AddressingStyle::RasCas);
+    assert_eq!(cfg.cpu_cycles_per_mem_cycle, 8);
+    assert_eq!(cfg.powerdown_idle_cycles, 12);
+    assert_eq!(cfg.self_refresh_idle_cycles, 600);
+    assert!(!cfg.refresh_per_bank);
+}
+
+#[test]
+fn embedded_rldram3_matches_legacy_struct() {
+    let cfg = DeviceConfig::rldram3();
+    assert_eq!(cfg.kind, DeviceKind::Rldram3);
+    assert_eq!(cfg.name, "MT44K32M18 RLDRAM3");
+    assert_eq!(
+        cfg.timings,
+        DeviceTimings {
+            t_ck_ps: 1250,
+            t_burst: 4,
+            t_rc: 10,
+            t_rcd: 0,
+            t_rl: 8,
+            t_rp: 0,
+            t_ras: 0,
+            t_rtrs: 2,
+            t_faw: 0,
+            t_wtr: 0,
+            t_wl: 9,
+            t_ccd: 4,
+            t_ccd_l: 0,
+            t_rrd: 0,
+            t_rrd_l: 0,
+            t_rtp: 0,
+            t_wr: 0,
+            t_refi: 3125,
+            t_rfc: 10,
+            t_xp: 0,
+            t_xsr: 0,
+        }
+    );
+    assert_eq!(
+        cfg.geometry,
+        DeviceGeometry {
+            banks: 16,
+            bank_groups: 1,
+            rows: 8192,
+            lines_per_row: 1,
+            width_bits: 9,
+            capacity_mbit: 576,
+        }
+    );
+    assert_eq!(cfg.page_policy, PagePolicy::Closed);
+    assert_eq!(cfg.addressing, AddressingStyle::SingleCommand);
+    assert_eq!(cfg.cpu_cycles_per_mem_cycle, 4);
+    assert_eq!(cfg.powerdown_idle_cycles, 0);
+    assert_eq!(cfg.self_refresh_idle_cycles, 0);
+    assert!(cfg.refresh_per_bank);
+}
+
+/// Every `DeviceKind` preset goes through the spec layer, so `preset()`
+/// and `DeviceSpec::embedded` must agree exactly.
+#[test]
+fn presets_equal_embedded_specs() {
+    for kind in DeviceKind::ALL {
+        let spec = DeviceSpec::embedded(kind.spec_id()).expect("embedded spec exists");
+        assert_eq!(spec.config, DeviceConfig::preset(kind), "preset {kind} drifted from spec");
+    }
+}
+
+/// The checked-in `specs/` directory is the source of truth: one file per
+/// `DeviceKind`, named after the spec id, parsing to the embedded config.
+#[test]
+fn spec_files_match_kinds_and_embedded_configs() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs");
+    let mut stems: Vec<String> = std::fs::read_dir(&dir)
+        .expect("specs/ directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+        .map(|p| p.file_stem().expect("file stem").to_string_lossy().into_owned())
+        .collect();
+    stems.sort();
+    let mut ids: Vec<String> = DeviceKind::ALL.iter().map(|k| k.spec_id().to_owned()).collect();
+    ids.sort();
+    assert_eq!(stems, ids, "specs/*.toml file names must be exactly the spec ids");
+
+    for kind in DeviceKind::ALL {
+        let id = kind.spec_id();
+        let spec = DeviceSpec::from_file(dir.join(format!("{id}.toml")))
+            .unwrap_or_else(|e| panic!("specs/{id}.toml: {e}"));
+        assert_eq!(spec.id, id, "file stem and [device].id must agree");
+        assert_eq!(spec.config.kind, kind);
+        let embedded = DeviceSpec::embedded(id).expect("embedded spec");
+        assert_eq!(
+            spec.config, embedded.config,
+            "specs/{id}.toml drifted from the compile-time embedded copy"
+        );
+        assert_eq!(DeviceKind::parse_token(id), Some(kind), "spec id parses back to its kind");
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the spec-file parser and validator.
+//!
+//! Strategy: start from the known-good embedded DDR3 spec, apply a random
+//! mutation from a class the validator must reject (negative/zero timings,
+//! unknown commands or scopes, unknown keys, duplicate constraints), and
+//! assert `load_str` fails. A sibling property checks the accept side:
+//! well-formed constraint cycles survive the round trip into the table.
+
+use dram_timing::DeviceSpec;
+use proptest::prelude::*;
+
+/// The embedded DDR3-1600 TOML source — a known-valid mutation base.
+fn base() -> String {
+    std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs/ddr3_1600.toml"),
+    )
+    .expect("specs/ddr3_1600.toml readable")
+}
+
+/// Replace the first occurrence of `from` with `to`, asserting it exists
+/// (so a spec-file reword can't silently turn a mutation into a no-op).
+fn mutate(text: &str, from: &str, to: &str) -> String {
+    assert!(text.contains(from), "mutation anchor {from:?} missing from base spec");
+    text.replacen(from, to, 1)
+}
+
+/// A random lowercase ASCII identifier (the vendored proptest has no regex
+/// string strategies, so build one from a byte vector).
+fn lowercase_word(len: std::ops::Range<usize>) -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..26, len)
+        .prop_map(|bytes| bytes.into_iter().map(|b| char::from(b'a' + b)).collect())
+}
+
+proptest! {
+    /// Any strictly positive cycle count is accepted and lands verbatim in
+    /// the constraint table (via the derived tRC scalar).
+    #[test]
+    fn positive_trc_round_trips(cycles in 1u32..=100_000) {
+        let text = mutate(&base(), "act -> act @bank 40", &format!("act -> act @bank {cycles}"));
+        let spec = DeviceSpec::load_str(&text).expect("positive timing accepted");
+        prop_assert_eq!(spec.config.timings.t_rc, cycles);
+        let trc = spec
+            .config
+            .constraints
+            .iter()
+            .find(|c| c.name == "tRC")
+            .expect("tRC constraint present");
+        prop_assert_eq!(trc.cycles, cycles);
+    }
+
+    /// Zero and negative constraint cycles are rejected.
+    #[test]
+    fn non_positive_timings_rejected(cycles in -100_000i64..=0) {
+        let text = mutate(&base(), "act -> act @bank 40", &format!("act -> act @bank {cycles}"));
+        prop_assert!(DeviceSpec::load_str(&text).is_err(), "cycles={cycles} must be rejected");
+    }
+
+    /// Zero or negative scalar timings (clock, access, geometry) are
+    /// rejected wherever the schema demands a positive value.
+    #[test]
+    fn non_positive_clock_rejected(ps in -4000i64..=0) {
+        let text = mutate(&base(), "t-ck-ps = 1250", &format!("t-ck-ps = {ps}"));
+        prop_assert!(DeviceSpec::load_str(&text).is_err());
+    }
+
+    /// Command tokens outside the closed vocabulary are rejected.
+    #[test]
+    fn unknown_commands_rejected(word in lowercase_word(2..8)) {
+        prop_assume!(!["act", "rd", "wr", "pre", "refsb"].contains(&word.as_str()));
+        let text = mutate(&base(), "act -> act @bank 40", &format!("{word} -> act @bank 40"));
+        prop_assert!(DeviceSpec::load_str(&text).is_err(), "command {word:?} must be rejected");
+    }
+
+    /// Scope tokens outside the closed vocabulary are rejected.
+    #[test]
+    fn unknown_scopes_rejected(word in lowercase_word(2..12)) {
+        prop_assume!(!["bank", "bank-group", "rank"].contains(&word.as_str()));
+        let text = mutate(&base(), "act -> act @bank 40", &format!("act -> act @{word} 40"));
+        prop_assert!(DeviceSpec::load_str(&text).is_err(), "scope {word:?} must be rejected");
+    }
+
+    /// Unknown keys anywhere in the file are rejected, not ignored — typos
+    /// must not silently fall back to defaults.
+    #[test]
+    fn unknown_keys_rejected(key in lowercase_word(2..16)) {
+        let known = [
+            "id", "kind", "name", "addressing", "page-policy", "t-ck-ps",
+            "cpu-cycles-per-mem-cycle", "banks", "bank-groups", "rows", "lines-per-row",
+            "width-bits", "capacity-mbit", "t-burst", "t-rl", "t-wl", "t-rtrs", "t-ccd",
+            "t-refi", "t-rfc", "per-bank", "t-xp", "t-xsr", "powerdown-idle",
+            "self-refresh-idle", "constraints",
+        ];
+        prop_assume!(!known.contains(&key.as_str()));
+        let text = mutate(&base(), "[clock]", &format!("[clock]\n{key} = 7"));
+        prop_assert!(DeviceSpec::load_str(&text).is_err(), "key {key:?} must be rejected");
+    }
+}
+
+#[test]
+fn duplicate_constraints_rejected() {
+    let text = mutate(
+        &base(),
+        "\"tRC:   act -> act @bank 40\",",
+        "\"tRC:   act -> act @bank 40\",\n    \"tRC:   act -> act @bank 41\",",
+    );
+    let err = DeviceSpec::load_str(&text).expect_err("duplicate constraint must be rejected");
+    assert!(err.msg.contains("duplicate"), "unexpected error: {err}");
+}
+
+#[test]
+fn garbled_syntax_reports_the_line() {
+    let text = mutate(&base(), "[clock]", "[clock]\nthis is not toml");
+    let err = DeviceSpec::load_str(&text).expect_err("syntax error must be rejected");
+    assert!(err.line > 0, "syntax errors carry a line number: {err}");
+}

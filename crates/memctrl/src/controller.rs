@@ -522,19 +522,37 @@ impl Controller {
                 self.sched_idle_until = 0;
                 continue;
             }
-            match self.cfg.addressing {
-                AddressingStyle::SingleCommand => {
-                    // RLDRAM3: per-bank refresh, one bank per tREFI slot.
-                    let bank = self.refresh_bank_rr[r];
-                    let cmd = Command::RefreshBank { rank: r8, bank };
-                    if self.channel.can_issue(&cmd, now) {
-                        self.channel.issue(&cmd, now);
-                        self.refresh_bank_rr[r] = (bank + 1) % self.cfg.geometry.banks as u8;
-                        // Re-arm from the stored deadline, not the issue
-                        // cycle: a late REF must not drift the cadence.
-                        self.refresh_deadline[r] += t_refi;
+            // Same-bank refresh (RLDRAM3, DDR5 REFsb) rotates one bank per
+            // tREFI slot; all-bank refresh drains the rank first.
+            if self.cfg.refresh_per_bank {
+                let bank = self.refresh_bank_rr[r];
+                let cmd = Command::RefreshBank { rank: r8, bank };
+                if self.channel.can_issue(&cmd, now) {
+                    self.channel.issue(&cmd, now);
+                    self.refresh_bank_rr[r] = (bank + 1) % self.cfg.geometry.banks as u8;
+                    // Re-arm from the stored deadline, not the issue
+                    // cycle: a late REF must not drift the cadence.
+                    self.refresh_deadline[r] += t_refi;
+                    return true;
+                }
+                // On an open-page device the target bank may hold an open
+                // row (REFsb is only legal on an idle bank): close it.
+                // Single-command devices never open rows, so this branch
+                // is unreachable there.
+                if self.channel.ranks()[r].open_mask() & (1u64 << bank) != 0 {
+                    let pre = Command::precharge(r8, bank);
+                    if self.channel.can_issue(&pre, now) {
+                        self.channel.issue(&pre, now);
                         return true;
                     }
+                }
+                continue;
+            }
+            match self.cfg.addressing {
+                AddressingStyle::SingleCommand => {
+                    // Unreachable in practice: the spec layer requires
+                    // per-bank refresh on single-command devices.
+                    continue;
                 }
                 AddressingStyle::RasCas => {
                     // Close any open bank, then refresh the whole rank. The
@@ -1090,6 +1108,19 @@ impl Controller {
     /// precharge closing an open bank ahead of it.
     fn refresh_action_bound(&self, r: usize, now: u64) -> u64 {
         let r8 = r as u8;
+        if self.cfg.refresh_per_bank {
+            let bank = self.refresh_bank_rr[r];
+            let cmd = Command::RefreshBank { rank: r8, bank };
+            if let Some(at) = self.channel.earliest_issue(&cmd, now) {
+                return at;
+            }
+            // REFB blocked structurally: the target bank holds an open row
+            // (open-page devices only); the precharge closing it is next.
+            return self
+                .channel
+                .earliest_issue(&Command::precharge(r8, bank), now)
+                .unwrap_or(now + 1);
+        }
         match self.cfg.addressing {
             AddressingStyle::SingleCommand => {
                 let cmd = Command::RefreshBank { rank: r8, bank: self.refresh_bank_rr[r] };

@@ -113,12 +113,19 @@ impl HomogeneousMemory {
     }
 
     /// Preset by device kind, baseline topology.
+    ///
+    /// Every kind uses the 72-bit ECC baseline topology (4 channels × 1
+    /// rank × 9 x8 devices) except RLDRAM3, whose x9 parts need only 4
+    /// devices per access.
     #[must_use]
     pub fn preset(kind: DeviceKind) -> Self {
         match kind {
             DeviceKind::Ddr3 => Self::baseline_ddr3(),
             DeviceKind::Lpddr2 => Self::all_lpddr2(),
             DeviceKind::Rldram3 => Self::all_rldram3(),
+            DeviceKind::Ddr4 | DeviceKind::Ddr5 | DeviceKind::Lpddr4 => {
+                Self::new(DeviceConfig::preset(kind), 4, 1, 9, CtrlParams::default())
+            }
         }
     }
 

@@ -70,6 +70,9 @@ pub fn default_table(stats: &ControllerStats, lpddr_io: LpddrIo) -> IddTable {
                 IddTable::rldram3_x18()
             }
         }
+        DeviceKind::Ddr4 => IddTable::ddr4(),
+        DeviceKind::Ddr5 => IddTable::ddr5(),
+        DeviceKind::Lpddr4 => IddTable::lpddr4(),
     }
 }
 

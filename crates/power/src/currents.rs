@@ -169,6 +169,71 @@ impl IddTable {
         }
     }
 
+    /// DDR4-2400 8 Gb x8 (MT40A1G8-class, 1.2 V).
+    #[must_use]
+    pub fn ddr4() -> Self {
+        IddTable {
+            name: "DDR4-2400 x8",
+            vdd: 1.2,
+            idd0: 58.0,
+            idd2p: 30.0,
+            idd2n: 38.0,
+            idd3p: 36.0,
+            idd3n: 48.0,
+            idd4r: 140.0,
+            idd4w: 130.0,
+            idd5: 190.0,
+            idd6: 20.0,
+            term_wr_mw: 110.0,
+            term_rd_mw: 0.0,
+            static_io_mw: 0.0,
+        }
+    }
+
+    /// DDR5-4800 16 Gb x8 (MT60B2G8-class, 1.1 V): higher burst currents
+    /// at the doubled data rate, but on-die ECC/VR keep background flat.
+    #[must_use]
+    pub fn ddr5() -> Self {
+        IddTable {
+            name: "DDR5-4800 x8",
+            vdd: 1.1,
+            idd0: 80.0,
+            idd2p: 40.0,
+            idd2n: 55.0,
+            idd3p: 46.0,
+            idd3n: 62.0,
+            idd4r: 220.0,
+            idd4w: 200.0,
+            idd5: 240.0,
+            idd6: 25.0,
+            term_wr_mw: 90.0,
+            term_rd_mw: 0.0,
+            static_io_mw: 5.0,
+        }
+    }
+
+    /// LPDDR4-3200 8 Gb x8 slice (MT53B-class, 1.1 V): mobile-grade
+    /// background currents, unterminated LVSTL I/O.
+    #[must_use]
+    pub fn lpddr4() -> Self {
+        IddTable {
+            name: "LPDDR4-3200 x8",
+            vdd: 1.1,
+            idd0: 28.0,
+            idd2p: 1.5,
+            idd2n: 9.0,
+            idd3p: 2.8,
+            idd3n: 12.0,
+            idd4r: 90.0,
+            idd4w: 95.0,
+            idd5: 100.0,
+            idd6: 0.8,
+            term_wr_mw: 0.0,
+            term_rd_mw: 0.0,
+            static_io_mw: 0.0,
+        }
+    }
+
     /// Idle (precharge standby) power of one chip in watts.
     #[must_use]
     pub fn idle_power_w(&self) -> f64 {

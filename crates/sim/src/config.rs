@@ -3,6 +3,7 @@
 use cwf_core::{
     CwfConfig, CwfStats, HeteroCwfMemory, PagePlacedMemory, PlacementPolicy, ProfilingMemory,
 };
+use dram_timing::DeviceKind;
 use mem_ctrl::{
     HomogeneousMemory, LineRequest, MainMemory, MemBusy, MemEvent, MemSystemStats, Token,
 };
@@ -183,40 +184,92 @@ pub enum MemKind {
     RlOracle,
     /// RL with random word placement (§6.1.1 control).
     RlRandom,
+    /// A homogeneous memory of any spec-layer standard (baseline
+    /// topology); e.g. `Spec(DeviceKind::Ddr5)` is 4 × DDR5-4800 channels.
+    Spec(DeviceKind),
+    /// A CWF pairing of two spec-layer standards: fast critical store +
+    /// slow bulk, on the flagship topology (`--mem rldram3+ddr5_4800`).
+    SpecCwf(DeviceKind, DeviceKind),
 }
 
 impl MemKind {
-    /// Display label matching the paper's figures.
+    /// Display label matching the paper's figures; spec-layer kinds use
+    /// the standard's display name (`DDR5`, `RLDRAM3+DDR5`).
     #[must_use]
-    pub fn label(self) -> &'static str {
+    pub fn label(self) -> String {
         match self {
-            MemKind::Ddr3 => "DDR3",
-            MemKind::Lpddr2 => "LPDDR2",
-            MemKind::Rldram3 => "RLDRAM3",
-            MemKind::Rd => "RD",
-            MemKind::Rl => "RL",
-            MemKind::Dl => "DL",
-            MemKind::RlAdaptive => "RL AD",
-            MemKind::RlOracle => "RL OR",
-            MemKind::RlRandom => "RL RAND",
+            MemKind::Ddr3 => "DDR3".to_owned(),
+            MemKind::Lpddr2 => "LPDDR2".to_owned(),
+            MemKind::Rldram3 => "RLDRAM3".to_owned(),
+            MemKind::Rd => "RD".to_owned(),
+            MemKind::Rl => "RL".to_owned(),
+            MemKind::Dl => "DL".to_owned(),
+            MemKind::RlAdaptive => "RL AD".to_owned(),
+            MemKind::RlOracle => "RL OR".to_owned(),
+            MemKind::RlRandom => "RL RAND".to_owned(),
+            MemKind::Spec(k) => k.to_string(),
+            MemKind::SpecCwf(fast, slow) => format!("{fast}+{slow}"),
         }
     }
 
     /// Filesystem- and CLI-safe short name (`rl-ad` for "RL AD"); also
-    /// the spelling `cwfmem` accepts for `--mem`/`--kinds`.
+    /// the spelling `cwfmem` accepts for `--mem`/`--kinds`. Spec-layer
+    /// kinds use the spec id (`ddr5_4800`, `rldram3+ddr5_4800`).
     #[must_use]
-    pub fn slug(self) -> &'static str {
+    pub fn slug(self) -> String {
         match self {
-            MemKind::Ddr3 => "ddr3",
-            MemKind::Lpddr2 => "lpddr2",
-            MemKind::Rldram3 => "rldram3",
-            MemKind::Rd => "rd",
-            MemKind::Rl => "rl",
-            MemKind::Dl => "dl",
-            MemKind::RlAdaptive => "rl-ad",
-            MemKind::RlOracle => "rl-or",
-            MemKind::RlRandom => "rl-rand",
+            MemKind::Ddr3 => "ddr3".to_owned(),
+            MemKind::Lpddr2 => "lpddr2".to_owned(),
+            MemKind::Rldram3 => "rldram3".to_owned(),
+            MemKind::Rd => "rd".to_owned(),
+            MemKind::Rl => "rl".to_owned(),
+            MemKind::Dl => "dl".to_owned(),
+            MemKind::RlAdaptive => "rl-ad".to_owned(),
+            MemKind::RlOracle => "rl-or".to_owned(),
+            MemKind::RlRandom => "rl-rand".to_owned(),
+            MemKind::Spec(k) => k.spec_id().to_owned(),
+            MemKind::SpecCwf(fast, slow) => format!("{}+{}", fast.spec_id(), slow.spec_id()),
         }
+    }
+
+    /// Parse a `--mem`/`--kinds` token: a legacy slug (`ddr3`, `rl-ad`,
+    /// ...), a spec id (`ddr5_4800`), or a `fast+slow` CWF pairing of two
+    /// spec tokens (`rldram3+ddr5_4800`). Pairings that name a paper
+    /// design point (and plain `ddr3`/`lpddr2`/`rldram3`) normalize to the
+    /// legacy kind so reports and seeds stay byte-identical.
+    #[must_use]
+    pub fn parse(token: &str) -> Option<MemKind> {
+        const LEGACY: [(&str, MemKind); 9] = [
+            ("ddr3", MemKind::Ddr3),
+            ("lpddr2", MemKind::Lpddr2),
+            ("rldram3", MemKind::Rldram3),
+            ("rd", MemKind::Rd),
+            ("rl", MemKind::Rl),
+            ("dl", MemKind::Dl),
+            ("rl-ad", MemKind::RlAdaptive),
+            ("rl-or", MemKind::RlOracle),
+            ("rl-rand", MemKind::RlRandom),
+        ];
+        if let Some((_, k)) = LEGACY.iter().find(|(n, _)| *n == token) {
+            return Some(*k);
+        }
+        if let Some((fast_tok, slow_tok)) = token.split_once('+') {
+            let fast = DeviceKind::parse_token(fast_tok)?;
+            let slow = DeviceKind::parse_token(slow_tok)?;
+            return Some(match (fast, slow) {
+                (DeviceKind::Rldram3, DeviceKind::Lpddr2) => MemKind::Rl,
+                (DeviceKind::Rldram3, DeviceKind::Ddr3) => MemKind::Rd,
+                (DeviceKind::Ddr3, DeviceKind::Lpddr2) => MemKind::Dl,
+                _ => MemKind::SpecCwf(fast, slow),
+            });
+        }
+        let k = DeviceKind::parse_token(token)?;
+        Some(match k {
+            DeviceKind::Ddr3 => MemKind::Ddr3,
+            DeviceKind::Lpddr2 => MemKind::Lpddr2,
+            DeviceKind::Rldram3 => MemKind::Rldram3,
+            _ => MemKind::Spec(k),
+        })
     }
 
     /// Construct the memory backend for this kind.
@@ -237,6 +290,8 @@ impl MemKind {
             MemKind::RlAdaptive => cwf(CwfConfig::rl().with_policy(PlacementPolicy::Adaptive)),
             MemKind::RlOracle => cwf(CwfConfig::rl().with_policy(PlacementPolicy::Oracle)),
             MemKind::RlRandom => cwf(CwfConfig::rl().with_policy(PlacementPolicy::Random)),
+            MemKind::Spec(k) => MemBackend::Homogeneous(HomogeneousMemory::preset(k)),
+            MemKind::SpecCwf(fast, slow) => cwf(CwfConfig::pair(fast, slow)),
         }
     }
 
@@ -251,6 +306,7 @@ impl MemKind {
                 | MemKind::RlAdaptive
                 | MemKind::RlOracle
                 | MemKind::RlRandom
+                | MemKind::SpecCwf(..)
         )
     }
 }
@@ -419,6 +475,10 @@ mod tests {
             MemKind::RlAdaptive,
             MemKind::RlOracle,
             MemKind::RlRandom,
+            MemKind::Spec(DeviceKind::Ddr4),
+            MemKind::Spec(DeviceKind::Ddr5),
+            MemKind::Spec(DeviceKind::Lpddr4),
+            MemKind::SpecCwf(DeviceKind::Rldram3, DeviceKind::Ddr5),
         ] {
             let mut mem = kind.build(0.0, 1);
             mem.tick(0);
@@ -431,6 +491,43 @@ mod tests {
         assert!(MemKind::Rl.is_cwf());
         assert!(!MemKind::Ddr3.is_cwf());
         assert!(!MemKind::Rldram3.is_cwf());
+        assert!(MemKind::SpecCwf(DeviceKind::Rldram3, DeviceKind::Ddr5).is_cwf());
+        assert!(!MemKind::Spec(DeviceKind::Ddr5).is_cwf());
+    }
+
+    #[test]
+    fn parse_covers_legacy_spec_and_pairs() {
+        // Legacy slugs keep their legacy kinds (byte-identical reports).
+        assert_eq!(MemKind::parse("ddr3"), Some(MemKind::Ddr3));
+        assert_eq!(MemKind::parse("rl-ad"), Some(MemKind::RlAdaptive));
+        // Spec ids and display names resolve through the spec layer.
+        assert_eq!(MemKind::parse("ddr5_4800"), Some(MemKind::Spec(DeviceKind::Ddr5)));
+        assert_eq!(MemKind::parse("ddr5"), Some(MemKind::Spec(DeviceKind::Ddr5)));
+        assert_eq!(MemKind::parse("ddr3_1600"), Some(MemKind::Ddr3));
+        // Pairings normalize to paper design points where one exists.
+        assert_eq!(MemKind::parse("rldram3+lpddr2"), Some(MemKind::Rl));
+        assert_eq!(MemKind::parse("rldram3+ddr3"), Some(MemKind::Rd));
+        assert_eq!(MemKind::parse("ddr3+lpddr2"), Some(MemKind::Dl));
+        assert_eq!(
+            MemKind::parse("rldram3+ddr5_4800"),
+            Some(MemKind::SpecCwf(DeviceKind::Rldram3, DeviceKind::Ddr5))
+        );
+        assert_eq!(MemKind::parse("sdram"), None);
+        assert_eq!(MemKind::parse("rldram3+sdram"), None);
+    }
+
+    #[test]
+    fn spec_slugs_round_trip_through_parse() {
+        for k in [
+            MemKind::Spec(DeviceKind::Ddr4),
+            MemKind::Spec(DeviceKind::Ddr5),
+            MemKind::Spec(DeviceKind::Lpddr4),
+            MemKind::SpecCwf(DeviceKind::Rldram3, DeviceKind::Ddr5),
+            MemKind::Ddr3,
+            MemKind::Rl,
+        ] {
+            assert_eq!(MemKind::parse(&k.slug()), Some(k), "slug {}", k.slug());
+        }
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub use metrics::RunMetrics;
 pub use report::Table;
 pub use runner::{
     normalized_throughput, run_benchmark, run_benchmark_diag, run_benchmark_traced,
-    run_benchmark_verified, weighted_speedup,
+    run_benchmark_traced_with_backend, run_benchmark_verified, weighted_speedup,
 };
 pub use sweep::{Cell, CellResult};
 pub use system::{KernelStats, System};

@@ -241,7 +241,7 @@ fn write_json(
     o.push_str("{\n");
     o.push_str("  \"schema\": \"cwfmem.run.v1\",\n");
     o.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(&m.bench)));
-    o.push_str(&format!("  \"mem\": \"{}\",\n", json_escape(m.mem.label())));
+    o.push_str(&format!("  \"mem\": \"{}\",\n", json_escape(&m.mem.label())));
     o.push_str(&format!("  \"cycles\": {},\n", m.cycles));
     o.push_str(&format!(
         "  \"insts_per_core\": [{}],\n",

@@ -73,6 +73,28 @@ pub fn run_benchmark_traced(
     (metrics, sys.kernel_stats(), sys.verify_report(), sys.trace_report())
 }
 
+/// Run one benchmark under `cfg` on an explicit, pre-built memory backend
+/// (e.g. a `--spec file.toml` homogeneous memory whose device config came
+/// from disk rather than a [`MemKind`] preset). Same return shape as
+/// [`run_benchmark_traced`].
+///
+/// # Panics
+///
+/// Panics if `bench` is not one of the 27 suite programs.
+#[must_use]
+pub fn run_benchmark_traced_with_backend(
+    cfg: &RunConfig,
+    bench: &str,
+    backend: crate::config::MemBackend,
+) -> (RunMetrics, KernelStats, Option<cwf_verify::VerifyReport>, Option<crate::trace::TraceReport>)
+{
+    let profile = by_name(bench)
+        .unwrap_or_else(|| panic!("unknown benchmark '{bench}' (see workloads::suite())"));
+    let mut sys = System::with_backend(cfg, profile, backend);
+    let metrics = sys.run();
+    (metrics, sys.kernel_stats(), sys.verify_report(), sys.trace_report())
+}
+
 /// The paper's system-throughput metric: `Σᵢ IPCᵢ_shared / IPCᵢ_alone`
 /// (§5), where `IPC_alone` is measured on a single-core system with the
 /// same memory organization.

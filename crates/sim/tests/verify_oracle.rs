@@ -3,17 +3,26 @@
 //! kernel-level seeded fault (an optimistic `next_activity` bound must be
 //! caught as a skipped deadline).
 
+use dram_timing::DeviceKind;
 use sim_harness::config::MemKind;
 use sim_harness::report::to_json;
 use sim_harness::{run_benchmark_diag, run_benchmark_verified, Kernel, RunConfig, System};
 
-/// Three benches x three organizations: every run under the oracle is
-/// violation-free, and the metrics — down to the serialized byte — match
-/// the same run with verification off.
+/// Three benches x six organizations (the legacy trio plus spec-layer
+/// DDR5/LPDDR4 and a heterogeneous DDR5 CWF pairing): every run under the
+/// oracle is violation-free, and the metrics — down to the serialized byte
+/// — match the same run with verification off.
 #[test]
 fn clean_runs_are_violation_free_and_metric_identical() {
     for bench in ["stream", "mcf", "libquantum"] {
-        for kind in [MemKind::Ddr3, MemKind::Rl, MemKind::Lpddr2] {
+        for kind in [
+            MemKind::Ddr3,
+            MemKind::Rl,
+            MemKind::Lpddr2,
+            MemKind::Spec(DeviceKind::Ddr5),
+            MemKind::Spec(DeviceKind::Lpddr4),
+            MemKind::SpecCwf(DeviceKind::Rldram3, DeviceKind::Ddr5),
+        ] {
             let mut on = RunConfig::quick(kind, 400);
             on.verify = true;
             let mut off = on;

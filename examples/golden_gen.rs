@@ -7,13 +7,18 @@
 //! cargo run --release --example golden_gen
 //! ```
 
+use cwfmem::dram::DeviceKind;
 use cwfmem::sim::config::MemKind;
 use cwfmem::sim::{run_benchmark, RunConfig};
 
 fn main() {
-    for (kind, bench) in
-        [(MemKind::Ddr3, "leslie3d"), (MemKind::Rl, "leslie3d"), (MemKind::RlAdaptive, "mcf")]
-    {
+    for (kind, bench) in [
+        (MemKind::Ddr3, "leslie3d"),
+        (MemKind::Rl, "leslie3d"),
+        (MemKind::RlAdaptive, "mcf"),
+        (MemKind::Spec(DeviceKind::Ddr5), "leslie3d"),
+        (MemKind::SpecCwf(DeviceKind::Rldram3, DeviceKind::Ddr5), "mcf"),
+    ] {
         let m = run_benchmark(&RunConfig::quick(kind, 1_500), bench);
         println!(
             "({:?}, \"{}\"): cycles={} insts={} reads={} writes={} hist={:?}",

@@ -11,14 +11,17 @@
 //! cwfmem figures fig6                 # regenerate a paper figure
 //! ```
 
+use cwfmem::dram::DeviceSpec;
 use cwfmem::power::LpddrIo;
-use cwfmem::sim::config::MemKind;
+use cwfmem::sim::config::{MemBackend, MemKind};
 use cwfmem::sim::experiments::{
     ablations, all_benches, alternatives, default_benches, fig10_11_energy, fig1_homogeneous,
     fig2_power_utilization, fig3_line_profiles, fig4_critical_word_distribution, fig6_7_8_cwf,
     fig9_placement,
 };
-use cwfmem::sim::{run_benchmark, run_benchmark_traced, Kernel, RunConfig};
+use cwfmem::sim::{
+    run_benchmark, run_benchmark_traced, run_benchmark_traced_with_backend, Kernel, RunConfig,
+};
 use cwfmem::workloads::suite;
 
 const KINDS: [(&str, MemKind); 9] = [
@@ -38,14 +41,19 @@ fn usage() -> ! {
         "usage:\n  cwfmem list\n  cwfmem run --mem <kind> --bench <name>|--replay <file> [--reads N] \
          [--cores N] [--no-prefetch] [--parity-rate P] [--seed S] [--kernel cycle|event] \
          [--verify|--no-verify] [--trace <out.json>|--no-trace] [--json]\n  \
+         cwfmem run --spec <id|file.toml> --bench <name> ...   # spec-layer device\n  \
+         cwfmem spec-check <id|file.toml>\n  \
          cwfmem trace-check <file.json>\n  \
          cwfmem compare --bench <name> [--reads N]\n  \
          cwfmem sweep [--benches a,b,c|--all-benches] [--kinds k1,k2] [--reads N] [--jobs N] \
          [--json DIR]\n  \
          cwfmem figures <fig1|fig2|fig3|fig4|fig6|fig9|fig10|ablations|alternatives|all> \
          [--reads N] [--all-benches] [--csv DIR]\n  \
-         cwfmem dump-trace --bench <name> [--core N] [--ops N] [--seed S] --out <file>\n\nmemory kinds: {}",
-        KINDS.map(|(n, _)| n).join(", ")
+         cwfmem dump-trace --bench <name> [--core N] [--ops N] [--seed S] --out <file>\n\n\
+         memory kinds: {}\n\
+         device specs: {} (also fast+slow CWF pairs, e.g. rldram3+ddr5_4800)",
+        KINDS.map(|(n, _)| n).join(", "),
+        DeviceSpec::embedded_ids().join(", ")
     );
     std::process::exit(2)
 }
@@ -55,7 +63,7 @@ fn arg_value(args: &[String], key: &str) -> Option<String> {
 }
 
 fn parse_kind(name: &str) -> MemKind {
-    KINDS.iter().find(|(n, _)| *n == name).map(|(_, k)| *k).unwrap_or_else(|| {
+    MemKind::parse(name).unwrap_or_else(|| {
         eprintln!("unknown memory kind '{name}'");
         usage()
     })
@@ -71,6 +79,7 @@ fn main() {
         Some("figures") => cmd_figures(&args[1..]),
         Some("dump-trace") => cmd_dump_trace(&args[1..]),
         Some("trace-check") => cmd_trace_check(&args[1..]),
+        Some("spec-check") => cmd_spec_check(&args[1..]),
         _ => usage(),
     }
 }
@@ -79,6 +88,14 @@ fn cmd_list() {
     println!("memory organizations:");
     for (name, kind) in KINDS {
         println!("  {name:<8} {}", kind.label());
+    }
+    println!("\ndevice specs (for --spec, --mem, or fast+slow CWF pairs):");
+    for id in DeviceSpec::embedded_ids() {
+        let spec = DeviceSpec::embedded(id).expect("embedded spec");
+        println!(
+            "  {id:<12} {} ({} banks x {} groups)",
+            spec.config.name, spec.config.geometry.banks, spec.config.geometry.bank_groups
+        );
     }
     println!("\nbenchmarks ({}):", suite().len());
     for p in suite() {
@@ -89,8 +106,63 @@ fn cmd_list() {
     }
 }
 
+/// True when a `--spec` value names a file on disk rather than an
+/// embedded spec id.
+fn spec_is_path(value: &str) -> bool {
+    value.contains('/') || value.ends_with(".toml")
+}
+
+/// Load a `--spec`/`spec-check` operand: a file path, or an embedded id.
+fn load_spec(value: &str) -> DeviceSpec {
+    let loaded = if spec_is_path(value) {
+        DeviceSpec::from_file(value)
+    } else {
+        DeviceSpec::embedded(value).ok_or_else(|| cwfmem::dram::SpecError {
+            line: 0,
+            msg: format!(
+                "unknown embedded spec '{value}' (have: {})",
+                DeviceSpec::embedded_ids().join(", ")
+            ),
+        })
+    };
+    loaded.unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1)
+    })
+}
+
+fn cmd_spec_check(args: &[String]) {
+    let Some(value) = args.first() else { usage() };
+    let spec = load_spec(value);
+    let cfg = &spec.config;
+    println!(
+        "{}: ok — {} ({:?}/{:?}, {} banks x {} groups, {} constraints, tCK {} ps)",
+        spec.id,
+        cfg.name,
+        cfg.addressing,
+        cfg.page_policy,
+        cfg.geometry.banks,
+        cfg.geometry.bank_groups,
+        cfg.constraints.len(),
+        cfg.timings.t_ck_ps
+    );
+}
+
 fn build_config(args: &[String]) -> RunConfig {
-    let mem = parse_kind(&arg_value(args, "--mem").unwrap_or_else(|| "rl".into()));
+    // `--spec` takes either an embedded spec id / kind token (same
+    // namespace as `--mem`) or a TOML file path; for a file the backend is
+    // built from the parsed config in `cmd_run` and the kind label comes
+    // from the file's device kind.
+    let mem = if let Some(spec_val) = arg_value(args, "--spec") {
+        if spec_is_path(&spec_val) {
+            let spec = load_spec(&spec_val);
+            MemKind::parse(&spec.id).unwrap_or(MemKind::Spec(spec.config.kind))
+        } else {
+            parse_kind(&spec_val)
+        }
+    } else {
+        parse_kind(&arg_value(args, "--mem").unwrap_or_else(|| "rl".into()))
+    };
     let reads = arg_value(args, "--reads").and_then(|v| v.parse().ok()).unwrap_or(10_000);
     let mut cfg = RunConfig::paper(mem, reads);
     if let Some(c) = arg_value(args, "--cores").and_then(|v| v.parse().ok()) {
@@ -165,7 +237,27 @@ fn cmd_run(args: &[String]) {
         (m, sys.kernel_stats(), sys.verify_report(), sys.trace_report())
     } else {
         let bench = arg_value(args, "--bench").unwrap_or_else(|| "leslie3d".into());
-        run_benchmark_traced(&cfg, &bench)
+        match arg_value(args, "--spec").filter(|v| spec_is_path(v)) {
+            Some(path) => {
+                // A file-backed spec: build the homogeneous backend from
+                // the parsed config (baseline topology; single-command
+                // x9-class parts need only 4 devices per 72-bit access).
+                let spec = load_spec(&path);
+                let chips = match spec.config.addressing {
+                    cwfmem::dram::AddressingStyle::SingleCommand => 4,
+                    cwfmem::dram::AddressingStyle::RasCas => 9,
+                };
+                let backend = MemBackend::Homogeneous(cwfmem::memctrl::HomogeneousMemory::new(
+                    spec.config,
+                    4,
+                    1,
+                    chips,
+                    cwfmem::memctrl::CtrlParams::default(),
+                ));
+                run_benchmark_traced_with_backend(&cfg, &bench, backend)
+            }
+            None => run_benchmark_traced(&cfg, &bench),
+        }
     };
     if let (Some(path), Some(t)) = (&trace_out, &trace) {
         if let Err(e) = std::fs::write(path, t.perfetto_json()) {
@@ -232,6 +324,14 @@ fn cmd_run(args: &[String]) {
                 t.dropped,
                 t.summary.reads
             );
+        }
+    }
+    // An unclean oracle report is a failure (CI runs `--verify` and relies
+    // on the exit status).
+    if let Some(v) = &verify {
+        if !v.is_clean() {
+            eprintln!("verify: {} violation(s) detected", v.total_violations);
+            std::process::exit(1);
         }
     }
 }

@@ -6,6 +6,7 @@
 //! figure shapes in EXPERIMENTS.md and update the pins deliberately"
 //! (regenerate with `cargo run --release --example golden_gen`).
 
+use cwfmem::dram::DeviceKind;
 use cwfmem::sim::config::MemKind;
 use cwfmem::sim::{run_benchmark, RunConfig};
 
@@ -18,7 +19,7 @@ struct Golden {
     hist: [u64; 8],
 }
 
-const GOLDEN: [Golden; 3] = [
+const GOLDEN: [Golden; 5] = [
     Golden {
         kind: MemKind::Ddr3,
         bench: "leslie3d",
@@ -42,6 +43,24 @@ const GOLDEN: [Golden; 3] = [
         insts: 635_410,
         reads: 1_500,
         hist: [475, 96, 103, 234, 280, 102, 103, 107],
+    },
+    // Spec-layer standards: a homogeneous DDR5-4800 system and the
+    // heterogeneous RLDRAM3+DDR5 CWF pairing, both built from specs/*.toml.
+    Golden {
+        kind: MemKind::Spec(DeviceKind::Ddr5),
+        bench: "leslie3d",
+        cycles: 139_951,
+        insts: 928_983,
+        reads: 1_500,
+        hist: [1430, 58, 2, 3, 0, 1, 3, 3],
+    },
+    Golden {
+        kind: MemKind::SpecCwf(DeviceKind::Rldram3, DeviceKind::Ddr5),
+        bench: "mcf",
+        cycles: 107_847,
+        insts: 637_875,
+        reads: 1_500,
+        hist: [481, 94, 104, 229, 280, 104, 102, 106],
     },
 ];
 

@@ -1,0 +1,59 @@
+//! Keeps `docs/SPEC_FORMAT.md` honest: every ```toml code block in the
+//! schema reference must parse as a complete, valid device spec, and the
+//! worked DDR5-4800 example must stay field-for-field identical to the
+//! embedded `ddr5_4800` spec (the ISSUE's "worked example parses
+//! verbatim" acceptance criterion).
+
+use cwfmem::dram::DeviceSpec;
+
+fn doc_text() -> String {
+    std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/docs/SPEC_FORMAT.md"))
+        .expect("docs/SPEC_FORMAT.md readable")
+}
+
+/// Extract the contents of every fenced ```toml block.
+fn toml_blocks(text: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in text.lines() {
+        match &mut current {
+            None if line.trim() == "```toml" => current = Some(String::new()),
+            None => {}
+            Some(block) => {
+                if line.trim() == "```" {
+                    blocks.push(current.take().expect("block in progress"));
+                } else {
+                    block.push_str(line);
+                    block.push('\n');
+                }
+            }
+        }
+    }
+    assert!(current.is_none(), "unterminated ```toml block");
+    blocks
+}
+
+#[test]
+fn every_toml_block_is_a_valid_spec() {
+    let blocks = toml_blocks(&doc_text());
+    assert!(blocks.len() >= 2, "expected the worked example and the tutorial spec");
+    for (i, block) in blocks.iter().enumerate() {
+        DeviceSpec::load_str(block)
+            .unwrap_or_else(|e| panic!("SPEC_FORMAT.md toml block #{}: {e}", i + 1));
+    }
+}
+
+#[test]
+fn worked_ddr5_example_matches_the_embedded_spec() {
+    let blocks = toml_blocks(&doc_text());
+    let ddr5 = blocks
+        .iter()
+        .find(|b| b.contains("id = \"ddr5_4800\""))
+        .expect("worked DDR5-4800 example present");
+    let from_doc = DeviceSpec::load_str(ddr5).expect("worked example parses");
+    let embedded = DeviceSpec::embedded("ddr5_4800").expect("embedded ddr5_4800");
+    assert_eq!(
+        from_doc, embedded,
+        "the worked example in docs/SPEC_FORMAT.md drifted from specs/ddr5_4800.toml"
+    );
+}
