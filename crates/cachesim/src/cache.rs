@@ -3,6 +3,20 @@
 //! The same structure serves as a private L1 (sharer bits unused) and as
 //! the shared, inclusive L2, whose per-line metadata doubles as the MESI
 //! sharer directory.
+//!
+//! # Layout
+//!
+//! The store is **packed structure-of-arrays**: one contiguous `u64` tag
+//! array, one stamp array and one metadata array, each indexed
+//! `set * ways + way`, plus a per-set validity bitmask. A lookup touches
+//! exactly one cache-line-sized slice of the tag array and compares raw
+//! integers — no `Option` discriminants interleaved with payloads, no
+//! per-way branching on enum layout — which keeps the L1/L2 hit path
+//! allocation-free and branch-predictable. Replacement order is
+//! bit-for-bit the order the previous `Vec<Option<Way>>` implementation
+//! produced: resident lines update in place, otherwise the first empty
+//! way wins, otherwise the first way with the minimal LRU stamp is
+//! evicted.
 
 /// Size/shape of a cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,18 +61,20 @@ pub struct LineMeta {
     pub prefetched: bool,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Way {
-    tag: u64,
-    meta: LineMeta,
-    stamp: u64,
-}
-
 /// A set-associative cache storing only metadata (timing simulation).
 #[derive(Debug)]
 pub struct Cache {
     cfg: CacheCfg,
-    ways: Vec<Option<Way>>,
+    /// Tag of each way, `set * ways + way` packed; garbage where invalid.
+    tags: Vec<u64>,
+    /// LRU stamp of each way, same indexing.
+    stamps: Vec<u64>,
+    /// Line metadata of each way, same indexing.
+    metas: Vec<LineMeta>,
+    /// One validity bitmask per set (bit `w` ⇒ way `w` holds a line).
+    valid: Vec<u64>,
+    /// Running resident-line count (sum of `valid` popcounts).
+    live: usize,
     clock: u64,
 }
 
@@ -67,44 +83,68 @@ impl Cache {
     ///
     /// # Panics
     ///
-    /// Panics if `sets` or `ways` is zero.
+    /// Panics if `sets` or `ways` is zero, or if `ways` exceeds 64 (the
+    /// per-set validity bitmask width).
     #[must_use]
     pub fn new(cfg: CacheCfg) -> Self {
         assert!(cfg.sets > 0 && cfg.ways > 0, "cache must have sets and ways");
-        Cache { cfg, ways: vec![None; (cfg.sets * cfg.ways) as usize], clock: 0 }
+        assert!(cfg.ways <= 64, "associativity above 64 is unsupported");
+        let slots = (cfg.sets * cfg.ways) as usize;
+        Cache {
+            cfg,
+            tags: vec![0; slots],
+            stamps: vec![0; slots],
+            metas: vec![LineMeta::default(); slots],
+            valid: vec![0; cfg.sets as usize],
+            live: 0,
+            clock: 0,
+        }
     }
 
-    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
-        let set = (line % u64::from(self.cfg.sets)) as usize;
-        let w = self.cfg.ways as usize;
-        set * w..(set + 1) * w
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (line % u64::from(self.cfg.sets)) as usize
     }
 
+    #[inline]
     fn tag(&self, line: u64) -> u64 {
         line / u64::from(self.cfg.sets)
+    }
+
+    /// Index of the way holding `tag` in `set`, if resident.
+    #[inline]
+    fn find(&self, set: usize, tag: u64) -> Option<usize> {
+        let ways = self.cfg.ways as usize;
+        let base = set * ways;
+        let mut v = self.valid[set];
+        while v != 0 {
+            let w = v.trailing_zeros() as usize;
+            if self.tags[base + w] == tag {
+                return Some(base + w);
+            }
+            v &= v - 1;
+        }
+        None
     }
 
     /// Look up `line` (a line index, i.e. `addr >> 6`), updating LRU.
     pub fn lookup(&mut self, line: u64) -> Option<&mut LineMeta> {
         self.clock += 1;
+        let set = self.set_of(line);
         let tag = self.tag(line);
-        let clock = self.clock;
-        let range = self.set_range(line);
-        for w in self.ways[range].iter_mut().flatten() {
-            if w.tag == tag {
-                w.stamp = clock;
-                return Some(&mut w.meta);
+        match self.find(set, tag) {
+            Some(i) => {
+                self.stamps[i] = self.clock;
+                Some(&mut self.metas[i])
             }
+            None => None,
         }
-        None
     }
 
     /// Look up without touching LRU.
     #[must_use]
     pub fn peek(&self, line: u64) -> Option<&LineMeta> {
-        let tag = self.tag(line);
-        let range = self.set_range(line);
-        self.ways[range].iter().flatten().find(|w| w.tag == tag).map(|w| &w.meta)
+        self.find(self.set_of(line), self.tag(line)).map(|i| &self.metas[i])
     }
 
     /// Insert `line` with `meta`, evicting the LRU way if the set is full.
@@ -114,71 +154,107 @@ impl Cache {
     /// returns `None`.
     pub fn insert(&mut self, line: u64, meta: LineMeta) -> Option<(u64, LineMeta)> {
         self.clock += 1;
+        let set = self.set_of(line);
         let tag = self.tag(line);
-        let set = line % u64::from(self.cfg.sets);
-        let clock = self.clock;
-        let range = self.set_range(line);
+        let ways = self.cfg.ways as usize;
+        let base = set * ways;
 
         // Already resident?
-        for w in self.ways[range.clone()].iter_mut().flatten() {
-            if w.tag == tag {
-                w.meta = meta;
-                w.stamp = clock;
-                return None;
+        if let Some(i) = self.find(set, tag) {
+            self.metas[i] = meta;
+            self.stamps[i] = self.clock;
+            return None;
+        }
+        // Empty way? (lowest-index first, as the slot scan used to pick.)
+        let mask = if ways == 64 { u64::MAX } else { (1u64 << ways) - 1 };
+        let free = !self.valid[set] & mask;
+        if free != 0 {
+            let w = free.trailing_zeros() as usize;
+            self.valid[set] |= 1 << w;
+            self.live += 1;
+            self.tags[base + w] = tag;
+            self.stamps[base + w] = self.clock;
+            self.metas[base + w] = meta;
+            return None;
+        }
+        // Evict the first way with the minimal stamp.
+        let mut victim = 0usize;
+        for w in 1..ways {
+            if self.stamps[base + w] < self.stamps[base + victim] {
+                victim = w;
             }
         }
-        // Empty way?
-        for slot in &mut self.ways[range.clone()] {
-            if slot.is_none() {
-                *slot = Some(Way { tag, meta, stamp: clock });
-                return None;
+        let i = base + victim;
+        let old_tag = self.tags[i];
+        let old_meta = self.metas[i];
+        self.tags[i] = tag;
+        self.stamps[i] = self.clock;
+        self.metas[i] = meta;
+        Some((old_tag * u64::from(self.cfg.sets) + set as u64, old_meta))
+    }
+
+    /// The line an [`Cache::insert`] of `line` would displace right now:
+    /// `None` when `line` is resident or its set still has a free way.
+    /// Pure observation — no LRU clock movement.
+    #[must_use]
+    pub fn victim_peek(&self, line: u64) -> Option<u64> {
+        let set = self.set_of(line);
+        let ways = self.cfg.ways as usize;
+        let mask = if ways == 64 { u64::MAX } else { (1u64 << ways) - 1 };
+        if self.valid[set] != mask || self.find(set, self.tag(line)).is_some() {
+            return None;
+        }
+        let base = set * ways;
+        let mut victim = 0usize;
+        for w in 1..ways {
+            if self.stamps[base + w] < self.stamps[base + victim] {
+                victim = w;
             }
         }
-        // Evict LRU.
-        let victim_idx = {
-            let slice = &self.ways[range.clone()];
-            let (i, _) = slice
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.as_ref().map_or(0, |w| w.stamp))
-                .expect("non-empty set");
-            range.start + i
-        };
-        let old = self.ways[victim_idx].replace(Way { tag, meta, stamp: clock });
-        old.map(|w| {
-            let sets = u64::from(self.cfg.sets);
-            (w.tag * sets + set, w.meta)
-        })
+        Some(self.tags[base + victim] * u64::from(self.cfg.sets) + set as u64)
+    }
+
+    /// Hint the host CPU to pull `line`'s set (tags, stamps, metadata)
+    /// into cache ahead of an upcoming probe: one discarded read per
+    /// array starts the fills early while the caller does other work.
+    /// Purely a performance hint — no simulated state changes (the LRU
+    /// clock does not move).
+    #[inline]
+    pub fn prefetch_set(&self, line: u64) {
+        let base = self.set_of(line) * self.cfg.ways as usize;
+        std::hint::black_box(self.tags[base]);
+        std::hint::black_box(self.stamps[base]);
+        std::hint::black_box(self.metas[base]);
     }
 
     /// Remove `line`, returning its metadata if it was resident.
     pub fn invalidate(&mut self, line: u64) -> Option<LineMeta> {
-        let tag = self.tag(line);
-        let range = self.set_range(line);
-        for slot in &mut self.ways[range] {
-            if let Some(w) = slot {
-                if w.tag == tag {
-                    let meta = w.meta;
-                    *slot = None;
-                    return Some(meta);
-                }
-            }
-        }
-        None
+        let set = self.set_of(line);
+        let i = self.find(set, self.tag(line))?;
+        self.valid[set] &= !(1u64 << (i - set * self.cfg.ways as usize));
+        self.live -= 1;
+        Some(self.metas[i])
     }
 
-    /// Number of resident lines (testing/diagnostics).
+    /// Number of resident lines (testing/diagnostics). O(1).
     #[must_use]
     pub fn resident(&self) -> usize {
-        self.ways.iter().flatten().count()
+        debug_assert_eq!(
+            self.live,
+            self.valid.iter().map(|v| v.count_ones() as usize).sum::<usize>()
+        );
+        self.live
     }
 
     /// Iterate all resident lines as `(line, meta)` (inclusion audit).
     pub fn iter_resident(&self) -> impl Iterator<Item = (u64, &LineMeta)> + '_ {
         let sets = u64::from(self.cfg.sets);
         let ways = self.cfg.ways as usize;
-        self.ways.iter().enumerate().filter_map(move |(i, slot)| {
-            slot.as_ref().map(|w| (w.tag * sets + (i / ways) as u64, &w.meta))
+        self.valid.iter().enumerate().flat_map(move |(set, &v)| {
+            (0..ways).filter(move |w| v & (1 << w) != 0).map(move |w| {
+                let i = set * ways + w;
+                (self.tags[i] * sets + set as u64, &self.metas[i])
+            })
         })
     }
 
@@ -260,5 +336,16 @@ mod tests {
     fn paper_geometry() {
         assert_eq!(CacheCfg::l1_32k_2way().capacity_bytes(), 32 * 1024);
         assert_eq!(CacheCfg::l2_4m_8way().capacity_bytes(), 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn reinsert_refreshes_lru_position() {
+        let mut c = tiny();
+        c.insert(0, LineMeta::default());
+        c.insert(2, LineMeta::default());
+        // Re-inserting line 0 must refresh its stamp, making 2 the victim.
+        c.insert(0, LineMeta { dirty: true, ..Default::default() });
+        let (vline, _) = c.insert(4, LineMeta::default()).expect("eviction");
+        assert_eq!(vline, 2);
     }
 }

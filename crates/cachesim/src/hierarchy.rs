@@ -165,6 +165,14 @@ pub struct HierStats {
     pub secondary_gap_sum: u64,
     /// Per-word critical-word counts at the DRAM level (Figure 4).
     pub critical_word_hist: [u64; 8],
+    /// Completed runs of consecutive L1-hit accesses (a run is closed by
+    /// the first access that leaves the L1 hit path, or by an explicit
+    /// [`Hierarchy::flush_hit_streaks`] at a measurement boundary).
+    pub l1_hit_spans: u64,
+    /// Total L1 hits inside completed runs. After a boundary flush this
+    /// is exactly [`HierStats::l1_hits`]; between flushes it lags by the
+    /// length of the currently open run.
+    pub l1_hit_span_hits: u64,
 }
 
 impl HierStats {
@@ -225,6 +233,12 @@ impl HierStats {
         for (a, b) in self.critical_word_hist.iter_mut().zip(&earlier.critical_word_hist) {
             *a -= b;
         }
+        // Span counters subtract cleanly only if the snapshot was taken
+        // at a flushed boundary (no run open across it); the harness
+        // calls `flush_hit_streaks` before snapshotting to guarantee
+        // that, keeping `l1_hit_span_hits == l1_hits` in every delta.
+        self.l1_hit_spans -= earlier.l1_hit_spans;
+        self.l1_hit_span_hits -= earlier.l1_hit_span_hits;
     }
 }
 
@@ -244,6 +258,12 @@ pub struct Hierarchy<M> {
     writeback_buf: VecDeque<LineRequest>,
     next_load_id: u64,
     ev_buf: Vec<MemEvent>,
+    /// Reusable waiter wake buffer (fill path stays allocation-free).
+    wake_buf: Vec<Waiter>,
+    /// Reusable prefetch candidate buffer (miss path stays allocation-free).
+    pf_buf: Vec<u64>,
+    /// Length of the currently open run of consecutive L1 hits.
+    l1_streak: u64,
     stats: HierStats,
     /// Verify-oracle observation log (`None` ⇒ auditing disabled).
     audit: Option<Vec<HierAudit>>,
@@ -272,6 +292,9 @@ impl<M: MainMemory> Hierarchy<M> {
             writeback_buf: VecDeque::new(),
             next_load_id: 0,
             ev_buf: Vec::new(),
+            wake_buf: Vec::new(),
+            pf_buf: Vec::new(),
+            l1_streak: 0,
             stats: HierStats::default(),
             audit: None,
             trace: None,
@@ -372,6 +395,7 @@ impl<M: MainMemory> Hierarchy<M> {
 
         if self.l1s[usize::from(core)].lookup(line).is_some() {
             self.stats.l1_hits += 1;
+            self.l1_streak += 1;
             return AccessOutcome::Hit { complete_at: now + self.params.l1_latency };
         }
         self.access_below_l1(core, pc, addr, now, false)
@@ -383,12 +407,25 @@ impl<M: MainMemory> Hierarchy<M> {
         let line = addr >> 6;
         if self.l1s[usize::from(core)].lookup(line).is_some() {
             self.stats.l1_hits += 1;
+            self.l1_streak += 1;
             self.store_upgrade(core, line);
             return StoreOutcome::Done;
         }
         match self.access_below_l1(core, pc, addr, now, true) {
             AccessOutcome::Blocked => StoreOutcome::Blocked,
             _ => StoreOutcome::Done,
+        }
+    }
+
+    /// Close the currently open L1-hit run, if any, and fold it into the
+    /// span counters. The harness calls this at measurement boundaries
+    /// (warm-up snapshot, end of run) so [`HierStats::sub`] deltas see
+    /// fully flushed spans; a miss closes runs implicitly.
+    pub fn flush_hit_streaks(&mut self) {
+        if self.l1_streak > 0 {
+            self.stats.l1_hit_spans += 1;
+            self.stats.l1_hit_span_hits += self.l1_streak;
+            self.l1_streak = 0;
         }
     }
 
@@ -420,6 +457,14 @@ impl<M: MainMemory> Hierarchy<M> {
     ) -> AccessOutcome {
         let line = addr >> 6;
         let word = Self::word_of(addr);
+        // Host-side prefetch hints (see `warm_access`): start the fills
+        // of the two dependent random-set probes below — `line`'s L2 set
+        // and, on an L2 hit, the displaced L1 victim's directory set.
+        self.l2.prefetch_set(line);
+        if let Some(victim) = self.l1s[usize::from(core)].victim_peek(line) {
+            self.l2.prefetch_set(victim);
+        }
+        self.flush_hit_streaks();
         if let Some(buf) = &mut self.trace {
             buf.push(TraceEvent::L1Miss { core, at: now, line });
         }
@@ -445,12 +490,16 @@ impl<M: MainMemory> Hierarchy<M> {
             buf.push(TraceEvent::L2Miss { core, at: now, line });
         }
 
-        // Train the prefetcher on the L2 miss stream.
+        // Train the prefetcher on the L2 miss stream. Candidates go
+        // through a reusable buffer so training never allocates.
         if self.params.prefetch {
-            let candidates = self.prefetchers[usize::from(core)].train(pc, addr);
-            for target in candidates {
+            let mut candidates = std::mem::take(&mut self.pf_buf);
+            candidates.clear();
+            self.prefetchers[usize::from(core)].train_into(pc, addr, &mut candidates);
+            for &target in &candidates {
                 self.try_prefetch(core, target, now);
             }
+            self.pf_buf = candidates;
         }
 
         // Line already in flight?
@@ -618,7 +667,12 @@ impl<M: MainMemory> Hierarchy<M> {
                 buf.push(HierAudit::Event { ev: *e, delivered_at: now });
             }
         }
+        // Waiter wakes route through a reusable buffer: `words_arrived_into`
+        // and `drain_waiters_into` append without allocating, and draining
+        // before `release` lets the slab recycle the waiter Vec's capacity.
+        let mut wakes = std::mem::take(&mut self.wake_buf);
         for e in &ev {
+            wakes.clear();
             match *e {
                 MemEvent::WordsAvailable { token, at, words, served_fast } => {
                     if let Some(entry) = self.mshr.by_token(token) {
@@ -631,17 +685,21 @@ impl<M: MainMemory> Hierarchy<M> {
                             entry.critical_word_at = Some(at);
                             entry.critical_served_fast = served_fast;
                         }
-                        for w in entry.words_arrived(words) {
+                        entry.words_arrived_into(words, &mut wakes);
+                        for w in &wakes {
                             woken.push(Woken { core: w.core, load_id: w.load_id, at });
                         }
                     }
                 }
                 MemEvent::LineFilled { token, at } => {
-                    if let Some(mut entry) = self.mshr.release(token) {
+                    if let Some(entry) = self.mshr.by_token(token) {
+                        entry.drain_waiters_into(&mut wakes);
+                    }
+                    if let Some(entry) = self.mshr.release(token) {
                         if let Some(buf) = &mut self.trace {
                             buf.push(TraceEvent::FillDone { token, at });
                         }
-                        for w in entry.drain_waiters() {
+                        for w in &wakes {
                             woken.push(Woken { core: w.core, load_id: w.load_id, at });
                         }
                         if entry.demand {
@@ -657,6 +715,7 @@ impl<M: MainMemory> Hierarchy<M> {
                 }
             }
         }
+        self.wake_buf = wakes;
         self.ev_buf = ev;
 
         while let Some(front) = self.writeback_buf.front() {
@@ -673,19 +732,40 @@ impl<M: MainMemory> Hierarchy<M> {
     /// could do anything observable, or `None` when the whole memory side
     /// is quiescent.
     ///
-    /// The hierarchy itself is event-driven — caches, MSHRs and the
-    /// prefetcher only change state inside `load`/`store` or while
-    /// processing memory events — so the bound is exactly the backend's.
-    /// The backend derives it from its memoized per-(rank, bank, class)
-    /// ready-cycles: the earliest candidate command, refresh action,
-    /// power transition, or pending completion hand-off. Buffered
-    /// writebacks stay covered: they are created and drained within
-    /// `tick` itself, and a drain blocked on a full backend write queue
-    /// retries no later than that queue's next dequeue, which is one of
-    /// the folded candidate commands.
+    /// The bound is the lattice-min over the hierarchy's components, where
+    /// a component that cannot act on its own contributes ⊤ (never) and
+    /// drops out of the fold:
+    ///
+    /// - **caches / prefetcher** — passive: they change state only inside
+    ///   `load`/`store` (the caller's issue path) → ⊤;
+    /// - **MSHR fills** — complete only when the backend hands a
+    ///   `WordsAvailable`/`LineFilled` event across, and the backend's
+    ///   bound covers its own pending completion hand-offs → folded into
+    ///   the backend term;
+    /// - **buffered writebacks** — retried every tick, but a buffered
+    ///   writeback implies a full backend write queue, whose next dequeue
+    ///   is one of the backend's folded candidate commands → also covered;
+    /// - **backend** — derived from its memoized per-(rank, bank, class)
+    ///   ready-cycles: earliest candidate command, refresh action, power
+    ///   transition, or completion hand-off.
+    ///
+    /// The debug assertions below pin the two "covered by the backend"
+    /// arguments: a quiescent backend must imply no outstanding fills and
+    /// no buffered writebacks, otherwise the fold would be optimistic.
     #[must_use]
     pub fn next_activity(&self, now: u64) -> Option<u64> {
-        self.mem.next_activity(now)
+        let backend = self.mem.next_activity(now);
+        debug_assert!(
+            backend.is_some() || self.mshr.is_empty(),
+            "quiescent backend with {} MSHR fills outstanding",
+            self.mshr.len()
+        );
+        debug_assert!(
+            backend.is_some() || self.writeback_buf.is_empty(),
+            "quiescent backend with {} writebacks buffered",
+            self.writeback_buf.len()
+        );
+        backend
     }
 
     /// True if a core-path access has touched the memory backend (submit
@@ -732,11 +812,19 @@ impl<M: MainMemory> Hierarchy<M> {
     {
         let line = addr >> 6;
         let word = Self::word_of(addr);
+        // Host-side prefetch hints: the L2 set of `line` and — if this
+        // access will displace an L1 line — the victim's L2 directory set
+        // are both probed below on random (host-cache-cold) sets; pulling
+        // them early overlaps the two dependent miss chains.
+        self.l2.prefetch_set(line);
         if self.l1s[usize::from(core)].lookup(line).is_some() {
             if is_store {
                 self.store_upgrade(core, line);
             }
             return;
+        }
+        if let Some(victim) = self.l1s[usize::from(core)].victim_peek(line) {
+            self.l2.prefetch_set(victim);
         }
         if let Some(meta) = self.l2.lookup(line) {
             meta.sharers |= 1 << core;

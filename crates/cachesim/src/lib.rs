@@ -43,5 +43,5 @@ pub use cache::{Cache, CacheCfg, LineMeta};
 pub use hierarchy::{
     AccessOutcome, HierAudit, HierParams, HierStats, Hierarchy, StoreOutcome, Woken,
 };
-pub use mshr::{MshrEntry, MshrFile};
+pub use mshr::{MshrEntry, MshrFile, Waiter};
 pub use prefetch::StridePrefetcher;

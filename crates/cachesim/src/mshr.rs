@@ -6,6 +6,17 @@
 //! of the cache line in the MSHR"). Loads waiting on an entry are woken as
 //! soon as their word is home; the entry is freed when the full line and
 //! its ECC arrive.
+//!
+//! # Layout
+//!
+//! The file is a **slab**: entries live in fixed slots, a free-list
+//! recycles slot indices, and an occupancy bitmask plus packed parallel
+//! `line`/`token` key arrays let `by_line`/`by_token` probe raw integer
+//! arrays without walking the full entry structs. This keeps the miss
+//! path allocation-free in steady state: slots (and their waiter `Vec`
+//! capacity) are reused instead of pushed/`swap_remove`d, and
+//! [`MshrEntry::words_arrived_into`] / [`MshrEntry::drain_waiters_into`]
+//! append to caller-owned buffers instead of returning fresh `Vec`s.
 
 use mem_ctrl::Token;
 
@@ -47,10 +58,20 @@ pub struct MshrEntry {
     pub critical_served_fast: bool,
 }
 
-/// Fixed-capacity MSHR file.
+/// Fixed-capacity MSHR file (slab + free-list + occupancy bitmask).
 #[derive(Debug)]
 pub struct MshrFile {
-    entries: Vec<MshrEntry>,
+    /// Entry slots; content is meaningful only where `occupied` says so.
+    slots: Vec<MshrEntry>,
+    /// Packed line keys, parallel to `slots`.
+    lines: Vec<u64>,
+    /// Packed token keys, parallel to `slots`.
+    tokens: Vec<Token>,
+    /// One bit per slot, 64 slots per word.
+    occupied: Vec<u64>,
+    /// Recycled slot indices, popped before fresh ones are carved.
+    free: Vec<u32>,
+    len: usize,
     capacity: usize,
 }
 
@@ -63,35 +84,73 @@ impl MshrFile {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be positive");
-        MshrFile { entries: Vec::with_capacity(capacity), capacity }
+        MshrFile {
+            slots: Vec::with_capacity(capacity),
+            lines: Vec::with_capacity(capacity),
+            tokens: Vec::with_capacity(capacity),
+            occupied: vec![0; capacity.div_ceil(64)],
+            free: Vec::new(),
+            len: 0,
+            capacity,
+        }
     }
 
     /// Is there room for another entry?
     #[must_use]
     pub fn has_space(&self) -> bool {
-        self.entries.len() < self.capacity
+        self.len < self.capacity
     }
 
     /// Current occupancy.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// True when no fills are outstanding.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
+    }
+
+    /// Slot index holding `line`, probing only the packed key array.
+    fn find_line(&self, line: u64) -> Option<usize> {
+        for (wi, &word) in self.occupied.iter().enumerate() {
+            let mut v = word;
+            while v != 0 {
+                let i = wi * 64 + v.trailing_zeros() as usize;
+                if self.lines[i] == line {
+                    return Some(i);
+                }
+                v &= v - 1;
+            }
+        }
+        None
+    }
+
+    /// Slot index holding `token`, probing only the packed key array.
+    fn find_token(&self, token: Token) -> Option<usize> {
+        for (wi, &word) in self.occupied.iter().enumerate() {
+            let mut v = word;
+            while v != 0 {
+                let i = wi * 64 + v.trailing_zeros() as usize;
+                if self.tokens[i] == token {
+                    return Some(i);
+                }
+                v &= v - 1;
+            }
+        }
+        None
     }
 
     /// Find the entry for `line`.
     pub fn by_line(&mut self, line: u64) -> Option<&mut MshrEntry> {
-        self.entries.iter_mut().find(|e| e.line == line)
+        self.find_line(line).map(|i| &mut self.slots[i])
     }
 
     /// Find the entry for a memory transaction.
     pub fn by_token(&mut self, token: Token) -> Option<&mut MshrEntry> {
-        self.entries.iter_mut().find(|e| e.token == token)
+        self.find_token(token).map(|i| &mut self.slots[i])
     }
 
     /// Allocate a new entry.
@@ -103,18 +162,49 @@ impl MshrFile {
     pub fn allocate(&mut self, entry: MshrEntry) -> &mut MshrEntry {
         assert!(self.has_space(), "MSHR file full");
         assert!(
-            self.entries.iter().all(|e| e.line != entry.line),
+            self.find_line(entry.line).is_none(),
             "duplicate MSHR entry for line {:#x}",
             entry.line
         );
-        self.entries.push(entry);
-        self.entries.last_mut().expect("just pushed")
+        let i = match self.free.pop() {
+            Some(i) => i as usize,
+            None => {
+                // Carve a fresh slot; keys are parallel arrays.
+                self.slots.push(MshrEntry::shell());
+                self.lines.push(0);
+                self.tokens.push(entry.token);
+                self.slots.len() - 1
+            }
+        };
+        self.lines[i] = entry.line;
+        self.tokens[i] = entry.token;
+        self.occupied[i / 64] |= 1 << (i % 64);
+        self.len += 1;
+        // Keep the recycled slot's waiter-Vec capacity if the incoming
+        // entry carries none of its own.
+        let recycled = std::mem::take(&mut self.slots[i].waiters);
+        self.slots[i] = entry;
+        if self.slots[i].waiters.is_empty() && recycled.capacity() > 0 {
+            self.slots[i].waiters = recycled;
+        }
+        &mut self.slots[i]
     }
 
     /// Remove and return the entry for `token`.
+    ///
+    /// If the entry's waiters were already drained (the steady-state fill
+    /// path), the waiter `Vec`'s capacity stays behind in the slab for the
+    /// slot's next tenant.
     pub fn release(&mut self, token: Token) -> Option<MshrEntry> {
-        let i = self.entries.iter().position(|e| e.token == token)?;
-        Some(self.entries.swap_remove(i))
+        let i = self.find_token(token)?;
+        self.occupied[i / 64] &= !(1u64 << (i % 64));
+        self.free.push(i as u32);
+        self.len -= 1;
+        let mut out = std::mem::replace(&mut self.slots[i], MshrEntry::shell());
+        if out.waiters.is_empty() {
+            std::mem::swap(&mut self.slots[i].waiters, &mut out.waiters);
+        }
+        Some(out)
     }
 }
 
@@ -137,11 +227,16 @@ impl MshrEntry {
         }
     }
 
-    /// Record newly arrived words; returns the waiters that can now wake.
-    pub fn words_arrived(&mut self, words: u8) -> Vec<Waiter> {
+    /// Vacant-slot placeholder for the slab.
+    fn shell() -> Self {
+        MshrEntry::new(u64::MAX, Token(u64::MAX), 0, false, 0)
+    }
+
+    /// Record newly arrived words; appends the waiters that can now wake
+    /// to `woken` (in arrival order) without allocating.
+    pub fn words_arrived_into(&mut self, words: u8, woken: &mut Vec<Waiter>) {
         self.words_ready |= words;
         let ready = self.words_ready;
-        let mut woken = Vec::new();
         self.waiters.retain(|w| {
             if ready & (1 << w.word) != 0 {
                 woken.push(*w);
@@ -150,7 +245,19 @@ impl MshrEntry {
                 true
             }
         });
+    }
+
+    /// Record newly arrived words; returns the waiters that can now wake.
+    pub fn words_arrived(&mut self, words: u8) -> Vec<Waiter> {
+        let mut woken = Vec::new();
+        self.words_arrived_into(words, &mut woken);
         woken
+    }
+
+    /// Drain every remaining waiter into `out` (line fill completes the
+    /// entry), keeping this entry's `Vec` capacity for reuse.
+    pub fn drain_waiters_into(&mut self, out: &mut Vec<Waiter>) {
+        out.append(&mut self.waiters);
     }
 
     /// Drain every remaining waiter (line fill completes the entry).
@@ -227,5 +334,41 @@ mod tests {
         e.waiters.push(Waiter { load_id: 2, word: 6, core: 0 });
         assert_eq!(e.drain_waiters().len(), 2);
         assert!(e.waiters.is_empty());
+    }
+
+    #[test]
+    fn slab_slots_are_recycled_with_stale_keys_masked() {
+        let mut m = MshrFile::new(2);
+        m.allocate(entry(10));
+        m.allocate(entry(20));
+        m.release(Token(10)).unwrap();
+        // The vacated slot's stale keys must not match.
+        assert!(m.by_line(10).is_none());
+        assert!(m.by_token(Token(10)).is_none());
+        // Reuse the slot for a new line; both keys re-resolve.
+        m.allocate(entry(30));
+        assert_eq!(m.len(), 2);
+        assert!(m.by_line(30).is_some());
+        assert!(m.by_line(20).is_some());
+        let e = m.release(Token(30)).unwrap();
+        assert_eq!(e.line, 30);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn waiter_vec_capacity_survives_slot_reuse() {
+        let mut m = MshrFile::new(1);
+        {
+            let e = m.allocate(entry(1));
+            for k in 0..16 {
+                e.waiters.push(Waiter { load_id: k, word: 0, core: 0 });
+            }
+            let mut buf = Vec::new();
+            e.drain_waiters_into(&mut buf);
+            assert_eq!(buf.len(), 16);
+        }
+        m.release(Token(1)).unwrap();
+        let e = m.allocate(entry(2));
+        assert!(e.waiters.capacity() >= 16, "recycled slot kept its waiter capacity");
     }
 }

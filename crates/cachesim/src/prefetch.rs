@@ -48,9 +48,18 @@ impl StridePrefetcher {
     /// Observe a demand access (`pc`, byte `addr`); returns line addresses
     /// (byte addresses, 64-aligned) to prefetch.
     pub fn train(&mut self, pc: u64, addr: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.train_into(pc, addr, &mut out);
+        out
+    }
+
+    /// [`StridePrefetcher::train`], appending candidates to a caller-owned
+    /// buffer so the miss hot path never allocates. Targets are appended
+    /// in the same near-to-far order `train` returns them.
+    pub fn train_into(&mut self, pc: u64, addr: u64, out: &mut Vec<u64>) {
         self.clock += 1;
         let clock = self.clock;
-        let mut out = Vec::new();
+        let before = out.len();
 
         // Find or victimise an entry.
         let mut found: Option<usize> = None;
@@ -112,8 +121,7 @@ impl StridePrefetcher {
                     Some(RptEntry { pc, last_addr: addr, stride: 0, confidence: 0, lru: clock });
             }
         }
-        self.issued += out.len() as u64;
-        out
+        self.issued += (out.len() - before) as u64;
     }
 }
 

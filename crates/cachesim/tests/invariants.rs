@@ -87,6 +87,29 @@ proptest! {
         prop_assert_eq!(h.pending_writebacks(), 0, "all writebacks drained");
     }
 
+    /// Batched L1-hit spans conserve hits: once the open run is flushed,
+    /// the span-total equals the plain hit counter, and the flush is
+    /// idempotent. Holds at any measurement boundary, so warm-up deltas
+    /// (`HierStats::sub` after a boundary flush) inherit the invariant.
+    #[test]
+    fn hit_spans_conserve_l1_hits_across_boundaries(
+        warm in prop::collection::vec(access(4, 64), 1..80),
+        measured in prop::collection::vec(access(4, 64), 1..80),
+    ) {
+        let mut h = small_hierarchy();
+        drive(&mut h, &warm);
+        h.flush_hit_streaks();
+        let snap = *h.stats();
+        prop_assert_eq!(snap.l1_hit_span_hits, snap.l1_hits, "flushed spans cover all hits");
+        drive(&mut h, &measured);
+        h.flush_hit_streaks();
+        h.flush_hit_streaks(); // idempotent: no empty span recorded
+        let mut delta = *h.stats();
+        delta.sub(&snap);
+        prop_assert_eq!(delta.l1_hit_span_hits, delta.l1_hits, "delta spans cover delta hits");
+        prop_assert!(delta.l1_hit_spans <= delta.l1_hit_span_hits, "spans are non-empty");
+    }
+
     #[test]
     fn every_missing_load_eventually_wakes(
         accs in prop::collection::vec(access(2, 32), 1..100)
@@ -156,6 +179,288 @@ mod cache_props {
                     prop_assert_eq!(victim % 8, l % 8, "victim from a different set");
                     prop_assert_ne!(victim, *l);
                 }
+            }
+        }
+    }
+}
+
+/// The packed-tag cache pinned against a linear-scan oracle — a verbatim
+/// copy of the `Vec<Option<Way>>` implementation the packed layout
+/// replaced. Every operation must agree bit-for-bit: hit/miss, victim
+/// choice, returned metadata, residency.
+mod cache_oracle {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy)]
+    struct Way {
+        tag: u64,
+        meta: LineMeta,
+        stamp: u64,
+    }
+
+    struct OracleCache {
+        cfg: CacheCfg,
+        ways: Vec<Option<Way>>,
+        clock: u64,
+    }
+
+    impl OracleCache {
+        fn new(cfg: CacheCfg) -> Self {
+            OracleCache { cfg, ways: vec![None; (cfg.sets * cfg.ways) as usize], clock: 0 }
+        }
+
+        fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+            let set = (line % u64::from(self.cfg.sets)) as usize;
+            let w = self.cfg.ways as usize;
+            set * w..(set + 1) * w
+        }
+
+        fn tag(&self, line: u64) -> u64 {
+            line / u64::from(self.cfg.sets)
+        }
+
+        fn lookup(&mut self, line: u64) -> Option<LineMeta> {
+            self.clock += 1;
+            let tag = self.tag(line);
+            let clock = self.clock;
+            let range = self.set_range(line);
+            for w in self.ways[range].iter_mut().flatten() {
+                if w.tag == tag {
+                    w.stamp = clock;
+                    return Some(w.meta);
+                }
+            }
+            None
+        }
+
+        fn peek(&self, line: u64) -> Option<LineMeta> {
+            let tag = self.tag(line);
+            let range = self.set_range(line);
+            self.ways[range].iter().flatten().find(|w| w.tag == tag).map(|w| w.meta)
+        }
+
+        fn insert(&mut self, line: u64, meta: LineMeta) -> Option<(u64, LineMeta)> {
+            self.clock += 1;
+            let tag = self.tag(line);
+            let set = line % u64::from(self.cfg.sets);
+            let clock = self.clock;
+            let range = self.set_range(line);
+            for w in self.ways[range.clone()].iter_mut().flatten() {
+                if w.tag == tag {
+                    w.meta = meta;
+                    w.stamp = clock;
+                    return None;
+                }
+            }
+            for slot in &mut self.ways[range.clone()] {
+                if slot.is_none() {
+                    *slot = Some(Way { tag, meta, stamp: clock });
+                    return None;
+                }
+            }
+            let victim_idx = {
+                let slice = &self.ways[range.clone()];
+                let (i, _) = slice
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.as_ref().map_or(0, |w| w.stamp))
+                    .expect("non-empty set");
+                range.start + i
+            };
+            let old = self.ways[victim_idx].replace(Way { tag, meta, stamp: clock });
+            old.map(|w| {
+                let sets = u64::from(self.cfg.sets);
+                (w.tag * sets + set, w.meta)
+            })
+        }
+
+        fn invalidate(&mut self, line: u64) -> Option<LineMeta> {
+            let tag = self.tag(line);
+            let range = self.set_range(line);
+            for slot in &mut self.ways[range] {
+                if let Some(w) = slot {
+                    if w.tag == tag {
+                        let meta = w.meta;
+                        *slot = None;
+                        return Some(meta);
+                    }
+                }
+            }
+            None
+        }
+
+        fn resident(&self) -> usize {
+            self.ways.iter().flatten().count()
+        }
+    }
+
+    /// op 0: lookup, 1: insert, 2: invalidate, 3: peek.
+    fn cache_op() -> impl Strategy<Value = (u8, u64, bool)> {
+        (0u8..4, 0u64..512, prop::bool::ANY)
+    }
+
+    proptest! {
+        #[test]
+        fn packed_cache_matches_linear_scan_oracle(
+            ops in prop::collection::vec(cache_op(), 1..400),
+            sets in 1u32..9,
+            ways in 1u32..5,
+        ) {
+            let cfg = CacheCfg { sets, ways };
+            let mut packed = Cache::new(cfg);
+            let mut oracle = OracleCache::new(cfg);
+            for (k, &(op, line, dirty)) in ops.iter().enumerate() {
+                match op {
+                    0 => prop_assert_eq!(
+                        packed.lookup(line).map(|m| *m),
+                        oracle.lookup(line),
+                        "lookup({}) diverged at op {}", line, k
+                    ),
+                    1 => {
+                        let meta = LineMeta { dirty, crit_word: (k % 8) as u8, ..Default::default() };
+                        prop_assert_eq!(
+                            packed.insert(line, meta),
+                            oracle.insert(line, meta),
+                            "insert({}) diverged at op {}", line, k
+                        );
+                    }
+                    2 => prop_assert_eq!(
+                        packed.invalidate(line),
+                        oracle.invalidate(line),
+                        "invalidate({}) diverged at op {}", line, k
+                    ),
+                    _ => prop_assert_eq!(
+                        packed.peek(line).copied(),
+                        oracle.peek(line),
+                        "peek({}) diverged at op {}", line, k
+                    ),
+                }
+                prop_assert_eq!(packed.resident(), oracle.resident());
+            }
+            // Full residency audit at the end.
+            let mut got: Vec<(u64, LineMeta)> =
+                packed.iter_resident().map(|(l, m)| (l, *m)).collect();
+            got.sort_by_key(|&(l, _)| l);
+            let mut want: Vec<(u64, LineMeta)> = (0..512)
+                .filter_map(|l| oracle.peek(l).map(|m| (l, m)))
+                .collect();
+            want.sort_by_key(|&(l, _)| l);
+            prop_assert_eq!(got, want, "resident sets diverged");
+        }
+    }
+}
+
+/// The slab MSHR file pinned against a push/`swap_remove` oracle — the
+/// `Vec<MshrEntry>` implementation the slab replaced. Keys are unique, so
+/// equivalence is per-key entry state plus occupancy, order-free.
+mod mshr_oracle {
+    use super::*;
+    use cache_hier::{MshrEntry, MshrFile, Waiter};
+    use mem_ctrl::Token;
+
+    struct OracleFile {
+        entries: Vec<MshrEntry>,
+        capacity: usize,
+    }
+
+    impl OracleFile {
+        fn new(capacity: usize) -> Self {
+            OracleFile { entries: Vec::new(), capacity }
+        }
+
+        fn has_space(&self) -> bool {
+            self.entries.len() < self.capacity
+        }
+
+        fn by_line(&mut self, line: u64) -> Option<&mut MshrEntry> {
+            self.entries.iter_mut().find(|e| e.line == line)
+        }
+
+        fn by_token(&mut self, token: Token) -> Option<&mut MshrEntry> {
+            self.entries.iter_mut().find(|e| e.token == token)
+        }
+
+        fn allocate(&mut self, entry: MshrEntry) {
+            self.entries.push(entry);
+        }
+
+        fn release(&mut self, token: Token) -> Option<MshrEntry> {
+            let i = self.entries.iter().position(|e| e.token == token)?;
+            Some(self.entries.swap_remove(i))
+        }
+    }
+
+    fn fingerprint(e: &MshrEntry) -> (u64, u64, u8, u8, bool, u8, Vec<Waiter>) {
+        (
+            e.line,
+            e.token.0,
+            e.critical_word,
+            e.words_ready,
+            e.demand,
+            e.fill_cores,
+            e.waiters.clone(),
+        )
+    }
+
+    /// op 0: allocate, 1: release, 2: words_arrived, 3: add waiter.
+    fn mshr_op() -> impl Strategy<Value = (u8, u64, u8)> {
+        (0u8..4, 0u64..24, any::<u8>())
+    }
+
+    proptest! {
+        #[test]
+        fn slab_mshr_matches_vec_oracle(
+            ops in prop::collection::vec(mshr_op(), 1..300),
+            capacity in 1usize..12,
+        ) {
+            let mut slab = MshrFile::new(capacity);
+            let mut oracle = OracleFile::new(capacity);
+            let mut next_load = 0u64;
+            for &(op, key, bits) in &ops {
+                match op {
+                    0 => {
+                        prop_assert_eq!(slab.has_space(), oracle.has_space());
+                        if slab.has_space() && slab.by_line(key).is_none() {
+                            let e = MshrEntry::new(key, Token(key), bits & 7, bits & 8 != 0, 0);
+                            slab.allocate(e.clone());
+                            oracle.allocate(e);
+                        }
+                    }
+                    1 => {
+                        let a = slab.release(Token(key));
+                        let b = oracle.release(Token(key));
+                        prop_assert_eq!(a.is_some(), b.is_some(), "release({}) diverged", key);
+                        if let (Some(a), Some(b)) = (a, b) {
+                            prop_assert_eq!(fingerprint(&a), fingerprint(&b));
+                        }
+                    }
+                    2 => {
+                        let a = slab.by_token(Token(key)).map(|e| e.words_arrived(bits));
+                        let b = oracle.by_token(Token(key)).map(|e| e.words_arrived(bits));
+                        prop_assert_eq!(a, b, "words_arrived({}) diverged", key);
+                    }
+                    _ => {
+                        let w = Waiter { load_id: next_load, word: bits & 7, core: bits >> 5 };
+                        next_load += 1;
+                        let a = slab.by_line(key).map(|e| {
+                            e.waiters.push(w);
+                            fingerprint(e)
+                        });
+                        let b = oracle.by_line(key).map(|e| {
+                            e.waiters.push(w);
+                            fingerprint(e)
+                        });
+                        prop_assert_eq!(a, b, "by_line({}) diverged", key);
+                    }
+                }
+                prop_assert_eq!(slab.len(), oracle.entries.len());
+                prop_assert_eq!(slab.is_empty(), oracle.entries.is_empty());
+            }
+            // Every surviving key resolves identically in both files.
+            for key in 0..24u64 {
+                let a = slab.by_line(key).map(|e| fingerprint(e));
+                let b = oracle.by_line(key).map(|e| fingerprint(e));
+                prop_assert_eq!(a, b, "final by_line({}) diverged", key);
             }
         }
     }

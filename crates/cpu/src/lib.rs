@@ -40,5 +40,5 @@
 pub mod core_model;
 pub mod trace;
 
-pub use core_model::{Core, CoreActivity, CoreParams, IssueResult, MemOp, MemOpKind};
+pub use core_model::{Core, CoreActivity, CoreParams, IssueResult, MemOp, MemOpKind, SpanOutcome};
 pub use trace::{TraceOp, TraceSource};

@@ -1,0 +1,404 @@
+//! Property tests pinning the ring-buffer ROB and the batched span
+//! engine against the pre-refactor `VecDeque` core.
+//!
+//! Three executions drive the *same* randomized trace script, issue
+//! schedule and completion schedule:
+//!
+//! 1. a `VecDeque`-based oracle core — a verbatim copy of the per-cycle
+//!    implementation the ring buffer replaced;
+//! 2. the real [`Core`], ticked every cycle (ring vs `VecDeque`);
+//! 3. the real [`Core`], driven lazily through `next_activity` bounds
+//!    and [`Core::advance`] spans (batched vs per-cycle).
+//!
+//! All three must produce identical issue logs (cycle, op, result) and
+//! identical architectural counters, and no sound span may overrun.
+
+use std::collections::VecDeque;
+
+use cpu_model::{Core, CoreParams, IssueResult, MemOp, MemOpKind, TraceOp, TraceSource};
+use proptest::prelude::*;
+
+/// Cyclic script source (same shape the workload generators present).
+struct Script {
+    ops: Vec<TraceOp>,
+    pos: usize,
+}
+
+impl TraceSource for Script {
+    fn next_op(&mut self) -> TraceOp {
+        let op = self.ops[self.pos % self.ops.len()];
+        self.pos += 1;
+        op
+    }
+}
+
+/// Deterministic issue schedule: the n-th issue call gets a result drawn
+/// from a split-mix stream, so every driver sees the same hierarchy.
+struct IssueSched {
+    seed: u64,
+    calls: u64,
+    next_load_id: u64,
+    /// (delivery_cycle, load_id) for outstanding pending loads.
+    completions: Vec<(u64, u64)>,
+    /// (cycle, kind, addr, result tag) — the cross-driver fingerprint.
+    log: Vec<(u64, u8, u64, u8)>,
+}
+
+impl IssueSched {
+    fn new(seed: u64) -> Self {
+        IssueSched { seed, calls: 0, next_load_id: 0, completions: Vec::new(), log: Vec::new() }
+    }
+
+    fn issue(&mut self, op: MemOp, now: u64) -> IssueResult {
+        let mut x = self.seed ^ self.calls.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        self.calls += 1;
+        let kind = if op.kind == MemOpKind::Load { 0 } else { 1 };
+        let (tag, res) = match x % 10 {
+            0..=4 => (0, IssueResult::Done { complete_at: now + (x >> 8) % 30 }),
+            5..=7 => {
+                let load_id = self.next_load_id;
+                self.next_load_id += 1;
+                // Stores never deliver through `complete_load` (the real
+                // hierarchy retires them as write-buffer hits), so only
+                // loads get a scheduled completion.
+                if op.kind == MemOpKind::Load {
+                    self.completions.push((now + 40 + (x >> 16) % 200, load_id));
+                }
+                (1, IssueResult::Pending { load_id })
+            }
+            _ => (2, IssueResult::Blocked),
+        };
+        self.log.push((now, kind, op.addr, tag));
+        res
+    }
+
+    /// Pending loads due exactly at `now`, in schedule order.
+    fn due(&mut self, now: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.completions.retain(|&(at, id)| {
+            if at == now {
+                out.push(id);
+                false
+            } else {
+                true
+            }
+        });
+        out
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum OracleEntry {
+    Done(u64),
+    Load(u64),
+}
+
+/// Verbatim port of the pre-ring per-cycle core: `VecDeque` ROB, same
+/// retire/fetch loops, kept as the behavioral oracle.
+struct OracleCore {
+    params: CoreParams,
+    rob: VecDeque<OracleEntry>,
+    pending_gap: u32,
+    stalled: Option<TraceOp>,
+    retired: u64,
+    loads_issued: u64,
+    stores_issued: u64,
+    mem_stall_cycles: u64,
+}
+
+impl OracleCore {
+    fn new(params: CoreParams) -> Self {
+        OracleCore {
+            params,
+            rob: VecDeque::with_capacity(params.rob_size),
+            pending_gap: 0,
+            stalled: None,
+            retired: 0,
+            loads_issued: 0,
+            stores_issued: 0,
+            mem_stall_cycles: 0,
+        }
+    }
+
+    fn complete_load(&mut self, load_id: u64, at: u64) {
+        for e in &mut self.rob {
+            if matches!(e, OracleEntry::Load(l) if *l == load_id) {
+                *e = OracleEntry::Done(at);
+                return;
+            }
+        }
+    }
+
+    fn tick<F>(&mut self, now: u64, trace: &mut Script, issue: &mut F)
+    where
+        F: FnMut(MemOp) -> IssueResult,
+    {
+        let mut retired_this_cycle = 0;
+        while retired_this_cycle < self.params.width {
+            match self.rob.front() {
+                Some(OracleEntry::Done(at)) if *at <= now => {
+                    self.rob.pop_front();
+                    self.retired += 1;
+                    retired_this_cycle += 1;
+                }
+                Some(OracleEntry::Load(_)) if retired_this_cycle == 0 => {
+                    self.mem_stall_cycles += 1;
+                    break;
+                }
+                _ => break,
+            }
+        }
+        let mut fetched = 0;
+        while fetched < self.params.width && self.rob.len() < self.params.rob_size {
+            if self.pending_gap > 0 {
+                self.pending_gap -= 1;
+                self.rob.push_back(OracleEntry::Done(now + self.params.pipe_latency));
+                fetched += 1;
+                continue;
+            }
+            let op = match self.stalled.take() {
+                Some(op) => op,
+                None => trace.next_op(),
+            };
+            match op {
+                TraceOp::Gap(n) => {
+                    self.pending_gap = n;
+                    if n == 0 {
+                        continue;
+                    }
+                }
+                TraceOp::Load { addr, pc } => {
+                    match issue(MemOp { kind: MemOpKind::Load, addr, pc, core: 0 }) {
+                        IssueResult::Done { complete_at } => {
+                            self.loads_issued += 1;
+                            self.rob.push_back(OracleEntry::Done(complete_at));
+                            fetched += 1;
+                        }
+                        IssueResult::Pending { load_id } => {
+                            self.loads_issued += 1;
+                            self.rob.push_back(OracleEntry::Load(load_id));
+                            fetched += 1;
+                        }
+                        IssueResult::Blocked => {
+                            self.stalled = Some(op);
+                            break;
+                        }
+                    }
+                }
+                TraceOp::Store { addr, pc } => {
+                    match issue(MemOp { kind: MemOpKind::Store, addr, pc, core: 0 }) {
+                        IssueResult::Done { complete_at } => {
+                            self.stores_issued += 1;
+                            self.rob.push_back(OracleEntry::Done(complete_at.max(now + 1)));
+                            fetched += 1;
+                        }
+                        IssueResult::Pending { .. } => {
+                            self.stores_issued += 1;
+                            self.rob.push_back(OracleEntry::Done(now + 1));
+                            fetched += 1;
+                        }
+                        IssueResult::Blocked => {
+                            self.stalled = Some(op);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Counters {
+    retired: u64,
+    loads: u64,
+    stores: u64,
+    mem_stall: u64,
+    rob_len: usize,
+}
+
+/// Drive the oracle core per cycle.
+fn run_oracle(
+    params: CoreParams,
+    ops: &[TraceOp],
+    seed: u64,
+    cycles: u64,
+) -> (Counters, Vec<(u64, u8, u64, u8)>) {
+    let mut core = OracleCore::new(params);
+    let mut script = Script { ops: ops.to_vec(), pos: 0 };
+    let mut sched = IssueSched::new(seed);
+    for now in 0..cycles {
+        for id in sched.due(now) {
+            core.complete_load(id, now);
+        }
+        let s = &mut sched;
+        core.tick(now, &mut script, &mut |op| s.issue(op, now));
+    }
+    (
+        Counters {
+            retired: core.retired,
+            loads: core.loads_issued,
+            stores: core.stores_issued,
+            mem_stall: core.mem_stall_cycles,
+            rob_len: core.rob.len(),
+        },
+        sched.log,
+    )
+}
+
+/// Drive the real core per cycle.
+fn run_percycle(
+    params: CoreParams,
+    ops: &[TraceOp],
+    seed: u64,
+    cycles: u64,
+) -> (Counters, Vec<(u64, u8, u64, u8)>) {
+    let mut core = Core::new(0, params);
+    let mut script = Script { ops: ops.to_vec(), pos: 0 };
+    let mut sched = IssueSched::new(seed);
+    for now in 0..cycles {
+        for id in sched.due(now) {
+            core.complete_load(id, now);
+        }
+        let s = &mut sched;
+        core.tick(now, &mut script, &mut |op| s.issue(op, now));
+    }
+    (
+        Counters {
+            retired: core.retired(),
+            loads: core.loads_issued(),
+            stores: core.stores_issued(),
+            mem_stall: core.mem_stall_cycles,
+            rob_len: core.rob_len(),
+        },
+        sched.log,
+    )
+}
+
+/// Drive the real core lazily: tick only at `next_wake` bounds and at
+/// completion deliveries, batch everything between with `advance`.
+fn run_lazy(
+    params: CoreParams,
+    ops: &[TraceOp],
+    seed: u64,
+    cycles: u64,
+) -> (Counters, Vec<(u64, u8, u64, u8)>) {
+    let mut core = Core::new(0, params);
+    let mut script = Script { ops: ops.to_vec(), pos: 0 };
+    let mut sched = IssueSched::new(seed);
+    let mut sync = 0u64; // next unexecuted cycle of the core's state
+    let mut wake = 0u64; // earliest cycle a real tick is required
+    for now in 0..cycles {
+        let due = sched.due(now);
+        if !due.is_empty() {
+            if sync < now {
+                let out = core.advance(sync, now);
+                assert_eq!(out.overrun_at, None, "sound span overran at delivery");
+                sync = now;
+            }
+            for id in due {
+                core.complete_load(id, now);
+            }
+            wake = now; // the per-cycle kernel ticks a woken core this cycle
+        }
+        if wake <= now {
+            if sync < now {
+                let out = core.advance(sync, now);
+                assert_eq!(out.overrun_at, None, "sound span overran before a tick");
+            }
+            let s = &mut sched;
+            core.tick(now, &mut script, &mut |op| s.issue(op, now));
+            sync = now + 1;
+            wake = core.next_wake(now + 1);
+        }
+    }
+    if sync < cycles {
+        let out = core.advance(sync, cycles);
+        assert_eq!(out.overrun_at, None, "sound tail span overran");
+    }
+    (
+        Counters {
+            retired: core.retired(),
+            loads: core.loads_issued(),
+            stores: core.stores_issued(),
+            mem_stall: core.mem_stall_cycles,
+            rob_len: core.rob_len(),
+        },
+        sched.log,
+    )
+}
+
+fn op(kind: u8, val: u32, addr: u64) -> TraceOp {
+    match kind % 3 {
+        0 => TraceOp::Gap(val),
+        1 => TraceOp::Load { addr: addr << 3, pc: addr & 0xFF },
+        _ => TraceOp::Store { addr: addr << 3, pc: addr & 0xFF },
+    }
+}
+
+fn trace_op() -> impl Strategy<Value = TraceOp> {
+    (0u8..3, 0u32..200, 0u64..4096).prop_map(|(k, v, a)| op(k, v, a))
+}
+
+proptest! {
+    /// Ring-buffer ROB == VecDeque ROB under random retire/issue
+    /// schedules, per cycle.
+    #[test]
+    fn ring_rob_matches_vecdeque_oracle(
+        ops in prop::collection::vec(trace_op(), 1..24),
+        seed in any::<u64>(),
+        cycles in 100u64..1200,
+    ) {
+        let params = CoreParams::paper_default();
+        let (oc, ol) = run_oracle(params, &ops, seed, cycles);
+        let (rc, rl) = run_percycle(params, &ops, seed, cycles);
+        prop_assert_eq!(ol, rl, "issue logs diverged");
+        prop_assert_eq!(oc.retired, rc.retired);
+        prop_assert_eq!(oc.loads, rc.loads);
+        prop_assert_eq!(oc.stores, rc.stores);
+        prop_assert_eq!(oc.mem_stall, rc.mem_stall);
+        prop_assert_eq!(oc.rob_len, rc.rob_len);
+    }
+
+    /// Batched `advance` spans == per-cycle ticks under random
+    /// retire/issue schedules, including completion deliveries into
+    /// lagging cores.
+    #[test]
+    fn lazy_spans_match_percycle_execution(
+        ops in prop::collection::vec(trace_op(), 1..24),
+        seed in any::<u64>(),
+        cycles in 100u64..1200,
+    ) {
+        let params = CoreParams::paper_default();
+        let (pc, pl) = run_percycle(params, &ops, seed, cycles);
+        let (lc, ll) = run_lazy(params, &ops, seed, cycles);
+        prop_assert_eq!(pl, ll, "issue logs diverged");
+        prop_assert_eq!(pc.retired, lc.retired);
+        prop_assert_eq!(pc.loads, lc.loads);
+        prop_assert_eq!(pc.stores, lc.stores);
+        prop_assert_eq!(pc.mem_stall, lc.mem_stall);
+        prop_assert_eq!(pc.rob_len, lc.rob_len);
+    }
+
+    /// Narrow cores and short pipes hit the cruise/transition boundaries
+    /// differently; the equivalence must hold there too.
+    #[test]
+    fn lazy_spans_match_on_odd_geometries(
+        ops in prop::collection::vec(trace_op(), 1..16),
+        seed in any::<u64>(),
+        rob_size in 4usize..40,
+        width in 1u32..6,
+        pipe_latency in 0u64..8,
+    ) {
+        let params = CoreParams { rob_size, width, pipe_latency };
+        let (pc, pl) = run_percycle(params, &ops, seed, 600);
+        let (lc, ll) = run_lazy(params, &ops, seed, 600);
+        prop_assert_eq!(pl, ll, "issue logs diverged");
+        prop_assert_eq!(pc.retired, lc.retired);
+        prop_assert_eq!(pc.mem_stall, lc.mem_stall);
+        prop_assert_eq!(pc.rob_len, lc.rob_len);
+    }
+}

@@ -281,22 +281,34 @@ fn write_json(
     if let Some(k) = kernel {
         o.push_str(&format!(
             "  \"kernel\": {{ \"name\": \"{}\", \"mem_tick_calls\": {}, \
-             \"cycles_skipped\": {}, \"tick_ratio\": {} }},\n",
+             \"cycles_skipped\": {}, \"tick_ratio\": {}, \"core_ticks\": {}, \
+             \"core_stall_cycles\": {}, \"core_wait_cycles\": {}, \
+             \"core_cruise_cycles\": {}, \"core_replay_cycles\": {}, \
+             \"core_tick_ratio\": {} }},\n",
             k.kernel.name(),
             k.mem_tick_calls,
             k.cycles_skipped,
-            json_f64(k.tick_ratio())
+            json_f64(k.tick_ratio()),
+            k.core_ticks,
+            k.core_stall_cycles,
+            k.core_wait_cycles,
+            k.core_cruise_cycles,
+            k.core_replay_cycles,
+            json_f64(k.core_tick_ratio())
         ));
     }
     if let Some(v) = verify {
         o.push_str(&format!(
             "  \"verify\": {{\n    \"clean\": {},\n    \"commands_checked\": {},\n    \
              \"events_checked\": {},\n    \"fills_completed\": {},\n    \
+             \"core_spans\": {},\n    \"core_span_cycles\": {},\n    \
              \"total_violations\": {},\n    \"violations\": [",
             v.is_clean(),
             v.commands_checked,
             v.events_checked,
             v.fills_completed,
+            v.core_spans,
+            v.core_span_cycles,
             v.total_violations,
         ));
         // A handful of rendered violations is enough to localise a bug;

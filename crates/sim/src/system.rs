@@ -2,7 +2,7 @@
 //! master clock, with warm-up/measurement windows.
 
 use cache_hier::{AccessOutcome, HierAudit, HierParams, Hierarchy, StoreOutcome, Woken};
-use cpu_model::{Core, CoreActivity, CoreParams, IssueResult, MemOp, MemOpKind, TraceSource};
+use cpu_model::{Core, CoreParams, IssueResult, MemOp, MemOpKind, TraceSource};
 use cwf_tracelog::TraceEvent;
 use cwf_verify::{Oracle, VerifyReport};
 use mem_ctrl::{AuditRecord, MainMemory};
@@ -31,6 +31,21 @@ pub struct KernelStats {
     pub mem_tick_calls: u64,
     /// CPU cycles the event-driven kernel jumped over without executing.
     pub cycles_skipped: u64,
+    /// Real `Core::tick` calls (the cycle-driven kernel makes exactly
+    /// `cores` per step). Core-cycles not ticked are covered by batched
+    /// spans, broken down below; the invariant
+    /// `core_ticks + stall + wait + cruise + replay == cores x simulated`
+    /// holds whenever every core is synced to `now`.
+    pub core_ticks: u64,
+    /// Core-cycles batched by the O(1) full-ROB head-load stall jump.
+    pub core_stall_cycles: u64,
+    /// Core-cycles batched by the full-ROB retire-wait jump.
+    pub core_wait_cycles: u64,
+    /// Core-cycles batched by the steady-state compute cruise jump.
+    pub core_cruise_cycles: u64,
+    /// Core-cycles replayed one at a time inside spans (regime
+    /// transitions; exact tick semantics, trace untouched).
+    pub core_replay_cycles: u64,
 }
 
 impl KernelStats {
@@ -50,6 +65,26 @@ impl KernelStats {
             self.simulated_cycles() as f64 / self.mem_tick_calls as f64
         }
     }
+
+    /// Total core-cycles covered by batched spans instead of real ticks.
+    #[must_use]
+    pub fn core_span_cycles(&self) -> u64 {
+        self.core_stall_cycles
+            + self.core_wait_cycles
+            + self.core_cruise_cycles
+            + self.core_replay_cycles
+    }
+
+    /// Core ticks the cycle-driven kernel would have made per tick this
+    /// kernel actually made (1.0 for the cycle-driven kernel).
+    #[must_use]
+    pub fn core_tick_ratio(&self) -> f64 {
+        if self.core_ticks == 0 {
+            1.0
+        } else {
+            (self.core_ticks + self.core_span_cycles()) as f64 / self.core_ticks as f64
+        }
+    }
 }
 
 /// A complete simulated machine for one benchmark run.
@@ -65,6 +100,15 @@ pub struct System {
     /// change at any cycle strictly below this (`u64::MAX` = idle until
     /// new work arrives). 0 forces a tick on the first step.
     mem_wake: u64,
+    /// Per-core lazy-advancement state (event kernel only): core `i` has
+    /// executed every cycle strictly below `core_sync[i]`; cycles from
+    /// there to the kernel's `now` are covered by `Core::advance` spans
+    /// on demand.
+    core_sync: Vec<u64>,
+    /// Cached `Core::next_wake` bound per core: the core provably needs
+    /// no real tick strictly below this (`u64::MAX` = only a memory
+    /// completion can wake it). 0 forces a tick on the first cycle.
+    core_wake: Vec<u64>,
     kstats: KernelStats,
     /// Cross-layer verify oracle (`cfg.verify`); pure observer.
     oracle: Option<Oracle>,
@@ -79,6 +123,11 @@ pub struct System {
     /// backend never promised. Only the verify oracle's seeded-fault tests
     /// set this (via [`System::inject_optimistic_wake`]).
     fault_wake_slack: u64,
+    /// Fault injection: extra cycles added to every finite cached
+    /// `core_wake` bound, making batched spans overrun into cycles that
+    /// needed the instruction trace. Only the verify oracle's seeded-fault
+    /// tests set this (via [`System::inject_optimistic_horizon`]).
+    fault_horizon_slack: u64,
 }
 
 impl System {
@@ -134,11 +183,18 @@ impl System {
             now: 0,
             woken_buf: Vec::new(),
             mem_wake: 0,
+            core_sync: vec![0; usize::from(cfg.cores)],
+            core_wake: vec![0; usize::from(cfg.cores)],
             kstats: KernelStats {
                 kernel: cfg.kernel,
                 steps: 0,
                 mem_tick_calls: 0,
                 cycles_skipped: 0,
+                core_ticks: 0,
+                core_stall_cycles: 0,
+                core_wait_cycles: 0,
+                core_cruise_cycles: 0,
+                core_replay_cycles: 0,
             },
             cfg: *cfg,
             bench: name.to_owned(),
@@ -147,6 +203,7 @@ impl System {
             audit_buf: Vec::new(),
             trace_buf: Vec::new(),
             fault_wake_slack: 0,
+            fault_horizon_slack: 0,
         };
         // The tracer reuses the audit plumbing for DRAM-level refresh and
         // power-state events, so either observer enables backend auditing.
@@ -210,6 +267,14 @@ impl System {
     /// event kernel skips over real deadlines.
     pub fn inject_optimistic_wake(&mut self, extra_cycles: u64) {
         self.fault_wake_slack = extra_cycles;
+    }
+
+    /// Fault injection for the oracle's seeded-fault tests: report every
+    /// finite core wake-up `extra_cycles` later than the core's own bound,
+    /// so batched front-end spans run into cycles that needed the
+    /// instruction trace (the span-audit must flag the overrun).
+    pub fn inject_optimistic_horizon(&mut self, extra_cycles: u64) {
+        self.fault_horizon_slack = extra_cycles;
     }
 
     /// The oracle's findings so far (complete after [`System::run`], which
@@ -292,29 +357,126 @@ impl System {
     /// Advance one CPU cycle (cycle-driven semantics: the memory side is
     /// ticked unconditionally).
     pub fn step(&mut self) {
-        self.step_inner(false);
+        self.step_cycle();
     }
 
-    /// One cycle of work. With `gate_mem` set (event-driven kernel) the
-    /// hierarchy/memory tick is elided while `now` is strictly below the
-    /// cached next-activity bound — by construction those ticks are
-    /// observable no-ops (device-clock boundaries not reached, no pending
-    /// completion due, no queue-state change a writeback retry could see).
-    fn step_inner(&mut self, gate_mem: bool) {
+    /// One cycle of work, cycle-driven: every component ticks.
+    fn step_cycle(&mut self) {
+        let now = self.now;
+        self.woken_buf.clear();
+        self.hierarchy.tick(now, &mut self.woken_buf);
+        self.kstats.mem_tick_calls += 1;
+        for w in &self.woken_buf {
+            self.cores[usize::from(w.core)].complete_load(w.load_id, w.at);
+        }
+        let hier = &mut self.hierarchy;
+        for (core, gen) in self.cores.iter_mut().zip(self.gens.iter_mut()) {
+            core.tick(now, gen, &mut |op: MemOp| match op.kind {
+                MemOpKind::Load => match hier.load(op.core, op.pc, op.addr, now) {
+                    AccessOutcome::Hit { complete_at } => IssueResult::Done { complete_at },
+                    AccessOutcome::Miss { load_id } => IssueResult::Pending { load_id },
+                    AccessOutcome::Blocked => IssueResult::Blocked,
+                },
+                MemOpKind::Store => match hier.store(op.core, op.pc, op.addr, now) {
+                    StoreOutcome::Done => IssueResult::Done { complete_at: now + 1 },
+                    StoreOutcome::Blocked => IssueResult::Blocked,
+                },
+            });
+        }
+        self.kstats.core_ticks += self.cores.len() as u64;
+        self.kstats.steps += 1;
+        self.now += 1;
+    }
+
+    /// Batch-execute core `i` over `[core_sync[i], to)` via
+    /// [`Core::advance`], folding the span's cycle classes into the kernel
+    /// counters and (when verifying) auditing the span's soundness.
+    fn advance_core_to(&mut self, i: usize, to: u64) {
+        let from = self.core_sync[i];
+        if from >= to {
+            return;
+        }
+        let out = self.cores[i].advance(from, to);
+        self.kstats.core_stall_cycles += out.stall_cycles;
+        self.kstats.core_wait_cycles += out.wait_cycles;
+        self.kstats.core_cruise_cycles += out.cruise_cycles;
+        self.kstats.core_replay_cycles += out.replayed_cycles;
+        if let Some(oracle) = &mut self.oracle {
+            oracle.note_span(i as u8, from, to, out.overrun_at);
+        }
+        self.core_sync[i] = to;
+    }
+
+    /// Bring every core's executed prefix up to `now` (measurement
+    /// boundaries read per-core state such as [`Core::retired`], which is
+    /// only exact once lazily-advanced spans are materialised).
+    fn sync_all(&mut self) {
+        let to = self.now;
+        for i in 0..self.cores.len() {
+            self.advance_core_to(i, to);
+        }
+    }
+
+    /// Event-driven fast-forward: jump `now` to the earliest cycle any
+    /// component can act — the memory side's cached `mem_wake` or any
+    /// core's cached wake bound. A no-op whenever some component may act
+    /// this cycle, so the execution that follows is untouched and
+    /// statistics stay bit-identical to the cycle-driven kernel.
+    fn jump_to_next_event(&mut self) {
+        let now = self.now;
+        let mut target = self.mem_wake;
+        for &w in &self.core_wake {
+            target = target.min(w);
+        }
+        let target = target.min(self.cfg.max_cycles);
+        if target <= now {
+            return;
+        }
+        self.kstats.cycles_skipped += target - now;
+        if let Some(oracle) = &mut self.oracle {
+            oracle.note_skip(now, target);
+        }
+        self.now = target;
+    }
+
+    /// One cycle of work, event-driven: the memory tick is elided while
+    /// `now` is strictly below the cached `mem_wake` bound, and each core
+    /// tick is elided while `now` is strictly below that core's cached
+    /// wake bound — by construction those ticks are observable no-ops.
+    /// Cores that do tick are first batch-advanced over the elided span
+    /// (cores run mutually independent cycles between memory completions,
+    /// so per-core lazy advancement composes: a woken or due core only
+    /// needs *its own* past materialised, never a sibling's).
+    fn step_event(&mut self) {
         let now = self.now;
         let mut ticked = false;
-        if !gate_mem || now >= self.mem_wake {
+        if now >= self.mem_wake {
             self.woken_buf.clear();
             self.hierarchy.tick(now, &mut self.woken_buf);
             self.kstats.mem_tick_calls += 1;
             ticked = true;
-            for w in &self.woken_buf {
-                self.cores[usize::from(w.core)].complete_load(w.load_id, w.at);
+            let woken = std::mem::take(&mut self.woken_buf);
+            for w in &woken {
+                let i = usize::from(w.core);
+                // Materialise the core's past before mutating its ROB,
+                // then force a real tick this cycle: the per-cycle kernel
+                // delivers completions before ticking, so the woken core
+                // retires/fetches at `now` exactly as it would there.
+                self.advance_core_to(i, now);
+                self.cores[i].complete_load(w.load_id, w.at);
+                self.core_wake[i] = now;
             }
+            self.woken_buf = woken;
         }
-        let hier = &mut self.hierarchy;
         let mut issued = false;
-        for (core, gen) in self.cores.iter_mut().zip(self.gens.iter_mut()) {
+        for i in 0..self.cores.len() {
+            if self.core_wake[i] > now {
+                continue;
+            }
+            self.advance_core_to(i, now);
+            let hier = &mut self.hierarchy;
+            let core = &mut self.cores[i];
+            let gen = &mut self.gens[i];
             core.tick(now, gen, &mut |op: MemOp| {
                 issued = true;
                 match op.kind {
@@ -329,6 +491,19 @@ impl System {
                     },
                 }
             });
+            self.kstats.core_ticks += 1;
+            self.core_sync[i] = now + 1;
+            // While tracing, cores must be ticked every cycle (spans
+            // cannot emit trace events), so pin the wake to the next
+            // cycle instead of consulting the activity bound.
+            let wake = if self.cfg.trace { now + 1 } else { self.cores[i].next_wake(now + 1) };
+            // The horizon fault only perturbs finite bounds: MAX means
+            // "woken by memory alone", which the slack must not break.
+            self.core_wake[i] = if wake == u64::MAX {
+                u64::MAX
+            } else {
+                wake.saturating_add(self.fault_horizon_slack)
+            };
         }
         // One recompute per step, after both the memory tick and the core
         // issue loop, so it sees the post-submit state. Only a memory tick
@@ -336,7 +511,7 @@ impl System {
         // submit attempt) can invalidate the cached bound; pure cache hits
         // leave the backend untouched and keep the cached value.
         let touched = issued && self.hierarchy.take_backend_touched();
-        if gate_mem && (ticked || touched) {
+        if ticked || touched {
             self.mem_wake = self
                 .hierarchy
                 .next_activity(now)
@@ -347,45 +522,6 @@ impl System {
         self.now += 1;
     }
 
-    /// Event-driven fast-forward: when every core is blocked on a full ROB
-    /// and the memory side reports nothing before `mem_wake`, jump `now`
-    /// to the earliest cycle anything can change, batch-accounting the
-    /// stall cycles each load-blocked core would have accrued one at a
-    /// time. A no-op whenever any component may act this cycle — so the
-    /// cycle-by-cycle execution that follows is untouched and statistics
-    /// stay bit-identical to the cycle-driven kernel.
-    fn try_skip(&mut self) {
-        let now = self.now;
-        let mut target = self.mem_wake;
-        for core in &self.cores {
-            match core.next_activity(now) {
-                // Can fetch/issue/retire this cycle: no skipping.
-                CoreActivity::Active => return,
-                CoreActivity::WaitRetire(at) => target = target.min(at),
-                // Woken only by the memory side (already in `target`).
-                CoreActivity::WaitLoad => {}
-            }
-        }
-        let target = target.min(self.cfg.max_cycles);
-        if target <= now {
-            return;
-        }
-        let skipped = target - now;
-        for core in &mut self.cores {
-            // The per-cycle loop charges a full-ROB core whose head is an
-            // outstanding load one stall cycle per cycle; nothing else
-            // about it changes, so the charge can be batched.
-            if core.next_activity(now) == CoreActivity::WaitLoad {
-                core.add_stall_cycles(skipped);
-            }
-        }
-        self.kstats.cycles_skipped += skipped;
-        if let Some(oracle) = &mut self.oracle {
-            oracle.note_skip(now, target);
-        }
-        self.now = target;
-    }
-
     /// Run until `reads` demand DRAM reads have been issued (or the cycle
     /// cap is hit). Returns the cycle count consumed.
     fn run_until_reads(&mut self, reads: u64) -> u64 {
@@ -394,7 +530,7 @@ impl System {
             Kernel::Cycle => {
                 while self.hierarchy.stats().demand_misses < reads && self.now < self.cfg.max_cycles
                 {
-                    self.step_inner(false);
+                    self.step_cycle();
                     // Bound the observer buffers on long runs.
                     if self.observers_on() && self.kstats.steps & 0xFFFF == 0 {
                         self.drain_observers();
@@ -402,20 +538,23 @@ impl System {
                 }
             }
             Kernel::Event => {
-                // The skip happens at the top of the loop, never after the
+                // The jump happens at the top of the loop, never after the
                 // step that satisfied the exit condition: both kernels
                 // must leave `now` at exactly `t_satisfy + 1`.
                 while self.hierarchy.stats().demand_misses < reads && self.now < self.cfg.max_cycles
                 {
-                    self.try_skip();
+                    self.jump_to_next_event();
                     if self.now >= self.cfg.max_cycles {
                         break;
                     }
-                    self.step_inner(true);
+                    self.step_event();
                     if self.observers_on() && self.kstats.steps & 0xFFFF == 0 {
                         self.drain_observers();
                     }
                 }
+                // Measurement boundaries read per-core state; materialise
+                // every lazily-advanced span up to the stopping cycle.
+                self.sync_all();
             }
         }
         self.now - start
@@ -427,6 +566,9 @@ impl System {
         self.run_until_reads(self.cfg.warmup_dram_reads);
         let warm_insts: Vec<u64> = self.cores.iter().map(Core::retired).collect();
         let warm_cycles = self.now;
+        // Close the open L1 hit streak so the snapshot's span counters
+        // cover exactly the warm window and subtract cleanly below.
+        self.hierarchy.flush_hit_streaks();
         let warm_hier = *self.hierarchy.stats();
         let warm_mem = self.hierarchy.memory_mut().stats(self.now);
         let warm_cwf = self.hierarchy.memory().cwf_stats();
@@ -437,6 +579,7 @@ impl System {
         let cycles = self.now - warm_cycles;
         let insts_per_core: Vec<u64> =
             self.cores.iter().zip(&warm_insts).map(|(c, w)| c.retired() - w).collect();
+        self.hierarchy.flush_hit_streaks();
         let mut hier = *self.hierarchy.stats();
         hier.sub(&warm_hier);
         let mut mem_stats = self.hierarchy.memory_mut().stats(self.now);
@@ -534,6 +677,18 @@ mod tests {
         assert_eq!(kc.simulated_cycles(), ke.simulated_cycles());
         assert!(ke.mem_tick_calls < kc.mem_tick_calls);
         assert!(ke.tick_ratio() > 1.0, "ratio {}", ke.tick_ratio());
+        // Cycle kernel ticks every core every step; event kernel covers
+        // the same core-cycles with strictly fewer real ticks, the rest
+        // batched into spans. After the end-of-window sync, ticks + span
+        // cycles account for every core-cycle exactly.
+        assert_eq!(kc.core_ticks, kc.steps * u64::from(cy.cores));
+        assert_eq!(kc.core_span_cycles(), 0);
+        assert_eq!(
+            ke.core_ticks + ke.core_span_cycles(),
+            ke.simulated_cycles() * u64::from(ev.cores)
+        );
+        assert!(ke.core_ticks < kc.core_ticks);
+        assert!(ke.core_tick_ratio() > 1.0, "core ratio {}", ke.core_tick_ratio());
     }
 
     #[test]

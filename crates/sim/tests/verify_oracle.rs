@@ -70,8 +70,32 @@ fn optimistic_wake_bound_is_caught_by_the_skip_monitor() {
     );
 }
 
-/// The same system without the fault knob is clean under the event kernel
-/// — the skip monitor's check is exact, not merely "skips happened".
+/// Fault (e): the kernel trusts core front-end activity bounds larger
+/// than the cores' true ones, so batched spans run into cycles that
+/// needed the instruction trace. Only the span audit can see this — the
+/// memory side's timestamps and command streams stay self-consistent.
+#[test]
+fn optimistic_core_horizon_is_caught_by_the_span_audit() {
+    let mut cfg = RunConfig::quick(MemKind::Rl, 300);
+    cfg.verify = true;
+    cfg.kernel = Kernel::Event;
+    let profile = workloads::by_name("mcf").expect("known bench");
+    let mut sys = System::new(&cfg, profile);
+    sys.inject_optimistic_horizon(16);
+    let _ = sys.run();
+
+    let report = sys.verify_report().expect("verify was enabled");
+    assert!(!report.is_clean(), "an over-reported core horizon must be detected");
+    assert!(
+        report.violations.iter().any(|v| v.rule == cwf_verify::OracleRule::SpanOverrun),
+        "the span audit should fire: {:?}",
+        report.violations
+    );
+}
+
+/// The same system without the fault knobs is clean under the event kernel
+/// — the skip monitor's and span audit's checks are exact, not merely
+/// "skips/spans happened".
 #[test]
 fn sound_event_kernel_is_clean_under_the_skip_monitor() {
     let mut cfg = RunConfig::quick(MemKind::Rl, 300);
@@ -83,4 +107,6 @@ fn sound_event_kernel_is_clean_under_the_skip_monitor() {
     let report = sys.verify_report().expect("verify was enabled");
     assert!(report.is_clean(), "{:?}", report.violations);
     assert!(report.skips > 0, "the event kernel should actually skip");
+    assert!(report.core_spans > 0, "the span audit should see batched spans");
+    assert!(report.core_span_cycles > 0, "audited spans should cover cycles");
 }

@@ -60,6 +60,10 @@ pub struct VerifyReport {
     pub skips: u64,
     /// CPU cycles covered by kernel skips.
     pub cycles_skipped: u64,
+    /// Batched core-front-end spans audited.
+    pub core_spans: u64,
+    /// CPU cycles covered by audited core spans.
+    pub core_span_cycles: u64,
     /// Total violations detected (may exceed `violations.len()`).
     pub total_violations: u64,
     /// Up to [`MAX_STORED_VIOLATIONS`] detailed violations, in detection
@@ -213,6 +217,17 @@ impl Oracle {
         self.skip.note_skip(from, to);
     }
 
+    /// Audit one batched core-front-end span over `[from, to)` on `core`;
+    /// `overrun_at` (the first cycle the replay needed the trace) becomes
+    /// a [`OracleRule::SpanOverrun`] violation.
+    pub fn note_span(&mut self, core: u8, from: u64, to: u64, overrun_at: Option<u64>) {
+        let mut out = Vec::new();
+        self.skip.observe_span(core, from, to, overrun_at, &mut out);
+        for v in out {
+            self.push(v);
+        }
+    }
+
     /// Feed inclusion-audit findings from the cache hierarchy (one string
     /// per broken directory entry), stamped at CPU cycle `at`.
     pub fn note_inclusion_violations(&mut self, at: u64, findings: &[String]) {
@@ -256,6 +271,8 @@ impl Oracle {
             fills_completed: self.fill.completed_count() as u64,
             skips: self.skip.skips(),
             cycles_skipped: self.skip.cycles_skipped(),
+            core_spans: self.skip.core_spans(),
+            core_span_cycles: self.skip.core_span_cycles(),
             total_violations: self.total_violations,
             violations: self.violations.clone(),
         }

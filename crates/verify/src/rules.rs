@@ -31,6 +31,10 @@ pub enum OracleRule {
     /// The event kernel delivered a memory event off its timestamp — a
     /// deadline fired strictly inside a skipped interval.
     SkipMissedDeadline,
+    /// A batched core-front-end span needed the instruction trace (or a
+    /// blocked-op retry) strictly before its announced activity bound —
+    /// the bound was optimistic and the replay was cut short.
+    SpanOverrun,
 }
 
 impl std::fmt::Display for OracleRule {
@@ -46,6 +50,7 @@ impl std::fmt::Display for OracleRule {
             OracleRule::IncompleteFill => f.write_str("incomplete line fill"),
             OracleRule::InclusionViolation => f.write_str("L2 inclusion violation"),
             OracleRule::SkipMissedDeadline => f.write_str("skip missed deadline"),
+            OracleRule::SpanOverrun => f.write_str("core span overran its bound"),
         }
     }
 }

@@ -19,6 +19,8 @@ use crate::rules::{OracleRule, OracleViolation};
 pub struct SkipMonitor {
     skips: u64,
     cycles_skipped: u64,
+    core_spans: u64,
+    core_span_cycles: u64,
 }
 
 impl SkipMonitor {
@@ -56,6 +58,32 @@ impl SkipMonitor {
         }
     }
 
+    /// Audit one batched core-front-end span over `[from, to)` executed by
+    /// `Core::advance` on `core`. A sound span replays to its bound;
+    /// `overrun_at` carries the first cycle the replay needed the trace —
+    /// proof the announced bound was optimistic — and becomes a violation.
+    pub fn observe_span(
+        &mut self,
+        core: u8,
+        from: u64,
+        to: u64,
+        overrun_at: Option<u64>,
+        out: &mut Vec<OracleViolation>,
+    ) {
+        self.core_spans += 1;
+        self.core_span_cycles += to.saturating_sub(from);
+        if let Some(at) = overrun_at {
+            out.push(OracleViolation {
+                at,
+                rule: OracleRule::SpanOverrun,
+                detail: format!(
+                    "core {core}: span [{from}, {to}) needed the trace at {at} \
+                     before its activity bound"
+                ),
+            });
+        }
+    }
+
     /// Number of skip intervals observed.
     #[must_use]
     pub fn skips(&self) -> u64 {
@@ -66,6 +94,18 @@ impl SkipMonitor {
     #[must_use]
     pub fn cycles_skipped(&self) -> u64 {
         self.cycles_skipped
+    }
+
+    /// Number of batched core spans audited.
+    #[must_use]
+    pub fn core_spans(&self) -> u64 {
+        self.core_spans
+    }
+
+    /// Total CPU cycles covered by audited core spans.
+    #[must_use]
+    pub fn core_span_cycles(&self) -> u64 {
+        self.core_span_cycles
     }
 }
 
@@ -97,5 +137,25 @@ mod tests {
         m.note_skip(60, 100);
         assert_eq!(m.skips(), 2);
         assert_eq!(m.cycles_skipped(), 80);
+    }
+
+    #[test]
+    fn sound_span_is_clean_and_counted() {
+        let mut m = SkipMonitor::new();
+        let mut out = Vec::new();
+        m.observe_span(3, 100, 250, None, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(m.core_spans(), 1);
+        assert_eq!(m.core_span_cycles(), 150);
+    }
+
+    #[test]
+    fn overrun_span_is_flagged() {
+        let mut m = SkipMonitor::new();
+        let mut out = Vec::new();
+        m.observe_span(1, 100, 250, Some(180), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, OracleRule::SpanOverrun);
+        assert_eq!(out[0].at, 180);
     }
 }

@@ -299,15 +299,28 @@ fn cmd_run(args: &[String]) {
             println!("  fast-part head start   {:.0} CPU cycles", c.avg_head_start());
         }
         println!(
-            "  kernel                 {} ({:.1}x cycles per mem tick)",
+            "  kernel                 {} ({:.1}x cycles per mem tick, {:.1}x per core tick)",
             kstats.kernel.name(),
-            kstats.tick_ratio()
+            kstats.tick_ratio(),
+            kstats.core_tick_ratio()
         );
+        let spans = kstats.core_span_cycles();
+        if spans > 0 {
+            let pc = |x: u64| 100.0 * x as f64 / spans as f64;
+            println!(
+                "  core spans             {spans} cycles batched \
+                 (stall {:.0}%, wait {:.0}%, cruise {:.0}%, replay {:.0}%)",
+                pc(kstats.core_stall_cycles),
+                pc(kstats.core_wait_cycles),
+                pc(kstats.core_cruise_cycles),
+                pc(kstats.core_replay_cycles)
+            );
+        }
         if let Some(v) = &verify {
             if v.is_clean() {
                 println!(
-                    "  verify                 clean ({} commands, {} events checked)",
-                    v.commands_checked, v.events_checked
+                    "  verify                 clean ({} commands, {} events, {} core spans checked)",
+                    v.commands_checked, v.events_checked, v.core_spans
                 );
             } else {
                 println!(
