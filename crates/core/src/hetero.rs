@@ -1,5 +1,6 @@
 //! The split-transaction CWF heterogeneous memory backend.
 
+// cwf-lint: allow(hash-container) -- keyed in-flight lookups only, never iterated
 use std::collections::HashMap;
 
 use dram_timing::{DeviceConfig, PagePolicy};
@@ -177,6 +178,7 @@ pub struct HeteroCwfMemory {
     parity_error_rate: f64,
     fast_ratio: u64,
     slow_ratio: u64,
+    // cwf-lint: allow(hash-container) -- hot-path token map; get/remove/insert only
     pending: HashMap<u64, Pending>,
     scheduled: Vec<(u64, MemEvent)>,
     next_id: u64,
@@ -247,7 +249,7 @@ impl HeteroCwfMemory {
             parity_error_rate: cfg.parity_error_rate,
             fast_ratio: u64::from(cfg.fast.cpu_cycles_per_mem_cycle),
             slow_ratio: u64::from(cfg.slow.cpu_cycles_per_mem_cycle),
-            pending: HashMap::new(),
+            pending: HashMap::new(), // cwf-lint: allow(hash-container) -- see field note
             scheduled: Vec::new(),
             next_id: 0,
             stats: CwfStats::default(),

@@ -10,7 +10,7 @@
 //! counts during a profiling pass; [`hot_pages`] selects the top fraction;
 //! [`PagePlacedMemory`] is the placed system.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use dram_timing::DeviceConfig;
 use mem_ctrl::{
@@ -25,24 +25,24 @@ pub const PAGE_BYTES: u64 = 4096;
 #[derive(Debug)]
 pub struct ProfilingMemory<M> {
     inner: M,
-    counts: HashMap<u64, u64>,
+    counts: BTreeMap<u64, u64>,
 }
 
 impl<M> ProfilingMemory<M> {
     /// Wrap `inner`.
     #[must_use]
     pub fn new(inner: M) -> Self {
-        ProfilingMemory { inner, counts: HashMap::new() }
+        ProfilingMemory { inner, counts: BTreeMap::new() }
     }
 
     /// Per-page access counts collected so far.
     #[must_use]
-    pub fn page_counts(&self) -> &HashMap<u64, u64> {
+    pub fn page_counts(&self) -> &BTreeMap<u64, u64> {
         &self.counts
     }
 
     /// Unwrap, returning the counts.
-    pub fn into_counts(self) -> HashMap<u64, u64> {
+    pub fn into_counts(self) -> BTreeMap<u64, u64> {
         self.counts
     }
 }
@@ -89,7 +89,7 @@ impl<M: MainMemory> MainMemory for ProfilingMemory<M> {
 ///
 /// Panics if `fraction` is outside `(0, 1]`.
 #[must_use]
-pub fn hot_pages(counts: &HashMap<u64, u64>, fraction: f64) -> HashSet<u64> {
+pub fn hot_pages(counts: &BTreeMap<u64, u64>, fraction: f64) -> BTreeSet<u64> {
     assert!(fraction > 0.0 && fraction <= 1.0, "fraction in (0,1]");
     let mut pages: Vec<(u64, u64)> = counts.iter().map(|(p, c)| (*p, *c)).collect();
     pages.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -105,7 +105,7 @@ pub struct PagePlacedMemory {
     lp: Vec<Controller>,
     rld_mapper: AddressMapper,
     lp_mapper: AddressMapper,
-    hot: HashSet<u64>,
+    hot: BTreeSet<u64>,
     rld_ratio: u64,
     lp_ratio: u64,
     next_token: u64,
@@ -119,7 +119,7 @@ pub struct PagePlacedMemory {
 impl PagePlacedMemory {
     /// Build the §7.1 system with the given hot-page set.
     #[must_use]
-    pub fn new(hot: HashSet<u64>) -> Self {
+    pub fn new(hot: BTreeSet<u64>) -> Self {
         let rld_cfg = DeviceConfig::rldram3();
         let lp_cfg = DeviceConfig::lpddr2_800();
         let rld_mapper = AddressMapper::new(
@@ -291,7 +291,7 @@ mod tests {
 
     #[test]
     fn hot_pages_selects_top_fraction_deterministically() {
-        let mut counts = HashMap::new();
+        let mut counts = BTreeMap::new();
         for p in 0..100u64 {
             counts.insert(p, p); // page 99 hottest
         }
@@ -304,7 +304,7 @@ mod tests {
 
     #[test]
     fn hot_reads_hit_rldram_cold_reads_hit_lpddr() {
-        let mut hot = HashSet::new();
+        let mut hot = BTreeSet::new();
         hot.insert(0u64); // page 0 is hot
         let mut mem = PagePlacedMemory::new(hot);
         mem.try_submit(&LineRequest::demand_read(0x40, 0, 0), 0).unwrap();
@@ -330,7 +330,7 @@ mod tests {
 
     #[test]
     fn whole_line_single_event_semantics() {
-        let mut mem = PagePlacedMemory::new(HashSet::new());
+        let mut mem = PagePlacedMemory::new(BTreeSet::new());
         mem.try_submit(&LineRequest::demand_read(0x80, 3, 0), 0).unwrap();
         let mut ev = Vec::new();
         for now in 0..4_000 {
@@ -344,6 +344,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "fraction in (0,1]")]
     fn hot_pages_rejects_bad_fraction() {
-        let _ = hot_pages(&HashMap::new(), 0.0);
+        let _ = hot_pages(&BTreeMap::new(), 0.0);
     }
 }

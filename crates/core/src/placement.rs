@@ -1,5 +1,6 @@
 //! Critical-word placement policies (§4.2.2, §4.2.5, §6.1.1).
 
+// cwf-lint: allow(hash-container) -- keyed tag lookups only, never iterated
 use std::collections::HashMap;
 
 /// Which word of each line the fast DIMM holds.
@@ -29,6 +30,7 @@ pub enum PlacementPolicy {
 /// during the run always override the steady-state prediction.
 pub struct Placement {
     policy: PlacementPolicy,
+    // cwf-lint: allow(hash-container) -- hot-path tag store; insert/get/len only
     tags: HashMap<u64, u8>,
     steady: Option<Box<dyn Fn(u64) -> Option<u8> + Send>>,
 }
@@ -47,7 +49,7 @@ impl Placement {
     /// Create a placement in the given policy.
     #[must_use]
     pub fn new(policy: PlacementPolicy) -> Self {
-        Placement { policy, tags: HashMap::new(), steady: None }
+        Placement { policy, tags: HashMap::new(), steady: None } // cwf-lint: allow(hash-container) -- see field note
     }
 
     /// Install the steady-state tag function (adaptive policy only; the

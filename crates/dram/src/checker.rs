@@ -32,7 +32,9 @@
 //!   gaps of `tRTRS` are respected.
 
 use crate::command::Command;
-use crate::config::{AddressingStyle, CmdClass, ConstraintScope, DeviceConfig, RefPoint};
+use crate::config::{
+    AddressingStyle, CmdClass, ConstraintScope, DeviceConfig, RefPoint, SpecConstraint,
+};
 
 /// The protocol rule a [`Violation`] broke.
 ///
@@ -96,6 +98,37 @@ pub enum Rule {
 }
 
 impl Rule {
+    /// Every rule variant, in declaration order. The verify oracle's
+    /// linkage list (`cwf-verify::rules::linked_protocol_rules`) and the
+    /// spec linter check themselves against this for drift.
+    pub const ALL: [Rule; 25] = [
+        Rule::TRcd,
+        Rule::TRc,
+        Rule::TRp,
+        Rule::TRrd,
+        Rule::TRrdL,
+        Rule::TFaw,
+        Rule::TRfc,
+        Rule::TRas,
+        Rule::TRtp,
+        Rule::TWr,
+        Rule::TWtr,
+        Rule::TCcd,
+        Rule::TCcdL,
+        Rule::TRtrs,
+        Rule::DataBusOverlap,
+        Rule::ActToOpenBank,
+        Rule::ReadClosedRow,
+        Rule::WriteClosedRow,
+        Rule::PreToClosedBank,
+        Rule::RefWithOpenBanks,
+        Rule::RefbToOpenBank,
+        Rule::TRcSingleCommand,
+        Rule::TRcBeforeRefb,
+        Rule::ActOnSingleCommandDevice,
+        Rule::RankOutOfRange,
+    ];
+
     /// Short human-readable name; identical to the strings the checker
     /// reported before the enum existed.
     #[must_use]
@@ -248,6 +281,49 @@ fn rule_of(
         // The spec validator rejects every other shape; treat leftovers
         // (hand-built configs) as generic column spacing.
         _ => Rule::TCcd,
+    }
+}
+
+/// Map one spec constraint onto the [`Rule`] its generated checker rule
+/// reports — the same shape-driven mapping [`ProtocolChecker::new`] uses,
+/// exposed so `cwfmem spec-lint` can prove the static table and the dynamic
+/// oracle agree.
+#[must_use]
+pub fn rule_for_constraint(c: &SpecConstraint, addressing: AddressingStyle) -> Rule {
+    rule_of(c.prev, c.next, c.scope, c.from, c.window, addressing)
+}
+
+/// Summary of one generated pairwise rule, mirroring the checker's internal
+/// table for the spec linter's rule-linkage check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeneratedRule {
+    /// The rule a violation of this entry reports.
+    pub rule: Rule,
+    /// Command class the spacing applies to.
+    pub next: CmdClass,
+    /// Scope the pair must share.
+    pub scope: ConstraintScope,
+    /// Minimum spacing in device cycles.
+    pub cycles: u64,
+    /// 1 for pairwise rules, 4 for the rolling tFAW window.
+    pub window: u32,
+}
+
+impl ProtocolChecker {
+    /// The generated pairwise rule table (constraint-derived, or the
+    /// legacy scalar synthesis for hand-built configs), in table order.
+    #[must_use]
+    pub fn generated_rules(&self) -> Vec<GeneratedRule> {
+        self.rules
+            .iter()
+            .map(|r| GeneratedRule {
+                rule: r.rule,
+                next: r.next,
+                scope: r.scope,
+                cycles: r.cycles,
+                window: r.window,
+            })
+            .collect()
     }
 }
 

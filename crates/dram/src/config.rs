@@ -16,7 +16,7 @@
 use std::sync::OnceLock;
 
 /// The DRAM flavor a channel is built from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DeviceKind {
     /// Commodity DDR3-1600 (MT41J256M8): the paper's baseline.
     Ddr3,
@@ -112,7 +112,7 @@ pub enum AddressingStyle {
 
 /// Command class a timing constraint refers to (spec-file vocabulary:
 /// `act`, `rd`, `wr`, `pre`, `refsb`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CmdClass {
     /// Row activate.
     Act,
@@ -128,7 +128,7 @@ pub enum CmdClass {
 
 /// Scope at which a timing constraint is enforced (spec-file vocabulary:
 /// `@bank`, `@bank-group`, `@rank`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ConstraintScope {
     /// Both commands address the same bank.
     Bank,
@@ -140,7 +140,7 @@ pub enum ConstraintScope {
 
 /// Which edge of the *previous* command starts the constraint clock
 /// (spec-file vocabulary: the optional `from=data-end` suffix).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RefPoint {
     /// The previous command's issue cycle (default).
     Issue,

@@ -57,12 +57,12 @@ pub mod stats;
 
 pub use bank::{Bank, BankState};
 pub use channel::{Channel, IssueOutcome};
-pub use checker::{ProtocolChecker, Rule, Violation};
+pub use checker::{rule_for_constraint, GeneratedRule, ProtocolChecker, Rule, Violation};
 pub use command::Command;
 pub use config::{
     AddressingStyle, CmdClass, ConstraintScope, DeviceConfig, DeviceGeometry, DeviceKind,
     DeviceTimings, PagePolicy, RefPoint, SpecConstraint,
 };
 pub use rank::{PowerState, Rank};
-pub use spec::{DeviceSpec, SpecError};
+pub use spec::{BankStateMachine, DeviceSpec, ProtoState, SpecError, SpecExempt};
 pub use stats::{BankCounters, ChannelStats, LatencyHist, Residency, MAX_BANKS};

@@ -81,6 +81,185 @@ pub struct DeviceSpec {
     pub id: String,
     /// The fully derived device configuration.
     pub config: DeviceConfig,
+    /// `[timing] exempt` annotations: deliberate coverage holes or waived
+    /// implied inequalities, each with its justification (see
+    /// [`SpecExempt`]). Purely a lint artifact — simulation ignores them.
+    pub exempts: Vec<SpecExempt>,
+}
+
+/// One `[timing] exempt` annotation.
+///
+/// `cwfmem spec-lint` proves a coverage matrix over every command pair the
+/// constraint DSL admits; a cell left deliberately unconstrained must carry
+/// an exempt annotation naming the cell and the reason, and the two implied
+/// timing inequalities can likewise be waived when a spec pins
+/// datasheet-rounded values. The linter flags exempts that no longer match
+/// a real gap, so stale annotations cannot accumulate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecExempt {
+    /// `"prev -> next @scope: justification"` — the command pair is
+    /// deliberately unconstrained at that scope.
+    Pair {
+        /// Earlier command class.
+        prev: CmdClass,
+        /// Later command class.
+        next: CmdClass,
+        /// Scope of the uncovered cell.
+        scope: ConstraintScope,
+        /// Why the gap is intentional (never empty).
+        justification: String,
+    },
+    /// `"tRC >= tRAS + tRP: justification"` — the named implied inequality
+    /// is deliberately violated (whitespace-insensitive; the name is stored
+    /// compacted, e.g. `"tRC>=tRAS+tRP"`).
+    Inequality {
+        /// Compacted inequality name (one of [`IMPLIED_INEQUALITIES`]).
+        name: String,
+        /// Why the violation is intentional (never empty).
+        justification: String,
+    },
+}
+
+/// The implied timing inequalities `spec-lint` checks, in compacted form.
+///
+/// A row activation must stay open long enough to cover the column access
+/// it admits (`tRAS >= tRCD + tRTP`), and an ACT→ACT cycle must cover the
+/// open time plus the precharge (`tRC >= tRAS + tRP`). Datasheets round
+/// these independently, so a spec pinning published values may need an
+/// [`SpecExempt::Inequality`] waiver.
+pub const IMPLIED_INEQUALITIES: [&str; 2] = ["tRC>=tRAS+tRP", "tRAS>=tRCD+tRTP"];
+
+/// A per-bank protocol state of the [`BankStateMachine`].
+///
+/// Named `ProtoState` (not `BankState`) to stay clear of the simulation's
+/// [`crate::bank::BankState`], which tracks the open row id as well.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ProtoState {
+    /// No open row. The initial state; single-command devices never leave
+    /// it (their activate is implicit in the column command).
+    Closed,
+    /// A row is open (ras-cas devices only).
+    Open,
+}
+
+impl fmt::Display for ProtoState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoState::Closed => f.write_str("closed"),
+            ProtoState::Open => f.write_str("open"),
+        }
+    }
+}
+
+/// One admitted transition of the per-bank state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtoTransition {
+    /// State the bank is in before the command.
+    pub from: ProtoState,
+    /// The command class that drives the transition.
+    pub cmd: CmdClass,
+    /// State the bank lands in afterwards.
+    pub to: ProtoState,
+}
+
+/// The per-bank command state machine a device admits, derived from its
+/// addressing style, page policy and refresh mode.
+///
+/// This is the model `cwfmem spec-lint` walks for its reachability and
+/// coverage passes: which commands the device can ever issue, which states
+/// they connect, and therefore which constraint cells are meaningful.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankStateMachine {
+    /// The power-on state (always [`ProtoState::Closed`]).
+    pub initial: ProtoState,
+    /// Every state, initial first.
+    pub states: Vec<ProtoState>,
+    /// Every admitted `(from, cmd, to)` transition.
+    pub transitions: Vec<ProtoTransition>,
+}
+
+impl BankStateMachine {
+    /// Derive the machine for a device configuration.
+    #[must_use]
+    pub fn of(config: &DeviceConfig) -> BankStateMachine {
+        use CmdClass::{Act, Pre, Rd, RefSb, Wr};
+        use ProtoState::{Closed, Open};
+        let t = |from, cmd, to| ProtoTransition { from, cmd, to };
+        let mut transitions = match config.addressing {
+            AddressingStyle::RasCas => {
+                // Under a closed-page policy every column access carries an
+                // auto-precharge, so rd/wr return the bank to `Closed`.
+                let after_col = match config.page_policy {
+                    PagePolicy::Open => Open,
+                    PagePolicy::Closed => Closed,
+                };
+                vec![
+                    t(Closed, Act, Open),
+                    t(Open, Rd, after_col),
+                    t(Open, Wr, after_col),
+                    t(Open, Pre, Closed),
+                ]
+            }
+            AddressingStyle::SingleCommand => {
+                // The activate is implicit and the bank auto-precharges:
+                // every command is a `Closed` self-loop.
+                vec![t(Closed, Rd, Closed), t(Closed, Wr, Closed)]
+            }
+        };
+        if config.refresh_per_bank {
+            transitions.push(t(Closed, RefSb, Closed));
+        }
+        let mut states = vec![ProtoState::Closed];
+        if config.addressing == AddressingStyle::RasCas {
+            states.push(ProtoState::Open);
+        }
+        BankStateMachine { initial: ProtoState::Closed, states, transitions }
+    }
+
+    /// Every command class the device can issue, sorted and deduplicated.
+    #[must_use]
+    pub fn commands(&self) -> Vec<CmdClass> {
+        let mut cmds: Vec<CmdClass> = self.transitions.iter().map(|t| t.cmd).collect();
+        cmds.sort_unstable();
+        cmds.dedup();
+        cmds
+    }
+
+    /// The command classes that *enter* `state` (from a different state).
+    #[must_use]
+    pub fn entering(&self, state: ProtoState) -> Vec<CmdClass> {
+        let mut cmds: Vec<CmdClass> = self
+            .transitions
+            .iter()
+            .filter(|t| t.to == state && t.from != state)
+            .map(|t| t.cmd)
+            .collect();
+        cmds.sort_unstable();
+        cmds.dedup();
+        cmds
+    }
+
+    /// States reachable from the initial state, sorted.
+    #[must_use]
+    pub fn reachable(&self) -> Vec<ProtoState> {
+        let mut seen = vec![self.initial];
+        loop {
+            let next: Vec<ProtoState> = self
+                .transitions
+                .iter()
+                .filter(|t| seen.contains(&t.from) && !seen.contains(&t.to))
+                .map(|t| t.to)
+                .collect();
+            if next.is_empty() {
+                break;
+            }
+            seen.extend(next);
+            seen.dedup();
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        seen
+    }
 }
 
 impl DeviceSpec {
@@ -190,6 +369,13 @@ impl DeviceSpec {
     #[must_use]
     pub fn into_config(self) -> DeviceConfig {
         self.config
+    }
+
+    /// The per-bank state machine this device admits (see
+    /// [`BankStateMachine`]).
+    #[must_use]
+    pub fn state_machine(&self) -> BankStateMachine {
+        BankStateMachine::of(&self.config)
     }
 }
 
@@ -499,6 +685,52 @@ fn parse_constraint(text: &str, line: usize) -> Result<SpecConstraint, SpecError
     Ok(SpecConstraint { name, prev, next, scope, cycles, window, from })
 }
 
+/// Parse one `[timing] exempt` line: `"prev -> next @scope: why"` for a
+/// deliberate coverage hole, or `"tRC >= tRAS + tRP: why"` (any spacing)
+/// for a waived implied inequality.
+fn parse_exempt(text: &str, line: usize, grouped: bool) -> Result<SpecExempt, SpecError> {
+    let err = |msg: String| SpecError::new(line, format!("exempt {text:?}: {msg}"));
+    let Some((subject, justification)) = text.split_once(':') else {
+        return Err(err("missing `: justification` suffix".into()));
+    };
+    let justification = justification.trim().to_string();
+    if justification.is_empty() {
+        return Err(err("empty justification".into()));
+    }
+    let compact: String = subject.chars().filter(|c| !c.is_whitespace()).collect();
+    if IMPLIED_INEQUALITIES.contains(&compact.as_str()) {
+        return Ok(SpecExempt::Inequality { name: compact, justification });
+    }
+    let tokens: Vec<&str> = subject.split_whitespace().collect();
+    if tokens.len() != 4 || tokens[1] != "->" {
+        return Err(err(format!(
+            "expected `prev -> next @scope` or one of {IMPLIED_INEQUALITIES:?}"
+        )));
+    }
+    let cmd = |tok: &str| -> Result<CmdClass, SpecError> {
+        match tok {
+            "act" => Ok(CmdClass::Act),
+            "rd" => Ok(CmdClass::Rd),
+            "wr" => Ok(CmdClass::Wr),
+            "pre" => Ok(CmdClass::Pre),
+            "refsb" => Ok(CmdClass::RefSb),
+            other => Err(err(format!("unknown command {other:?} (act/rd/wr/pre/refsb)"))),
+        }
+    };
+    let prev = cmd(tokens[0])?;
+    let next = cmd(tokens[2])?;
+    let scope = match tokens[3] {
+        "@bank" => ConstraintScope::Bank,
+        "@bank-group" => ConstraintScope::BankGroup,
+        "@rank" => ConstraintScope::Rank,
+        other => return Err(err(format!("unknown scope {other:?} (@bank/@bank-group/@rank)"))),
+    };
+    if scope == ConstraintScope::BankGroup && !grouped {
+        return Err(err("bank-group scope on a device without bank groups".into()));
+    }
+    Ok(SpecExempt::Pair { prev, next, scope, justification })
+}
+
 /// The closed set of constraint shapes the channel model actually
 /// enforces. Anything else would make the generated `ProtocolChecker`
 /// stricter than the channel and flag violations on clean runs, so it is
@@ -650,6 +882,31 @@ fn build(raw: &mut RawSpec) -> Result<DeviceSpec, SpecError> {
         constraints.push(c);
     }
 
+    let exempts = if raw.entries.contains_key("timing.exempt") {
+        let (lines, exempt_line) = raw.take_str_list("timing.exempt")?;
+        let mut exempts = Vec::with_capacity(lines.len());
+        for text in &lines {
+            let e = parse_exempt(text, exempt_line, grouped)?;
+            let same_subject = |other: &SpecExempt| match (&e, other) {
+                (
+                    SpecExempt::Pair { prev, next, scope, .. },
+                    SpecExempt::Pair { prev: p2, next: n2, scope: s2, .. },
+                ) => (prev, next, scope) == (p2, n2, s2),
+                (SpecExempt::Inequality { name, .. }, SpecExempt::Inequality { name: n2, .. }) => {
+                    name == n2
+                }
+                _ => false,
+            };
+            if exempts.iter().any(same_subject) {
+                return Err(SpecError::new(exempt_line, format!("duplicate exempt {text:?}")));
+            }
+            exempts.push(e);
+        }
+        exempts
+    } else {
+        Vec::new()
+    };
+
     let col = |cls: CmdClass| cls == Rd || cls == Wr;
     // Derive the scalar timings the channel hot path uses from the table.
     let t_rc = match addressing {
@@ -736,7 +993,7 @@ fn build(raw: &mut RawSpec) -> Result<DeviceSpec, SpecError> {
         refresh_per_bank,
         constraints,
     };
-    Ok(DeviceSpec { id, config })
+    Ok(DeviceSpec { id, config, exempts })
 }
 
 #[cfg(test)]

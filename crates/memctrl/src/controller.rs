@@ -106,8 +106,10 @@ pub struct ControllerStats {
     /// Writes completed.
     pub writes_done: u64,
     /// Sum of read queueing delays in nanoseconds.
+    // cwf-lint: allow(float-accum) -- derived once from the integer cycle sum at snapshot time
     pub sum_queue_ns: f64,
     /// Sum of read service latencies in nanoseconds.
+    // cwf-lint: allow(float-accum) -- derived once from the integer cycle sum at snapshot time
     pub sum_service_ns: f64,
     /// Histogram of end-to-end read latencies (enqueue to last data
     /// beat), in integer nanoseconds.

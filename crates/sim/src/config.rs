@@ -164,7 +164,7 @@ impl MainMemory for MemBackend {
 }
 
 /// Every memory organization evaluated in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MemKind {
     /// Baseline: 4 × 72-bit DDR3-1600 channels (Table 1).
     Ddr3,

@@ -5,7 +5,7 @@
 //! DRAM reads; the default harness uses a scaled-down value, which
 //! preserves orderings because the generators are stationary).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cache_hier::{Cache, CacheCfg, LineMeta};
 use cpu_model::{TraceOp, TraceSource};
@@ -100,7 +100,7 @@ pub fn sweep(benches: &[&str], kinds: &[MemKind], reads: u64) -> Vec<SweepRow> {
         }
     }
     let results = crate::sweep::run_cells(&cells);
-    let mut by_task: HashMap<(String, Option<MemKind>), RunMetrics> = HashMap::new();
+    let mut by_task: BTreeMap<(String, Option<MemKind>), RunMetrics> = BTreeMap::new();
     for (task, result) in tasks.into_iter().zip(results) {
         match result {
             crate::sweep::CellResult::Done(m, _) => {
@@ -213,12 +213,12 @@ pub fn fig2_power_utilization() -> Table {
 
 /// LLC-filtered first-touch (critical word) analysis for one benchmark:
 /// returns the aggregate word histogram and per-line histograms.
-fn critical_word_profile(bench: &str, misses: u64) -> ([u64; 8], HashMap<u64, [u32; 8]>) {
+fn critical_word_profile(bench: &str, misses: u64) -> ([u64; 8], BTreeMap<u64, [u32; 8]>) {
     let profile = by_name(bench).expect("known benchmark");
     let mut l2 = Cache::new(CacheCfg::l2_4m_8way());
     let mut gens: Vec<TraceGen> = (0..8).map(|c| TraceGen::new(profile, c, 0xF163)).collect();
     let mut hist = [0u64; 8];
-    let mut per_line: HashMap<u64, [u32; 8]> = HashMap::new();
+    let mut per_line: BTreeMap<u64, [u32; 8]> = BTreeMap::new();
     let mut seen = 0u64;
     let mut core = 0usize;
     while seen < misses {
@@ -613,7 +613,7 @@ pub fn ablations(benches: &[&str], reads: u64) -> Table {
             },
         }
     });
-    let by_task: HashMap<(String, usize), f64> = tasks.into_iter().zip(results).collect();
+    let by_task: BTreeMap<(String, usize), f64> = tasks.into_iter().zip(results).collect();
 
     let mut t = Table::new(
         "Ablations: mean throughput normalized to the matching DDR3 baseline",

@@ -1,0 +1,64 @@
+//! `cwf-lint` — the workspace determinism lint (pass 2 of the static
+//! analysis subsystem; `cwfmem spec-lint` is pass 1).
+//!
+//! Scans the root binary's `src/` and every `crates/*/src/` (except the
+//! bench crate) for nondeterminism hazards: hash-ordered containers,
+//! wall-clock reads and float accumulator fields in statistics structs.
+//! Exits nonzero on any diagnostic.
+//!
+//! ```text
+//! usage: cwf-lint [--json] [WORKSPACE_ROOT]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cwf_speclint::{lint_workspace, scorecard_json};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: cwf-lint [--json] [WORKSPACE_ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            other if root.is_none() && !other.starts_with('-') => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("cwf-lint: unknown argument `{other}`");
+                eprintln!("usage: cwf-lint [--json] [WORKSPACE_ROOT]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!("cwf-lint: `{}` does not look like a workspace root", root.display());
+        return ExitCode::FAILURE;
+    }
+
+    let (scanned, diags) = lint_workspace(&root);
+    if json {
+        let summary = [("files", scanned.len() as u64), ("diagnostics", diags.len() as u64)];
+        print!("{}", scorecard_json("source", &scanned, &summary, &diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        println!(
+            "cwf-lint: {} files scanned, {} diagnostic{}",
+            scanned.len(),
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" }
+        );
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

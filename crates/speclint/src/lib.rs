@@ -1,0 +1,51 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Static analysis for the `cwfmem` workspace: two hand-rolled passes, no
+//! external dependencies.
+//!
+//! **Pass 1 — the spec model checker** ([`spec_lint`], surfaced as
+//! `cwfmem spec-lint`). Device specs are data (`specs/*.toml`), so a wrong
+//! spec is a silent simulation bug: a forgotten constraint does not fail
+//! any test, it just lets the scheduler issue commands a real device would
+//! reject. The pass treats each spec as a model and *proves* things about
+//! it instead of spot-checking values:
+//!
+//! * a reachability analysis over the per-bank command state machine
+//!   ([`dram_timing::BankStateMachine`]) — dead states, commands no rule
+//!   governs, constraints naming commands the device can never issue;
+//! * a constraint-coverage matrix: every command pair the DSL admits, at
+//!   every scope, must be covered by a constraint, widened from a broader
+//!   scope, enforced by a built-in channel checker, or carry an explicit
+//!   `[timing] exempt` annotation with a justification;
+//! * contradiction detection: windows that pairwise spacing already
+//!   implies, narrow-scope rules shadowed by broader ones, and the implied
+//!   inequalities `tRC >= tRAS + tRP` and `tRAS >= tRCD + tRTP`;
+//! * cross-spec conformance: a successor standard (DDR4 → DDR5) must not
+//!   lose coverage its predecessor had;
+//! * rule linkage: every constraint must map onto a generated
+//!   [`dram_timing::ProtocolChecker`] rule that the verify-layer oracle
+//!   knows about.
+//!
+//! **Pass 2 — the determinism lint** ([`source_lint`], surfaced as the
+//! `cwf-lint` binary). The simulator's contract is bit-reproducible
+//! output, so the lint scans workspace sources for the three classic ways
+//! Rust code goes nondeterministic: hash-ordered containers, wall-clock
+//! reads, and floating-point accumulator fields in statistics structs.
+//! Deliberate uses carry a `// cwf-lint: allow(<rule>) -- justification`
+//! comment; an allow without a justification is itself a diagnostic.
+//!
+//! Both passes share the [`report::Diagnostic`] vocabulary and the
+//! machine-readable `cwfmem.lint.v1` scorecard, and both exit nonzero on
+//! any diagnostic.
+
+pub mod report;
+pub mod source_lint;
+pub mod spec_lint;
+
+pub use report::{scorecard_json, sort_diagnostics, Code, Diagnostic};
+pub use source_lint::{lint_source, lint_workspace, ALLOW_RULES};
+pub use spec_lint::{
+    conformance_diagnostics, coverage_matrix, linkage_diagnostics, lint_spec, lint_specs,
+    required_cells, Cell, CellCoverage, CellScope, Coverage, CoverageSummary, SpecLintReport,
+};

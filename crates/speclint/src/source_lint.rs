@@ -1,0 +1,363 @@
+//! Pass 2 — the determinism lint behind the `cwf-lint` binary.
+//!
+//! The simulator's contract is bit-reproducible output: the same trace and
+//! config must produce byte-identical `cwfmem.run.v1` reports on every
+//! run and every platform. This pass is a token-level scanner over the
+//! workspace sources for the three classic ways Rust code silently breaks
+//! that contract:
+//!
+//! * **DL201** `HashMap`/`HashSet` — `RandomState` hashing makes iteration
+//!   order differ between runs, so any result that folds over one is
+//!   nondeterministic. Result-affecting paths use `BTreeMap`/`BTreeSet`;
+//!   keyed-lookup-only uses may stay on the hash tables with an allow.
+//! * **DL202** `Instant::now`/`SystemTime` — wall-clock reads belong in
+//!   the bench crate only (which is skipped wholesale).
+//! * **DL203** `f32`/`f64` *fields* in structs named `*Stats*`/`*Metrics*`
+//!   — float accumulators make results depend on summation order. Derived
+//!   quantities should be computed once from integer counters (and say so
+//!   in an allow justification).
+//!
+//! Deliberate uses are annotated in place:
+//!
+//! ```text
+//! // cwf-lint: allow(hash-container) -- keyed lookups only, never iterated
+//! ```
+//!
+//! on the flagged line or the line above. The justification is mandatory;
+//! an allow without one (or naming an unknown rule) is **DL204**, so the
+//! escape hatch cannot decay into a silencer.
+//!
+//! The scanner strips string literals and comments before matching, skips
+//! `#[cfg(test)]` modules/items, and skips `tests/`, `benches/` and
+//! `examples/` directories — test internals may hash freely.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::report::{sort_diagnostics, Code, Diagnostic};
+
+/// Rule names accepted by `cwf-lint: allow(...)`, matching the `DL2xx`
+/// slugs.
+pub const ALLOW_RULES: [&str; 3] = ["hash-container", "wall-clock", "float-accum"];
+
+/// A parsed allow comment: which rule it waives, and whether the waiver
+/// carried the mandatory justification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Allow {
+    rule: String,
+    justified: bool,
+}
+
+/// Parse a `// cwf-lint: allow(<rule>) -- justification` comment out of a
+/// raw source line, if present. The directive must be the *start* of a
+/// line comment — prose that merely mentions the syntax (like this doc
+/// comment) is not a directive.
+fn parse_allow(line: &str) -> Option<Allow> {
+    let slashes = line.find("//")?;
+    let content = line[slashes..].trim_start_matches(['/', '!']).trim_start();
+    let rest = content.strip_prefix("cwf-lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let inner = rest.strip_prefix('(')?;
+    let close = inner.find(')')?;
+    let rule = inner[..close].trim().to_string();
+    let tail = inner[close + 1..].trim_start().trim_start_matches(['-', ':', '—']).trim();
+    Some(Allow { rule, justified: !tail.is_empty() })
+}
+
+/// Strip line/block comments and string/char literals from one line,
+/// carrying block-comment state across lines. Keeps the stripped spans as
+/// spaces so byte offsets stay meaningful.
+fn strip_line(raw: &str, in_block: &mut usize) -> String {
+    let bytes: Vec<char> = raw.chars().collect();
+    let mut out = String::with_capacity(raw.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if *in_block > 0 {
+            if bytes[i] == '*' && i + 1 < bytes.len() && bytes[i + 1] == '/' {
+                *in_block -= 1;
+                i += 2;
+            } else if bytes[i] == '/' && i + 1 < bytes.len() && bytes[i + 1] == '*' {
+                *in_block += 1;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            out.push(' ');
+            continue;
+        }
+        match bytes[i] {
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '/' => break,
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '*' => {
+                *in_block = 1;
+                i += 2;
+                out.push(' ');
+            }
+            '"' => {
+                // String literal: consume to the closing quote.
+                out.push(' ');
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == '\\' {
+                        i += 2;
+                    } else if bytes[i] == '"' {
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '\'' => {
+                // Char literal ('x', '\n', even '"') vs. lifetime ('a).
+                // A literal always closes within a few chars; a lifetime
+                // has no closing quote nearby.
+                let end = bytes[i + 1..].iter().take(4).position(|&c| c == '\'').map(|p| i + 1 + p);
+                if let Some(end) = end {
+                    for _ in i..=end {
+                        out.push(' ');
+                    }
+                    i = end + 1;
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether `code` contains `token` as a standalone identifier.
+fn has_token(code: &str, token: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(token) {
+        let at = from + pos;
+        let before_ok = at == 0
+            || !code[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + token.len();
+        let after_ok = after >= code.len()
+            || !code[after..].chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + token.len();
+    }
+    false
+}
+
+fn brace_delta(code: &str) -> i64 {
+    let mut d = 0;
+    for c in code.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Lint one source file's text. `target` is the path reported in
+/// diagnostics (workspace-relative by convention).
+#[must_use]
+pub fn lint_source(target: &str, text: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut in_block = 0usize; // block-comment nesting
+    let mut depth: i64 = 0; // brace depth
+    let mut cfg_test_pending = false; // saw #[cfg(test)], awaiting its item
+    let mut skip_above: Option<i64> = None; // inside a cfg(test) item body
+    let mut stats_struct: Option<(String, i64)> = None; // inside *Stats*/*Metrics* struct
+    let mut prev_allow: Option<Allow> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line_allow = parse_allow(raw);
+        if let Some(a) = &line_allow {
+            if !ALLOW_RULES.contains(&a.rule.as_str()) {
+                diags.push(Diagnostic::new(
+                    Code::BadAllow,
+                    format!("{target}:{lineno}"),
+                    a.rule.clone(),
+                    format!(
+                        "unknown allow rule `{}`; valid rules: {}",
+                        a.rule,
+                        ALLOW_RULES.join(", ")
+                    ),
+                ));
+            } else if !a.justified {
+                diags.push(Diagnostic::new(
+                    Code::BadAllow,
+                    format!("{target}:{lineno}"),
+                    a.rule.clone(),
+                    "allow comment has no justification; write \
+                     `cwf-lint: allow(<rule>) -- why this use is deterministic`"
+                        .to_string(),
+                ));
+            }
+        }
+        let code = strip_line(raw, &mut in_block);
+        let depth_before = depth;
+        depth += brace_delta(&code);
+
+        // End of a skipped cfg(test) item or a tracked struct.
+        if let Some(above) = skip_above {
+            if depth <= above {
+                skip_above = None;
+            }
+            prev_allow = line_allow;
+            continue;
+        }
+        if let Some((_, sdepth)) = &stats_struct {
+            if depth <= *sdepth {
+                stats_struct = None;
+            }
+        }
+
+        let trimmed = code.trim();
+        if trimmed.contains("#[cfg(test)]") {
+            cfg_test_pending = true;
+            prev_allow = line_allow;
+            continue;
+        }
+        if cfg_test_pending && !trimmed.is_empty() {
+            if trimmed.starts_with("#[") {
+                // Another attribute between #[cfg(test)] and the item.
+            } else if depth > depth_before {
+                // The item opened a body on this line: skip until it closes.
+                skip_above = Some(depth_before);
+                cfg_test_pending = false;
+                prev_allow = line_allow;
+                continue;
+            } else if trimmed.ends_with(';') {
+                // A bodyless cfg(test) item (use, type alias, ...).
+                cfg_test_pending = false;
+                prev_allow = line_allow;
+                continue;
+            }
+        }
+
+        let allowed = |rule: &str| {
+            let hit = |a: &Option<Allow>| a.as_ref().is_some_and(|a| a.rule == rule && a.justified);
+            hit(&line_allow) || hit(&prev_allow)
+        };
+
+        if (has_token(&code, "HashMap") || has_token(&code, "HashSet"))
+            && !allowed("hash-container")
+        {
+            diags.push(Diagnostic::new(
+                Code::HashContainer,
+                format!("{target}:{lineno}"),
+                if has_token(&code, "HashMap") { "HashMap" } else { "HashSet" }.to_string(),
+                "hash-container iteration order is nondeterministic; use \
+                 BTreeMap/BTreeSet, or justify with \
+                 `cwf-lint: allow(hash-container) -- ...` if it is never iterated"
+                    .to_string(),
+            ));
+        }
+        if (code.contains("Instant::now") || has_token(&code, "SystemTime"))
+            && !allowed("wall-clock")
+        {
+            diags.push(Diagnostic::new(
+                Code::WallClock,
+                format!("{target}:{lineno}"),
+                if code.contains("Instant::now") { "Instant::now" } else { "SystemTime" }
+                    .to_string(),
+                "wall-clock reads make results timing-dependent; simulated time \
+                 only (the bench crate is the one sanctioned user)"
+                    .to_string(),
+            ));
+        }
+
+        // Track statistics structs for the float-accumulator check.
+        match &stats_struct {
+            None => {
+                if let Some(pos) = trimmed.find("struct ") {
+                    let head = &trimmed[..pos];
+                    if head.trim().is_empty() || head.trim_end().ends_with("pub") {
+                        let name: String = trimmed[pos + "struct ".len()..]
+                            .chars()
+                            .take_while(|c| c.is_alphanumeric() || *c == '_')
+                            .collect();
+                        if (name.contains("Stats") || name.contains("Metrics"))
+                            && depth > depth_before
+                        {
+                            stats_struct = Some((name, depth_before));
+                        }
+                    }
+                }
+            }
+            Some((name, _))
+                if (code.contains(": f64") || code.contains(": f32"))
+                    && !allowed("float-accum") =>
+            {
+                diags.push(Diagnostic::new(
+                    Code::FloatAccum,
+                    format!("{target}:{lineno}"),
+                    name.clone(),
+                    format!(
+                        "float field in statistics struct `{name}`: accumulation order \
+                         changes the result; keep integer counters and derive floats at \
+                         report time (then justify with `cwf-lint: allow(float-accum) -- ...`)"
+                    ),
+                ));
+            }
+            Some(_) => {}
+        }
+
+        prev_allow = line_allow;
+    }
+    sort_diagnostics(&mut diags);
+    diags
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    let mut entries: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if matches!(name, "tests" | "benches" | "examples" | "target") {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lint the whole workspace rooted at `root`: the root binary's `src/` and
+/// every `crates/*/src/` except the bench crate (wall-clock is its job).
+/// Returns the files scanned (workspace-relative) and all diagnostics.
+#[must_use]
+pub fn lint_workspace(root: &Path) -> (Vec<String>, Vec<Diagnostic>) {
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files);
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates_dir) {
+        let mut krates: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        krates.sort();
+        for krate in krates {
+            let name = krate.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "bench" {
+                continue;
+            }
+            collect_rs(&krate.join("src"), &mut files);
+        }
+    }
+    let mut scanned = Vec::new();
+    let mut diags = Vec::new();
+    for path in files {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        let Ok(text) = fs::read_to_string(&path) else { continue };
+        diags.extend(lint_source(&rel, &text));
+        scanned.push(rel);
+    }
+    sort_diagnostics(&mut diags);
+    (scanned, diags)
+}

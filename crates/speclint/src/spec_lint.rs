@@ -1,0 +1,696 @@
+//! Pass 1 — the device-spec model checker behind `cwfmem spec-lint`.
+//!
+//! The pass is built around one object: the **coverage matrix**. From a
+//! spec's derived [`BankStateMachine`] it enumerates every command-pair
+//! cell the constraint DSL admits for that device (each pair at each
+//! scope, plus the rolling tFAW window cell and one `@channel` cell per
+//! issuable pair), then resolves how each cell is covered:
+//!
+//! * **constraint** — a spec constraint matches the cell exactly;
+//! * **widened** — a broader-scope constraint subsumes it (same-bank
+//!   implies same-bank-group implies same-rank, so a `@rank` spacing rule
+//!   covers the `@bank` cell for the same pair);
+//! * **builtin** — `@channel` cells are enforced by the hard-wired data-bus
+//!   occupancy and command-slot checkers, not by spec text;
+//! * **exempt** — the spec carries a justified `[timing] exempt` entry for
+//!   the cell;
+//! * **gap** — nothing covers it: diagnostic SL101 (or SL103 when a whole
+//!   protocol state's entry commands are uncovered).
+//!
+//! Everything else the pass proves (unused exempts, vacuous windows,
+//! shadowed rules, implied inequalities, conformance between standards,
+//! checker/oracle rule linkage) hangs off the same matrix and the same
+//! shape vocabulary the simulator itself uses, so the linter cannot drift
+//! from the spec parser: both sides call into `dram_timing`.
+
+use std::fmt;
+
+use cwf_verify::rules::linked_protocol_rules;
+use dram_timing::spec::IMPLIED_INEQUALITIES;
+use dram_timing::{
+    rule_for_constraint, AddressingStyle, BankStateMachine, CmdClass, ConstraintScope,
+    DeviceConfig, DeviceSpec, GeneratedRule, ProtocolChecker, Rule, SpecConstraint, SpecExempt,
+};
+
+use crate::report::{sort_diagnostics, Code, Diagnostic};
+
+/// Scope of a coverage cell. The first three mirror [`ConstraintScope`];
+/// `Channel` is wider than any constraint scope and is only ever covered
+/// by builtin checkers (the DSL deliberately has no `@channel` rules).
+///
+/// The derive order doubles as the containment order: two commands on the
+/// same bank are also on the same bank group, the same rank and the same
+/// channel, so a rule at a *greater* scope covers a cell at a lesser one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CellScope {
+    /// Same bank.
+    Bank,
+    /// Same bank group.
+    BankGroup,
+    /// Same rank.
+    Rank,
+    /// Same channel (shared command/address and data buses).
+    Channel,
+}
+
+impl CellScope {
+    /// Map a constraint's scope into the cell-scope lattice.
+    #[must_use]
+    pub fn of(scope: ConstraintScope) -> CellScope {
+        match scope {
+            ConstraintScope::Bank => CellScope::Bank,
+            ConstraintScope::BankGroup => CellScope::BankGroup,
+            ConstraintScope::Rank => CellScope::Rank,
+        }
+    }
+}
+
+impl fmt::Display for CellScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellScope::Bank => f.write_str("@bank"),
+            CellScope::BankGroup => f.write_str("@bank-group"),
+            CellScope::Rank => f.write_str("@rank"),
+            CellScope::Channel => f.write_str("@channel"),
+        }
+    }
+}
+
+/// The spec token for a command class (the DSL's spelling).
+#[must_use]
+pub(crate) fn cmd_token(cmd: CmdClass) -> &'static str {
+    match cmd {
+        CmdClass::Act => "act",
+        CmdClass::Pre => "pre",
+        CmdClass::Rd => "rd",
+        CmdClass::Wr => "wr",
+        CmdClass::RefSb => "refsb",
+    }
+}
+
+/// One cell of the coverage matrix: an admitted command pair at a scope.
+/// `window` is 1 for pairwise spacing and 4 for the rolling tFAW cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cell {
+    /// Earlier command class.
+    pub prev: CmdClass,
+    /// Later command class.
+    pub next: CmdClass,
+    /// Scope the pair shares.
+    pub scope: CellScope,
+    /// Rolling-window size (1 = pairwise).
+    pub window: u32,
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {} {}", cmd_token(self.prev), cmd_token(self.next), self.scope)?;
+        if self.window > 1 {
+            write!(f, " window={}", self.window)?;
+        }
+        Ok(())
+    }
+}
+
+/// How a cell of the matrix is covered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Coverage {
+    /// Covered by the constraint at this index (exact pair/scope match).
+    Constraint(usize),
+    /// Covered by the broader-scope constraint at this index.
+    Widened(usize),
+    /// Covered by a hard-wired channel-level checker.
+    Builtin(&'static str),
+    /// Deliberately uncovered: the exempt annotation at this index.
+    Exempt(usize),
+    /// Nothing covers it.
+    Gap,
+}
+
+/// One resolved cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellCoverage {
+    /// The cell.
+    pub cell: Cell,
+    /// Its resolved coverage.
+    pub coverage: Coverage,
+}
+
+/// Coverage-matrix tallies for one spec, reported in the scorecard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoverageSummary {
+    /// Cells covered by an exact constraint.
+    pub constraint: u64,
+    /// Cells covered by scope widening.
+    pub widened: u64,
+    /// Cells covered by builtin channel checkers.
+    pub builtin: u64,
+    /// Cells under a justified exempt annotation.
+    pub exempt: u64,
+    /// Uncovered cells (each one is a diagnostic).
+    pub gaps: u64,
+}
+
+/// Everything `lint_spec` proves about one spec.
+#[derive(Debug, Clone)]
+pub struct SpecLintReport {
+    /// The spec id.
+    pub target: String,
+    /// Coverage tallies.
+    pub summary: CoverageSummary,
+    /// All per-spec diagnostics, in stable report order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Enumerate every cell the constraint DSL admits for this device, derived
+/// from its [`BankStateMachine`]. Deterministic order: state-machine
+/// shapes first, channel cells last.
+#[must_use]
+pub fn required_cells(config: &DeviceConfig) -> Vec<Cell> {
+    use CmdClass::{Act, Pre, Rd, RefSb, Wr};
+    let machine = BankStateMachine::of(config);
+    let grouped = config.geometry.bank_groups > 1;
+    let mut cells = Vec::new();
+    let mut add = |prev, next, scope, window| cells.push(Cell { prev, next, scope, window });
+    match config.addressing {
+        AddressingStyle::RasCas => {
+            add(Act, Act, CellScope::Bank, 1);
+            if grouped {
+                add(Act, Act, CellScope::BankGroup, 1);
+            }
+            add(Act, Act, CellScope::Rank, 1);
+            add(Act, Act, CellScope::Rank, 4);
+            add(Act, Rd, CellScope::Bank, 1);
+            add(Act, Wr, CellScope::Bank, 1);
+            add(Pre, Act, CellScope::Bank, 1);
+            add(Act, Pre, CellScope::Bank, 1);
+            add(Rd, Pre, CellScope::Bank, 1);
+            add(Wr, Pre, CellScope::Bank, 1);
+            for prev in [Rd, Wr] {
+                for next in [Rd, Wr] {
+                    add(prev, next, CellScope::Bank, 1);
+                    if grouped {
+                        add(prev, next, CellScope::BankGroup, 1);
+                    }
+                    add(prev, next, CellScope::Rank, 1);
+                }
+            }
+            if config.refresh_per_bank {
+                add(Pre, RefSb, CellScope::Bank, 1);
+            }
+        }
+        AddressingStyle::SingleCommand => {
+            for prev in [Rd, Wr] {
+                for next in [Rd, Wr] {
+                    add(prev, next, CellScope::Bank, 1);
+                }
+            }
+            if config.refresh_per_bank {
+                add(Rd, RefSb, CellScope::Bank, 1);
+                add(Wr, RefSb, CellScope::Bank, 1);
+            }
+        }
+    }
+    // Channel-level spacing exists for every issuable pair, but is owned by
+    // the hard-wired bus checkers rather than spec text.
+    let cmds = machine.commands();
+    for &prev in &cmds {
+        for &next in &cmds {
+            add(prev, next, CellScope::Channel, 1);
+        }
+    }
+    cells
+}
+
+/// Resolve one cell against the spec's constraints and exempts, with the
+/// precedence constraint > widened > builtin > exempt > gap.
+fn cover_of(cell: Cell, constraints: &[SpecConstraint], exempts: &[SpecExempt]) -> Coverage {
+    if cell.scope == CellScope::Channel {
+        return Coverage::Builtin("data-bus occupancy / command-slot checkers");
+    }
+    let pair = |c: &SpecConstraint| c.prev == cell.prev && c.next == cell.next;
+    if let Some(i) = constraints
+        .iter()
+        .position(|c| pair(c) && CellScope::of(c.scope) == cell.scope && c.window == cell.window)
+    {
+        return Coverage::Constraint(i);
+    }
+    // Widening only applies to pairwise cells: the tFAW window cell needs
+    // an explicit window rule.
+    if cell.window == 1 {
+        if let Some(i) = constraints
+            .iter()
+            .position(|c| pair(c) && c.window == 1 && CellScope::of(c.scope) > cell.scope)
+        {
+            return Coverage::Widened(i);
+        }
+    }
+    if let Some(i) = exempts.iter().position(|e| match e {
+        SpecExempt::Pair { prev, next, scope, .. } => {
+            *prev == cell.prev && *next == cell.next && CellScope::of(*scope) == cell.scope
+        }
+        SpecExempt::Inequality { .. } => false,
+    }) {
+        return Coverage::Exempt(i);
+    }
+    Coverage::Gap
+}
+
+/// Build the resolved coverage matrix for one spec.
+#[must_use]
+pub fn coverage_matrix(spec: &DeviceSpec) -> Vec<CellCoverage> {
+    required_cells(&spec.config)
+        .into_iter()
+        .map(|cell| CellCoverage {
+            cell,
+            coverage: cover_of(cell, &spec.config.constraints, &spec.exempts),
+        })
+        .collect()
+}
+
+fn exempt_subject(e: &SpecExempt) -> String {
+    match e {
+        SpecExempt::Pair { prev, next, scope, .. } => {
+            format!("{} -> {} {}", cmd_token(*prev), cmd_token(*next), CellScope::of(*scope))
+        }
+        SpecExempt::Inequality { name, .. } => name.clone(),
+    }
+}
+
+/// The rule-linkage check (SL109), as a pure function so tests can feed it
+/// doctored rule tables: every constraint must map onto exactly one entry
+/// of the checker's generated rule table, and every generated rule must be
+/// a variant the verify-layer oracle is linked against.
+#[must_use]
+pub fn linkage_diagnostics(
+    target: &str,
+    constraints: &[SpecConstraint],
+    addressing: AddressingStyle,
+    generated: &[GeneratedRule],
+    linked: &[Rule],
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if !constraints.is_empty() && generated.len() != constraints.len() {
+        diags.push(Diagnostic::new(
+            Code::RuleLinkage,
+            target,
+            "rule table",
+            format!(
+                "the protocol checker generated {} rules for {} constraints; \
+                 the table must be one-to-one",
+                generated.len(),
+                constraints.len()
+            ),
+        ));
+    }
+    for c in constraints {
+        let expected = rule_for_constraint(c, addressing);
+        let hit = generated.iter().any(|g| {
+            g.rule == expected
+                && g.next == c.next
+                && g.scope == c.scope
+                && g.cycles == u64::from(c.cycles)
+                && g.window == c.window
+        });
+        if !hit {
+            diags.push(Diagnostic::new(
+                Code::RuleLinkage,
+                target,
+                c.name.clone(),
+                format!(
+                    "constraint `{}` should generate a {expected} checker rule \
+                     ({} -> {} {} {} cycles), but no matching rule is in the table",
+                    c.name,
+                    cmd_token(c.prev),
+                    cmd_token(c.next),
+                    CellScope::of(c.scope),
+                    c.cycles
+                ),
+            ));
+        }
+    }
+    for g in generated {
+        if !linked.contains(&g.rule) {
+            diags.push(Diagnostic::new(
+                Code::RuleLinkage,
+                target,
+                format!("{}", g.rule),
+                format!(
+                    "generated rule {} is not in the verify-layer oracle's linked \
+                     rule list; add it to `linked_protocol_rules()`",
+                    g.rule
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+/// Lint one spec: reachability, coverage, contradictions, rule linkage.
+/// Cross-spec conformance lives in [`conformance_diagnostics`].
+#[must_use]
+pub fn lint_spec(spec: &DeviceSpec) -> SpecLintReport {
+    use Coverage::{Builtin, Constraint, Exempt, Gap, Widened};
+    let cfg = &spec.config;
+    let target = spec.id.as_str();
+    let machine = spec.state_machine();
+    let issuable = machine.commands();
+    let mut diags = Vec::new();
+
+    // SL104 — constraints naming commands the machine can never issue.
+    for c in &cfg.constraints {
+        if let Some(cmd) = [c.prev, c.next].into_iter().find(|cmd| !issuable.contains(cmd)) {
+            diags.push(Diagnostic::new(
+                Code::UnreachableRule,
+                target,
+                c.name.clone(),
+                format!(
+                    "constraint `{}` references `{}`, which this device can never issue \
+                     ({} addressing, per-bank refresh {}); the generated checker rule \
+                     is dead — delete the constraint or fix the device section",
+                    c.name,
+                    cmd_token(cmd),
+                    match cfg.addressing {
+                        AddressingStyle::RasCas => "ras-cas",
+                        AddressingStyle::SingleCommand => "single-command",
+                    },
+                    cfg.refresh_per_bank
+                ),
+            ));
+        }
+    }
+
+    // SL103 (dead state) — defensive: `BankStateMachine::of` cannot
+    // currently produce one, but the walk is what the pass promises.
+    let reachable = machine.reachable();
+    for &s in &machine.states {
+        if !reachable.contains(&s) {
+            diags.push(Diagnostic::new(
+                Code::OrphanedState,
+                target,
+                s.to_string(),
+                format!("state `{s}` is unreachable from power-on"),
+            ));
+        }
+    }
+
+    // Coverage matrix + orphaned-state subsumption: when *every* cell for
+    // the commands entering a state is a gap, the state as a whole is
+    // unmodelled — report that once (SL103) instead of one SL101 per cell.
+    let matrix = coverage_matrix(spec);
+    let mut orphaned_entries: Vec<CmdClass> = Vec::new();
+    for &s in &machine.states {
+        if s == machine.initial || !reachable.contains(&s) {
+            continue;
+        }
+        let entering = machine.entering(s);
+        let entry_cells: Vec<&CellCoverage> = matrix
+            .iter()
+            .filter(|cc| cc.cell.scope != CellScope::Channel && entering.contains(&cc.cell.next))
+            .collect();
+        if !entry_cells.is_empty() && entry_cells.iter().all(|cc| cc.coverage == Gap) {
+            let cmds: Vec<&str> = entering.iter().map(|&c| cmd_token(c)).collect();
+            diags.push(Diagnostic::new(
+                Code::OrphanedState,
+                target,
+                s.to_string(),
+                format!(
+                    "no timing constraint governs any command entering state `{s}` \
+                     ({}); the state is effectively unmodelled",
+                    cmds.join(", ")
+                ),
+            ));
+            orphaned_entries.extend(entering);
+        }
+    }
+    for cc in &matrix {
+        if cc.coverage == Gap && !orphaned_entries.contains(&cc.cell.next) {
+            diags.push(Diagnostic::new(
+                Code::CoverageGap,
+                target,
+                cc.cell.to_string(),
+                format!(
+                    "admitted pair `{}` has no constraint, no broader-scope rule and \
+                     no builtin checker; add a constraint or an explicit \
+                     `exempt` entry with a justification",
+                    cc.cell
+                ),
+            ));
+        }
+    }
+
+    // Exempt usage: a pair exempt is used when some cell resolved through
+    // it; an inequality exempt is used when the inequality really fails.
+    let mut exempt_used = vec![false; spec.exempts.len()];
+    for cc in &matrix {
+        if let Exempt(i) = cc.coverage {
+            exempt_used[i] = true;
+        }
+    }
+
+    // SL107 — implied inequalities over the derived scalar timings,
+    // checked only when every referenced rule is actually present (a
+    // *missing* rule is a coverage problem, not a contradiction).
+    if cfg.addressing == AddressingStyle::RasCas {
+        let present: Vec<Rule> =
+            cfg.constraints.iter().map(|c| rule_for_constraint(c, cfg.addressing)).collect();
+        let t = &cfg.timings;
+        let checks: [(&str, u32, u32, String, [Rule; 3]); 2] = [
+            (
+                IMPLIED_INEQUALITIES[0],
+                t.t_rc,
+                t.t_ras + t.t_rp,
+                format!("tRC ({}) < tRAS + tRP ({} + {})", t.t_rc, t.t_ras, t.t_rp),
+                [Rule::TRc, Rule::TRas, Rule::TRp],
+            ),
+            (
+                IMPLIED_INEQUALITIES[1],
+                t.t_ras,
+                t.t_rcd + t.t_rtp,
+                format!("tRAS ({}) < tRCD + tRTP ({} + {})", t.t_ras, t.t_rcd, t.t_rtp),
+                [Rule::TRas, Rule::TRcd, Rule::TRtp],
+            ),
+        ];
+        for (name, lhs, rhs, detail, rules) in checks {
+            if !rules.iter().all(|r| present.contains(r)) {
+                continue;
+            }
+            if lhs >= rhs {
+                continue;
+            }
+            match spec
+                .exempts
+                .iter()
+                .position(|e| matches!(e, SpecExempt::Inequality { name: n, .. } if n == name))
+            {
+                Some(i) => exempt_used[i] = true,
+                None => diags.push(Diagnostic::new(
+                    Code::ImpliedInequality,
+                    target,
+                    name,
+                    format!(
+                        "{detail}: the activate-to-activate cycle cannot cover the row's \
+                         open time plus its closing; fix the values or waive with an \
+                         `exempt` entry naming `{name}`"
+                    ),
+                )),
+            }
+        }
+    }
+
+    // SL102 — exempts that no longer match anything.
+    for (i, e) in spec.exempts.iter().enumerate() {
+        if !exempt_used[i] {
+            diags.push(Diagnostic::new(
+                Code::UnusedExempt,
+                target,
+                exempt_subject(e),
+                match e {
+                    SpecExempt::Pair { .. } => {
+                        "exempt matches no coverage gap (the cell is covered or not \
+                         admitted); delete the stale annotation"
+                    }
+                    SpecExempt::Inequality { .. } => {
+                        "the waived inequality holds (or its rules are absent); delete \
+                         the stale annotation"
+                    }
+                }
+                .to_string(),
+            ));
+        }
+    }
+
+    // SL105 — a window rule pairwise spacing already implies: issuing
+    // window-1 commands at the pairwise minimum spacing always satisfies
+    // the window, so the rule can never bind.
+    for c in &cfg.constraints {
+        if c.window <= 1 {
+            continue;
+        }
+        let implied_by = cfg.constraints.iter().find(|p| {
+            p.prev == c.prev
+                && p.next == c.next
+                && p.window == 1
+                && CellScope::of(p.scope) >= CellScope::of(c.scope)
+                && c.cycles <= (c.window - 1) * p.cycles
+        });
+        if let Some(p) = implied_by {
+            diags.push(Diagnostic::new(
+                Code::VacuousWindow,
+                target,
+                c.name.clone(),
+                format!(
+                    "window rule `{}` ({} cycles over {} commands) is implied by \
+                     pairwise `{}` ({} cycles): {} x {} >= {} always holds, so the \
+                     window can never bind",
+                    c.name,
+                    c.cycles,
+                    c.window,
+                    p.name,
+                    p.cycles,
+                    c.window - 1,
+                    p.cycles,
+                    c.cycles
+                ),
+            ));
+        }
+    }
+
+    // SL106 — a narrow-scope rule fully shadowed by an equal-or-longer
+    // broader-scope rule for the same pair and reference point.
+    for c in &cfg.constraints {
+        if c.window != 1 {
+            continue;
+        }
+        let shadow = cfg.constraints.iter().find(|d| {
+            d.prev == c.prev
+                && d.next == c.next
+                && d.from == c.from
+                && d.window == 1
+                && CellScope::of(d.scope) > CellScope::of(c.scope)
+                && d.cycles >= c.cycles
+        });
+        if let Some(d) = shadow {
+            diags.push(Diagnostic::new(
+                Code::ShadowedConstraint,
+                target,
+                c.name.clone(),
+                format!(
+                    "`{}` ({} {} cycles) can never bind: the broader `{}` ({} {} cycles) \
+                     always imposes at least as much spacing on the same pair",
+                    c.name,
+                    CellScope::of(c.scope),
+                    c.cycles,
+                    d.name,
+                    CellScope::of(d.scope),
+                    d.cycles
+                ),
+            ));
+        }
+    }
+
+    // SL109 — static table vs. dynamic checker vs. verify-layer oracle.
+    let generated = ProtocolChecker::new(cfg.clone(), 1).generated_rules();
+    diags.extend(linkage_diagnostics(
+        target,
+        &cfg.constraints,
+        cfg.addressing,
+        &generated,
+        linked_protocol_rules(),
+    ));
+
+    let mut summary = CoverageSummary::default();
+    for cc in &matrix {
+        match cc.coverage {
+            Constraint(_) => summary.constraint += 1,
+            Widened(_) => summary.widened += 1,
+            Builtin(_) => summary.builtin += 1,
+            Exempt(_) => summary.exempt += 1,
+            Gap => summary.gaps += 1,
+        }
+    }
+    sort_diagnostics(&mut diags);
+    SpecLintReport { target: target.to_string(), summary, diagnostics: diags }
+}
+
+/// The declared conformance chains: each successor standard must cover
+/// everything its predecessor's constraints cover.
+pub const CONFORMANCE_CHAIN: [(&str, &str); 3] =
+    [("ddr3_1600", "ddr4_2400"), ("ddr4_2400", "ddr5_4800"), ("lpddr2_800", "lpddr4_3200")];
+
+/// Cells a given standard's generation is required to make *explicit*
+/// (exact constraints, not widened covers): bank-grouped standards must
+/// price same-group activates separately, and DDR5 must rule its same-bank
+/// refresh.
+fn required_explicit(id: &str) -> &'static [(CmdClass, CmdClass, CellScope)] {
+    use CmdClass::{Act, Pre, RefSb};
+    match id {
+        "ddr4_2400" => &[(Act, Act, CellScope::BankGroup)],
+        "ddr5_4800" => &[(Act, Act, CellScope::BankGroup), (Pre, RefSb, CellScope::Bank)],
+        _ => &[],
+    }
+}
+
+/// Cross-spec conformance (SL108) over whatever subset of the chain is
+/// present in `specs`, plus each spec's required-explicit cells.
+#[must_use]
+pub fn conformance_diagnostics(specs: &[DeviceSpec]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (base_id, succ_id) in CONFORMANCE_CHAIN {
+        let base = specs.iter().find(|s| s.id == base_id);
+        let succ = specs.iter().find(|s| s.id == succ_id);
+        let (Some(base), Some(succ)) = (base, succ) else { continue };
+        let succ_matrix = coverage_matrix(succ);
+        for cc in coverage_matrix(base) {
+            if cc.cell.scope == CellScope::Channel
+                || !matches!(cc.coverage, Coverage::Constraint(_) | Coverage::Widened(_))
+            {
+                continue;
+            }
+            let covered = succ_matrix.iter().any(|sc| {
+                sc.cell == cc.cell
+                    && matches!(sc.coverage, Coverage::Constraint(_) | Coverage::Widened(_))
+            });
+            if !covered {
+                diags.push(Diagnostic::new(
+                    Code::ConformanceGap,
+                    succ_id,
+                    cc.cell.to_string(),
+                    format!(
+                        "`{}` is constraint-covered in {base_id} but not here; a \
+                         successor standard must not lose its predecessor's coverage",
+                        cc.cell
+                    ),
+                ));
+            }
+        }
+    }
+    for spec in specs {
+        let matrix = coverage_matrix(spec);
+        for &(prev, next, scope) in required_explicit(&spec.id) {
+            let cell = Cell { prev, next, scope, window: 1 };
+            let explicit = matrix
+                .iter()
+                .any(|cc| cc.cell == cell && matches!(cc.coverage, Coverage::Constraint(_)));
+            if !explicit {
+                diags.push(Diagnostic::new(
+                    Code::ConformanceGap,
+                    spec.id.clone(),
+                    cell.to_string(),
+                    format!(
+                        "this standard must carry an explicit `{cell}` constraint \
+                         (a widened cover would erase its generation's distinct timing)"
+                    ),
+                ));
+            }
+        }
+    }
+    sort_diagnostics(&mut diags);
+    diags
+}
+
+/// Lint a set of specs: per-spec reports plus cross-spec conformance.
+#[must_use]
+pub fn lint_specs(specs: &[DeviceSpec]) -> (Vec<SpecLintReport>, Vec<Diagnostic>) {
+    (specs.iter().map(lint_spec).collect(), conformance_diagnostics(specs))
+}

@@ -1,0 +1,63 @@
+//! Golden scorecards for the shipped spec set: all six device specs lint
+//! clean, with the exact coverage-matrix tallies recorded here. A spec
+//! edit that opens a gap, strands an exempt or changes the admitted cell
+//! set must update this table consciously.
+
+use cwf_speclint::{lint_specs, scorecard_json, CoverageSummary};
+use dram_timing::DeviceSpec;
+
+/// (file, constraint cells, widened, builtin, exempt) — gaps are always 0.
+const GOLDEN: [(&str, u64, u64, u64, u64); 6] = [
+    ("ddr3_1600.toml", 14, 0, 16, 3),
+    ("ddr4_2400.toml", 18, 4, 16, 0),
+    ("ddr5_4800.toml", 19, 4, 25, 0),
+    ("lpddr2_800.toml", 14, 0, 16, 3),
+    ("lpddr4_3200.toml", 14, 0, 16, 3),
+    ("rldram3.toml", 6, 0, 9, 0),
+];
+
+fn shipped_specs() -> Vec<DeviceSpec> {
+    GOLDEN
+        .iter()
+        .map(|(file, ..)| {
+            let path =
+                std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs").join(file);
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("specs/{file} readable: {e}"));
+            DeviceSpec::load_str(&text).unwrap_or_else(|e| panic!("specs/{file} parses: {e}"))
+        })
+        .collect()
+}
+
+#[test]
+fn shipped_specs_lint_clean_with_golden_tallies() {
+    let specs = shipped_specs();
+    let (reports, conformance) = lint_specs(&specs);
+    assert!(conformance.is_empty(), "cross-spec conformance: {conformance:?}");
+    for (report, &(file, constraint, widened, builtin, exempt)) in reports.iter().zip(&GOLDEN) {
+        assert!(report.diagnostics.is_empty(), "{file} must lint clean: {:?}", report.diagnostics);
+        let expected = CoverageSummary { constraint, widened, builtin, exempt, gaps: 0 };
+        assert_eq!(report.summary, expected, "{file} coverage tallies drifted");
+    }
+}
+
+#[test]
+fn clean_scorecard_is_stable() {
+    let specs = shipped_specs();
+    let (reports, conformance) = lint_specs(&specs);
+    let targets: Vec<String> = reports.iter().map(|r| r.target.clone()).collect();
+    let cells: u64 = reports
+        .iter()
+        .map(|r| {
+            let s = &r.summary;
+            s.constraint + s.widened + s.builtin + s.exempt + s.gaps
+        })
+        .sum();
+    let mut diags: Vec<_> = reports.iter().flat_map(|r| r.diagnostics.iter().cloned()).collect();
+    diags.extend(conformance);
+    let json = scorecard_json("spec", &targets, &[("specs", 6), ("cells", cells)], &diags);
+    assert!(json.contains("\"schema\": \"cwfmem.lint.v1\""));
+    assert!(json.contains("\"ddr5_4800\""));
+    assert!(json.contains("\"cells\": 200"), "total admitted cells drifted:\n{json}");
+    assert!(json.contains("\"clean\": true"));
+}

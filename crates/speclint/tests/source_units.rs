@@ -1,0 +1,118 @@
+//! Unit tests for the determinism lint (`cwf-lint`): every DL2xx code
+//! proven non-vacuous on synthetic snippets, every escape hatch shown to
+//! silence exactly what it claims, and the shipped workspace held clean.
+
+use std::path::Path;
+
+use cwf_speclint::{lint_source, lint_workspace, Code, ALLOW_RULES};
+
+#[test]
+fn hash_containers_flagged() {
+    let src = "use std::collections::HashMap;\n\
+               fn f() -> HashMap<u32, u32> { HashMap::new() }\n\
+               fn g() -> std::collections::HashSet<u64> { Default::default() }\n";
+    let diags = lint_source("x.rs", src);
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(diags.iter().all(|d| d.code == Code::HashContainer));
+    assert_eq!(diags[0].target, "x.rs:1");
+    assert_eq!(diags[2].subject, "HashSet");
+}
+
+#[test]
+fn justified_allow_silences_same_line_and_line_above() {
+    let src = "use std::collections::HashMap; // cwf-lint: allow(hash-container) -- keyed only\n\
+               // cwf-lint: allow(hash-container) -- keyed lookups, never iterated\n\
+               fn f() -> HashMap<u32, u32> { HashMap::new() }\n";
+    let diags = lint_source("x.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn allow_without_justification_is_dl204_and_does_not_silence() {
+    let src = "// cwf-lint: allow(hash-container)\n\
+               use std::collections::HashMap;\n";
+    let diags = lint_source("x.rs", src);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert_eq!(diags[0].code, Code::BadAllow);
+    assert_eq!(diags[1].code, Code::HashContainer);
+}
+
+#[test]
+fn unknown_allow_rule_is_dl204() {
+    let src = "// cwf-lint: allow(rayon) -- sounds fast\nfn f() {}\n";
+    let diags = lint_source("x.rs", src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, Code::BadAllow);
+    assert_eq!(diags[0].subject, "rayon");
+    for rule in ALLOW_RULES {
+        assert!(diags[0].message.contains(rule), "message lists valid rules");
+    }
+}
+
+#[test]
+fn wall_clock_reads_flagged() {
+    let src = "fn f() -> std::time::Instant { std::time::Instant::now() }\n\
+               use std::time::SystemTime;\n";
+    let diags = lint_source("x.rs", src);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags.iter().all(|d| d.code == Code::WallClock));
+    assert_eq!(diags[0].subject, "Instant::now");
+    assert_eq!(diags[1].subject, "SystemTime");
+}
+
+#[test]
+fn float_fields_flagged_only_in_stats_structs() {
+    let stats = "pub struct ChannelStats {\n    pub reads: u64,\n    pub mean_ns: f64,\n}\n";
+    let diags = lint_source("x.rs", stats);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, Code::FloatAccum);
+    assert_eq!(diags[0].subject, "ChannelStats");
+    assert_eq!(diags[0].target, "x.rs:3");
+
+    let config = "pub struct Knobs {\n    pub ratio: f64,\n}\n";
+    assert!(lint_source("x.rs", config).is_empty(), "non-stats structs may hold floats");
+
+    let after = "pub struct SumMetrics {\n    pub n: u64,\n}\nfn f() -> f64 { 0.0 }\n\
+                 struct Plain { x: f64 }\n";
+    assert!(lint_source("x.rs", after).is_empty(), "tracking ends when the struct closes");
+
+    let allowed = "pub struct RunStats {\n\
+                   \x20   // cwf-lint: allow(float-accum) -- derived once at snapshot time\n\
+                   \x20   pub mean: f64,\n}\n";
+    assert!(lint_source("x.rs", allowed).is_empty(), "justified allow silences DL203");
+}
+
+#[test]
+fn cfg_test_items_are_skipped() {
+    let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n\
+               \x20   fn f() -> HashMap<u32, u32> { HashMap::new() }\n}\n";
+    assert!(lint_source("x.rs", src).is_empty(), "test internals may hash freely");
+
+    let after = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n\
+                 use std::collections::HashSet;\n";
+    let diags = lint_source("x.rs", after);
+    assert_eq!(diags.len(), 1, "scanning resumes after the test module: {diags:?}");
+    assert_eq!(diags[0].target, "x.rs:5");
+}
+
+#[test]
+fn strings_and_comments_are_stripped() {
+    let src = "fn f() -> &'static str { \"HashMap\" } // HashMap commentary\n\
+               /* HashMap in a block\n   HashMap still in it */ fn g() {}\n";
+    assert!(lint_source("x.rs", src).is_empty());
+}
+
+/// The shipped workspace itself passes the determinism lint: every hash
+/// container, wall-clock read and float accumulator outside the bench
+/// crate is either converted or carries a justified allow.
+#[test]
+fn shipped_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (files, diags) = lint_workspace(&root);
+    assert!(files.len() >= 50, "expected a whole-workspace scan, got {} files", files.len());
+    assert!(
+        files.iter().any(|f| f == "src/main.rs"),
+        "root binary sources are in scope: {files:?}"
+    );
+    assert!(diags.is_empty(), "workspace determinism lint must stay clean: {diags:?}");
+}

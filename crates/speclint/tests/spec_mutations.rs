@@ -1,0 +1,292 @@
+//! Seeded-mutation tests for the spec model checker: inject each
+//! inconsistency class into a shipped spec and assert the linter emits
+//! exactly the intended diagnostic — no silence, no collateral noise.
+//!
+//! The mutation base is the DDR4-2400 spec: it is bank-grouped (so every
+//! scope level is exercised), carries no exempt annotations (so unused-
+//! exempt can't fire as a side effect), and its tRAS/tRCD/tRTP values
+//! leave headroom on both sides of the implied inequalities.
+
+use cwf_speclint::{
+    conformance_diagnostics, linkage_diagnostics, lint_spec, lint_specs, Code, SpecLintReport,
+};
+use cwf_verify::rules::linked_protocol_rules;
+use dram_timing::spec::IMPLIED_INEQUALITIES;
+use dram_timing::{DeviceSpec, ProtocolChecker};
+use proptest::prelude::*;
+
+fn spec_text(file: &str) -> String {
+    std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs").join(file),
+    )
+    .unwrap_or_else(|e| panic!("specs/{file} readable: {e}"))
+}
+
+/// Replace the first occurrence of `from` with `to`, asserting it exists
+/// (so a spec-file reword can't silently turn a mutation into a no-op).
+fn mutate(text: &str, from: &str, to: &str) -> String {
+    assert!(text.contains(from), "mutation anchor {from:?} missing from base spec");
+    text.replacen(from, to, 1)
+}
+
+/// Delete one constraint line (verbatim, including indentation) from a
+/// spec's `constraints` array.
+fn drop_rule(text: &str, line: &str) -> String {
+    mutate(text, &format!("    \"{line}\",\n"), "")
+}
+
+fn lint_str(text: &str) -> SpecLintReport {
+    lint_spec(&DeviceSpec::load_str(text).expect("mutated spec must still parse"))
+}
+
+/// DDR4 constraints whose removal opens exactly one coverage gap. The
+/// tCCD_L rules are deliberately absent: the rank-wide tCCD_S rules widen
+/// over their cells, so dropping one is *not* a gap (and the ddr4
+/// bank-group rules are instead guarded by the conformance pass below).
+const DROPPABLE: [(&str, &str); 8] = [
+    ("tRCD:    act -> rd  @bank 17", "act -> rd @bank"),
+    ("tRCD:    act -> wr  @bank 17", "act -> wr @bank"),
+    ("tRP:     pre -> act @bank 17", "pre -> act @bank"),
+    ("tRAS:    act -> pre @bank 39", "act -> pre @bank"),
+    ("tRTP:    rd  -> pre @bank 9", "rd -> pre @bank"),
+    ("tWR:     wr  -> pre @bank 18 from=data-end", "wr -> pre @bank"),
+    ("tRRD_S:  act -> act @rank 4", "act -> act @rank"),
+    ("tCCD_S:  rd  -> rd  @rank 4", "rd -> rd @rank"),
+];
+
+proptest! {
+    /// Dropped constraint -> exactly one SL101 naming the orphaned cell.
+    #[test]
+    fn dropped_constraint_is_one_coverage_gap(idx in 0usize..8) {
+        let (line, cell) = DROPPABLE[idx];
+        let report = lint_str(&drop_rule(&spec_text("ddr4_2400.toml"), line));
+        prop_assert_eq!(report.summary.gaps, 1);
+        prop_assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+        prop_assert_eq!(report.diagnostics[0].code, Code::CoverageGap);
+        prop_assert_eq!(report.diagnostics[0].subject.as_str(), cell);
+    }
+
+    /// Inverted window -> SL105: a tFAW at or under 3 x tRRD_S can never
+    /// bind, because issuing at the pairwise minimum already satisfies it.
+    #[test]
+    fn vacuous_faw_window_flagged(cycles in 1u32..=12) {
+        let text = mutate(
+            &spec_text("ddr4_2400.toml"),
+            "tFAW:    act -> act @rank 36 window=4",
+            &format!("tFAW: act -> act @rank {cycles} window=4"),
+        );
+        let report = lint_str(&text);
+        prop_assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+        prop_assert_eq!(report.diagnostics[0].code, Code::VacuousWindow);
+        prop_assert_eq!(report.diagnostics[0].subject.as_str(), "tFAW");
+    }
+
+    /// A tFAW strictly above 3 x tRRD_S genuinely binds: no diagnostic.
+    #[test]
+    fn binding_faw_window_is_clean(cycles in 13u32..=200) {
+        let text = mutate(
+            &spec_text("ddr4_2400.toml"),
+            "tFAW:    act -> act @rank 36 window=4",
+            &format!("tFAW: act -> act @rank {cycles} window=4"),
+        );
+        let report = lint_str(&text);
+        prop_assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    /// Broken tRAS -> SL107 on `tRAS >= tRCD + tRTP` (ddr4: 17 + 9 = 26).
+    #[test]
+    fn short_tras_violates_implied_inequality(cycles in 1u32..=25) {
+        let text = mutate(
+            &spec_text("ddr4_2400.toml"),
+            "tRAS:    act -> pre @bank 39",
+            &format!("tRAS: act -> pre @bank {cycles}"),
+        );
+        let report = lint_str(&text);
+        prop_assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+        prop_assert_eq!(report.diagnostics[0].code, Code::ImpliedInequality);
+        prop_assert_eq!(report.diagnostics[0].subject.as_str(), IMPLIED_INEQUALITIES[1]);
+    }
+
+    /// tRAS values satisfying both inequalities (26 <= tRAS <= tRC - tRP
+    /// = 39) are clean.
+    #[test]
+    fn consistent_tras_is_clean(cycles in 26u32..=39) {
+        let text = mutate(
+            &spec_text("ddr4_2400.toml"),
+            "tRAS:    act -> pre @bank 39",
+            &format!("tRAS: act -> pre @bank {cycles}"),
+        );
+        let report = lint_str(&text);
+        prop_assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    /// Oversized tRAS -> SL107 on the other inequality, `tRC >= tRAS +
+    /// tRP` (ddr4: tRC 56, tRP 17).
+    #[test]
+    fn long_tras_overflows_trc(cycles in 40u32..=100) {
+        let text = mutate(
+            &spec_text("ddr4_2400.toml"),
+            "tRAS:    act -> pre @bank 39",
+            &format!("tRAS: act -> pre @bank {cycles}"),
+        );
+        let report = lint_str(&text);
+        prop_assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+        prop_assert_eq!(report.diagnostics[0].code, Code::ImpliedInequality);
+        prop_assert_eq!(report.diagnostics[0].subject.as_str(), IMPLIED_INEQUALITIES[0]);
+    }
+
+    /// Shrunken same-group column spacing -> SL106: once tCCD_L drops to
+    /// the rank-wide tCCD_S (4), the narrow rule can never bind.
+    #[test]
+    fn shadowed_ccd_l_flagged(cycles in 1u32..=4) {
+        let text = mutate(
+            &spec_text("ddr4_2400.toml"),
+            "tCCD_L:  rd  -> rd  @bank-group 6",
+            &format!("tCCD_L: rd -> rd @bank-group {cycles}"),
+        );
+        let report = lint_str(&text);
+        prop_assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+        prop_assert_eq!(report.diagnostics[0].code, Code::ShadowedConstraint);
+        prop_assert_eq!(report.diagnostics[0].subject.as_str(), "tCCD_L");
+    }
+
+    /// A tCCD_L strictly above tCCD_S carries real information: clean.
+    #[test]
+    fn distinct_ccd_l_is_clean(cycles in 5u32..=100) {
+        let text = mutate(
+            &spec_text("ddr4_2400.toml"),
+            "tCCD_L:  rd  -> rd  @bank-group 6",
+            &format!("tCCD_L: rd -> rd @bank-group {cycles}"),
+        );
+        let report = lint_str(&text);
+        prop_assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+}
+
+/// Orphaned state -> one SL103 (not five SL101s): with every rule
+/// governing `act` removed, nothing times entry into the `open` state, and
+/// the per-cell gaps are subsumed into a single state-level diagnostic.
+#[test]
+fn orphaned_open_state_reported_once() {
+    let mut text = spec_text("ddr4_2400.toml");
+    for line in [
+        "tRC:     act -> act @bank 56",
+        "tRP:     pre -> act @bank 17",
+        "tRRD_S:  act -> act @rank 4",
+        "tRRD_L:  act -> act @bank-group 6",
+        "tFAW:    act -> act @rank 36 window=4",
+    ] {
+        text = drop_rule(&text, line);
+    }
+    let report = lint_str(&text);
+    assert_eq!(report.summary.gaps, 5, "all five act cells open up");
+    assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+    assert_eq!(report.diagnostics[0].code, Code::OrphanedState);
+    assert_eq!(report.diagnostics[0].subject, "open");
+}
+
+/// A constraint naming a command the device can never issue -> SL104.
+/// DDR4 here has all-bank refresh only, so a `refsb` rule is dead.
+#[test]
+fn unissuable_command_rule_flagged() {
+    let text = mutate(
+        &spec_text("ddr4_2400.toml"),
+        "    \"tCCD_L:  wr  -> wr  @bank-group 6\",",
+        "    \"tCCD_L:  wr  -> wr  @bank-group 6\",\n    \"tPRS:    pre -> refsb @bank 10\",",
+    );
+    let report = lint_str(&text);
+    assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+    assert_eq!(report.diagnostics[0].code, Code::UnreachableRule);
+    assert_eq!(report.diagnostics[0].subject, "tPRS");
+}
+
+/// A pair exempt whose cell is actually constraint-covered -> SL102.
+#[test]
+fn stale_pair_exempt_flagged() {
+    let mut text = spec_text("ddr4_2400.toml");
+    text.push_str("exempt = [\"rd -> rd @rank: redundant with tCCD_S\"]\n");
+    let report = lint_str(&text);
+    assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+    assert_eq!(report.diagnostics[0].code, Code::UnusedExempt);
+    assert_eq!(report.diagnostics[0].subject, "rd -> rd @rank");
+}
+
+/// An inequality waiver for an inequality that holds -> SL102.
+#[test]
+fn stale_inequality_exempt_flagged() {
+    let mut text = spec_text("ddr4_2400.toml");
+    text.push_str("exempt = [\"tRC >= tRAS + tRP: not actually violated on ddr4\"]\n");
+    let report = lint_str(&text);
+    assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+    assert_eq!(report.diagnostics[0].code, Code::UnusedExempt);
+    assert_eq!(report.diagnostics[0].subject, IMPLIED_INEQUALITIES[0]);
+}
+
+/// Required-explicit conformance: dropping tRRD_L leaves the per-spec
+/// report clean (tRRD_S widens over the cell) but the conformance pass
+/// must still insist DDR4 prices same-group activates explicitly.
+#[test]
+fn widened_bank_group_rule_fails_conformance() {
+    let text = drop_rule(&spec_text("ddr4_2400.toml"), "tRRD_L:  act -> act @bank-group 6");
+    let spec = DeviceSpec::load_str(&text).expect("mutated spec parses");
+    let (reports, conformance) = lint_specs(std::slice::from_ref(&spec));
+    assert!(reports[0].diagnostics.is_empty(), "{:?}", reports[0].diagnostics);
+    assert_eq!(conformance.len(), 1, "{conformance:?}");
+    assert_eq!(conformance[0].code, Code::ConformanceGap);
+    assert_eq!(conformance[0].target, "ddr4_2400");
+    assert_eq!(conformance[0].subject, "act -> act @bank-group");
+}
+
+/// Chain conformance: a successor standard losing a cell its predecessor
+/// constraint-covers -> SL108 against the successor.
+#[test]
+fn successor_losing_predecessor_coverage_fails_conformance() {
+    let ddr3 = DeviceSpec::load_str(&spec_text("ddr3_1600.toml")).expect("ddr3 parses");
+    // Drop both rules covering wr -> rd @rank (tWTR and the tCCD_S leg);
+    // ddr3 covers that cell with its own tWTR.
+    let mut text = spec_text("ddr4_2400.toml");
+    for line in ["tWTR:    wr  -> rd  @rank 9 from=data-end", "tCCD_S:  wr  -> rd  @rank 4"] {
+        text = drop_rule(&text, line);
+    }
+    let ddr4 = DeviceSpec::load_str(&text).expect("mutated ddr4 parses");
+    let diags = conformance_diagnostics(&[ddr3, ddr4]);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, Code::ConformanceGap);
+    assert_eq!(diags[0].target, "ddr4_2400");
+    assert_eq!(diags[0].subject, "wr -> rd @rank");
+}
+
+/// Rule linkage (SL109): the shipped table is 1:1 and fully linked, and
+/// each way of breaking that — truncating the table, tampering a rule's
+/// cycles, unlinking the oracle — is caught.
+#[test]
+fn rule_linkage_catches_doctored_tables() {
+    let spec = DeviceSpec::load_str(&spec_text("ddr4_2400.toml")).expect("ddr4 parses");
+    let cfg = &spec.config;
+    let generated = ProtocolChecker::new(cfg.clone(), 1).generated_rules();
+    let linked = linked_protocol_rules();
+
+    let clean =
+        linkage_diagnostics("ddr4_2400", &cfg.constraints, cfg.addressing, &generated, linked);
+    assert!(clean.is_empty(), "{clean:?}");
+
+    // Remove tRC — a rule with no identical sibling in the table (the
+    // tCCD legs alias each other because `GeneratedRule` keys on `next`).
+    let mut short = generated.clone();
+    short.remove(0);
+    let diags = linkage_diagnostics("ddr4_2400", &cfg.constraints, cfg.addressing, &short, linked);
+    assert!(diags.len() >= 2, "size mismatch plus the missing rule: {diags:?}");
+    assert!(diags.iter().all(|d| d.code == Code::RuleLinkage));
+
+    let mut tampered = generated.clone();
+    tampered[0].cycles += 1;
+    let diags =
+        linkage_diagnostics("ddr4_2400", &cfg.constraints, cfg.addressing, &tampered, linked);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, Code::RuleLinkage);
+    assert_eq!(diags[0].subject, cfg.constraints[0].name);
+
+    let diags = linkage_diagnostics("ddr4_2400", &cfg.constraints, cfg.addressing, &generated, &[]);
+    assert_eq!(diags.len(), generated.len(), "every generated rule is unlinked: {diags:?}");
+    assert!(diags.iter().all(|d| d.code == Code::RuleLinkage));
+}

@@ -1,7 +1,7 @@
 //! Latency-waterfall attribution: decompose each traced read into
 //! pipeline stages whose sum is exactly the end-to-end latency.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::event::{RequestToken, TraceEvent};
 
@@ -89,7 +89,7 @@ struct Pending {
     alloc: Option<(u64, u8, u8, bool)>, // at, core, critical_word, demand
     fill: Option<u64>,
     words: Vec<(u64, u8)>, // at, word bitmask
-    chains: HashMap<u16, Chain>,
+    chains: BTreeMap<u16, Chain>,
 }
 
 /// Reconstruct per-read waterfalls from a flat event log.
@@ -101,7 +101,7 @@ struct Pending {
 /// ignored.
 #[must_use]
 pub fn build(events: &[TraceEvent]) -> (Vec<ReadWaterfall>, WaterfallSummary) {
-    let mut pend: HashMap<u64, Pending> = HashMap::new();
+    let mut pend: BTreeMap<u64, Pending> = BTreeMap::new();
     for ev in events {
         match *ev {
             TraceEvent::MshrAlloc { token, core, at, critical_word, demand, .. } => {
@@ -142,10 +142,8 @@ pub fn build(events: &[TraceEvent]) -> (Vec<ReadWaterfall>, WaterfallSummary) {
 
     let mut out = Vec::new();
     let mut summary = WaterfallSummary::default();
-    let mut tokens: Vec<u64> = pend.keys().copied().collect();
-    tokens.sort_unstable();
-    for t in tokens {
-        let p = &pend[&t];
+    // BTreeMap iteration is already in token order.
+    for (&t, p) in &pend {
         // Write bursts and other tokenless-chain records have neither
         // an allocation nor a fill; they are not reads.
         if p.alloc.is_none() && p.fill.is_none() && p.words.is_empty() {

@@ -8,7 +8,7 @@
 //! so an arbitration bug (two grants in one cycle) is caught even though
 //! each sub-channel's *own* protocol state stays perfectly legal.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Detects two commands in one device cycle within a bus group.
 #[derive(Debug, Default)]
@@ -16,14 +16,14 @@ pub struct CmdBusChecker {
     /// `channel index → bus group` (channels with `None` are unchecked).
     group_of: Vec<Option<u32>>,
     /// `(group, device cycle) → first channel seen in that slot`.
-    seen: HashMap<(u32, u64), usize>,
+    seen: BTreeMap<(u32, u64), usize>,
 }
 
 impl CmdBusChecker {
     /// Build from the per-channel bus-group assignment.
     #[must_use]
     pub fn new(group_of: Vec<Option<u32>>) -> Self {
-        CmdBusChecker { group_of, seen: HashMap::new() }
+        CmdBusChecker { group_of, seen: BTreeMap::new() }
     }
 
     /// Observe a command on `channel` at device cycle `at`. Returns the

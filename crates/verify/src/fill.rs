@@ -8,7 +8,7 @@
 //! no word is timestamped after the fill (processing order inside a drain
 //! batch is arbitrary, so all checks compare event timestamps).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use mem_ctrl::{MemEvent, Token};
 
@@ -24,8 +24,8 @@ struct TokenState {
 /// Per-token word-arrival and fill bookkeeping.
 #[derive(Debug, Default)]
 pub struct FillOracle {
-    inflight: HashMap<u64, TokenState>,
-    completed: HashSet<u64>,
+    inflight: BTreeMap<u64, TokenState>,
+    completed: BTreeSet<u64>,
 }
 
 impl FillOracle {

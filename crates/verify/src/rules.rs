@@ -55,6 +55,47 @@ impl std::fmt::Display for OracleRule {
     }
 }
 
+/// The protocol rules the oracle is linked against: every
+/// [`dram_timing::Rule`] the shadow-state checker can generate must appear
+/// here, or `cwfmem spec-lint`'s rule-linkage pass fails.
+///
+/// The list is maintained *by hand*, on purpose. [`OracleRule::Protocol`]
+/// would happily wrap a brand-new `Rule` variant without any code change,
+/// so a structural check could never notice that the verify layer was
+/// written before the rule existed. Listing the vocabulary explicitly
+/// turns "new rule added to the checker" into a visible diff here plus a
+/// lint failure until both sides agree (see `linked_list_is_exhaustive`).
+#[must_use]
+pub fn linked_protocol_rules() -> &'static [Rule] {
+    &[
+        Rule::TRcd,
+        Rule::TRc,
+        Rule::TRp,
+        Rule::TRrd,
+        Rule::TRrdL,
+        Rule::TFaw,
+        Rule::TRfc,
+        Rule::TRas,
+        Rule::TRtp,
+        Rule::TWr,
+        Rule::TWtr,
+        Rule::TCcd,
+        Rule::TCcdL,
+        Rule::TRtrs,
+        Rule::DataBusOverlap,
+        Rule::ActToOpenBank,
+        Rule::ReadClosedRow,
+        Rule::WriteClosedRow,
+        Rule::PreToClosedBank,
+        Rule::RefWithOpenBanks,
+        Rule::RefbToOpenBank,
+        Rule::TRcSingleCommand,
+        Rule::TRcBeforeRefb,
+        Rule::ActOnSingleCommandDevice,
+        Rule::RankOutOfRange,
+    ]
+}
+
 /// One detected invariant violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OracleViolation {
@@ -70,5 +111,21 @@ pub struct OracleViolation {
 impl std::fmt::Display for OracleViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "cycle {}: {} ({})", self.at, self.rule, self.detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The hand-maintained linkage list must track the checker's rule
+    /// vocabulary exactly — in both directions.
+    #[test]
+    fn linked_list_is_exhaustive() {
+        let linked = linked_protocol_rules();
+        assert_eq!(linked.len(), Rule::ALL.len(), "linkage list out of date");
+        for r in Rule::ALL {
+            assert!(linked.contains(&r), "rule {r} missing from linked_protocol_rules()");
+        }
     }
 }

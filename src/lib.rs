@@ -19,6 +19,8 @@
 //! * [`tracelog`] — cross-layer ring-buffer event tracing with Perfetto
 //!   export and per-read latency waterfalls.
 //! * [`sim`] — the full-system harness and per-figure experiment drivers.
+//! * [`speclint`] — static analysis: the device-spec model checker behind
+//!   `cwfmem spec-lint` and the `cwf-lint` determinism lint.
 //!
 //! # Quickstart
 //!
@@ -36,6 +38,7 @@
 pub use cache_hier as cache;
 pub use cpu_model as cpu;
 pub use cwf_core as cwf;
+pub use cwf_speclint as speclint;
 pub use cwf_tracelog as tracelog;
 pub use dram_power as power;
 pub use dram_timing as dram;

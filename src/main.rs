@@ -22,6 +22,7 @@ use cwfmem::sim::experiments::{
 use cwfmem::sim::{
     run_benchmark, run_benchmark_traced, run_benchmark_traced_with_backend, Kernel, RunConfig,
 };
+use cwfmem::speclint::{lint_specs, scorecard_json, Diagnostic, SpecLintReport};
 use cwfmem::workloads::suite;
 
 const KINDS: [(&str, MemKind); 9] = [
@@ -42,7 +43,8 @@ fn usage() -> ! {
          [--cores N] [--no-prefetch] [--parity-rate P] [--seed S] [--kernel cycle|event] \
          [--verify|--no-verify] [--trace <out.json>|--no-trace] [--json]\n  \
          cwfmem run --spec <id|file.toml> --bench <name> ...   # spec-layer device\n  \
-         cwfmem spec-check <id|file.toml>\n  \
+         cwfmem spec-lint <id|file.toml|specs-dir> [--json] [--parse-only]\n  \
+         cwfmem spec-check <id|file.toml>        # alias: full lint of one spec\n  \
          cwfmem trace-check <file.json>\n  \
          cwfmem compare --bench <name> [--reads N]\n  \
          cwfmem sweep [--benches a,b,c|--all-benches] [--kinds k1,k2] [--reads N] [--jobs N] \
@@ -80,6 +82,7 @@ fn main() {
         Some("dump-trace") => cmd_dump_trace(&args[1..]),
         Some("trace-check") => cmd_trace_check(&args[1..]),
         Some("spec-check") => cmd_spec_check(&args[1..]),
+        Some("spec-lint") => cmd_spec_lint(&args[1..]),
         _ => usage(),
     }
 }
@@ -131,11 +134,9 @@ fn load_spec(value: &str) -> DeviceSpec {
     })
 }
 
-fn cmd_spec_check(args: &[String]) {
-    let Some(value) = args.first() else { usage() };
-    let spec = load_spec(value);
+fn spec_summary_line(spec: &DeviceSpec) -> String {
     let cfg = &spec.config;
-    println!(
+    format!(
         "{}: ok — {} ({:?}/{:?}, {} banks x {} groups, {} constraints, tCK {} ps)",
         spec.id,
         cfg.name,
@@ -145,7 +146,122 @@ fn cmd_spec_check(args: &[String]) {
         cfg.geometry.bank_groups,
         cfg.constraints.len(),
         cfg.timings.t_ck_ps
-    );
+    )
+}
+
+/// `spec-check <id|file.toml>` — kept as the one-spec alias for the full
+/// lint: the classic parse summary, plus every `spec-lint` diagnostic, and
+/// a nonzero exit on any of them.
+fn cmd_spec_check(args: &[String]) {
+    let Some(value) = args.first() else { usage() };
+    let spec = load_spec(value);
+    println!("{}", spec_summary_line(&spec));
+    let (reports, conformance) = lint_specs(std::slice::from_ref(&spec));
+    let diags: Vec<&Diagnostic> =
+        reports.iter().flat_map(|r| &r.diagnostics).chain(&conformance).collect();
+    for d in &diags {
+        eprintln!("{d}");
+    }
+    if !diags.is_empty() {
+        eprintln!("{}: {} lint diagnostic(s)", spec.id, diags.len());
+        std::process::exit(1);
+    }
+}
+
+/// Resolve a `spec-lint` operand into the specs to lint: a directory (all
+/// `*.toml` inside, sorted), a single file, or an embedded id.
+fn spec_lint_targets(value: &str) -> Vec<DeviceSpec> {
+    let path = std::path::Path::new(value);
+    if path.is_dir() {
+        let mut files: Vec<std::path::PathBuf> = match std::fs::read_dir(path) {
+            Ok(entries) => entries
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "toml"))
+                .collect(),
+            Err(e) => {
+                eprintln!("spec-lint: cannot read `{value}`: {e}");
+                std::process::exit(1)
+            }
+        };
+        files.sort();
+        if files.is_empty() {
+            eprintln!("spec-lint: no .toml files in `{value}`");
+            std::process::exit(1);
+        }
+        files.iter().map(|p| load_spec(&p.to_string_lossy())).collect()
+    } else {
+        vec![load_spec(value)]
+    }
+}
+
+/// `spec-lint <id|file.toml|dir> [--json] [--parse-only]` — the spec model
+/// checker: reachability, constraint coverage, contradiction detection,
+/// cross-spec conformance and checker/oracle rule linkage. `--parse-only`
+/// is the old `spec-check` fast path (parse + summary, no model checking).
+fn cmd_spec_lint(args: &[String]) {
+    let json = args.iter().any(|a| a == "--json");
+    let parse_only = args.iter().any(|a| a == "--parse-only");
+    let Some(value) = args.iter().find(|a| !a.starts_with("--")) else { usage() };
+    let specs = spec_lint_targets(value);
+    if parse_only {
+        for spec in &specs {
+            println!("{}", spec_summary_line(spec));
+        }
+        return;
+    }
+    let (reports, conformance) = lint_specs(&specs);
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for r in &reports {
+        diags.extend(r.diagnostics.iter().cloned());
+    }
+    diags.extend(conformance);
+    let totals = reports.iter().fold([0u64; 5], |mut acc, r: &SpecLintReport| {
+        acc[0] += r.summary.constraint;
+        acc[1] += r.summary.widened;
+        acc[2] += r.summary.builtin;
+        acc[3] += r.summary.exempt;
+        acc[4] += r.summary.gaps;
+        acc
+    });
+    if json {
+        let targets: Vec<String> = reports.iter().map(|r| r.target.clone()).collect();
+        let summary = [
+            ("specs", reports.len() as u64),
+            ("cells_constraint", totals[0]),
+            ("cells_widened", totals[1]),
+            ("cells_builtin", totals[2]),
+            ("cells_exempt", totals[3]),
+            ("cells_gap", totals[4]),
+        ];
+        print!("{}", scorecard_json("spec", &targets, &summary, &diags));
+    } else {
+        for r in &reports {
+            let s = &r.summary;
+            println!(
+                "{}: {} cells — {} constraint, {} widened, {} builtin, {} exempt, {} gaps",
+                r.target,
+                s.constraint + s.widened + s.builtin + s.exempt + s.gaps,
+                s.constraint,
+                s.widened,
+                s.builtin,
+                s.exempt,
+                s.gaps
+            );
+        }
+        for d in &diags {
+            println!("{d}");
+        }
+        println!(
+            "spec-lint: {} spec(s), {} diagnostic{}",
+            reports.len(),
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" }
+        );
+    }
+    if !diags.is_empty() {
+        std::process::exit(1);
+    }
 }
 
 fn build_config(args: &[String]) -> RunConfig {

@@ -1,27 +1,52 @@
 //! Keeps `docs/SPEC_FORMAT.md` honest: every ```toml code block in the
-//! schema reference must parse as a complete, valid device spec, and the
+//! schema reference must parse as a complete, valid device spec, the
 //! worked DDR5-4800 example must stay field-for-field identical to the
 //! embedded `ddr5_4800` spec (the ISSUE's "worked example parses
-//! verbatim" acceptance criterion).
+//! verbatim" acceptance criterion), and every block must produce exactly
+//! the spec-lint diagnostics its `<!-- spec-lint: expect ... -->` marker
+//! declares — none for unmarked blocks.
 
 use cwfmem::dram::DeviceSpec;
+use cwfmem::speclint::lint_specs;
 
 fn doc_text() -> String {
     std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/docs/SPEC_FORMAT.md"))
         .expect("docs/SPEC_FORMAT.md readable")
 }
 
-/// Extract the contents of every fenced ```toml block.
-fn toml_blocks(text: &str) -> Vec<String> {
+/// One fenced ```toml block plus the diagnostic codes its marker expects
+/// (empty = must lint clean).
+struct DocBlock {
+    text: String,
+    expect: Vec<String>,
+}
+
+/// Extract every fenced ```toml block, attaching the `<!-- spec-lint:
+/// expect SLxxx ... -->` marker from the nearest preceding non-empty line.
+fn toml_blocks(text: &str) -> Vec<DocBlock> {
     let mut blocks = Vec::new();
     let mut current: Option<String> = None;
+    let mut pending_marker: Vec<String> = Vec::new();
     for line in text.lines() {
         match &mut current {
             None if line.trim() == "```toml" => current = Some(String::new()),
-            None => {}
+            None => {
+                let trimmed = line.trim();
+                if let Some(inner) = trimmed
+                    .strip_prefix("<!-- spec-lint: expect")
+                    .and_then(|r| r.strip_suffix("-->"))
+                {
+                    pending_marker = inner.split_whitespace().map(str::to_string).collect();
+                } else if !trimmed.is_empty() {
+                    pending_marker.clear();
+                }
+            }
             Some(block) => {
                 if line.trim() == "```" {
-                    blocks.push(current.take().expect("block in progress"));
+                    blocks.push(DocBlock {
+                        text: current.take().expect("block in progress"),
+                        expect: std::mem::take(&mut pending_marker),
+                    });
                 } else {
                     block.push_str(line);
                     block.push('\n');
@@ -36,9 +61,9 @@ fn toml_blocks(text: &str) -> Vec<String> {
 #[test]
 fn every_toml_block_is_a_valid_spec() {
     let blocks = toml_blocks(&doc_text());
-    assert!(blocks.len() >= 2, "expected the worked example and the tutorial spec");
+    assert!(blocks.len() >= 4, "expected the worked, tutorial and faulty example specs");
     for (i, block) in blocks.iter().enumerate() {
-        DeviceSpec::load_str(block)
+        DeviceSpec::load_str(&block.text)
             .unwrap_or_else(|e| panic!("SPEC_FORMAT.md toml block #{}: {e}", i + 1));
     }
 }
@@ -48,12 +73,41 @@ fn worked_ddr5_example_matches_the_embedded_spec() {
     let blocks = toml_blocks(&doc_text());
     let ddr5 = blocks
         .iter()
-        .find(|b| b.contains("id = \"ddr5_4800\""))
+        .find(|b| b.text.contains("id = \"ddr5_4800\""))
         .expect("worked DDR5-4800 example present");
-    let from_doc = DeviceSpec::load_str(ddr5).expect("worked example parses");
+    let from_doc = DeviceSpec::load_str(&ddr5.text).expect("worked example parses");
     let embedded = DeviceSpec::embedded("ddr5_4800").expect("embedded ddr5_4800");
     assert_eq!(
         from_doc, embedded,
         "the worked example in docs/SPEC_FORMAT.md drifted from specs/ddr5_4800.toml"
     );
+}
+
+/// Marked blocks must produce exactly their declared diagnostics;
+/// unmarked blocks must lint clean. This is what keeps the diagnostic
+/// examples in the doc triggering what they claim to trigger.
+#[test]
+fn doc_examples_lint_as_marked() {
+    let blocks = toml_blocks(&doc_text());
+    assert!(
+        blocks.iter().any(|b| !b.expect.is_empty()),
+        "expected at least one marked faulty example"
+    );
+    for (i, block) in blocks.iter().enumerate() {
+        let spec = DeviceSpec::load_str(&block.text)
+            .unwrap_or_else(|e| panic!("SPEC_FORMAT.md toml block #{}: {e}", i + 1));
+        let (reports, conformance) = lint_specs(std::slice::from_ref(&spec));
+        let mut got: Vec<&str> = reports[0].diagnostics.iter().map(|d| d.code.id()).collect();
+        got.extend(conformance.iter().map(|d| d.code.id()));
+        got.sort_unstable();
+        let mut want: Vec<&str> = block.expect.iter().map(String::as_str).collect();
+        want.sort_unstable();
+        assert_eq!(
+            got,
+            want,
+            "SPEC_FORMAT.md toml block #{} ({}) diagnostics drifted from its marker",
+            i + 1,
+            spec.id
+        );
+    }
 }
