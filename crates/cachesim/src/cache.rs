@@ -349,3 +349,42 @@ mod tests {
         assert_eq!(vline, 2);
     }
 }
+
+cwf_ckpt::ckpt_struct!(LineMeta { dirty, sharers, crit_word, prefetched });
+
+impl Cache {
+    /// Serialize the cache's mutable state (tag/stamp/meta arrays,
+    /// valid bitmap, occupancy, LRU clock). `CacheCfg` is rebuilt on
+    /// restore.
+    pub fn save_state(&self, w: &mut cwf_ckpt::Writer) {
+        let Cache { cfg: _, tags, stamps, metas, valid, live, clock } = self;
+        w.section(b"CACH");
+        cwf_ckpt::Ckpt::save(tags, w);
+        cwf_ckpt::Ckpt::save(stamps, w);
+        cwf_ckpt::Ckpt::save(metas, w);
+        cwf_ckpt::Ckpt::save(valid, w);
+        cwf_ckpt::Ckpt::save(live, w);
+        cwf_ckpt::Ckpt::save(clock, w);
+    }
+
+    /// Restore state saved by [`Cache::save_state`] into a freshly
+    /// constructed cache of the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or a geometry mismatch.
+    pub fn load_state(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
+        r.expect_section(b"CACH")?;
+        let tags: Vec<u64> = cwf_ckpt::Ckpt::load(r)?;
+        if tags.len() != self.tags.len() {
+            return Err(cwf_ckpt::CkptError::new("cache geometry mismatch"));
+        }
+        self.tags = tags;
+        self.stamps = cwf_ckpt::Ckpt::load(r)?;
+        self.metas = cwf_ckpt::Ckpt::load(r)?;
+        self.valid = cwf_ckpt::Ckpt::load(r)?;
+        self.live = cwf_ckpt::Ckpt::load(r)?;
+        self.clock = cwf_ckpt::Ckpt::load(r)?;
+        Ok(())
+    }
+}

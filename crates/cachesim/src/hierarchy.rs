@@ -996,3 +996,155 @@ mod tests {
         assert_eq!(h.stats().word0_fraction(), 0.5);
     }
 }
+
+impl cwf_ckpt::Ckpt for HierAudit {
+    fn save(&self, w: &mut cwf_ckpt::Writer) {
+        match *self {
+            HierAudit::Submit { token, at } => {
+                w.put_u8(0);
+                cwf_ckpt::Ckpt::save(&token, w);
+                w.put_u64(at);
+            }
+            HierAudit::Event { ev, delivered_at } => {
+                w.put_u8(1);
+                cwf_ckpt::Ckpt::save(&ev, w);
+                w.put_u64(delivered_at);
+            }
+        }
+    }
+    fn load(r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<Self> {
+        Ok(match r.get_u8()? {
+            0 => HierAudit::Submit { token: cwf_ckpt::Ckpt::load(r)?, at: r.get_u64()? },
+            1 => HierAudit::Event { ev: cwf_ckpt::Ckpt::load(r)?, delivered_at: r.get_u64()? },
+            v => return Err(cwf_ckpt::CkptError::new(format!("invalid HierAudit tag {v}"))),
+        })
+    }
+}
+
+cwf_ckpt::ckpt_struct!(HierStats {
+    loads,
+    stores,
+    l1_hits,
+    l2_hits,
+    mshr_secondary,
+    demand_misses,
+    blocked_mshr,
+    blocked_mem,
+    prefetches_issued,
+    prefetches_useful,
+    writebacks,
+    fills,
+    demand_fills,
+    cw_latency_sum,
+    cw_lat_hist,
+    cw_served_fast,
+    secondary_diff_word,
+    secondary_gap_sum,
+    critical_word_hist,
+    l1_hit_spans,
+    l1_hit_span_hits,
+});
+
+impl<M> Hierarchy<M> {
+    /// Serialize the hierarchy's mutable state. The memory backend is
+    /// delegated to `save_mem` because its concrete type is only known
+    /// to the caller. Reusable scratch buffers (`ev_buf`, `wake_buf`,
+    /// `pf_buf`) are cleared at the start of every use, so they carry
+    /// no state across steps and are not encoded. Checkpointing with
+    /// request-linked tracing enabled is unsupported.
+    ///
+    /// # Errors
+    ///
+    /// Fails when tracing is enabled or `save_mem` fails.
+    pub fn save_state(
+        &self,
+        w: &mut cwf_ckpt::Writer,
+        save_mem: impl FnOnce(&M, &mut cwf_ckpt::Writer) -> cwf_ckpt::Result<()>,
+    ) -> cwf_ckpt::Result<()> {
+        let Hierarchy {
+            params: _,
+            l1s,
+            l2,
+            mshr,
+            prefetchers,
+            mem,
+            backend_touched,
+            writeback_buf,
+            next_load_id,
+            ev_buf: _,
+            wake_buf: _,
+            pf_buf: _,
+            l1_streak,
+            stats,
+            audit,
+            trace,
+        } = self;
+        if trace.is_some() {
+            return Err(cwf_ckpt::CkptError::new(
+                "cannot checkpoint a hierarchy with tracing enabled",
+            ));
+        }
+        w.section(b"HIER");
+        w.put_u64(l1s.len() as u64);
+        for c in l1s {
+            c.save_state(w);
+        }
+        l2.save_state(w);
+        mshr.save_state(w);
+        w.put_u64(prefetchers.len() as u64);
+        for p in prefetchers {
+            p.save_state(w);
+        }
+        cwf_ckpt::Ckpt::save(backend_touched, w);
+        cwf_ckpt::Ckpt::save(writeback_buf, w);
+        cwf_ckpt::Ckpt::save(next_load_id, w);
+        cwf_ckpt::Ckpt::save(l1_streak, w);
+        cwf_ckpt::Ckpt::save(stats, w);
+        cwf_ckpt::Ckpt::save(audit, w);
+        w.section(b"HMEM");
+        save_mem(mem, w)
+    }
+
+    /// Restore state saved by [`Hierarchy::save_state`] into a freshly
+    /// constructed hierarchy with the same parameters; the backend is
+    /// restored by `load_mem`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input, a core-count mismatch, or when
+    /// `load_mem` fails.
+    pub fn load_state(
+        &mut self,
+        r: &mut cwf_ckpt::Reader<'_>,
+        load_mem: impl FnOnce(&mut M, &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()>,
+    ) -> cwf_ckpt::Result<()> {
+        r.expect_section(b"HIER")?;
+        let n_l1 = r.get_u64()?;
+        if n_l1 != self.l1s.len() as u64 {
+            return Err(cwf_ckpt::CkptError::new("L1 count mismatch"));
+        }
+        for c in &mut self.l1s {
+            c.load_state(r)?;
+        }
+        self.l2.load_state(r)?;
+        self.mshr.load_state(r)?;
+        let n_pf = r.get_u64()?;
+        if n_pf != self.prefetchers.len() as u64 {
+            return Err(cwf_ckpt::CkptError::new("prefetcher count mismatch"));
+        }
+        for p in &mut self.prefetchers {
+            p.load_state(r)?;
+        }
+        self.backend_touched = cwf_ckpt::Ckpt::load(r)?;
+        self.writeback_buf = cwf_ckpt::Ckpt::load(r)?;
+        self.next_load_id = cwf_ckpt::Ckpt::load(r)?;
+        self.l1_streak = cwf_ckpt::Ckpt::load(r)?;
+        self.stats = cwf_ckpt::Ckpt::load(r)?;
+        self.audit = cwf_ckpt::Ckpt::load(r)?;
+        self.ev_buf.clear();
+        self.wake_buf.clear();
+        self.pf_buf.clear();
+        r.expect_section(b"HMEM")?;
+        load_mem(&mut self.mem, r)
+    }
+}

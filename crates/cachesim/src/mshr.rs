@@ -372,3 +372,62 @@ mod tests {
         assert!(e.waiters.capacity() >= 16, "recycled slot kept its waiter capacity");
     }
 }
+
+cwf_ckpt::ckpt_struct!(Waiter { load_id, word, core });
+
+cwf_ckpt::ckpt_struct!(MshrEntry {
+    line,
+    token,
+    critical_word,
+    words_ready,
+    demand,
+    store_pending,
+    fill_cores,
+    waiters,
+    allocated_at,
+    critical_word_at,
+    critical_served_fast,
+});
+
+impl MshrFile {
+    /// Serialize the MSHR file verbatim — slot order, shell entries and
+    /// the free list included — so a restored file allocates future
+    /// entries in exactly the same slots.
+    pub fn save_state(&self, w: &mut cwf_ckpt::Writer) {
+        let MshrFile { slots, lines, tokens, occupied, free, len, capacity } = self;
+        w.section(b"MSHR");
+        cwf_ckpt::Ckpt::save(slots, w);
+        cwf_ckpt::Ckpt::save(lines, w);
+        cwf_ckpt::Ckpt::save(tokens, w);
+        cwf_ckpt::Ckpt::save(occupied, w);
+        cwf_ckpt::Ckpt::save(free, w);
+        cwf_ckpt::Ckpt::save(len, w);
+        cwf_ckpt::Ckpt::save(capacity, w);
+    }
+
+    /// Restore state saved by [`MshrFile::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or a capacity mismatch.
+    pub fn load_state(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
+        r.expect_section(b"MSHR")?;
+        let slots: Vec<MshrEntry> = cwf_ckpt::Ckpt::load(r)?;
+        let lines: Vec<u64> = cwf_ckpt::Ckpt::load(r)?;
+        let tokens: Vec<Token> = cwf_ckpt::Ckpt::load(r)?;
+        let occupied: Vec<u64> = cwf_ckpt::Ckpt::load(r)?;
+        let free: Vec<u32> = cwf_ckpt::Ckpt::load(r)?;
+        let len: usize = cwf_ckpt::Ckpt::load(r)?;
+        let capacity: usize = cwf_ckpt::Ckpt::load(r)?;
+        if capacity != self.capacity {
+            return Err(cwf_ckpt::CkptError::new("MSHR capacity mismatch"));
+        }
+        self.slots = slots;
+        self.lines = lines;
+        self.tokens = tokens;
+        self.occupied = occupied;
+        self.free = free;
+        self.len = len;
+        Ok(())
+    }
+}

@@ -195,3 +195,34 @@ mod tests {
         }
     }
 }
+
+cwf_ckpt::ckpt_struct!(RptEntry { pc, last_addr, stride, confidence, lru });
+
+impl StridePrefetcher {
+    /// Serialize the reference-prediction table, LRU clock and issue
+    /// counter. The degree is config, rebuilt on restore.
+    pub fn save_state(&self, w: &mut cwf_ckpt::Writer) {
+        let StridePrefetcher { table, degree: _, clock, issued } = self;
+        w.section(b"PREF");
+        cwf_ckpt::Ckpt::save(table, w);
+        cwf_ckpt::Ckpt::save(clock, w);
+        cwf_ckpt::Ckpt::save(issued, w);
+    }
+
+    /// Restore state saved by [`StridePrefetcher::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or a table-size mismatch.
+    pub fn load_state(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
+        r.expect_section(b"PREF")?;
+        let table: Vec<Option<RptEntry>> = cwf_ckpt::Ckpt::load(r)?;
+        if table.len() != self.table.len() {
+            return Err(cwf_ckpt::CkptError::new("prefetcher table size mismatch"));
+        }
+        self.table = table;
+        self.clock = cwf_ckpt::Ckpt::load(r)?;
+        self.issued = cwf_ckpt::Ckpt::load(r)?;
+        Ok(())
+    }
+}

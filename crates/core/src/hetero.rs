@@ -719,3 +719,94 @@ mod tests {
         assert!((0.05..0.25).contains(&frac), "random hit rate {frac:.3} ≈ 1/8");
     }
 }
+
+cwf_ckpt::ckpt_struct!(CwfStats {
+    demand_reads,
+    cw_served_fast,
+    parity_errors,
+    fast_first,
+    gap_cpu_cycles
+});
+
+cwf_ckpt::ckpt_struct!(Pending { fast_done, slow_done, fast_word, critical, parity_defer, demand });
+
+impl HeteroCwfMemory {
+    /// Serialize mutable state: both DIMM groups' controllers, the
+    /// placement tags, the parity RNG stream, in-flight transactions
+    /// (sorted by id for a deterministic byte stream), scheduled events
+    /// and statistics. Mappers, ratios and the parity rate are pure
+    /// config, rebuilt on restore.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any controller has tracing enabled.
+    pub fn save_state(&self, w: &mut cwf_ckpt::Writer) -> cwf_ckpt::Result<()> {
+        let HeteroCwfMemory {
+            fast,
+            slow,
+            fast_mapper: _,
+            slow_mapper: _,
+            placement,
+            rng,
+            parity_error_rate: _,
+            fast_ratio: _,
+            slow_ratio: _,
+            pending,
+            scheduled,
+            next_id,
+            stats,
+            audit,
+        } = self;
+        w.section(b"HCWF");
+        fast.save_state(w)?;
+        w.put_u64(slow.len() as u64);
+        for c in slow {
+            c.save_state(w)?;
+        }
+        placement.save_state(w);
+        cwf_ckpt::Ckpt::save(&rng.state(), w);
+        let mut ids: Vec<u64> = pending.keys().copied().collect();
+        ids.sort_unstable();
+        w.put_u64(ids.len() as u64);
+        for id in ids {
+            w.put_u64(id);
+            cwf_ckpt::Ckpt::save(&pending[&id], w);
+        }
+        cwf_ckpt::Ckpt::save(scheduled, w);
+        cwf_ckpt::Ckpt::save(next_id, w);
+        cwf_ckpt::Ckpt::save(stats, w);
+        cwf_ckpt::Ckpt::save(audit, w);
+        Ok(())
+    }
+
+    /// Restore state saved by [`HeteroCwfMemory::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or a controller-count mismatch.
+    pub fn load_state(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
+        r.expect_section(b"HCWF")?;
+        self.fast.load_state(r)?;
+        let n = r.get_u64()?;
+        if n != self.slow.len() as u64 {
+            return Err(cwf_ckpt::CkptError::new("slow-controller count mismatch"));
+        }
+        for c in &mut self.slow {
+            c.load_state(r)?;
+        }
+        self.placement.load_state(r)?;
+        self.rng = StdRng::from_state(cwf_ckpt::Ckpt::load(r)?);
+        let n_pending = r.get_u64()?;
+        self.pending.clear();
+        for _ in 0..n_pending {
+            let id = r.get_u64()?;
+            let p: Pending = cwf_ckpt::Ckpt::load(r)?;
+            self.pending.insert(id, p);
+        }
+        self.scheduled = cwf_ckpt::Ckpt::load(r)?;
+        self.next_id = cwf_ckpt::Ckpt::load(r)?;
+        self.stats = cwf_ckpt::Ckpt::load(r)?;
+        self.audit = cwf_ckpt::Ckpt::load(r)?;
+        Ok(())
+    }
+}

@@ -274,6 +274,98 @@ impl MainMemory for PagePlacedMemory {
     }
 }
 
+impl PagePlacedMemory {
+    /// Serialize mutable state: both device groups' controllers, the
+    /// token counter, pending completions and the per-group read
+    /// counters. The hot-page set and mappers are pure config, rebuilt
+    /// on restore.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any controller has tracing enabled.
+    pub fn save_state(&self, w: &mut cwf_ckpt::Writer) -> cwf_ckpt::Result<()> {
+        let PagePlacedMemory {
+            rld,
+            lp,
+            rld_mapper: _,
+            lp_mapper: _,
+            hot: _,
+            rld_ratio: _,
+            lp_ratio: _,
+            next_token,
+            pending,
+            rld_reads,
+            lp_reads,
+        } = self;
+        w.section(b"PGPL");
+        rld.save_state(w)?;
+        w.put_u64(lp.len() as u64);
+        for c in lp {
+            c.save_state(w)?;
+        }
+        cwf_ckpt::Ckpt::save(next_token, w);
+        cwf_ckpt::Ckpt::save(pending, w);
+        cwf_ckpt::Ckpt::save(rld_reads, w);
+        cwf_ckpt::Ckpt::save(lp_reads, w);
+        Ok(())
+    }
+
+    /// Restore state saved by [`PagePlacedMemory::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or a controller-count mismatch.
+    pub fn load_state(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
+        r.expect_section(b"PGPL")?;
+        self.rld.load_state(r)?;
+        let n = r.get_u64()?;
+        if n != self.lp.len() as u64 {
+            return Err(cwf_ckpt::CkptError::new("LP-controller count mismatch"));
+        }
+        for c in &mut self.lp {
+            c.load_state(r)?;
+        }
+        self.next_token = cwf_ckpt::Ckpt::load(r)?;
+        self.pending = cwf_ckpt::Ckpt::load(r)?;
+        self.rld_reads = cwf_ckpt::Ckpt::load(r)?;
+        self.lp_reads = cwf_ckpt::Ckpt::load(r)?;
+        Ok(())
+    }
+}
+
+impl<M> ProfilingMemory<M> {
+    /// Serialize the page-access counts plus the wrapped backend (via
+    /// `save_inner`, because `M`'s concrete type is caller-known).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `save_inner` fails.
+    pub fn save_state(
+        &self,
+        w: &mut cwf_ckpt::Writer,
+        save_inner: impl FnOnce(&M, &mut cwf_ckpt::Writer) -> cwf_ckpt::Result<()>,
+    ) -> cwf_ckpt::Result<()> {
+        w.section(b"PROF");
+        cwf_ckpt::Ckpt::save(&self.counts, w);
+        save_inner(&self.inner, w)
+    }
+
+    /// Restore state saved by [`ProfilingMemory::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or when `load_inner` fails.
+    pub fn load_state(
+        &mut self,
+        r: &mut cwf_ckpt::Reader<'_>,
+        load_inner: impl FnOnce(&mut M, &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()>,
+    ) -> cwf_ckpt::Result<()> {
+        r.expect_section(b"PROF")?;
+        self.counts = cwf_ckpt::Ckpt::load(r)?;
+        load_inner(&mut self.inner, r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -897,3 +897,95 @@ mod tests {
         assert!(overrun >= bound, "overrun {overrun} cannot precede the bound {bound}");
     }
 }
+
+impl cwf_ckpt::Ckpt for RobEntry {
+    fn save(&self, w: &mut cwf_ckpt::Writer) {
+        match *self {
+            RobEntry::Done(at) => {
+                w.put_u8(0);
+                w.put_u64(at);
+            }
+            RobEntry::Load { load_id } => {
+                w.put_u8(1);
+                w.put_u64(load_id);
+            }
+        }
+    }
+    fn load(r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<Self> {
+        Ok(match r.get_u8()? {
+            0 => RobEntry::Done(r.get_u64()?),
+            1 => RobEntry::Load { load_id: r.get_u64()? },
+            v => return Err(cwf_ckpt::CkptError::new(format!("invalid RobEntry tag {v}"))),
+        })
+    }
+}
+
+cwf_ckpt::ckpt_struct!(RobRing { buf, head, len });
+
+impl Core {
+    /// Serialize the core's mutable state (ROB contents, in-flight op,
+    /// retirement counters, span bookkeeping). `id` and `params` are
+    /// rebuilt on restore. Checkpointing with per-core tracing enabled
+    /// is unsupported.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the core has a trace log attached.
+    pub fn save_ckpt(&self, w: &mut cwf_ckpt::Writer) -> cwf_ckpt::Result<()> {
+        let Core {
+            id: _,
+            params: _,
+            rob,
+            pending_gap,
+            stalled,
+            retired,
+            loads_issued,
+            stores_issued,
+            mem_stall_cycles,
+            tracelog,
+            stall_open,
+            retire_pending,
+            cruise_mark,
+        } = self;
+        if tracelog.is_some() {
+            return Err(cwf_ckpt::CkptError::new("cannot checkpoint a core with tracing enabled"));
+        }
+        w.section(b"CORE");
+        cwf_ckpt::Ckpt::save(rob, w);
+        cwf_ckpt::Ckpt::save(pending_gap, w);
+        cwf_ckpt::Ckpt::save(stalled, w);
+        cwf_ckpt::Ckpt::save(retired, w);
+        cwf_ckpt::Ckpt::save(loads_issued, w);
+        cwf_ckpt::Ckpt::save(stores_issued, w);
+        cwf_ckpt::Ckpt::save(mem_stall_cycles, w);
+        cwf_ckpt::Ckpt::save(stall_open, w);
+        cwf_ckpt::Ckpt::save(retire_pending, w);
+        cwf_ckpt::Ckpt::save(cruise_mark, w);
+        Ok(())
+    }
+
+    /// Restore state saved by [`Core::save_ckpt`] into a freshly
+    /// constructed core with the same `id` and `params`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or a ROB capacity mismatch.
+    pub fn load_ckpt(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
+        r.expect_section(b"CORE")?;
+        let rob: RobRing = cwf_ckpt::Ckpt::load(r)?;
+        if rob.buf.len() != self.rob.buf.len() {
+            return Err(cwf_ckpt::CkptError::new("ROB capacity mismatch"));
+        }
+        self.rob = rob;
+        self.pending_gap = cwf_ckpt::Ckpt::load(r)?;
+        self.stalled = cwf_ckpt::Ckpt::load(r)?;
+        self.retired = cwf_ckpt::Ckpt::load(r)?;
+        self.loads_issued = cwf_ckpt::Ckpt::load(r)?;
+        self.stores_issued = cwf_ckpt::Ckpt::load(r)?;
+        self.mem_stall_cycles = cwf_ckpt::Ckpt::load(r)?;
+        self.stall_open = cwf_ckpt::Ckpt::load(r)?;
+        self.retire_pending = cwf_ckpt::Ckpt::load(r)?;
+        self.cruise_mark = cwf_ckpt::Ckpt::load(r)?;
+        Ok(())
+    }
+}

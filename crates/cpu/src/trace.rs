@@ -22,6 +22,35 @@ pub enum TraceOp {
     },
 }
 
+impl cwf_ckpt::Ckpt for TraceOp {
+    fn save(&self, w: &mut cwf_ckpt::Writer) {
+        match *self {
+            TraceOp::Gap(n) => {
+                w.put_u8(0);
+                w.put_u32(n);
+            }
+            TraceOp::Load { addr, pc } => {
+                w.put_u8(1);
+                w.put_u64(addr);
+                w.put_u64(pc);
+            }
+            TraceOp::Store { addr, pc } => {
+                w.put_u8(2);
+                w.put_u64(addr);
+                w.put_u64(pc);
+            }
+        }
+    }
+    fn load(r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<Self> {
+        Ok(match r.get_u8()? {
+            0 => TraceOp::Gap(r.get_u32()?),
+            1 => TraceOp::Load { addr: r.get_u64()?, pc: r.get_u64()? },
+            2 => TraceOp::Store { addr: r.get_u64()?, pc: r.get_u64()? },
+            v => return Err(cwf_ckpt::CkptError::new(format!("invalid TraceOp tag {v}"))),
+        })
+    }
+}
+
 /// An infinite instruction stream.
 ///
 /// Generators in the `workloads` crate implement this; the core keeps
@@ -29,11 +58,40 @@ pub enum TraceOp {
 pub trait TraceSource {
     /// Produce the next trace record.
     fn next_op(&mut self) -> TraceOp;
+
+    /// Serialize the stream position so a checkpointed run can resume
+    /// the exact op sequence. Sources without replayable state (e.g.
+    /// file-backed streams) keep the default, which rejects the
+    /// checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// The default always fails with "unsupported".
+    fn save_ckpt(&self, w: &mut cwf_ckpt::Writer) -> cwf_ckpt::Result<()> {
+        let _ = w;
+        Err(cwf_ckpt::CkptError::new("trace source does not support checkpointing"))
+    }
+
+    /// Restore the stream position saved by [`TraceSource::save_ckpt`].
+    ///
+    /// # Errors
+    ///
+    /// The default always fails with "unsupported".
+    fn load_ckpt(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
+        let _ = r;
+        Err(cwf_ckpt::CkptError::new("trace source does not support checkpointing"))
+    }
 }
 
 impl<T: TraceSource + ?Sized> TraceSource for &mut T {
     fn next_op(&mut self) -> TraceOp {
         (**self).next_op()
+    }
+    fn save_ckpt(&self, w: &mut cwf_ckpt::Writer) -> cwf_ckpt::Result<()> {
+        (**self).save_ckpt(w)
+    }
+    fn load_ckpt(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
+        (**self).load_ckpt(r)
     }
 }
 
@@ -41,11 +99,23 @@ impl TraceSource for Box<dyn TraceSource> {
     fn next_op(&mut self) -> TraceOp {
         (**self).next_op()
     }
+    fn save_ckpt(&self, w: &mut cwf_ckpt::Writer) -> cwf_ckpt::Result<()> {
+        (**self).save_ckpt(w)
+    }
+    fn load_ckpt(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
+        (**self).load_ckpt(r)
+    }
 }
 
 impl TraceSource for Box<dyn TraceSource + Send> {
     fn next_op(&mut self) -> TraceOp {
         (**self).next_op()
+    }
+    fn save_ckpt(&self, w: &mut cwf_ckpt::Writer) -> cwf_ckpt::Result<()> {
+        (**self).save_ckpt(w)
+    }
+    fn load_ckpt(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
+        (**self).load_ckpt(r)
     }
 }
 

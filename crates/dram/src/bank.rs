@@ -152,3 +152,24 @@ mod tests {
         assert_eq!(b.next_act, 50);
     }
 }
+
+impl cwf_ckpt::Ckpt for BankState {
+    fn save(&self, w: &mut cwf_ckpt::Writer) {
+        match *self {
+            BankState::Idle => w.put_u8(0),
+            BankState::Active { row } => {
+                w.put_u8(1);
+                w.put_u32(row);
+            }
+        }
+    }
+    fn load(r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<Self> {
+        Ok(match r.get_u8()? {
+            0 => BankState::Idle,
+            1 => BankState::Active { row: r.get_u32()? },
+            v => return Err(cwf_ckpt::CkptError::new(format!("invalid BankState tag {v}"))),
+        })
+    }
+}
+
+cwf_ckpt::ckpt_struct!(Bank { state, next_act, next_read, next_write, next_pre, last_act_at });

@@ -574,6 +574,64 @@ impl Channel {
     }
 }
 
+impl Channel {
+    /// Serialize the channel's mutable state (ranks, bus bookkeeping,
+    /// statistics, audit logs). The device config is rebuilt on restore
+    /// and the issue-bound memo cache is reset — it is a pure cache
+    /// whose entries are revalidated by generation counters.
+    pub fn save_state(&self, w: &mut cwf_ckpt::Writer) {
+        let Channel {
+            cfg: _,
+            ranks,
+            bus_free_at,
+            last_burst_rank,
+            last_burst_write,
+            stats,
+            rank_gen,
+            bus_gen,
+            memo: _,
+            log,
+            power_log,
+        } = self;
+        w.section(b"CHAN");
+        cwf_ckpt::Ckpt::save(ranks, w);
+        cwf_ckpt::Ckpt::save(bus_free_at, w);
+        cwf_ckpt::Ckpt::save(last_burst_rank, w);
+        cwf_ckpt::Ckpt::save(last_burst_write, w);
+        cwf_ckpt::Ckpt::save(stats, w);
+        cwf_ckpt::Ckpt::save(rank_gen, w);
+        cwf_ckpt::Ckpt::save(bus_gen, w);
+        cwf_ckpt::Ckpt::save(log, w);
+        cwf_ckpt::Ckpt::save(power_log, w);
+    }
+
+    /// Restore state saved by [`Channel::save_state`] into a freshly
+    /// constructed channel for the same device config.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or a rank-count mismatch.
+    pub fn load_state(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
+        r.expect_section(b"CHAN")?;
+        let ranks: Vec<Rank> = cwf_ckpt::Ckpt::load(r)?;
+        if ranks.len() != self.ranks.len() {
+            return Err(cwf_ckpt::CkptError::new("rank count mismatch"));
+        }
+        self.ranks = ranks;
+        self.bus_free_at = cwf_ckpt::Ckpt::load(r)?;
+        self.last_burst_rank = cwf_ckpt::Ckpt::load(r)?;
+        self.last_burst_write = cwf_ckpt::Ckpt::load(r)?;
+        self.stats = cwf_ckpt::Ckpt::load(r)?;
+        self.rank_gen = cwf_ckpt::Ckpt::load(r)?;
+        self.bus_gen = cwf_ckpt::Ckpt::load(r)?;
+        self.log = cwf_ckpt::Ckpt::load(r)?;
+        self.power_log = cwf_ckpt::Ckpt::load(r)?;
+        let slots = self.memo.borrow().len();
+        *self.memo.borrow_mut() = vec![MemoSlot::EMPTY; slots];
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -809,3 +809,55 @@ mod tests {
         assert!(c.violations().iter().any(|v| v.rule == Rule::TRfc));
     }
 }
+
+impl cwf_ckpt::Ckpt for Rule {
+    fn save(&self, w: &mut cwf_ckpt::Writer) {
+        let idx = Rule::ALL.iter().position(|r| r == self).expect("rule in Rule::ALL");
+        w.put_u8(idx as u8);
+    }
+    fn load(r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<Self> {
+        let idx = usize::from(r.get_u8()?);
+        Rule::ALL
+            .get(idx)
+            .copied()
+            .ok_or_else(|| cwf_ckpt::CkptError::new(format!("invalid Rule index {idx}")))
+    }
+}
+
+cwf_ckpt::ckpt_struct!(Violation { at, cmd, rule });
+cwf_ckpt::ckpt_struct!(ShadowBank { open_row, last, blocked_until });
+cwf_ckpt::ckpt_struct!(ShadowRank { banks, acts, last, group_last });
+
+impl ProtocolChecker {
+    /// Serialize the checker's mutable state (shadow ranks, pending
+    /// burst, recorded violations). The device config and generated
+    /// rule table are rebuilt on restore, never encoded.
+    pub fn save_state(&self, w: &mut cwf_ckpt::Writer) {
+        let ProtocolChecker { cfg: _, rules: _, ranks, last_burst, violations, commands_checked } =
+            self;
+        w.section(b"PCHK");
+        cwf_ckpt::Ckpt::save(ranks, w);
+        cwf_ckpt::Ckpt::save(last_burst, w);
+        cwf_ckpt::Ckpt::save(violations, w);
+        cwf_ckpt::Ckpt::save(commands_checked, w);
+    }
+
+    /// Restore state saved by [`ProtocolChecker::save_state`] into a
+    /// freshly constructed checker for the same device config.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or a shadow-rank count mismatch.
+    pub fn load_state(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
+        r.expect_section(b"PCHK")?;
+        let ranks: Vec<ShadowRank> = cwf_ckpt::Ckpt::load(r)?;
+        if ranks.len() != self.ranks.len() {
+            return Err(cwf_ckpt::CkptError::new("shadow-rank count mismatch"));
+        }
+        self.ranks = ranks;
+        self.last_burst = cwf_ckpt::Ckpt::load(r)?;
+        self.violations = cwf_ckpt::Ckpt::load(r)?;
+        self.commands_checked = cwf_ckpt::Ckpt::load(r)?;
+        Ok(())
+    }
+}

@@ -106,6 +106,68 @@ impl Command {
     }
 }
 
+impl cwf_ckpt::Ckpt for Command {
+    fn save(&self, w: &mut cwf_ckpt::Writer) {
+        match *self {
+            Command::Activate { rank, bank, row } => {
+                w.put_u8(0);
+                w.put_u8(rank);
+                w.put_u8(bank);
+                w.put_u32(row);
+            }
+            Command::Read { rank, bank, row, auto_pre } => {
+                w.put_u8(1);
+                w.put_u8(rank);
+                w.put_u8(bank);
+                w.put_u32(row);
+                w.put_u8(u8::from(auto_pre));
+            }
+            Command::Write { rank, bank, row, auto_pre } => {
+                w.put_u8(2);
+                w.put_u8(rank);
+                w.put_u8(bank);
+                w.put_u32(row);
+                w.put_u8(u8::from(auto_pre));
+            }
+            Command::Precharge { rank, bank } => {
+                w.put_u8(3);
+                w.put_u8(rank);
+                w.put_u8(bank);
+            }
+            Command::Refresh { rank } => {
+                w.put_u8(4);
+                w.put_u8(rank);
+            }
+            Command::RefreshBank { rank, bank } => {
+                w.put_u8(5);
+                w.put_u8(rank);
+                w.put_u8(bank);
+            }
+        }
+    }
+    fn load(r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<Self> {
+        Ok(match r.get_u8()? {
+            0 => Command::Activate { rank: r.get_u8()?, bank: r.get_u8()?, row: r.get_u32()? },
+            1 => Command::Read {
+                rank: r.get_u8()?,
+                bank: r.get_u8()?,
+                row: r.get_u32()?,
+                auto_pre: r.get_u8()? != 0,
+            },
+            2 => Command::Write {
+                rank: r.get_u8()?,
+                bank: r.get_u8()?,
+                row: r.get_u32()?,
+                auto_pre: r.get_u8()? != 0,
+            },
+            3 => Command::Precharge { rank: r.get_u8()?, bank: r.get_u8()? },
+            4 => Command::Refresh { rank: r.get_u8()? },
+            5 => Command::RefreshBank { rank: r.get_u8()?, bank: r.get_u8()? },
+            v => return Err(cwf_ckpt::CkptError::new(format!("invalid Command tag {v}"))),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

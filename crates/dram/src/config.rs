@@ -396,6 +396,20 @@ impl DeviceConfig {
     }
 }
 
+impl cwf_ckpt::Ckpt for DeviceKind {
+    fn save(&self, w: &mut cwf_ckpt::Writer) {
+        let idx = DeviceKind::ALL.iter().position(|k| k == self).expect("kind in DeviceKind::ALL");
+        w.put_u8(idx as u8);
+    }
+    fn load(r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<Self> {
+        let idx = usize::from(r.get_u8()?);
+        DeviceKind::ALL
+            .get(idx)
+            .copied()
+            .ok_or_else(|| cwf_ckpt::CkptError::new(format!("invalid DeviceKind index {idx}")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

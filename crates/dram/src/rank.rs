@@ -321,3 +321,37 @@ mod tests {
         assert_eq!(r.wake(10, &cfg), 10);
     }
 }
+
+impl cwf_ckpt::Ckpt for PowerState {
+    fn save(&self, w: &mut cwf_ckpt::Writer) {
+        w.put_u8(match self {
+            PowerState::Up => 0,
+            PowerState::PowerDown => 1,
+            PowerState::SelfRefresh => 2,
+        });
+    }
+    fn load(r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<Self> {
+        Ok(match r.get_u8()? {
+            0 => PowerState::Up,
+            1 => PowerState::PowerDown,
+            2 => PowerState::SelfRefresh,
+            v => return Err(cwf_ckpt::CkptError::new(format!("invalid PowerState tag {v}"))),
+        })
+    }
+}
+
+cwf_ckpt::ckpt_struct!(Rank {
+    banks,
+    open_mask,
+    act_window,
+    next_act_rrd,
+    group_next_act,
+    group_next_col,
+    next_col_rank,
+    read_after_write_ok,
+    next_cmd_ok,
+    power,
+    power_since,
+    last_activity,
+    residency,
+});

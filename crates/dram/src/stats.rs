@@ -469,3 +469,29 @@ mod tests {
         assert_eq!(ra.self_refresh, 4);
     }
 }
+
+cwf_ckpt::ckpt_struct!(Residency {
+    active_standby,
+    precharge_standby,
+    active_powerdown,
+    precharge_powerdown,
+    self_refresh,
+});
+
+cwf_ckpt::ckpt_struct!(BankCounters { activates, reads, writes });
+
+cwf_ckpt::ckpt_struct!(LatencyHist { buckets, count, sum, max });
+
+cwf_ckpt::ckpt_struct!(ChannelStats {
+    activates,
+    reads,
+    writes,
+    precharges,
+    refreshes,
+    row_hits,
+    row_misses,
+    row_conflicts,
+    read_bus_cycles,
+    write_bus_cycles,
+    per_bank,
+});

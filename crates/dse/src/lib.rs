@@ -1,0 +1,35 @@
+#![forbid(unsafe_code)]
+//! Design-space-exploration service for `cwfmem`.
+//!
+//! The batch front end (`cwfmem sweep`) runs one grid and exits; this
+//! crate turns the same deterministic cell machinery into a *service*:
+//!
+//! * [`pool`] — a work-stealing worker pool executing whole-simulation
+//!   cells with panic isolation;
+//! * [`digest`] — stable `(config-digest, seed)` cell identities,
+//!   canonicalized through the `cwfmem.ckpt.v1` encoding;
+//! * [`cache`] — a result cache that memoizes finished cells *and*
+//!   batches duplicate submissions onto in-flight computations;
+//! * [`server`] — the `cwfmem serve` HTTP/JSON front end (submit
+//!   sweeps, poll or stream status, fetch per-cell results and Perfetto
+//!   traces, graceful shutdown);
+//! * [`http`] / [`json`] — the hand-rolled HTTP/1.1 and JSON layers
+//!   (the build environment is offline; no dependencies).
+//!
+//! Everything observable is deterministic: cell seeds are pure
+//! functions of the sweep request, cached results are bit-identical to
+//! reruns, and delivery is exactly-once per result slot (DESIGN.md §16
+//! has the protocol).
+
+pub mod cache;
+pub mod digest;
+pub mod http;
+pub mod json;
+pub mod pool;
+pub mod server;
+
+pub use cache::{CellOutput, ResultCache, Submission};
+pub use digest::{cell_key, config_digest, CellKey};
+pub use json::Json;
+pub use pool::Pool;
+pub use server::Server;

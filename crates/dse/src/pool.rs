@@ -1,0 +1,230 @@
+//! Work-stealing worker pool for sweep cells.
+//!
+//! Submissions are distributed round-robin across per-worker deques; a
+//! worker drains its own deque LIFO (cache-warm) and, when empty, steals
+//! FIFO from its siblings — the classic work-stealing topology, built on
+//! `std` mutexes because the container vendors no lock-free deque. Cell
+//! granularity is a whole simulation (milliseconds to minutes), so deque
+//! lock traffic is noise.
+//!
+//! Panic isolation is the *caller's* job ([`crate::server`] wraps each
+//! cell in `catch_unwind`); the pool itself still survives a panicking
+//! job — the worker thread catches it, counts it, and keeps serving.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A unit of pool work.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    /// One deque per worker; submissions round-robin, idle workers steal.
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Sleep/wake coordination for idle workers.
+    idle: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    /// Jobs submitted but not yet finished (running or queued).
+    in_flight: AtomicUsize,
+    /// Jobs that completed by panicking (the catch keeps the worker up).
+    panicked: AtomicU64,
+    /// Jobs a worker took from a sibling's deque.
+    steals: AtomicU64,
+}
+
+/// A fixed-size work-stealing thread pool.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    next: AtomicUsize,
+}
+
+impl Pool {
+    /// Spawn `workers` (clamped to at least 1) worker threads.
+    #[must_use]
+    pub fn new(workers: usize) -> Pool {
+        let n = workers.max(1);
+        let shared = Arc::new(Shared {
+            deques: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            panicked: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+        });
+        let workers = (0..n)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cwf-dse-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool { shared, workers, next: AtomicUsize::new(0) }
+    }
+
+    /// Enqueue a job. Jobs submitted after [`Pool::shutdown`] are dropped.
+    pub fn spawn(&self, job: Job) {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        self.shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.shared.deques.len();
+        self.shared.deques[i].lock().expect("deque poisoned").push_back(job);
+        self.shared.wake.notify_one();
+    }
+
+    /// Jobs submitted but not yet finished.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Jobs that ended in a panic (caught; the pool kept running).
+    #[must_use]
+    pub fn panicked(&self) -> u64 {
+        self.shared.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Jobs executed off a sibling's deque.
+    #[must_use]
+    pub fn steals(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
+    }
+
+    /// Worker-thread count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.shared.deques.len()
+    }
+
+    /// Stop accepting work, finish jobs already queued, join the workers.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.wake.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.wake.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Take the next job for worker `me`: own deque front first (LIFO back
+/// would starve FIFO fairness across sweeps; front keeps submission
+/// order), then steal from siblings.
+fn take_job(shared: &Shared, me: usize) -> Option<(Job, bool)> {
+    if let Some(job) = shared.deques[me].lock().expect("deque poisoned").pop_front() {
+        return Some((job, false));
+    }
+    let n = shared.deques.len();
+    for off in 1..n {
+        let victim = (me + off) % n;
+        if let Some(job) = shared.deques[victim].lock().expect("deque poisoned").pop_front() {
+            return Some((job, true));
+        }
+    }
+    None
+}
+
+fn worker_loop(shared: &Shared, me: usize) {
+    loop {
+        match take_job(shared, me) {
+            Some((job, stolen)) => {
+                if stolen {
+                    shared.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                // A panicking job must not take the worker down with it.
+                if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                    shared.panicked.fetch_add(1, Ordering::Relaxed);
+                }
+                shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+            }
+            None => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                // Timed wait: a submission between the take attempt and
+                // this wait would otherwise be missed forever.
+                let guard = shared.idle.lock().expect("idle poisoned");
+                let _unused =
+                    shared.wake.wait_timeout(guard, Duration::from_millis(20)).expect("idle wait");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn executes_every_job_once() {
+        let pool = Pool::new(4);
+        let counter = Arc::new(AtomicU32::new(0));
+        for _ in 0..500 {
+            let c = Arc::clone(&counter);
+            pool.spawn(Box::new(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        while pool.in_flight() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn survives_panicking_jobs_and_steals_imbalance() {
+        let pool = Pool::new(3);
+        let counter = Arc::new(AtomicU32::new(0));
+        for i in 0..60 {
+            let c = Arc::clone(&counter);
+            pool.spawn(Box::new(move || {
+                if i % 10 == 0 {
+                    panic!("job {i} exploded");
+                }
+                // Uneven job cost provokes stealing.
+                if i % 3 == 0 {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                c.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        while pool.in_flight() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 54);
+        assert_eq!(pool.panicked(), 6);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let pool = Pool::new(2);
+        let counter = Arc::new(AtomicU32::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.spawn(Box::new(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+}

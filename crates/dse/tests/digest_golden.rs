@@ -1,0 +1,123 @@
+//! Golden pins for the result-cache config digest.
+//!
+//! The digest is the cache's identity function: if it drifts, every
+//! persisted cache key and every cross-version comparison silently
+//! breaks. These tests pin the exact value for the full legacy memory
+//! matrix (2 benches x 9 organizations) and for every shipped device
+//! spec, with all environment-sensitive knobs (`kernel`, `verify`,
+//! `trace`) set explicitly so the pins hold in any environment.
+//!
+//! If one of these assertions fails, the `cwfmem.ckpt.v1` encoding of
+//! [`RunConfig`] changed — that is a format break, not a test to
+//! update casually (DESIGN.md §16).
+
+use cwf_dse::config_digest;
+use dram_timing::DeviceSpec;
+use sim_harness::config::MemKind;
+use sim_harness::{Kernel, RunConfig};
+
+/// The paper methodology config with every env-defaulted knob pinned.
+fn pinned_cfg(kind: MemKind) -> RunConfig {
+    let mut cfg = RunConfig::paper(kind, 8_000);
+    cfg.kernel = Kernel::Event;
+    cfg.verify = false;
+    cfg.trace = false;
+    cfg
+}
+
+/// `(bench, kind-slug, digest)` for the 18-cell legacy matrix.
+const LEGACY_GOLDEN: [(&str, &str, u64); 18] = [
+    ("mcf", "ddr3", 0x64af34fa8269181b),
+    ("mcf", "lpddr2", 0x2b4c98c5f2358e68),
+    ("mcf", "rldram3", 0xf50f2ef7840c9c4d),
+    ("mcf", "rd", 0x5dd7243210cd4901),
+    ("mcf", "rl", 0x8db50df50e28f106),
+    ("mcf", "dl", 0xdde59fe57d07cd6c),
+    ("mcf", "rl-ad", 0xfa8158208b453937),
+    ("mcf", "rl-or", 0x0ea2504616603582),
+    ("mcf", "rl-rand", 0x00874f1d50b8cab3),
+    ("leslie3d", "ddr3", 0x023505ae58b09c86),
+    ("leslie3d", "lpddr2", 0x11a99adcfdd06374),
+    ("leslie3d", "rldram3", 0x79f2790e9c5c47a7),
+    ("leslie3d", "rd", 0x31c5d9ff8b1e4b5b),
+    ("leslie3d", "rl", 0xf273f10250957339),
+    ("leslie3d", "dl", 0xb8eda12719d04d69),
+    ("leslie3d", "rl-ad", 0xb48ea2a4158d56a1),
+    ("leslie3d", "rl-or", 0xca8674f69150714f),
+    ("leslie3d", "rl-rand", 0xe868236d9395f389),
+];
+
+#[test]
+fn legacy_matrix_digests_are_pinned() {
+    let mut seen = std::collections::BTreeSet::new();
+    for (bench, slug, expect) in LEGACY_GOLDEN {
+        let kind = MemKind::parse(slug).unwrap_or_else(|| panic!("kind {slug}"));
+        let got = config_digest(bench, &pinned_cfg(kind));
+        assert_eq!(got, expect, "digest drift for {bench}/{slug}: got {got:#018x}");
+        assert!(seen.insert(got), "digest collision at {bench}/{slug}");
+    }
+}
+
+#[test]
+fn digests_are_seed_invariant_and_knob_sensitive() {
+    let base = pinned_cfg(MemKind::Rl);
+    let mut reseeded = base;
+    reseeded.seed = reseeded.seed.wrapping_add(0x1234_5678);
+    assert_eq!(config_digest("mcf", &base), config_digest("mcf", &reseeded));
+    for mutate in [
+        (|c: &mut RunConfig| c.cores = 4) as fn(&mut RunConfig),
+        |c| c.target_dram_reads += 1,
+        |c| c.warmup_dram_reads += 1,
+        |c| c.prefetch = !c.prefetch,
+        |c| c.parity_error_rate += 1e-6,
+        |c| c.functional_warm_ops += 1,
+        |c| c.kernel = Kernel::Cycle,
+        |c| c.verify = true,
+        |c| c.max_cycles -= 1,
+    ] {
+        let mut changed = base;
+        mutate(&mut changed);
+        assert_ne!(
+            config_digest("mcf", &base),
+            config_digest("mcf", &changed),
+            "a config knob did not reach the digest"
+        );
+    }
+}
+
+/// Every shipped device spec participates in the digest space without
+/// collisions (the exact values are asserted stable against a rerun, the
+/// legacy matrix above pins absolute values).
+#[test]
+fn embedded_spec_digests_are_stable_and_distinct() {
+    let mut seen = std::collections::BTreeMap::new();
+    for id in DeviceSpec::embedded_ids() {
+        let kind = MemKind::parse(id).unwrap_or_else(|| panic!("spec id {id} must parse"));
+        let d1 = config_digest("mcf", &pinned_cfg(kind));
+        let d2 = config_digest("mcf", &pinned_cfg(kind));
+        assert_eq!(d1, d2, "digest of spec {id} must be deterministic");
+        if let Some(prev) = seen.insert(d1, id) {
+            // Spec ids that normalize to the same MemKind (e.g. a CWF
+            // pairing alias) may share a digest; distinct kinds may not.
+            let k_prev = MemKind::parse(prev).unwrap();
+            assert_eq!(k_prev, kind, "digest collision between {prev} and {id}");
+        }
+    }
+    assert!(!seen.is_empty(), "no embedded specs found");
+}
+
+/// Generator for the golden table: `cargo test -p cwf-dse --test
+/// digest_golden -- --ignored --nocapture` prints the rows to paste.
+#[test]
+#[ignore = "golden-table generator"]
+fn print_golden_table() {
+    for bench in ["mcf", "leslie3d"] {
+        for slug in ["ddr3", "lpddr2", "rldram3", "rd", "rl", "dl", "rl-ad", "rl-or", "rl-rand"] {
+            let kind = MemKind::parse(slug).unwrap();
+            println!(
+                "    (\"{bench}\", \"{slug}\", {:#018x}),",
+                config_digest(bench, &pinned_cfg(kind))
+            );
+        }
+    }
+}

@@ -240,6 +240,48 @@ impl AggregatedController {
     }
 }
 
+impl AggregatedController {
+    /// Serialize mutable state: every sub-controller, the round-robin
+    /// cursor and the shared-bus conflict counter.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any sub-controller has tracing enabled.
+    pub fn save_state(&self, w: &mut cwf_ckpt::Writer) -> cwf_ckpt::Result<()> {
+        let AggregatedController { subs, rr, shared_bus: _, cmd_bus_conflicts, fault_double_book } =
+            self;
+        w.section(b"AGGR");
+        w.put_u64(subs.len() as u64);
+        for c in subs {
+            c.save_state(w)?;
+        }
+        cwf_ckpt::Ckpt::save(rr, w);
+        cwf_ckpt::Ckpt::save(cmd_bus_conflicts, w);
+        cwf_ckpt::Ckpt::save(fault_double_book, w);
+        Ok(())
+    }
+
+    /// Restore state saved by [`AggregatedController::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or a sub-controller count mismatch.
+    pub fn load_state(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
+        r.expect_section(b"AGGR")?;
+        let n = r.get_u64()?;
+        if n != self.subs.len() as u64 {
+            return Err(cwf_ckpt::CkptError::new("sub-controller count mismatch"));
+        }
+        for c in &mut self.subs {
+            c.load_state(r)?;
+        }
+        self.rr = cwf_ckpt::Ckpt::load(r)?;
+        self.cmd_bus_conflicts = cwf_ckpt::Ckpt::load(r)?;
+        self.fault_double_book = cwf_ckpt::Ckpt::load(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

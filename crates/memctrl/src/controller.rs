@@ -1571,3 +1571,115 @@ mod tests {
         assert!((s.sum_service_ns - expect_service_ns).abs() < 1e-9);
     }
 }
+
+cwf_ckpt::ckpt_struct!(ReadCompletion { token, data_end_mem, queue_mem, service_mem });
+
+cwf_ckpt::ckpt_struct!(ControllerStats {
+    kind,
+    label,
+    chips_per_access,
+    mem_cycles,
+    t_ck_ps,
+    channel,
+    residency,
+    ranks,
+    reads_done,
+    writes_done,
+    sum_queue_ns,
+    sum_service_ns,
+    read_lat_hist,
+});
+
+impl Controller {
+    /// Serialize the controller's mutable state: channel, transaction
+    /// queues, scheduler bookkeeping, refresh deadlines, pending
+    /// completions and statistics. Config (`DeviceConfig`, `CtrlParams`,
+    /// label) is rebuilt on restore. Checkpointing a controller with an
+    /// active trace sink is unsupported.
+    ///
+    /// # Errors
+    ///
+    /// Fails when request-linked tracing is enabled.
+    pub fn save_state(&self, w: &mut cwf_ckpt::Writer) -> cwf_ckpt::Result<()> {
+        let Controller {
+            cfg: _,
+            params: _,
+            label: _,
+            chips_per_access: _,
+            channel,
+            read_q,
+            write_q,
+            drain,
+            sched_idle_until,
+            refresh_deadline,
+            refresh_bank_rr,
+            completions,
+            mem_cycles,
+            reads_done,
+            writes_done,
+            sum_queue_mem,
+            sum_service_mem,
+            read_lat_hist,
+            next_token,
+            fault_drop_refreshes,
+            fault_phantom_self_refresh,
+            trace,
+        } = self;
+        if trace.is_some() {
+            return Err(cwf_ckpt::CkptError::new(
+                "cannot checkpoint a controller with tracing enabled",
+            ));
+        }
+        w.section(b"CTRL");
+        channel.save_state(w);
+        cwf_ckpt::Ckpt::save(read_q, w);
+        cwf_ckpt::Ckpt::save(write_q, w);
+        cwf_ckpt::Ckpt::save(drain, w);
+        cwf_ckpt::Ckpt::save(sched_idle_until, w);
+        cwf_ckpt::Ckpt::save(refresh_deadline, w);
+        cwf_ckpt::Ckpt::save(refresh_bank_rr, w);
+        cwf_ckpt::Ckpt::save(completions, w);
+        cwf_ckpt::Ckpt::save(mem_cycles, w);
+        cwf_ckpt::Ckpt::save(reads_done, w);
+        cwf_ckpt::Ckpt::save(writes_done, w);
+        cwf_ckpt::Ckpt::save(sum_queue_mem, w);
+        cwf_ckpt::Ckpt::save(sum_service_mem, w);
+        cwf_ckpt::Ckpt::save(read_lat_hist, w);
+        cwf_ckpt::Ckpt::save(next_token, w);
+        cwf_ckpt::Ckpt::save(fault_drop_refreshes, w);
+        cwf_ckpt::Ckpt::save(fault_phantom_self_refresh, w);
+        Ok(())
+    }
+
+    /// Restore state saved by [`Controller::save_state`] into a freshly
+    /// constructed controller for the same device config and params.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or a refresh-deadline count mismatch.
+    pub fn load_state(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
+        r.expect_section(b"CTRL")?;
+        self.channel.load_state(r)?;
+        self.read_q = cwf_ckpt::Ckpt::load(r)?;
+        self.write_q = cwf_ckpt::Ckpt::load(r)?;
+        self.drain = cwf_ckpt::Ckpt::load(r)?;
+        self.sched_idle_until = cwf_ckpt::Ckpt::load(r)?;
+        let refresh_deadline: Vec<u64> = cwf_ckpt::Ckpt::load(r)?;
+        if refresh_deadline.len() != self.refresh_deadline.len() {
+            return Err(cwf_ckpt::CkptError::new("refresh-deadline count mismatch"));
+        }
+        self.refresh_deadline = refresh_deadline;
+        self.refresh_bank_rr = cwf_ckpt::Ckpt::load(r)?;
+        self.completions = cwf_ckpt::Ckpt::load(r)?;
+        self.mem_cycles = cwf_ckpt::Ckpt::load(r)?;
+        self.reads_done = cwf_ckpt::Ckpt::load(r)?;
+        self.writes_done = cwf_ckpt::Ckpt::load(r)?;
+        self.sum_queue_mem = cwf_ckpt::Ckpt::load(r)?;
+        self.sum_service_mem = cwf_ckpt::Ckpt::load(r)?;
+        self.read_lat_hist = cwf_ckpt::Ckpt::load(r)?;
+        self.next_token = cwf_ckpt::Ckpt::load(r)?;
+        self.fault_drop_refreshes = cwf_ckpt::Ckpt::load(r)?;
+        self.fault_phantom_self_refresh = cwf_ckpt::Ckpt::load(r)?;
+        Ok(())
+    }
+}

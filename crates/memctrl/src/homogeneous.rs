@@ -271,6 +271,49 @@ impl MainMemory for HomogeneousMemory {
     }
 }
 
+impl HomogeneousMemory {
+    /// Serialize mutable state: every controller, the token counter and
+    /// pending completion events. The address mapper and clock ratio are
+    /// pure config, rebuilt on restore.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any controller has tracing enabled.
+    pub fn save_state(&self, w: &mut cwf_ckpt::Writer) -> cwf_ckpt::Result<()> {
+        let HomogeneousMemory { controllers, mapper: _, ratio: _, next_token, pending, audit } =
+            self;
+        w.section(b"HOMO");
+        w.put_u64(controllers.len() as u64);
+        for c in controllers {
+            c.save_state(w)?;
+        }
+        cwf_ckpt::Ckpt::save(next_token, w);
+        cwf_ckpt::Ckpt::save(pending, w);
+        cwf_ckpt::Ckpt::save(audit, w);
+        Ok(())
+    }
+
+    /// Restore state saved by [`HomogeneousMemory::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or a controller-count mismatch.
+    pub fn load_state(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
+        r.expect_section(b"HOMO")?;
+        let n = r.get_u64()?;
+        if n != self.controllers.len() as u64 {
+            return Err(cwf_ckpt::CkptError::new("controller count mismatch"));
+        }
+        for c in &mut self.controllers {
+            c.load_state(r)?;
+        }
+        self.next_token = cwf_ckpt::Ckpt::load(r)?;
+        self.pending = cwf_ckpt::Ckpt::load(r)?;
+        self.audit = cwf_ckpt::Ckpt::load(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -203,3 +203,5 @@ mod tests {
         assert_ne!(m.decode(0x1000), m.decode(0x1040));
     }
 }
+
+cwf_ckpt::ckpt_struct!(Loc { rank, bank, row, col });

@@ -348,3 +348,59 @@ mod tests {
         assert_eq!(f.at(), 100);
     }
 }
+
+impl cwf_ckpt::Ckpt for AccessKind {
+    fn save(&self, w: &mut cwf_ckpt::Writer) {
+        match *self {
+            AccessKind::DemandRead => w.put_u8(0),
+            AccessKind::PrefetchRead => w.put_u8(1),
+            AccessKind::Write { predicted_critical } => {
+                w.put_u8(2);
+                w.put_u8(predicted_critical);
+            }
+        }
+    }
+    fn load(r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<Self> {
+        Ok(match r.get_u8()? {
+            0 => AccessKind::DemandRead,
+            1 => AccessKind::PrefetchRead,
+            2 => AccessKind::Write { predicted_critical: r.get_u8()? },
+            v => return Err(cwf_ckpt::CkptError::new(format!("invalid AccessKind tag {v}"))),
+        })
+    }
+}
+
+cwf_ckpt::ckpt_struct!(LineRequest { line_addr, critical_word, kind, core });
+
+impl cwf_ckpt::Ckpt for MemEvent {
+    fn save(&self, w: &mut cwf_ckpt::Writer) {
+        match *self {
+            MemEvent::WordsAvailable { token, at, words, served_fast } => {
+                w.put_u8(0);
+                cwf_ckpt::Ckpt::save(&token, w);
+                w.put_u64(at);
+                w.put_u8(words);
+                w.put_u8(u8::from(served_fast));
+            }
+            MemEvent::LineFilled { token, at } => {
+                w.put_u8(1);
+                cwf_ckpt::Ckpt::save(&token, w);
+                w.put_u64(at);
+            }
+        }
+    }
+    fn load(r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<Self> {
+        Ok(match r.get_u8()? {
+            0 => MemEvent::WordsAvailable {
+                token: cwf_ckpt::Ckpt::load(r)?,
+                at: r.get_u64()?,
+                words: r.get_u8()?,
+                served_fast: r.get_u8()? != 0,
+            },
+            1 => MemEvent::LineFilled { token: cwf_ckpt::Ckpt::load(r)?, at: r.get_u64()? },
+            v => return Err(cwf_ckpt::CkptError::new(format!("invalid MemEvent tag {v}"))),
+        })
+    }
+}
+
+cwf_ckpt::ckpt_struct!(MemSystemStats { controllers });

@@ -223,3 +223,7 @@ mod tests {
         assert_eq!(q.oldest().unwrap().1.token, Token(2));
     }
 }
+
+cwf_ckpt::ckpt_struct!(Txn { token, loc, prefetch, enqueue_mem, classified, seq });
+
+cwf_ckpt::ckpt_struct!(TxnQueue { slots, free, buckets, per_rank, occ, banks, len, next_seq });

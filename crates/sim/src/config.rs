@@ -54,6 +54,55 @@ impl MemBackend {
         }
     }
 
+    /// Serialize the backend's mutable state (checkpointing). A one-byte
+    /// variant tag guards against resuming into a different organization;
+    /// the variant itself is rebuilt from the run config, never decoded.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the concrete backend cannot be checkpointed (e.g. a
+    /// controller trace sink is attached).
+    pub fn save_state(&self, w: &mut cwf_ckpt::Writer) -> cwf_ckpt::Result<()> {
+        match self {
+            MemBackend::Homogeneous(m) => {
+                w.put_u8(0);
+                m.save_state(w)
+            }
+            MemBackend::Cwf(m) => {
+                w.put_u8(1);
+                m.save_state(w)
+            }
+            MemBackend::PagePlaced(m) => {
+                w.put_u8(2);
+                m.save_state(w)
+            }
+            MemBackend::Profiling(m) => {
+                w.put_u8(3);
+                m.save_state(w, |inner, w| inner.save_state(w))
+            }
+        }
+    }
+
+    /// Restore state saved by [`MemBackend::save_state`] into a backend
+    /// freshly built from the same run config.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or when the checkpoint was taken on a
+    /// different backend variant.
+    pub fn load_state(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
+        let tag = r.get_u8()?;
+        match (tag, self) {
+            (0, MemBackend::Homogeneous(m)) => m.load_state(r),
+            (1, MemBackend::Cwf(m)) => m.load_state(r),
+            (2, MemBackend::PagePlaced(m)) => m.load_state(r),
+            (3, MemBackend::Profiling(m)) => m.load_state(r, |inner, r| inner.load_state(r)),
+            (tag, _) => Err(cwf_ckpt::CkptError::new(format!(
+                "backend variant mismatch: checkpoint has tag {tag}"
+            ))),
+        }
+    }
+
     /// Replay a warmed dirty eviction into the adaptive placement state
     /// (no-op for backends without one).
     pub fn seed_adaptive_tag(&mut self, line: u64, predicted_critical: u8) {
@@ -311,6 +360,20 @@ impl MemKind {
     }
 }
 
+impl cwf_ckpt::Ckpt for MemKind {
+    // Encoded as the CLI slug: it is the one spelling guaranteed to
+    // round-trip through `parse` for every kind (tested below), and it
+    // keeps the checkpoint readable in a hex dump.
+    fn save(&self, w: &mut cwf_ckpt::Writer) {
+        cwf_ckpt::Ckpt::save(&self.slug(), w);
+    }
+    fn load(r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<Self> {
+        let slug: String = cwf_ckpt::Ckpt::load(r)?;
+        MemKind::parse(&slug)
+            .ok_or_else(|| cwf_ckpt::CkptError::new(format!("unknown memory kind '{slug}'")))
+    }
+}
+
 /// Which simulation kernel drives the clock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Kernel {
@@ -353,6 +416,22 @@ impl Kernel {
     }
 }
 
+impl cwf_ckpt::Ckpt for Kernel {
+    fn save(&self, w: &mut cwf_ckpt::Writer) {
+        w.put_u8(match self {
+            Kernel::Cycle => 0,
+            Kernel::Event => 1,
+        });
+    }
+    fn load(r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(Kernel::Cycle),
+            1 => Ok(Kernel::Event),
+            v => Err(cwf_ckpt::CkptError::new(format!("invalid Kernel tag {v}"))),
+        }
+    }
+}
+
 /// Knobs of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunConfig {
@@ -391,6 +470,21 @@ pub struct RunConfig {
     /// CLI's `--trace`/`--no-trace` override both.
     pub trace: bool,
 }
+
+cwf_ckpt::ckpt_struct!(RunConfig {
+    mem,
+    cores,
+    target_dram_reads,
+    warmup_dram_reads,
+    max_cycles,
+    prefetch,
+    seed,
+    parity_error_rate,
+    functional_warm_ops,
+    kernel,
+    verify,
+    trace,
+});
 
 /// The default verify-oracle setting: `CWF_VERIFY` (`1`/`true`/`on` or
 /// `0`/`false`/`off`) when set, else on for debug builds, off for release.
@@ -527,6 +621,27 @@ mod tests {
             MemKind::Rl,
         ] {
             assert_eq!(MemKind::parse(&k.slug()), Some(k), "slug {}", k.slug());
+        }
+    }
+
+    #[test]
+    fn run_config_ckpt_round_trips() {
+        use cwf_ckpt::Ckpt;
+        let mut odd = RunConfig::paper(MemKind::RlAdaptive, 1_000);
+        odd.parity_error_rate = 1e-3;
+        odd.kernel = Kernel::Cycle;
+        for cfg in [
+            RunConfig::paper(MemKind::Rl, 1_000),
+            RunConfig::quick(MemKind::SpecCwf(DeviceKind::Rldram3, DeviceKind::Ddr5), 10),
+            odd,
+        ] {
+            let mut w = cwf_ckpt::Writer::new();
+            cfg.save(&mut w);
+            let bytes = w.into_vec();
+            let mut r = cwf_ckpt::Reader::new(&bytes);
+            let back = RunConfig::load(&mut r).expect("decode");
+            r.finish().expect("no trailing bytes");
+            assert!(back == cfg);
         }
     }
 

@@ -95,6 +95,87 @@ pub fn run_benchmark_traced_with_backend(
     (metrics, sys.kernel_stats(), sys.verify_report(), sys.trace_report())
 }
 
+/// Result of a checkpoint-bounded run segment ([`run_benchmark_ckpt`],
+/// [`resume_benchmark_to_cycle`]): either the run completed inside the
+/// segment, or it paused and serialized.
+#[allow(clippy::large_enum_variant)] // one value per run segment; not stored in bulk
+#[derive(Debug)]
+pub enum CkptOutcome {
+    /// The run finished before reaching the stop cycle.
+    Finished {
+        /// The run's metrics (identical to an unsegmented run).
+        metrics: RunMetrics,
+        /// Kernel execution counters.
+        kernel: KernelStats,
+        /// The verify oracle's report (`None` when `cfg.verify` is off).
+        verify: Option<cwf_verify::VerifyReport>,
+    },
+    /// The run paused at the stop cycle; the blob resumes it.
+    Paused {
+        /// A `cwfmem.ckpt.v1` blob (see [`System::save_ckpt`]).
+        ckpt: Vec<u8>,
+    },
+}
+
+/// Run `bench` under `cfg`, pausing at the first cycle `>= stop_at`. A
+/// paused run serializes to a `cwfmem.ckpt.v1` blob that
+/// [`resume_benchmark`] continues with bit-identical results.
+///
+/// # Errors
+///
+/// Fails when `bench` is unknown or the paused state refuses to
+/// serialize (e.g. tracing is enabled).
+pub fn run_benchmark_ckpt(
+    cfg: &RunConfig,
+    bench: &str,
+    stop_at: u64,
+) -> cwf_ckpt::Result<CkptOutcome> {
+    let profile = by_name(bench)
+        .ok_or_else(|| cwf_ckpt::CkptError::new(format!("unknown benchmark '{bench}'")))?;
+    let mut sys = System::new(cfg, profile);
+    segment_outcome(sys.run_to_cycle(stop_at), sys)
+}
+
+/// Resume a checkpointed run to completion, returning what
+/// [`run_benchmark_verified`] would have for the uninterrupted run.
+///
+/// # Errors
+///
+/// Fails when the blob is malformed or disagrees with the workspace's
+/// benchmark registry.
+pub fn resume_benchmark(
+    bytes: &[u8],
+) -> cwf_ckpt::Result<(RunMetrics, KernelStats, Option<cwf_verify::VerifyReport>)> {
+    let mut sys = System::from_ckpt(bytes)?;
+    let metrics = sys.run();
+    Ok((metrics, sys.kernel_stats(), sys.verify_report()))
+}
+
+/// Resume a checkpointed run, pausing again at the first cycle
+/// `>= stop_at` (segmented execution: a run can hop across any number of
+/// processes).
+///
+/// # Errors
+///
+/// Fails when the blob is malformed or re-serialization fails.
+pub fn resume_benchmark_to_cycle(bytes: &[u8], stop_at: u64) -> cwf_ckpt::Result<CkptOutcome> {
+    let mut sys = System::from_ckpt(bytes)?;
+    segment_outcome(sys.run_to_cycle(stop_at), sys)
+}
+
+/// Package a `run_to_cycle` result: finished runs report, paused runs
+/// serialize.
+fn segment_outcome(metrics: Option<RunMetrics>, sys: System) -> cwf_ckpt::Result<CkptOutcome> {
+    match metrics {
+        Some(metrics) => Ok(CkptOutcome::Finished {
+            metrics,
+            kernel: sys.kernel_stats(),
+            verify: sys.verify_report(),
+        }),
+        None => Ok(CkptOutcome::Paused { ckpt: sys.save_ckpt()? }),
+    }
+}
+
 /// The paper's system-throughput metric: `Σᵢ IPCᵢ_shared / IPCᵢ_alone`
 /// (§5), where `IPC_alone` is measured on a single-core system with the
 /// same memory organization.

@@ -1,11 +1,12 @@
 //! The full-system simulator: cores + hierarchy + memory, one CPU-cycle
 //! master clock, with warm-up/measurement windows.
 
-use cache_hier::{AccessOutcome, HierAudit, HierParams, Hierarchy, StoreOutcome, Woken};
+use cache_hier::{AccessOutcome, HierAudit, HierParams, HierStats, Hierarchy, StoreOutcome, Woken};
 use cpu_model::{Core, CoreParams, IssueResult, MemOp, MemOpKind, TraceSource};
+use cwf_core::CwfStats;
 use cwf_tracelog::TraceEvent;
 use cwf_verify::{Oracle, VerifyReport};
-use mem_ctrl::{AuditRecord, MainMemory};
+use mem_ctrl::{AuditRecord, MainMemory, MemSystemStats};
 use workloads::{BenchmarkProfile, TraceGen};
 
 /// A boxed, sendable trace source (synthetic generator or file replay).
@@ -87,6 +88,43 @@ impl KernelStats {
     }
 }
 
+cwf_ckpt::ckpt_struct!(KernelStats {
+    kernel,
+    steps,
+    mem_tick_calls,
+    cycles_skipped,
+    core_ticks,
+    core_stall_cycles,
+    core_wait_cycles,
+    core_cruise_cycles,
+    core_replay_cycles,
+});
+
+/// Statistics snapshot taken at the warm-up → measurement boundary, so
+/// the final report can subtract the warm window. Hoisted out of the run
+/// loop (rather than living in `run`'s locals) so a checkpoint taken
+/// mid-measurement carries it.
+#[derive(Debug, Clone)]
+struct WarmSnapshot {
+    /// Per-core retired-instruction counts at the boundary.
+    insts: Vec<u64>,
+    /// The boundary cycle.
+    cycles: u64,
+    /// Hierarchy counters at the boundary.
+    hier: HierStats,
+    /// Memory-system counters at the boundary.
+    mem: MemSystemStats,
+    /// CWF counters at the boundary (CWF organizations only).
+    cwf: Option<CwfStats>,
+}
+
+cwf_ckpt::ckpt_struct!(WarmSnapshot { insts, cycles, hier, mem, cwf });
+
+/// Magic prefix of a `cwfmem.ckpt.v1` blob.
+const CKPT_MAGIC: &[u8; 8] = b"CWFCKPT1";
+/// Format version within the `CWFCKPT1` magic.
+const CKPT_VERSION: u32 = 1;
+
 /// A complete simulated machine for one benchmark run.
 pub struct System {
     cfg: RunConfig,
@@ -110,6 +148,9 @@ pub struct System {
     /// completion can wake it). 0 forces a tick on the first cycle.
     core_wake: Vec<u64>,
     kstats: KernelStats,
+    /// Statistics snapshot at the warm-up → measurement boundary;
+    /// `None` while still warming up.
+    warm: Option<WarmSnapshot>,
     /// Cross-layer verify oracle (`cfg.verify`); pure observer.
     oracle: Option<Oracle>,
     /// Cross-layer event tracer (`cfg.trace`); pure observer.
@@ -198,6 +239,7 @@ impl System {
             },
             cfg: *cfg,
             bench: name.to_owned(),
+            warm: None,
             oracle: None,
             tracer: None,
             audit_buf: Vec::new(),
@@ -522,68 +564,47 @@ impl System {
         self.now += 1;
     }
 
-    /// Run until `reads` demand DRAM reads have been issued (or the cycle
-    /// cap is hit). Returns the cycle count consumed.
-    fn run_until_reads(&mut self, reads: u64) -> u64 {
-        let start = self.now;
-        match self.cfg.kernel {
-            Kernel::Cycle => {
-                while self.hierarchy.stats().demand_misses < reads && self.now < self.cfg.max_cycles
-                {
-                    self.step_cycle();
-                    // Bound the observer buffers on long runs.
-                    if self.observers_on() && self.kstats.steps & 0xFFFF == 0 {
-                        self.drain_observers();
-                    }
-                }
-            }
-            Kernel::Event => {
-                // The jump happens at the top of the loop, never after the
-                // step that satisfied the exit condition: both kernels
-                // must leave `now` at exactly `t_satisfy + 1`.
-                while self.hierarchy.stats().demand_misses < reads && self.now < self.cfg.max_cycles
-                {
-                    self.jump_to_next_event();
-                    if self.now >= self.cfg.max_cycles {
-                        break;
-                    }
-                    self.step_event();
-                    if self.observers_on() && self.kstats.steps & 0xFFFF == 0 {
-                        self.drain_observers();
-                    }
-                }
-                // Measurement boundaries read per-core state; materialise
-                // every lazily-advanced span up to the stopping cycle.
-                self.sync_all();
-            }
-        }
-        self.now - start
+    /// True while the current window (warm-up or measurement) still has
+    /// demand reads to issue and the cycle cap has not been hit.
+    fn window_open(&self, reads: u64) -> bool {
+        self.hierarchy.stats().demand_misses < reads && self.now < self.cfg.max_cycles
     }
 
-    /// Execute the configured warm-up + measurement windows and report.
-    pub fn run(&mut self) -> RunMetrics {
-        // Warm-up.
-        self.run_until_reads(self.cfg.warmup_dram_reads);
-        let warm_insts: Vec<u64> = self.cores.iter().map(Core::retired).collect();
-        let warm_cycles = self.now;
+    /// Close the warm-up window: materialise lazily-advanced core spans
+    /// (event kernel), then snapshot every counter the final report will
+    /// subtract.
+    fn take_warm_snapshot(&mut self) {
+        if self.cfg.kernel == Kernel::Event {
+            // Measurement boundaries read per-core state; materialise
+            // every lazily-advanced span up to the boundary cycle.
+            self.sync_all();
+        }
+        let insts: Vec<u64> = self.cores.iter().map(Core::retired).collect();
+        let cycles = self.now;
         // Close the open L1 hit streak so the snapshot's span counters
-        // cover exactly the warm window and subtract cleanly below.
+        // cover exactly the warm window and subtract cleanly at the end.
         self.hierarchy.flush_hit_streaks();
-        let warm_hier = *self.hierarchy.stats();
-        let warm_mem = self.hierarchy.memory_mut().stats(self.now);
-        let warm_cwf = self.hierarchy.memory().cwf_stats();
+        let hier = *self.hierarchy.stats();
+        let mem = self.hierarchy.memory_mut().stats(cycles);
+        let cwf = self.hierarchy.memory().cwf_stats();
+        self.warm = Some(WarmSnapshot { insts, cycles, hier, mem, cwf });
+    }
 
-        // Measurement.
-        self.run_until_reads(self.cfg.warmup_dram_reads + self.cfg.target_dram_reads);
-
-        let cycles = self.now - warm_cycles;
+    /// Close the measurement window and produce the report.
+    fn finish(&mut self) -> RunMetrics {
+        if self.cfg.kernel == Kernel::Event {
+            self.sync_all();
+        }
+        let warm = self.warm.as_ref().expect("measurement follows the warm snapshot");
+        let cycles = self.now - warm.cycles;
         let insts_per_core: Vec<u64> =
-            self.cores.iter().zip(&warm_insts).map(|(c, w)| c.retired() - w).collect();
+            self.cores.iter().zip(&warm.insts).map(|(c, w)| c.retired() - w).collect();
         self.hierarchy.flush_hit_streaks();
         let mut hier = *self.hierarchy.stats();
-        hier.sub(&warm_hier);
+        hier.sub(&warm.hier);
         let mut mem_stats = self.hierarchy.memory_mut().stats(self.now);
-        mem_stats.sub(&warm_mem);
+        mem_stats.sub(&warm.mem);
+        let warm_cwf = warm.cwf;
         let cwf = self.hierarchy.memory().cwf_stats().map(|mut c| {
             if let Some(w) = &warm_cwf {
                 c.sub(w);
@@ -613,6 +634,196 @@ impl System {
             mem_stats,
             cwf,
         }
+    }
+
+    /// Execute the configured warm-up + measurement windows and report.
+    pub fn run(&mut self) -> RunMetrics {
+        self.run_to_cycle(u64::MAX).expect("an unbounded run always completes")
+    }
+
+    /// Run until the measurement window closes, or pause at the first
+    /// window-boundary cycle `>= stop_at` (returning `None`). A paused
+    /// system sits between steps — [`System::save_ckpt`] captures it, and
+    /// calling `run_to_cycle` again continues exactly where it stopped.
+    ///
+    /// This is the only run loop: the warm-up → measurement transition is
+    /// a state (`warm`) rather than two nested loops, so a run can be cut
+    /// at *any* cycle and later resumed with bit-identical results.
+    pub fn run_to_cycle(&mut self, stop_at: u64) -> Option<RunMetrics> {
+        loop {
+            if self.warm.is_none() {
+                if !self.window_open(self.cfg.warmup_dram_reads) {
+                    self.take_warm_snapshot();
+                    continue;
+                }
+            } else if !self.window_open(self.cfg.warmup_dram_reads + self.cfg.target_dram_reads) {
+                return Some(self.finish());
+            }
+            if self.now >= stop_at {
+                return None;
+            }
+            match self.cfg.kernel {
+                Kernel::Cycle => self.step_cycle(),
+                Kernel::Event => {
+                    // The jump happens before the step, never after the
+                    // step that satisfied the exit condition: both kernels
+                    // must leave `now` at exactly `t_satisfy + 1`.
+                    self.jump_to_next_event();
+                    if self.now >= self.cfg.max_cycles {
+                        continue;
+                    }
+                    self.step_event();
+                }
+            }
+            // Bound the observer buffers on long runs.
+            if self.observers_on() && self.kstats.steps & 0xFFFF == 0 {
+                self.drain_observers();
+            }
+        }
+    }
+}
+
+impl System {
+    /// Serialize the complete mutable simulator state as a
+    /// `cwfmem.ckpt.v1` blob (see DESIGN.md §16). The stream records only
+    /// state, never configuration: [`System::from_ckpt`] rebuilds the
+    /// machine from the embedded [`RunConfig`] and benchmark name, then
+    /// overwrites every mutable field, so the resumed run is bit-identical
+    /// to an uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// Fails when tracing (`cfg.trace`) is enabled — trace rings are
+    /// deliberately outside the checkpoint contract — or when any
+    /// component refuses to serialize.
+    pub fn save_ckpt(&self) -> cwf_ckpt::Result<Vec<u8>> {
+        use cwf_ckpt::Ckpt;
+        if self.cfg.trace || self.tracer.is_some() {
+            return Err(cwf_ckpt::CkptError::new("cannot checkpoint a run with tracing enabled"));
+        }
+        let mut w = cwf_ckpt::Writer::new();
+        w.put_bytes(CKPT_MAGIC);
+        w.put_u32(CKPT_VERSION);
+        self.cfg.save(&mut w);
+        self.bench.save(&mut w);
+        w.section(b"SYST");
+        self.now.save(&mut w);
+        self.mem_wake.save(&mut w);
+        self.core_sync.save(&mut w);
+        self.core_wake.save(&mut w);
+        self.kstats.save(&mut w);
+        self.warm.save(&mut w);
+        self.fault_wake_slack.save(&mut w);
+        self.fault_horizon_slack.save(&mut w);
+        w.put_u64(self.cores.len() as u64);
+        for core in &self.cores {
+            core.save_ckpt(&mut w)?;
+        }
+        for gen in &self.gens {
+            gen.save_ckpt(&mut w)?;
+        }
+        self.hierarchy.save_state(&mut w, |m, w| m.save_state(w))?;
+        match &self.oracle {
+            Some(oracle) => {
+                w.put_u8(1);
+                oracle.save_state(&mut w);
+            }
+            None => w.put_u8(0),
+        }
+        Ok(w.into_vec())
+    }
+
+    /// Rebuild a paused system from a [`System::save_ckpt`] blob. The run
+    /// configuration and benchmark come from the blob itself; the machine
+    /// is constructed fresh (`functional_warm_ops = 0` — the checkpoint
+    /// already contains the warmed state) and every mutable field is then
+    /// overwritten. Continue with [`System::run_to_cycle`] or
+    /// [`System::run`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad magic/version, an unknown benchmark or memory kind,
+    /// a geometry mismatch, or a malformed stream.
+    pub fn from_ckpt(bytes: &[u8]) -> cwf_ckpt::Result<System> {
+        use cwf_ckpt::Ckpt;
+        let mut r = cwf_ckpt::Reader::new(bytes);
+        let magic = r.get_bytes(CKPT_MAGIC.len())?;
+        if magic != CKPT_MAGIC {
+            return Err(cwf_ckpt::CkptError::new("not a cwfmem.ckpt.v1 blob (bad magic)"));
+        }
+        let version = r.get_u32()?;
+        if version != CKPT_VERSION {
+            return Err(cwf_ckpt::CkptError::new(format!(
+                "unsupported checkpoint version {version} (expected {CKPT_VERSION})"
+            )));
+        }
+        let cfg = RunConfig::load(&mut r)?;
+        let bench = String::load(&mut r)?;
+        let profile = workloads::by_name(&bench).ok_or_else(|| {
+            cwf_ckpt::CkptError::new(format!("checkpoint names unknown benchmark '{bench}'"))
+        })?;
+        let mut build_cfg = cfg;
+        build_cfg.functional_warm_ops = 0;
+        let mut sys = System::new(&build_cfg, profile);
+        sys.cfg = cfg;
+        sys.load_ckpt_body(&mut r)?;
+        r.finish()?;
+        Ok(sys)
+    }
+
+    /// Restore everything after the header into this freshly built system.
+    fn load_ckpt_body(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
+        use cwf_ckpt::Ckpt;
+        r.expect_section(b"SYST")?;
+        self.now = u64::load(r)?;
+        self.mem_wake = u64::load(r)?;
+        let core_sync: Vec<u64> = Ckpt::load(r)?;
+        let core_wake: Vec<u64> = Ckpt::load(r)?;
+        if core_sync.len() != self.cores.len() || core_wake.len() != self.cores.len() {
+            return Err(cwf_ckpt::CkptError::new("core count mismatch"));
+        }
+        self.core_sync = core_sync;
+        self.core_wake = core_wake;
+        self.kstats = KernelStats::load(r)?;
+        if self.kstats.kernel != self.cfg.kernel {
+            return Err(cwf_ckpt::CkptError::new("kernel stats disagree with run config"));
+        }
+        self.warm = Option::<WarmSnapshot>::load(r)?;
+        self.fault_wake_slack = u64::load(r)?;
+        self.fault_horizon_slack = u64::load(r)?;
+        let n_cores = r.get_u64()?;
+        if n_cores != self.cores.len() as u64 {
+            return Err(cwf_ckpt::CkptError::new("core count mismatch"));
+        }
+        for core in &mut self.cores {
+            core.load_ckpt(r)?;
+        }
+        for gen in &mut self.gens {
+            gen.load_ckpt(r)?;
+        }
+        self.hierarchy.load_state(r, |m, r| m.load_state(r))?;
+        match r.get_u8()? {
+            1 => match &mut self.oracle {
+                Some(oracle) => oracle.load_state(r)?,
+                None => {
+                    return Err(cwf_ckpt::CkptError::new(
+                        "checkpoint has oracle state but verify is off",
+                    ))
+                }
+            },
+            0 => {
+                if self.oracle.is_some() {
+                    return Err(cwf_ckpt::CkptError::new(
+                        "verify is on but the checkpoint has no oracle state",
+                    ));
+                }
+            }
+            v => return Err(cwf_ckpt::CkptError::new(format!("invalid oracle tag {v}"))),
+        }
+        self.woken_buf.clear();
+        self.audit_buf.clear();
+        self.trace_buf.clear();
+        Ok(())
     }
 }
 
@@ -689,6 +900,67 @@ mod tests {
         );
         assert!(ke.core_ticks < kc.core_ticks);
         assert!(ke.core_tick_ratio() > 1.0, "core ratio {}", ke.core_tick_ratio());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_resumes_bit_identical() {
+        // The tentpole contract: split a verified run at an arbitrary
+        // cycle, serialize, restore into a fresh process-equivalent
+        // system, and the finished report is byte-identical to the
+        // uninterrupted run — on both kernels.
+        for kernel in [Kernel::Cycle, Kernel::Event] {
+            let mut cfg = RunConfig::quick(MemKind::Rl, 250);
+            cfg.kernel = kernel;
+            cfg.verify = true;
+            cfg.trace = false;
+            let p = by_name("mcf").unwrap();
+            let mut whole = System::new(&cfg, p);
+            let m_whole = whole.run();
+            let j_whole = crate::report::to_json_verified(
+                &m_whole,
+                &whole.kernel_stats(),
+                &whole.verify_report().unwrap(),
+            );
+
+            let split = whole.now() / 2;
+            let mut first = System::new(&cfg, p);
+            assert!(first.run_to_cycle(split).is_none(), "split {split} is inside the run");
+            let blob = first.save_ckpt().expect("checkpoint serializes");
+            let mut resumed = System::from_ckpt(&blob).expect("checkpoint restores");
+            let m_res = resumed.run();
+            let j_res = crate::report::to_json_verified(
+                &m_res,
+                &resumed.kernel_stats(),
+                &resumed.verify_report().unwrap(),
+            );
+            assert_eq!(j_whole, j_res, "kernel {kernel:?}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_tracing() {
+        let mut cfg = RunConfig::quick(MemKind::Ddr3, 100);
+        cfg.trace = true;
+        let sys = System::new(&cfg, by_name("stream").unwrap());
+        assert!(sys.save_ckpt().is_err());
+    }
+
+    #[test]
+    fn checkpoint_rejects_corruption() {
+        let cfg = RunConfig::quick(MemKind::Ddr3, 100);
+        let mut sys = System::new(&cfg, by_name("stream").unwrap());
+        let _ = sys.run_to_cycle(50);
+        let blob = sys.save_ckpt().unwrap();
+        // Bad magic.
+        let mut bad = blob.clone();
+        bad[0] ^= 0xFF;
+        assert!(System::from_ckpt(&bad).is_err());
+        // Truncation.
+        assert!(System::from_ckpt(&blob[..blob.len() - 1]).is_err());
+        // Trailing garbage.
+        let mut long = blob;
+        long.push(0);
+        assert!(System::from_ckpt(&long).is_err());
     }
 
     #[test]

@@ -19,6 +19,15 @@ impl fmt::Display for RequestToken {
     }
 }
 
+impl cwf_ckpt::Ckpt for RequestToken {
+    fn save(&self, w: &mut cwf_ckpt::Writer) {
+        w.put_u64(self.0);
+    }
+    fn load(r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<Self> {
+        Ok(RequestToken(r.get_u64()?))
+    }
+}
+
 /// One compact trace record.
 ///
 /// All timestamps (`at`) are **CPU cycles**; layers that operate in

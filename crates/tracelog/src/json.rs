@@ -193,13 +193,27 @@ impl Parser<'_> {
                     }
                     self.i += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.b[self.i..])
+                Some(&lead) => {
+                    // Consume one UTF-8 scalar. The sequence length comes
+                    // from the lead byte so only that slice is validated —
+                    // validating `b[i..]` wholesale here would rescan the
+                    // rest of the document per character (quadratic; a
+                    // multi-MB trace took minutes to check).
+                    let len = match lead {
+                        0x00..=0x7F => 1,
+                        0xC2..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF4 => 4,
+                        _ => return self.err("invalid UTF-8"),
+                    };
+                    let chunk = self
+                        .b
+                        .get(self.i..self.i + len)
+                        .ok_or_else(|| format!("truncated UTF-8 at byte {}", self.i))?;
+                    let s = std::str::from_utf8(chunk)
                         .map_err(|_| format!("invalid UTF-8 at byte {}", self.i))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.i += c.len_utf8();
+                    out.push_str(s);
+                    self.i += len;
                 }
             }
         }

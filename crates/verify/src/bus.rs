@@ -43,6 +43,25 @@ impl CmdBusChecker {
     }
 }
 
+impl CmdBusChecker {
+    /// Serialize the occupied command slots. The bus-group map is pure
+    /// config, rebuilt on restore.
+    pub fn save_state(&self, w: &mut cwf_ckpt::Writer) {
+        let CmdBusChecker { group_of: _, seen } = self;
+        cwf_ckpt::Ckpt::save(seen, w);
+    }
+
+    /// Restore state saved by [`CmdBusChecker::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input.
+    pub fn load_state(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
+        self.seen = cwf_ckpt::Ckpt::load(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

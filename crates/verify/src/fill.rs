@@ -218,3 +218,6 @@ mod tests {
         assert!(out.iter().any(|v| v.rule == OracleRule::NonMonotonicArrival));
     }
 }
+
+cwf_ckpt::ckpt_struct!(TokenState { submit_at, words, fill_at });
+cwf_ckpt::ckpt_struct!(FillOracle { inflight, completed });

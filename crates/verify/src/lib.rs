@@ -279,6 +279,76 @@ impl Oracle {
     }
 }
 
+impl Oracle {
+    /// Serialize the oracle's mutable state: every protocol checker's
+    /// shadow timing state, refresh ledgers, command-bus slots, the
+    /// fill oracle, skip monitor and recorded violations. The channel
+    /// descriptions and derived rule tables are pure config, rebuilt on
+    /// restore.
+    pub fn save_state(&self, w: &mut cwf_ckpt::Writer) {
+        let Oracle {
+            channels: _,
+            protocol,
+            protocol_consumed,
+            refresh,
+            bus,
+            fill,
+            skip,
+            violations,
+            total_violations,
+            events_checked,
+        } = self;
+        w.section(b"ORCL");
+        w.put_u64(protocol.len() as u64);
+        for p in protocol {
+            p.save_state(w);
+        }
+        cwf_ckpt::Ckpt::save(protocol_consumed, w);
+        w.put_u64(refresh.len() as u64);
+        for l in refresh {
+            l.save_state(w);
+        }
+        bus.save_state(w);
+        cwf_ckpt::Ckpt::save(fill, w);
+        cwf_ckpt::Ckpt::save(skip, w);
+        cwf_ckpt::Ckpt::save(violations, w);
+        cwf_ckpt::Ckpt::save(total_violations, w);
+        cwf_ckpt::Ckpt::save(events_checked, w);
+    }
+
+    /// Restore state saved by [`Oracle::save_state`] into a freshly
+    /// constructed oracle over the same channel descriptions.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or a channel-count mismatch.
+    pub fn load_state(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
+        r.expect_section(b"ORCL")?;
+        let n = r.get_u64()?;
+        if n != self.protocol.len() as u64 {
+            return Err(cwf_ckpt::CkptError::new("protocol-checker count mismatch"));
+        }
+        for p in &mut self.protocol {
+            p.load_state(r)?;
+        }
+        self.protocol_consumed = cwf_ckpt::Ckpt::load(r)?;
+        let n_ref = r.get_u64()?;
+        if n_ref != self.refresh.len() as u64 {
+            return Err(cwf_ckpt::CkptError::new("refresh-ledger count mismatch"));
+        }
+        for l in &mut self.refresh {
+            l.load_state(r)?;
+        }
+        self.bus.load_state(r)?;
+        self.fill = cwf_ckpt::Ckpt::load(r)?;
+        self.skip = cwf_ckpt::Ckpt::load(r)?;
+        self.violations = cwf_ckpt::Ckpt::load(r)?;
+        self.total_violations = cwf_ckpt::Ckpt::load(r)?;
+        self.events_checked = cwf_ckpt::Ckpt::load(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

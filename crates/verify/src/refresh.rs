@@ -84,6 +84,31 @@ impl RefreshLedger {
     }
 }
 
+impl RefreshLedger {
+    /// Serialize per-rank deadlines and self-refresh flags. `t_refi`
+    /// and the slack are pure config, rebuilt on restore.
+    pub fn save_state(&self, w: &mut cwf_ckpt::Writer) {
+        let RefreshLedger { t_refi: _, slack: _, deadline, in_self_refresh } = self;
+        cwf_ckpt::Ckpt::save(deadline, w);
+        cwf_ckpt::Ckpt::save(in_self_refresh, w);
+    }
+
+    /// Restore state saved by [`RefreshLedger::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or a rank-count mismatch.
+    pub fn load_state(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
+        let deadline: Vec<u64> = cwf_ckpt::Ckpt::load(r)?;
+        if deadline.len() != self.deadline.len() {
+            return Err(cwf_ckpt::CkptError::new("refresh-ledger rank count mismatch"));
+        }
+        self.deadline = deadline;
+        self.in_self_refresh = cwf_ckpt::Ckpt::load(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

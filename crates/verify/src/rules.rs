@@ -129,3 +129,42 @@ mod tests {
         }
     }
 }
+
+impl cwf_ckpt::Ckpt for OracleRule {
+    fn save(&self, w: &mut cwf_ckpt::Writer) {
+        match *self {
+            OracleRule::Protocol(rule) => {
+                w.put_u8(0);
+                cwf_ckpt::Ckpt::save(&rule, w);
+            }
+            OracleRule::RefreshMissed => w.put_u8(1),
+            OracleRule::CmdSlotDoubleBooked => w.put_u8(2),
+            OracleRule::DuplicateLineFill => w.put_u8(3),
+            OracleRule::DuplicateWordDelivery => w.put_u8(4),
+            OracleRule::UnknownToken => w.put_u8(5),
+            OracleRule::NonMonotonicArrival => w.put_u8(6),
+            OracleRule::IncompleteFill => w.put_u8(7),
+            OracleRule::InclusionViolation => w.put_u8(8),
+            OracleRule::SkipMissedDeadline => w.put_u8(9),
+            OracleRule::SpanOverrun => w.put_u8(10),
+        }
+    }
+    fn load(r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<Self> {
+        Ok(match r.get_u8()? {
+            0 => OracleRule::Protocol(cwf_ckpt::Ckpt::load(r)?),
+            1 => OracleRule::RefreshMissed,
+            2 => OracleRule::CmdSlotDoubleBooked,
+            3 => OracleRule::DuplicateLineFill,
+            4 => OracleRule::DuplicateWordDelivery,
+            5 => OracleRule::UnknownToken,
+            6 => OracleRule::NonMonotonicArrival,
+            7 => OracleRule::IncompleteFill,
+            8 => OracleRule::InclusionViolation,
+            9 => OracleRule::SkipMissedDeadline,
+            10 => OracleRule::SpanOverrun,
+            v => return Err(cwf_ckpt::CkptError::new(format!("invalid OracleRule tag {v}"))),
+        })
+    }
+}
+
+cwf_ckpt::ckpt_struct!(OracleViolation { at, rule, detail });

@@ -159,3 +159,5 @@ mod tests {
         assert_eq!(out[0].at, 180);
     }
 }
+
+cwf_ckpt::ckpt_struct!(SkipMonitor { skips, cycles_skipped, core_spans, core_span_cycles });

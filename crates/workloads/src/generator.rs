@@ -334,6 +334,15 @@ impl TraceSource for TraceGen {
         self.pending = Some(self.next_mem_op());
         TraceOp::Gap(g as u32)
     }
+
+    fn save_ckpt(&self, w: &mut cwf_ckpt::Writer) -> cwf_ckpt::Result<()> {
+        self.save_gen_state(w);
+        Ok(())
+    }
+
+    fn load_ckpt(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
+        self.load_gen_state(r)
+    }
 }
 
 #[cfg(test)]
@@ -528,5 +537,63 @@ mod tests {
             }
         }
         assert!(words_seen.len() >= 6, "rotation covers most words: {words_seen:?}");
+    }
+}
+
+impl cwf_ckpt::Ckpt for Pattern {
+    fn save(&self, w: &mut cwf_ckpt::Writer) {
+        w.put_u8(match self {
+            Pattern::Seq => 0,
+            Pattern::Stride => 1,
+            Pattern::Chase => 2,
+            Pattern::Hot => 3,
+        });
+    }
+    fn load(r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<Self> {
+        Ok(match r.get_u8()? {
+            0 => Pattern::Seq,
+            1 => Pattern::Stride,
+            2 => Pattern::Chase,
+            3 => Pattern::Hot,
+            v => return Err(cwf_ckpt::CkptError::new(format!("invalid Pattern tag {v}"))),
+        })
+    }
+}
+
+cwf_ckpt::ckpt_struct!(Burst {
+    pattern,
+    line,
+    step,
+    start_word,
+    followup_left,
+    followup_word,
+    remaining,
+    pc,
+});
+
+impl TraceGen {
+    fn save_gen_state(&self, w: &mut cwf_ckpt::Writer) {
+        let TraceGen { profile: _, rng, base, footprint, burst, pc_counter, pending, cluster_pos } =
+            self;
+        w.section(b"TGEN");
+        cwf_ckpt::Ckpt::save(&rng.state(), w);
+        cwf_ckpt::Ckpt::save(base, w);
+        cwf_ckpt::Ckpt::save(footprint, w);
+        cwf_ckpt::Ckpt::save(burst, w);
+        cwf_ckpt::Ckpt::save(pc_counter, w);
+        cwf_ckpt::Ckpt::save(pending, w);
+        cwf_ckpt::Ckpt::save(cluster_pos, w);
+    }
+
+    fn load_gen_state(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
+        r.expect_section(b"TGEN")?;
+        self.rng = StdRng::from_state(cwf_ckpt::Ckpt::load(r)?);
+        self.base = cwf_ckpt::Ckpt::load(r)?;
+        self.footprint = cwf_ckpt::Ckpt::load(r)?;
+        self.burst = cwf_ckpt::Ckpt::load(r)?;
+        self.pc_counter = cwf_ckpt::Ckpt::load(r)?;
+        self.pending = cwf_ckpt::Ckpt::load(r)?;
+        self.cluster_pos = cwf_ckpt::Ckpt::load(r)?;
+        Ok(())
     }
 }

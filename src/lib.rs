@@ -21,6 +21,9 @@
 //! * [`sim`] — the full-system harness and per-figure experiment drivers.
 //! * [`speclint`] — static analysis: the device-spec model checker behind
 //!   `cwfmem spec-lint` and the `cwf-lint` determinism lint.
+//! * [`dse`] — design-space-exploration service: the work-stealing cell
+//!   pool, `(config-digest, seed)` result cache, and the `cwfmem serve`
+//!   HTTP/JSON front end.
 //!
 //! # Quickstart
 //!
@@ -38,6 +41,7 @@
 pub use cache_hier as cache;
 pub use cpu_model as cpu;
 pub use cwf_core as cwf;
+pub use cwf_dse as dse;
 pub use cwf_speclint as speclint;
 pub use cwf_tracelog as tracelog;
 pub use dram_power as power;

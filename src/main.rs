@@ -43,6 +43,9 @@ fn usage() -> ! {
          [--cores N] [--no-prefetch] [--parity-rate P] [--seed S] [--kernel cycle|event] \
          [--verify|--no-verify] [--trace <out.json>|--no-trace] [--json]\n  \
          cwfmem run --spec <id|file.toml> --bench <name> ...   # spec-layer device\n  \
+         cwfmem run ... --ckpt-at <cycle> --ckpt-out <file>    # pause + checkpoint\n  \
+         cwfmem resume <file.ckpt> [--ckpt-at <cycle> --ckpt-out <file>] [--json]\n  \
+         cwfmem serve [--bind <addr:port>] [--workers N]       # sweep HTTP server\n  \
          cwfmem spec-lint <id|file.toml|specs-dir> [--json] [--parse-only]\n  \
          cwfmem spec-check <id|file.toml>        # alias: full lint of one spec\n  \
          cwfmem trace-check <file.json>\n  \
@@ -76,6 +79,8 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(&args[1..]),
+        Some("resume") => cmd_resume(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("figures") => cmd_figures(&args[1..]),
@@ -319,8 +324,167 @@ fn build_config(args: &[String]) -> RunConfig {
     cfg
 }
 
+/// Print a run's outcome for the checkpoint paths (`run --ckpt-at` that
+/// finished early, and `resume`): the `cwfmem.run.v1` document under
+/// `--json`, a compact summary otherwise. Exits nonzero on an unclean
+/// oracle report, mirroring `cmd_run`.
+fn emit_run_outcome(
+    json: bool,
+    m: &cwfmem::sim::RunMetrics,
+    kstats: &cwfmem::sim::KernelStats,
+    verify: Option<&cwfmem::sim::VerifyReport>,
+) {
+    if json {
+        match verify {
+            Some(v) => print!("{}", cwfmem::sim::report::to_json_verified(m, kstats, v)),
+            None => print!("{}", cwfmem::sim::report::to_json_diag(m, kstats)),
+        }
+    } else {
+        println!(
+            "{} on {} ({} reads): IPC {:.3}, critical-word latency {:.1} ns, kernel {}",
+            m.mem.label(),
+            m.bench,
+            m.dram_reads,
+            m.ipc_total(),
+            m.avg_cw_latency_ns(),
+            kstats.kernel.name()
+        );
+        if let Some(v) = verify {
+            if v.is_clean() {
+                println!("  verify clean ({} commands checked)", v.commands_checked);
+            } else {
+                println!("  verify: {} violation(s)", v.total_violations);
+            }
+        }
+    }
+    if let Some(v) = verify {
+        if !v.is_clean() {
+            eprintln!("verify: {} violation(s) detected", v.total_violations);
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Handle a [`cwfmem::sim::CkptOutcome`]: write the checkpoint when the
+/// run paused, otherwise report the finished run.
+fn emit_ckpt_outcome(outcome: cwfmem::sim::CkptOutcome, out_path: &str, at: u64, json: bool) {
+    match outcome {
+        cwfmem::sim::CkptOutcome::Paused { ckpt } => {
+            if let Err(e) = std::fs::write(out_path, &ckpt) {
+                eprintln!("cannot write checkpoint {out_path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "checkpoint at cycle {at}: wrote {} bytes (cwfmem.ckpt.v1) to {out_path}",
+                ckpt.len(),
+            );
+        }
+        cwfmem::sim::CkptOutcome::Finished { metrics, kernel, verify } => {
+            eprintln!("run finished before cycle {at}; no checkpoint written");
+            emit_run_outcome(json, &metrics, &kernel, verify.as_ref());
+        }
+    }
+}
+
+/// `run --ckpt-at <cycle> --ckpt-out <file>` — run until the target
+/// cycle, then serialize the whole simulator to a `cwfmem.ckpt.v1` file
+/// (or finish normally if the run completes first).
+fn cmd_run_ckpt(args: &[String], cfg: &RunConfig, at: u64) {
+    let Some(out_path) = arg_value(args, "--ckpt-out") else {
+        eprintln!("--ckpt-at needs --ckpt-out <file>");
+        usage()
+    };
+    if cfg.trace {
+        eprintln!("checkpointing does not support tracing; pass --no-trace");
+        std::process::exit(1);
+    }
+    if arg_value(args, "--replay").is_some()
+        || arg_value(args, "--spec").filter(|v| spec_is_path(v)).is_some()
+    {
+        eprintln!("--ckpt-at supports built-in benchmarks and embedded specs only");
+        std::process::exit(1);
+    }
+    let bench = arg_value(args, "--bench").unwrap_or_else(|| "leslie3d".into());
+    match cwfmem::sim::run_benchmark_ckpt(cfg, &bench, at) {
+        Ok(outcome) => {
+            emit_ckpt_outcome(outcome, &out_path, at, args.iter().any(|a| a == "--json"));
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `resume <file.ckpt>` — restore a checkpointed run and carry it to
+/// completion (or to another `--ckpt-at` pause point). The finished
+/// metrics are byte-identical to an unpaused run's.
+fn cmd_resume(args: &[String]) {
+    let Some(path) = args.first().filter(|p| !p.starts_with("--")) else { usage() };
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("cannot read checkpoint {path}: {e}");
+        std::process::exit(1)
+    });
+    let json = args.iter().any(|a| a == "--json");
+    if let Some(at) = arg_value(args, "--ckpt-at") {
+        let at: u64 = at.parse().unwrap_or_else(|_| {
+            eprintln!("--ckpt-at needs a cycle number");
+            usage()
+        });
+        let Some(out_path) = arg_value(args, "--ckpt-out") else {
+            eprintln!("--ckpt-at needs --ckpt-out <file>");
+            usage()
+        };
+        match cwfmem::sim::resume_benchmark_to_cycle(&bytes, at) {
+            Ok(outcome) => emit_ckpt_outcome(outcome, &out_path, at, json),
+            Err(e) => {
+                eprintln!("cannot resume {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    match cwfmem::sim::resume_benchmark(&bytes) {
+        Ok((m, kstats, verify)) => emit_run_outcome(json, &m, &kstats, verify.as_ref()),
+        Err(e) => {
+            eprintln!("cannot resume {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `serve [--bind <addr:port>] [--workers N]` — the sweep HTTP server
+/// (DESIGN.md §16). Runs until `POST /shutdown`.
+fn cmd_serve(args: &[String]) {
+    let bind = arg_value(args, "--bind").unwrap_or_else(|| "127.0.0.1:8327".into());
+    let workers = arg_value(args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or_else(cwfmem::sim::sweep::jobs);
+    let server = cwfmem::dse::Server::start(&bind, workers).unwrap_or_else(|e| {
+        eprintln!("cannot bind {bind}: {e}");
+        std::process::exit(1)
+    });
+    eprintln!(
+        "cwfmem serve: http://{} ({workers} workers) — POST /sweep, GET /sweep/<id>, \
+         GET /sweep/<id>/stream, GET /sweep/<id>/cell/<n>[/trace], GET /stats, POST /shutdown",
+        server.addr()
+    );
+    server.wait();
+    server.stop();
+    eprintln!("cwfmem serve: stopped");
+}
+
 fn cmd_run(args: &[String]) {
     let cfg = build_config(args);
+    if let Some(at) = arg_value(args, "--ckpt-at") {
+        let at: u64 = at.parse().unwrap_or_else(|_| {
+            eprintln!("--ckpt-at needs a cycle number");
+            usage()
+        });
+        cmd_run_ckpt(args, &cfg, at);
+        return;
+    }
     let trace_out = arg_value(args, "--trace");
     if cfg.trace && args.iter().any(|a| a == "--trace") {
         match &trace_out {

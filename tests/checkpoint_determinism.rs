@@ -1,0 +1,64 @@
+//! Checkpoint determinism property: pausing a run at *any* cycle,
+//! serializing the whole simulator to `cwfmem.ckpt.v1` bytes, and
+//! resuming in a fresh process image must produce a byte-identical
+//! `cwfmem.run.v1` document — across benchmarks, memory organizations,
+//! both kernels, and arbitrary split points (including cycle 0 and
+//! splits inside the warm-up window), with the verify oracle on.
+
+use cwfmem::sim::config::MemKind;
+use cwfmem::sim::report::to_json_verified;
+use cwfmem::sim::{resume_benchmark, run_benchmark_ckpt, CkptOutcome, Kernel, RunConfig};
+use proptest::prelude::*;
+
+const BENCHES: [&str; 4] = ["mcf", "stream", "libquantum", "leslie3d"];
+const KINDS: [MemKind; 4] = [MemKind::Rl, MemKind::Ddr3, MemKind::RlAdaptive, MemKind::Dl];
+
+/// Render a finished outcome as its verified run document.
+fn doc(outcome: CkptOutcome) -> String {
+    match outcome {
+        CkptOutcome::Finished { metrics, kernel, verify } => {
+            let v = verify.expect("verify was enabled");
+            assert!(v.is_clean(), "oracle must stay clean: {:?}", v.violations.first());
+            to_json_verified(&metrics, &kernel, &v)
+        }
+        CkptOutcome::Paused { .. } => panic!("run did not finish"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+    #[test]
+    fn resume_is_byte_identical_at_any_split(
+        bench_i in 0usize..BENCHES.len(),
+        kind_i in 0usize..KINDS.len(),
+        kernel_i in 0usize..2,
+        split_pct in 0u64..=100,
+    ) {
+        let bench = BENCHES[bench_i];
+        let mut cfg = RunConfig::quick(KINDS[kind_i], 160);
+        cfg.verify = true;
+        cfg.trace = false;
+        cfg.kernel = if kernel_i == 1 { Kernel::Event } else { Kernel::Cycle };
+
+        // Reference: the same run without a pause.
+        let whole = doc(run_benchmark_ckpt(&cfg, bench, u64::MAX).expect("whole run"));
+        let cycles: u64 = whole
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("\"cycles\": ")?.trim_end_matches(',').parse().ok())
+            .expect("cycles in document");
+        let stop_at = cycles * split_pct / 100;
+
+        match run_benchmark_ckpt(&cfg, bench, stop_at).expect("segmented run") {
+            CkptOutcome::Paused { ckpt } => {
+                let (m, k, v) = resume_benchmark(&ckpt).expect("resume");
+                let v = v.expect("verify survives the checkpoint");
+                prop_assert!(v.is_clean());
+                let resumed = to_json_verified(&m, &k, &v);
+                prop_assert_eq!(&whole, &resumed, "split at cycle {} diverged", stop_at);
+            }
+            // stop_at landed at or past the natural end: the segmented
+            // run finished outright and must match the reference too.
+            finished => prop_assert_eq!(&whole, &doc(finished)),
+        }
+    }
+}

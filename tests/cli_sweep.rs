@@ -1,0 +1,59 @@
+//! CLI regression: `cwfmem sweep` must exit nonzero when any cell
+//! panics (CI relies on the exit status to catch silently broken grids)
+//! and zero when the grid completes.
+
+use std::process::Command;
+
+fn cwfmem() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cwfmem"))
+}
+
+#[test]
+fn sweep_exits_nonzero_on_a_failed_cell() {
+    // An unknown benchmark is not validated up front: its cell panics
+    // inside the worker, becomes `CellResult::Failed`, and the sweep
+    // must report it through the exit status.
+    let out = cwfmem()
+        .args(["sweep", "--benches", "no-such-bench", "--kinds", "rl", "--reads", "120"])
+        .output()
+        .expect("run cwfmem");
+    assert!(!out.status.success(), "a failed cell must produce a nonzero exit");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("FAILED no-such-bench"), "stderr: {stderr}");
+    assert!(stderr.contains("1 cell(s) failed"), "stderr: {stderr}");
+}
+
+#[test]
+fn sweep_with_a_mixed_grid_still_fails_overall() {
+    // One good cell and one bad: the good cell's result is printed, but
+    // the sweep as a whole is a failure.
+    let out = cwfmem()
+        .args([
+            "sweep",
+            "--benches",
+            "libquantum,no-such-bench",
+            "--kinds",
+            "ddr3",
+            "--reads",
+            "120",
+            "--jobs",
+            "2",
+        ])
+        .output()
+        .expect("run cwfmem");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("libquantum"), "good cell missing from table: {stdout}");
+    assert!(stdout.contains("failed"), "failed cell missing from table: {stdout}");
+}
+
+#[test]
+fn sweep_exits_zero_when_all_cells_complete() {
+    let out = cwfmem()
+        .args(["sweep", "--benches", "libquantum", "--kinds", "ddr3", "--reads", "120"])
+        .output()
+        .expect("run cwfmem");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "clean sweep must exit zero; stderr: {stderr}");
+    assert!(!stderr.contains("failed"), "stderr: {stderr}");
+}
