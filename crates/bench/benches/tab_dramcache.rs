@@ -1,0 +1,21 @@
+//! DRAM-cache head-to-head: the paper's word-granularity CWF split vs a
+//! conventional tags-in-DRAM line cache (`dramcache:rldram3+nvm_slow`)
+//! vs §7.1 profile-guided page placement.
+//!
+//! Runs the three DRAM-cache stressors (`dcsweep` streams past the
+//! cache, `dcthrash` rotates hot windows faster than the cache can
+//! relearn them, `dcresident` parks a working set that fits) plus two
+//! suite programs, so the table shows both where the cache collapses
+//! and where it recovers.
+
+use sim_harness::experiments::dramcache_head_to_head;
+
+fn main() {
+    cwf_bench::header("DRAM-cache head-to-head (CWF vs line cache vs page placement)");
+    let benches = ["dcsweep", "dcthrash", "dcresident", "mcf", "stream"];
+    // Residency needs at least one full pass over `dcresident`'s 12 MiB
+    // working set (196608 lines) before hits can exist; short quick-run
+    // read counts would report a structurally-zero hit column.
+    let reads = cwf_bench::reads().max(150_000);
+    println!("{}", dramcache_head_to_head(&benches, reads));
+}

@@ -1050,12 +1050,14 @@ impl<M> Hierarchy<M> {
     /// delegated to `save_mem` because its concrete type is only known
     /// to the caller. Reusable scratch buffers (`ev_buf`, `wake_buf`,
     /// `pf_buf`) are cleared at the start of every use, so they carry
-    /// no state across steps and are not encoded. Checkpointing with
-    /// request-linked tracing enabled is unsupported.
+    /// no state across steps and are not encoded. The trace buffer is
+    /// re-armed by `enable_trace` on restore and holds nothing once
+    /// drained, so tracing doesn't block a checkpoint.
     ///
     /// # Errors
     ///
-    /// Fails when tracing is enabled or `save_mem` fails.
+    /// Fails when the trace buffer holds undrained events or `save_mem`
+    /// fails.
     pub fn save_state(
         &self,
         w: &mut cwf_ckpt::Writer,
@@ -1079,9 +1081,9 @@ impl<M> Hierarchy<M> {
             audit,
             trace,
         } = self;
-        if trace.is_some() {
+        if trace.as_ref().is_some_and(|t| !t.is_empty()) {
             return Err(cwf_ckpt::CkptError::new(
-                "cannot checkpoint a hierarchy with tracing enabled",
+                "cannot checkpoint a hierarchy with undrained trace events",
             ));
         }
         w.section(b"HIER");

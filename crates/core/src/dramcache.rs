@@ -1,0 +1,1182 @@
+//! The tags-in-DRAM cache backend: a fast DRAM channel group used as a
+//! set-associative line cache in front of a slow NVM-like store.
+//!
+//! This is the literature's competing bet to the paper's critical-word
+//! split (Babaie et al., PAPERS.md): spend the fast silicon on a cache of
+//! whole lines instead of on one word of every line. The organization:
+//!
+//! * every access first issues a **tag probe** — a real DRAM read
+//!   transaction against the tag region of the fast channels (tags live
+//!   in DRAM, not in SRAM on the controller);
+//! * reads also issue a **speculative data read** in parallel (hit
+//!   speculation): on a hit the data is already in flight when the probe
+//!   confirms, so the hit latency is one fast access, not two;
+//! * a probe miss fetches the line from the slow NVM store and — under
+//!   [`FillPolicy::FillOnMiss`] — installs it in the cache, evicting the
+//!   set's LRU way and writing back its data first when dirty;
+//! * writes that hit are absorbed by the cache (the way turns dirty);
+//!   writes that miss go straight to the slow store (no write-allocate).
+//!
+//! The shadow tag array in this struct is the *model* of the tag region;
+//! the DRAM transactions model its cost. When auditing is enabled every
+//! probe/fill/evict/writeback decision is recorded as an
+//! [`AuditRecord::Cache`] so the verify oracle can replay the
+//! cache-consistency contract (DESIGN.md §17) independently.
+
+// cwf-lint: allow(hash-container) -- keyed in-flight lookups only, never iterated
+use std::collections::HashMap;
+
+use dram_timing::{DeviceConfig, PagePolicy};
+use mem_ctrl::audit::{AuditRecord, CacheAuditOp, ChannelDesc};
+use mem_ctrl::{
+    AddressMapper, Controller, LineRequest, Loc, MainMemory, MappingScheme, MemBusy, MemEvent,
+    MemSystemStats, Token,
+};
+
+/// What happens to a missing line once the slow store returns it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillPolicy {
+    /// Install the line in the cache (evicting the set's LRU way).
+    FillOnMiss,
+    /// Serve the miss from the slow store without caching it.
+    Bypass,
+}
+
+/// Configuration of a DRAM-cache memory system.
+#[derive(Debug, Clone)]
+pub struct DramCacheConfig {
+    /// Device behind the cache (fast) channels.
+    pub fast: DeviceConfig,
+    /// Device behind the slow NVM-like store.
+    pub slow: DeviceConfig,
+    /// Fast cache channels.
+    pub fast_channels: u32,
+    /// Slow store channels (paper baseline topology: 4).
+    pub slow_channels: u32,
+    /// Devices activated per fast access.
+    pub fast_chips: u32,
+    /// Devices activated per slow access.
+    pub slow_chips: u32,
+    /// Cache sets (set = line address mod `sets`).
+    pub sets: u32,
+    /// Ways per set.
+    pub ways: u32,
+    /// Miss fill policy.
+    pub fill: FillPolicy,
+}
+
+impl DramCacheConfig {
+    /// The default head-to-head point: an RLDRAM3 cache in front of the
+    /// NVM-slow store (`--mem dramcache:rldram3+nvm_slow`).
+    #[must_use]
+    pub fn rl_nvm() -> Self {
+        Self::pair(dram_timing::DeviceKind::Rldram3, dram_timing::DeviceKind::NvmSlow)
+    }
+
+    /// An arbitrary fast/slow device pairing on the default topology:
+    /// two fast cache channels over four slow store channels, a
+    /// 65536-set x 4-way (16 MiB) line cache, fill-on-miss.
+    ///
+    /// The capacity must exceed the core-side LLC (4 MiB): any line the
+    /// LLC re-requests was first evicted from the LLC, so its reuse
+    /// distance is at least the LLC's capacity — a memory-side cache no
+    /// bigger than the LLC can structurally never hit.
+    #[must_use]
+    pub fn pair(fast: dram_timing::DeviceKind, slow: dram_timing::DeviceKind) -> Self {
+        let fast = DeviceConfig::preset(fast);
+        // x9-class single-command parts need only 4 devices per 72-bit
+        // access; ras-cas parts use the 9-chip ECC DIMM.
+        let fast_chips = match fast.addressing {
+            dram_timing::AddressingStyle::SingleCommand => 4,
+            dram_timing::AddressingStyle::RasCas => 9,
+        };
+        DramCacheConfig {
+            fast,
+            slow: DeviceConfig::preset(slow),
+            fast_channels: 2,
+            slow_channels: 4,
+            fast_chips,
+            slow_chips: 9,
+            sets: 65_536,
+            ways: 4,
+            fill: FillPolicy::FillOnMiss,
+        }
+    }
+
+    /// Same configuration under a different fill policy.
+    #[must_use]
+    pub fn with_fill(mut self, fill: FillPolicy) -> Self {
+        self.fill = fill;
+        self
+    }
+
+    /// Same configuration with a different cache geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    #[must_use]
+    pub fn with_geometry(mut self, sets: u32, ways: u32) -> Self {
+        assert!(sets > 0 && ways > 0, "cache needs sets and ways");
+        self.sets = sets;
+        self.ways = ways;
+        self
+    }
+}
+
+/// DRAM-cache-specific statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DramCacheStats {
+    /// Demand reads submitted.
+    pub demand_reads: u64,
+    /// Read probes that hit.
+    pub read_hits: u64,
+    /// Read probes that missed.
+    pub read_misses: u64,
+    /// Write probes that hit (absorbed by the cache).
+    pub write_hits: u64,
+    /// Write probes that missed (forwarded to the slow store).
+    pub write_misses: u64,
+    /// Lines installed on miss.
+    pub fills: u64,
+    /// Victim lines evicted to make room.
+    pub evictions: u64,
+    /// Dirty victims written back to the slow store.
+    pub writebacks: u64,
+    /// Speculative data reads wasted on a miss.
+    pub spec_wasted: u64,
+    /// Misses served without installing (fill policy bypass).
+    pub bypasses: u64,
+}
+
+impl DramCacheStats {
+    /// Fraction of read probes that hit.
+    #[must_use]
+    pub fn read_hit_rate(&self) -> f64 {
+        let total = self.read_hits + self.read_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.read_hits as f64 / total as f64
+        }
+    }
+
+    /// Subtract an earlier snapshot (warm-up exclusion).
+    pub fn sub(&mut self, earlier: &DramCacheStats) {
+        self.demand_reads -= earlier.demand_reads;
+        self.read_hits -= earlier.read_hits;
+        self.read_misses -= earlier.read_misses;
+        self.write_hits -= earlier.write_hits;
+        self.write_misses -= earlier.write_misses;
+        self.fills -= earlier.fills;
+        self.evictions -= earlier.evictions;
+        self.writebacks -= earlier.writebacks;
+        self.spec_wasted -= earlier.spec_wasted;
+        self.bypasses -= earlier.bypasses;
+    }
+}
+
+/// One way of the shadow tag array.
+#[derive(Debug, Clone, Copy, Default)]
+struct TagEntry {
+    valid: bool,
+    line: u64,
+    dirty: bool,
+    lru: u64,
+}
+
+/// In-flight request state, keyed by the external token id.
+#[derive(Debug, Clone, Copy)]
+struct ReqState {
+    line: u64,
+    write: bool,
+    demand: bool,
+    prefetch: bool,
+    probe_done: Option<u64>,
+    data_done: Option<u64>,
+    hit: Option<bool>,
+    data_issued: bool,
+}
+
+/// What a fast-channel read completion belongs to.
+#[derive(Debug, Clone, Copy)]
+enum FastOp {
+    /// Tag probe for request `req`.
+    Probe(u64),
+    /// (Speculative) data read for request `req`.
+    Data(u64),
+}
+
+/// The DRAM-cache main memory (implements [`MainMemory`]).
+#[derive(Debug)]
+pub struct DramCacheMemory {
+    fast: Vec<Controller>,
+    slow: Vec<Controller>,
+    fast_mapper: AddressMapper,
+    slow_mapper: AddressMapper,
+    fast_ratio: u64,
+    slow_ratio: u64,
+    sets: u32,
+    ways: u32,
+    fill: FillPolicy,
+    tags: Vec<TagEntry>,
+    lru_clock: u64,
+    // cwf-lint: allow(hash-container) -- hot-path token maps; get/remove/insert only
+    pending: HashMap<u64, ReqState>,
+    // cwf-lint: allow(hash-container) -- hot-path token map; get/remove/insert only
+    fast_ops: HashMap<u64, FastOp>,
+    deferred_fast_reads: Vec<(u64, u8, Loc, bool)>,
+    deferred_slow_reads: Vec<(u64, u8, Loc, bool)>,
+    deferred_fast_writes: Vec<(u8, Loc)>,
+    deferred_slow_writes: Vec<(u8, Loc)>,
+    scheduled: Vec<(u64, MemEvent)>,
+    next_id: u64,
+    stats: DramCacheStats,
+    /// True once [`MainMemory::enable_audit`] has been called.
+    audit: bool,
+    cache_log: Vec<AuditRecord>,
+    trace_on: bool,
+    trace_buf: Vec<cwf_tracelog::TraceEvent>,
+    fault_fake_hit: bool,
+    fault_double_fill: bool,
+    fault_drop_writeback: bool,
+}
+
+impl DramCacheMemory {
+    /// Build the system described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if channel counts or the cache geometry are zero.
+    #[must_use]
+    pub fn new(cfg: DramCacheConfig) -> Self {
+        assert!(cfg.fast_channels > 0 && cfg.slow_channels > 0, "need channels");
+        assert!(cfg.sets > 0 && cfg.ways > 0, "cache needs sets and ways");
+        let fast_scheme = match cfg.fast.page_policy {
+            PagePolicy::Open => MappingScheme::OpenPageRowLocality,
+            PagePolicy::Closed => MappingScheme::ClosePageBankInterleave,
+        };
+        let fast_mapper = AddressMapper::new(
+            fast_scheme,
+            cfg.fast_channels,
+            1,
+            cfg.fast.geometry.banks,
+            cfg.fast.geometry.lines_per_row,
+            cfg.fast.geometry.rows,
+        );
+        let slow_mapper = AddressMapper::new(
+            MappingScheme::OpenPageRowLocality,
+            cfg.slow_channels,
+            1,
+            cfg.slow.geometry.banks,
+            cfg.slow.geometry.lines_per_row,
+            cfg.slow.geometry.rows,
+        );
+        let fast_kind = format!("{}", cfg.fast.kind).to_lowercase();
+        let slow_kind = format!("{}", cfg.slow.kind).to_lowercase();
+        let fast = (0..cfg.fast_channels)
+            .map(|i| {
+                Controller::new(
+                    cfg.fast.clone(),
+                    1,
+                    cfg.fast_chips,
+                    &format!("dc-{fast_kind}-ch{i}"),
+                )
+            })
+            .collect();
+        let slow = (0..cfg.slow_channels)
+            .map(|i| {
+                Controller::new(
+                    cfg.slow.clone(),
+                    1,
+                    cfg.slow_chips,
+                    &format!("nvm-{slow_kind}-ch{i}"),
+                )
+            })
+            .collect();
+        DramCacheMemory {
+            fast,
+            slow,
+            fast_mapper,
+            slow_mapper,
+            fast_ratio: u64::from(cfg.fast.cpu_cycles_per_mem_cycle),
+            slow_ratio: u64::from(cfg.slow.cpu_cycles_per_mem_cycle),
+            sets: cfg.sets,
+            ways: cfg.ways,
+            fill: cfg.fill,
+            tags: vec![TagEntry::default(); (cfg.sets * cfg.ways) as usize],
+            lru_clock: 0,
+            pending: HashMap::new(), // cwf-lint: allow(hash-container) -- see field note
+            fast_ops: HashMap::new(), // cwf-lint: allow(hash-container) -- see field note
+            deferred_fast_reads: Vec::new(),
+            deferred_slow_reads: Vec::new(),
+            deferred_fast_writes: Vec::new(),
+            deferred_slow_writes: Vec::new(),
+            scheduled: Vec::new(),
+            next_id: 0,
+            stats: DramCacheStats::default(),
+            audit: false,
+            cache_log: Vec::new(),
+            trace_on: false,
+            trace_buf: Vec::new(),
+            fault_fake_hit: false,
+            fault_double_fill: false,
+            fault_drop_writeback: false,
+        }
+    }
+
+    /// DRAM-cache-specific statistics.
+    #[must_use]
+    pub fn dramcache_stats(&self) -> &DramCacheStats {
+        &self.stats
+    }
+
+    /// Fault injection: the next read-probe miss lies and declares a hit
+    /// (tag/data coherence break). Seeded-fault tests only.
+    pub fn inject_fake_hit(&mut self) {
+        self.fault_fake_hit = true;
+    }
+
+    /// Fault injection: the next miss fill is performed (and audited)
+    /// twice (exactly-once-fill break). Seeded-fault tests only.
+    pub fn inject_double_fill(&mut self) {
+        self.fault_double_fill = true;
+    }
+
+    /// Fault injection: the next dirty eviction skips its writeback
+    /// (writeback-before-evict break). Seeded-fault tests only.
+    pub fn inject_drop_writeback(&mut self) {
+        self.fault_drop_writeback = true;
+    }
+
+    fn set_of(&self, line: u64) -> u32 {
+        (line % u64::from(self.sets)) as u32
+    }
+
+    fn tag_idx(&self, set: u32, way: u32) -> usize {
+        (set * self.ways + way) as usize
+    }
+
+    /// Way holding `line` in `set`, if resident.
+    fn lookup(&self, set: u32, line: u64) -> Option<u32> {
+        (0..self.ways).find(|&w| {
+            let e = &self.tags[self.tag_idx(set, w)];
+            e.valid && e.line == line
+        })
+    }
+
+    /// Fast-channel location of the cached copy at `(set, way)`.
+    fn data_loc(&self, set: u32, way: u32) -> (u8, Loc) {
+        let cache_line = u64::from(set * self.ways + way);
+        self.fast_mapper.decode(cache_line << 6)
+    }
+
+    /// Fast-channel location of `set`'s tag line. Tags live in a region
+    /// of the fast address space above the data lines.
+    fn probe_loc(&self, set: u32) -> (u8, Loc) {
+        let tag_line = u64::from(self.sets * self.ways) + u64::from(set);
+        self.fast_mapper.decode(tag_line << 6)
+    }
+
+    fn audit_cache(&mut self, at: u64, op: CacheAuditOp) {
+        if self.audit {
+            self.cache_log.push(AuditRecord::Cache { at, op });
+        }
+    }
+
+    fn complete_read(&mut self, id: u64, at: u64, served_fast: bool) {
+        self.scheduled.push((
+            at,
+            MemEvent::WordsAvailable { token: Token(id), at, words: 0xFF, served_fast },
+        ));
+        self.scheduled.push((at, MemEvent::LineFilled { token: Token(id), at }));
+    }
+
+    fn handle_probe_done(&mut self, id: u64, at: u64) {
+        let Some(mut p) = self.pending.get(&id).copied() else { return };
+        p.probe_done = Some(at);
+        let (line, write, prefetch) = (p.line, p.write, p.prefetch);
+        let set = self.set_of(line);
+        let resident = self.lookup(set, line);
+        if write {
+            self.pending.remove(&id);
+            match resident {
+                Some(way) => {
+                    self.stats.write_hits += 1;
+                    let idx = self.tag_idx(set, way);
+                    self.lru_clock += 1;
+                    self.tags[idx].dirty = true;
+                    self.tags[idx].lru = self.lru_clock;
+                    let (chan, loc) = self.data_loc(set, way);
+                    self.deferred_fast_writes.push((chan, loc));
+                    self.audit_cache(at, CacheAuditOp::Probe { line, set, hit: true, write: true });
+                }
+                None => {
+                    // No write-allocate: the line goes straight down.
+                    self.stats.write_misses += 1;
+                    let (chan, loc) = self.slow_mapper.decode(line << 6);
+                    self.deferred_slow_writes.push((chan, loc));
+                    self.audit_cache(
+                        at,
+                        CacheAuditOp::Probe { line, set, hit: false, write: true },
+                    );
+                }
+            }
+            if self.trace_on {
+                self.trace_buf.push(cwf_tracelog::TraceEvent::DcTagProbe {
+                    token: cwf_tracelog::RequestToken(id),
+                    at,
+                    hit: resident.is_some(),
+                    write: true,
+                });
+            }
+            return;
+        }
+        let mut hit = resident.is_some();
+        if self.fault_fake_hit && !hit {
+            // The seeded tag/data coherence fault: declare victory on a
+            // line the cache does not hold.
+            self.fault_fake_hit = false;
+            hit = true;
+        }
+        p.hit = Some(hit);
+        self.audit_cache(at, CacheAuditOp::Probe { line, set, hit, write: false });
+        if self.trace_on {
+            self.trace_buf.push(cwf_tracelog::TraceEvent::DcTagProbe {
+                token: cwf_tracelog::RequestToken(id),
+                at,
+                hit,
+                write: false,
+            });
+        }
+        self.pending.insert(id, p);
+        if hit {
+            self.stats.read_hits += 1;
+            if let Some(way) = resident {
+                let idx = self.tag_idx(set, way);
+                self.lru_clock += 1;
+                self.tags[idx].lru = self.lru_clock;
+            }
+            if !p.data_issued {
+                let way = resident.unwrap_or(0);
+                let (chan, loc) = self.data_loc(set, way);
+                self.deferred_fast_reads.push((id, chan, loc, prefetch));
+            }
+            self.try_complete_hit(id);
+        } else {
+            self.stats.read_misses += 1;
+            if p.data_issued {
+                self.stats.spec_wasted += 1;
+            }
+            let (chan, loc) = self.slow_mapper.decode(line << 6);
+            self.deferred_slow_reads.push((id, chan, loc, prefetch));
+        }
+    }
+
+    fn handle_data_done(&mut self, id: u64, at: u64) {
+        let Some(p) = self.pending.get_mut(&id) else { return };
+        p.data_done = Some(at);
+        self.try_complete_hit(id);
+    }
+
+    fn try_complete_hit(&mut self, id: u64) {
+        let Some(p) = self.pending.get(&id) else { return };
+        if p.hit != Some(true) {
+            return;
+        }
+        let (Some(probe), Some(data)) = (p.probe_done, p.data_done) else { return };
+        self.complete_read(id, probe.max(data), true);
+        self.pending.remove(&id);
+    }
+
+    fn handle_slow_done(&mut self, id: u64, at: u64) {
+        let Some(p) = self.pending.get(&id) else { return };
+        let line = p.line;
+        let done_at = p.probe_done.unwrap_or(at).max(at);
+        self.complete_read(id, done_at, false);
+        self.pending.remove(&id);
+        let filled = self.fill == FillPolicy::FillOnMiss;
+        if self.trace_on {
+            self.trace_buf.push(cwf_tracelog::TraceEvent::DcMissFill {
+                token: cwf_tracelog::RequestToken(id),
+                at,
+                filled,
+            });
+        }
+        if filled {
+            self.fill_line(line, at);
+            if self.fault_double_fill {
+                // The seeded exactly-once-fill fault: the fill state
+                // machine fires a second time for the same line — a
+                // duplicate install (and data write) with no eviction in
+                // between.
+                self.fault_double_fill = false;
+                let set = self.set_of(line);
+                if let Some(way) = self.lookup(set, line) {
+                    self.stats.fills += 1;
+                    self.audit_cache(at, CacheAuditOp::Fill { line, set, way });
+                    let (chan, loc) = self.data_loc(set, way);
+                    self.deferred_fast_writes.push((chan, loc));
+                }
+            }
+        } else {
+            self.stats.bypasses += 1;
+        }
+    }
+
+    /// Install `line`, evicting the set's LRU way if every way is live
+    /// (dirty victims write back first).
+    fn fill_line(&mut self, line: u64, at: u64) {
+        let set = self.set_of(line);
+        let way =
+            (0..self.ways).find(|&w| !self.tags[self.tag_idx(set, w)].valid).unwrap_or_else(|| {
+                (0..self.ways)
+                    .min_by_key(|&w| self.tags[self.tag_idx(set, w)].lru)
+                    .expect("ways > 0")
+            });
+        let idx = self.tag_idx(set, way);
+        let victim = self.tags[idx];
+        if victim.valid {
+            if victim.dirty {
+                if self.fault_drop_writeback {
+                    // The seeded writeback-before-evict fault: the dirty
+                    // data silently evaporates.
+                    self.fault_drop_writeback = false;
+                } else {
+                    let (chan, loc) = self.slow_mapper.decode(victim.line << 6);
+                    self.deferred_slow_writes.push((chan, loc));
+                    self.stats.writebacks += 1;
+                    self.audit_cache(at, CacheAuditOp::Writeback { line: victim.line, set });
+                }
+            }
+            self.stats.evictions += 1;
+            self.audit_cache(
+                at,
+                CacheAuditOp::Evict { line: victim.line, set, way, dirty: victim.dirty },
+            );
+        }
+        self.lru_clock += 1;
+        self.tags[idx] = TagEntry { valid: true, line, dirty: false, lru: self.lru_clock };
+        self.stats.fills += 1;
+        self.audit_cache(at, CacheAuditOp::Fill { line, set, way });
+        let (chan, loc) = self.data_loc(set, way);
+        self.deferred_fast_writes.push((chan, loc));
+    }
+
+    /// Drain deferred fast-domain work into channels with queue space.
+    fn pump_fast(&mut self, mem_now: u64) {
+        let reads = std::mem::take(&mut self.deferred_fast_reads);
+        for (id, chan, loc, prefetch) in reads {
+            let ctrl = &mut self.fast[usize::from(chan)];
+            if ctrl.read_space() && ctrl.enqueue_read(Token(id), loc, prefetch, mem_now) {
+                self.fast_ops.insert(id, FastOp::Data(id));
+            } else {
+                self.deferred_fast_reads.push((id, chan, loc, prefetch));
+            }
+        }
+        let writes = std::mem::take(&mut self.deferred_fast_writes);
+        for (chan, loc) in writes {
+            let ctrl = &mut self.fast[usize::from(chan)];
+            if !ctrl.write_space() || !ctrl.enqueue_write(loc, mem_now) {
+                self.deferred_fast_writes.push((chan, loc));
+            }
+        }
+    }
+
+    /// Drain deferred slow-domain work into channels with queue space.
+    fn pump_slow(&mut self, mem_now: u64) {
+        let reads = std::mem::take(&mut self.deferred_slow_reads);
+        for (id, chan, loc, prefetch) in reads {
+            let ctrl = &mut self.slow[usize::from(chan)];
+            if !ctrl.read_space() || !ctrl.enqueue_read(Token(id), loc, prefetch, mem_now) {
+                self.deferred_slow_reads.push((id, chan, loc, prefetch));
+            }
+        }
+        let writes = std::mem::take(&mut self.deferred_slow_writes);
+        for (chan, loc) in writes {
+            let ctrl = &mut self.slow[usize::from(chan)];
+            if !ctrl.write_space() || !ctrl.enqueue_write(loc, mem_now) {
+                self.deferred_slow_writes.push((chan, loc));
+            }
+        }
+    }
+}
+
+impl MainMemory for DramCacheMemory {
+    fn try_submit(&mut self, req: &LineRequest, now: u64) -> Result<Option<Token>, MemBusy> {
+        let line = req.line_addr >> 6;
+        let set = self.set_of(line);
+        let (pchan, ploc) = self.probe_loc(set);
+        if !self.fast[usize::from(pchan)].read_space() {
+            return Err(MemBusy);
+        }
+        let mem_now = now / self.fast_ratio;
+        match req.kind {
+            mem_ctrl::AccessKind::Write { .. } => {
+                let id = self.next_id;
+                self.next_id += 1;
+                let ok =
+                    self.fast[usize::from(pchan)].enqueue_read(Token(id), ploc, false, mem_now);
+                debug_assert!(ok, "space was checked");
+                self.fast_ops.insert(id, FastOp::Probe(id));
+                self.pending.insert(
+                    id,
+                    ReqState {
+                        line,
+                        write: true,
+                        demand: false,
+                        prefetch: false,
+                        probe_done: None,
+                        data_done: None,
+                        hit: None,
+                        data_issued: false,
+                    },
+                );
+                Ok(None)
+            }
+            mem_ctrl::AccessKind::DemandRead | mem_ctrl::AccessKind::PrefetchRead => {
+                let demand = req.kind == mem_ctrl::AccessKind::DemandRead;
+                let prefetch = !demand;
+                // The external token is the request id; the probe rides on
+                // its own id so the two fast completions stay apart.
+                let id = self.next_id;
+                let probe_id = self.next_id + 1;
+                self.next_id += 2;
+                let ok = self.fast[usize::from(pchan)].enqueue_read(
+                    Token(probe_id),
+                    ploc,
+                    prefetch,
+                    mem_now,
+                );
+                debug_assert!(ok, "space was checked");
+                self.fast_ops.insert(probe_id, FastOp::Probe(id));
+                // Hit speculation: start the data access in parallel with
+                // the probe, aimed at the resident way (or way 0 when the
+                // speculation is doomed anyway). Skipped under queue
+                // pressure — the probe then serializes before the data.
+                let way = self.lookup(set, line).unwrap_or(0);
+                let (dchan, dloc) = self.data_loc(set, way);
+                let data_issued = self.fast[usize::from(dchan)].read_space()
+                    && self.fast[usize::from(dchan)].enqueue_read(
+                        Token(id),
+                        dloc,
+                        prefetch,
+                        mem_now,
+                    );
+                if data_issued {
+                    self.fast_ops.insert(id, FastOp::Data(id));
+                }
+                self.pending.insert(
+                    id,
+                    ReqState {
+                        line,
+                        write: false,
+                        demand,
+                        prefetch,
+                        probe_done: None,
+                        data_done: None,
+                        hit: None,
+                        data_issued,
+                    },
+                );
+                if demand {
+                    self.stats.demand_reads += 1;
+                }
+                Ok(Some(Token(id)))
+            }
+        }
+    }
+
+    fn tick(&mut self, now: u64) {
+        if now.is_multiple_of(self.fast_ratio) {
+            let mem_now = now / self.fast_ratio;
+            let mut done = Vec::new();
+            for ctrl in &mut self.fast {
+                ctrl.tick_mem(mem_now, true);
+                done.extend(ctrl.take_completions());
+            }
+            for c in done {
+                match self.fast_ops.remove(&c.token.0) {
+                    Some(FastOp::Probe(req)) => {
+                        self.handle_probe_done(req, c.data_end_mem * self.fast_ratio);
+                    }
+                    Some(FastOp::Data(req)) => {
+                        self.handle_data_done(req, c.data_end_mem * self.fast_ratio);
+                    }
+                    None => {}
+                }
+            }
+            self.pump_fast(mem_now);
+        }
+        if now.is_multiple_of(self.slow_ratio) {
+            let mem_now = now / self.slow_ratio;
+            let mut done = Vec::new();
+            for ctrl in &mut self.slow {
+                ctrl.tick_mem(mem_now, true);
+                done.extend(ctrl.take_completions());
+            }
+            for c in done {
+                self.handle_slow_done(c.token.0, c.data_end_mem * self.slow_ratio);
+            }
+            self.pump_slow(mem_now);
+        }
+    }
+
+    fn drain_events(&mut self, now: u64, out: &mut Vec<MemEvent>) {
+        let mut i = 0;
+        while i < self.scheduled.len() {
+            if self.scheduled[i].0 <= now {
+                out.push(self.scheduled.swap_remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn stats(&mut self, now: u64) -> MemSystemStats {
+        // Ceiling division per clock domain (see `HomogeneousMemory::stats`).
+        let mut controllers = Vec::new();
+        for ctrl in &mut self.fast {
+            controllers.push(ctrl.stats(now.div_ceil(self.fast_ratio)));
+        }
+        for ctrl in &mut self.slow {
+            controllers.push(ctrl.stats(now.div_ceil(self.slow_ratio)));
+        }
+        MemSystemStats { controllers }
+    }
+
+    fn enable_audit(&mut self) {
+        self.audit = true;
+        for c in &mut self.fast {
+            c.enable_command_log();
+        }
+        for c in &mut self.slow {
+            c.enable_command_log();
+        }
+    }
+
+    fn enable_trace(&mut self) {
+        // Channel numbering matches `audit_channels`: fast cache channels
+        // first, then the slow store channels.
+        self.trace_on = true;
+        for (i, c) in self.fast.iter_mut().enumerate() {
+            c.enable_trace(i as u16);
+        }
+        let n_fast = self.fast.len() as u16;
+        for (j, c) in self.slow.iter_mut().enumerate() {
+            c.enable_trace(n_fast + j as u16);
+        }
+    }
+
+    fn drain_trace(&mut self, out: &mut Vec<cwf_tracelog::TraceEvent>) {
+        for c in &mut self.fast {
+            out.append(&mut c.take_trace());
+        }
+        for c in &mut self.slow {
+            out.append(&mut c.take_trace());
+        }
+        out.append(&mut self.trace_buf);
+    }
+
+    fn audit_channels(&self) -> Vec<ChannelDesc> {
+        if !self.audit {
+            return Vec::new();
+        }
+        let mut out: Vec<ChannelDesc> = self
+            .fast
+            .iter()
+            .map(|c| ChannelDesc {
+                label: c.label().to_owned(),
+                cfg: c.config().clone(),
+                ranks: c.ranks(),
+                bus_group: None,
+            })
+            .collect();
+        out.extend(self.slow.iter().map(|c| ChannelDesc {
+            label: c.label().to_owned(),
+            cfg: c.config().clone(),
+            ranks: c.ranks(),
+            bus_group: None,
+        }));
+        out
+    }
+
+    fn drain_audit(&mut self, out: &mut Vec<AuditRecord>) {
+        let n_fast = self.fast.len();
+        for (i, c) in self.fast.iter_mut().enumerate() {
+            for (at_mem, cmd) in c.take_command_log() {
+                out.push(AuditRecord::Cmd { channel: i, at_mem, cmd });
+            }
+            for (at_mem, rank, state) in c.take_power_log() {
+                out.push(AuditRecord::Power { channel: i, at_mem, rank, state });
+            }
+        }
+        for (j, c) in self.slow.iter_mut().enumerate() {
+            for (at_mem, cmd) in c.take_command_log() {
+                out.push(AuditRecord::Cmd { channel: n_fast + j, at_mem, cmd });
+            }
+            for (at_mem, rank, state) in c.take_power_log() {
+                out.push(AuditRecord::Power { channel: n_fast + j, at_mem, rank, state });
+            }
+        }
+        out.append(&mut self.cache_log);
+    }
+
+    fn next_activity(&self, now: u64) -> Option<u64> {
+        let mut next =
+            self.scheduled.iter().map(|&(at, _)| at.max(now + 1)).min().unwrap_or(u64::MAX);
+        for ctrl in &self.fast {
+            if let Some(at_mem) = ctrl.next_activity_mem(now / self.fast_ratio) {
+                next = next.min(at_mem * self.fast_ratio);
+            }
+        }
+        for ctrl in &self.slow {
+            if let Some(at_mem) = ctrl.next_activity_mem(now / self.slow_ratio) {
+                next = next.min(at_mem * self.slow_ratio);
+            }
+        }
+        // Deferred work re-tries at the owning domain's next device tick.
+        if !self.deferred_fast_reads.is_empty() || !self.deferred_fast_writes.is_empty() {
+            next = next.min((now / self.fast_ratio + 1) * self.fast_ratio);
+        }
+        if !self.deferred_slow_reads.is_empty() || !self.deferred_slow_writes.is_empty() {
+            next = next.min((now / self.slow_ratio + 1) * self.slow_ratio);
+        }
+        if next == u64::MAX {
+            None
+        } else {
+            Some(next)
+        }
+    }
+}
+
+cwf_ckpt::ckpt_struct!(DramCacheStats {
+    demand_reads,
+    read_hits,
+    read_misses,
+    write_hits,
+    write_misses,
+    fills,
+    evictions,
+    writebacks,
+    spec_wasted,
+    bypasses
+});
+
+cwf_ckpt::ckpt_struct!(TagEntry { valid, line, dirty, lru });
+
+cwf_ckpt::ckpt_struct!(ReqState {
+    line,
+    write,
+    demand,
+    prefetch,
+    probe_done,
+    data_done,
+    hit,
+    data_issued
+});
+
+impl cwf_ckpt::Ckpt for FastOp {
+    fn save(&self, w: &mut cwf_ckpt::Writer) {
+        match *self {
+            FastOp::Probe(req) => {
+                w.put_u8(0);
+                w.put_u64(req);
+            }
+            FastOp::Data(req) => {
+                w.put_u8(1);
+                w.put_u64(req);
+            }
+        }
+    }
+    fn load(r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(FastOp::Probe(r.get_u64()?)),
+            1 => Ok(FastOp::Data(r.get_u64()?)),
+            t => Err(cwf_ckpt::CkptError::new(format!("invalid FastOp tag {t}"))),
+        }
+    }
+}
+
+impl DramCacheMemory {
+    /// Serialize mutable state: both channel groups' controllers, the
+    /// shadow tag array, in-flight transactions (sorted by id for a
+    /// deterministic byte stream), deferred work, scheduled events and
+    /// statistics. Mappers, ratios, geometry and the fill policy are pure
+    /// config, rebuilt on restore. Audit/trace buffers must be drained
+    /// before saving (the observers own their contents).
+    ///
+    /// # Errors
+    ///
+    /// Fails when any controller refuses to serialize.
+    pub fn save_state(&self, w: &mut cwf_ckpt::Writer) -> cwf_ckpt::Result<()> {
+        let DramCacheMemory {
+            fast,
+            slow,
+            fast_mapper: _,
+            slow_mapper: _,
+            fast_ratio: _,
+            slow_ratio: _,
+            sets: _,
+            ways: _,
+            fill: _,
+            tags,
+            lru_clock,
+            pending,
+            fast_ops,
+            deferred_fast_reads,
+            deferred_slow_reads,
+            deferred_fast_writes,
+            deferred_slow_writes,
+            scheduled,
+            next_id,
+            stats,
+            audit,
+            cache_log: _,
+            trace_on: _,
+            trace_buf: _,
+            fault_fake_hit,
+            fault_double_fill,
+            fault_drop_writeback,
+        } = self;
+        w.section(b"DCCH");
+        w.put_u64(fast.len() as u64);
+        for c in fast {
+            c.save_state(w)?;
+        }
+        w.put_u64(slow.len() as u64);
+        for c in slow {
+            c.save_state(w)?;
+        }
+        cwf_ckpt::Ckpt::save(tags, w);
+        cwf_ckpt::Ckpt::save(lru_clock, w);
+        let mut ids: Vec<u64> = pending.keys().copied().collect();
+        ids.sort_unstable();
+        w.put_u64(ids.len() as u64);
+        for id in ids {
+            w.put_u64(id);
+            cwf_ckpt::Ckpt::save(&pending[&id], w);
+        }
+        let mut ops: Vec<u64> = fast_ops.keys().copied().collect();
+        ops.sort_unstable();
+        w.put_u64(ops.len() as u64);
+        for id in ops {
+            w.put_u64(id);
+            cwf_ckpt::Ckpt::save(&fast_ops[&id], w);
+        }
+        cwf_ckpt::Ckpt::save(deferred_fast_reads, w);
+        cwf_ckpt::Ckpt::save(deferred_slow_reads, w);
+        cwf_ckpt::Ckpt::save(deferred_fast_writes, w);
+        cwf_ckpt::Ckpt::save(deferred_slow_writes, w);
+        cwf_ckpt::Ckpt::save(scheduled, w);
+        cwf_ckpt::Ckpt::save(next_id, w);
+        cwf_ckpt::Ckpt::save(stats, w);
+        cwf_ckpt::Ckpt::save(audit, w);
+        cwf_ckpt::Ckpt::save(fault_fake_hit, w);
+        cwf_ckpt::Ckpt::save(fault_double_fill, w);
+        cwf_ckpt::Ckpt::save(fault_drop_writeback, w);
+        Ok(())
+    }
+
+    /// Restore state saved by [`DramCacheMemory::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or a channel-count mismatch.
+    pub fn load_state(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
+        r.expect_section(b"DCCH")?;
+        let n_fast = r.get_u64()?;
+        if n_fast != self.fast.len() as u64 {
+            return Err(cwf_ckpt::CkptError::new("fast-channel count mismatch"));
+        }
+        for c in &mut self.fast {
+            c.load_state(r)?;
+        }
+        let n_slow = r.get_u64()?;
+        if n_slow != self.slow.len() as u64 {
+            return Err(cwf_ckpt::CkptError::new("slow-channel count mismatch"));
+        }
+        for c in &mut self.slow {
+            c.load_state(r)?;
+        }
+        let tags: Vec<TagEntry> = cwf_ckpt::Ckpt::load(r)?;
+        if tags.len() != self.tags.len() {
+            return Err(cwf_ckpt::CkptError::new("tag-array size mismatch"));
+        }
+        self.tags = tags;
+        self.lru_clock = cwf_ckpt::Ckpt::load(r)?;
+        let n_pending = r.get_u64()?;
+        self.pending.clear();
+        for _ in 0..n_pending {
+            let id = r.get_u64()?;
+            let p: ReqState = cwf_ckpt::Ckpt::load(r)?;
+            self.pending.insert(id, p);
+        }
+        let n_ops = r.get_u64()?;
+        self.fast_ops.clear();
+        for _ in 0..n_ops {
+            let id = r.get_u64()?;
+            let op: FastOp = cwf_ckpt::Ckpt::load(r)?;
+            self.fast_ops.insert(id, op);
+        }
+        self.deferred_fast_reads = cwf_ckpt::Ckpt::load(r)?;
+        self.deferred_slow_reads = cwf_ckpt::Ckpt::load(r)?;
+        self.deferred_fast_writes = cwf_ckpt::Ckpt::load(r)?;
+        self.deferred_slow_writes = cwf_ckpt::Ckpt::load(r)?;
+        self.scheduled = cwf_ckpt::Ckpt::load(r)?;
+        self.next_id = cwf_ckpt::Ckpt::load(r)?;
+        self.stats = cwf_ckpt::Ckpt::load(r)?;
+        self.audit = cwf_ckpt::Ckpt::load(r)?;
+        self.fault_fake_hit = cwf_ckpt::Ckpt::load(r)?;
+        self.fault_double_fill = cwf_ckpt::Ckpt::load(r)?;
+        self.fault_drop_writeback = cwf_ckpt::Ckpt::load(r)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_until_fill(mem: &mut DramCacheMemory, start: u64, span: u64) -> Vec<MemEvent> {
+        let mut ev = Vec::new();
+        for now in start..start + span {
+            mem.tick(now);
+            mem.drain_events(now, &mut ev);
+        }
+        ev
+    }
+
+    fn fill_at(ev: &[MemEvent], tok: Token) -> u64 {
+        ev.iter()
+            .find_map(|e| match e {
+                MemEvent::LineFilled { token, at } if *token == tok => Some(*at),
+                _ => None,
+            })
+            .expect("line filled")
+    }
+
+    #[test]
+    fn cold_miss_then_hit_is_faster() {
+        let mut mem = DramCacheMemory::new(DramCacheConfig::rl_nvm());
+        let t0 = mem.try_submit(&LineRequest::demand_read(0x8000, 0, 0), 0).unwrap().unwrap();
+        let ev = run_until_fill(&mut mem, 0, 20_000);
+        let miss_latency = fill_at(&ev, t0);
+        assert_eq!(mem.dramcache_stats().read_misses, 1);
+        assert_eq!(mem.dramcache_stats().fills, 1);
+        // Same line again: the fill made it a hit, served from RLDRAM3.
+        let t1 = mem.try_submit(&LineRequest::demand_read(0x8000, 0, 0), 20_000).unwrap().unwrap();
+        let ev = run_until_fill(&mut mem, 20_000, 20_000);
+        let hit_latency = fill_at(&ev, t1) - 20_000;
+        assert_eq!(mem.dramcache_stats().read_hits, 1);
+        assert!(
+            hit_latency < miss_latency,
+            "hit ({hit_latency}) must beat cold miss ({miss_latency})"
+        );
+        let served_fast = ev.iter().any(|e| {
+            matches!(e, MemEvent::WordsAvailable { token, served_fast: true, .. } if *token == t1)
+        });
+        assert!(served_fast, "hit serves from the fast cache");
+    }
+
+    #[test]
+    fn bypass_policy_never_fills() {
+        let cfg = DramCacheConfig::rl_nvm().with_fill(FillPolicy::Bypass);
+        let mut mem = DramCacheMemory::new(cfg);
+        mem.try_submit(&LineRequest::demand_read(0x8000, 0, 0), 0).unwrap().unwrap();
+        run_until_fill(&mut mem, 0, 20_000);
+        mem.try_submit(&LineRequest::demand_read(0x8000, 0, 0), 20_000).unwrap().unwrap();
+        run_until_fill(&mut mem, 20_000, 20_000);
+        let s = mem.dramcache_stats();
+        assert_eq!(s.fills, 0);
+        assert_eq!(s.read_misses, 2, "bypassed line misses again");
+        assert_eq!(s.bypasses, 2);
+    }
+
+    #[test]
+    fn conflicting_lines_evict_and_write_back_dirty_victims() {
+        // 2 sets x 1 way: two lines in the same set conflict directly.
+        let cfg = DramCacheConfig::rl_nvm().with_geometry(2, 1);
+        let mut mem = DramCacheMemory::new(cfg);
+        // Fill line A (set 0), dirty it, then fill conflicting line B.
+        mem.try_submit(&LineRequest::demand_read(0, 0, 0), 0).unwrap().unwrap();
+        run_until_fill(&mut mem, 0, 20_000);
+        mem.try_submit(&LineRequest::writeback(0, 0, 0), 20_000).unwrap();
+        run_until_fill(&mut mem, 20_000, 20_000);
+        assert_eq!(mem.dramcache_stats().write_hits, 1);
+        // Line B: same set (line addr = 2 sets further on).
+        mem.try_submit(&LineRequest::demand_read(2 * 64, 0, 0), 40_000).unwrap().unwrap();
+        run_until_fill(&mut mem, 40_000, 20_000);
+        let s = mem.dramcache_stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.writebacks, 1, "dirty victim must be written back");
+    }
+
+    #[test]
+    fn write_miss_goes_straight_to_slow_store() {
+        let mut mem = DramCacheMemory::new(DramCacheConfig::rl_nvm());
+        mem.try_submit(&LineRequest::writeback(0x9000, 0, 0), 0).unwrap();
+        run_until_fill(&mut mem, 0, 20_000);
+        let s = mem.dramcache_stats();
+        assert_eq!(s.write_misses, 1);
+        assert_eq!(s.fills, 0, "no write-allocate");
+        let sys = mem.stats(20_000);
+        let slow_writes: u64 = sys.controllers.iter().skip(2).map(|c| c.writes_done).sum();
+        assert_eq!(slow_writes, 1);
+    }
+
+    #[test]
+    fn audit_records_cover_probe_fill_evict() {
+        let cfg = DramCacheConfig::rl_nvm().with_geometry(2, 1);
+        let mut mem = DramCacheMemory::new(cfg);
+        mem.enable_audit();
+        mem.try_submit(&LineRequest::demand_read(0, 0, 0), 0).unwrap().unwrap();
+        run_until_fill(&mut mem, 0, 20_000);
+        mem.try_submit(&LineRequest::demand_read(2 * 64, 0, 0), 20_000).unwrap().unwrap();
+        run_until_fill(&mut mem, 20_000, 20_000);
+        let mut records = Vec::new();
+        mem.drain_audit(&mut records);
+        let cache_ops: Vec<&CacheAuditOp> = records
+            .iter()
+            .filter_map(|r| match r {
+                AuditRecord::Cache { op, .. } => Some(op),
+                _ => None,
+            })
+            .collect();
+        assert!(cache_ops.iter().any(|o| matches!(o, CacheAuditOp::Probe { hit: false, .. })));
+        assert!(cache_ops.iter().any(|o| matches!(o, CacheAuditOp::Fill { .. })));
+        assert!(
+            cache_ops.iter().any(|o| matches!(o, CacheAuditOp::Evict { dirty: false, .. })),
+            "clean victim evicts without writeback"
+        );
+    }
+
+    #[test]
+    fn checkpoint_round_trips_mid_flight() {
+        let mut mem = DramCacheMemory::new(DramCacheConfig::rl_nvm());
+        let tok = mem.try_submit(&LineRequest::demand_read(0x8000, 0, 0), 0).unwrap().unwrap();
+        // Stop mid-flight: the probe/data reads are still queued.
+        let mut ev = Vec::new();
+        for now in 0..8 {
+            mem.tick(now);
+            mem.drain_events(now, &mut ev);
+        }
+        let mut w = cwf_ckpt::Writer::new();
+        mem.save_state(&mut w).unwrap();
+        let bytes = w.into_vec();
+        let mut restored = DramCacheMemory::new(DramCacheConfig::rl_nvm());
+        let mut r = cwf_ckpt::Reader::new(&bytes);
+        restored.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        // Both instances finish the read at the same cycle.
+        let mut ev_a = Vec::new();
+        let mut ev_b = Vec::new();
+        for now in 8..20_000 {
+            mem.tick(now);
+            mem.drain_events(now, &mut ev_a);
+            restored.tick(now);
+            restored.drain_events(now, &mut ev_b);
+        }
+        assert_eq!(fill_at(&ev_a, tok), fill_at(&ev_b, tok));
+    }
+}

@@ -25,7 +25,10 @@
 //! * [`hetero`] — [`HeteroCwfMemory`], the split-transaction backend
 //!   (implements [`mem_ctrl::MainMemory`]);
 //! * [`pageplace`] — the page-granularity comparator of §7.1 and the
-//!   profiling wrapper that feeds it.
+//!   profiling wrapper that feeds it;
+//! * [`dramcache`] — [`DramCacheMemory`], the competing hybrid-memory
+//!   organization: the fast channels as a tags-in-DRAM line cache in
+//!   front of a slow NVM-like store (DESIGN.md §17).
 //!
 //! # Examples
 //!
@@ -50,10 +53,12 @@
 //! assert_eq!(first.token(), token);
 //! ```
 
+pub mod dramcache;
 pub mod hetero;
 pub mod pageplace;
 pub mod placement;
 
+pub use dramcache::{DramCacheConfig, DramCacheMemory, DramCacheStats, FillPolicy};
 pub use hetero::{CwfConfig, CwfStats, HeteroCwfMemory};
 pub use pageplace::{hot_pages, PagePlacedMemory, ProfilingMemory, PAGE_BYTES};
 pub use placement::{Placement, PlacementPolicy};

@@ -282,7 +282,7 @@ impl PagePlacedMemory {
     ///
     /// # Errors
     ///
-    /// Fails when any controller has tracing enabled.
+    /// Fails when any controller holds undrained trace events.
     pub fn save_state(&self, w: &mut cwf_ckpt::Writer) -> cwf_ckpt::Result<()> {
         let PagePlacedMemory {
             rld,

@@ -925,12 +925,13 @@ cwf_ckpt::ckpt_struct!(RobRing { buf, head, len });
 impl Core {
     /// Serialize the core's mutable state (ROB contents, in-flight op,
     /// retirement counters, span bookkeeping). `id` and `params` are
-    /// rebuilt on restore. Checkpointing with per-core tracing enabled
-    /// is unsupported.
+    /// rebuilt on restore; the trace log is re-armed by `enable_trace`
+    /// and holds nothing once drained, so tracing doesn't block a
+    /// checkpoint.
     ///
     /// # Errors
     ///
-    /// Fails when the core has a trace log attached.
+    /// Fails when the trace log holds undrained events.
     pub fn save_ckpt(&self, w: &mut cwf_ckpt::Writer) -> cwf_ckpt::Result<()> {
         let Core {
             id: _,
@@ -947,8 +948,10 @@ impl Core {
             retire_pending,
             cruise_mark,
         } = self;
-        if tracelog.is_some() {
-            return Err(cwf_ckpt::CkptError::new("cannot checkpoint a core with tracing enabled"));
+        if tracelog.as_ref().is_some_and(|t| !t.is_empty()) {
+            return Err(cwf_ckpt::CkptError::new(
+                "cannot checkpoint a core with undrained trace events",
+            ));
         }
         w.section(b"CORE");
         cwf_ckpt::Ckpt::save(rob, w);

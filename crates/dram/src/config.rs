@@ -30,17 +30,21 @@ pub enum DeviceKind {
     Ddr5,
     /// LPDDR4-3200: the mobile successor to LPDDR2.
     Lpddr4,
+    /// NVM-backed slow tier (3D-XPoint-class): DDR4 interface with long
+    /// tRCD/tRC media latencies — the DRAM-cache backing store.
+    NvmSlow,
 }
 
 impl DeviceKind {
     /// Every supported flavor, in declaration order.
-    pub const ALL: [DeviceKind; 6] = [
+    pub const ALL: [DeviceKind; 7] = [
         DeviceKind::Ddr3,
         DeviceKind::Lpddr2,
         DeviceKind::Rldram3,
         DeviceKind::Ddr4,
         DeviceKind::Ddr5,
         DeviceKind::Lpddr4,
+        DeviceKind::NvmSlow,
     ];
 
     /// The id of the embedded spec this kind loads (`specs/<id>.toml`).
@@ -53,6 +57,7 @@ impl DeviceKind {
             DeviceKind::Ddr4 => "ddr4_2400",
             DeviceKind::Ddr5 => "ddr5_4800",
             DeviceKind::Lpddr4 => "lpddr4_3200",
+            DeviceKind::NvmSlow => "nvm_slow",
         }
     }
 
@@ -73,6 +78,7 @@ impl DeviceKind {
             DeviceKind::Ddr4 => 3,
             DeviceKind::Ddr5 => 4,
             DeviceKind::Lpddr4 => 5,
+            DeviceKind::NvmSlow => 6,
         }
     }
 }
@@ -86,6 +92,7 @@ impl std::fmt::Display for DeviceKind {
             DeviceKind::Ddr4 => write!(f, "DDR4"),
             DeviceKind::Ddr5 => write!(f, "DDR5"),
             DeviceKind::Lpddr4 => write!(f, "LPDDR4"),
+            DeviceKind::NvmSlow => write!(f, "NVM"),
         }
     }
 }
@@ -295,7 +302,7 @@ pub struct DeviceConfig {
 
 /// Embedded-spec cache: each preset is parsed once per process.
 fn embedded_preset(kind: DeviceKind) -> &'static DeviceConfig {
-    static CACHE: [OnceLock<DeviceConfig>; 6] = [const { OnceLock::new() }; 6];
+    static CACHE: [OnceLock<DeviceConfig>; 7] = [const { OnceLock::new() }; 7];
     CACHE[kind.index()].get_or_init(|| {
         let spec = crate::spec::DeviceSpec::embedded(kind.spec_id())
             .unwrap_or_else(|| panic!("no embedded spec for {kind:?}"));
@@ -360,6 +367,16 @@ impl DeviceConfig {
     #[must_use]
     pub fn lpddr4_3200() -> Self {
         Self::preset(DeviceKind::Lpddr4)
+    }
+
+    /// NVM-backed slow tier (3D-XPoint-class DIMM behind a DDR4-style
+    /// interface): long tRCD/tRC media latencies, no refresh obligation
+    /// worth modelling beyond the spec's token rate. The backing store of
+    /// the DRAM-cache organization. Loaded from the embedded
+    /// `specs/nvm_slow.toml`.
+    #[must_use]
+    pub fn nvm_slow() -> Self {
+        Self::preset(DeviceKind::NvmSlow)
     }
 
     /// Preset lookup by kind: loads (and caches) the embedded spec.

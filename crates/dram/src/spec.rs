@@ -35,13 +35,14 @@ const MAX_SPEC_BANKS: u32 = 32;
 
 /// Every embedded spec, id → TOML source. The files under `specs/` are the
 /// single source of truth; the presets in [`DeviceConfig`] load from here.
-const EMBEDDED: [(&str, &str); 6] = [
+const EMBEDDED: [(&str, &str); 7] = [
     ("ddr3_1600", include_str!("../../../specs/ddr3_1600.toml")),
     ("lpddr2_800", include_str!("../../../specs/lpddr2_800.toml")),
     ("rldram3", include_str!("../../../specs/rldram3.toml")),
     ("ddr4_2400", include_str!("../../../specs/ddr4_2400.toml")),
     ("ddr5_4800", include_str!("../../../specs/ddr5_4800.toml")),
     ("lpddr4_3200", include_str!("../../../specs/lpddr4_3200.toml")),
+    ("nvm_slow", include_str!("../../../specs/nvm_slow.toml")),
 ];
 
 /// A spec-file parse or validation error, with the 1-based line it
@@ -357,8 +358,8 @@ impl DeviceSpec {
 
     /// Ids of every embedded spec, in a stable order.
     #[must_use]
-    pub fn embedded_ids() -> [&'static str; 6] {
-        let mut ids = [""; 6];
+    pub fn embedded_ids() -> [&'static str; 7] {
+        let mut ids = [""; 7];
         for (i, (id, _)) in EMBEDDED.iter().enumerate() {
             ids[i] = id;
         }

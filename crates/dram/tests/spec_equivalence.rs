@@ -77,9 +77,9 @@ fn embedded_lpddr2_matches_legacy_struct() {
             t_ck_ps: 2500,
             t_burst: 4,
             t_rc: 24,
-            t_rcd: 8,
-            t_rl: 8,
-            t_rp: 8,
+            t_rcd: 7,
+            t_rl: 7,
+            t_rp: 7,
             t_ras: 17,
             t_rtrs: 2,
             t_faw: 20,

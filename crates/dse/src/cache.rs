@@ -4,8 +4,11 @@
 //! cell that is still computing: the first submission of a key claims it
 //! and runs, later submissions subscribe to the in-flight entry and are
 //! delivered the result when it lands. Simulations are deterministic
-//! (DESIGN.md §8), so a cached result is bit-identical to a rerun —
-//! including failures, which cache like any other outcome.
+//! (DESIGN.md §8), so a cached *success* is bit-identical to a rerun.
+//! Failures are different: a panic can be transient (resource pressure,
+//! a bug fixed while the server kept running), so error outcomes are
+//! delivered to their waiters but **never cached** — the next submission
+//! of that key claims it and recomputes.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -95,6 +98,11 @@ impl ResultCache {
     /// Publish a claimed key's result and deliver every subscriber
     /// (including the claimant's own, registered at submit time).
     ///
+    /// Successful outcomes become [`Slot::Ready`] and serve future hits;
+    /// failed outcomes (`!out.ok`) only drain the waiting subscribers —
+    /// the key is *removed*, so a later submission recomputes instead of
+    /// replaying a possibly-transient error forever.
+    ///
     /// # Panics
     ///
     /// Panics if the key was never claimed — a protocol bug, not a
@@ -102,7 +110,12 @@ impl ResultCache {
     pub fn complete(&self, key: CellKey, out: &Arc<CellOutput>) {
         let subs = {
             let mut map = self.map.lock().expect("cache poisoned");
-            match map.insert((key.digest, key.seed), Slot::Ready(Arc::clone(out))) {
+            let slot = if out.ok {
+                map.insert((key.digest, key.seed), Slot::Ready(Arc::clone(out)))
+            } else {
+                map.remove(&(key.digest, key.seed))
+            };
+            match slot {
                 Some(Slot::InFlight(subs)) => subs,
                 _ => panic!("complete() on a key that was not in flight"),
             }
@@ -188,5 +201,36 @@ mod tests {
     #[should_panic(expected = "not in flight")]
     fn completing_an_unclaimed_key_is_a_bug() {
         ResultCache::new().complete(key(9, 9), &output());
+    }
+
+    #[test]
+    fn failed_cells_are_not_sticky() {
+        let cache = ResultCache::new();
+        let noop = || Box::new(|_out: Arc<CellOutput>| {}) as Subscriber;
+        let failure = Arc::new(CellOutput {
+            ok: false,
+            bench: "mcf".into(),
+            mem: "rl".into(),
+            json: "{\"error\":\"panic\"}".into(),
+        });
+
+        // First attempt fails: waiters are delivered, key is forgotten.
+        assert!(matches!(cache.submit(key(5, 1), noop()), Submission::Claimed));
+        let delivered = Arc::new(AtomicU32::new(0));
+        let d = Arc::clone(&delivered);
+        let counting = Box::new(move |out: Arc<CellOutput>| {
+            assert!(!out.ok);
+            d.fetch_add(1, Ordering::Relaxed);
+        }) as Subscriber;
+        assert!(matches!(cache.submit(key(5, 1), counting), Submission::Batched));
+        cache.complete(key(5, 1), &failure);
+        assert_eq!(delivered.load(Ordering::Relaxed), 1, "waiters still get the error doc");
+        assert_eq!(cache.len(), 0, "error outcome must not occupy the key");
+
+        // Second attempt is a fresh claim (not a hit on the error doc)
+        // and a success this time sticks.
+        assert!(matches!(cache.submit(key(5, 1), noop()), Submission::Claimed));
+        cache.complete(key(5, 1), &output());
+        assert!(matches!(cache.submit(key(5, 1), noop()), Submission::Hit(out) if out.ok));
     }
 }

@@ -9,7 +9,9 @@
 //! * [`digest`] — stable `(config-digest, seed)` cell identities,
 //!   canonicalized through the `cwfmem.ckpt.v1` encoding;
 //! * [`cache`] — a result cache that memoizes finished cells *and*
-//!   batches duplicate submissions onto in-flight computations;
+//!   batches duplicate submissions onto in-flight computations
+//!   (failures are delivered but never memoized, so a transient error
+//!   cannot poison a cell key for the server's lifetime);
 //! * [`server`] — the `cwfmem serve` HTTP/JSON front end (submit
 //!   sweeps, poll or stream status, fetch per-cell results and Perfetto
 //!   traces, graceful shutdown);

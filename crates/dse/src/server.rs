@@ -202,8 +202,10 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Execute one cell and render its outcome. Runs on a pool worker;
-/// panics become a failed [`CellOutput`] (which caches like any other —
-/// the simulator is deterministic, so a rerun would panic again).
+/// panics become a failed [`CellOutput`]. Failures are delivered to the
+/// sweeps waiting on the cell but never memoized (see
+/// [`ResultCache::complete`]): a later sweep retries instead of being
+/// served a possibly-transient error doc forever.
 fn run_cell(cell: &Cell) -> CellOutput {
     let run = catch_unwind(AssertUnwindSafe(|| {
         let (m, k, v) = sim_harness::run_benchmark_verified(&cell.cfg, &cell.bench);
@@ -691,11 +693,10 @@ mod tests {
     }
 
     #[test]
-    fn failed_cells_cache_and_count() {
+    fn failed_cells_count_but_are_not_sticky() {
         // An unknown-benchmark cell can't be built via the HTTP API (400),
         // so exercise the failure path through submit_sweep directly with
-        // a config that panics inside the simulator: reads beyond
-        // max_cycles is fine, so use a bench name bypassing validation.
+        // a bench name bypassing validation (panics in run_cell).
         let state = Arc::new(State::new(2));
         let cfg = RunConfig::quick(MemKind::Rl, 50);
         let cells = vec![
@@ -713,5 +714,52 @@ mod tests {
         let slots = job.results.lock().unwrap();
         assert!(slots.iter().all(|s| s.as_ref().is_some_and(|o| !o.ok)));
         assert!(slots[0].as_ref().unwrap().json.contains("unknown benchmark"));
+        drop(slots);
+
+        // The error doc must not poison the key: the same cell submitted
+        // again is a fresh claim, not a cache hit on the stale failure.
+        assert_eq!(state.cache.len(), 0, "failures must not occupy the cache");
+        let retry = submit_sweep(&state, vec![Cell { bench: "no-such-bench".into(), cfg }]);
+        while !retry.is_done() {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(retry.cache_hits.load(Ordering::Relaxed), 0, "retry must recompute");
+        let (_, _, misses) = state.cache.stats();
+        assert_eq!(misses, 2, "both attempts claimed the key");
+    }
+
+    /// The "failed-then-fixed" regression the serve-mode bugfix is about:
+    /// a cell whose first run fails must be recomputed — and can succeed —
+    /// on the next submission, rather than replaying the cached error.
+    #[test]
+    fn failed_then_fixed_cell_recomputes_to_success() {
+        let cache = ResultCache::new();
+        let k = crate::digest::CellKey { digest: 77, seed: 1 };
+        let noop = || Box::new(|_out: Arc<CellOutput>| {}) as crate::cache::Subscriber;
+        assert!(matches!(cache.submit(k, noop()), Submission::Claimed));
+        cache.complete(
+            k,
+            &Arc::new(CellOutput {
+                ok: false,
+                bench: "stream".into(),
+                mem: "rl".into(),
+                json: "{\"error\":\"transient\"}".into(),
+            }),
+        );
+        // "Fixed" now: the next submission claims and the success sticks.
+        assert!(matches!(cache.submit(k, noop()), Submission::Claimed));
+        cache.complete(
+            k,
+            &Arc::new(CellOutput {
+                ok: true,
+                bench: "stream".into(),
+                mem: "rl".into(),
+                json: "{}".into(),
+            }),
+        );
+        match cache.submit(k, noop()) {
+            Submission::Hit(out) => assert!(out.ok, "hit must serve the fixed result"),
+            _ => panic!("fixed cell must now be cached"),
+        }
     }
 }

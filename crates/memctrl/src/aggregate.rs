@@ -246,7 +246,7 @@ impl AggregatedController {
     ///
     /// # Errors
     ///
-    /// Fails when any sub-controller has tracing enabled.
+    /// Fails when any sub-controller holds undrained trace events.
     pub fn save_state(&self, w: &mut cwf_ckpt::Writer) -> cwf_ckpt::Result<()> {
         let AggregatedController { subs, rr, shared_bus: _, cmd_bus_conflicts, fault_double_book } =
             self;

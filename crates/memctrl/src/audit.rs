@@ -33,6 +33,61 @@ pub enum AuditRecord {
         /// State the rank is in *after* the transition.
         state: PowerState,
     },
+    /// A DRAM-cache bookkeeping event (tag probe, miss fill, eviction,
+    /// writeback) at CPU cycle `at`. Emitted only by cache-organized
+    /// backends; the oracle's cache-consistency checker replays these
+    /// against a shadow tag array.
+    Cache {
+        /// CPU cycle of the event (cache bookkeeping is cross-channel, so
+        /// it is stamped in the global clock, not a channel clock).
+        at: u64,
+        /// What happened.
+        op: CacheAuditOp,
+    },
+}
+
+/// One DRAM-cache bookkeeping event (see [`AuditRecord::Cache`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheAuditOp {
+    /// A tag probe resolved for `line` in `set`.
+    Probe {
+        /// Line address (line-granular, i.e. byte address >> 6).
+        line: u64,
+        /// Cache set the line indexes.
+        set: u32,
+        /// Whether the probe declared a hit.
+        hit: bool,
+        /// Whether the probing access was a write.
+        write: bool,
+    },
+    /// `line` was installed into `(set, way)` (miss fill).
+    Fill {
+        /// Line address.
+        line: u64,
+        /// Cache set.
+        set: u32,
+        /// Way within the set.
+        way: u32,
+    },
+    /// The line in `(set, way)` was evicted to make room.
+    Evict {
+        /// Line address of the victim.
+        line: u64,
+        /// Cache set.
+        set: u32,
+        /// Way within the set.
+        way: u32,
+        /// Whether the victim held dirty data (must have been written
+        /// back before this record).
+        dirty: bool,
+    },
+    /// Dirty `line` was written back to the slow store.
+    Writeback {
+        /// Line address.
+        line: u64,
+        /// Cache set.
+        set: u32,
+    },
 }
 
 /// Static description of one audited channel, used by the oracle to build

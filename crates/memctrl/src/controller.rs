@@ -1594,12 +1594,15 @@ impl Controller {
     /// Serialize the controller's mutable state: channel, transaction
     /// queues, scheduler bookkeeping, refresh deadlines, pending
     /// completions and statistics. Config (`DeviceConfig`, `CtrlParams`,
-    /// label) is rebuilt on restore. Checkpointing a controller with an
-    /// active trace sink is unsupported.
+    /// label) is rebuilt on restore. The trace sink itself is configured
+    /// (re-armed by [`Controller::enable_trace`] on restore) and carries
+    /// no state once drained, so tracing doesn't block a checkpoint — but
+    /// the caller must have collected the buffered events first.
     ///
     /// # Errors
     ///
-    /// Fails when request-linked tracing is enabled.
+    /// Fails when the trace sink holds undrained events (they would be
+    /// silently lost).
     pub fn save_state(&self, w: &mut cwf_ckpt::Writer) -> cwf_ckpt::Result<()> {
         let Controller {
             cfg: _,
@@ -1625,9 +1628,9 @@ impl Controller {
             fault_phantom_self_refresh,
             trace,
         } = self;
-        if trace.is_some() {
+        if trace.as_ref().is_some_and(|t| !t.events.is_empty()) {
             return Err(cwf_ckpt::CkptError::new(
-                "cannot checkpoint a controller with tracing enabled",
+                "cannot checkpoint a controller with undrained trace events",
             ));
         }
         w.section(b"CTRL");

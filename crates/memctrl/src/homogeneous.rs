@@ -123,7 +123,7 @@ impl HomogeneousMemory {
             DeviceKind::Ddr3 => Self::baseline_ddr3(),
             DeviceKind::Lpddr2 => Self::all_lpddr2(),
             DeviceKind::Rldram3 => Self::all_rldram3(),
-            DeviceKind::Ddr4 | DeviceKind::Ddr5 | DeviceKind::Lpddr4 => {
+            DeviceKind::Ddr4 | DeviceKind::Ddr5 | DeviceKind::Lpddr4 | DeviceKind::NvmSlow => {
                 Self::new(DeviceConfig::preset(kind), 4, 1, 9, CtrlParams::default())
             }
         }
@@ -278,7 +278,7 @@ impl HomogeneousMemory {
     ///
     /// # Errors
     ///
-    /// Fails when any controller has tracing enabled.
+    /// Fails when any controller holds undrained trace events.
     pub fn save_state(&self, w: &mut cwf_ckpt::Writer) -> cwf_ckpt::Result<()> {
         let HomogeneousMemory { controllers, mapper: _, ratio: _, next_token, pending, audit } =
             self;

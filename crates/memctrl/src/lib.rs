@@ -48,7 +48,7 @@ pub mod request;
 mod txnq;
 
 pub use aggregate::AggregatedController;
-pub use audit::{AuditRecord, ChannelDesc};
+pub use audit::{AuditRecord, CacheAuditOp, ChannelDesc};
 pub use controller::{Controller, ControllerStats, CtrlParams, SchedPolicy};
 pub use homogeneous::HomogeneousMemory;
 pub use mapping::{AddressMapper, Loc, MappingScheme};

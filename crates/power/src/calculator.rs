@@ -73,6 +73,7 @@ pub fn default_table(stats: &ControllerStats, lpddr_io: LpddrIo) -> IddTable {
         DeviceKind::Ddr4 => IddTable::ddr4(),
         DeviceKind::Ddr5 => IddTable::ddr5(),
         DeviceKind::Lpddr4 => IddTable::lpddr4(),
+        DeviceKind::NvmSlow => IddTable::nvm_slow(),
     }
 }
 

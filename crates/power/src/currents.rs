@@ -234,6 +234,29 @@ impl IddTable {
         }
     }
 
+    /// NVM-slow 3D-XPoint-class DIMM behind a DDR4 interface (1.2 V):
+    /// DDR4-like bus currents, but activates burn media-write energy
+    /// (high IDD0) and the part never self-refreshes (IDD6 ≈ standby).
+    #[must_use]
+    pub fn nvm_slow() -> Self {
+        IddTable {
+            name: "NVM-slow x8",
+            vdd: 1.2,
+            idd0: 95.0,
+            idd2p: 32.0,
+            idd2n: 40.0,
+            idd3p: 38.0,
+            idd3n: 50.0,
+            idd4r: 150.0,
+            idd4w: 170.0,
+            idd5: 50.0,
+            idd6: 40.0,
+            term_wr_mw: 110.0,
+            term_rd_mw: 0.0,
+            static_io_mw: 5.0,
+        }
+    }
+
     /// Idle (precharge standby) power of one chip in watts.
     #[must_use]
     pub fn idle_power_w(&self) -> f64 {

@@ -1,7 +1,8 @@
 //! Run configurations: memory system kinds and simulation knobs.
 
 use cwf_core::{
-    CwfConfig, CwfStats, HeteroCwfMemory, PagePlacedMemory, PlacementPolicy, ProfilingMemory,
+    CwfConfig, CwfStats, DramCacheConfig, DramCacheMemory, DramCacheStats, HeteroCwfMemory,
+    PagePlacedMemory, PlacementPolicy, ProfilingMemory,
 };
 use dram_timing::DeviceKind;
 use mem_ctrl::{
@@ -24,6 +25,9 @@ pub enum MemBackend {
     PagePlaced(PagePlacedMemory),
     /// A profiling pass over the baseline (collects page heat).
     Profiling(ProfilingMemory<HomogeneousMemory>),
+    /// The DRAM-cache hybrid: fast channels as a tags-in-DRAM line cache
+    /// in front of a slow NVM-like store (DESIGN.md §17).
+    DramCache(DramCacheMemory),
 }
 
 impl MemBackend {
@@ -54,6 +58,24 @@ impl MemBackend {
         }
     }
 
+    /// DRAM-cache statistics if this backend is a DRAM-cache hybrid.
+    #[must_use]
+    pub fn dramcache_stats(&self) -> Option<DramCacheStats> {
+        match self {
+            MemBackend::DramCache(m) => Some(*m.dramcache_stats()),
+            _ => None,
+        }
+    }
+
+    /// The DRAM-cache backend, if that is what this is (seeded-fault
+    /// tests reach through this to the injection hooks).
+    pub fn dramcache_mut(&mut self) -> Option<&mut DramCacheMemory> {
+        match self {
+            MemBackend::DramCache(m) => Some(m),
+            _ => None,
+        }
+    }
+
     /// Serialize the backend's mutable state (checkpointing). A one-byte
     /// variant tag guards against resuming into a different organization;
     /// the variant itself is rebuilt from the run config, never decoded.
@@ -80,6 +102,10 @@ impl MemBackend {
                 w.put_u8(3);
                 m.save_state(w, |inner, w| inner.save_state(w))
             }
+            MemBackend::DramCache(m) => {
+                w.put_u8(4);
+                m.save_state(w)
+            }
         }
     }
 
@@ -97,6 +123,7 @@ impl MemBackend {
             (1, MemBackend::Cwf(m)) => m.load_state(r),
             (2, MemBackend::PagePlaced(m)) => m.load_state(r),
             (3, MemBackend::Profiling(m)) => m.load_state(r, |inner, r| inner.load_state(r)),
+            (4, MemBackend::DramCache(m)) => m.load_state(r),
             (tag, _) => Err(cwf_ckpt::CkptError::new(format!(
                 "backend variant mismatch: checkpoint has tag {tag}"
             ))),
@@ -126,6 +153,7 @@ impl MainMemory for MemBackend {
             MemBackend::Cwf(m) => m.try_submit(req, now),
             MemBackend::PagePlaced(m) => m.try_submit(req, now),
             MemBackend::Profiling(m) => m.try_submit(req, now),
+            MemBackend::DramCache(m) => m.try_submit(req, now),
         }
     }
 
@@ -135,6 +163,7 @@ impl MainMemory for MemBackend {
             MemBackend::Cwf(m) => m.tick(now),
             MemBackend::PagePlaced(m) => m.tick(now),
             MemBackend::Profiling(m) => m.tick(now),
+            MemBackend::DramCache(m) => m.tick(now),
         }
     }
 
@@ -144,6 +173,7 @@ impl MainMemory for MemBackend {
             MemBackend::Cwf(m) => m.drain_events(now, out),
             MemBackend::PagePlaced(m) => m.drain_events(now, out),
             MemBackend::Profiling(m) => m.drain_events(now, out),
+            MemBackend::DramCache(m) => m.drain_events(now, out),
         }
     }
 
@@ -153,6 +183,7 @@ impl MainMemory for MemBackend {
             MemBackend::Cwf(m) => m.stats(now),
             MemBackend::PagePlaced(m) => m.stats(now),
             MemBackend::Profiling(m) => m.stats(now),
+            MemBackend::DramCache(m) => m.stats(now),
         }
     }
 
@@ -162,6 +193,7 @@ impl MainMemory for MemBackend {
             MemBackend::Cwf(m) => m.next_activity(now),
             MemBackend::PagePlaced(m) => m.next_activity(now),
             MemBackend::Profiling(m) => m.next_activity(now),
+            MemBackend::DramCache(m) => m.next_activity(now),
         }
     }
 
@@ -173,6 +205,7 @@ impl MainMemory for MemBackend {
         match self {
             MemBackend::Homogeneous(m) => m.enable_audit(),
             MemBackend::Cwf(m) => m.enable_audit(),
+            MemBackend::DramCache(m) => m.enable_audit(),
             MemBackend::PagePlaced(_) | MemBackend::Profiling(_) => {}
         }
     }
@@ -181,6 +214,7 @@ impl MainMemory for MemBackend {
         match self {
             MemBackend::Homogeneous(m) => m.audit_channels(),
             MemBackend::Cwf(m) => m.audit_channels(),
+            MemBackend::DramCache(m) => m.audit_channels(),
             MemBackend::PagePlaced(_) | MemBackend::Profiling(_) => Vec::new(),
         }
     }
@@ -189,6 +223,7 @@ impl MainMemory for MemBackend {
         match self {
             MemBackend::Homogeneous(m) => m.drain_audit(out),
             MemBackend::Cwf(m) => m.drain_audit(out),
+            MemBackend::DramCache(m) => m.drain_audit(out),
             MemBackend::PagePlaced(_) | MemBackend::Profiling(_) => {}
         }
     }
@@ -199,6 +234,7 @@ impl MainMemory for MemBackend {
             MemBackend::Cwf(m) => m.enable_trace(),
             MemBackend::PagePlaced(m) => m.enable_trace(),
             MemBackend::Profiling(m) => m.enable_trace(),
+            MemBackend::DramCache(m) => m.enable_trace(),
         }
     }
 
@@ -208,6 +244,7 @@ impl MainMemory for MemBackend {
             MemBackend::Cwf(m) => m.drain_trace(out),
             MemBackend::PagePlaced(m) => m.drain_trace(out),
             MemBackend::Profiling(m) => m.drain_trace(out),
+            MemBackend::DramCache(m) => m.drain_trace(out),
         }
     }
 }
@@ -239,6 +276,9 @@ pub enum MemKind {
     /// A CWF pairing of two spec-layer standards: fast critical store +
     /// slow bulk, on the flagship topology (`--mem rldram3+ddr5_4800`).
     SpecCwf(DeviceKind, DeviceKind),
+    /// The DRAM-cache hybrid: the fast device as a tags-in-DRAM line
+    /// cache in front of the slow store (`--mem dramcache:rldram3+nvm_slow`).
+    DramCache(DeviceKind, DeviceKind),
 }
 
 impl MemKind {
@@ -258,6 +298,7 @@ impl MemKind {
             MemKind::RlRandom => "RL RAND".to_owned(),
             MemKind::Spec(k) => k.to_string(),
             MemKind::SpecCwf(fast, slow) => format!("{fast}+{slow}"),
+            MemKind::DramCache(fast, slow) => format!("DC {fast}+{slow}"),
         }
     }
 
@@ -278,6 +319,9 @@ impl MemKind {
             MemKind::RlRandom => "rl-rand".to_owned(),
             MemKind::Spec(k) => k.spec_id().to_owned(),
             MemKind::SpecCwf(fast, slow) => format!("{}+{}", fast.spec_id(), slow.spec_id()),
+            MemKind::DramCache(fast, slow) => {
+                format!("dramcache:{}+{}", fast.spec_id(), slow.spec_id())
+            }
         }
     }
 
@@ -301,6 +345,12 @@ impl MemKind {
         ];
         if let Some((_, k)) = LEGACY.iter().find(|(n, _)| *n == token) {
             return Some(*k);
+        }
+        if let Some(pair) = token.strip_prefix("dramcache:") {
+            let (fast_tok, slow_tok) = pair.split_once('+')?;
+            let fast = DeviceKind::parse_token(fast_tok)?;
+            let slow = DeviceKind::parse_token(slow_tok)?;
+            return Some(MemKind::DramCache(fast, slow));
         }
         if let Some((fast_tok, slow_tok)) = token.split_once('+') {
             let fast = DeviceKind::parse_token(fast_tok)?;
@@ -341,6 +391,9 @@ impl MemKind {
             MemKind::RlRandom => cwf(CwfConfig::rl().with_policy(PlacementPolicy::Random)),
             MemKind::Spec(k) => MemBackend::Homogeneous(HomogeneousMemory::preset(k)),
             MemKind::SpecCwf(fast, slow) => cwf(CwfConfig::pair(fast, slow)),
+            MemKind::DramCache(fast, slow) => {
+                MemBackend::DramCache(DramCacheMemory::new(DramCacheConfig::pair(fast, slow)))
+            }
         }
     }
 
@@ -573,6 +626,7 @@ mod tests {
             MemKind::Spec(DeviceKind::Ddr5),
             MemKind::Spec(DeviceKind::Lpddr4),
             MemKind::SpecCwf(DeviceKind::Rldram3, DeviceKind::Ddr5),
+            MemKind::DramCache(DeviceKind::Rldram3, DeviceKind::NvmSlow),
         ] {
             let mut mem = kind.build(0.0, 1);
             mem.tick(0);
@@ -608,6 +662,15 @@ mod tests {
         );
         assert_eq!(MemKind::parse("sdram"), None);
         assert_eq!(MemKind::parse("rldram3+sdram"), None);
+        // The DRAM-cache hybrid takes an explicit prefix.
+        assert_eq!(
+            MemKind::parse("dramcache:rldram3+nvm_slow"),
+            Some(MemKind::DramCache(DeviceKind::Rldram3, DeviceKind::NvmSlow))
+        );
+        assert_eq!(MemKind::parse("dramcache:rldram3"), None);
+        assert_eq!(MemKind::parse("dramcache:rldram3+sdram"), None);
+        // Bare nvm_slow is a homogeneous spec point like any other.
+        assert_eq!(MemKind::parse("nvm_slow"), Some(MemKind::Spec(DeviceKind::NvmSlow)));
     }
 
     #[test]
@@ -617,6 +680,7 @@ mod tests {
             MemKind::Spec(DeviceKind::Ddr5),
             MemKind::Spec(DeviceKind::Lpddr4),
             MemKind::SpecCwf(DeviceKind::Rldram3, DeviceKind::Ddr5),
+            MemKind::DramCache(DeviceKind::Rldram3, DeviceKind::NvmSlow),
             MemKind::Ddr3,
             MemKind::Rl,
         ] {

@@ -11,7 +11,7 @@ use cache_hier::{Cache, CacheCfg, LineMeta};
 use cpu_model::{TraceOp, TraceSource};
 use cwf_core::{hot_pages, CwfConfig, HeteroCwfMemory, PagePlacedMemory, ProfilingMemory};
 use dram_power::{power_at_utilization, IddTable, LpddrIo, SystemEnergyModel};
-use dram_timing::DeviceConfig;
+use dram_timing::{DeviceConfig, DeviceKind};
 use mem_ctrl::HomogeneousMemory;
 use workloads::{by_name, suite, TraceGen};
 
@@ -719,6 +719,104 @@ pub fn alternatives(benches: &[&str], reads: u64) -> (Table, Table) {
         ),
     ]);
     (t71, t72)
+}
+
+// ---------------------------------------------------------------------------
+// DRAM-cache head-to-head: CWF vs tags-in-DRAM cache vs page placement.
+// ---------------------------------------------------------------------------
+
+/// Head-to-head of the three heterogeneity disciplines over one workload
+/// set: the paper's word-granularity CWF split (`RL`), a conventional
+/// tags-in-DRAM line cache in front of a slow bulk store
+/// (`dramcache:rldram3+nvm_slow`), and §7.1-style profile-guided page
+/// placement. Throughput is normalized to the DDR3 baseline; the last
+/// column reports the DRAM cache's read hit rate (blank for the others).
+///
+/// The interesting workloads are the `dcsweep`/`dcthrash`/`dcresident` stressors:
+/// `dcsweep` streams a footprint larger than the cache (hit rate
+/// collapses, every miss pays probe + NVM fill), while CWF and page
+/// placement keep their fast-store benefit because neither depends on
+/// reuse. Suite programs with locality show the cache recovering.
+#[must_use]
+pub fn dramcache_head_to_head(benches: &[&str], reads: u64) -> Table {
+    const VARIANTS: usize = 4; // 0 = DDR3 base, 1 = RL, 2 = DRAM cache, 3 = page placement
+    let dc_kind = MemKind::DramCache(DeviceKind::Rldram3, DeviceKind::NvmSlow);
+    let tasks: Vec<(String, usize)> =
+        benches.iter().flat_map(|b| (0..VARIANTS).map(move |v| ((*b).to_owned(), v))).collect();
+    let results: Vec<(f64, Option<f64>)> = parallel_map(tasks.clone(), move |(bench, v)| {
+        match *v {
+            0 => (run_benchmark(&RunConfig::paper(MemKind::Ddr3, reads), bench).ipc_total(), None),
+            1 => (run_benchmark(&RunConfig::paper(MemKind::Rl, reads), bench).ipc_total(), None),
+            2 => {
+                let cfg = RunConfig::paper(dc_kind, reads);
+                let profile = by_name(bench).expect("known benchmark");
+                let mut sys = System::new(&cfg, profile);
+                let m = sys.run();
+                let hit = sys.hierarchy().memory().dramcache_stats().map(|s| s.read_hit_rate());
+                (m.ipc_total(), hit)
+            }
+            _ => {
+                // §7.1 recipe: offline profiling pass, top 7.6% of pages hot.
+                let profile = by_name(bench).expect("known benchmark");
+                let prof_cfg = RunConfig::paper(MemKind::Ddr3, reads / 2);
+                let mut prof_sys = System::with_backend(
+                    &prof_cfg,
+                    profile,
+                    MemBackend::Profiling(ProfilingMemory::new(HomogeneousMemory::baseline_ddr3())),
+                );
+                let _ = prof_sys.run();
+                let counts = prof_sys
+                    .hierarchy()
+                    .memory()
+                    .profiling()
+                    .expect("profiling backend")
+                    .page_counts()
+                    .clone();
+                let hot = hot_pages(&counts, 0.076);
+                let cfg = RunConfig::paper(MemKind::Ddr3, reads);
+                (
+                    ipc_custom(&cfg, bench, || {
+                        MemBackend::PagePlaced(PagePlacedMemory::new(hot.clone()))
+                    }),
+                    None,
+                )
+            }
+        }
+    });
+    let by_task: BTreeMap<(String, usize), (f64, Option<f64>)> =
+        tasks.into_iter().zip(results).collect();
+
+    let mut t = Table::new(
+        "DRAM-cache head-to-head: throughput normalized to DDR3",
+        &["bench", "CWF (RL)", "DRAM cache (RLDRAM3+NVM)", "page placement", "DC read hit rate"],
+    );
+    let mut means = [Vec::new(), Vec::new(), Vec::new()];
+    for b in benches {
+        let base = by_task[&((*b).to_owned(), 0)].0.max(1e-9);
+        let norm: Vec<f64> =
+            (1..VARIANTS).map(|v| by_task[&((*b).to_owned(), v)].0 / base).collect();
+        for (m, n) in means.iter_mut().zip(&norm) {
+            m.push(*n);
+        }
+        let hit = by_task[&((*b).to_owned(), 2)].1.map_or_else(String::new, pct);
+        t.row(vec![
+            (*b).to_owned(),
+            format!("{:.3}", norm[0]),
+            format!("{:.3}", norm[1]),
+            format!("{:.3}", norm[2]),
+            hit,
+        ]);
+    }
+    t.row(vec![
+        "MEAN".into(),
+        format!("{:.3}", mean(means[0].iter().copied())),
+        format!("{:.3}", mean(means[1].iter().copied())),
+        format!("{:.3}", mean(means[2].iter().copied())),
+        String::new(),
+    ]);
+    t.note("DRAM cache pays a tag probe on every access and an NVM fill on every miss;");
+    t.note("CWF and page placement never probe — their fast-store benefit is reuse-independent");
+    t
 }
 
 #[cfg(test)]

@@ -10,7 +10,8 @@ use crate::system::{KernelStats, System};
 ///
 /// # Panics
 ///
-/// Panics if `bench` is not one of the 27 suite programs.
+/// Panics if `bench` is not one of the 27 suite programs or the
+/// `dcsweep`/`dcthrash`/`dcresident` DRAM-cache stressors.
 #[must_use]
 pub fn run_benchmark(cfg: &RunConfig, bench: &str) -> RunMetrics {
     run_benchmark_diag(cfg, bench).0
@@ -23,7 +24,8 @@ pub fn run_benchmark(cfg: &RunConfig, bench: &str) -> RunMetrics {
 ///
 /// # Panics
 ///
-/// Panics if `bench` is not one of the 27 suite programs.
+/// Panics if `bench` is not one of the 27 suite programs or the
+/// `dcsweep`/`dcthrash`/`dcresident` DRAM-cache stressors.
 #[must_use]
 pub fn run_benchmark_diag(cfg: &RunConfig, bench: &str) -> (RunMetrics, KernelStats) {
     let profile = by_name(bench)
@@ -39,7 +41,8 @@ pub fn run_benchmark_diag(cfg: &RunConfig, bench: &str) -> (RunMetrics, KernelSt
 ///
 /// # Panics
 ///
-/// Panics if `bench` is not one of the 27 suite programs.
+/// Panics if `bench` is not one of the 27 suite programs or the
+/// `dcsweep`/`dcthrash`/`dcresident` DRAM-cache stressors.
 #[must_use]
 pub fn run_benchmark_verified(
     cfg: &RunConfig,
@@ -59,7 +62,8 @@ pub fn run_benchmark_verified(
 ///
 /// # Panics
 ///
-/// Panics if `bench` is not one of the 27 suite programs.
+/// Panics if `bench` is not one of the 27 suite programs or the
+/// `dcsweep`/`dcthrash`/`dcresident` DRAM-cache stressors.
 #[must_use]
 pub fn run_benchmark_traced(
     cfg: &RunConfig,
@@ -80,7 +84,8 @@ pub fn run_benchmark_traced(
 ///
 /// # Panics
 ///
-/// Panics if `bench` is not one of the 27 suite programs.
+/// Panics if `bench` is not one of the 27 suite programs or the
+/// `dcsweep`/`dcthrash`/`dcresident` DRAM-cache stressors.
 #[must_use]
 pub fn run_benchmark_traced_with_backend(
     cfg: &RunConfig,
@@ -109,6 +114,8 @@ pub enum CkptOutcome {
         kernel: KernelStats,
         /// The verify oracle's report (`None` when `cfg.verify` is off).
         verify: Option<cwf_verify::VerifyReport>,
+        /// The collected trace (`None` when `cfg.trace` is off).
+        trace: Option<crate::trace::TraceReport>,
     },
     /// The run paused at the stop cycle; the blob resumes it.
     Paused {
@@ -119,12 +126,13 @@ pub enum CkptOutcome {
 
 /// Run `bench` under `cfg`, pausing at the first cycle `>= stop_at`. A
 /// paused run serializes to a `cwfmem.ckpt.v1` blob that
-/// [`resume_benchmark`] continues with bit-identical results.
+/// [`resume_benchmark`] continues with bit-identical results — the
+/// verify oracle's books and the trace ring both ride the blob.
 ///
 /// # Errors
 ///
 /// Fails when `bench` is unknown or the paused state refuses to
-/// serialize (e.g. tracing is enabled).
+/// serialize.
 pub fn run_benchmark_ckpt(
     cfg: &RunConfig,
     bench: &str,
@@ -137,18 +145,26 @@ pub fn run_benchmark_ckpt(
 }
 
 /// Resume a checkpointed run to completion, returning what
-/// [`run_benchmark_verified`] would have for the uninterrupted run.
+/// [`run_benchmark_traced_with_backend`] would have for the
+/// uninterrupted run: verify and trace reports are present exactly when
+/// the checkpointed run had them enabled.
 ///
 /// # Errors
 ///
 /// Fails when the blob is malformed or disagrees with the workspace's
 /// benchmark registry.
+#[allow(clippy::type_complexity)] // mirrors run_benchmark_traced_with_backend
 pub fn resume_benchmark(
     bytes: &[u8],
-) -> cwf_ckpt::Result<(RunMetrics, KernelStats, Option<cwf_verify::VerifyReport>)> {
+) -> cwf_ckpt::Result<(
+    RunMetrics,
+    KernelStats,
+    Option<cwf_verify::VerifyReport>,
+    Option<crate::trace::TraceReport>,
+)> {
     let mut sys = System::from_ckpt(bytes)?;
     let metrics = sys.run();
-    Ok((metrics, sys.kernel_stats(), sys.verify_report()))
+    Ok((metrics, sys.kernel_stats(), sys.verify_report(), sys.trace_report()))
 }
 
 /// Resume a checkpointed run, pausing again at the first cycle
@@ -165,12 +181,13 @@ pub fn resume_benchmark_to_cycle(bytes: &[u8], stop_at: u64) -> cwf_ckpt::Result
 
 /// Package a `run_to_cycle` result: finished runs report, paused runs
 /// serialize.
-fn segment_outcome(metrics: Option<RunMetrics>, sys: System) -> cwf_ckpt::Result<CkptOutcome> {
+fn segment_outcome(metrics: Option<RunMetrics>, mut sys: System) -> cwf_ckpt::Result<CkptOutcome> {
     match metrics {
         Some(metrics) => Ok(CkptOutcome::Finished {
             metrics,
             kernel: sys.kernel_stats(),
             verify: sys.verify_report(),
+            trace: sys.trace_report(),
         }),
         None => Ok(CkptOutcome::Paused { ckpt: sys.save_ckpt()? }),
     }

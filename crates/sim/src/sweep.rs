@@ -32,7 +32,8 @@ use crate::system::KernelStats;
 /// One unit of sweep work: a benchmark under a configuration.
 #[derive(Debug, Clone)]
 pub struct Cell {
-    /// Benchmark name (must be in `workloads::suite()`).
+    /// Benchmark name (must resolve via `workloads::by_name`: the 27
+    /// suite programs or the `dcsweep`/`dcthrash`/`dcresident` stressors).
     pub bench: String,
     /// Full run configuration, including the per-cell seed.
     pub cfg: RunConfig,

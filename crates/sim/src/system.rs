@@ -691,16 +691,19 @@ impl System {
     /// overwrites every mutable field, so the resumed run is bit-identical
     /// to an uninterrupted one.
     ///
+    /// Observability survives the split: the observers are drained first
+    /// (so no layer holds undrained trace events), the oracle's state is
+    /// embedded as before, and — when `cfg.trace` is on — the tracer's
+    /// ring rides along in an additive trailing section, keyed off the
+    /// `trace` flag already in the serialized [`RunConfig`]. Blobs from
+    /// untraced runs are byte-identical to the pre-trace format.
+    ///
     /// # Errors
     ///
-    /// Fails when tracing (`cfg.trace`) is enabled — trace rings are
-    /// deliberately outside the checkpoint contract — or when any
-    /// component refuses to serialize.
-    pub fn save_ckpt(&self) -> cwf_ckpt::Result<Vec<u8>> {
+    /// Fails when any component refuses to serialize.
+    pub fn save_ckpt(&mut self) -> cwf_ckpt::Result<Vec<u8>> {
         use cwf_ckpt::Ckpt;
-        if self.cfg.trace || self.tracer.is_some() {
-            return Err(cwf_ckpt::CkptError::new("cannot checkpoint a run with tracing enabled"));
-        }
+        self.drain_observers();
         let mut w = cwf_ckpt::Writer::new();
         w.put_bytes(CKPT_MAGIC);
         w.put_u32(CKPT_VERSION);
@@ -729,6 +732,10 @@ impl System {
                 oracle.save_state(&mut w);
             }
             None => w.put_u8(0),
+        }
+        if let Some(tracer) = &self.tracer {
+            w.section(b"TRCR");
+            tracer.save_state(&mut w);
         }
         Ok(w.into_vec())
     }
@@ -819,6 +826,13 @@ impl System {
                 }
             }
             v => return Err(cwf_ckpt::CkptError::new(format!("invalid oracle tag {v}"))),
+        }
+        // The tracer section exists exactly when the run was traced
+        // (`cfg.trace` travelled in the header, which also built
+        // `self.tracer`), so untraced pre-trace blobs parse unchanged.
+        if let Some(tracer) = &mut self.tracer {
+            r.expect_section(b"TRCR")?;
+            tracer.load_state(r)?;
         }
         self.woken_buf.clear();
         self.audit_buf.clear();
@@ -938,11 +952,21 @@ mod tests {
     }
 
     #[test]
-    fn checkpoint_rejects_tracing() {
+    fn checkpoint_carries_the_trace_ring() {
         let mut cfg = RunConfig::quick(MemKind::Ddr3, 100);
         cfg.trace = true;
-        let sys = System::new(&cfg, by_name("stream").unwrap());
-        assert!(sys.save_ckpt().is_err());
+        let mut sys = System::new(&cfg, by_name("stream").unwrap());
+        let _ = sys.run_to_cycle(2_000);
+        // save_ckpt drains the observers first, so the ring at save time
+        // holds everything the layers had buffered — and the restored
+        // ring must hold exactly that.
+        let blob = sys.save_ckpt().expect("traced runs checkpoint");
+        let at_save = sys.trace_report().expect("tracer on").events;
+        assert!(!at_save.is_empty(), "a live run collects trace events");
+        let resumed = System::from_ckpt(&blob).expect("traced checkpoint restores");
+        let restored = resumed.trace_report().expect("tracer restored");
+        assert_eq!(restored.events, at_save);
+        assert_eq!(restored.dropped, 0);
     }
 
     #[test]

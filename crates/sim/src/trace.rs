@@ -86,6 +86,10 @@ impl Tracer {
                         },
                     });
                 }
+                // Cache bookkeeping records are the oracle's food; the
+                // trace already gets the same story as token-tagged
+                // DcTagProbe/DcMissFill events from the backend itself.
+                AuditRecord::Cache { .. } => {}
             }
         }
     }
@@ -93,6 +97,29 @@ impl Tracer {
     /// Snapshot the ring into a finished report.
     pub(crate) fn report(&self) -> TraceReport {
         TraceReport::new(self.ring.snapshot(), self.ring.dropped(), self.meta.clone())
+    }
+
+    /// Serialize the ring (contents + overflow count). `chan_ratio` and
+    /// `meta` derive from the run configuration and are rebuilt on
+    /// restore, like every other configured field in the checkpoint.
+    pub(crate) fn save_state(&self, w: &mut cwf_ckpt::Writer) {
+        use cwf_ckpt::Ckpt;
+        self.ring.snapshot().save(w);
+        self.ring.dropped().save(w);
+    }
+
+    /// Restore a ring saved by [`Tracer::save_state`] into this tracer
+    /// (freshly built for the same backend).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a malformed event stream.
+    pub(crate) fn load_state(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
+        use cwf_ckpt::Ckpt;
+        let events: Vec<TraceEvent> = Ckpt::load(r)?;
+        let dropped = u64::load(r)?;
+        self.ring = TraceRing::from_snapshot(TraceRing::DEFAULT_CAPACITY, events, dropped);
+        Ok(())
     }
 }
 
@@ -155,7 +182,37 @@ impl TraceReport {
                 s.avg_stage(i)
             ));
         }
-        o.push_str(&format!("\n{indent}  }}\n{indent}}}"));
+        o.push_str(&format!("\n{indent}  }}"));
+        // DRAM-cache stages appear only when the backend emitted them, so
+        // documents from the classic backends stay byte-identical.
+        let mut probes = 0u64;
+        let mut hits = 0u64;
+        let mut fills = 0u64;
+        let mut misses_filled = 0u64;
+        for e in &self.events {
+            match *e {
+                TraceEvent::DcTagProbe { hit, .. } => {
+                    probes += 1;
+                    if hit {
+                        hits += 1;
+                    }
+                }
+                TraceEvent::DcMissFill { filled, .. } => {
+                    fills += 1;
+                    if filled {
+                        misses_filled += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if probes + fills > 0 {
+            o.push_str(&format!(
+                ",\n{indent}  \"dramcache\": {{ \"tag_probes\": {probes}, \"probe_hits\": {hits}, \
+                 \"miss_fills\": {fills}, \"lines_installed\": {misses_filled} }}"
+            ));
+        }
+        o.push_str(&format!("\n{indent}}}"));
         o
     }
 }

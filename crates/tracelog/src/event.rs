@@ -213,6 +213,28 @@ pub enum TraceEvent {
         /// Encoded state: 0 = up, 1 = power-down, 2 = self-refresh.
         state: u8,
     },
+    /// A DRAM-cache tag probe resolved (cache-organized backends only).
+    DcTagProbe {
+        /// Read or write the probe belongs to.
+        token: RequestToken,
+        /// CPU cycle the probe's tag transaction completed.
+        at: u64,
+        /// Whether the probe declared a hit.
+        hit: bool,
+        /// Whether the probing access was a write.
+        write: bool,
+    },
+    /// A DRAM-cache miss finished its slow-store fetch and (fill policy
+    /// permitting) was installed into the cache.
+    DcMissFill {
+        /// Read the miss belongs to.
+        token: RequestToken,
+        /// CPU cycle the slow-store data arrived.
+        at: u64,
+        /// True when the line was installed (fill-on-miss), false when
+        /// the fill policy bypassed the cache.
+        filled: bool,
+    },
 }
 
 /// Retired-instruction count batched into one [`TraceEvent::Retire`]
@@ -241,7 +263,9 @@ impl TraceEvent {
             | TraceEvent::McDrainEnter { at, .. }
             | TraceEvent::McDrainExit { at, .. }
             | TraceEvent::DramRefresh { at, .. }
-            | TraceEvent::DramPower { at, .. } => at,
+            | TraceEvent::DramPower { at, .. }
+            | TraceEvent::DcTagProbe { at, .. }
+            | TraceEvent::DcMissFill { at, .. } => at,
         }
     }
 
@@ -257,9 +281,236 @@ impl TraceEvent {
             | TraceEvent::McActivate { token, .. }
             | TraceEvent::McPrecharge { token, .. }
             | TraceEvent::McCas { token, .. }
-            | TraceEvent::McDataEnd { token, .. } => Some(token),
+            | TraceEvent::McDataEnd { token, .. }
+            | TraceEvent::DcTagProbe { token, .. }
+            | TraceEvent::DcMissFill { token, .. } => Some(token),
             _ => None,
         }
+    }
+}
+
+impl cwf_ckpt::Ckpt for TraceEvent {
+    fn save(&self, w: &mut cwf_ckpt::Writer) {
+        match *self {
+            TraceEvent::RobStallBegin { core, at } => {
+                w.put_u8(0);
+                w.put_u8(core);
+                w.put_u64(at);
+            }
+            TraceEvent::RobStallEnd { core, at } => {
+                w.put_u8(1);
+                w.put_u8(core);
+                w.put_u64(at);
+            }
+            TraceEvent::Retire { core, at, count } => {
+                w.put_u8(2);
+                w.put_u8(core);
+                w.put_u64(at);
+                w.put_u64(u64::from(count));
+            }
+            TraceEvent::L1Miss { core, at, line } => {
+                w.put_u8(3);
+                w.put_u8(core);
+                w.put_u64(at);
+                w.put_u64(line);
+            }
+            TraceEvent::L2Miss { core, at, line } => {
+                w.put_u8(4);
+                w.put_u8(core);
+                w.put_u64(at);
+                w.put_u64(line);
+            }
+            TraceEvent::MshrAlloc { token, core, at, line, critical_word, demand } => {
+                w.put_u8(5);
+                w.put_u64(token.0);
+                w.put_u8(core);
+                w.put_u64(at);
+                w.put_u64(line);
+                w.put_u8(critical_word);
+                w.put_u8(u8::from(demand));
+            }
+            TraceEvent::WordsArrived { token, at, words, served_fast } => {
+                w.put_u8(6);
+                w.put_u64(token.0);
+                w.put_u64(at);
+                w.put_u8(words);
+                w.put_u8(u8::from(served_fast));
+            }
+            TraceEvent::FillDone { token, at } => {
+                w.put_u8(7);
+                w.put_u64(token.0);
+                w.put_u64(at);
+            }
+            TraceEvent::McEnqueue { token, channel, at } => {
+                w.put_u8(8);
+                w.put_u64(token.0);
+                w.put_u64(u64::from(channel));
+                w.put_u64(at);
+            }
+            TraceEvent::McActivate { token, channel, at, rank, bank } => {
+                w.put_u8(9);
+                w.put_u64(token.0);
+                w.put_u64(u64::from(channel));
+                w.put_u64(at);
+                w.put_u8(rank);
+                w.put_u8(bank);
+            }
+            TraceEvent::McPrecharge { token, channel, at, rank, bank } => {
+                w.put_u8(10);
+                w.put_u64(token.0);
+                w.put_u64(u64::from(channel));
+                w.put_u64(at);
+                w.put_u8(rank);
+                w.put_u8(bank);
+            }
+            TraceEvent::McCas { token, channel, at, rank, bank, write } => {
+                w.put_u8(11);
+                w.put_u64(token.0);
+                w.put_u64(u64::from(channel));
+                w.put_u64(at);
+                w.put_u8(rank);
+                w.put_u8(bank);
+                w.put_u8(u8::from(write));
+            }
+            TraceEvent::McDataEnd { token, channel, at, burst_cycles } => {
+                w.put_u8(12);
+                w.put_u64(token.0);
+                w.put_u64(u64::from(channel));
+                w.put_u64(at);
+                w.put_u64(u64::from(burst_cycles));
+            }
+            TraceEvent::McDrainEnter { channel, at } => {
+                w.put_u8(13);
+                w.put_u64(u64::from(channel));
+                w.put_u64(at);
+            }
+            TraceEvent::McDrainExit { channel, at } => {
+                w.put_u8(14);
+                w.put_u64(u64::from(channel));
+                w.put_u64(at);
+            }
+            TraceEvent::DramRefresh { channel, at, rank } => {
+                w.put_u8(15);
+                w.put_u64(u64::from(channel));
+                w.put_u64(at);
+                w.put_u8(rank);
+            }
+            TraceEvent::DramPower { channel, at, rank, state } => {
+                w.put_u8(16);
+                w.put_u64(u64::from(channel));
+                w.put_u64(at);
+                w.put_u8(rank);
+                w.put_u8(state);
+            }
+            TraceEvent::DcTagProbe { token, at, hit, write } => {
+                w.put_u8(17);
+                w.put_u64(token.0);
+                w.put_u64(at);
+                w.put_u8(u8::from(hit));
+                w.put_u8(u8::from(write));
+            }
+            TraceEvent::DcMissFill { token, at, filled } => {
+                w.put_u8(18);
+                w.put_u64(token.0);
+                w.put_u64(at);
+                w.put_u8(u8::from(filled));
+            }
+        }
+    }
+
+    fn load(r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<Self> {
+        let channel16 = |v: u64| -> cwf_ckpt::Result<u16> {
+            u16::try_from(v).map_err(|_| cwf_ckpt::CkptError::new("trace channel overflows u16"))
+        };
+        let tag = r.get_u8()?;
+        Ok(match tag {
+            0 => TraceEvent::RobStallBegin { core: r.get_u8()?, at: r.get_u64()? },
+            1 => TraceEvent::RobStallEnd { core: r.get_u8()?, at: r.get_u64()? },
+            2 => {
+                let core = r.get_u8()?;
+                let at = r.get_u64()?;
+                let count = u16::try_from(r.get_u64()?)
+                    .map_err(|_| cwf_ckpt::CkptError::new("retire count overflows u16"))?;
+                TraceEvent::Retire { core, at, count }
+            }
+            3 => TraceEvent::L1Miss { core: r.get_u8()?, at: r.get_u64()?, line: r.get_u64()? },
+            4 => TraceEvent::L2Miss { core: r.get_u8()?, at: r.get_u64()?, line: r.get_u64()? },
+            5 => TraceEvent::MshrAlloc {
+                token: RequestToken(r.get_u64()?),
+                core: r.get_u8()?,
+                at: r.get_u64()?,
+                line: r.get_u64()?,
+                critical_word: r.get_u8()?,
+                demand: r.get_u8()? != 0,
+            },
+            6 => TraceEvent::WordsArrived {
+                token: RequestToken(r.get_u64()?),
+                at: r.get_u64()?,
+                words: r.get_u8()?,
+                served_fast: r.get_u8()? != 0,
+            },
+            7 => TraceEvent::FillDone { token: RequestToken(r.get_u64()?), at: r.get_u64()? },
+            8 => TraceEvent::McEnqueue {
+                token: RequestToken(r.get_u64()?),
+                channel: channel16(r.get_u64()?)?,
+                at: r.get_u64()?,
+            },
+            9 => TraceEvent::McActivate {
+                token: RequestToken(r.get_u64()?),
+                channel: channel16(r.get_u64()?)?,
+                at: r.get_u64()?,
+                rank: r.get_u8()?,
+                bank: r.get_u8()?,
+            },
+            10 => TraceEvent::McPrecharge {
+                token: RequestToken(r.get_u64()?),
+                channel: channel16(r.get_u64()?)?,
+                at: r.get_u64()?,
+                rank: r.get_u8()?,
+                bank: r.get_u8()?,
+            },
+            11 => TraceEvent::McCas {
+                token: RequestToken(r.get_u64()?),
+                channel: channel16(r.get_u64()?)?,
+                at: r.get_u64()?,
+                rank: r.get_u8()?,
+                bank: r.get_u8()?,
+                write: r.get_u8()? != 0,
+            },
+            12 => {
+                let token = RequestToken(r.get_u64()?);
+                let channel = channel16(r.get_u64()?)?;
+                let at = r.get_u64()?;
+                let burst_cycles = u32::try_from(r.get_u64()?)
+                    .map_err(|_| cwf_ckpt::CkptError::new("burst cycles overflow u32"))?;
+                TraceEvent::McDataEnd { token, channel, at, burst_cycles }
+            }
+            13 => TraceEvent::McDrainEnter { channel: channel16(r.get_u64()?)?, at: r.get_u64()? },
+            14 => TraceEvent::McDrainExit { channel: channel16(r.get_u64()?)?, at: r.get_u64()? },
+            15 => TraceEvent::DramRefresh {
+                channel: channel16(r.get_u64()?)?,
+                at: r.get_u64()?,
+                rank: r.get_u8()?,
+            },
+            16 => TraceEvent::DramPower {
+                channel: channel16(r.get_u64()?)?,
+                at: r.get_u64()?,
+                rank: r.get_u8()?,
+                state: r.get_u8()?,
+            },
+            17 => TraceEvent::DcTagProbe {
+                token: RequestToken(r.get_u64()?),
+                at: r.get_u64()?,
+                hit: r.get_u8()? != 0,
+                write: r.get_u8()? != 0,
+            },
+            18 => TraceEvent::DcMissFill {
+                token: RequestToken(r.get_u64()?),
+                at: r.get_u64()?,
+                filled: r.get_u8()? != 0,
+            },
+            _ => return Err(cwf_ckpt::CkptError::new(format!("invalid TraceEvent tag {tag}"))),
+        })
     }
 }
 
@@ -277,6 +528,50 @@ mod tests {
     #[test]
     fn token_display() {
         assert_eq!(RequestToken(42).to_string(), "t42");
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_ckpt() {
+        let t = RequestToken(9);
+        let all = [
+            TraceEvent::RobStallBegin { core: 1, at: 2 },
+            TraceEvent::RobStallEnd { core: 1, at: 3 },
+            TraceEvent::Retire { core: 0, at: 4, count: 64 },
+            TraceEvent::L1Miss { core: 2, at: 5, line: 0x40 },
+            TraceEvent::L2Miss { core: 2, at: 6, line: 0x40 },
+            TraceEvent::MshrAlloc {
+                token: t,
+                core: 0,
+                at: 7,
+                line: 1,
+                critical_word: 3,
+                demand: true,
+            },
+            TraceEvent::WordsArrived { token: t, at: 8, words: 0x01, served_fast: true },
+            TraceEvent::FillDone { token: t, at: 9 },
+            TraceEvent::McEnqueue { token: t, channel: 4, at: 10 },
+            TraceEvent::McActivate { token: t, channel: 4, at: 11, rank: 0, bank: 7 },
+            TraceEvent::McPrecharge { token: t, channel: 4, at: 12, rank: 0, bank: 7 },
+            TraceEvent::McCas { token: t, channel: 4, at: 13, rank: 0, bank: 7, write: false },
+            TraceEvent::McDataEnd { token: t, channel: 4, at: 14, burst_cycles: 8 },
+            TraceEvent::McDrainEnter { channel: 4, at: 15 },
+            TraceEvent::McDrainExit { channel: 4, at: 16 },
+            TraceEvent::DramRefresh { channel: 4, at: 17, rank: 1 },
+            TraceEvent::DramPower { channel: 4, at: 18, rank: 1, state: 2 },
+            TraceEvent::DcTagProbe { token: t, at: 19, hit: true, write: false },
+            TraceEvent::DcMissFill { token: t, at: 20, filled: true },
+        ];
+        let mut w = cwf_ckpt::Writer::new();
+        for e in &all {
+            cwf_ckpt::Ckpt::save(e, &mut w);
+        }
+        let bytes = w.into_vec();
+        let mut r = cwf_ckpt::Reader::new(&bytes);
+        for e in &all {
+            let back: TraceEvent = cwf_ckpt::Ckpt::load(&mut r).unwrap();
+            assert_eq!(back, *e);
+        }
+        r.finish().unwrap();
     }
 
     #[test]

@@ -350,6 +350,37 @@ pub fn export(events: &[TraceEvent], meta: &TraceMeta) -> String {
                     ),
                 );
             }
+            TraceEvent::DcTagProbe { token, at, hit, write } => {
+                if let Some(core) = tokens.get(&token.0).and_then(|ti| ti.core) {
+                    let name = if hit { "dc-hit" } else { "dc-miss" };
+                    push(
+                        &mut entries,
+                        PID_CORES,
+                        u64::from(core),
+                        at,
+                        format!(
+                            "\"name\":\"{name}\",\"ph\":\"i\",\"ts\":{},\"s\":\"t\",\"args\":{{\"token\":{},\"write\":{write}}}",
+                            ts_us(at, meta),
+                            token.0
+                        ),
+                    );
+                }
+            }
+            TraceEvent::DcMissFill { token, at, filled } => {
+                if let Some(core) = tokens.get(&token.0).and_then(|ti| ti.core) {
+                    push(
+                        &mut entries,
+                        PID_CORES,
+                        u64::from(core),
+                        at,
+                        format!(
+                            "\"name\":\"dc-fill\",\"ph\":\"i\",\"ts\":{},\"s\":\"t\",\"args\":{{\"token\":{},\"filled\":{filled}}}",
+                            ts_us(at, meta),
+                            token.0
+                        ),
+                    );
+                }
+            }
         }
     }
 

@@ -72,6 +72,19 @@ impl TraceRing {
         self.dropped
     }
 
+    /// Rebuild a ring from a prior [`TraceRing::snapshot`] and its
+    /// [`TraceRing::dropped`] count (checkpoint restore). Records beyond
+    /// `capacity` fall off the front exactly as live pushes would.
+    #[must_use]
+    pub fn from_snapshot(capacity: usize, events: Vec<TraceEvent>, dropped: u64) -> Self {
+        let mut r = TraceRing::new(capacity);
+        for ev in events {
+            r.push(ev);
+        }
+        r.dropped += dropped;
+        r
+    }
+
     /// The retained records in append (chronological) order.
     #[must_use]
     pub fn snapshot(&self) -> Vec<TraceEvent> {
@@ -138,6 +151,17 @@ mod tests {
         assert_eq!(r.len(), 1);
         assert_eq!(r.dropped(), 1);
         assert_eq!(r.snapshot(), vec![fill(2)]);
+    }
+
+    #[test]
+    fn from_snapshot_round_trips_contents_and_drop_count() {
+        let mut a = TraceRing::new(4);
+        for i in 0..7 {
+            a.push(fill(i));
+        }
+        let b = TraceRing::from_snapshot(4, a.snapshot(), a.dropped());
+        assert_eq!(b.snapshot(), a.snapshot());
+        assert_eq!(b.dropped(), a.dropped());
     }
 
     #[test]

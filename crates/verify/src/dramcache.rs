@@ -1,0 +1,267 @@
+//! Shadow checker for the DRAM-cache consistency contract.
+//!
+//! The `DramCacheMemory` backend audits every cache bookkeeping decision
+//! as an [`mem_ctrl::CacheAuditOp`]. This checker replays those records
+//! against an independent shadow tag directory and enforces the contract
+//! of DESIGN.md §17:
+//!
+//! * **tag/data coherence** — a probe may declare a hit only for a line
+//!   the shadow directory holds (and a miss only for one it does not);
+//! * **exactly-once fill** — a line is installed at most once while
+//!   resident, and never on top of a way whose previous occupant was not
+//!   evicted first;
+//! * **writeback-before-evict** — a dirty victim's data reaches the slow
+//!   store (a `Writeback` record) before its `Evict` retires the tag.
+//!
+//! Like every oracle checker this is an observer over the audit stream:
+//! it shares no state with the live cache model, so a bug in either side
+//! surfaces as a disagreement.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mem_ctrl::CacheAuditOp;
+
+use crate::rules::{OracleRule, OracleViolation};
+
+/// Replays [`CacheAuditOp`] records against a shadow tag directory.
+#[derive(Debug, Default)]
+pub struct DramCacheChecker {
+    /// Shadow directory: `(set, way)` → resident line.
+    ways: BTreeMap<(u32, u32), u64>,
+    /// Resident `(set, line)` pairs (the probe-facing view).
+    resident: BTreeSet<(u32, u64)>,
+    /// Writebacks announced but not yet consumed by their eviction.
+    pending_wb: BTreeSet<u64>,
+    /// Cache records replayed.
+    ops_checked: u64,
+}
+
+impl DramCacheChecker {
+    /// A fresh checker with an empty (all-invalid) shadow directory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cache records replayed so far.
+    #[must_use]
+    pub fn ops_checked(&self) -> u64 {
+        self.ops_checked
+    }
+
+    /// Replay one audit record; violations are appended to `out`.
+    pub fn observe(&mut self, at: u64, op: &CacheAuditOp, out: &mut Vec<OracleViolation>) {
+        self.ops_checked += 1;
+        match *op {
+            CacheAuditOp::Probe { line, set, hit, write } => {
+                let resident = self.resident.contains(&(set, line));
+                if hit && !resident {
+                    out.push(OracleViolation {
+                        at,
+                        rule: OracleRule::CacheTagMismatch,
+                        detail: format!(
+                            "{} probe hit for line {line:#x} not resident in set {set}",
+                            if write { "write" } else { "read" }
+                        ),
+                    });
+                } else if !hit && resident {
+                    out.push(OracleViolation {
+                        at,
+                        rule: OracleRule::CacheTagMismatch,
+                        detail: format!(
+                            "{} probe missed line {line:#x} resident in set {set}",
+                            if write { "write" } else { "read" }
+                        ),
+                    });
+                }
+            }
+            CacheAuditOp::Fill { line, set, way } => {
+                if self.resident.contains(&(set, line)) {
+                    out.push(OracleViolation {
+                        at,
+                        rule: OracleRule::CacheDoubleFill,
+                        detail: format!(
+                            "line {line:#x} filled while already resident in set {set}"
+                        ),
+                    });
+                }
+                if let Some(&old) = self.ways.get(&(set, way)) {
+                    out.push(OracleViolation {
+                        at,
+                        rule: OracleRule::CacheDoubleFill,
+                        detail: format!(
+                            "fill of line {line:#x} into set {set} way {way} over live line \
+                             {old:#x} (no eviction)"
+                        ),
+                    });
+                    self.resident.remove(&(set, old));
+                }
+                self.ways.insert((set, way), line);
+                self.resident.insert((set, line));
+            }
+            CacheAuditOp::Evict { line, set, way, dirty } => {
+                if dirty && !self.pending_wb.remove(&line) {
+                    out.push(OracleViolation {
+                        at,
+                        rule: OracleRule::CacheWritebackLost,
+                        detail: format!(
+                            "dirty line {line:#x} evicted from set {set} way {way} without a \
+                             preceding writeback"
+                        ),
+                    });
+                }
+                match self.ways.remove(&(set, way)) {
+                    Some(held) if held == line => {}
+                    held => out.push(OracleViolation {
+                        at,
+                        rule: OracleRule::CacheTagMismatch,
+                        detail: format!(
+                            "evict of line {line:#x} from set {set} way {way}, but shadow \
+                             directory holds {held:?}"
+                        ),
+                    }),
+                }
+                self.resident.remove(&(set, line));
+            }
+            CacheAuditOp::Writeback { line, set: _ } => {
+                self.pending_wb.insert(line);
+            }
+        }
+    }
+
+    /// End of run: writebacks never consumed by an eviction are noise in
+    /// the protocol (the backend announced a writeback for a line it then
+    /// kept). Returns the leftover lines for the oracle to report.
+    #[must_use]
+    pub fn finalize(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.pending_wb).into_iter().collect()
+    }
+
+    /// Serialize the shadow directory and counters.
+    pub fn save_state(&self, w: &mut cwf_ckpt::Writer) {
+        let DramCacheChecker { ways, resident, pending_wb, ops_checked } = self;
+        cwf_ckpt::Ckpt::save(ways, w);
+        cwf_ckpt::Ckpt::save(resident, w);
+        cwf_ckpt::Ckpt::save(pending_wb, w);
+        cwf_ckpt::Ckpt::save(ops_checked, w);
+    }
+
+    /// Restore state saved by [`DramCacheChecker::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input.
+    pub fn load_state(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
+        self.ways = cwf_ckpt::Ckpt::load(r)?;
+        self.resident = cwf_ckpt::Ckpt::load(r)?;
+        self.pending_wb = cwf_ckpt::Ckpt::load(r)?;
+        self.ops_checked = cwf_ckpt::Ckpt::load(r)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn replay(ops: &[CacheAuditOp]) -> Vec<OracleViolation> {
+        let mut c = DramCacheChecker::new();
+        let mut out = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            c.observe(i as u64, op, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn clean_fill_probe_evict_cycle_is_clean() {
+        let out = replay(&[
+            CacheAuditOp::Probe { line: 7, set: 7, hit: false, write: false },
+            CacheAuditOp::Fill { line: 7, set: 7, way: 0 },
+            CacheAuditOp::Probe { line: 7, set: 7, hit: true, write: false },
+            CacheAuditOp::Probe { line: 7, set: 7, hit: true, write: true },
+            CacheAuditOp::Writeback { line: 7, set: 7 },
+            CacheAuditOp::Evict { line: 7, set: 7, way: 0, dirty: true },
+            CacheAuditOp::Fill { line: 2055, set: 7, way: 0 },
+        ]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn hit_for_absent_line_is_tag_mismatch() {
+        let out = replay(&[CacheAuditOp::Probe { line: 9, set: 9, hit: true, write: false }]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, OracleRule::CacheTagMismatch);
+    }
+
+    #[test]
+    fn miss_for_resident_line_is_tag_mismatch() {
+        let out = replay(&[
+            CacheAuditOp::Fill { line: 9, set: 9, way: 1 },
+            CacheAuditOp::Probe { line: 9, set: 9, hit: false, write: false },
+        ]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, OracleRule::CacheTagMismatch);
+    }
+
+    #[test]
+    fn refill_of_resident_line_is_double_fill() {
+        let out = replay(&[
+            CacheAuditOp::Fill { line: 9, set: 9, way: 0 },
+            CacheAuditOp::Fill { line: 9, set: 9, way: 1 },
+        ]);
+        assert!(out.iter().any(|v| v.rule == OracleRule::CacheDoubleFill));
+    }
+
+    #[test]
+    fn fill_over_live_way_is_double_fill() {
+        let out = replay(&[
+            CacheAuditOp::Fill { line: 9, set: 9, way: 0 },
+            CacheAuditOp::Fill { line: 2057, set: 9, way: 0 },
+        ]);
+        assert!(out.iter().any(|v| v.rule == OracleRule::CacheDoubleFill));
+    }
+
+    #[test]
+    fn dirty_evict_without_writeback_is_lost() {
+        let out = replay(&[
+            CacheAuditOp::Fill { line: 9, set: 9, way: 0 },
+            CacheAuditOp::Evict { line: 9, set: 9, way: 0, dirty: true },
+        ]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, OracleRule::CacheWritebackLost);
+    }
+
+    #[test]
+    fn clean_evict_needs_no_writeback() {
+        let out = replay(&[
+            CacheAuditOp::Fill { line: 9, set: 9, way: 0 },
+            CacheAuditOp::Evict { line: 9, set: 9, way: 0, dirty: false },
+        ]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn state_round_trips() {
+        let mut c = DramCacheChecker::new();
+        let mut out = Vec::new();
+        c.observe(1, &CacheAuditOp::Fill { line: 9, set: 9, way: 0 }, &mut out);
+        c.observe(2, &CacheAuditOp::Writeback { line: 3, set: 3 }, &mut out);
+        let mut w = cwf_ckpt::Writer::new();
+        c.save_state(&mut w);
+        let bytes = w.into_vec();
+        let mut back = DramCacheChecker::new();
+        let mut r = cwf_ckpt::Reader::new(&bytes);
+        back.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.ops_checked(), 2);
+        // The restored directory still knows line 9 is resident.
+        let mut out = Vec::new();
+        back.observe(
+            3,
+            &CacheAuditOp::Probe { line: 9, set: 9, hit: true, write: false },
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+}

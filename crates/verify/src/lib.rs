@@ -13,7 +13,10 @@
 //! * [`CmdBusChecker`] — the §4.2.4 sub-ranked RLDRAM3 group issues at
 //!   most one command per device cycle on its shared addr/cmd bus;
 //! * [`SkipMonitor`] — the event kernel's cycle-skipping never jumps a
-//!   deadline (every event is drained exactly at its own timestamp).
+//!   deadline (every event is drained exactly at its own timestamp);
+//! * [`DramCacheChecker`] — the DRAM-cache backend's consistency
+//!   contract: tag/data coherence, exactly-once fills, and
+//!   writeback-before-evict for dirty victims (DESIGN.md §17).
 //!
 //! [`Oracle`] bundles them behind the audit vocabulary of
 //! [`mem_ctrl::audit`]: a backend that implements
@@ -28,12 +31,14 @@
 #![warn(missing_docs)]
 
 pub mod bus;
+pub mod dramcache;
 pub mod fill;
 pub mod refresh;
 pub mod rules;
 pub mod skip;
 
 pub use bus::CmdBusChecker;
+pub use dramcache::DramCacheChecker;
 pub use fill::FillOracle;
 pub use refresh::RefreshLedger;
 pub use rules::{OracleRule, OracleViolation};
@@ -90,6 +95,7 @@ pub struct Oracle {
     bus: CmdBusChecker,
     fill: FillOracle,
     skip: SkipMonitor,
+    dramcache: DramCacheChecker,
     violations: Vec<OracleViolation>,
     total_violations: u64,
     events_checked: u64,
@@ -115,6 +121,7 @@ impl Oracle {
             bus,
             fill: FillOracle::new(),
             skip: SkipMonitor::new(),
+            dramcache: DramCacheChecker::new(),
             violations: Vec::new(),
             total_violations: 0,
             events_checked: 0,
@@ -145,6 +152,13 @@ impl Oracle {
                 AuditRecord::Power { channel, at_mem, rank, state } => {
                     if let Some(ledger) = self.refresh.get_mut(channel) {
                         ledger.observe_power(rank as usize, at_mem, state);
+                    }
+                }
+                AuditRecord::Cache { at, ref op } => {
+                    let mut out = Vec::new();
+                    self.dramcache.observe(at, op, &mut out);
+                    for v in out {
+                        self.push(v);
                     }
                 }
             }
@@ -294,6 +308,7 @@ impl Oracle {
             bus,
             fill,
             skip,
+            dramcache,
             violations,
             total_violations,
             events_checked,
@@ -311,6 +326,7 @@ impl Oracle {
         bus.save_state(w);
         cwf_ckpt::Ckpt::save(fill, w);
         cwf_ckpt::Ckpt::save(skip, w);
+        dramcache.save_state(w);
         cwf_ckpt::Ckpt::save(violations, w);
         cwf_ckpt::Ckpt::save(total_violations, w);
         cwf_ckpt::Ckpt::save(events_checked, w);
@@ -342,6 +358,7 @@ impl Oracle {
         self.bus.load_state(r)?;
         self.fill = cwf_ckpt::Ckpt::load(r)?;
         self.skip = cwf_ckpt::Ckpt::load(r)?;
+        self.dramcache.load_state(r)?;
         self.violations = cwf_ckpt::Ckpt::load(r)?;
         self.total_violations = cwf_ckpt::Ckpt::load(r)?;
         self.events_checked = cwf_ckpt::Ckpt::load(r)?;

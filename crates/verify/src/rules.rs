@@ -35,6 +35,16 @@ pub enum OracleRule {
     /// blocked-op retry) strictly before its announced activity bound —
     /// the bound was optimistic and the replay was cut short.
     SpanOverrun,
+    /// A DRAM-cache tag probe disagreed with the shadow directory: a hit
+    /// declared for a line the cache does not hold, or a miss for one it
+    /// does (tag/data coherence).
+    CacheTagMismatch,
+    /// A DRAM-cache line was installed while already resident, or on top
+    /// of a live way that was never evicted (exactly-once fill).
+    CacheDoubleFill,
+    /// A dirty DRAM-cache victim was evicted without its writeback
+    /// reaching the slow store first (writeback-before-evict).
+    CacheWritebackLost,
 }
 
 impl std::fmt::Display for OracleRule {
@@ -51,6 +61,9 @@ impl std::fmt::Display for OracleRule {
             OracleRule::InclusionViolation => f.write_str("L2 inclusion violation"),
             OracleRule::SkipMissedDeadline => f.write_str("skip missed deadline"),
             OracleRule::SpanOverrun => f.write_str("core span overran its bound"),
+            OracleRule::CacheTagMismatch => f.write_str("dram-cache tag/data mismatch"),
+            OracleRule::CacheDoubleFill => f.write_str("dram-cache double fill"),
+            OracleRule::CacheWritebackLost => f.write_str("dram-cache writeback lost"),
         }
     }
 }
@@ -147,6 +160,9 @@ impl cwf_ckpt::Ckpt for OracleRule {
             OracleRule::InclusionViolation => w.put_u8(8),
             OracleRule::SkipMissedDeadline => w.put_u8(9),
             OracleRule::SpanOverrun => w.put_u8(10),
+            OracleRule::CacheTagMismatch => w.put_u8(11),
+            OracleRule::CacheDoubleFill => w.put_u8(12),
+            OracleRule::CacheWritebackLost => w.put_u8(13),
         }
     }
     fn load(r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<Self> {
@@ -162,6 +178,9 @@ impl cwf_ckpt::Ckpt for OracleRule {
             8 => OracleRule::InclusionViolation,
             9 => OracleRule::SkipMissedDeadline,
             10 => OracleRule::SpanOverrun,
+            11 => OracleRule::CacheTagMismatch,
+            12 => OracleRule::CacheDoubleFill,
+            13 => OracleRule::CacheWritebackLost,
             v => return Err(cwf_ckpt::CkptError::new(format!("invalid OracleRule tag {v}"))),
         })
     }

@@ -70,6 +70,9 @@ pub struct TraceGen {
     pending: Option<TraceOp>,
     /// Position within the current memory-op cluster.
     cluster_pos: u64,
+    /// Memory operations emitted so far — the phase clock for profiles
+    /// with a [`crate::PhaseShift`] schedule.
+    phase_ops: u64,
 }
 
 impl TraceGen {
@@ -95,6 +98,7 @@ impl TraceGen {
             pending: None,
             // Random initial phase de-synchronises the cores' miss bursts.
             cluster_pos: u64::from(core).wrapping_mul(3) % 8,
+            phase_ops: 0,
         }
     }
 
@@ -113,16 +117,34 @@ impl TraceGen {
         }
     }
 
+    /// Random line start within `lines` candidate lines from the footprint
+    /// base — confined to the active phase window when the profile has a
+    /// [`crate::PhaseShift`] schedule.
+    fn windowed_line(&mut self, lines: u64) -> u64 {
+        match self.profile.phases {
+            None => self.base + self.rng.random_range(0..lines) * 64,
+            Some(ps) => {
+                let windows = u64::from(ps.windows.max(1));
+                let window_lines = (lines / windows).max(1);
+                let window = (self.phase_ops / u64::from(ps.period_ops.max(1))) % windows;
+                self.base + (window * window_lines + self.rng.random_range(0..window_lines)) * 64
+            }
+        }
+    }
+
     /// Random byte address of a line start within the footprint.
     fn random_line(&mut self) -> u64 {
         let lines = (self.footprint / 64).max(1);
-        self.base + self.rng.random_range(0..lines) * 64
+        self.windowed_line(lines)
     }
 
-    /// Random line within the bounded chase region.
+    /// Random line within the bounded chase region. Phase-shifted
+    /// profiles chase across the active window instead: the window already
+    /// bounds the revisit timescale, and moving it *is* the stress.
     fn random_chase_line(&mut self) -> u64 {
-        let lines = (self.footprint.min(CHASE_REGION_BYTES) / 64).max(1);
-        self.base + self.rng.random_range(0..lines) * 64
+        let cap = if self.profile.phases.is_some() { self.footprint } else { CHASE_REGION_BYTES };
+        let lines = (self.footprint.min(cap) / 64).max(1);
+        self.windowed_line(lines)
     }
 
     /// The habitual word of `line` under this profile's chase bias —
@@ -183,6 +205,7 @@ impl TraceGen {
 
     /// Produce the next memory operation, advancing burst state.
     fn next_mem_op(&mut self) -> TraceOp {
+        self.phase_ops += 1;
         if self.burst.as_ref().is_none_or(|b| b.remaining == 0 && b.followup_left == 0) {
             self.start_burst();
         }
@@ -526,6 +549,70 @@ mod tests {
         }
     }
 
+    /// Collect `n` distinct touched lines (relative to base 0).
+    fn touched_lines(g: &mut TraceGen, n: usize) -> std::collections::HashSet<u64> {
+        let mut lines = std::collections::HashSet::new();
+        while lines.len() < n {
+            if let TraceOp::Load { addr, .. } | TraceOp::Store { addr, .. } = g.next_op() {
+                lines.insert(addr >> 6);
+            }
+        }
+        lines
+    }
+
+    #[test]
+    fn phase_shift_rotates_the_active_window() {
+        let p = by_name("dcsweep").unwrap();
+        let shift = p.phases.unwrap();
+        let window_lines = p.footprint_lines() / u64::from(shift.windows);
+        let mut g = TraceGen::new(p, 0, 17);
+        // Phase 0 burst starts live in window 0. Lines may walk slightly
+        // past the window edge (bursts stride forward), so allow one
+        // burst's worth of overshoot.
+        let slack = u64::from(BURST_MAX) * u64::from(p.stride_bytes.max(64)) / 64;
+        let first = touched_lines(&mut g, 500);
+        assert!(first.iter().all(|&l| l < window_lines + slack), "phase 0 must stay near window 0");
+        // Burn through to a later phase: the window must have moved.
+        for _ in 0..shift.period_ops * 3 {
+            let _ = g.next_mem_op();
+        }
+        let later = touched_lines(&mut g, 500);
+        assert!(
+            later.iter().any(|&l| l >= 2 * window_lines),
+            "after three periods the window must have rotated"
+        );
+    }
+
+    #[test]
+    fn phase_profiles_touch_more_lines_than_the_dram_cache_holds() {
+        // 2048 sets x 4 ways = 8192 lines: both stressors must exceed it
+        // comfortably within a modest op budget.
+        for name in ["dcsweep", "dcthrash"] {
+            let mut g = TraceGen::new(by_name(name).unwrap(), 0, 23);
+            let lines = touched_lines(&mut g, 12_000);
+            assert!(lines.len() >= 12_000, "{name} must overflow the cache");
+        }
+    }
+
+    #[test]
+    fn phase_clock_survives_a_checkpoint() {
+        let p = by_name("dcthrash").unwrap();
+        let mut a = TraceGen::new(p, 0, 31);
+        // Park mid-phase so the clock matters.
+        for _ in 0..2500 {
+            let _ = a.next_op();
+        }
+        let mut w = cwf_ckpt::Writer::new();
+        a.save_ckpt(&mut w).unwrap();
+        let bytes = w.into_vec();
+        let mut b = TraceGen::new(p, 0, 999);
+        b.load_ckpt(&mut cwf_ckpt::Reader::new(&bytes)).unwrap();
+        assert_eq!(a.phase_ops, b.phase_ops);
+        for _ in 0..10_000 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
     #[test]
     fn strided_word_rotation_for_odd_strides() {
         // lbm's 152-byte stride touches a rotating word offset.
@@ -573,8 +660,17 @@ cwf_ckpt::ckpt_struct!(Burst {
 
 impl TraceGen {
     fn save_gen_state(&self, w: &mut cwf_ckpt::Writer) {
-        let TraceGen { profile: _, rng, base, footprint, burst, pc_counter, pending, cluster_pos } =
-            self;
+        let TraceGen {
+            profile: _,
+            rng,
+            base,
+            footprint,
+            burst,
+            pc_counter,
+            pending,
+            cluster_pos,
+            phase_ops,
+        } = self;
         w.section(b"TGEN");
         cwf_ckpt::Ckpt::save(&rng.state(), w);
         cwf_ckpt::Ckpt::save(base, w);
@@ -583,6 +679,7 @@ impl TraceGen {
         cwf_ckpt::Ckpt::save(pc_counter, w);
         cwf_ckpt::Ckpt::save(pending, w);
         cwf_ckpt::Ckpt::save(cluster_pos, w);
+        cwf_ckpt::Ckpt::save(phase_ops, w);
     }
 
     fn load_gen_state(&mut self, r: &mut cwf_ckpt::Reader<'_>) -> cwf_ckpt::Result<()> {
@@ -594,6 +691,7 @@ impl TraceGen {
         self.pc_counter = cwf_ckpt::Ckpt::load(r)?;
         self.pending = cwf_ckpt::Ckpt::load(r)?;
         self.cluster_pos = cwf_ckpt::Ckpt::load(r)?;
+        self.phase_ops = cwf_ckpt::Ckpt::load(r)?;
         Ok(())
     }
 }

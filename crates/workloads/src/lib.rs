@@ -20,6 +20,14 @@
 //! omnetpp and xalancbmk do not) and to its per-benchmark descriptions
 //! (mcf biased to words 0 *and* 3, hmmer ≈90% word 0, etc.).
 //!
+//! Beyond the paper's 27 programs, [`dc_stress`] adds three synthetic
+//! DRAM-cache stressors: `dcsweep` and `dcthrash` defeat the hybrid
+//! backend's 16 MiB tags-in-DRAM cache with migrating working sets
+//! ([`PhaseShift`]), while `dcresident` is the cache's best case — a
+//! stationary set that overflows the LLC but fits in the cache. All
+//! three are reachable through [`by_name`] but deliberately kept out of
+//! [`suite`] so every paper-facing figure stays pinned.
+//!
 //! # Examples
 //!
 //! ```
@@ -39,5 +47,5 @@ pub mod profile;
 pub mod tracefile;
 
 pub use generator::{habitual_chase_word, steady_state_tag, TraceGen};
-pub use profile::{by_name, suite, BenchmarkProfile, PatternMix, Suite};
+pub use profile::{by_name, dc_stress, suite, BenchmarkProfile, PatternMix, PhaseShift, Suite};
 pub use tracefile::{dump, FileTraceSource, ParseTraceError};

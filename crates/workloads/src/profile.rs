@@ -1,4 +1,5 @@
-//! The 27 benchmark profiles (SPEC CPU2006, NPB, STREAM).
+//! The 27 benchmark profiles (SPEC CPU2006, NPB, STREAM), plus the
+//! DRAM-cache stress pair ([`dc_stress`]).
 //!
 //! Every field is a calibration knob documented on [`BenchmarkProfile`];
 //! the values below were tuned so that the LLC-filtered DRAM access stream
@@ -15,6 +16,28 @@ pub enum Suite {
     Npb,
     /// The STREAM bandwidth kernel (multithreaded, shared space).
     Stream,
+    /// Synthetic DRAM-cache stressors (multithreaded, shared space): not
+    /// part of the paper's 27-program suite, so they never perturb the
+    /// Figure-4 / speedup pins. See [`dc_stress`].
+    DcStress,
+}
+
+/// Periodic working-set migration: the footprint is split into `windows`
+/// disjoint regions and the generator confines each phase's burst starts
+/// to one of them, rotating every `period_ops` memory operations.
+///
+/// Phase shifts are what separate a DRAM cache from a static page
+/// placement: a cache re-learns the hot window after every shift (a burst
+/// of misses and evictions), while placement decisions made for the old
+/// window go stale. The shifting stress profiles below rotate through
+/// more window bytes than the default 16 MiB DRAM cache holds, so a
+/// window is gone from the cache by the time the schedule returns to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseShift {
+    /// Memory operations per phase before the active window rotates.
+    pub period_ops: u32,
+    /// Number of disjoint footprint windows to rotate through.
+    pub windows: u32,
 }
 
 /// Relative weights of the four access-pattern generators.
@@ -63,6 +86,9 @@ pub struct BenchmarkProfile {
     /// arrives before the whole line returns" (paper §6.1.1: tonto,
     /// dealII); low values model element-per-line streams (Figure 3a).
     pub followup: f64,
+    /// Optional phase-shift schedule (`None` for the paper's 27 programs:
+    /// their working sets are statistically stationary at our timescales).
+    pub phases: Option<PhaseShift>,
 }
 
 impl BenchmarkProfile {
@@ -97,6 +123,7 @@ macro_rules! bench {
             word0_align: $align,
             chase_word_bias: bench!(@bias $($bias)?),
             followup: $fu,
+            phases: None,
         }
     };
     (@bias) => { None };
@@ -139,16 +166,85 @@ static SUITE: [BenchmarkProfile; 27] = [
     bench!("zeusmp", Spec2006, gap 440, fp 224, wr 0.25, mix(0.50, 0.15, 0.05, 0.30), sb 128, align 0.85, fu 0.20),
 ];
 
+/// The three DRAM-cache stress generators, bracketing the default
+/// 16 MiB (65536-set x 4-way) tags-in-DRAM cache from both sides:
+///
+/// * `dcsweep` — phase-shifted streaming scans: 64 MiB footprint (4x the
+///   cache) split into 8 windows of 8 MiB, rotating every 6000 memory
+///   operations. Word-0 aligned, so CWF placement looks good and the
+///   DRAM cache pays a refill burst at every shift.
+/// * `dcthrash` — phase-shifted pointer chasing: 32 MiB footprint in 4
+///   windows of 8 MiB, uniform critical words, 30% writes so evictions
+///   carry dirty victims back to the slow store. Rotation evicts a
+///   window before the schedule returns to it (only 2 of 4 windows fit),
+///   so the cache keeps relearning a working set it just lost.
+/// * `dcresident` — the cache's best case: a stationary 12 MiB working
+///   set that overflows the 4 MiB LLC but fits in the DRAM cache, so
+///   after one warm pass the post-LLC stream hits in fast DRAM instead
+///   of paying the slow store.
+static DC_STRESS: [BenchmarkProfile; 3] = [
+    BenchmarkProfile {
+        name: "dcsweep",
+        suite: Suite::DcStress,
+        mem_gap: 360,
+        footprint_mb: 64,
+        write_frac: 0.20,
+        mix: PatternMix { seq: 0.85, stride: 0.10, chase: 0.00, hot: 0.05 },
+        stride_bytes: 128,
+        word0_align: 0.95,
+        chase_word_bias: None,
+        followup: 0.05,
+        phases: Some(PhaseShift { period_ops: 6000, windows: 8 }),
+    },
+    BenchmarkProfile {
+        name: "dcthrash",
+        suite: Suite::DcStress,
+        mem_gap: 420,
+        footprint_mb: 32,
+        write_frac: 0.30,
+        mix: PatternMix { seq: 0.10, stride: 0.10, chase: 0.60, hot: 0.20 },
+        stride_bytes: 96,
+        word0_align: 0.35,
+        chase_word_bias: None,
+        followup: 0.15,
+        phases: Some(PhaseShift { period_ops: 4000, windows: 4 }),
+    },
+    BenchmarkProfile {
+        name: "dcresident",
+        suite: Suite::DcStress,
+        mem_gap: 400,
+        footprint_mb: 12,
+        write_frac: 0.15,
+        mix: PatternMix { seq: 0.45, stride: 0.15, chase: 0.30, hot: 0.10 },
+        stride_bytes: 128,
+        word0_align: 0.60,
+        chase_word_bias: None,
+        followup: 0.10,
+        phases: None,
+    },
+];
+
 /// All 27 benchmark profiles, in the paper's grouping order.
+///
+/// Deliberately excludes the [`dc_stress`] pair: everything that iterates
+/// the suite (Figure 4, suite-mean speedups) stays pinned to the paper.
 #[must_use]
 pub fn suite() -> &'static [BenchmarkProfile] {
     &SUITE
 }
 
-/// Look up a profile by its name (as it appears in the paper's figures).
+/// The three synthetic DRAM-cache stress profiles (`dcsweep`,
+/// `dcthrash`, `dcresident`).
+#[must_use]
+pub fn dc_stress() -> &'static [BenchmarkProfile] {
+    &DC_STRESS
+}
+
+/// Look up a profile by its name (as it appears in the paper's figures),
+/// including the [`dc_stress`] trio.
 #[must_use]
 pub fn by_name(name: &str) -> Option<&'static BenchmarkProfile> {
-    SUITE.iter().find(|p| p.name == name)
+    SUITE.iter().chain(DC_STRESS.iter()).find(|p| p.name == name)
 }
 
 /// The six programs the paper singles out as having *no* word-0 bias
@@ -218,5 +314,48 @@ mod tests {
     #[test]
     fn footprint_lines_conversion() {
         assert_eq!(by_name("stream").unwrap().footprint_lines(), 384 * 1024 * 1024 / 64);
+    }
+
+    #[test]
+    fn dc_stress_trio_is_reachable_but_not_in_the_suite() {
+        assert_eq!(dc_stress().len(), 3);
+        for p in dc_stress() {
+            assert_eq!(p.suite, Suite::DcStress);
+            assert!(p.shared_address_space());
+            assert!(by_name(p.name).is_some(), "{} must resolve by name", p.name);
+            assert!(
+                !suite().iter().any(|s| s.name == p.name),
+                "{} must stay out of suite()",
+                p.name
+            );
+        }
+        // The paper-facing suite is untouched.
+        assert_eq!(suite().len(), 27);
+    }
+
+    #[test]
+    fn dc_stress_footprints_bracket_the_dram_cache() {
+        // Default DramCacheConfig: 65536 sets x 4 ways x 64 B = 16 MiB =
+        // 262144 lines. The shifting stressors must rotate through more
+        // than the cache holds; the resident one must overflow the 4 MiB
+        // LLC yet fit in the cache.
+        const CACHE_LINES: u64 = 262_144;
+        const LLC_LINES: u64 = 65_536;
+        for p in dc_stress() {
+            match p.phases {
+                Some(_) => assert!(
+                    p.footprint_lines() > CACHE_LINES,
+                    "{}: rotation footprint ({} lines) must exceed the cache",
+                    p.name,
+                    p.footprint_lines()
+                ),
+                None => assert!(
+                    p.footprint_lines() > LLC_LINES && p.footprint_lines() < CACHE_LINES,
+                    "{}: resident footprint ({} lines) must sit between LLC and cache",
+                    p.name,
+                    p.footprint_lines()
+                ),
+            }
+        }
     }
 }

@@ -44,7 +44,8 @@ fn usage() -> ! {
          [--verify|--no-verify] [--trace <out.json>|--no-trace] [--json]\n  \
          cwfmem run --spec <id|file.toml> --bench <name> ...   # spec-layer device\n  \
          cwfmem run ... --ckpt-at <cycle> --ckpt-out <file>    # pause + checkpoint\n  \
-         cwfmem resume <file.ckpt> [--ckpt-at <cycle> --ckpt-out <file>] [--json]\n  \
+         cwfmem resume <file.ckpt> [--ckpt-at <cycle> --ckpt-out <file>] \
+         [--verify|--no-verify] [--trace <out.json>|--no-trace] [--json]\n  \
          cwfmem serve [--bind <addr:port>] [--workers N]       # sweep HTTP server\n  \
          cwfmem spec-lint <id|file.toml|specs-dir> [--json] [--parse-only]\n  \
          cwfmem spec-check <id|file.toml>        # alias: full lint of one spec\n  \
@@ -326,18 +327,22 @@ fn build_config(args: &[String]) -> RunConfig {
 
 /// Print a run's outcome for the checkpoint paths (`run --ckpt-at` that
 /// finished early, and `resume`): the `cwfmem.run.v1` document under
-/// `--json`, a compact summary otherwise. Exits nonzero on an unclean
+/// `--json`, a compact summary otherwise. The document selection mirrors
+/// `cmd_run` exactly (trace ⊃ verify ⊃ diag), so a split run's output is
+/// byte-identical to the unsplit run's. Exits nonzero on an unclean
 /// oracle report, mirroring `cmd_run`.
 fn emit_run_outcome(
     json: bool,
     m: &cwfmem::sim::RunMetrics,
     kstats: &cwfmem::sim::KernelStats,
     verify: Option<&cwfmem::sim::VerifyReport>,
+    trace: Option<&cwfmem::sim::TraceReport>,
 ) {
     if json {
-        match verify {
-            Some(v) => print!("{}", cwfmem::sim::report::to_json_verified(m, kstats, v)),
-            None => print!("{}", cwfmem::sim::report::to_json_diag(m, kstats)),
+        match (verify, trace) {
+            (v, Some(t)) => print!("{}", cwfmem::sim::report::to_json_traced(m, kstats, v, t)),
+            (Some(v), None) => print!("{}", cwfmem::sim::report::to_json_verified(m, kstats, v)),
+            (None, None) => print!("{}", cwfmem::sim::report::to_json_diag(m, kstats)),
         }
     } else {
         println!(
@@ -355,6 +360,14 @@ fn emit_run_outcome(
             } else {
                 println!("  verify: {} violation(s)", v.total_violations);
             }
+        }
+        if let Some(t) = trace {
+            println!(
+                "  trace: {} events ({} dropped), {} reads decomposed",
+                t.events.len(),
+                t.dropped,
+                t.summary.reads
+            );
         }
     }
     if let Some(v) = verify {
@@ -379,9 +392,9 @@ fn emit_ckpt_outcome(outcome: cwfmem::sim::CkptOutcome, out_path: &str, at: u64,
                 ckpt.len(),
             );
         }
-        cwfmem::sim::CkptOutcome::Finished { metrics, kernel, verify } => {
+        cwfmem::sim::CkptOutcome::Finished { metrics, kernel, verify, trace } => {
             eprintln!("run finished before cycle {at}; no checkpoint written");
-            emit_run_outcome(json, &metrics, &kernel, verify.as_ref());
+            emit_run_outcome(json, &metrics, &kernel, verify.as_ref(), trace.as_ref());
         }
     }
 }
@@ -394,10 +407,6 @@ fn cmd_run_ckpt(args: &[String], cfg: &RunConfig, at: u64) {
         eprintln!("--ckpt-at needs --ckpt-out <file>");
         usage()
     };
-    if cfg.trace {
-        eprintln!("checkpointing does not support tracing; pass --no-trace");
-        std::process::exit(1);
-    }
     if arg_value(args, "--replay").is_some()
         || arg_value(args, "--spec").filter(|v| spec_is_path(v)).is_some()
     {
@@ -418,7 +427,15 @@ fn cmd_run_ckpt(args: &[String], cfg: &RunConfig, at: u64) {
 
 /// `resume <file.ckpt>` — restore a checkpointed run and carry it to
 /// completion (or to another `--ckpt-at` pause point). The finished
-/// metrics are byte-identical to an unpaused run's.
+/// metrics are byte-identical to an unpaused run's, and the observers
+/// come back with it: a `--verify --trace` checkpoint resumes with the
+/// oracle's books and the trace ring intact, so the final verify/trace
+/// JSON objects match the unsplit run's.
+///
+/// `--no-verify`/`--no-trace` suppress the corresponding report on
+/// output; `--verify`/`--trace <out.json>` demand one, and fail loudly
+/// when the checkpointed run never collected it (observability cannot be
+/// conjured mid-run — the first half of the evidence is gone).
 fn cmd_resume(args: &[String]) {
     let Some(path) = args.first().filter(|p| !p.starts_with("--")) else { usage() };
     let bytes = std::fs::read(path).unwrap_or_else(|e| {
@@ -444,13 +461,46 @@ fn cmd_resume(args: &[String]) {
         }
         return;
     }
-    match cwfmem::sim::resume_benchmark(&bytes) {
-        Ok((m, kstats, verify)) => emit_run_outcome(json, &m, &kstats, verify.as_ref()),
+    let (m, kstats, mut verify, mut trace) = match cwfmem::sim::resume_benchmark(&bytes) {
+        Ok(out) => out,
         Err(e) => {
             eprintln!("cannot resume {path}: {e}");
             std::process::exit(1);
         }
+    };
+    if args.iter().any(|a| a == "--verify") && verify.is_none() {
+        eprintln!(
+            "cannot enable verify on resume: the checkpointed run had the oracle off \
+             (re-run with --verify from the start)"
+        );
+        std::process::exit(1);
     }
+    if args.iter().any(|a| a == "--no-verify") {
+        verify = None;
+    }
+    let trace_out = arg_value(args, "--trace").filter(|p| !p.starts_with("--"));
+    if args.iter().any(|a| a == "--trace") && trace.is_none() {
+        eprintln!(
+            "cannot enable tracing on resume: the checkpointed run had tracing off \
+             (re-run with --trace from the start)"
+        );
+        std::process::exit(1);
+    }
+    if args.iter().any(|a| a == "--no-trace") {
+        trace = None;
+    }
+    if let (Some(out), Some(t)) = (&trace_out, &trace) {
+        if let Err(e) = std::fs::write(out, t.perfetto_json()) {
+            eprintln!("cannot write trace {out}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote Perfetto trace to {out} ({} events, {} dropped); open at ui.perfetto.dev",
+            t.events.len(),
+            t.dropped
+        );
+    }
+    emit_run_outcome(json, &m, &kstats, verify.as_ref(), trace.as_ref());
 }
 
 /// `serve [--bind <addr:port>] [--workers N]` — the sweep HTTP server

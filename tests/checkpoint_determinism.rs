@@ -6,7 +6,7 @@
 //! splits inside the warm-up window), with the verify oracle on.
 
 use cwfmem::sim::config::MemKind;
-use cwfmem::sim::report::to_json_verified;
+use cwfmem::sim::report::{to_json_traced, to_json_verified};
 use cwfmem::sim::{resume_benchmark, run_benchmark_ckpt, CkptOutcome, Kernel, RunConfig};
 use proptest::prelude::*;
 
@@ -16,12 +16,54 @@ const KINDS: [MemKind; 4] = [MemKind::Rl, MemKind::Ddr3, MemKind::RlAdaptive, Me
 /// Render a finished outcome as its verified run document.
 fn doc(outcome: CkptOutcome) -> String {
     match outcome {
-        CkptOutcome::Finished { metrics, kernel, verify } => {
+        CkptOutcome::Finished { metrics, kernel, verify, trace: _ } => {
             let v = verify.expect("verify was enabled");
             assert!(v.is_clean(), "oracle must stay clean: {:?}", v.violations.first());
             to_json_verified(&metrics, &kernel, &v)
         }
         CkptOutcome::Paused { .. } => panic!("run did not finish"),
+    }
+}
+
+/// ISSUE 10 regression: resuming a `--verify --trace` checkpoint keeps
+/// both observers. The pre-fix code refused to checkpoint traced runs
+/// outright, and `resume` offered no way to recover either report; now
+/// the oracle's books and the trace ring ride the blob, and the resumed
+/// run's combined verify/trace run document is byte-identical to the
+/// unsplit run's.
+#[test]
+fn resume_with_verify_and_trace_matches_unsplit_run() {
+    let mut cfg = RunConfig::quick(MemKind::Rl, 160);
+    cfg.verify = true;
+    cfg.trace = true;
+
+    let whole = match run_benchmark_ckpt(&cfg, "mcf", u64::MAX).expect("whole run") {
+        CkptOutcome::Finished { metrics, kernel, verify, trace } => {
+            let v = verify.expect("verify on");
+            let t = trace.expect("trace on");
+            assert!(v.is_clean(), "oracle must stay clean: {:?}", v.violations.first());
+            assert!(!t.events.is_empty(), "traced run collects events");
+            to_json_traced(&metrics, &kernel, Some(&v), &t)
+        }
+        CkptOutcome::Paused { .. } => panic!("unbounded run must finish"),
+    };
+    let cycles: u64 = whole
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("\"cycles\": ")?.trim_end_matches(',').parse().ok())
+        .expect("cycles in document");
+
+    for split_pct in [10, 50, 90] {
+        let stop_at = cycles * split_pct / 100;
+        let ckpt = match run_benchmark_ckpt(&cfg, "mcf", stop_at).expect("segmented run") {
+            CkptOutcome::Paused { ckpt } => ckpt,
+            CkptOutcome::Finished { .. } => panic!("split at {split_pct}% must pause"),
+        };
+        let (m, k, v, t) = resume_benchmark(&ckpt).expect("resume");
+        let v = v.expect("verify survives the checkpoint");
+        let t = t.expect("trace survives the checkpoint");
+        assert!(v.is_clean());
+        let resumed = to_json_traced(&m, &k, Some(&v), &t);
+        assert_eq!(whole, resumed, "split at {split_pct}% diverged");
     }
 }
 
@@ -50,8 +92,9 @@ proptest! {
 
         match run_benchmark_ckpt(&cfg, bench, stop_at).expect("segmented run") {
             CkptOutcome::Paused { ckpt } => {
-                let (m, k, v) = resume_benchmark(&ckpt).expect("resume");
+                let (m, k, v, t) = resume_benchmark(&ckpt).expect("resume");
                 let v = v.expect("verify survives the checkpoint");
+                prop_assert!(t.is_none(), "tracing was off");
                 prop_assert!(v.is_clean());
                 let resumed = to_json_verified(&m, &k, &v);
                 prop_assert_eq!(&whole, &resumed, "split at cycle {} diverged", stop_at);

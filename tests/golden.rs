@@ -28,21 +28,26 @@ const GOLDEN: [Golden; 5] = [
         reads: 1_500,
         hist: [1437, 51, 2, 3, 0, 1, 3, 3],
     },
+    // LPDDR2-involving pins re-generated 2026-08 for the Table 2
+    // calibration fix (tRCD/tRL/tRP 8 ck -> 7 ck, see
+    // specs/lpddr2_800.toml): Rl/leslie3d -0.18% cycles, RlAdaptive/mcf
+    // -2.2% — the chaser-side penalty EXPERIMENTS.md flagged. The
+    // DDR3/DDR5-only cells above and below are untouched by the change.
     Golden {
         kind: MemKind::Rl,
         bench: "leslie3d",
-        cycles: 142_515,
-        insts: 1_005_272,
+        cycles: 142_262,
+        insts: 1_005_600,
         reads: 1_500,
         hist: [1430, 53, 5, 3, 1, 1, 3, 4],
     },
     Golden {
         kind: MemKind::RlAdaptive,
         bench: "mcf",
-        cycles: 115_818,
-        insts: 635_410,
+        cycles: 113_265,
+        insts: 635_929,
         reads: 1_500,
-        hist: [475, 96, 103, 234, 280, 102, 103, 107],
+        hist: [478, 94, 103, 233, 279, 103, 102, 108],
     },
     // Spec-layer standards: a homogeneous DDR5-4800 system and the
     // heterogeneous RLDRAM3+DDR5 CWF pairing, both built from specs/*.toml.
